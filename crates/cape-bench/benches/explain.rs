@@ -1,0 +1,96 @@
+//! Explanation benchmarks: the figure-6 NAIVE-vs-OPT comparison, the
+//! baseline, and ablations of the pruning ingredients.
+
+use cape_bench::datasets::dblp_rows;
+use cape_bench::questions::generate_questions;
+use cape_core::explain::{BaselineExplainer, ExplainConfig, TopKExplainer};
+use cape_core::mining::{ArpMiner, Miner};
+use cape_core::prelude::{NaiveExplainer, OptimizedExplainer};
+use cape_core::{MiningConfig, Thresholds};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup() -> (cape_data::Relation, cape_core::PatternStore, Vec<cape_core::UserQuestion>) {
+    let rel = dblp_rows(10_000);
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.15, 4, 0.3, 3),
+        psi: 3,
+        exclude: vec![cape_datagen::dblp::attrs::PUBID],
+        ..MiningConfig::default()
+    };
+    let store = ArpMiner.mine(&rel, &cfg).expect("mining").store;
+    let qs = generate_questions(&rel, &[0, 2, 3], 4, 17);
+    (rel, store, qs)
+}
+
+/// Figure 6 in miniature: naive vs optimized over a shared pattern store.
+fn bench_explainers(c: &mut Criterion) {
+    let (rel, store, qs) = setup();
+    let cfg = ExplainConfig::default_for(&rel, 10);
+    let mut group = c.benchmark_group("fig6_explainers");
+    group.sample_size(10);
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            for q in &qs {
+                let _ = NaiveExplainer.explain(&store, q, &cfg);
+            }
+        })
+    });
+    group.bench_function("optimized", |b| {
+        b.iter(|| {
+            for q in &qs {
+                let _ = OptimizedExplainer.explain(&store, q, &cfg);
+            }
+        })
+    });
+    group.bench_function("baseline_appendix_a", |b| {
+        b.iter(|| {
+            for q in &qs {
+                let _ = BaselineExplainer.explain(&rel, q, &cfg).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Ablation: how k affects the pruning benefit (larger k ⇒ weaker
+/// threshold ⇒ less pruning).
+fn bench_topk_sweep(c: &mut Criterion) {
+    let (rel, store, qs) = setup();
+    let mut group = c.benchmark_group("fig6_topk_ablation");
+    group.sample_size(10);
+    for k in [1usize, 10, 100] {
+        let cfg = ExplainConfig::default_for(&rel, k);
+        group.bench_with_input(BenchmarkId::new("optimized", k), &k, |b, _| {
+            b.iter(|| {
+                for q in &qs {
+                    let _ = OptimizedExplainer.explain(&store, q, &cfg);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: N_P scaling of the optimized explainer (store truncation).
+fn bench_np_sweep(c: &mut Criterion) {
+    let (rel, store, qs) = setup();
+    let cfg = ExplainConfig::default_for(&rel, 10);
+    let total = store.num_local_patterns();
+    let mut group = c.benchmark_group("fig6_np_scaling");
+    group.sample_size(10);
+    for frac in [4usize, 2, 1] {
+        let np = total / frac;
+        let truncated = store.truncate_locals(np);
+        group.bench_with_input(BenchmarkId::new("optimized", np), &np, |b, _| {
+            b.iter(|| {
+                for q in &qs {
+                    let _ = OptimizedExplainer.explain(&truncated, q, &cfg);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explainers, bench_topk_sweep, bench_np_sweep);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Mining benchmarks: the figure-3/5 comparisons at criterion-friendly
+//! scale — algorithm variants per attribute count, row scaling, and the
+//! FD-optimization ablation.
+
+use cape_bench::datasets::{crime_fd_subset, crime_prefix, crime_rows, dblp_rows};
+use cape_core::mining::{ArpMiner, CubeMiner, Miner, NaiveMiner, ShareGrpMiner};
+use cape_core::{MiningConfig, Thresholds};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_cfg() -> MiningConfig {
+    MiningConfig {
+        thresholds: Thresholds::new(0.5, 8, 0.5, 5),
+        psi: 3,
+        ..MiningConfig::default()
+    }
+}
+
+/// Figure 3a in miniature: miners vs attribute count on Crime 5k.
+fn bench_miners_vs_attrs(c: &mut Criterion) {
+    let base = crime_rows(5_000);
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group("fig3a_miners_vs_attrs");
+    group.sample_size(10);
+    for a in [4usize, 6] {
+        let rel = crime_prefix(&base, a);
+        let miners: [(&str, &dyn Miner); 3] =
+            [("cube", &CubeMiner), ("share_grp", &ShareGrpMiner), ("arp_mine", &ArpMiner)];
+        for (name, miner) in miners {
+            group.bench_with_input(BenchmarkId::new(name, a), &rel, |b, rel| {
+                b.iter(|| miner.mine(rel, &cfg).unwrap())
+            });
+        }
+    }
+    // NAIVE only at the smallest size (it is orders of magnitude slower).
+    let rel = crime_prefix(&base, 4);
+    let small = cape_bench::experiments::mining_scaling::truncate_rows(&rel, 1_500);
+    group.bench_function("naive/4attrs_1500rows", |b| {
+        b.iter(|| NaiveMiner.mine(&small, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+/// Figure 3c in miniature: ARP-MINE vs rows on DBLP.
+fn bench_mining_vs_rows(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group("fig3c_arp_mine_vs_rows");
+    group.sample_size(10);
+    for rows in [2_000usize, 8_000, 20_000] {
+        let rel = dblp_rows(rows);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rel, |b, rel| {
+            b.iter(|| ArpMiner.mine(rel, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Figure 5 in miniature: FD pruning on/off on the FD-rich subset.
+fn bench_fd_ablation(c: &mut Criterion) {
+    let rel = crime_fd_subset(&crime_rows(5_000));
+    let mut on = bench_cfg();
+    on.fd_pruning = true;
+    let mut off = bench_cfg();
+    off.fd_pruning = false;
+    let mut group = c.benchmark_group("fig5_fd_pruning");
+    group.sample_size(10);
+    group.bench_function("fd_on", |b| b.iter(|| ArpMiner.mine(&rel, &on).unwrap()));
+    group.bench_function("fd_off", |b| b.iter(|| ArpMiner.mine(&rel, &off).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners_vs_attrs, bench_mining_vs_rows, bench_fd_ablation);
+criterion_main!(benches);

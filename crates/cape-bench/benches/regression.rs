@@ -1,0 +1,49 @@
+//! Microbenches for the regression substrate (Figure 4 shows regression
+//! dominating mining time, so its constant factors matter).
+
+use cape_regress::{chi_square_gof, fit_constant, fit_linear, special};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn synth(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+    let ys: Vec<f64> = (0..n).map(|i| 2.0 * i as f64 + ((i * 7919) % 13) as f64 * 0.1).collect();
+    (xs, ys)
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regression_fit");
+    for n in [10usize, 100, 1_000] {
+        let (xs, ys) = synth(n);
+        group.bench_with_input(BenchmarkId::new("constant", n), &n, |b, _| {
+            b.iter(|| fit_constant(&ys).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("linear_1d", n), &n, |b, _| {
+            b.iter(|| fit_linear(&xs, &ys).unwrap())
+        });
+        let xs3: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64, (i * i % 97) as f64, ((i * 31) % 11) as f64])
+            .collect();
+        group.bench_with_input(BenchmarkId::new("linear_3d", n), &n, |b, _| {
+            b.iter(|| fit_linear(&xs3, &ys).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_special(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special_functions");
+    group.bench_function("chi_square_sf", |b| {
+        b.iter(|| special::chi_square_sf(criterion::black_box(12.3), 9.0))
+    });
+    group.bench_function("chi_square_gof_100", |b| {
+        let ys: Vec<f64> = (0..100).map(|i| 5.0 + ((i * 13) % 7) as f64 * 0.1).collect();
+        b.iter(|| chi_square_gof(&ys, 5.3))
+    });
+    group.bench_function("ln_gamma", |b| {
+        b.iter(|| special::ln_gamma(criterion::black_box(42.5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fits, bench_special);
+criterion_main!(benches);

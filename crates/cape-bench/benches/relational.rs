@@ -1,0 +1,51 @@
+//! Microbenches for the relational substrate: aggregation, sorting, CUBE.
+
+use cape_bench::datasets::{crime_prefix, crime_rows};
+use cape_data::ops::{aggregate_with_row_count, cube, sort_by};
+use cape_data::AggSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate");
+    for rows in [1_000usize, 10_000, 50_000] {
+        let rel = crime_prefix(&crime_rows(rows), 4);
+        group.bench_with_input(BenchmarkId::new("group_by_2", rows), &rel, |b, rel| {
+            b.iter(|| {
+                aggregate_with_row_count(rel, &[0, 1], &[AggSpec::count_star()]).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("group_by_3", rows), &rel, |b, rel| {
+            b.iter(|| {
+                aggregate_with_row_count(rel, &[0, 1, 2], &[AggSpec::count_star()]).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort");
+    let rel = crime_prefix(&crime_rows(20_000), 4);
+    let grouped = aggregate_with_row_count(&rel, &[0, 1, 2], &[AggSpec::count_star()])
+        .unwrap()
+        .relation;
+    group.bench_function("three_key_sort", |b| b.iter(|| sort_by(&grouped, &[0, 1, 2])));
+    group.bench_function("one_key_sort", |b| b.iter(|| sort_by(&grouped, &[2])));
+    group.finish();
+}
+
+fn bench_cube(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cube");
+    group.sample_size(10);
+    for a in [4usize, 6] {
+        let rel = crime_prefix(&crime_rows(5_000), a);
+        let dims: Vec<usize> = (0..a).collect();
+        group.bench_with_input(BenchmarkId::new("all_subsets", a), &rel, |b, rel| {
+            b.iter(|| cube(rel, &dims, 0, 3, &[AggSpec::count_star()]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregate, bench_sort, bench_cube);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! `cape-repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cape-repro [--scale quick|full] <experiment>...
+//! cape-repro all            # every figure and table
+//! cape-repro fig3a fig6b    # a subset
+//! ```
+//!
+//! Output mirrors the paper's rows/series; absolute numbers differ (our
+//! substrate is an in-memory engine, not PostgreSQL on the authors'
+//! hardware) but the comparative shape is the reproduction target.
+
+use cape_bench::experiments::{
+    ablation, explain_perf, fd_opt, mining_scaling, sensitivity, subtasks, tables, user_study,
+};
+use cape_bench::Scale;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig3a", "fig3b", "fig3c", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "table3",
+    "table4", "table5", "table6", "table7", "ablation", "userstudy",
+];
+
+fn usage() -> ! {
+    eprintln!("usage: cape-repro [--scale quick|full] <experiment>...");
+    eprintln!("experiments: all {}", EXPERIMENTS.join(" "));
+    std::process::exit(2);
+}
+
+fn run(name: &str, scale: Scale) -> String {
+    eprintln!("running {name} ({scale:?}) ...");
+    match name {
+        "fig3a" => mining_scaling::fig3a(scale),
+        "fig3b" => mining_scaling::fig3b(scale),
+        "fig3c" => mining_scaling::fig3c(scale),
+        "fig4" => subtasks::fig4(scale),
+        "fig5" => fd_opt::fig5(scale),
+        "fig6a" => explain_perf::fig6a(scale),
+        "fig6b" => explain_perf::fig6b(scale),
+        "fig6c" => explain_perf::fig6c(scale),
+        "fig7" => {
+            let (rows, cases) = match scale {
+                Scale::Quick => (4_000, 6),
+                Scale::Full => (10_000, 10),
+            };
+            sensitivity::fig7(rows, cases)
+        }
+        "table3" => tables::table3(),
+        "table4" => tables::table4(),
+        "table5" => tables::table5(),
+        "table6" => tables::table6(),
+        "table7" => tables::table7(),
+        "ablation" => ablation::ablation(),
+        "userstudy" => {
+            let (rows, budget) = match scale {
+                Scale::Quick => (3_000, 12),
+                Scale::Full => (8_000, 15),
+            };
+            user_study::user_study(rows, budget)
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut selected: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("quick") => scale = Scale::Quick,
+                    Some("full") => scale = Scale::Full,
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => selected.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if selected.is_empty() {
+        usage();
+    }
+    if selected.iter().any(|s| s == "all") {
+        selected = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let t0 = std::time::Instant::now();
+    for name in &selected {
+        let report = run(name, scale);
+        println!("{report}");
+    }
+    eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,118 @@
+//! Dataset construction shared by the experiment harness.
+
+use cape_data::ops::project;
+use cape_data::Relation;
+use cape_datagen::{crime, dblp, CrimeConfig, DblpConfig};
+
+/// Scale of the reproduction run: `Quick` keeps every figure under a few
+/// minutes on a laptop; `Full` approaches the paper's sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-friendly sizes (default).
+    Quick,
+    /// Paper-approaching sizes.
+    Full,
+}
+
+impl Scale {
+    /// Row counts for the `D` sweeps (Figures 3b, 3c, 5).
+    pub fn d_sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![10_000, 30_000, 100_000],
+            Scale::Full => vec![10_000, 100_000, 300_000, 1_000_000],
+        }
+    }
+
+    /// Attribute counts for the `A` sweep (Figures 3a, 4).
+    pub fn a_sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![4, 5, 7, 9, 11],
+            Scale::Full => vec![4, 5, 6, 7, 8, 9, 10, 11],
+        }
+    }
+
+    /// Largest attribute count at which NAIVE is still run (the paper
+    /// reports 18,000s at A = 7 and omits it from the plots).
+    pub fn naive_max_attrs(self) -> usize {
+        4
+    }
+
+    /// Base row count for single-dataset experiments.
+    pub fn base_rows(self) -> usize {
+        match self {
+            Scale::Quick => 10_000,
+            Scale::Full => 10_000,
+        }
+    }
+
+    /// Row count for the explanation-performance experiments (Figure 6;
+    /// the paper uses 5M/1M — far beyond what the runtime shape needs).
+    pub fn explain_rows(self) -> usize {
+        match self {
+            Scale::Quick => 30_000,
+            Scale::Full => 200_000,
+        }
+    }
+}
+
+/// Generate the synthetic DBLP relation at a row count.
+pub fn dblp_rows(rows: usize) -> Relation {
+    dblp::generate(&DblpConfig::with_rows(rows))
+}
+
+/// Generate the synthetic Crime relation at a row count (full 11 attrs).
+pub fn crime_rows(rows: usize) -> Relation {
+    crime::generate(&CrimeConfig::with_rows(rows))
+}
+
+/// The `A`-attribute prefix of the crime relation.
+pub fn crime_prefix(rel: &Relation, a: usize) -> Relation {
+    let cols: Vec<usize> = (0..a.min(crime::N_ATTRS)).collect();
+    project(rel, &cols).expect("prefix projection")
+}
+
+/// The 9-attribute FD-rich subset used by Figure 5 (community/district/
+/// side/beat/season all present).
+pub fn crime_fd_subset(rel: &Relation) -> Relation {
+    use cape_datagen::crime::attrs as c;
+    project(
+        rel,
+        &[
+            c::PRIMARY_TYPE,
+            c::COMMUNITY,
+            c::YEAR,
+            c::MONTH,
+            c::DISTRICT,
+            c::SIDE,
+            c::BEAT,
+            c::SEASON,
+            c::DOW,
+        ],
+    )
+    .expect("subset projection")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_differ() {
+        assert!(Scale::Quick.d_sweep().len() <= Scale::Full.d_sweep().len());
+        assert!(Scale::Quick.a_sweep().contains(&4));
+        assert!(Scale::Full.a_sweep().contains(&11));
+    }
+
+    #[test]
+    fn prefix_shrinks_schema() {
+        let rel = crime_rows(1_000);
+        assert_eq!(crime_prefix(&rel, 4).schema().arity(), 4);
+        assert_eq!(crime_prefix(&rel, 99).schema().arity(), 11);
+        assert_eq!(crime_fd_subset(&rel).schema().arity(), 9);
+    }
+
+    #[test]
+    fn dblp_generates() {
+        assert!(dblp_rows(1_000).num_rows() >= 1_000);
+    }
+}

@@ -1,0 +1,187 @@
+//! Figure 6: explanation-generation performance — EXPL-GEN-NAIVE vs
+//! EXPL-GEN-OPT, varying the number of local patterns (6a DBLP, 6b Crime)
+//! and the number of question group-by attributes (6c).
+
+use crate::datasets::{crime_prefix, crime_rows, dblp_rows, Scale};
+use crate::questions::generate_questions;
+use crate::report::{section, SeriesTable};
+use cape_core::explain::{ExplainConfig, TopKExplainer};
+use cape_core::mining::{ArpMiner, Miner};
+use cape_core::prelude::{NaiveExplainer, OptimizedExplainer};
+use cape_core::{MiningConfig, PatternStore, Thresholds, UserQuestion};
+use cape_data::Relation;
+use cape_datagen::crime::attrs as c;
+
+/// Lenient thresholds so mining yields a large local-pattern pool for the
+/// `N_P` sweeps (the paper mines offline "to generate a large number of
+/// patterns").
+pub fn lenient_mining_config(psi: usize) -> MiningConfig {
+    MiningConfig {
+        thresholds: Thresholds::new(0.15, 4, 0.3, 3),
+        psi,
+        ..MiningConfig::default()
+    }
+}
+
+/// Total explanation time over all `questions`, per explainer, for one
+/// truncated store. Returns `(naive_secs, opt_secs)`.
+fn time_explainers(
+    store: &PatternStore,
+    questions: &[UserQuestion],
+    cfg: &ExplainConfig,
+) -> (f64, f64) {
+    let mut naive = 0.0;
+    let mut opt = 0.0;
+    for q in questions {
+        let (_, s) = NaiveExplainer.explain(store, q, cfg);
+        naive += s.time.as_secs_f64();
+        let (_, s) = OptimizedExplainer.explain(store, q, cfg);
+        opt += s.time.as_secs_f64();
+    }
+    (naive, opt)
+}
+
+fn np_sweep(store: &PatternStore, steps: usize) -> Vec<usize> {
+    let total = store.num_local_patterns();
+    (1..=steps).map(|i| total * i / steps).filter(|&n| n > 0).collect()
+}
+
+fn np_experiment(
+    title: &str,
+    rel: &Relation,
+    store: &PatternStore,
+    questions: &[UserQuestion],
+    k: usize,
+) -> String {
+    let cfg = ExplainConfig::default_for(rel, k);
+    let sweep = np_sweep(store, 5);
+    let mut table =
+        SeriesTable::new("N_P", sweep.iter().map(|n| n.to_string()).collect());
+    let mut naive = Vec::new();
+    let mut opt = Vec::new();
+    for &np in &sweep {
+        eprintln!("  {title}: N_P = {np}");
+        let truncated = store.truncate_locals(np);
+        let (n, o) = time_explainers(&truncated, questions, &cfg);
+        naive.push(Some(n));
+        opt.push(Some(o));
+    }
+    table.push_series("EXPL-GEN-NAIVE", naive);
+    table.push_series("EXPL-GEN-OPT", opt);
+    format!(
+        "{}total runtime [s] for {} user questions, top-{k}\n{}",
+        section(title),
+        questions.len(),
+        table.render()
+    )
+}
+
+/// Figure 6a: DBLP, runtime vs number of local patterns.
+pub fn fig6a(scale: Scale) -> String {
+    let rel = dblp_rows(scale.explain_rows());
+    // Exclude the unique pubid from mining, like the paper's preprocessing.
+    let mut mcfg = lenient_mining_config(3);
+    mcfg.exclude = vec![cape_datagen::dblp::attrs::PUBID];
+    let store = ArpMiner.mine(&rel, &mcfg).expect("mining").store;
+    eprintln!(
+        "  fig6a: {} patterns / {} local patterns",
+        store.len(),
+        store.num_local_patterns()
+    );
+    let questions = generate_questions(
+        &rel,
+        &[
+            cape_datagen::dblp::attrs::AUTHOR,
+            cape_datagen::dblp::attrs::YEAR,
+            cape_datagen::dblp::attrs::VENUE,
+        ],
+        6,
+        61,
+    );
+    np_experiment("Figure 6a: explanation generation, DBLP", &rel, &store, &questions, 10)
+}
+
+/// Figure 6b: Crime, runtime vs number of local patterns.
+pub fn fig6b(scale: Scale) -> String {
+    let rel = crime_prefix(&crime_rows(scale.explain_rows()), 5);
+    let store = ArpMiner.mine(&rel, &lenient_mining_config(3)).expect("mining").store;
+    eprintln!(
+        "  fig6b: {} patterns / {} local patterns",
+        store.len(),
+        store.num_local_patterns()
+    );
+    let questions =
+        generate_questions(&rel, &[c::PRIMARY_TYPE, c::COMMUNITY, c::YEAR], 6, 62);
+    np_experiment("Figure 6b: explanation generation, Crime", &rel, &store, &questions, 10)
+}
+
+/// Figure 6c: Crime, runtime vs the number of group-by attributes in the
+/// user question (A_φ from 2 to 8).
+pub fn fig6c(scale: Scale) -> String {
+    let rel = crime_rows(scale.explain_rows());
+    let store = ArpMiner.mine(&crime_prefix(&rel, 8), &lenient_mining_config(3))
+        .expect("mining")
+        .store;
+    let cfg = ExplainConfig::default_for(&rel, 10);
+    // Question group-by attribute prefixes of increasing width.
+    let phi_attrs: Vec<usize> = vec![
+        c::PRIMARY_TYPE,
+        c::COMMUNITY,
+        c::YEAR,
+        c::MONTH,
+        c::DISTRICT,
+        c::SIDE,
+        c::BEAT,
+        c::SEASON,
+    ];
+    let a_phi: Vec<usize> = vec![2, 3, 4, 5, 6, 7, 8];
+    let mut table =
+        SeriesTable::new("A_phi", a_phi.iter().map(|a| a.to_string()).collect());
+    let mut naive = Vec::new();
+    let mut opt = Vec::new();
+    for &a in &a_phi {
+        eprintln!("  fig6c: A_phi = {a}");
+        let questions = generate_questions(&rel, &phi_attrs[..a], 4, 63 + a as u64);
+        let (n, o) = time_explainers(&store, &questions, &cfg);
+        naive.push(Some(n));
+        opt.push(Some(o));
+    }
+    table.push_series("EXPL-GEN-NAIVE", naive);
+    table.push_series("EXPL-GEN-OPT", opt);
+    format!(
+        "{}total runtime [s] for 4 user questions per A_phi (paper Fig. 6c)\n{}",
+        section("Figure 6c: explanation generation, varying question group-by width"),
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn np_sweep_is_increasing_and_bounded() {
+        let rel = dblp_rows(2_000);
+        let mut mcfg = lenient_mining_config(2);
+        mcfg.exclude = vec![cape_datagen::dblp::attrs::PUBID];
+        let store = ArpMiner.mine(&rel, &mcfg).unwrap().store;
+        let sweep = np_sweep(&store, 4);
+        assert!(!sweep.is_empty());
+        for w in sweep.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(*sweep.last().unwrap(), store.num_local_patterns());
+    }
+
+    #[test]
+    fn explainers_run_on_mined_store() {
+        let rel = dblp_rows(2_000);
+        let mut mcfg = lenient_mining_config(2);
+        mcfg.exclude = vec![cape_datagen::dblp::attrs::PUBID];
+        let store = ArpMiner.mine(&rel, &mcfg).unwrap().store;
+        let qs = generate_questions(&rel, &[0, 2], 2, 9);
+        let cfg = ExplainConfig::default_for(&rel, 5);
+        let (n, o) = time_explainers(&store, &qs, &cfg);
+        assert!(n >= 0.0 && o >= 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 5: effect of the FD optimizations (Appendix D) on ARP-MINE,
+//! on the FD-rich 9-attribute Crime subset.
+
+use crate::datasets::{crime_fd_subset, crime_rows, Scale};
+use crate::experiments::mining_scaling::{paper_mining_config, truncate_rows};
+use crate::report::{section, SeriesTable};
+use cape_core::mining::{ArpMiner, Miner};
+
+/// Figure 5 report: ARP-MINE runtime with and without FD pruning vs D.
+pub fn fig5(scale: Scale) -> String {
+    let d_values = scale.d_sweep();
+    let biggest = *d_values.last().expect("non-empty sweep");
+    let full = crime_fd_subset(&crime_rows(biggest));
+
+    let mut cfg_off = paper_mining_config();
+    cfg_off.fd_pruning = false;
+    let mut cfg_on = paper_mining_config();
+    cfg_on.fd_pruning = true;
+
+    let mut table = SeriesTable::new("D", d_values.iter().map(|d| d.to_string()).collect());
+    let mut no_fd = Vec::new();
+    let mut with_fd = Vec::new();
+    let mut skipped = Vec::new();
+    let mut fits_off = Vec::new();
+    let mut fits_on = Vec::new();
+    let mut sorts_off = Vec::new();
+    let mut sorts_on = Vec::new();
+    for &d in &d_values {
+        let rel = truncate_rows(&full, d);
+        eprintln!("  fig5: D = {d}");
+        let off = ArpMiner.mine(&rel, &cfg_off).expect("mining succeeds");
+        let on = ArpMiner.mine(&rel, &cfg_on).expect("mining succeeds");
+        no_fd.push(Some(off.stats.total_time.as_secs_f64()));
+        with_fd.push(Some(on.stats.total_time.as_secs_f64()));
+        skipped.push(Some(on.stats.skipped_by_fd as f64));
+        fits_off.push(Some(off.stats.fragments_fitted as f64));
+        fits_on.push(Some(on.stats.fragments_fitted as f64));
+        sorts_off.push(Some(off.stats.sort_queries as f64));
+        sorts_on.push(Some(on.stats.sort_queries as f64));
+    }
+    table.push_series("ARP-MINE (no FD) [s]", no_fd);
+    table.push_series("ARP-MINE (+FD) [s]", with_fd);
+    table.push_series("(F,V) pairs skipped", skipped);
+    table.push_series("fragment fits (no FD)", fits_off);
+    table.push_series("fragment fits (+FD)", fits_on);
+    table.push_series("sort queries (no FD)", sorts_off);
+    table.push_series("sort queries (+FD)", sorts_on);
+
+    format!(
+        "{}runtime and work counts, Crime 9-attribute FD-rich subset (paper Fig. 5)\n\
+         note: the paper's 18-53%% speedup reflects its costly per-fragment\n\
+         regression; our fits are cheap, so the benefit shows in work counts.\n{}",
+        section("Figure 5: FD optimizations"),
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cape_core::{MiningConfig, Thresholds};
+
+    /// FD pruning must skip work and keep results a subset on FD-rich data.
+    #[test]
+    fn fd_pruning_skips_on_crime_subset() {
+        let rel = crime_fd_subset(&crime_rows(3_000));
+        let mk = |fd: bool| MiningConfig {
+            thresholds: Thresholds::new(0.3, 5, 0.5, 2),
+            psi: 3,
+            fd_pruning: fd,
+            ..MiningConfig::default()
+        };
+        let on = ArpMiner.mine(&rel, &mk(true)).unwrap();
+        let off = ArpMiner.mine(&rel, &mk(false)).unwrap();
+        assert!(on.stats.skipped_by_fd > 0, "no FD skips on FD-rich data");
+        assert!(on.stats.fds_discovered > 0);
+        assert!(on.store.len() <= off.store.len());
+        assert!(on.stats.candidates_considered < off.stats.candidates_considered);
+    }
+}

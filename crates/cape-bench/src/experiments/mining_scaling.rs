@@ -1,0 +1,163 @@
+//! Figures 3a–3c: mining runtime scaling in attribute count and rows.
+
+use crate::datasets::{crime_prefix, crime_rows, dblp_rows, Scale};
+use crate::report::{section, SeriesTable};
+use cape_core::mining::{ArpMiner, CubeMiner, Miner, NaiveMiner, ParallelMiner, ShareGrpMiner};
+use cape_core::{MiningConfig, Thresholds};
+use cape_data::Relation;
+
+/// The paper's mining configuration for §5.1:
+/// ψ = 4, θ = 0.5, λ = 0.5, δ = 15, Δ = 15, FD optimizations off.
+pub fn paper_mining_config() -> MiningConfig {
+    MiningConfig {
+        thresholds: Thresholds::new(0.5, 15, 0.5, 15),
+        psi: 4,
+        fd_pruning: false,
+        ..MiningConfig::default()
+    }
+}
+
+fn run_miner(miner: &dyn Miner, rel: &Relation, cfg: &MiningConfig) -> f64 {
+    let out = miner.mine(rel, cfg).expect("mining succeeds");
+    out.stats.total_time.as_secs_f64()
+}
+
+/// Figure 3a: Crime, D = 10k, varying the number of attributes.
+pub fn fig3a(scale: Scale) -> String {
+    let base = crime_rows(scale.base_rows());
+    let cfg = paper_mining_config();
+    let a_values = scale.a_sweep();
+    let mut table = SeriesTable::new("A", a_values.iter().map(|a| a.to_string()).collect());
+
+    let mut naive = Vec::new();
+    let mut cube = Vec::new();
+    let mut share = Vec::new();
+    let mut arp = Vec::new();
+    for &a in &a_values {
+        let rel = crime_prefix(&base, a);
+        eprintln!("  fig3a: A = {a} ({} rows)", rel.num_rows());
+        naive.push(if a <= scale.naive_max_attrs() {
+            Some(run_miner(&NaiveMiner, &rel, &cfg))
+        } else {
+            None // the paper omits NAIVE beyond small A (18,000s at A = 7)
+        });
+        cube.push(Some(run_miner(&CubeMiner, &rel, &cfg)));
+        share.push(Some(run_miner(&ShareGrpMiner, &rel, &cfg)));
+        arp.push(Some(run_miner(&ArpMiner, &rel, &cfg)));
+    }
+    table.push_series("NAIVE", naive);
+    table.push_series("CUBE", cube);
+    table.push_series("SHARE-GRP", share);
+    table.push_series("ARP-MINE", arp);
+
+    format!(
+        "{}runtime [s] for ARP mining, Crime {} rows, psi=4 (paper Fig. 3a)\n{}",
+        section("Figure 3a: pattern mining, varying #attributes"),
+        scale.base_rows(),
+        table.render()
+    )
+}
+
+/// Figures 3b / 3c: runtime vs rows for a fixed schema.
+fn d_scaling(name: &str, paper_ref: &str, scale: Scale, make: impl Fn(usize) -> Relation) -> String {
+    let cfg = paper_mining_config();
+    let d_values = scale.d_sweep();
+    let mut table = SeriesTable::new("D", d_values.iter().map(|d| d.to_string()).collect());
+    let mut cube = Vec::new();
+    let mut share = Vec::new();
+    let mut arp = Vec::new();
+    let mut par = Vec::new();
+    for &d in &d_values {
+        let rel = make(d);
+        eprintln!("  {name}: D = {d} ({} rows)", rel.num_rows());
+        cube.push(Some(run_miner(&CubeMiner, &rel, &cfg)));
+        share.push(Some(run_miner(&ShareGrpMiner, &rel, &cfg)));
+        arp.push(Some(run_miner(&ArpMiner, &rel, &cfg)));
+        par.push(Some(run_miner(&ParallelMiner::default(), &rel, &cfg)));
+    }
+    table.push_series("CUBE", cube);
+    table.push_series("SHARE-GRP", share);
+    table.push_series("ARP-MINE", arp);
+    table.push_series("PAR-ARP-MINE*", par); // our multi-threaded extension
+    format!("{}runtime [s] ({paper_ref})\n{}", section(name), table.render())
+}
+
+/// Figure 3b: Crime with 7 attributes, varying D.
+pub fn fig3b(scale: Scale) -> String {
+    let biggest = *scale.d_sweep().last().expect("non-empty sweep");
+    let full = crime_rows(biggest);
+    d_scaling(
+        "Figure 3b: pattern mining, Crime, varying #rows",
+        "paper Fig. 3b, A=7",
+        scale,
+        |d| {
+            let prefix = crime_prefix(&full, 7);
+            truncate_rows(&prefix, d)
+        },
+    )
+}
+
+/// Figure 3c: DBLP (all 4 attributes), varying D.
+pub fn fig3c(scale: Scale) -> String {
+    let biggest = *scale.d_sweep().last().expect("non-empty sweep");
+    let full = dblp_rows(biggest);
+    d_scaling(
+        "Figure 3c: pattern mining, DBLP, varying #rows",
+        "paper Fig. 3c, A=4",
+        scale,
+        |d| truncate_rows(&full, d),
+    )
+}
+
+/// First `n` rows of a relation (the paper's size-varied dataset versions).
+pub fn truncate_rows(rel: &Relation, n: usize) -> Relation {
+    if n >= rel.num_rows() {
+        return rel.clone();
+    }
+    let idx: Vec<usize> = (0..n).collect();
+    rel.take(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation() {
+        let rel = dblp_rows(2_000);
+        assert_eq!(truncate_rows(&rel, 500).num_rows(), 500);
+        assert_eq!(truncate_rows(&rel, usize::MAX).num_rows(), rel.num_rows());
+    }
+
+    #[test]
+    fn paper_config_matches_section_5_1() {
+        let cfg = paper_mining_config();
+        assert_eq!(cfg.psi, 4);
+        assert_eq!(cfg.thresholds.delta, 15);
+        assert_eq!(cfg.thresholds.global_support, 15);
+        assert!(!cfg.fd_pruning);
+    }
+
+    /// A miniature fig3a-style comparison verifying the expected ordering
+    /// of the optimized miners on a small input.
+    #[test]
+    fn miners_agree_on_tiny_crime() {
+        let rel = crime_prefix(&crime_rows(1_500), 4);
+        let cfg = MiningConfig {
+            thresholds: Thresholds::new(0.3, 5, 0.5, 2),
+            psi: 3,
+            ..MiningConfig::default()
+        };
+        let a = ArpMiner.mine(&rel, &cfg).unwrap();
+        let b = ShareGrpMiner.mine(&rel, &cfg).unwrap();
+        let c = CubeMiner.mine(&rel, &cfg).unwrap();
+        let key = |out: &cape_core::mining::MiningOutput| {
+            let mut v: Vec<String> =
+                out.store.iter().map(|(_, p)| p.arp.display(rel.schema())).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&a), key(&b));
+        assert_eq!(key(&b), key(&c));
+    }
+}

@@ -1,0 +1,10 @@
+//! The experiment suite: one module per figure/table family.
+
+pub mod ablation;
+pub mod explain_perf;
+pub mod fd_opt;
+pub mod mining_scaling;
+pub mod sensitivity;
+pub mod subtasks;
+pub mod tables;
+pub mod user_study;

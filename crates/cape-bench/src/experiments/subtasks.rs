@@ -1,0 +1,99 @@
+//! Figure 4: mining subtask breakdown (regression / query / other),
+//! normalized to the slowest method per attribute count.
+
+use crate::datasets::{crime_prefix, crime_rows, Scale};
+use crate::experiments::mining_scaling::paper_mining_config;
+use crate::report::section;
+use cape_core::mining::{ArpMiner, CubeMiner, Miner, MiningStats, ShareGrpMiner};
+
+/// One bar of the figure: absolute subtask seconds for one (A, method).
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    /// Miner name.
+    pub method: &'static str,
+    /// Number of attributes.
+    pub a: usize,
+    /// Total seconds.
+    pub total: f64,
+    /// Seconds in relational operators.
+    pub query: f64,
+    /// Seconds in regression fitting.
+    pub regression: f64,
+    /// Remaining seconds.
+    pub other: f64,
+}
+
+impl Breakdown {
+    fn from_stats(method: &'static str, a: usize, s: &MiningStats) -> Self {
+        Breakdown {
+            method,
+            a,
+            total: s.total_time.as_secs_f64(),
+            query: s.query_time.as_secs_f64(),
+            regression: s.regression_time.as_secs_f64(),
+            other: s.other_time().as_secs_f64(),
+        }
+    }
+}
+
+/// Collect the per-subtask breakdown for the three optimized miners.
+pub fn collect(scale: Scale) -> Vec<Breakdown> {
+    let base = crime_rows(scale.base_rows());
+    let cfg = paper_mining_config();
+    let mut out = Vec::new();
+    for &a in &scale.a_sweep() {
+        let rel = crime_prefix(&base, a);
+        eprintln!("  fig4: A = {a}");
+        let miners: [(&'static str, &dyn Miner); 3] =
+            [("ARP-MINE", &ArpMiner), ("SHARE-GRP", &ShareGrpMiner), ("CUBE", &CubeMiner)];
+        for (name, miner) in miners {
+            let stats = miner.mine(&rel, &cfg).expect("mining succeeds").stats;
+            out.push(Breakdown::from_stats(name, a, &stats));
+        }
+    }
+    out
+}
+
+/// Figure 4 report: per A, bars normalized to the slowest method
+/// (the paper normalizes to CUBE).
+pub fn fig4(scale: Scale) -> String {
+    let rows = collect(scale);
+    let mut out = section("Figure 4: mining subtask breakdown (normalized to slowest)");
+    out.push_str("A   method      total  |  query  regression  other   (fractions of slowest)\n");
+    out.push_str("--------------------------------------------------------------------------\n");
+    let mut a_values: Vec<usize> = rows.iter().map(|b| b.a).collect();
+    a_values.dedup();
+    for a in a_values {
+        let group: Vec<&Breakdown> = rows.iter().filter(|b| b.a == a).collect();
+        let slowest = group.iter().map(|b| b.total).fold(0.0f64, f64::max).max(1e-12);
+        for b in &group {
+            out.push_str(&format!(
+                "{:<3} {:<10} {:>6.3}s |  {:>5.3}  {:>10.3}  {:>5.3}\n",
+                b.a,
+                b.method,
+                b.total,
+                b.query / slowest,
+                b.regression / slowest,
+                b.other / slowest,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_parts_sum_to_total() {
+        let s = MiningStats {
+            total_time: std::time::Duration::from_millis(100),
+            query_time: std::time::Duration::from_millis(40),
+            regression_time: std::time::Duration::from_millis(35),
+            ..Default::default()
+        };
+        let b = Breakdown::from_stats("X", 4, &s);
+        assert!((b.query + b.regression + b.other - b.total).abs() < 1e-9);
+    }
+}

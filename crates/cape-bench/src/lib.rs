@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # cape-bench — experiment harness for the CAPE reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | Paper artifact | Module | Binary command |
+//! |---|---|---|
+//! | Fig. 3a–3c | [`experiments::mining_scaling`] | `cape-repro fig3a` … |
+//! | Fig. 4 | [`experiments::subtasks`] | `cape-repro fig4` |
+//! | Fig. 5 | [`experiments::fd_opt`] | `cape-repro fig5` |
+//! | Fig. 6a–6c | [`experiments::explain_perf`] | `cape-repro fig6a` … |
+//! | Fig. 7 | [`experiments::sensitivity`] | `cape-repro fig7` |
+//! | Tables 3–7 | [`experiments::tables`] | `cape-repro table3` … |
+//!
+//! Criterion microbenches live under `benches/`.
+
+pub mod datasets;
+pub mod experiments;
+pub mod questions;
+pub mod report;
+
+pub use datasets::Scale;

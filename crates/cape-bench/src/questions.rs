@@ -1,0 +1,92 @@
+//! User-question generation for the explanation-performance experiments
+//! (paper §5.2: "we create several user questions by randomly selecting
+//! result tuples, biased towards groups with large counts to create a
+//! worst case for explanation generation").
+
+use cape_core::{Direction, UserQuestion};
+use cape_data::ops::aggregate;
+use cape_data::{AggFunc, AggSpec, AttrId, Relation};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate `n` user questions over `γ_{group_attrs, count(*)}(rel)`,
+/// sampling result tuples from the largest-count quartile and alternating
+/// high/low directions.
+pub fn generate_questions(
+    rel: &Relation,
+    group_attrs: &[AttrId],
+    n: usize,
+    seed: u64,
+) -> Vec<UserQuestion> {
+    let result = aggregate(rel, group_attrs, &[AggSpec::count_star()])
+        .expect("count query")
+        .relation;
+    if result.is_empty() {
+        return Vec::new();
+    }
+    let agg_col = group_attrs.len();
+    // Rank rows by count, descending.
+    let mut order: Vec<usize> = (0..result.num_rows()).collect();
+    order.sort_by(|&a, &b| {
+        result.value(b, agg_col).as_f64().unwrap_or(0.0).total_cmp(
+            &result.value(a, agg_col).as_f64().unwrap_or(0.0),
+        )
+    });
+    let pool = &order[..(order.len() / 4).max(1).min(order.len())];
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let row = pool[rng.gen_range(0..pool.len())];
+        let tuple = result.row_project(row, &(0..group_attrs.len()).collect::<Vec<_>>());
+        let agg_value = result.value(row, agg_col).as_f64().unwrap_or(0.0);
+        let dir = if i % 2 == 0 { Direction::High } else { Direction::Low };
+        out.push(UserQuestion::new(
+            group_attrs.to_vec(),
+            AggFunc::Count,
+            None,
+            tuple,
+            agg_value,
+            dir,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::dblp_rows;
+
+    #[test]
+    fn questions_come_from_large_groups() {
+        let rel = dblp_rows(3_000);
+        let qs = generate_questions(&rel, &[0, 2], 6, 42);
+        assert_eq!(qs.len(), 6);
+        // Biased pool: every question's count is at least the median count.
+        let result = aggregate(&rel, &[0, 2], &[AggSpec::count_star()]).unwrap().relation;
+        let mut counts: Vec<f64> =
+            (0..result.num_rows()).map(|i| result.value(i, 2).as_f64().unwrap()).collect();
+        counts.sort_by(f64::total_cmp);
+        let median = counts[counts.len() / 2];
+        for q in &qs {
+            assert!(q.agg_value >= median, "{} < median {}", q.agg_value, median);
+        }
+        // Directions alternate.
+        assert_eq!(qs[0].dir, Direction::High);
+        assert_eq!(qs[1].dir, Direction::Low);
+    }
+
+    #[test]
+    fn deterministic() {
+        let rel = dblp_rows(2_000);
+        let a = generate_questions(&rel, &[0, 2], 4, 7);
+        let b = generate_questions(&rel, &[0, 2], 4, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_relation_yields_nothing() {
+        let rel = Relation::new(dblp_rows(100).schema().clone());
+        assert!(generate_questions(&rel, &[0, 2], 3, 1).is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Plain-text reporting helpers: aligned series tables matching the
+//! figures' axes, so harness output reads like the paper's plots.
+
+/// A table of runtime (or precision) series: one named row per algorithm,
+/// one column per x-axis value.
+#[derive(Debug, Clone)]
+pub struct SeriesTable {
+    /// Axis label, e.g. `A` or `D` or `N_P`.
+    pub x_label: String,
+    /// Column headers (x values).
+    pub x_values: Vec<String>,
+    /// `(series name, values)`; a `None` cell renders as `-`.
+    pub series: Vec<(String, Vec<Option<f64>>)>,
+    /// Cell formatting precision.
+    pub precision: usize,
+}
+
+impl SeriesTable {
+    /// Create an empty table for the given x axis.
+    pub fn new(x_label: impl Into<String>, x_values: Vec<String>) -> Self {
+        SeriesTable { x_label: x_label.into(), x_values, series: Vec::new(), precision: 3 }
+    }
+
+    /// Append a series; pads/truncates to the axis length.
+    pub fn push_series(&mut self, name: impl Into<String>, mut values: Vec<Option<f64>>) {
+        values.resize(self.x_values.len(), None);
+        self.series.push((name.into(), values));
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut headers = vec![self.x_label.clone()];
+        headers.extend(self.x_values.iter().cloned());
+        let mut rows: Vec<Vec<String>> = vec![headers];
+        for (name, values) in &self.series {
+            let mut row = vec![name.clone()];
+            for v in values {
+                row.push(match v {
+                    Some(x) => format!("{x:.prec$}", prec = self.precision),
+                    None => "-".to_string(),
+                });
+            }
+            rows.push(row);
+        }
+        let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (ri, row) in rows.iter().enumerate() {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    out.push_str(&format!("{cell:<w$}", w = widths[i]));
+                } else {
+                    out.push_str(&format!("{cell:>w$}", w = widths[i]));
+                }
+            }
+            out.push('\n');
+            if ri == 0 {
+                out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Print a section header for harness output.
+pub fn section(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = SeriesTable::new("A", vec!["4".into(), "7".into(), "11".into()]);
+        t.push_series("ARP-MINE", vec![Some(1.0), Some(2.5), Some(10.125)]);
+        t.push_series("NAIVE", vec![Some(100.0), None]);
+        let s = t.render();
+        assert!(s.contains("ARP-MINE"));
+        assert!(s.contains("10.125"));
+        assert!(s.contains('-'));
+        // All rows have the header's column count.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    fn section_header() {
+        assert!(section("Figure 3a").contains("Figure 3a"));
+    }
+}

@@ -1,0 +1,195 @@
+//! The `cape` subcommands.
+
+use crate::args::Args;
+use crate::io::{load_csv, parse_schema, parse_tuple};
+use cape_core::explain::{render_table, BaselineExplainer, ExplainConfig, TopKExplainer};
+use cape_core::mining::{ArpMiner, Miner};
+use cape_core::prelude::OptimizedExplainer;
+use cape_core::report::narrate_all;
+use cape_core::{persist, Direction, MiningConfig, Thresholds, UserQuestion};
+use cape_data::sql;
+use cape_data::Relation;
+use std::fs::File;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+cape — explaining aggregate query answers with pattern-based counterbalances
+
+USAGE:
+  cape demo
+      Run the built-in DBLP walk-through end to end.
+
+  cape mine --csv FILE --schema SPEC [--psi N] [--theta F] [--delta N]
+            [--lambda F] [--support N] [--fd] [--exclude COLS] --out FILE
+      Mine aggregate regression patterns and persist them.
+
+  cape patterns --csv FILE --schema SPEC --patterns FILE
+      List the patterns in a persisted store.
+
+  cape explain --csv FILE --schema SPEC --patterns FILE --sql QUERY
+               --tuple VALUES --dir high|low [--k N] [--narrate] [--baseline]
+      Explain why a query-result tuple is surprisingly high or low.
+
+  cape query --csv FILE --schema SPEC --sql QUERY
+      Run a SQL query against a CSV file.
+
+  SPEC is name:type[,name:type...] with types int, float, str.
+  VALUES are comma-separated group-by values, e.g. 'AX,SIGKDD,2007'.
+";
+
+fn load(args: &Args) -> Result<Relation, String> {
+    let schema = parse_schema(args.require("schema")?)?;
+    load_csv(args.require("csv")?, schema)
+}
+
+fn mining_config(args: &Args, rel: &Relation) -> Result<MiningConfig, String> {
+    let mut cfg = MiningConfig {
+        thresholds: Thresholds::new(
+            args.get_parse("theta", 0.15)?,
+            args.get_parse("delta", 4usize)?,
+            args.get_parse("lambda", 0.3)?,
+            args.get_parse("support", 3usize)?,
+        ),
+        psi: args.get_parse("psi", 3usize)?,
+        fd_pruning: args.flag("fd"),
+        ..MiningConfig::default()
+    };
+    if let Some(excluded) = args.get("exclude") {
+        for name in excluded.split(',') {
+            let id = rel
+                .schema()
+                .attr_id(name.trim())
+                .map_err(|_| format!("--exclude: unknown column `{name}`"))?;
+            cfg.exclude.push(id);
+        }
+    }
+    Ok(cfg)
+}
+
+/// `cape mine`.
+pub fn mine(args: &Args) -> Result<(), String> {
+    let rel = load(args)?;
+    let cfg = mining_config(args, &rel)?;
+    eprintln!("mining {} rows (psi={}, thresholds={:?}) ...", rel.num_rows(), cfg.psi, cfg.thresholds);
+    let out = ArpMiner.mine(&rel, &cfg).map_err(|e| e.to_string())?;
+    eprintln!(
+        "found {} patterns ({} local) in {:?}; {} candidates, {} skipped by FDs",
+        out.store.len(),
+        out.store.num_local_patterns(),
+        out.stats.total_time,
+        out.stats.candidates_considered,
+        out.stats.skipped_by_fd,
+    );
+    let path = args.require("out")?;
+    let mut file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    persist::write_store(&mut file, &out.store).map_err(|e| e.to_string())?;
+    println!("wrote {} patterns to {path}", out.store.len());
+    Ok(())
+}
+
+/// `cape patterns`.
+pub fn patterns(args: &Args) -> Result<(), String> {
+    let rel = load(args)?;
+    let store = read_patterns(args, &rel)?;
+    println!("{}", store.describe(rel.schema()));
+    Ok(())
+}
+
+fn read_patterns(args: &Args, rel: &Relation) -> Result<cape_core::PatternStore, String> {
+    let path = args.require("patterns")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    persist::read_store(file, rel).map_err(|e| e.to_string())
+}
+
+/// `cape explain`.
+pub fn explain(args: &Args) -> Result<(), String> {
+    let rel = load(args)?;
+    let store = read_patterns(args, &rel)?;
+    let sql_text = args.require("sql")?;
+    let dir = match args.require("dir")? {
+        "high" => Direction::High,
+        "low" => Direction::Low,
+        other => return Err(format!("--dir must be high or low, got `{other}`")),
+    };
+
+    // Resolve group attrs from the query so the tuple can be typed.
+    let stmt = sql::parse(sql_text).map_err(|e| e.to_string())?;
+    let group_attrs: Result<Vec<usize>, String> = stmt
+        .group_by
+        .iter()
+        .map(|n| rel.schema().attr_id(n).map_err(|e| e.to_string()))
+        .collect();
+    let tuple = parse_tuple(args.require("tuple")?, rel.schema(), &group_attrs?)?;
+
+    let uq = UserQuestion::from_sql(&rel, sql_text, tuple, dir).map_err(|e| e.to_string())?;
+    println!("question: {}\n", uq.display(rel.schema()));
+
+    let k = args.get_parse("k", 10usize)?;
+    let cfg = ExplainConfig::default_for(&rel, k);
+    let (expls, stats) = OptimizedExplainer.explain(&store, &uq, &cfg);
+    println!(
+        "top-{} explanations ({} relevant patterns, {} tuples checked, {:?}):",
+        expls.len(),
+        stats.patterns_relevant,
+        stats.tuples_checked,
+        stats.time
+    );
+    println!("{}", render_table(&expls, rel.schema()));
+    if args.flag("narrate") {
+        println!("{}", narrate_all(&expls, &store, &uq, rel.schema()));
+    }
+    if args.flag("baseline") {
+        let (base, _) = BaselineExplainer.explain(&rel, &uq, &cfg).map_err(|e| e.to_string())?;
+        println!("baseline (no patterns):\n{}", render_table(&base, rel.schema()));
+    }
+    Ok(())
+}
+
+/// `cape query`.
+pub fn query(args: &Args) -> Result<(), String> {
+    let rel = load(args)?;
+    let stmt = sql::parse(args.require("sql")?).map_err(|e| e.to_string())?;
+    let out = sql::execute(&stmt, &rel).map_err(|e| e.to_string())?;
+    println!("{}", out.to_ascii(50));
+    println!("({} rows)", out.num_rows());
+    Ok(())
+}
+
+/// `cape demo` — generate DBLP data, mine, explain the paper's φ₀.
+pub fn demo(_args: &Args) -> Result<(), String> {
+    use cape_data::Value;
+    use cape_datagen::{dblp, DblpConfig};
+
+    println!("generating synthetic DBLP data (8,000 rows) ...");
+    let rel = dblp::generate(&DblpConfig::with_rows(8_000));
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.15, 4, 0.3, 3),
+        psi: 3,
+        exclude: vec![dblp::attrs::PUBID],
+        ..MiningConfig::default()
+    };
+    println!("mining patterns ...");
+    let out = ArpMiner.mine(&rel, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "found {} patterns ({} local) in {:?}\n",
+        out.store.len(),
+        out.store.num_local_patterns(),
+        out.stats.total_time
+    );
+    println!("patterns:\n{}\n", out.store.describe(rel.schema()));
+
+    let uq = UserQuestion::from_sql(
+        &rel,
+        "SELECT author, venue, year, count(*) AS pubcnt FROM pub GROUP BY author, venue, year",
+        vec![Value::str(dblp::CASE_STUDY_AUTHOR), Value::str("SIGKDD"), Value::Int(2007)],
+        Direction::Low,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("question: {}\n", uq.display(rel.schema()));
+
+    let ecfg = ExplainConfig::default_for(&rel, 10);
+    let (expls, _) = OptimizedExplainer.explain(&out.store, &uq, &ecfg);
+    println!("{}", render_table(&expls, rel.schema()));
+    println!("{}", narrate_all(&expls[..expls.len().min(3)], &out.store, &uq, rel.schema()));
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Schema/tuple parsing and CSV loading for the CLI.
+
+use cape_data::{csv, Relation, Schema, Value, ValueType};
+use std::fs::File;
+
+/// Parse a schema spec like `author:str,pubid:str,year:int,venue:str`.
+pub fn parse_schema(spec: &str) -> Result<Schema, String> {
+    let mut cols = Vec::new();
+    for part in spec.split(',') {
+        let (name, ty) = part
+            .split_once(':')
+            .ok_or_else(|| format!("schema entry `{part}` must be name:type"))?;
+        let ty = match ty.trim().to_ascii_lowercase().as_str() {
+            "int" | "i64" => ValueType::Int,
+            "float" | "f64" => ValueType::Float,
+            "str" | "string" | "text" => ValueType::Str,
+            other => return Err(format!("unknown type `{other}` (use int/float/str)")),
+        };
+        cols.push((name.trim().to_string(), ty));
+    }
+    Schema::new(cols).map_err(|e| e.to_string())
+}
+
+/// Load a relation from a CSV file with the given schema.
+pub fn load_csv(path: &str, schema: Schema) -> Result<Relation, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    csv::read_csv(file, schema).map_err(|e| e.to_string())
+}
+
+/// Parse comma-separated tuple values against the types of the given
+/// attributes, e.g. `AX,SIGKDD,2007`.
+pub fn parse_tuple(
+    spec: &str,
+    schema: &Schema,
+    attrs: &[usize],
+) -> Result<Vec<Value>, String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() != attrs.len() {
+        return Err(format!(
+            "tuple has {} values but the query groups on {} attributes",
+            parts.len(),
+            attrs.len()
+        ));
+    }
+    parts
+        .iter()
+        .zip(attrs)
+        .map(|(raw, &a)| {
+            let ty = schema.attr(a).map_err(|e| e.to_string())?.value_type();
+            let raw = raw.trim();
+            match ty {
+                ValueType::Int => raw
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| format!("`{raw}` is not an int")),
+                ValueType::Float => raw
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| format!("`{raw}` is not a float")),
+                ValueType::Str => Ok(Value::str(raw)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_spec() {
+        let s = parse_schema("author:str, year:int, score:float").unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr(1).unwrap().value_type(), ValueType::Int);
+        assert!(parse_schema("noname").is_err());
+        assert!(parse_schema("a:bogus").is_err());
+        assert!(parse_schema("a:int,a:int").is_err());
+    }
+
+    #[test]
+    fn tuple_spec() {
+        let s = parse_schema("author:str,year:int").unwrap();
+        let t = parse_tuple("AX, 2007", &s, &[0, 1]).unwrap();
+        assert_eq!(t, vec![Value::str("AX"), Value::Int(2007)]);
+        assert!(parse_tuple("AX", &s, &[0, 1]).is_err());
+        assert!(parse_tuple("AX,notanint", &s, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn missing_csv_file() {
+        let s = parse_schema("a:int").unwrap();
+        assert!(load_csv("/no/such/file.csv", s).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! `cape` — command-line interface to the CAPE reproduction.
+//!
+//! ```text
+//! cape demo                                # built-in DBLP walk-through
+//! cape mine    --csv pub.csv --schema author:str,pubid:str,year:int,venue:str \
+//!              --psi 3 --theta 0.15 --delta 4 --lambda 0.3 --support 3 \
+//!              [--fd] [--exclude pubid] --out patterns.cape
+//! cape patterns --csv pub.csv --schema ... --patterns patterns.cape
+//! cape explain --csv pub.csv --schema ... --patterns patterns.cape \
+//!              --sql "SELECT author, venue, year, count(*) FROM pub GROUP BY author, venue, year" \
+//!              --tuple "AX,SIGKDD,2007" --dir low [--k 10] [--narrate] [--baseline]
+//! cape query   --csv pub.csv --schema ... --sql "SELECT ..."
+//! ```
+
+mod args;
+mod commands;
+mod io;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_deref() {
+        Some("demo") => commands::demo(&args),
+        Some("mine") => commands::mine(&args),
+        Some("patterns") => commands::patterns(&args),
+        Some("explain") => commands::explain(&args),
+        Some("query") => commands::query(&args),
+        Some("help") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `cape help`)")),
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end tests of the `cape` binary: mine → persist → explain over
+//! a real temporary CSV file, plus usage/error behavior.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cape() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cape"))
+}
+
+fn run(args: &[&str]) -> Output {
+    cape().args(args).output().expect("binary runs")
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cape-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A tiny publications CSV with a planted dip/counterbalance.
+fn write_csv(dir: &PathBuf) -> String {
+    let path = dir.join("pub.csv");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "author,year,venue").unwrap();
+    for a in 0..5 {
+        for y in 2000..2010 {
+            for v in ["KDD", "ICDE"] {
+                let n = match (a, y, v) {
+                    (0, 2005, "KDD") => 1,
+                    (0, 2005, "ICDE") => 5,
+                    _ => 3,
+                };
+                for _ in 0..n {
+                    writeln!(f, "a{a},{y},{v}").unwrap();
+                }
+            }
+        }
+    }
+    path.to_string_lossy().into_owned()
+}
+
+const SCHEMA: &str = "author:str,year:int,venue:str";
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cape mine"));
+    assert!(text.contains("cape explain"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = run(&["bogus"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_options_reported() {
+    let out = run(&["mine"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--schema"));
+}
+
+#[test]
+fn full_workflow_mine_patterns_explain_query() {
+    let dir = temp_dir();
+    let csv = write_csv(&dir);
+    let patterns = dir.join("patterns.cape").to_string_lossy().into_owned();
+
+    // mine
+    let out = run(&[
+        "mine", "--csv", &csv, "--schema", SCHEMA, "--theta", "0.1", "--delta", "3",
+        "--lambda", "0.3", "--support", "2", "--psi", "3", "--out", &patterns,
+    ]);
+    assert!(out.status.success(), "mine failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
+
+    // patterns listing
+    let out = run(&["patterns", "--csv", &csv, "--schema", SCHEMA, "--patterns", &patterns]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("confidence"));
+
+    // explain
+    let out = run(&[
+        "explain", "--csv", &csv, "--schema", SCHEMA, "--patterns", &patterns, "--sql",
+        "SELECT author, year, venue, count(*) FROM pub GROUP BY author, year, venue",
+        "--tuple", "a0,2005,KDD", "--dir", "low", "--k", "5", "--narrate",
+    ]);
+    assert!(out.status.success(), "explain failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ICDE"), "counterbalance missing:\n{text}");
+    assert!(text.contains("Even though"), "narration missing");
+
+    // query
+    let out = run(&[
+        "query", "--csv", &csv, "--schema", SCHEMA, "--sql",
+        "SELECT venue, count(*) AS n FROM pub GROUP BY venue ORDER BY n DESC",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ICDE") && text.contains("(2 rows)"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explain_rejects_bad_direction_and_tuple() {
+    let dir = temp_dir();
+    let csv = write_csv(&dir);
+    let patterns = dir.join("p2.cape").to_string_lossy().into_owned();
+    let out = run(&[
+        "mine", "--csv", &csv, "--schema", SCHEMA, "--theta", "0.1", "--delta", "3",
+        "--lambda", "0.3", "--support", "2", "--psi", "2", "--out", &patterns,
+    ]);
+    assert!(out.status.success());
+
+    let out = run(&[
+        "explain", "--csv", &csv, "--schema", SCHEMA, "--patterns", &patterns, "--sql",
+        "SELECT author, count(*) FROM pub GROUP BY author", "--tuple", "a0", "--dir",
+        "sideways",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("high or low"));
+
+    let out = run(&[
+        "explain", "--csv", &csv, "--schema", SCHEMA, "--patterns", &patterns, "--sql",
+        "SELECT author, year, count(*) FROM pub GROUP BY author, year", "--tuple",
+        "a0", "--dir", "low",
+    ]);
+    assert!(!out.status.success(), "tuple arity mismatch accepted");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_reports_sql_errors() {
+    let dir = temp_dir();
+    let csv = write_csv(&dir);
+    let out = run(&["query", "--csv", &csv, "--schema", SCHEMA, "--sql", "SELECT bogus FROM t"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bogus"));
+    std::fs::remove_dir_all(&dir).ok();
+}

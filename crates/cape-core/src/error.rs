@@ -1,0 +1,77 @@
+//! Error type for the CAPE core.
+
+use cape_data::DataError;
+use cape_regress::RegressError;
+use std::fmt;
+
+/// Errors produced by mining and explanation generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CapeError {
+    /// Propagated relational-engine error.
+    Data(DataError),
+    /// Propagated regression error.
+    Regress(RegressError),
+    /// The user question is inconsistent with the relation or pattern set.
+    InvalidQuestion(String),
+    /// Invalid configuration (e.g. ψ < 2).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapeError::Data(e) => write!(f, "data error: {e}"),
+            CapeError::Regress(e) => write!(f, "regression error: {e}"),
+            CapeError::InvalidQuestion(m) => write!(f, "invalid user question: {m}"),
+            CapeError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CapeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CapeError::Data(e) => Some(e),
+            CapeError::Regress(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for CapeError {
+    fn from(e: DataError) -> Self {
+        CapeError::Data(e)
+    }
+}
+
+impl From<RegressError> for CapeError {
+    fn from(e: RegressError) -> Self {
+        CapeError::Regress(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CapeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CapeError = DataError::EmptyInput("x").into();
+        assert!(e.to_string().contains("data error"));
+        let e: CapeError = RegressError::EmptyTrainingSet.into();
+        assert!(e.to_string().contains("regression error"));
+        assert!(CapeError::InvalidQuestion("no group".into()).to_string().contains("no group"));
+        assert!(CapeError::InvalidConfig("psi".into()).to_string().contains("psi"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: CapeError = DataError::EmptyInput("x").into();
+        assert!(e.source().is_some());
+        assert!(CapeError::InvalidQuestion("q".into()).source().is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! The baseline explainer of Appendix A.2: counterbalances are sought in
+//! the *query result itself*, scored by deviation from the result's
+//! average divided by distance — no patterns, no drill-down.
+//!
+//! The paper uses this to show what pattern-awareness buys: the baseline
+//! prefers tuples whose absolute value is high/low even when that value is
+//! entirely expected (e.g. venues an author rarely publishes in).
+
+use crate::explain::candidate::Explanation;
+use crate::explain::score::SCORE_EPSILON;
+use crate::explain::topk::TopK;
+use crate::explain::ExplainConfig;
+use crate::question::UserQuestion;
+use cape_data::ops::aggregate;
+use cape_data::{AggSpec, Relation, Result};
+use std::time::Instant;
+
+/// Sentinel pattern index for baseline explanations (no pattern involved).
+pub const NO_PATTERN: usize = usize::MAX;
+
+/// The non-pattern baseline explainer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineExplainer;
+
+/// Stats for the baseline run.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineStats {
+    /// Wall-clock time.
+    pub time: std::time::Duration,
+    /// Result tuples examined.
+    pub tuples_checked: usize,
+}
+
+impl BaselineExplainer {
+    /// Generate top-k baseline explanations for `uq` by evaluating the
+    /// question's query on `rel` and ranking counterbalancing result
+    /// tuples by `(deviation from result average) / distance`.
+    pub fn explain(
+        &self,
+        rel: &Relation,
+        uq: &UserQuestion,
+        cfg: &ExplainConfig,
+    ) -> Result<(Vec<Explanation>, BaselineStats)> {
+        let t0 = Instant::now();
+        let mut stats = BaselineStats::default();
+
+        let spec = AggSpec { func: uq.agg, attr: uq.agg_attr };
+        let result = aggregate(rel, &uq.group_attrs, &[spec])?.relation;
+        let agg_col = uq.group_attrs.len();
+
+        // Average aggregate value over the whole query result.
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for i in 0..result.num_rows() {
+            if let Some(v) = result.value(i, agg_col).as_f64() {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return Ok((Vec::new(), stats));
+        }
+        let avg = sum / n as f64;
+
+        let mut topk = TopK::new(cfg.k);
+        let key_cols: Vec<usize> = (0..uq.group_attrs.len()).collect();
+        for i in 0..result.num_rows() {
+            stats.tuples_checked += 1;
+            let Some(actual) = result.value(i, agg_col).as_f64() else { continue };
+            let tuple = result.row_project(i, &key_cols);
+            if tuple == uq.tuple {
+                continue; // the questioned tuple itself
+            }
+            let deviation = actual - avg;
+            if !uq.dir.counterbalances(deviation) {
+                continue;
+            }
+            let distance = cfg.distance.tuple_distance(
+                &uq.group_attrs,
+                &uq.tuple,
+                &uq.group_attrs,
+                &tuple,
+            );
+            let score = deviation * uq.dir.is_low_sign() / (distance + SCORE_EPSILON);
+            topk.offer(Explanation {
+                pattern_idx: NO_PATTERN,
+                refinement_idx: NO_PATTERN,
+                attrs: uq.group_attrs.clone(),
+                tuple,
+                agg_value: actual,
+                predicted: avg,
+                deviation,
+                distance,
+                norm: 1.0,
+                score,
+            });
+        }
+
+        stats.time = t0.elapsed();
+        Ok((topk.into_sorted_vec(), stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explain::naive::tests::{planted, question};
+
+    #[test]
+    fn baseline_prefers_extreme_absolute_values() {
+        let rel = planted();
+        let cfg = ExplainConfig::default_for(&rel, 5);
+        let (expls, stats) = BaselineExplainer.explain(&rel, &question(), &cfg).unwrap();
+        assert!(!expls.is_empty());
+        assert!(stats.tuples_checked > 0);
+        // All explanations counterbalance (above-average counts for a low
+        // question) and carry the sentinel pattern index.
+        for e in &expls {
+            assert!(e.deviation > 0.0);
+            assert_eq!(e.pattern_idx, NO_PATTERN);
+        }
+        // The 4-publication (a0, ICDE, 2003) spike is the most extreme
+        // value closest to the question.
+        assert!(expls[0].tuple.contains(&cape_data::Value::Int(2003)));
+    }
+
+    #[test]
+    fn baseline_never_returns_question_tuple() {
+        let rel = planted();
+        let cfg = ExplainConfig::default_for(&rel, 100);
+        let uq = question();
+        let (expls, _) = BaselineExplainer.explain(&rel, &uq, &cfg).unwrap();
+        assert!(expls.iter().all(|e| e.tuple != uq.tuple));
+    }
+
+    #[test]
+    fn baseline_on_empty_relation() {
+        let rel = planted();
+        let empty = cape_data::Relation::new(rel.schema().clone());
+        let cfg = ExplainConfig::default_for(&rel, 5);
+        let (expls, _) = BaselineExplainer.explain(&empty, &question(), &cfg).unwrap();
+        assert!(expls.is_empty());
+    }
+}

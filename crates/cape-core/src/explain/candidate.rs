@@ -1,0 +1,119 @@
+//! Candidate explanations (Definition 7) and their rendering.
+
+use cape_data::{AttrId, Schema, Value};
+
+/// A scored candidate explanation `E = (P, P', t')`: the relevant pattern,
+/// its refinement, and the counterbalance tuple with its score breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Index of the relevant pattern `P` in the [`crate::PatternStore`].
+    pub pattern_idx: usize,
+    /// Index of the refinement `P'` in the store (may equal `pattern_idx`).
+    pub refinement_idx: usize,
+    /// Attributes of the counterbalance tuple `t'` (`F'` then `V`).
+    pub attrs: Vec<AttrId>,
+    /// Values of `t'`, aligned with `attrs`.
+    pub tuple: Vec<Value>,
+    /// Actual aggregate value `t'[agg(A)]`.
+    pub agg_value: f64,
+    /// Predicted value `g_{P', t'[F']}(t'[V])`.
+    pub predicted: f64,
+    /// Deviation `agg_value − predicted` (Definition 8).
+    pub deviation: f64,
+    /// Distance `d(t[G], t'[F' ∪ V])` (Definition 9).
+    pub distance: f64,
+    /// Normalization factor NORM (Definition 10).
+    pub norm: f64,
+    /// Final score (Definition 10) — larger is better.
+    pub score: f64,
+}
+
+impl Explanation {
+    /// Deduplication key: the refinement pattern plus the tuple. The paper
+    /// keeps only the best-scored `(P, P', t')` per `(P', t')`.
+    pub fn key(&self) -> (usize, Vec<Value>) {
+        (self.refinement_idx, self.tuple.clone())
+    }
+
+    /// Render as `(AX, ICDE, 2007, 6.0) [score 13.78]`-style text.
+    pub fn display(&self, schema: &Schema) -> String {
+        let vals: Vec<String> = self
+            .attrs
+            .iter()
+            .zip(&self.tuple)
+            .map(|(&a, v)| {
+                let name = schema
+                    .attr(a)
+                    .map(|at| at.name().to_string())
+                    .unwrap_or_else(|_| format!("#{a}"));
+                format!("{name}={v}")
+            })
+            .collect();
+        format!(
+            "({}, agg={}) predicted {:.2}, dev {:+.2}, dist {:.3} → score {:.2}",
+            vals.join(", "),
+            self.agg_value,
+            self.predicted,
+            self.deviation,
+            self.distance,
+            self.score
+        )
+    }
+}
+
+/// Render a ranked list of explanations as an ASCII table (like the
+/// paper's Tables 3–7).
+pub fn render_table(expls: &[Explanation], schema: &Schema) -> String {
+    let mut out = String::new();
+    out.push_str("rank | explanation\n");
+    out.push_str("-----+------------\n");
+    for (i, e) in expls.iter().enumerate() {
+        out.push_str(&format!("{:>4} | {}\n", i + 1, e.display(schema)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cape_data::{Schema, ValueType};
+
+    fn expl() -> Explanation {
+        Explanation {
+            pattern_idx: 0,
+            refinement_idx: 1,
+            attrs: vec![0, 2],
+            tuple: vec![Value::str("AX"), Value::Int(2007)],
+            agg_value: 6.0,
+            predicted: 4.2,
+            deviation: 1.8,
+            distance: 0.3,
+            norm: 1.0,
+            score: 6.0,
+        }
+    }
+
+    #[test]
+    fn key_identifies_refinement_and_tuple() {
+        let e = expl();
+        assert_eq!(e.key(), (1, vec![Value::str("AX"), Value::Int(2007)]));
+    }
+
+    #[test]
+    fn display_and_table() {
+        let schema = Schema::new([
+            ("author", ValueType::Str),
+            ("venue", ValueType::Str),
+            ("year", ValueType::Int),
+        ])
+        .unwrap();
+        let e = expl();
+        let s = e.display(&schema);
+        assert!(s.contains("author=AX"));
+        assert!(s.contains("year=2007"));
+        assert!(s.contains("score 6.00"));
+        let t = render_table(&[e], &schema);
+        assert!(t.contains("rank"));
+        assert!(t.contains("   1 |"));
+    }
+}

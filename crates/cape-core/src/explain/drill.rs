@@ -1,0 +1,101 @@
+//! Shared drill-down: enumerate counterbalance tuples for one
+//! `(relevant pattern, refinement)` pair and offer them to the top-k heap.
+
+use crate::explain::candidate::Explanation;
+use crate::explain::score::score_value;
+use crate::explain::topk::TopK;
+use crate::explain::{ExplainConfig, ExplainStats};
+use crate::question::UserQuestion;
+use crate::store::PatternInstance;
+use cape_data::{AttrId, Value};
+
+/// Iterate all tuples `t' ∈ γ_{F'∪V, agg(A)}(R)` for refinement `p2`,
+/// apply the conditions of Definition 7, score survivors against the
+/// relevant pattern's NORM, and push them into `topk`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drill_down(
+    p_idx: usize,
+    p: &PatternInstance,
+    f_vals: &[Value],
+    norm: f64,
+    p2_idx: usize,
+    p2: &PatternInstance,
+    uq: &UserQuestion,
+    cfg: &ExplainConfig,
+    topk: &mut TopK,
+    stats: &mut ExplainStats,
+) {
+    let rel = &p2.data.relation;
+    let Some(f_cols) = p2.data.cols_of_attrs(p.arp.f()) else {
+        return; // refinement's data must contain P's partition attributes
+    };
+    // Attributes of t' in output order: F' then V.
+    let mut t_attrs: Vec<AttrId> = p2.arp.f().to_vec();
+    t_attrs.extend_from_slice(p2.arp.v());
+    let Some(t_cols) = p2.data.cols_of_attrs(&t_attrs) else {
+        return;
+    };
+    let fprime_cols = p2.data.cols_of_attrs(p2.arp.f()).expect("F' within its own data");
+
+    // Same-schema check data: when G_{P'} equals the question's group-by
+    // set, t' = t must be excluded (condition 4 of Definition 7).
+    let mut uq_sorted: Vec<AttrId> = uq.group_attrs.clone();
+    uq_sorted.sort_unstable();
+    let same_schema = p2.arp.g_attrs() == uq_sorted;
+    let uq_vals_for_t: Option<Vec<Value>> = if same_schema {
+        Some(
+            t_attrs
+                .iter()
+                .map(|&a| uq.value_of(a).expect("covered attr").clone())
+                .collect(),
+        )
+    } else {
+        None
+    };
+
+    for i in 0..rel.num_rows() {
+        stats.tuples_checked += 1;
+
+        // (4a) t'[F] = t[F].
+        if f_cols.iter().zip(f_vals).any(|(&c, w)| rel.value(i, c) != w) {
+            continue;
+        }
+        let t_vals = rel.row_project(i, &t_cols);
+        // (4b) t' ≠ t when over the same schema.
+        if let Some(uq_vals) = &uq_vals_for_t {
+            if &t_vals == uq_vals {
+                continue;
+            }
+        }
+        // (3) t'[F'] must hold locally under P'.
+        let fprime_key = rel.row_project(i, &fprime_cols);
+        let Some(local) = p2.local(&fprime_key) else {
+            continue;
+        };
+        // (5) Deviation in the opposite direction.
+        let Some(x) = p2.predictor_vec(i) else { continue };
+        let Some(actual) = p2.data.agg_value(i, p2.agg_col) else { continue };
+        let predicted = local.fitted.model.predict(&x);
+        let deviation = actual - predicted;
+        if !uq.dir.counterbalances(deviation) {
+            continue;
+        }
+        stats.candidates_generated += 1;
+
+        let distance =
+            cfg.distance.tuple_distance(&uq.group_attrs, &uq.tuple, &t_attrs, &t_vals);
+        let score = score_value(deviation, uq.dir.is_low_sign(), distance, norm);
+        topk.offer(Explanation {
+            pattern_idx: p_idx,
+            refinement_idx: p2_idx,
+            attrs: t_attrs.clone(),
+            tuple: t_vals,
+            agg_value: actual,
+            predicted,
+            deviation,
+            distance,
+            norm,
+            score,
+        });
+    }
+}

@@ -1,0 +1,213 @@
+//! Generalization explanations — the conclusion's proposed extension of
+//! CAPE ("combine explanations through counterbalance with explanations
+//! through generalization/specialization").
+//!
+//! A **generalization finding** rolls the user question up to the coarser
+//! granularity of a relevant pattern `P` (with `F ∪ V ⊂ G`) and reports
+//! whether the question's group is *also* an outlier there. If AX's
+//! SIGKDD-2007 count is low and AX's *total* 2007 output is also below
+//! prediction, the venue-level dip generalizes (AX simply wrote less that
+//! year); if the total is normal or high, the dip is venue-specific and
+//! counterbalances are the better explanation.
+
+use crate::explain::score::relevant_fragment;
+use crate::question::UserQuestion;
+use crate::store::PatternStore;
+use cape_data::{AttrId, Value};
+
+/// The question viewed at one relevant pattern's granularity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneralizationFinding {
+    /// Index of the relevant pattern in the store.
+    pub pattern_idx: usize,
+    /// Attributes of the rolled-up tuple (`F` then `V` of the pattern).
+    pub attrs: Vec<AttrId>,
+    /// Values of the rolled-up tuple.
+    pub tuple: Vec<Value>,
+    /// Actual aggregate value at this granularity.
+    pub actual: f64,
+    /// Model prediction at this granularity.
+    pub predicted: f64,
+    /// `actual − predicted`.
+    pub deviation: f64,
+    /// Whether the deviation points the *same* way as the question
+    /// (true ⇒ the outlier generalizes to this coarser level).
+    pub generalizes: bool,
+}
+
+/// Roll the question up through every relevant pattern whose `F ∪ V` is a
+/// *strict* subset of the question's group-by attributes.
+pub fn generalizations(store: &PatternStore, uq: &UserQuestion) -> Vec<GeneralizationFinding> {
+    let mut out = Vec::new();
+    for (idx, p) in store.iter() {
+        if p.arp.size() >= uq.group_attrs.len() {
+            continue; // not a strict roll-up
+        }
+        let Some(f_vals) = relevant_fragment(p, uq) else {
+            continue;
+        };
+        let Some(local) = p.local(&f_vals) else { continue };
+
+        // Locate the question's coordinates in the pattern's group data.
+        let g = p.arp.g_attrs();
+        let Some(wanted) = uq.values_of(&g) else { continue };
+        let Some(cols) = p.data.cols_of_attrs(&g) else { continue };
+        let rel = &p.data.relation;
+        let row = (0..rel.num_rows())
+            .find(|&i| cols.iter().zip(&wanted).all(|(&c, w)| rel.value(i, c) == w));
+        let Some(row) = row else { continue };
+
+        let Some(actual) = p.data.agg_value(row, p.agg_col) else { continue };
+        let Some(x) = p.predictor_vec(row) else { continue };
+        let predicted = local.fitted.model.predict(&x);
+        let deviation = actual - predicted;
+        // Same direction as the question: low question & negative dev, or
+        // high question & positive dev.
+        let generalizes = match uq.dir {
+            crate::question::Direction::Low => deviation < 0.0,
+            crate::question::Direction::High => deviation > 0.0,
+        };
+
+        let mut attrs: Vec<AttrId> = p.arp.f().to_vec();
+        attrs.extend_from_slice(p.arp.v());
+        let tuple: Vec<Value> =
+            attrs.iter().map(|&a| uq.value_of(a).expect("covered").clone()).collect();
+        out.push(GeneralizationFinding {
+            pattern_idx: idx,
+            attrs,
+            tuple,
+            actual,
+            predicted,
+            deviation,
+            generalizes,
+        });
+    }
+    // Deterministic order: most strongly generalizing first.
+    out.sort_by(|a, b| {
+        b.generalizes
+            .cmp(&a.generalizes)
+            .then_with(|| b.deviation.abs().total_cmp(&a.deviation.abs()))
+            .then_with(|| a.pattern_idx.cmp(&b.pattern_idx))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MiningConfig, Thresholds};
+    use crate::mining::{Miner, ShareGrpMiner};
+    use crate::question::Direction;
+    use cape_data::{AggFunc, Relation, Schema, ValueType};
+
+    /// Author a0's 2003 is low in *both* venues (the dip generalizes);
+    /// author a1's 2003 is low in KDD but high in ICDE (does not
+    /// generalize).
+    fn setup() -> (Relation, PatternStore) {
+        let schema = Schema::new([
+            ("author", ValueType::Str),
+            ("year", ValueType::Int),
+            ("venue", ValueType::Str),
+        ])
+        .unwrap();
+        let mut rel = Relation::new(schema);
+        for a in 0..4 {
+            for y in 2000..2008i64 {
+                for venue in ["KDD", "ICDE"] {
+                    let n = match (a, y, venue) {
+                        (0, 2003, _) => 1,          // generalizing dip
+                        (1, 2003, "KDD") => 1,      // venue-specific dip …
+                        (1, 2003, "ICDE") => 5,     // … counterbalanced
+                        _ => 3,
+                    };
+                    for _ in 0..n {
+                        rel.push_row(vec![
+                            Value::str(format!("a{a}")),
+                            Value::Int(y),
+                            Value::str(venue),
+                        ])
+                        .unwrap();
+                    }
+                }
+            }
+        }
+        let cfg = MiningConfig {
+            thresholds: Thresholds::new(0.1, 3, 0.3, 2),
+            psi: 2,
+            ..MiningConfig::default()
+        };
+        let store = ShareGrpMiner.mine(&rel, &cfg).unwrap().store;
+        (rel, store)
+    }
+
+    fn question(author: &str) -> UserQuestion {
+        UserQuestion::new(
+            vec![0, 1, 2],
+            AggFunc::Count,
+            None,
+            vec![Value::str(author), Value::Int(2003), Value::str("KDD")],
+            1.0,
+            Direction::Low,
+        )
+    }
+
+    #[test]
+    fn generalizing_dip_is_detected() {
+        let (_, store) = setup();
+        let findings = generalizations(&store, &question("a0"));
+        assert!(!findings.is_empty(), "no roll-up patterns found");
+        // a0's total 2003 output (2) is below the ~6/year prediction.
+        let author_year = findings
+            .iter()
+            .find(|f| f.attrs == vec![0, 1])
+            .expect("author/year roll-up exists");
+        assert!(author_year.generalizes, "{author_year:?}");
+        assert!(author_year.deviation < 0.0);
+        assert_eq!(author_year.tuple, vec![Value::str("a0"), Value::Int(2003)]);
+    }
+
+    #[test]
+    fn venue_specific_dip_does_not_generalize() {
+        let (_, store) = setup();
+        let findings = generalizations(&store, &question("a1"));
+        let author_year = findings
+            .iter()
+            .find(|f| f.attrs == vec![0, 1])
+            .expect("author/year roll-up exists");
+        // a1's total 2003 output is 1 + 5 = 6 = the usual level.
+        assert!(!author_year.generalizes, "{author_year:?}");
+        assert!(author_year.deviation.abs() < 1.0);
+    }
+
+    #[test]
+    fn strict_subset_required() {
+        let (_, store) = setup();
+        // A question grouped only on (author, year) admits no strict
+        // roll-up from ≥2-attribute patterns.
+        let narrow = UserQuestion::new(
+            vec![0, 1],
+            AggFunc::Count,
+            None,
+            vec![Value::str("a0"), Value::Int(2003)],
+            2.0,
+            Direction::Low,
+        );
+        for f in generalizations(&store, &narrow) {
+            assert!(f.attrs.len() < 2);
+        }
+    }
+
+    #[test]
+    fn ordering_puts_generalizing_first() {
+        let (_, store) = setup();
+        let findings = generalizations(&store, &question("a0"));
+        let mut seen_non_generalizing = false;
+        for f in &findings {
+            if !f.generalizes {
+                seen_non_generalizing = true;
+            } else {
+                assert!(!seen_non_generalizing, "generalizing after non-generalizing");
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Explanation generation (Section 3): relevant patterns, drill-down via
+//! refinements, scoring, and top-k selection — in a naive variant
+//! (Algorithm 1) and an optimized variant with upper-bound pruning
+//! (§3.5), plus the non-pattern baseline of Appendix A.2.
+
+pub mod baseline;
+pub mod candidate;
+pub mod distance;
+mod drill;
+pub mod generalize;
+pub mod naive;
+pub mod provenance;
+pub mod optimized;
+pub mod score;
+pub mod topk;
+
+pub use baseline::BaselineExplainer;
+pub use candidate::{render_table, Explanation};
+pub use distance::{AttrDistanceFn, DistanceModel};
+pub use generalize::{generalizations, GeneralizationFinding};
+pub use naive::NaiveExplainer;
+pub use provenance::{provenance_of, summarize as summarize_provenance, ProvenanceSummary};
+pub use optimized::OptimizedExplainer;
+pub use score::{norm_factor, relevant_fragment, score_value, SCORE_EPSILON};
+pub use topk::TopK;
+
+use crate::question::UserQuestion;
+use crate::store::PatternStore;
+use cape_data::Relation;
+use std::time::Duration;
+
+/// Configuration for explanation generation.
+#[derive(Debug, Clone)]
+pub struct ExplainConfig {
+    /// Number of explanations to return.
+    pub k: usize,
+    /// Tuple distance model (weights + per-attribute distances).
+    pub distance: DistanceModel,
+}
+
+impl ExplainConfig {
+    /// Default distances for `rel`, returning the top `k` explanations.
+    pub fn default_for(rel: &Relation, k: usize) -> Self {
+        ExplainConfig { k, distance: DistanceModel::default_for(rel) }
+    }
+}
+
+/// Instrumentation collected during one explanation run (Figure 6).
+#[derive(Debug, Clone, Default)]
+pub struct ExplainStats {
+    /// Wall-clock time of the run.
+    pub time: Duration,
+    /// Patterns relevant to the question.
+    pub patterns_relevant: usize,
+    /// `(P, P')` refinement pairs considered.
+    pub refinements_considered: usize,
+    /// Refinement pairs skipped by the upper score bound.
+    pub refinements_pruned: usize,
+    /// Candidate tuples `t'` examined.
+    pub tuples_checked: usize,
+    /// Candidates satisfying all conditions of Definition 7.
+    pub candidates_generated: usize,
+}
+
+/// A top-k explanation generator over a mined pattern store.
+pub trait TopKExplainer {
+    /// Name used in benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Generate the top-k explanations for `uq` from `store`.
+    fn explain(
+        &self,
+        store: &PatternStore,
+        uq: &UserQuestion,
+        cfg: &ExplainConfig,
+    ) -> (Vec<Explanation>, ExplainStats);
+}

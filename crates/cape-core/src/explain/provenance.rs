@@ -1,0 +1,114 @@
+//! Provenance view: the tuples the questioned answer was computed from.
+//!
+//! The paper's introduction contrasts CAPE with provenance-based
+//! explanation: the provenance of `(AX, SIGKDD, 2007, 1)` is the single
+//! SIGKDD paper, which cannot explain why the count is low. This module
+//! implements that provenance retrieval — both as a useful primitive and
+//! as the demonstration of its insufficiency (paper §1) — and is one leg
+//! of the conclusion's "unified system combining counterbalance,
+//! generalization and provenance".
+
+use crate::question::UserQuestion;
+use cape_data::ops::select;
+use cape_data::{Predicate, Relation};
+
+/// The provenance of a user question's tuple: all base rows with
+/// `t[G] = uq.tuple` (the why-provenance of a group-by aggregate answer).
+pub fn provenance_of(rel: &Relation, uq: &UserQuestion) -> Relation {
+    let pred = Predicate::key_match(&uq.group_attrs, &uq.tuple);
+    select(rel, &pred)
+}
+
+/// Summary statistics of the provenance (size and the aggregate's raw
+/// inputs), used by reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceSummary {
+    /// Number of contributing base rows.
+    pub rows: usize,
+    /// Aggregated attribute values of those rows (empty for `count(*)`).
+    pub inputs: Vec<f64>,
+}
+
+/// Summarize the provenance of a question.
+pub fn summarize(rel: &Relation, uq: &UserQuestion) -> ProvenanceSummary {
+    let prov = provenance_of(rel, uq);
+    let inputs = match uq.agg_attr {
+        Some(a) => (0..prov.num_rows())
+            .filter_map(|i| prov.value(i, a).as_f64())
+            .collect(),
+        None => Vec::new(),
+    };
+    ProvenanceSummary { rows: prov.num_rows(), inputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::question::Direction;
+    use cape_data::{AggFunc, Schema, Value, ValueType};
+
+    fn setup() -> (Relation, UserQuestion) {
+        let schema = Schema::new([
+            ("author", ValueType::Str),
+            ("venue", ValueType::Str),
+            ("cites", ValueType::Int),
+        ])
+        .unwrap();
+        let rel = Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("AX"), Value::str("KDD"), Value::Int(10)],
+                vec![Value::str("AX"), Value::str("KDD"), Value::Int(5)],
+                vec![Value::str("AX"), Value::str("ICDE"), Value::Int(7)],
+                vec![Value::str("AY"), Value::str("KDD"), Value::Int(3)],
+            ],
+        )
+        .unwrap();
+        let uq = UserQuestion::new(
+            vec![0, 1],
+            AggFunc::Count,
+            None,
+            vec![Value::str("AX"), Value::str("KDD")],
+            2.0,
+            Direction::Low,
+        );
+        (rel, uq)
+    }
+
+    #[test]
+    fn provenance_is_the_matching_rows() {
+        let (rel, uq) = setup();
+        let prov = provenance_of(&rel, &uq);
+        assert_eq!(prov.num_rows(), 2);
+        for i in 0..prov.num_rows() {
+            assert_eq!(prov.value(i, 0), &Value::str("AX"));
+            assert_eq!(prov.value(i, 1), &Value::str("KDD"));
+        }
+    }
+
+    #[test]
+    fn summary_for_count_has_no_inputs() {
+        let (rel, uq) = setup();
+        let s = summarize(&rel, &uq);
+        assert_eq!(s.rows, 2);
+        assert!(s.inputs.is_empty());
+    }
+
+    #[test]
+    fn summary_for_sum_collects_inputs() {
+        let (rel, mut uq) = setup();
+        uq.agg = AggFunc::Sum;
+        uq.agg_attr = Some(2);
+        uq.agg_value = 15.0;
+        let s = summarize(&rel, &uq);
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.inputs, vec![10.0, 5.0]);
+    }
+
+    #[test]
+    fn provenance_of_missing_tuple_is_empty() {
+        let (rel, mut uq) = setup();
+        uq.tuple[0] = Value::str("nobody");
+        assert!(provenance_of(&rel, &uq).is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Top-k collection with per-candidate deduplication.
+//!
+//! Algorithm 1 keeps a min-heap of the best k explanations. Additionally,
+//! when the same `(P', t')` arises from several relevant patterns `P`, only
+//! the highest-scored copy may survive (§3.3). We implement this with a
+//! lazy-deletion min-heap plus a best-score map.
+
+use crate::explain::candidate::Explanation;
+use cape_data::Value;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Total order wrapper for finite scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+type Key = (usize, Vec<Value>);
+
+/// A size-`k` collection of the best-scored explanations, deduplicated by
+/// `(refinement, tuple)`.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    /// Live explanations by key.
+    live: HashMap<Key, Explanation>,
+    /// Min-heap of (score, key); may contain stale entries whose score no
+    /// longer matches `live` (lazy deletion).
+    heap: BinaryHeap<Reverse<(OrdF64, usize, Vec<Value>)>>,
+}
+
+impl TopK {
+    /// Empty collection holding at most `k` explanations.
+    pub fn new(k: usize) -> Self {
+        TopK { k, live: HashMap::new(), heap: BinaryHeap::new() }
+    }
+
+    /// Number of live explanations (≤ k).
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no explanation has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// The current pruning threshold: the k-th best score once the
+    /// collection is full, `None` while it still has room. Candidates with
+    /// `score ≤ threshold` cannot enter.
+    pub fn threshold(&mut self) -> Option<f64> {
+        if self.live.len() < self.k {
+            return None;
+        }
+        self.drop_stale();
+        self.heap.peek().map(|Reverse((s, _, _))| s.0)
+    }
+
+    fn drop_stale(&mut self) {
+        while let Some(Reverse((s, r, t))) = self.heap.peek() {
+            let key = (*r, t.clone());
+            match self.live.get(&key) {
+                Some(e) if e.score == s.0 => break,
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+    }
+
+    /// Offer a candidate. Returns `true` if it was kept (possibly evicting
+    /// a weaker one or replacing a weaker duplicate).
+    pub fn offer(&mut self, expl: Explanation) -> bool {
+        if self.k == 0 || !expl.score.is_finite() {
+            return false;
+        }
+        let key = expl.key();
+        if let Some(existing) = self.live.get(&key) {
+            // Duplicate (P', t'): keep only the better-scored copy.
+            if existing.score >= expl.score {
+                return false;
+            }
+            self.heap.push(Reverse((OrdF64(expl.score), key.0, key.1.clone())));
+            self.live.insert(key, expl);
+            return true;
+        }
+        if self.live.len() < self.k {
+            self.heap.push(Reverse((OrdF64(expl.score), key.0, key.1.clone())));
+            self.live.insert(key, expl);
+            return true;
+        }
+        // Full: must beat the current minimum.
+        self.drop_stale();
+        let min = self.heap.peek().map(|Reverse((s, _, _))| s.0).unwrap_or(f64::NEG_INFINITY);
+        if expl.score <= min {
+            return false;
+        }
+        // Evict the minimum.
+        if let Some(Reverse((_, r, t))) = self.heap.pop() {
+            self.live.remove(&(r, t));
+        }
+        self.heap.push(Reverse((OrdF64(expl.score), key.0, key.1.clone())));
+        self.live.insert(key, expl);
+        true
+    }
+
+    /// Extract the explanations, best first. Ties break deterministically
+    /// on the dedup key.
+    pub fn into_sorted_vec(self) -> Vec<Explanation> {
+        let mut v: Vec<Explanation> = self.live.into_values().collect();
+        v.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.refinement_idx.cmp(&b.refinement_idx))
+                .then_with(|| a.tuple.cmp(&b.tuple))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expl(refinement: usize, tag: i64, score: f64) -> Explanation {
+        Explanation {
+            pattern_idx: 0,
+            refinement_idx: refinement,
+            attrs: vec![0],
+            tuple: vec![Value::Int(tag)],
+            agg_value: 0.0,
+            predicted: 0.0,
+            deviation: 0.0,
+            distance: 0.0,
+            norm: 1.0,
+            score,
+        }
+    }
+
+    #[test]
+    fn keeps_best_k() {
+        let mut tk = TopK::new(3);
+        for (i, s) in [5.0, 1.0, 9.0, 3.0, 7.0].iter().enumerate() {
+            tk.offer(expl(0, i as i64, *s));
+        }
+        let v = tk.into_sorted_vec();
+        let scores: Vec<f64> = v.iter().map(|e| e.score).collect();
+        assert_eq!(scores, vec![9.0, 7.0, 5.0]);
+    }
+
+    #[test]
+    fn threshold_appears_when_full() {
+        let mut tk = TopK::new(2);
+        assert_eq!(tk.threshold(), None);
+        tk.offer(expl(0, 1, 4.0));
+        assert_eq!(tk.threshold(), None);
+        tk.offer(expl(0, 2, 6.0));
+        assert_eq!(tk.threshold(), Some(4.0));
+        tk.offer(expl(0, 3, 5.0));
+        assert_eq!(tk.threshold(), Some(5.0));
+    }
+
+    #[test]
+    fn duplicates_keep_max_score() {
+        let mut tk = TopK::new(5);
+        assert!(tk.offer(expl(1, 7, 3.0)));
+        // Same (P', t') with lower score is rejected.
+        assert!(!tk.offer(expl(1, 7, 2.0)));
+        // Higher score replaces.
+        assert!(tk.offer(expl(1, 7, 8.0)));
+        let v = tk.into_sorted_vec();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].score, 8.0);
+    }
+
+    #[test]
+    fn stale_entries_do_not_corrupt_threshold() {
+        let mut tk = TopK::new(2);
+        tk.offer(expl(1, 7, 1.0));
+        tk.offer(expl(1, 8, 2.0));
+        // Upgrade the minimum — the old heap entry becomes stale.
+        tk.offer(expl(1, 7, 5.0));
+        assert_eq!(tk.threshold(), Some(2.0));
+        tk.offer(expl(1, 9, 3.0)); // evicts score-2.0 entry
+        let v = tk.into_sorted_vec();
+        let scores: Vec<f64> = v.iter().map(|e| e.score).collect();
+        assert_eq!(scores, vec![5.0, 3.0]);
+    }
+
+    #[test]
+    fn rejects_below_threshold_and_nonfinite() {
+        let mut tk = TopK::new(1);
+        tk.offer(expl(0, 1, 5.0));
+        assert!(!tk.offer(expl(0, 2, 4.0)));
+        assert!(!tk.offer(expl(0, 3, f64::NAN)));
+        assert!(!tk.offer(expl(0, 4, f64::INFINITY)));
+        assert_eq!(tk.len(), 1);
+    }
+
+    #[test]
+    fn zero_k() {
+        let mut tk = TopK::new(0);
+        assert!(!tk.offer(expl(0, 1, 5.0)));
+        assert!(tk.is_empty());
+        assert!(tk.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn deterministic_tiebreak() {
+        let mut tk = TopK::new(3);
+        tk.offer(expl(2, 1, 5.0));
+        tk.offer(expl(1, 1, 5.0));
+        tk.offer(expl(1, 0, 5.0));
+        let v = tk.into_sorted_vec();
+        assert_eq!(v[0].refinement_idx, 1);
+        assert_eq!(v[0].tuple, vec![Value::Int(0)]);
+        assert_eq!(v[2].refinement_idx, 2);
+    }
+}

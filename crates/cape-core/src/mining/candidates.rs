@@ -1,0 +1,142 @@
+//! Candidate enumeration: group-by sets `G`, `(F, V)` splits, and the
+//! validity rules tying model types to predictor types.
+
+use cape_data::{AttrId, Relation};
+use cape_regress::ModelType;
+
+/// A partition of a group-by set `G` into partition attributes `F` and
+/// predictor attributes `V` (both non-empty, disjoint, `F ∪ V = G`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Split {
+    /// Partition attributes, sorted by id.
+    pub f: Vec<AttrId>,
+    /// Predictor attributes, sorted by id.
+    pub v: Vec<AttrId>,
+}
+
+/// All subsets of `attrs` with `2 ≤ |G| ≤ psi`, in increasing size then
+/// lexicographic order. Increasing size matters: FD discovery needs the
+/// cardinality of `G − {A}` to be recorded before `G` is processed
+/// (Appendix D).
+pub fn group_sets(attrs: &[AttrId], psi: usize) -> Vec<Vec<AttrId>> {
+    let mut out = Vec::new();
+    fn combos(
+        attrs: &[AttrId],
+        start: usize,
+        left: usize,
+        cur: &mut Vec<AttrId>,
+        out: &mut Vec<Vec<AttrId>>,
+    ) {
+        if left == 0 {
+            out.push(cur.clone());
+            return;
+        }
+        if attrs.len().saturating_sub(start) < left {
+            return;
+        }
+        for i in start..=attrs.len() - left {
+            cur.push(attrs[i]);
+            combos(attrs, i + 1, left - 1, cur, out);
+            cur.pop();
+        }
+    }
+    for size in 2..=psi.min(attrs.len()) {
+        combos(attrs, 0, size, &mut Vec::new(), &mut out);
+    }
+    out
+}
+
+/// All `(F, V)` splits of `g` with non-empty `F` and `V`
+/// (`2^|g| − 2` splits).
+pub fn splits_of(g: &[AttrId]) -> Vec<Split> {
+    let n = g.len();
+    debug_assert!(n >= 2);
+    let mut out = Vec::with_capacity((1usize << n) - 2);
+    // Bitmask enumeration: bit i set ⇒ g[i] ∈ F.
+    for mask in 1..(1u32 << n) - 1 {
+        let mut f = Vec::new();
+        let mut v = Vec::new();
+        for (i, &a) in g.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                f.push(a);
+            } else {
+                v.push(a);
+            }
+        }
+        out.push(Split { f, v });
+    }
+    out
+}
+
+/// Whether a model type may be fitted over predictor attributes `v`:
+/// linear regression needs numeric predictors, constant regression works
+/// for any predictor type.
+pub fn model_valid_for(rel: &Relation, model: ModelType, v: &[AttrId]) -> bool {
+    if !model.requires_numeric_predictors() {
+        return true;
+    }
+    v.iter().all(|&a| {
+        rel.schema()
+            .attr(a)
+            .map(|at| at.value_type().is_numeric())
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cape_data::{Schema, ValueType};
+
+    #[test]
+    fn group_sets_sizes_and_order() {
+        let gs = group_sets(&[0, 1, 2], 3);
+        assert_eq!(
+            gs,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2],
+                vec![0, 1, 2],
+            ]
+        );
+        // ψ caps the size.
+        assert_eq!(group_sets(&[0, 1, 2, 3], 2).len(), 6);
+        // ψ larger than arity is fine.
+        assert_eq!(group_sets(&[0, 1], 9).len(), 1);
+        // Too few attributes ⇒ nothing.
+        assert!(group_sets(&[0], 4).is_empty());
+    }
+
+    #[test]
+    fn splits_cover_all_partitions() {
+        let s = splits_of(&[0, 1]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&Split { f: vec![0], v: vec![1] }));
+        assert!(s.contains(&Split { f: vec![1], v: vec![0] }));
+        let s3 = splits_of(&[0, 1, 2]);
+        assert_eq!(s3.len(), 6); // 2^3 − 2
+        for split in &s3 {
+            assert!(!split.f.is_empty() && !split.v.is_empty());
+            let mut all: Vec<AttrId> = split.f.iter().chain(&split.v).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn model_validity() {
+        let schema = Schema::new([
+            ("author", ValueType::Str),
+            ("year", ValueType::Int),
+        ])
+        .unwrap();
+        let rel = Relation::new(schema);
+        assert!(model_valid_for(&rel, ModelType::Const, &[0]));
+        assert!(model_valid_for(&rel, ModelType::Const, &[0, 1]));
+        assert!(model_valid_for(&rel, ModelType::Lin, &[1]));
+        assert!(!model_valid_for(&rel, ModelType::Lin, &[0]));
+        assert!(!model_valid_for(&rel, ModelType::Lin, &[0, 1]));
+        assert!(!model_valid_for(&rel, ModelType::Lin, &[9]));
+    }
+}

@@ -1,0 +1,234 @@
+//! Multi-threaded ARP mining: group-by sets are independent work units,
+//! so they parallelize across scoped threads with no shared mutable state.
+//!
+//! Semantics match [`crate::mining::ArpMiner`] with one exception: FD
+//! *discovery* (Appendix D) requires processing group sets in increasing
+//! size so that subset cardinalities are recorded before they are
+//! needed — an inherently sequential dependency — so the parallel miner
+//! runs a cheap sequential cardinality pre-pass (distinct counts only)
+//! before fanning out, and then prunes with the discovered FDs exactly
+//! like the sequential miner.
+
+use crate::config::MiningConfig;
+use crate::error::Result;
+use crate::group_data::GroupData;
+use crate::mining::arp_mine::explore_sort_orders;
+use crate::mining::candidates::group_sets;
+use crate::mining::{validate_config, Miner, MiningOutput, MiningStats};
+use crate::store::PatternStore;
+use cape_data::ops::distinct_project;
+use cape_data::stats::attr_stats;
+use cape_data::{AttrId, FdDiscovery, Relation};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A parallel ARP-MINE over `threads` worker threads
+/// (`0` = use the machine's available parallelism).
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelMiner {
+    /// Number of worker threads; `0` selects
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
+}
+
+impl Default for ParallelMiner {
+    fn default() -> Self {
+        ParallelMiner { threads: 0 }
+    }
+}
+
+impl ParallelMiner {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+impl Miner for ParallelMiner {
+    fn name(&self) -> &'static str {
+        "PAR-ARP-MINE"
+    }
+
+    fn mine(&self, rel: &Relation, cfg: &MiningConfig) -> Result<MiningOutput> {
+        validate_config(cfg)?;
+        let t_total = Instant::now();
+        let attrs = cfg.candidate_attrs(rel);
+        let gs = group_sets(&attrs, cfg.psi);
+        let threads = self.effective_threads().min(gs.len().max(1));
+
+        // Sequential FD pre-pass: record |π_G(R)| for every candidate set
+        // with distinct-count queries (no aggregates, no sorting), then
+        // derive the FD set once. Counted into the merged query time.
+        let mut fds = cfg.initial_fds.clone();
+        let mut prepass = MiningStats::default();
+        if cfg.fd_pruning {
+            let t = Instant::now();
+            let mut fd_disc = FdDiscovery::new();
+            for &a in &attrs {
+                let s = attr_stats(rel, a)?;
+                fd_disc.record([a], s.distinct + usize::from(s.nulls > 0));
+            }
+            for g in &gs {
+                let count = distinct_project(rel, g)?.num_rows();
+                fd_disc.record(g.iter().copied(), count);
+            }
+            // Detect in increasing-size order (gs is size-ordered).
+            for g in &gs {
+                let g_set: BTreeSet<AttrId> = g.iter().copied().collect();
+                prepass.fds_discovered += fd_disc.detect(&g_set, &mut fds).len();
+            }
+            prepass.query_time += t.elapsed();
+        }
+        let fds = fds; // frozen; shared read-only below
+
+        // Fan out: worker w takes group sets w, w+threads, w+2·threads, …
+        struct Slice {
+            index: usize,
+            store: PatternStore,
+            stats: MiningStats,
+        }
+        let results: Result<Vec<Vec<Slice>>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for w in 0..threads {
+                let gs = &gs;
+                let fds = &fds;
+                handles.push(scope.spawn(move || -> Result<Vec<Slice>> {
+                    let mut out = Vec::new();
+                    let mut i = w;
+                    while i < gs.len() {
+                        let g = &gs[i];
+                        let mut stats = MiningStats::default();
+                        let mut store = PatternStore::new();
+                        let aggs = cfg.resolve_aggs(rel, g);
+                        if !aggs.is_empty() {
+                            let t = Instant::now();
+                            let gd = Arc::new(GroupData::compute(rel, g, &aggs)?);
+                            stats.query_time += t.elapsed();
+                            stats.group_queries += 1;
+                            explore_sort_orders(rel, cfg, &gd, g, fds, &mut store, &mut stats)?;
+                        }
+                        out.push(Slice { index: i, store, stats });
+                        i += threads;
+                    }
+                    Ok(out)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        // Merge deterministically in group-set order.
+        let mut slices: Vec<Slice> = results?.into_iter().flatten().collect();
+        slices.sort_by_key(|s| s.index);
+        let mut store = PatternStore::new();
+        let mut stats = prepass;
+        for slice in slices {
+            for (_, inst) in slice.store.iter() {
+                store.push(inst.clone());
+            }
+            stats.query_time += slice.stats.query_time;
+            stats.regression_time += slice.stats.regression_time;
+            stats.candidates_considered += slice.stats.candidates_considered;
+            stats.patterns_found += slice.stats.patterns_found;
+            stats.fragments_fitted += slice.stats.fragments_fitted;
+            stats.skipped_by_fd += slice.stats.skipped_by_fd;
+            stats.group_queries += slice.stats.group_queries;
+            stats.sort_queries += slice.stats.sort_queries;
+        }
+        // total_time is wall clock; query/regression times are summed CPU
+        // across workers and may exceed it — that is expected.
+        stats.total_time = t_total.elapsed();
+        Ok(MiningOutput { store, fds, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Thresholds;
+    use crate::mining::ArpMiner;
+    use std::collections::BTreeSet as Set;
+
+    fn cfg(fd: bool) -> MiningConfig {
+        MiningConfig {
+            thresholds: Thresholds::new(0.3, 3, 0.5, 2),
+            psi: 3,
+            fd_pruning: fd,
+            ..MiningConfig::default()
+        }
+    }
+
+    fn pattern_names(
+        out: &MiningOutput,
+        rel: &Relation,
+    ) -> Set<String> {
+        out.store.iter().map(|(_, p)| p.arp.display(rel.schema())).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let rel = crate::mining::share_grp::tests::pubs(4, 6, 3);
+        let seq = ArpMiner.mine(&rel, &cfg(false)).unwrap();
+        for threads in [1, 2, 4] {
+            let par = ParallelMiner { threads }.mine(&rel, &cfg(false)).unwrap();
+            assert_eq!(pattern_names(&par, &rel), pattern_names(&seq, &rel));
+            assert_eq!(par.store.num_local_patterns(), seq.store.num_local_patterns());
+            assert_eq!(par.stats.candidates_considered, seq.stats.candidates_considered);
+        }
+    }
+
+    #[test]
+    fn parallel_result_order_is_deterministic() {
+        let rel = crate::mining::share_grp::tests::pubs(4, 6, 3);
+        let a = ParallelMiner { threads: 3 }.mine(&rel, &cfg(false)).unwrap();
+        let b = ParallelMiner { threads: 3 }.mine(&rel, &cfg(false)).unwrap();
+        let names = |o: &MiningOutput| -> Vec<String> {
+            o.store.iter().map(|(_, p)| p.arp.display(rel.schema())).collect()
+        };
+        assert_eq!(names(&a), names(&b));
+    }
+
+    #[test]
+    fn parallel_fd_pruning_matches_sequential() {
+        // Duplicate column ⇒ FD venue → venue2.
+        use cape_data::{Schema, Value, ValueType};
+        let schema = Schema::new([
+            ("author", ValueType::Str),
+            ("year", ValueType::Int),
+            ("venue", ValueType::Str),
+            ("venue2", ValueType::Str),
+        ])
+        .unwrap();
+        let mut rel = Relation::new(schema);
+        for a in 0..4 {
+            for y in 0..6 {
+                for p in 0..3 {
+                    let venue = if p % 2 == 0 { "KDD" } else { "ICDE" };
+                    rel.push_row(vec![
+                        Value::str(format!("a{a}")),
+                        Value::Int(2000 + y),
+                        Value::str(venue),
+                        Value::str(format!("{venue}-dup")),
+                    ])
+                    .unwrap();
+                }
+            }
+        }
+        let seq = ArpMiner.mine(&rel, &cfg(true)).unwrap();
+        let par = ParallelMiner { threads: 2 }.mine(&rel, &cfg(true)).unwrap();
+        assert_eq!(pattern_names(&par, &rel), pattern_names(&seq, &rel));
+        assert!(par.stats.skipped_by_fd > 0);
+        assert_eq!(par.stats.skipped_by_fd, seq.stats.skipped_by_fd);
+        assert!(par.stats.fds_discovered > 0);
+    }
+
+    #[test]
+    fn zero_threads_uses_available_parallelism() {
+        let rel = crate::mining::share_grp::tests::pubs(3, 6, 3);
+        let out = ParallelMiner::default().mine(&rel, &cfg(false)).unwrap();
+        assert!(out.store.len() > 0);
+    }
+}

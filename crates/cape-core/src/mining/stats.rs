@@ -1,0 +1,91 @@
+//! Mining instrumentation for the subtask-breakdown experiment (Figure 4).
+
+use std::time::Duration;
+
+/// Timing and counting statistics collected during one mining run.
+///
+/// `query_time` covers relational work (aggregation, sorting, selection,
+/// cube); `regression_time` covers model fitting and GoF computation;
+/// everything else (candidate enumeration, bookkeeping, FD reasoning) is
+/// `other_time = total_time − query_time − regression_time`.
+#[derive(Debug, Clone, Default)]
+pub struct MiningStats {
+    /// Wall-clock time of the whole mining run.
+    pub total_time: Duration,
+    /// Time in relational operators.
+    pub query_time: Duration,
+    /// Time in regression fitting.
+    pub regression_time: Duration,
+    /// Pattern candidates `(F, V, agg, A, M)` considered.
+    pub candidates_considered: usize,
+    /// Patterns found to hold globally.
+    pub patterns_found: usize,
+    /// Fragments on which a regression was fitted.
+    pub fragments_fitted: usize,
+    /// `(F, V)` splits skipped by the FD optimizations (Appendix D).
+    pub skipped_by_fd: usize,
+    /// Group-by queries executed.
+    pub group_queries: usize,
+    /// Sort queries executed.
+    pub sort_queries: usize,
+    /// Functional dependencies discovered from group cardinalities.
+    pub fds_discovered: usize,
+}
+
+impl MiningStats {
+    /// Time spent outside queries and regression.
+    pub fn other_time(&self) -> Duration {
+        self.total_time.saturating_sub(self.query_time).saturating_sub(self.regression_time)
+    }
+
+    /// Fractions `(query, regression, other)` of total time, for the
+    /// normalized stacked bars of Figure 4. Returns zeros for an empty run.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let total = self.total_time.as_secs_f64();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.query_time.as_secs_f64() / total,
+            self.regression_time.as_secs_f64() / total,
+            self.other_time().as_secs_f64() / total,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_time_is_residual() {
+        let s = MiningStats {
+            total_time: Duration::from_millis(100),
+            query_time: Duration::from_millis(60),
+            regression_time: Duration::from_millis(25),
+            ..Default::default()
+        };
+        assert_eq!(s.other_time(), Duration::from_millis(15));
+        let (q, r, o) = s.fractions();
+        assert!((q - 0.6).abs() < 1e-9);
+        assert!((r - 0.25).abs() < 1e-9);
+        assert!((o - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residual_saturates() {
+        // Query + regression can slightly exceed total due to timer nesting.
+        let s = MiningStats {
+            total_time: Duration::from_millis(10),
+            query_time: Duration::from_millis(8),
+            regression_time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        assert_eq!(s.other_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_run_fractions() {
+        assert_eq!(MiningStats::default().fractions(), (0.0, 0.0, 0.0));
+    }
+}

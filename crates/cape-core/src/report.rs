@@ -1,0 +1,196 @@
+//! Natural-language rendering of explanations, in the style of the
+//! paper's Example 5 narrative: *"Even though ⟨pattern⟩ holds, … which
+//! may be explained by ⟨counterbalance⟩ being higher than usual."*
+
+use crate::explain::Explanation;
+use crate::question::{Direction, UserQuestion};
+use crate::store::PatternStore;
+use cape_data::Schema;
+use cape_regress::ModelType;
+
+fn attr_name(schema: &Schema, id: usize) -> String {
+    schema.attr(id).map(|a| a.name().to_string()).unwrap_or_else(|_| format!("#{id}"))
+}
+
+fn list_names(schema: &Schema, ids: &[usize]) -> String {
+    ids.iter().map(|&a| attr_name(schema, a)).collect::<Vec<_>>().join(", ")
+}
+
+fn tuple_text(schema: &Schema, attrs: &[usize], values: &[cape_data::Value]) -> String {
+    attrs
+        .iter()
+        .zip(values)
+        .map(|(&a, v)| format!("{} {}", attr_name(schema, a), v))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn trend_text(model: ModelType) -> &'static str {
+    match model {
+        ModelType::Const => "stays roughly constant",
+        ModelType::Lin => "follows a roughly linear trend",
+        ModelType::Quad => "follows a roughly quadratic trend",
+    }
+}
+
+/// Render one explanation as a narrative sentence.
+///
+/// Returns a generic fallback when the explanation's pattern indices are
+/// not resolvable in `store` (e.g. baseline explanations).
+pub fn narrate(
+    expl: &Explanation,
+    store: &PatternStore,
+    uq: &UserQuestion,
+    schema: &Schema,
+) -> String {
+    let question_part = format!(
+        "the {} for ({}) is {}",
+        agg_text(uq, schema),
+        tuple_text(schema, &uq.group_attrs, &uq.tuple),
+        match uq.dir {
+            Direction::Low => "unusually low",
+            Direction::High => "unusually high",
+        }
+    );
+    let counter_dir = match uq.dir {
+        Direction::Low => "higher",
+        Direction::High => "lower",
+    };
+    let counter_part = format!(
+        "({}) has {} {:.1} — {} than the predicted {:.1}",
+        tuple_text(schema, &expl.attrs, &expl.tuple),
+        agg_text(uq, schema),
+        expl.agg_value,
+        counter_dir,
+        expl.predicted,
+    );
+
+    match (store.get(expl.pattern_idx), store.get(expl.refinement_idx)) {
+        (Some(p), Some(p2)) => {
+            format!(
+                "Even though per {} the {} {} over {} (pattern {}), {}; \
+                 this may be explained by the fact that {} (pattern {}).",
+                list_names(schema, p.arp.f()),
+                agg_text(uq, schema),
+                trend_text(p.arp.model),
+                list_names(schema, p.arp.v()),
+                p.arp.display(schema),
+                question_part,
+                counter_part,
+                p2.arp.display(schema),
+            )
+        }
+        _ => format!("{question_part}; a counterbalance: {counter_part}."),
+    }
+}
+
+fn agg_text(uq: &UserQuestion, schema: &Schema) -> String {
+    match uq.agg_attr {
+        Some(a) => format!("{}({})", uq.agg, attr_name(schema, a)),
+        None => format!("{}(*)", uq.agg),
+    }
+}
+
+/// Render the full ranked list as numbered narrative lines.
+pub fn narrate_all(
+    expls: &[Explanation],
+    store: &PatternStore,
+    uq: &UserQuestion,
+    schema: &Schema,
+) -> String {
+    let mut out = String::new();
+    for (i, e) in expls.iter().enumerate() {
+        out.push_str(&format!(
+            "{}. [score {:.2}] {}\n",
+            i + 1,
+            e.score,
+            narrate(e, store, uq, schema)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MiningConfig, Thresholds};
+    use crate::explain::{ExplainConfig, TopKExplainer};
+    use crate::mining::{Miner, ShareGrpMiner};
+    use cape_data::{AggFunc, Relation, Schema, Value, ValueType};
+
+    fn setup() -> (Relation, PatternStore, UserQuestion, Vec<Explanation>) {
+        let schema = Schema::new([
+            ("author", ValueType::Str),
+            ("year", ValueType::Int),
+            ("venue", ValueType::Str),
+        ])
+        .unwrap();
+        let mut rel = Relation::new(schema);
+        for a in 0..3 {
+            for y in 2000..2008i64 {
+                for venue in ["KDD", "ICDE"] {
+                    let n = match (a, y, venue) {
+                        (0, 2003, "KDD") => 1,
+                        (0, 2003, "ICDE") => 5,
+                        _ => 2,
+                    };
+                    for _ in 0..n {
+                        rel.push_row(vec![
+                            Value::str(format!("a{a}")),
+                            Value::Int(y),
+                            Value::str(venue),
+                        ])
+                        .unwrap();
+                    }
+                }
+            }
+        }
+        let cfg = MiningConfig {
+            thresholds: Thresholds::new(0.1, 3, 0.3, 2),
+            psi: 3,
+            ..MiningConfig::default()
+        };
+        let store = ShareGrpMiner.mine(&rel, &cfg).unwrap().store;
+        let uq = UserQuestion::from_query(
+            &rel,
+            vec![0, 1, 2],
+            AggFunc::Count,
+            None,
+            vec![Value::str("a0"), Value::Int(2003), Value::str("KDD")],
+            crate::question::Direction::Low,
+        )
+        .unwrap();
+        let ecfg = ExplainConfig::default_for(&rel, 5);
+        let (expls, _) = crate::prelude::OptimizedExplainer.explain(&store, &uq, &ecfg);
+        (rel, store, uq, expls)
+    }
+
+    #[test]
+    fn narration_mentions_patterns_and_values() {
+        let (rel, store, uq, expls) = setup();
+        assert!(!expls.is_empty());
+        let text = narrate(&expls[0], &store, &uq, rel.schema());
+        assert!(text.contains("Even though"), "{text}");
+        assert!(text.contains("unusually low"), "{text}");
+        assert!(text.contains("higher"), "{text}");
+        assert!(text.contains("count(*)"), "{text}");
+    }
+
+    #[test]
+    fn narrate_all_numbers_lines() {
+        let (rel, store, uq, expls) = setup();
+        let text = narrate_all(&expls, &store, &uq, rel.schema());
+        assert!(text.starts_with("1. [score"));
+        assert_eq!(text.lines().count(), expls.len());
+    }
+
+    #[test]
+    fn fallback_for_baseline_explanations() {
+        let (rel, store, uq, mut expls) = setup();
+        expls[0].pattern_idx = usize::MAX;
+        expls[0].refinement_idx = usize::MAX;
+        let text = narrate(&expls[0], &store, &uq, rel.schema());
+        assert!(text.contains("counterbalance"), "{text}");
+        assert!(!text.contains("Even though"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the CAPE core: candidate enumeration, the
+//! top-k heap, the distance model, and miner agreement on random data.
+
+use cape_core::explain::{DistanceModel, Explanation, TopK};
+use cape_core::mining::{splits_of, ArpMiner, Miner, ShareGrpMiner};
+use cape_core::{MiningConfig, Thresholds};
+use cape_data::{Relation, Schema, Value, ValueType};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_relation(max_rows: usize) -> impl Strategy<Value = Relation> {
+    let row = (0u8..3, 0i64..5, 0u8..3);
+    proptest::collection::vec(row, 8..max_rows).prop_map(|rows| {
+        let schema = Schema::new([
+            ("a", ValueType::Str),
+            ("x", ValueType::Int),
+            ("b", ValueType::Str),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            rows.into_iter().map(|(a, x, b)| {
+                vec![Value::str(format!("a{a}")), Value::Int(x), Value::str(format!("b{b}"))]
+            }),
+        )
+        .unwrap()
+    })
+}
+
+fn expl(refinement: usize, tag: i64, score: f64) -> Explanation {
+    Explanation {
+        pattern_idx: 0,
+        refinement_idx: refinement,
+        attrs: vec![0],
+        tuple: vec![Value::Int(tag)],
+        agg_value: 0.0,
+        predicted: 0.0,
+        deviation: 0.0,
+        distance: 0.0,
+        norm: 1.0,
+        score,
+    }
+}
+
+proptest! {
+    #[test]
+    fn splits_enumerate_all_partitions(n in 2usize..6) {
+        let g: Vec<usize> = (0..n).collect();
+        let splits = splits_of(&g);
+        prop_assert_eq!(splits.len(), (1usize << n) - 2);
+        let mut seen = BTreeSet::new();
+        for s in &splits {
+            prop_assert!(!s.f.is_empty() && !s.v.is_empty());
+            let f: BTreeSet<usize> = s.f.iter().copied().collect();
+            let v: BTreeSet<usize> = s.v.iter().copied().collect();
+            prop_assert!(f.is_disjoint(&v));
+            let mut all: Vec<usize> = f.union(&v).copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(&all, &g);
+            prop_assert!(seen.insert(s.f.clone()), "duplicate split");
+        }
+    }
+
+    #[test]
+    fn topk_matches_sorted_reference(
+        scores in proptest::collection::vec(0.0f64..100.0, 0..60),
+        k in 1usize..10,
+    ) {
+        let mut tk = TopK::new(k);
+        for (i, &s) in scores.iter().enumerate() {
+            tk.offer(expl(0, i as i64, s));
+        }
+        let got: Vec<f64> = tk.into_sorted_vec().iter().map(|e| e.score).collect();
+        let mut expect = scores.clone();
+        expect.sort_by(|a, b| b.total_cmp(a));
+        expect.truncate(k);
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert_eq!(g, e);
+        }
+    }
+
+    #[test]
+    fn topk_dedupes_to_max_per_key(
+        scores in proptest::collection::vec((0i64..5, 0.0f64..100.0), 0..60),
+    ) {
+        let mut tk = TopK::new(50);
+        for &(tag, s) in &scores {
+            tk.offer(expl(1, tag, s));
+        }
+        let got = tk.into_sorted_vec();
+        // One survivor per distinct tag, carrying the max score.
+        use std::collections::HashMap;
+        let mut best: HashMap<i64, f64> = HashMap::new();
+        for &(tag, s) in &scores {
+            let e = best.entry(tag).or_insert(f64::NEG_INFINITY);
+            if s > *e { *e = s; }
+        }
+        prop_assert_eq!(got.len(), best.len());
+        for e in &got {
+            let tag = e.tuple[0].as_i64().unwrap();
+            prop_assert_eq!(e.score, best[&tag]);
+        }
+    }
+
+    #[test]
+    fn distance_is_a_semimetric(
+        v1 in 0i64..20, v2 in 0i64..20, s1 in 0u8..4, s2 in 0u8..4,
+    ) {
+        let schema = Schema::new([("s", ValueType::Str), ("n", ValueType::Int)]).unwrap();
+        let mut rel = Relation::new(schema);
+        for n in 0..20 {
+            rel.push_row(vec![Value::str("x"), Value::Int(n)]).unwrap();
+        }
+        let dm = DistanceModel::default_for(&rel);
+        let t1 = [Value::str(format!("s{s1}")), Value::Int(v1)];
+        let t2 = [Value::str(format!("s{s2}")), Value::Int(v2)];
+        let d12 = dm.tuple_distance(&[0, 1], &t1, &[0, 1], &t2);
+        let d21 = dm.tuple_distance(&[0, 1], &t2, &[0, 1], &t1);
+        prop_assert!((d12 - d21).abs() < 1e-12, "asymmetric");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d12));
+        if s1 == s2 && v1 == v2 {
+            prop_assert_eq!(d12, 0.0);
+        }
+        // Lower bound never exceeds the actual distance.
+        let lb = dm.lower_bound(&[0, 1], &[1]);
+        let cross = dm.tuple_distance(&[0, 1], &t1, &[1], &t2[1..]);
+        prop_assert!(lb <= cross + 1e-12);
+    }
+
+    #[test]
+    fn miners_agree_on_random_relations(rel in arb_relation(80)) {
+        let cfg = MiningConfig {
+            thresholds: Thresholds::new(0.2, 2, 0.3, 1),
+            psi: 3,
+            ..MiningConfig::default()
+        };
+        let a = ArpMiner.mine(&rel, &cfg).unwrap();
+        let b = ShareGrpMiner.mine(&rel, &cfg).unwrap();
+        let sa: BTreeSet<String> =
+            a.store.iter().map(|(_, p)| p.arp.display(rel.schema())).collect();
+        let sb: BTreeSet<String> =
+            b.store.iter().map(|(_, p)| p.arp.display(rel.schema())).collect();
+        prop_assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn mined_locals_respect_thresholds(rel in arb_relation(80)) {
+        let th = Thresholds::new(0.3, 2, 0.4, 1);
+        let cfg = MiningConfig { thresholds: th, psi: 2, ..MiningConfig::default() };
+        let out = ArpMiner.mine(&rel, &cfg).unwrap();
+        for (_, p) in out.store.iter() {
+            prop_assert!(p.global_support() >= th.global_support);
+            prop_assert!(p.confidence >= th.lambda - 1e-12);
+            for local in p.locals.values() {
+                prop_assert!(local.support >= th.delta);
+                prop_assert!(local.fitted.gof >= th.theta);
+                prop_assert!(local.max_pos_dev >= 0.0);
+                prop_assert!(local.max_neg_dev <= 0.0);
+            }
+            prop_assert!(p.max_pos_dev >= 0.0);
+            prop_assert!(p.max_neg_dev <= 0.0);
+        }
+    }
+}

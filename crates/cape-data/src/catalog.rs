@@ -1,0 +1,128 @@
+//! A named-table catalog so SQL `FROM` clauses resolve by name.
+
+use crate::error::{DataError, Result};
+use crate::relation::Relation;
+use crate::sql::{execute, SelectStmt, SqlError};
+use std::collections::BTreeMap;
+
+/// A set of named relations (the "database" the SQL layer queries).
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Relation>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table. Names are case-insensitive.
+    pub fn register(&mut self, name: impl AsRef<str>, rel: Relation) {
+        self.tables.insert(name.as_ref().to_ascii_lowercase(), rel);
+    }
+
+    /// Remove a table; returns it if present.
+    pub fn deregister(&mut self, name: &str) -> Option<Relation> {
+        self.tables.remove(&name.to_ascii_lowercase())
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| DataError::UnknownAttribute(format!("table `{name}`")))
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no table is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Execute a parsed statement, resolving its `FROM` table here.
+    pub fn execute(&self, stmt: &SelectStmt) -> std::result::Result<Relation, SqlError> {
+        let rel = self
+            .get(&stmt.table)
+            .map_err(|_| SqlError::Exec(format!("unknown table `{}`", stmt.table)))?;
+        execute(stmt, rel)
+    }
+
+    /// Parse and execute a SQL string.
+    pub fn query(&self, sql: &str) -> std::result::Result<Relation, SqlError> {
+        let stmt = crate::sql::parse(sql)?;
+        self.execute(&stmt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::{Value, ValueType};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new([("a", ValueType::Str), ("x", ValueType::Int)]).unwrap();
+        let pub_rel = Relation::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::str("p"), Value::Int(1)],
+                vec![Value::str("q"), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        let crime_rel =
+            Relation::from_rows(schema, vec![vec![Value::str("r"), Value::Int(3)]]).unwrap();
+        c.register("Pub", pub_rel);
+        c.register("crime", crime_rel);
+        c
+    }
+
+    #[test]
+    fn register_and_query_case_insensitively() {
+        let c = catalog();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.table_names(), vec!["crime", "pub"]);
+        let out = c.query("SELECT a FROM PUB ORDER BY a").unwrap();
+        assert_eq!(out.num_rows(), 2);
+        let out = c.query("SELECT x FROM crime").unwrap();
+        assert_eq!(out.value(0, 0), &Value::Int(3));
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let c = catalog();
+        let e = c.query("SELECT a FROM nope");
+        assert!(matches!(e, Err(SqlError::Exec(_))));
+        assert!(c.get("nope").is_err());
+    }
+
+    #[test]
+    fn deregister() {
+        let mut c = catalog();
+        assert!(c.deregister("pub").is_some());
+        assert!(c.deregister("pub").is_none());
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn replace_table() {
+        let mut c = catalog();
+        let schema = Schema::new([("a", ValueType::Str), ("x", ValueType::Int)]).unwrap();
+        let empty = Relation::new(schema);
+        c.register("pub", empty);
+        assert_eq!(c.get("PUB").unwrap().num_rows(), 0);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimal CSV reader/writer for relations.
+//!
+//! Supports the subset of RFC 4180 the datasets need: comma separation,
+//! double-quote quoting with `""` escapes, a header row, and typed parsing
+//! driven by a target [`Schema`]. Empty fields parse as `Null`.
+
+use crate::error::{DataError, Result};
+use crate::interner::Interner;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::{Value, ValueType};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Parse one CSV record (fields split on unquoted commas).
+fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            '"' => {
+                return Err(DataError::Csv {
+                    line: line_no,
+                    message: "unexpected quote inside unquoted field".into(),
+                })
+            }
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv { line: line_no, message: "unterminated quote".into() });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn parse_value(
+    field: &str,
+    ty: ValueType,
+    interner: &mut Interner,
+    line_no: usize,
+) -> Result<Value> {
+    if field.is_empty() {
+        return Ok(Value::Null);
+    }
+    match ty {
+        ValueType::Int => field.parse::<i64>().map(Value::Int).map_err(|_| DataError::Csv {
+            line: line_no,
+            message: format!("invalid int `{field}`"),
+        }),
+        ValueType::Float => field.parse::<f64>().map(Value::Float).map_err(|_| DataError::Csv {
+            line: line_no,
+            message: format!("invalid float `{field}`"),
+        }),
+        ValueType::Str => Ok(Value::Str(interner.intern(field))),
+    }
+}
+
+/// Read a relation from CSV. The first line must be a header whose names
+/// match `schema` (order included).
+pub fn read_csv<R: Read>(reader: R, schema: Schema) -> Result<Relation> {
+    let buf = BufReader::new(reader);
+    let mut interner = Interner::new();
+    let mut rel = Relation::new(schema);
+    let mut lines = buf.lines().enumerate();
+
+    // Header.
+    let (_, header) = lines.next().ok_or(DataError::EmptyInput("csv header"))?;
+    let header = header?;
+    let names = parse_record(&header, 1)?;
+    let expected: Vec<&str> = rel.schema().names();
+    if names.len() != expected.len() || names.iter().zip(&expected).any(|(a, b)| a != b) {
+        return Err(DataError::Csv {
+            line: 1,
+            message: format!("header {names:?} does not match schema {expected:?}"),
+        });
+    }
+
+    let types: Vec<ValueType> = rel.schema().iter().map(|a| a.value_type()).collect();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_record(&line, line_no)?;
+        if fields.len() != types.len() {
+            return Err(DataError::Csv {
+                line: line_no,
+                message: format!("expected {} fields, got {}", types.len(), fields.len()),
+            });
+        }
+        let row: Result<Vec<Value>> = fields
+            .iter()
+            .zip(&types)
+            .map(|(f, &ty)| parse_value(f, ty, &mut interner, line_no))
+            .collect();
+        rel.push_row(row?)?;
+    }
+    Ok(rel)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Write a relation as CSV with a header row.
+pub fn write_csv<W: Write>(writer: &mut W, rel: &Relation) -> Result<()> {
+    let header: Vec<String> = rel.schema().names().iter().map(|n| escape(n)).collect();
+    writeln!(writer, "{}", header.join(","))?;
+    for i in 0..rel.num_rows() {
+        let row: Vec<String> = (0..rel.schema().arity())
+            .map(|c| {
+                let v = rel.value(i, c);
+                if v.is_null() {
+                    String::new()
+                } else {
+                    escape(&v.to_string())
+                }
+            })
+            .collect();
+        writeln!(writer, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new([
+            ("author", ValueType::Str),
+            ("year", ValueType::Int),
+            ("score", ValueType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rel = Relation::from_rows(
+            schema(),
+            vec![
+                vec![Value::str("Doe, J."), Value::Int(2007), Value::Float(1.5)],
+                vec![Value::str("x\"y"), Value::Null, Value::Float(2.0)],
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &rel).unwrap();
+        let back = read_csv(&buf[..], schema()).unwrap();
+        assert_eq!(back.num_rows(), 2);
+        assert_eq!(back.value(0, 0), &Value::str("Doe, J."));
+        assert_eq!(back.value(1, 0), &Value::str("x\"y"));
+        assert!(back.value(1, 1).is_null());
+        assert_eq!(back.value(1, 2), &Value::Float(2.0));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let data = "a,b\n1,2\n";
+        assert!(read_csv(data.as_bytes(), schema()).is_err());
+    }
+
+    #[test]
+    fn bad_int_reported_with_line() {
+        let data = "author,year,score\nax,notanint,1.0\n";
+        let err = read_csv(data.as_bytes(), schema()).unwrap_err();
+        match err {
+            DataError::Csv { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn field_count_checked() {
+        let data = "author,year,score\nax,2007\n";
+        assert!(read_csv(data.as_bytes(), schema()).is_err());
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let rec = parse_record(r#"a,"b,c","d""e",f"#, 1).unwrap();
+        assert_eq!(rec, vec!["a", "b,c", "d\"e", "f"]);
+        assert!(parse_record(r#"a,"unterminated"#, 1).is_err());
+    }
+
+    #[test]
+    fn empty_lines_skipped_and_empty_fields_null() {
+        let data = "author,year,score\nax,,\n\nay,2000,3.5\n";
+        let rel = read_csv(data.as_bytes(), schema()).unwrap();
+        assert_eq!(rel.num_rows(), 2);
+        assert!(rel.value(0, 1).is_null());
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors produced by relational operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// An attribute name was not found in a schema.
+    UnknownAttribute(String),
+    /// An attribute index was out of bounds for a schema.
+    AttributeIndexOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// The schema's arity.
+        arity: usize,
+    },
+    /// A row had a different arity than the schema.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Row arity.
+        actual: usize,
+    },
+    /// A value had a type incompatible with the requested operation.
+    TypeMismatch {
+        /// Expected type name.
+        expected: &'static str,
+        /// Actual type name.
+        actual: &'static str,
+    },
+    /// An aggregate was requested over a non-numeric attribute.
+    NonNumericAggregate(String),
+    /// CSV input could not be parsed.
+    Csv {
+        /// 1-based input line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Duplicate attribute name while constructing a schema.
+    DuplicateAttribute(String),
+    /// An operation received an empty input where at least one row/attribute is required.
+    EmptyInput(&'static str),
+    /// I/O error (carried as a string so the error stays `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            DataError::AttributeIndexOutOfBounds { index, arity } => {
+                write!(f, "attribute index {index} out of bounds for arity {arity}")
+            }
+            DataError::ArityMismatch { expected, actual } => {
+                write!(f, "row arity {actual} does not match schema arity {expected}")
+            }
+            DataError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            DataError::NonNumericAggregate(name) => {
+                write!(f, "aggregate requires a numeric attribute, got `{name}`")
+            }
+            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::DuplicateAttribute(name) => write!(f, "duplicate attribute name `{name}`"),
+            DataError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            DataError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::UnknownAttribute("year".into());
+        assert!(e.to_string().contains("year"));
+        let e = DataError::ArityMismatch { expected: 4, actual: 3 };
+        assert!(e.to_string().contains('4') && e.to_string().contains('3'));
+        let e = DataError::Csv { line: 7, message: "bad int".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: DataError = io.into();
+        assert!(matches!(e, DataError::Io(_)));
+    }
+}

@@ -1,0 +1,231 @@
+//! Functional dependencies: representation, attribute closure, minimality
+//! checks, and discovery from group cardinalities (Appendix D of the paper).
+
+use crate::schema::AttrId;
+use std::collections::{BTreeSet, HashMap};
+
+/// A functional dependency `lhs → rhs` with a single right-hand attribute.
+/// (By Armstrong's axioms, multi-attribute right-hand sides decompose.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fd {
+    /// Determinant attribute set.
+    pub lhs: BTreeSet<AttrId>,
+    /// Determined attribute.
+    pub rhs: AttrId,
+}
+
+impl Fd {
+    /// Create an FD from an unordered left-hand side.
+    pub fn new(lhs: impl IntoIterator<Item = AttrId>, rhs: AttrId) -> Self {
+        Fd { lhs: lhs.into_iter().collect(), rhs }
+    }
+}
+
+/// A set of functional dependencies with closure-based reasoning.
+#[derive(Debug, Clone, Default)]
+pub struct FdSet {
+    fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// Empty FD set.
+    pub fn new() -> Self {
+        FdSet::default()
+    }
+
+    /// Add an FD if not already present. Returns whether it was new.
+    pub fn add(&mut self, fd: Fd) -> bool {
+        if self.fds.contains(&fd) {
+            false
+        } else {
+            self.fds.push(fd);
+            true
+        }
+    }
+
+    /// Number of stored FDs.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// True when no FDs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Iterate over the stored FDs.
+    pub fn iter(&self) -> impl Iterator<Item = &Fd> {
+        self.fds.iter()
+    }
+
+    /// The attribute closure `attrs⁺` under this FD set.
+    pub fn closure(&self, attrs: &BTreeSet<AttrId>) -> BTreeSet<AttrId> {
+        let mut closure = attrs.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for fd in &self.fds {
+                if !closure.contains(&fd.rhs) && fd.lhs.is_subset(&closure) {
+                    closure.insert(fd.rhs);
+                    changed = true;
+                }
+            }
+        }
+        closure
+    }
+
+    /// Whether `lhs → rhs` is implied by this FD set.
+    pub fn implies(&self, lhs: &BTreeSet<AttrId>, rhs: AttrId) -> bool {
+        lhs.contains(&rhs) || self.closure(lhs).contains(&rhs)
+    }
+
+    /// Whether an attribute set is *minimal*: no attribute in it is implied
+    /// by the remaining attributes. Patterns with non-minimal partition
+    /// attributes `F` are redundant and skipped by mining (Appendix D).
+    pub fn is_minimal(&self, attrs: &BTreeSet<AttrId>) -> bool {
+        attrs.iter().all(|&a| {
+            let mut rest: BTreeSet<AttrId> = attrs.clone();
+            rest.remove(&a);
+            !self.implies(&rest, a)
+        })
+    }
+
+    /// Whether `lhs` functionally determines *every* attribute in `rhs`.
+    pub fn determines_all(&self, lhs: &BTreeSet<AttrId>, rhs: &BTreeSet<AttrId>) -> bool {
+        let closure = self.closure(lhs);
+        rhs.iter().all(|a| closure.contains(a))
+    }
+}
+
+/// Discovers FDs from group cardinalities gathered during mining
+/// (Appendix D): `A → B` holds iff `|π_A(R)| = |π_{A∪B}(R)|`.
+///
+/// Mining records `|π_G(R)|` for each group-by set `G` it evaluates, in
+/// increasing size of `G`, then calls [`FdDiscovery::detect`] to test all
+/// single-RHS FDs `(G − {B}) → B` whose ingredients are available.
+#[derive(Debug, Clone, Default)]
+pub struct FdDiscovery {
+    group_sizes: HashMap<BTreeSet<AttrId>, usize>,
+}
+
+impl FdDiscovery {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        FdDiscovery::default()
+    }
+
+    /// Record the number of distinct groups for a group-by attribute set.
+    pub fn record(&mut self, group: impl IntoIterator<Item = AttrId>, num_groups: usize) {
+        self.group_sizes.insert(group.into_iter().collect(), num_groups);
+    }
+
+    /// Look up a recorded cardinality.
+    pub fn group_size(&self, group: &BTreeSet<AttrId>) -> Option<usize> {
+        self.group_sizes.get(group).copied()
+    }
+
+    /// Given a just-recorded set `g`, detect FDs `(g − {b}) → b` for every
+    /// `b ∈ g` whose subset cardinality is known, adding them to `fds`.
+    /// Returns the FDs that were newly added.
+    pub fn detect(&self, g: &BTreeSet<AttrId>, fds: &mut FdSet) -> Vec<Fd> {
+        let mut found = Vec::new();
+        let Some(&g_size) = self.group_sizes.get(g) else {
+            return found;
+        };
+        for &b in g {
+            let mut lhs: BTreeSet<AttrId> = g.clone();
+            lhs.remove(&b);
+            if lhs.is_empty() {
+                continue;
+            }
+            if let Some(&lhs_size) = self.group_sizes.get(&lhs) {
+                if lhs_size == g_size {
+                    let fd = Fd { lhs, rhs: b };
+                    if fds.add(fd.clone()) {
+                        found.push(fd);
+                    }
+                }
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[AttrId]) -> BTreeSet<AttrId> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn closure_follows_chains() {
+        let mut fds = FdSet::new();
+        fds.add(Fd::new([0], 1)); // A → B
+        fds.add(Fd::new([1], 2)); // B → C
+        let c = fds.closure(&set(&[0]));
+        assert_eq!(c, set(&[0, 1, 2]));
+        assert!(fds.implies(&set(&[0]), 2));
+        assert!(!fds.implies(&set(&[2]), 0));
+    }
+
+    #[test]
+    fn implies_is_reflexive() {
+        let fds = FdSet::new();
+        assert!(fds.implies(&set(&[3]), 3));
+    }
+
+    #[test]
+    fn minimality() {
+        let mut fds = FdSet::new();
+        fds.add(Fd::new([0], 1)); // district → side
+        // {district, side} is non-minimal: side is implied by district.
+        assert!(!fds.is_minimal(&set(&[0, 1])));
+        assert!(fds.is_minimal(&set(&[0])));
+        assert!(fds.is_minimal(&set(&[0, 2])));
+    }
+
+    #[test]
+    fn determines_all() {
+        let mut fds = FdSet::new();
+        fds.add(Fd::new([0], 1));
+        fds.add(Fd::new([0], 2));
+        assert!(fds.determines_all(&set(&[0]), &set(&[1, 2])));
+        assert!(!fds.determines_all(&set(&[1]), &set(&[2])));
+    }
+
+    #[test]
+    fn duplicate_fds_not_stored_twice() {
+        let mut fds = FdSet::new();
+        assert!(fds.add(Fd::new([0], 1)));
+        assert!(!fds.add(Fd::new([0], 1)));
+        assert_eq!(fds.len(), 1);
+    }
+
+    #[test]
+    fn discovery_from_group_sizes() {
+        // |π_{A}(R)| = 5, |π_{A,B}(R)| = 5 ⇒ A → B.
+        // |π_{B}(R)| = 3, |π_{A,B}(R)| = 5 ⇒ B → A does NOT hold.
+        let mut disc = FdDiscovery::new();
+        disc.record([0], 5);
+        disc.record([1], 3);
+        disc.record([0, 1], 5);
+        let mut fds = FdSet::new();
+        let found = disc.detect(&set(&[0, 1]), &mut fds);
+        assert_eq!(found, vec![Fd::new([0], 1)]);
+        assert!(fds.implies(&set(&[0]), 1));
+        assert!(!fds.implies(&set(&[1]), 0));
+    }
+
+    #[test]
+    fn discovery_requires_recorded_subsets() {
+        let mut disc = FdDiscovery::new();
+        disc.record([0, 1], 5);
+        let mut fds = FdSet::new();
+        // Subset cardinalities unknown ⇒ nothing detected.
+        assert!(disc.detect(&set(&[0, 1]), &mut fds).is_empty());
+        assert_eq!(disc.group_size(&set(&[0, 1])), Some(5));
+        assert_eq!(disc.group_size(&set(&[0])), None);
+    }
+}

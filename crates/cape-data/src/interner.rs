@@ -1,0 +1,59 @@
+//! String interning so repeated categorical values share one allocation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Deduplicating constructor for `Arc<str>` values.
+///
+/// Loading a million-row relation whose `venue` column has a few thousand
+/// distinct values should allocate a few thousand strings, not a million;
+/// the CSV loader and the data generators intern through this.
+#[derive(Debug, Default)]
+pub struct Interner {
+    strings: HashMap<Arc<str>, Arc<str>>,
+}
+
+impl Interner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `s`, returning a shared `Arc<str>`.
+    pub fn intern(&mut self, s: &str) -> Arc<str> {
+        if let Some(existing) = self.strings.get(s) {
+            return existing.clone();
+        }
+        let arc: Arc<str> = Arc::from(s);
+        self.strings.insert(arc.clone(), arc.clone());
+        arc
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_allocations() {
+        let mut i = Interner::new();
+        let a = i.intern("SIGMOD");
+        let b = i.intern("SIGMOD");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(i.len(), 1);
+        let c = i.intern("VLDB");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(i.len(), 2);
+        assert!(!i.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # cape-data — relational substrate for CAPE
+//!
+//! An in-memory columnar relational engine providing everything the CAPE
+//! system (SIGMOD 2019) asked of PostgreSQL:
+//!
+//! * typed [`value::Value`]s and [`schema::Schema`]s,
+//! * columnar [`relation::Relation`]s with CSV I/O,
+//! * selection / projection / multi-key sort / hash group-by aggregation,
+//! * a CUBE-style operator evaluating every admissible grouping in one scan,
+//! * functional-dependency reasoning and discovery from group cardinalities.
+//!
+//! The engine is deliberately simple and deterministic: group order is
+//! first-appearance order, sorts are stable, and all operators are pure
+//! functions of their inputs, which keeps the mining benchmarks comparable
+//! across algorithm variants.
+
+pub mod agg;
+pub mod catalog;
+pub mod csv;
+pub mod error;
+pub mod fd;
+pub mod interner;
+pub mod ops;
+pub mod pred;
+pub mod relation;
+pub mod schema;
+pub mod sql;
+pub mod stats;
+pub mod value;
+
+pub use agg::{AggFunc, AggSpec};
+pub use catalog::Catalog;
+pub use error::{DataError, Result};
+pub use fd::{Fd, FdDiscovery, FdSet};
+pub use pred::Predicate;
+pub use relation::Relation;
+pub use schema::{AttrId, Attribute, Schema};
+pub use value::{Value, ValueType};

@@ -1,0 +1,236 @@
+//! Hash group-by aggregation with multi-aggregate evaluation in one scan.
+//!
+//! The mining optimizations of the paper ("one query for all patterns
+//! sharing F and V", "one query per F∪V") rely on evaluating *all*
+//! aggregate calls of interest in a single pass; [`aggregate`] supports an
+//! arbitrary list of [`AggSpec`]s.
+
+use crate::agg::{Accumulator, AggSpec};
+use crate::error::{DataError, Result};
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::value::{Value, ValueType};
+use std::collections::HashMap;
+
+/// Result of a group-by: the output relation plus bookkeeping that mining
+/// uses (number of groups = `|π_G(R)|`, used for FD discovery).
+#[derive(Debug, Clone)]
+pub struct GroupByResult {
+    /// Output relation: group-by columns followed by one column per aggregate.
+    pub relation: Relation,
+    /// Number of distinct groups (`relation.num_rows()`, kept for clarity).
+    pub num_groups: usize,
+}
+
+/// `γ_{G, aggs}(R)`: hash aggregation.
+///
+/// The output schema is the group-by attributes (in the order given)
+/// followed by one column per aggregate, named like `count(*)` / `sum(x)`.
+/// Group order is the order of first appearance (deterministic).
+pub fn aggregate(rel: &Relation, group: &[AttrId], aggs: &[AggSpec]) -> Result<GroupByResult> {
+    aggregate_impl(rel, group, aggs, false)
+}
+
+/// Like [`aggregate`] but additionally appends a trailing `__rows` column
+/// holding each group's raw row count; mining uses it to evaluate local
+/// support without requiring `count(*)` among the requested aggregates.
+pub fn aggregate_with_row_count(
+    rel: &Relation,
+    group: &[AttrId],
+    aggs: &[AggSpec],
+) -> Result<GroupByResult> {
+    aggregate_impl(rel, group, aggs, true)
+}
+
+fn aggregate_impl(
+    rel: &Relation,
+    group: &[AttrId],
+    aggs: &[AggSpec],
+    with_rows: bool,
+) -> Result<GroupByResult> {
+    if aggs.is_empty() && !with_rows {
+        return Err(DataError::EmptyInput("aggregate list"));
+    }
+    for spec in aggs {
+        if let Some(a) = spec.attr {
+            let attr = rel.schema().attr(a)?;
+            if spec.func.requires_numeric() && !attr.value_type().is_numeric() {
+                return Err(DataError::NonNumericAggregate(attr.name().to_string()));
+            }
+        }
+    }
+
+    // Output schema.
+    let mut schema = rel.schema().project(group)?;
+    for spec in aggs {
+        let attr_name = match spec.attr {
+            Some(a) => Some(rel.schema().attr(a)?.name().to_string()),
+            None => None,
+        };
+        let name = spec.output_name(attr_name.as_deref());
+        let ty = match spec.func {
+            crate::agg::AggFunc::Count => ValueType::Int,
+            _ => ValueType::Float,
+        };
+        schema.push(crate::schema::Attribute::new(name, ty))?;
+    }
+    if with_rows {
+        schema.push(crate::schema::Attribute::new("__rows", ValueType::Int))?;
+    }
+
+    // Accumulate.
+    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut keys: Vec<Vec<Value>> = Vec::new();
+    let mut accs: Vec<Vec<Accumulator>> = Vec::new();
+    let mut row_counts: Vec<u64> = Vec::new();
+
+    // The key lookup is the hot path: reuse one scratch key per row and
+    // only allocate a persistent copy when a new group is first seen
+    // (hits — the common case — allocate nothing).
+    let mut scratch: Vec<Value> = Vec::with_capacity(group.len());
+    for i in 0..rel.num_rows() {
+        scratch.clear();
+        for &g in group {
+            scratch.push(rel.value(i, g).clone());
+        }
+        let slot = match groups.get(&scratch) {
+            Some(&s) => s,
+            None => {
+                let s = accs.len();
+                groups.insert(scratch.clone(), s);
+                keys.push(scratch.clone());
+                accs.push(aggs.iter().map(|sp| Accumulator::new(sp.func)).collect());
+                row_counts.push(0);
+                s
+            }
+        };
+        row_counts[slot] += 1;
+        for (acc, spec) in accs[slot].iter_mut().zip(aggs) {
+            let value = spec.attr.map(|a| rel.value(i, a));
+            acc.update(value)?;
+        }
+    }
+
+    // Materialize.
+    let mut out = Relation::with_capacity(schema, keys.len());
+    for (slot, key) in keys.into_iter().enumerate() {
+        let mut row = key;
+        for acc in &accs[slot] {
+            row.push(acc.finish());
+        }
+        if with_rows {
+            row.push(Value::Int(row_counts[slot] as i64));
+        }
+        out.push_row(row)?;
+    }
+    let num_groups = out.num_rows();
+    Ok(GroupByResult { relation: out, num_groups })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use crate::schema::Schema;
+
+    fn pubs() -> Relation {
+        let schema = Schema::new([
+            ("author", ValueType::Str),
+            ("year", ValueType::Int),
+            ("cites", ValueType::Int),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("ax"), Value::Int(2004), Value::Int(10)],
+                vec![Value::str("ax"), Value::Int(2004), Value::Int(20)],
+                vec![Value::str("ax"), Value::Int(2005), Value::Int(5)],
+                vec![Value::str("ay"), Value::Int(2004), Value::Int(7)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn count_star_per_group() {
+        let r = pubs();
+        let out = aggregate(&r, &[0, 1], &[AggSpec::count_star()]).unwrap().relation;
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.schema().names(), vec!["author", "year", "count(*)"]);
+        // (ax, 2004) appears first and has count 2.
+        assert_eq!(out.value(0, 2), &Value::Int(2));
+        assert_eq!(out.value(1, 2), &Value::Int(1));
+    }
+
+    #[test]
+    fn multiple_aggregates_single_pass() {
+        let r = pubs();
+        let out = aggregate(
+            &r,
+            &[0],
+            &[
+                AggSpec::count_star(),
+                AggSpec::over(AggFunc::Sum, 2),
+                AggSpec::over(AggFunc::Min, 2),
+                AggSpec::over(AggFunc::Max, 2),
+                AggSpec::over(AggFunc::Avg, 2),
+            ],
+        )
+        .unwrap()
+        .relation;
+        assert_eq!(out.num_rows(), 2);
+        // ax: 3 rows, cites 10+20+5
+        assert_eq!(out.value(0, 1), &Value::Int(3));
+        assert_eq!(out.value(0, 2), &Value::Float(35.0));
+        assert_eq!(out.value(0, 3), &Value::Float(5.0));
+        assert_eq!(out.value(0, 4), &Value::Float(20.0));
+        assert_eq!(out.value(0, 5), &Value::Float(35.0 / 3.0));
+    }
+
+    #[test]
+    fn group_on_all_attrs() {
+        let r = pubs();
+        let out = aggregate(&r, &[0, 1, 2], &[AggSpec::count_star()]).unwrap();
+        assert_eq!(out.num_groups, 4);
+    }
+
+    #[test]
+    fn empty_group_list_is_single_group() {
+        let r = pubs();
+        let out = aggregate(&r, &[], &[AggSpec::count_star()]).unwrap().relation;
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, 0), &Value::Int(4));
+    }
+
+    #[test]
+    fn rejects_non_numeric_sum() {
+        let r = pubs();
+        let err = aggregate(&r, &[1], &[AggSpec::over(AggFunc::Sum, 0)]);
+        assert!(matches!(err, Err(DataError::NonNumericAggregate(_))));
+    }
+
+    #[test]
+    fn rejects_empty_agg_list() {
+        let r = pubs();
+        assert!(aggregate(&r, &[0], &[]).is_err());
+    }
+
+    #[test]
+    fn row_count_column() {
+        let r = pubs();
+        let out = aggregate_with_row_count(&r, &[0], &[AggSpec::over(AggFunc::Sum, 2)])
+            .unwrap()
+            .relation;
+        let rows_col = out.schema().attr_id("__rows").unwrap();
+        assert_eq!(out.value(0, rows_col), &Value::Int(3));
+        assert_eq!(out.value(1, rows_col), &Value::Int(1));
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let r = Relation::new(pubs().schema().clone());
+        let out = aggregate(&r, &[0], &[AggSpec::count_star()]).unwrap();
+        assert_eq!(out.num_groups, 0);
+    }
+}

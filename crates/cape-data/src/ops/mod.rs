@@ -1,0 +1,13 @@
+//! Relational operators: selection, projection, sorting, aggregation, CUBE.
+
+mod aggregate;
+mod cube;
+mod project;
+mod select;
+mod sort;
+
+pub use aggregate::{aggregate, aggregate_with_row_count, GroupByResult};
+pub use cube::{cube, CubeSlice};
+pub use project::{distinct, distinct_project, project};
+pub use select::{filter, select};
+pub use sort::{sort_by, sort_perm, sorted_block_starts};

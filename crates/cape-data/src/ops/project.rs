@@ -1,0 +1,111 @@
+//! Projection (`π`) and duplicate elimination.
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// `π_cols(rel)` without duplicate elimination (bag projection).
+pub fn project(rel: &Relation, cols: &[AttrId]) -> Result<Relation> {
+    let schema = rel.schema().project(cols)?;
+    let mut out = Relation::with_capacity(schema, rel.num_rows());
+    for i in 0..rel.num_rows() {
+        out.push_row(rel.row_project(i, cols))?;
+    }
+    Ok(out)
+}
+
+/// Set-semantics duplicate elimination over whole rows, preserving first
+/// occurrence order.
+pub fn distinct(rel: &Relation) -> Relation {
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    let mut indices = Vec::new();
+    for i in 0..rel.num_rows() {
+        if seen.insert(rel.row(i)) {
+            indices.push(i);
+        }
+    }
+    rel.take(&indices)
+}
+
+/// `π_cols(rel)` with duplicate elimination — the paper's `frag(R, P) = π_F(R)`.
+pub fn distinct_project(rel: &Relation, cols: &[AttrId]) -> Result<Relation> {
+    let schema = rel.schema().project(cols)?;
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    let mut out = Relation::new(schema);
+    for i in 0..rel.num_rows() {
+        let row = rel.row_project(i, cols);
+        if seen.insert(row.clone()) {
+            out.push_row(row)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::{Value, ValueType};
+
+    fn rel() -> Relation {
+        let schema = Schema::new([
+            ("author", ValueType::Str),
+            ("year", ValueType::Int),
+            ("venue", ValueType::Str),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("ax"), Value::Int(2004), Value::str("KDD")],
+                vec![Value::str("ax"), Value::Int(2004), Value::str("KDD")],
+                vec![Value::str("ax"), Value::Int(2005), Value::str("ICDE")],
+                vec![Value::str("ay"), Value::Int(2004), Value::str("KDD")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bag_projection_keeps_duplicates() {
+        let r = rel();
+        let p = project(&r, &[0]).unwrap();
+        assert_eq!(p.num_rows(), 4);
+        assert_eq!(p.schema().names(), vec!["author"]);
+    }
+
+    #[test]
+    fn distinct_project_dedups() {
+        let r = rel();
+        let p = distinct_project(&r, &[0]).unwrap();
+        assert_eq!(p.num_rows(), 2);
+        let p2 = distinct_project(&r, &[0, 1]).unwrap();
+        assert_eq!(p2.num_rows(), 3);
+    }
+
+    #[test]
+    fn distinct_whole_rows() {
+        let r = rel();
+        let d = distinct(&r);
+        assert_eq!(d.num_rows(), 3);
+        // first-occurrence order preserved
+        assert_eq!(d.value(0, 1), &Value::Int(2004));
+        assert_eq!(d.value(1, 1), &Value::Int(2005));
+    }
+
+    #[test]
+    fn projection_validates_columns() {
+        let r = rel();
+        assert!(project(&r, &[7]).is_err());
+    }
+
+    #[test]
+    fn reordering_projection() {
+        let r = rel();
+        let p = project(&r, &[2, 0]).unwrap();
+        assert_eq!(p.schema().names(), vec!["venue", "author"]);
+        assert_eq!(p.row(0), vec![Value::str("KDD"), Value::str("ax")]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Selection (`σ`) over relations.
+
+use crate::pred::Predicate;
+use crate::relation::Relation;
+
+/// `σ_pred(rel)`: keep the rows satisfying the predicate.
+pub fn select(rel: &Relation, pred: &Predicate) -> Relation {
+    let indices: Vec<usize> = (0..rel.num_rows()).filter(|&i| pred.eval(rel, i)).collect();
+    rel.take(&indices)
+}
+
+/// Selection by arbitrary closure over the row index.
+pub fn filter<F: FnMut(&Relation, usize) -> bool>(rel: &Relation, mut keep: F) -> Relation {
+    let indices: Vec<usize> = (0..rel.num_rows()).filter(|&i| keep(rel, i)).collect();
+    rel.take(&indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::{Value, ValueType};
+
+    fn rel() -> Relation {
+        let schema = Schema::new([("a", ValueType::Int), ("b", ValueType::Str)]).unwrap();
+        Relation::from_rows(
+            schema,
+            (0..10).map(|i| vec![Value::Int(i), Value::str(if i % 2 == 0 { "even" } else { "odd" })]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_by_predicate() {
+        let r = rel();
+        let out = select(&r, &Predicate::Eq(1, Value::str("even")));
+        assert_eq!(out.num_rows(), 5);
+        assert!(out.iter_rows().all(|row| row[1] == Value::str("even")));
+    }
+
+    #[test]
+    fn select_true_is_identity() {
+        let r = rel();
+        let out = select(&r, &Predicate::True);
+        assert_eq!(out.num_rows(), r.num_rows());
+    }
+
+    #[test]
+    fn filter_by_closure() {
+        let r = rel();
+        let out = filter(&r, |rel, i| rel.value(i, 0).as_i64().unwrap() >= 7);
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = rel();
+        let out = select(&r, &Predicate::Eq(0, Value::Int(99)));
+        assert!(out.is_empty());
+        assert_eq!(out.schema(), r.schema());
+    }
+}

@@ -1,0 +1,120 @@
+//! Multi-key sorting and sorted-block utilities.
+//!
+//! ARP-MINE relies on sorting an aggregated result so that all tuples of a
+//! fragment (`t[F] = f`) form one consecutive block; [`sorted_block_starts`]
+//! recovers those block boundaries in a single scan.
+
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use std::cmp::Ordering;
+
+/// Compute the permutation that sorts `rel` by `keys` (lexicographic,
+/// ascending). The sort is stable.
+pub fn sort_perm(rel: &Relation, keys: &[AttrId]) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..rel.num_rows()).collect();
+    perm.sort_by(|&a, &b| {
+        for &k in keys {
+            match rel.value(a, k).cmp(rel.value(b, k)) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    });
+    perm
+}
+
+/// Return a copy of `rel` sorted by `keys` (the paper's
+/// `SELECT * FROM D ORDER BY S`).
+pub fn sort_by(rel: &Relation, keys: &[AttrId]) -> Relation {
+    let perm = sort_perm(rel, keys);
+    rel.take(&perm)
+}
+
+/// Given a relation already sorted on `prefix`, return the start index of
+/// each block of equal `prefix` values, plus a final sentinel equal to
+/// `num_rows`. An empty relation yields `[0]`.
+pub fn sorted_block_starts(rel: &Relation, prefix: &[AttrId]) -> Vec<usize> {
+    let n = rel.num_rows();
+    if n == 0 {
+        return vec![0];
+    }
+    let mut starts = vec![0];
+    for i in 1..n {
+        let differs = prefix.iter().any(|&k| rel.value(i, k) != rel.value(i - 1, k));
+        if differs {
+            starts.push(i);
+        }
+    }
+    starts.push(n);
+    starts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::{Value, ValueType};
+
+    fn rel() -> Relation {
+        let schema = Schema::new([
+            ("venue", ValueType::Str),
+            ("year", ValueType::Int),
+            ("cnt", ValueType::Int),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("VLDB"), Value::Int(2008), Value::Int(1)],
+                vec![Value::str("KDD"), Value::Int(2007), Value::Int(2)],
+                vec![Value::str("KDD"), Value::Int(2006), Value::Int(3)],
+                vec![Value::str("VLDB"), Value::Int(2006), Value::Int(4)],
+                vec![Value::str("KDD"), Value::Int(2006), Value::Int(5)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let s = sort_by(&rel(), &[0, 1]);
+        let years: Vec<i64> = (0..s.num_rows()).map(|i| s.value(i, 1).as_i64().unwrap()).collect();
+        assert_eq!(years, vec![2006, 2006, 2007, 2006, 2008]);
+        assert_eq!(s.value(0, 0), &Value::str("KDD"));
+        assert_eq!(s.value(4, 0), &Value::str("VLDB"));
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        // The two (KDD, 2006) rows must retain input order (cnt 3 before 5).
+        let s = sort_by(&rel(), &[0, 1]);
+        assert_eq!(s.value(0, 2), &Value::Int(3));
+        assert_eq!(s.value(1, 2), &Value::Int(5));
+    }
+
+    #[test]
+    fn block_starts() {
+        let s = sort_by(&rel(), &[0]);
+        let starts = sorted_block_starts(&s, &[0]);
+        assert_eq!(starts, vec![0, 3, 5]); // KDD block of 3, VLDB block of 2
+    }
+
+    #[test]
+    fn block_starts_on_empty_and_single() {
+        let empty = Relation::new(rel().schema().clone());
+        assert_eq!(sorted_block_starts(&empty, &[0]), vec![0]);
+        let one = rel().take(&[0]);
+        assert_eq!(sorted_block_starts(&one, &[0]), vec![0, 1]);
+    }
+
+    #[test]
+    fn perm_matches_take() {
+        let r = rel();
+        let perm = sort_perm(&r, &[1]);
+        let s = r.take(&perm);
+        for i in 1..s.num_rows() {
+            assert!(s.value(i - 1, 1) <= s.value(i, 1));
+        }
+    }
+}

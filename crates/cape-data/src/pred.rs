@@ -1,0 +1,125 @@
+//! Selection predicates over relations.
+
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::value::Value;
+
+/// A boolean predicate over a tuple, evaluated positionally.
+///
+/// This is deliberately small: CAPE's retrieval queries only need
+/// conjunctions of equality comparisons (`σ_{F=f}`), but comparison and
+/// boolean combinators are provided for examples and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// `attr = value`.
+    Eq(AttrId, Value),
+    /// `attr != value`.
+    Ne(AttrId, Value),
+    /// `attr < value`.
+    Lt(AttrId, Value),
+    /// `attr <= value`.
+    Le(AttrId, Value),
+    /// `attr > value`.
+    Gt(AttrId, Value),
+    /// `attr >= value`.
+    Ge(AttrId, Value),
+    /// `attr IN (values)`.
+    In(AttrId, Vec<Value>),
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Build `attr_0 = key_0 AND attr_1 = key_1 AND ...` — the retrieval
+    /// query selection `σ_{F = f}` of the paper.
+    pub fn key_match(attrs: &[AttrId], key: &[Value]) -> Predicate {
+        debug_assert_eq!(attrs.len(), key.len());
+        Predicate::And(
+            attrs
+                .iter()
+                .zip(key)
+                .map(|(&a, v)| Predicate::Eq(a, v.clone()))
+                .collect(),
+        )
+    }
+
+    /// Evaluate against row `row` of `rel`.
+    pub fn eval(&self, rel: &Relation, row: usize) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Eq(a, v) => rel.value(row, *a) == v,
+            Predicate::Ne(a, v) => rel.value(row, *a) != v,
+            Predicate::Lt(a, v) => rel.value(row, *a) < v,
+            Predicate::Le(a, v) => rel.value(row, *a) <= v,
+            Predicate::Gt(a, v) => rel.value(row, *a) > v,
+            Predicate::Ge(a, v) => rel.value(row, *a) >= v,
+            Predicate::In(a, vs) => vs.iter().any(|v| rel.value(row, *a) == v),
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(rel, row)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(rel, row)),
+            Predicate::Not(p) => !p.eval(rel, row),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn rel() -> Relation {
+        let schema =
+            Schema::new([("venue", ValueType::Str), ("year", ValueType::Int)]).unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("SIGMOD"), Value::Int(2007)],
+                vec![Value::str("VLDB"), Value::Int(2008)],
+                vec![Value::str("SIGMOD"), Value::Int(2009)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn comparisons() {
+        let r = rel();
+        assert!(Predicate::Eq(0, Value::str("SIGMOD")).eval(&r, 0));
+        assert!(!Predicate::Eq(0, Value::str("SIGMOD")).eval(&r, 1));
+        assert!(Predicate::Ne(0, Value::str("SIGMOD")).eval(&r, 1));
+        assert!(Predicate::Lt(1, Value::Int(2008)).eval(&r, 0));
+        assert!(Predicate::Le(1, Value::Int(2007)).eval(&r, 0));
+        assert!(Predicate::Gt(1, Value::Int(2008)).eval(&r, 2));
+        assert!(Predicate::Ge(1, Value::Int(2009)).eval(&r, 2));
+        assert!(Predicate::In(1, vec![Value::Int(2008), Value::Int(2009)]).eval(&r, 1));
+        assert!(Predicate::True.eval(&r, 0));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let r = rel();
+        let p = Predicate::And(vec![
+            Predicate::Eq(0, Value::str("SIGMOD")),
+            Predicate::Gt(1, Value::Int(2008)),
+        ]);
+        assert!(!p.eval(&r, 0));
+        assert!(p.eval(&r, 2));
+        let q = Predicate::Or(vec![p.clone(), Predicate::Eq(1, Value::Int(2007))]);
+        assert!(q.eval(&r, 0));
+        assert!(Predicate::Not(Box::new(q.clone())).eval(&r, 1));
+    }
+
+    #[test]
+    fn key_match_builds_conjunction() {
+        let r = rel();
+        let p = Predicate::key_match(&[0, 1], &[Value::str("VLDB"), Value::Int(2008)]);
+        assert!(p.eval(&r, 1));
+        assert!(!p.eval(&r, 0));
+    }
+}

@@ -1,0 +1,249 @@
+//! Columnar in-memory relations.
+//!
+//! A [`Relation`] stores tuples column-wise (`Vec<Value>` per attribute).
+//! This favours the access patterns of CAPE's workload: aggregation and
+//! sorting touch a few columns of many rows.
+
+use crate::error::{DataError, Result};
+use crate::schema::{AttrId, Schema};
+use crate::value::Value;
+use std::fmt;
+
+/// A columnar relation (bag of tuples) with a fixed [`Schema`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    columns: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl Relation {
+    /// Create an empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = (0..schema.arity()).map(|_| Vec::new()).collect();
+        Relation { schema, columns, rows: 0 }
+    }
+
+    /// Create an empty relation, pre-allocating `capacity` rows per column.
+    pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
+        let columns = (0..schema.arity()).map(|_| Vec::with_capacity(capacity)).collect();
+        Relation { schema, columns, rows: 0 }
+    }
+
+    /// Build a relation from rows (convenience for tests and examples).
+    pub fn from_rows<I>(schema: Schema, rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        let mut rel = Relation::new(schema);
+        for row in rows {
+            rel.push_row(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Append one row; the row arity must match the schema.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(DataError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: row.len(),
+            });
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Read a single cell.
+    pub fn value(&self, row: usize, col: AttrId) -> &Value {
+        &self.columns[col][row]
+    }
+
+    /// Borrow an entire column.
+    pub fn column(&self, col: AttrId) -> &[Value] {
+        &self.columns[col]
+    }
+
+    /// Materialize row `i` as an owned vector.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c[i].clone()).collect()
+    }
+
+    /// Materialize the projection of row `i` onto `cols`.
+    pub fn row_project(&self, i: usize, cols: &[AttrId]) -> Vec<Value> {
+        cols.iter().map(|&c| self.columns[c][i].clone()).collect()
+    }
+
+    /// Iterate over all rows as owned vectors.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// Keep only the rows at the given indices (in the given order).
+    pub fn take(&self, indices: &[usize]) -> Relation {
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| indices.iter().map(|&i| col[i].clone()).collect())
+            .collect();
+        Relation { schema: self.schema.clone(), columns, rows: indices.len() }
+    }
+
+    /// Append all rows of `other`; schemas must have identical shape.
+    pub fn extend(&mut self, other: &Relation) -> Result<()> {
+        if !self.schema.same_shape(&other.schema) {
+            return Err(DataError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: other.schema.arity(),
+            });
+        }
+        for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
+            dst.extend(src.iter().cloned());
+        }
+        self.rows += other.rows;
+        Ok(())
+    }
+
+    /// Render the first `limit` rows as an ASCII table (for examples/demos).
+    pub fn to_ascii(&self, limit: usize) -> String {
+        let names = self.schema.names();
+        let shown = self.rows.min(limit);
+        let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
+        for i in 0..shown {
+            let row: Vec<String> =
+                (0..self.schema.arity()).map(|c| self.value(i, c).to_string()).collect();
+            for (w, cell) in widths.iter_mut().zip(&row) {
+                *w = (*w).max(cell.len());
+            }
+            cells.push(row);
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (n, w) in names.iter().zip(&widths) {
+            out.push_str(&format!(" {n:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &cells {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {cell:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        if shown < self.rows {
+            out.push_str(&format!("... {} more rows\n", self.rows - shown));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_ascii(20))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    fn sample() -> Relation {
+        let schema = Schema::new([
+            ("author", ValueType::Str),
+            ("year", ValueType::Int),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("ax"), Value::Int(2004)],
+                vec![Value::str("ax"), Value::Int(2005)],
+                vec![Value::str("ay"), Value::Int(2004)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_and_read() {
+        let r = sample();
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.value(1, 1), &Value::Int(2005));
+        assert_eq!(r.row(2), vec![Value::str("ay"), Value::Int(2004)]);
+        assert_eq!(r.row_project(0, &[1]), vec![Value::Int(2004)]);
+        assert_eq!(r.column(0).len(), 3);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut r = sample();
+        assert!(r.push_row(vec![Value::Int(1)]).is_err());
+        assert_eq!(r.num_rows(), 3);
+    }
+
+    #[test]
+    fn take_reorders() {
+        let r = sample();
+        let t = r.take(&[2, 0]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(0, 0), &Value::str("ay"));
+        assert_eq!(t.value(1, 0), &Value::str("ax"));
+    }
+
+    #[test]
+    fn extend_checks_shape() {
+        let mut r = sample();
+        let other = sample();
+        r.extend(&other).unwrap();
+        assert_eq!(r.num_rows(), 6);
+        let bad = Relation::new(Schema::new([("x", ValueType::Int)]).unwrap());
+        assert!(r.extend(&bad).is_err());
+    }
+
+    #[test]
+    fn ascii_rendering() {
+        let r = sample();
+        let s = r.to_ascii(2);
+        assert!(s.contains("author"));
+        assert!(s.contains("2004"));
+        assert!(s.contains("1 more rows"));
+        assert!(r.to_string().contains("ay"));
+    }
+
+    #[test]
+    fn iter_rows_yields_all() {
+        let r = sample();
+        assert_eq!(r.iter_rows().count(), 3);
+    }
+}

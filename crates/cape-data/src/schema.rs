@@ -1,0 +1,198 @@
+//! Relation schemas: ordered, named, typed attribute lists.
+
+use crate::error::{DataError, Result};
+use crate::value::ValueType;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of an attribute within a schema.
+pub type AttrId = usize;
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: Arc<str>,
+    ty: ValueType,
+}
+
+impl Attribute {
+    /// Create an attribute.
+    pub fn new(name: impl AsRef<str>, ty: ValueType) -> Self {
+        Attribute { name: Arc::from(name.as_ref()), ty }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's declared type.
+    pub fn value_type(&self) -> ValueType {
+        self.ty
+    }
+}
+
+/// An ordered list of uniquely named attributes.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+    by_name: HashMap<Arc<str>, AttrId>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs, rejecting duplicates.
+    pub fn new<I, S>(attrs: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (S, ValueType)>,
+        S: AsRef<str>,
+    {
+        let mut out = Schema { attrs: Vec::new(), by_name: HashMap::new() };
+        for (name, ty) in attrs {
+            out.push(Attribute::new(name, ty))?;
+        }
+        Ok(out)
+    }
+
+    /// Append an attribute, rejecting duplicate names.
+    pub fn push(&mut self, attr: Attribute) -> Result<AttrId> {
+        if self.by_name.contains_key(attr.name.as_ref()) {
+            return Err(DataError::DuplicateAttribute(attr.name().to_string()));
+        }
+        let id = self.attrs.len();
+        self.by_name.insert(attr.name.clone(), id);
+        self.attrs.push(attr);
+        Ok(id)
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Attribute by index.
+    pub fn attr(&self, id: AttrId) -> Result<&Attribute> {
+        self.attrs
+            .get(id)
+            .ok_or(DataError::AttributeIndexOutOfBounds { index: id, arity: self.attrs.len() })
+    }
+
+    /// Look up an attribute id by name.
+    pub fn attr_id(&self, name: &str) -> Result<AttrId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Resolve several names to ids at once.
+    pub fn attr_ids<S: AsRef<str>>(&self, names: &[S]) -> Result<Vec<AttrId>> {
+        names.iter().map(|n| self.attr_id(n.as_ref())).collect()
+    }
+
+    /// Iterate over the attributes in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Attribute> {
+        self.attrs.iter()
+    }
+
+    /// Attribute names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attrs.iter().map(|a| a.name()).collect()
+    }
+
+    /// Sub-schema obtained by projecting onto `ids` (in the given order).
+    pub fn project(&self, ids: &[AttrId]) -> Result<Schema> {
+        let mut out = Schema { attrs: Vec::new(), by_name: HashMap::new() };
+        for &id in ids {
+            out.push(self.attr(id)?.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Two schemas are compatible if names and types match position-wise.
+    pub fn same_shape(&self, other: &Schema) -> bool {
+        self.attrs == other.attrs
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.attrs == other.attrs
+    }
+}
+
+impl Eq for Schema {}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name(), a.value_type())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pub_schema() -> Schema {
+        Schema::new([
+            ("author", ValueType::Str),
+            ("pubid", ValueType::Str),
+            ("year", ValueType::Int),
+            ("venue", ValueType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_resolves_names() {
+        let s = pub_schema();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.attr_id("year").unwrap(), 2);
+        assert_eq!(s.attr(3).unwrap().name(), "venue");
+        assert!(s.attr_id("nope").is_err());
+        assert!(s.attr(9).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let r = Schema::new([("a", ValueType::Int), ("a", ValueType::Str)]);
+        assert!(matches!(r, Err(DataError::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn projection_preserves_order() {
+        let s = pub_schema();
+        let p = s.project(&[3, 0]).unwrap();
+        assert_eq!(p.names(), vec!["venue", "author"]);
+        assert_eq!(p.attr_id("author").unwrap(), 1);
+    }
+
+    #[test]
+    fn display_and_equality() {
+        let s = pub_schema();
+        assert!(s.to_string().contains("author: str"));
+        assert_eq!(s, pub_schema());
+        assert!(s.same_shape(&pub_schema()));
+        let other = Schema::new([("author", ValueType::Str)]).unwrap();
+        assert_ne!(s, other);
+    }
+
+    #[test]
+    fn attr_ids_batch() {
+        let s = pub_schema();
+        assert_eq!(s.attr_ids(&["venue", "year"]).unwrap(), vec![3, 2]);
+        assert!(s.attr_ids(&["venue", "bogus"]).is_err());
+    }
+}

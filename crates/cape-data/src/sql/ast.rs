@@ -1,0 +1,194 @@
+//! SQL abstract syntax tree.
+
+use crate::agg::AggFunc;
+use crate::value::Value;
+
+/// A scalar/boolean expression (used in `WHERE`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Col(String),
+    /// Literal value.
+    Lit(Value),
+    /// Comparison `lhs op rhs`.
+    Cmp {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `lhs AND rhs`.
+    And(Box<Expr>, Box<Expr>),
+    /// `lhs OR rhs`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `NOT e`.
+    Not(Box<Expr>),
+    /// `col IN (v1, v2, ...)`.
+    InList {
+        /// The tested column.
+        col: String,
+        /// Allowed values.
+        list: Vec<Value>,
+    },
+    /// `col BETWEEN lo AND hi`.
+    Between {
+        /// The tested column.
+        col: String,
+        /// Lower bound (inclusive).
+        lo: Value,
+        /// Upper bound (inclusive).
+        hi: Value,
+    },
+}
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// An aggregate call in the projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// Function name resolved to the engine's aggregate.
+    pub func: AggFunc,
+    /// Aggregated column, `None` = `*` (only valid for `count`).
+    pub arg: Option<String>,
+}
+
+/// One item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// Bare `*` — all columns (only valid without GROUP BY).
+    Wildcard,
+    /// A column, with an optional `AS` alias.
+    Column {
+        /// Column name.
+        name: String,
+        /// Optional output alias.
+        alias: Option<String>,
+    },
+    /// An aggregate call, with an optional `AS` alias.
+    Aggregate {
+        /// The aggregate call.
+        call: AggCall,
+        /// Optional output alias.
+        alias: Option<String>,
+    },
+}
+
+/// `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Output-column name (a projection alias or a column name).
+    pub column: String,
+    /// Ascending (default) or descending.
+    pub ascending: bool,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// Table name (informational — execution receives the relation).
+    pub table: String,
+    /// Optional `WHERE` clause.
+    pub selection: Option<Expr>,
+    /// `GROUP BY` columns (empty = no grouping).
+    pub group_by: Vec<String>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+}
+
+impl SelectStmt {
+    /// The aggregate calls in the projection, in order.
+    pub fn aggregates(&self) -> Vec<&AggCall> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                SelectItem::Aggregate { call, .. } => Some(call),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether this is a group-by aggregation query of the paper's shape
+    /// (`SELECT G, agg(A) FROM R GROUP BY G` — exactly one aggregate and
+    /// the projected columns equal to the group-by columns).
+    pub fn is_cape_query(&self) -> bool {
+        if self.group_by.is_empty() || self.aggregates().len() != 1 {
+            return false;
+        }
+        let projected: Vec<&String> = self
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                SelectItem::Column { name, .. } => Some(name),
+                _ => None,
+            })
+            .collect();
+        projected.len() == self.group_by.len()
+            && projected.iter().all(|c| self.group_by.contains(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q0() -> SelectStmt {
+        SelectStmt {
+            items: vec![
+                SelectItem::Column { name: "author".into(), alias: None },
+                SelectItem::Column { name: "year".into(), alias: None },
+                SelectItem::Aggregate {
+                    call: AggCall { func: AggFunc::Count, arg: None },
+                    alias: Some("pubcnt".into()),
+                },
+            ],
+            table: "pub".into(),
+            selection: None,
+            group_by: vec!["author".into(), "year".into()],
+            order_by: vec![],
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn cape_query_shape() {
+        let q = q0();
+        assert!(q.is_cape_query());
+        assert_eq!(q.aggregates().len(), 1);
+
+        let mut no_group = q.clone();
+        no_group.group_by.clear();
+        assert!(!no_group.is_cape_query());
+
+        let mut extra_col = q.clone();
+        extra_col.items.push(SelectItem::Column { name: "venue".into(), alias: None });
+        assert!(!extra_col.is_cape_query());
+
+        let mut two_aggs = q;
+        two_aggs.items.push(SelectItem::Aggregate {
+            call: AggCall { func: AggFunc::Sum, arg: Some("year".into()) },
+            alias: None,
+        });
+        assert!(!two_aggs.is_cape_query());
+    }
+}

@@ -1,0 +1,377 @@
+//! SQL execution against an in-memory relation.
+
+use super::ast::{AggCall, CmpOp, Expr, SelectItem, SelectStmt};
+use super::SqlError;
+use crate::agg::AggSpec;
+use crate::ops::{aggregate, filter, project, sort_by};
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::value::Value;
+
+/// Execute a parsed statement against `rel` (which plays the role of the
+/// statement's `FROM` table).
+pub fn execute(stmt: &SelectStmt, rel: &Relation) -> Result<Relation, SqlError> {
+    // 1. WHERE.
+    let filtered = match &stmt.selection {
+        Some(expr) => {
+            let compiled = compile_expr(expr, rel)?;
+            filter(rel, |r, i| truthy(&compiled.eval(r, i)))
+        }
+        None => rel.clone(),
+    };
+
+    // 2. Projection / aggregation.
+    let mut out = if stmt.group_by.is_empty() && stmt.aggregates().is_empty() {
+        plain_projection(stmt, &filtered)?
+    } else {
+        grouped_projection(stmt, &filtered)?
+    };
+
+    // 3. ORDER BY on output columns.
+    if !stmt.order_by.is_empty() {
+        // Handle mixed directions by sorting sequentially from the least
+        // significant key (stable sort makes this correct).
+        for key in stmt.order_by.iter().rev() {
+            let col = out
+                .schema()
+                .attr_id(&key.column)
+                .map_err(|_| SqlError::Exec(format!("unknown ORDER BY column `{}`", key.column)))?;
+            out = sort_by(&out, &[col]);
+            if !key.ascending {
+                let rev: Vec<usize> = (0..out.num_rows()).rev().collect();
+                out = out.take(&rev);
+            }
+        }
+    }
+
+    // 4. LIMIT.
+    if let Some(limit) = stmt.limit {
+        if limit < out.num_rows() {
+            let idx: Vec<usize> = (0..limit).collect();
+            out = out.take(&idx);
+        }
+    }
+    Ok(out)
+}
+
+fn plain_projection(stmt: &SelectStmt, rel: &Relation) -> Result<Relation, SqlError> {
+    if stmt.items.iter().any(|i| matches!(i, SelectItem::Wildcard)) {
+        if stmt.items.len() != 1 {
+            return Err(SqlError::Exec("`*` cannot be combined with other items".into()));
+        }
+        return Ok(rel.clone());
+    }
+    let mut cols = Vec::new();
+    let mut names = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Column { name, alias } => {
+                let id = rel
+                    .schema()
+                    .attr_id(name)
+                    .map_err(|_| SqlError::Exec(format!("unknown column `{name}`")))?;
+                cols.push(id);
+                names.push(alias.clone().unwrap_or_else(|| name.clone()));
+            }
+            other => return Err(SqlError::Exec(format!("unexpected item {other:?}"))),
+        }
+    }
+    let mut out = project(rel, &cols)?;
+    out = rename(out, &names)?;
+    Ok(out)
+}
+
+fn grouped_projection(stmt: &SelectStmt, rel: &Relation) -> Result<Relation, SqlError> {
+    // Resolve group-by columns.
+    let group: Result<Vec<AttrId>, SqlError> = stmt
+        .group_by
+        .iter()
+        .map(|name| {
+            rel.schema()
+                .attr_id(name)
+                .map_err(|_| SqlError::Exec(format!("unknown GROUP BY column `{name}`")))
+        })
+        .collect();
+    let group = group?;
+
+    // Validate projection: every plain column must be grouped; build the
+    // aggregate list in projection order.
+    let mut specs: Vec<AggSpec> = Vec::new();
+    let mut output_order: Vec<(bool, usize, Option<String>)> = Vec::new(); // (is_agg, index, alias)
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(SqlError::Exec("`*` is not allowed with GROUP BY".into()))
+            }
+            SelectItem::Column { name, alias } => {
+                let id = rel
+                    .schema()
+                    .attr_id(name)
+                    .map_err(|_| SqlError::Exec(format!("unknown column `{name}`")))?;
+                let pos = group.iter().position(|&g| g == id).ok_or_else(|| {
+                    SqlError::Exec(format!("column `{name}` must appear in GROUP BY"))
+                })?;
+                output_order.push((false, pos, alias.clone()));
+            }
+            SelectItem::Aggregate { call, alias } => {
+                let spec = resolve_agg(call, rel)?;
+                specs.push(spec);
+                output_order.push((true, specs.len() - 1, alias.clone()));
+            }
+        }
+    }
+    if specs.is_empty() {
+        return Err(SqlError::Exec("GROUP BY requires at least one aggregate".into()));
+    }
+
+    let grouped = aggregate(rel, &group, &specs)?.relation;
+
+    // Reorder/rename to match the projection list.
+    let mut cols = Vec::new();
+    let mut names = Vec::new();
+    for (is_agg, idx, alias) in output_order {
+        let col = if is_agg { group.len() + idx } else { idx };
+        cols.push(col);
+        let default = grouped.schema().attr(col)?.name().to_string();
+        names.push(alias.unwrap_or(default));
+    }
+    let out = project(&grouped, &cols)?;
+    rename(out, &names)
+}
+
+fn resolve_agg(call: &AggCall, rel: &Relation) -> Result<AggSpec, SqlError> {
+    let attr = match &call.arg {
+        Some(name) => Some(
+            rel.schema()
+                .attr_id(name)
+                .map_err(|_| SqlError::Exec(format!("unknown aggregate column `{name}`")))?,
+        ),
+        None => None,
+    };
+    Ok(AggSpec { func: call.func, attr })
+}
+
+fn rename(rel: Relation, names: &[String]) -> Result<Relation, SqlError> {
+    use crate::schema::{Attribute, Schema};
+    let mut schema = Schema::new(Vec::<(String, crate::value::ValueType)>::new())?;
+    for (i, name) in names.iter().enumerate() {
+        let ty = rel.schema().attr(i)?.value_type();
+        schema
+            .push(Attribute::new(name, ty))
+            .map_err(|_| SqlError::Exec(format!("duplicate output column `{name}`")))?;
+    }
+    let mut out = Relation::with_capacity(schema, rel.num_rows());
+    for i in 0..rel.num_rows() {
+        out.push_row(rel.row(i))?;
+    }
+    Ok(out)
+}
+
+/// A compiled expression with column names resolved to indices.
+enum Compiled {
+    Col(AttrId),
+    Lit(Value),
+    Cmp(CmpOp, Box<Compiled>, Box<Compiled>),
+    And(Box<Compiled>, Box<Compiled>),
+    Or(Box<Compiled>, Box<Compiled>),
+    Not(Box<Compiled>),
+    InList(AttrId, Vec<Value>),
+    Between(AttrId, Value, Value),
+}
+
+impl Compiled {
+    fn eval(&self, rel: &Relation, row: usize) -> Value {
+        match self {
+            Compiled::Col(a) => rel.value(row, *a).clone(),
+            Compiled::Lit(v) => v.clone(),
+            Compiled::Cmp(op, lhs, rhs) => {
+                let l = lhs.eval(rel, row);
+                let r = rhs.eval(rel, row);
+                let b = match op {
+                    CmpOp::Eq => l == r,
+                    CmpOp::Ne => l != r,
+                    CmpOp::Lt => l < r,
+                    CmpOp::Le => l <= r,
+                    CmpOp::Gt => l > r,
+                    CmpOp::Ge => l >= r,
+                };
+                Value::Int(b as i64)
+            }
+            Compiled::And(a, b) => {
+                Value::Int((truthy(&a.eval(rel, row)) && truthy(&b.eval(rel, row))) as i64)
+            }
+            Compiled::Or(a, b) => {
+                Value::Int((truthy(&a.eval(rel, row)) || truthy(&b.eval(rel, row))) as i64)
+            }
+            Compiled::Not(a) => Value::Int(!truthy(&a.eval(rel, row)) as i64),
+            Compiled::InList(a, list) => {
+                Value::Int(list.iter().any(|v| rel.value(row, *a) == v) as i64)
+            }
+            Compiled::Between(a, lo, hi) => {
+                let v = rel.value(row, *a);
+                Value::Int((v >= lo && v <= hi) as i64)
+            }
+        }
+    }
+}
+
+fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Null => false,
+        Value::Int(i) => *i != 0,
+        Value::Float(f) => *f != 0.0,
+        Value::Str(s) => !s.is_empty(),
+    }
+}
+
+fn compile_expr(expr: &Expr, rel: &Relation) -> Result<Compiled, SqlError> {
+    let col = |name: &str| -> Result<AttrId, SqlError> {
+        rel.schema().attr_id(name).map_err(|_| SqlError::Exec(format!("unknown column `{name}`")))
+    };
+    Ok(match expr {
+        Expr::Col(name) => Compiled::Col(col(name)?),
+        Expr::Lit(v) => Compiled::Lit(v.clone()),
+        Expr::Cmp { op, lhs, rhs } => Compiled::Cmp(
+            *op,
+            Box::new(compile_expr(lhs, rel)?),
+            Box::new(compile_expr(rhs, rel)?),
+        ),
+        Expr::And(a, b) => {
+            Compiled::And(Box::new(compile_expr(a, rel)?), Box::new(compile_expr(b, rel)?))
+        }
+        Expr::Or(a, b) => {
+            Compiled::Or(Box::new(compile_expr(a, rel)?), Box::new(compile_expr(b, rel)?))
+        }
+        Expr::Not(a) => Compiled::Not(Box::new(compile_expr(a, rel)?)),
+        Expr::InList { col: c, list } => Compiled::InList(col(c)?, list.clone()),
+        Expr::Between { col: c, lo, hi } => Compiled::Between(col(c)?, lo.clone(), hi.clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse;
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn pubs() -> Relation {
+        let schema = Schema::new([
+            ("author", ValueType::Str),
+            ("year", ValueType::Int),
+            ("venue", ValueType::Str),
+            ("cites", ValueType::Int),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("ax"), Value::Int(2006), Value::str("KDD"), Value::Int(10)],
+                vec![Value::str("ax"), Value::Int(2007), Value::str("KDD"), Value::Int(5)],
+                vec![Value::str("ax"), Value::Int(2007), Value::str("ICDE"), Value::Int(8)],
+                vec![Value::str("ay"), Value::Int(2007), Value::str("KDD"), Value::Int(2)],
+                vec![Value::str("ay"), Value::Int(2008), Value::str("ICDE"), Value::Int(4)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn run(sql: &str) -> Relation {
+        execute(&parse(sql).unwrap(), &pubs()).unwrap()
+    }
+
+    #[test]
+    fn group_by_count() {
+        let out = run("SELECT author, count(*) AS n FROM pub GROUP BY author");
+        assert_eq!(out.schema().names(), vec!["author", "n"]);
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, 1), &Value::Int(3)); // ax
+        assert_eq!(out.value(1, 1), &Value::Int(2)); // ay
+    }
+
+    #[test]
+    fn where_then_group() {
+        let out = run("SELECT venue, sum(cites) FROM pub WHERE year = 2007 GROUP BY venue");
+        assert_eq!(out.num_rows(), 2);
+        // KDD 2007: 5 + 2 = 7; ICDE 2007: 8.
+        let kdd = (0..2).find(|&i| out.value(i, 0) == &Value::str("KDD")).unwrap();
+        assert_eq!(out.value(kdd, 1), &Value::Float(7.0));
+    }
+
+    #[test]
+    fn complex_where() {
+        let out = run(
+            "SELECT * FROM pub WHERE (author = 'ax' AND year >= 2007) OR venue IN ('ICDE')",
+        );
+        assert_eq!(out.num_rows(), 3);
+        let out = run("SELECT * FROM pub WHERE year BETWEEN 2007 AND 2008 AND NOT venue = 'KDD'");
+        assert_eq!(out.num_rows(), 2);
+        // Sanity: the OR query matches (ax,2007,KDD), (ax,2007,ICDE), (ay,2008,ICDE).
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let out = run(
+            "SELECT author, year, cites FROM pub ORDER BY cites DESC LIMIT 2",
+        );
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, 2), &Value::Int(10));
+        assert_eq!(out.value(1, 2), &Value::Int(8));
+    }
+
+    #[test]
+    fn multi_key_order_mixed_directions() {
+        let out = run("SELECT author, year FROM pub ORDER BY author ASC, year DESC");
+        assert_eq!(out.value(0, 0), &Value::str("ax"));
+        assert_eq!(out.value(0, 1), &Value::Int(2007));
+        assert_eq!(out.value(2, 1), &Value::Int(2006));
+    }
+
+    #[test]
+    fn projection_with_alias_and_reorder() {
+        let out = run("SELECT venue AS v, author FROM pub LIMIT 1");
+        assert_eq!(out.schema().names(), vec!["v", "author"]);
+        assert_eq!(out.value(0, 0), &Value::str("KDD"));
+    }
+
+    #[test]
+    fn aggregate_order_interleaved() {
+        // Aggregate listed before a group column.
+        let out = run("SELECT count(*) AS n, author FROM pub GROUP BY author");
+        assert_eq!(out.schema().names(), vec!["n", "author"]);
+        assert_eq!(out.value(0, 0), &Value::Int(3));
+        assert_eq!(out.value(0, 1), &Value::str("ax"));
+    }
+
+    #[test]
+    fn execution_errors() {
+        let e = execute(&parse("SELECT bogus FROM t").unwrap(), &pubs());
+        assert!(matches!(e, Err(SqlError::Exec(_))));
+        let e = execute(&parse("SELECT author FROM t GROUP BY author").unwrap(), &pubs());
+        assert!(e.is_err(), "group by without aggregate");
+        // GROUP BY only accepts column names; an aggregate there is a parse error.
+        assert!(parse("SELECT venue FROM t GROUP BY author, count(*)").is_err());
+        let e = execute(
+            &parse("SELECT venue, count(*) FROM t GROUP BY author").unwrap(),
+            &pubs(),
+        );
+        assert!(e.is_err(), "ungrouped projected column");
+        let e = execute(
+            &parse("SELECT author, count(*) FROM t GROUP BY author ORDER BY bogus").unwrap(),
+            &pubs(),
+        );
+        assert!(e.is_err());
+        // `*` combined with other items never parses (items() stops at `*`).
+        assert!(parse("SELECT *, author FROM t").is_err());
+    }
+
+    #[test]
+    fn the_paper_q0() {
+        let out = run(
+            "SELECT author, year, venue, count(*) AS pubcnt FROM Pub \
+             GROUP BY author, year, venue ORDER BY author, year, venue",
+        );
+        assert_eq!(out.num_rows(), 5);
+        assert_eq!(out.schema().names(), vec!["author", "year", "venue", "pubcnt"]);
+    }
+}

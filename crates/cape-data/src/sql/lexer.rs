@@ -1,0 +1,261 @@
+//! SQL tokenizer.
+
+use super::SqlError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are recognized case-insensitively
+    /// by the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Double-quoted identifier (exact spelling, never a keyword).
+    QuotedIdent(String),
+    /// Single-quoted string literal with `''` escapes.
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex { offset: i, message: "expected `!=`".into() });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (lit, next) = lex_string(input, i)?;
+                out.push(Token::StringLit(lit));
+                i = next;
+            }
+            '"' => {
+                let end = input[i + 1..]
+                    .find('"')
+                    .ok_or(SqlError::Lex { offset: i, message: "unterminated identifier".into() })?;
+                out.push(Token::QuotedIdent(input[i + 1..i + 1 + end].to_string()));
+                i += end + 2;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
+                let (tok, next) = lex_number(input, i)?;
+                out.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_string(input: &str, start: usize) -> Result<(String, usize), SqlError> {
+    let bytes = input.as_bytes();
+    let mut i = start + 1;
+    let mut out = String::new();
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Track UTF-8 properly by slicing on char boundaries.
+            let ch = input[i..].chars().next().expect("in bounds");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Err(SqlError::Lex { offset: start, message: "unterminated string".into() })
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize), SqlError> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'-' {
+        i += 1;
+    }
+    let mut saw_dot = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'0'..=b'9' => i += 1,
+            b'.' if !saw_dot => {
+                saw_dot = true;
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = &input[start..i];
+    if saw_dot {
+        text.parse::<f64>()
+            .map(|f| (Token::FloatLit(f), i))
+            .map_err(|_| SqlError::Lex { offset: start, message: format!("bad float `{text}`") })
+    } else {
+        text.parse::<i64>()
+            .map(|n| (Token::IntLit(n), i))
+            .map_err(|_| SqlError::Lex { offset: start, message: format!("bad int `{text}`") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_paper_query() {
+        let toks =
+            tokenize("SELECT author, year, venue, count(*) AS pubcnt FROM Pub GROUP BY author")
+                .unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Ident("pubcnt".into())));
+        assert!(toks.contains(&Token::LParen));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = tokenize("WHERE venue = 'O''Reilly & SIGMOD'").unwrap();
+        assert!(toks.contains(&Token::StringLit("O'Reilly & SIGMOD".into())));
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize("SELECT \"weird name\" FROM t").unwrap();
+        assert!(toks.contains(&Token::QuotedIdent("weird name".into())));
+        assert!(tokenize("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("x >= -12 AND y < 3.5").unwrap();
+        assert!(toks.contains(&Token::IntLit(-12)));
+        assert!(toks.contains(&Token::FloatLit(3.5)));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Lt));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("a = b != c <> d <= e >= f < g > h").unwrap();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t,
+                    Token::Eq | Token::Ne | Token::Le | Token::Ge | Token::Lt | Token::Gt
+                )
+            })
+            .collect();
+        assert_eq!(ops.len(), 7);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT @").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = tokenize("WHERE name = 'Zürich 北京'").unwrap();
+        assert!(toks.contains(&Token::StringLit("Zürich 北京".into())));
+    }
+}

@@ -1,0 +1,89 @@
+//! A small SQL layer: the paper's user-facing query language.
+//!
+//! CAPE's questions are posed against queries of the form
+//! `SELECT G, agg(A) FROM R GROUP BY G`; this module parses and executes
+//! that dialect (plus `WHERE`, `ORDER BY`, `LIMIT`, and plain projections)
+//! against in-memory relations:
+//!
+//! ```
+//! use cape_data::sql::{execute, parse};
+//! use cape_data::{Relation, Schema, Value, ValueType};
+//!
+//! let schema = Schema::new([("author", ValueType::Str), ("year", ValueType::Int)]).unwrap();
+//! let rel = Relation::from_rows(schema, vec![
+//!     vec![Value::str("ax"), Value::Int(2007)],
+//!     vec![Value::str("ax"), Value::Int(2007)],
+//!     vec![Value::str("ay"), Value::Int(2008)],
+//! ]).unwrap();
+//!
+//! let stmt = parse("SELECT author, count(*) AS n FROM pub GROUP BY author").unwrap();
+//! let out = execute(&stmt, &rel).unwrap();
+//! assert_eq!(out.schema().names(), vec!["author", "n"]);
+//! ```
+
+mod ast;
+mod exec;
+mod lexer;
+mod parser;
+
+pub use ast::{AggCall, Expr, OrderKey, SelectItem, SelectStmt};
+pub use exec::execute;
+pub use lexer::{tokenize, Token};
+pub use parser::parse;
+
+/// Errors from parsing or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset into the input.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error with the offending token (if any).
+    Parse {
+        /// The token near the failure.
+        near: String,
+        /// What was expected.
+        message: String,
+    },
+    /// Semantic/execution error.
+    Exec(String),
+    /// Propagated engine error.
+    Data(crate::error::DataError),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => write!(f, "lex error at byte {offset}: {message}"),
+            SqlError::Parse { near, message } => write!(f, "parse error near `{near}`: {message}"),
+            SqlError::Exec(m) => write!(f, "execution error: {m}"),
+            SqlError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<crate::error::DataError> for SqlError {
+    fn from(e: crate::error::DataError) -> Self {
+        SqlError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = SqlError::Parse { near: "FROM".into(), message: "expected SELECT".into() };
+        assert!(e.to_string().contains("FROM"));
+        let e = SqlError::Lex { offset: 3, message: "bad char".into() };
+        assert!(e.to_string().contains("byte 3"));
+        let e: SqlError = crate::error::DataError::EmptyInput("x").into();
+        assert!(e.to_string().contains("data error"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Recursive-descent parser for the SELECT dialect.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! select   := SELECT items FROM ident [WHERE expr] [GROUP BY cols]
+//!             [ORDER BY order_keys] [LIMIT int] [';']
+//! items    := '*' | item (',' item)*
+//! item     := agg '(' ('*' | ident) ')' [AS ident] | ident [AS ident]
+//! expr     := or_expr
+//! or_expr  := and_expr (OR and_expr)*
+//! and_expr := not_expr (AND not_expr)*
+//! not_expr := NOT not_expr | primary
+//! primary  := '(' expr ')'
+//!           | ident IN '(' literal (',' literal)* ')'
+//!           | ident BETWEEN literal AND literal
+//!           | operand cmp operand
+//! operand  := ident | literal
+//! ```
+
+use super::ast::{AggCall, CmpOp, Expr, OrderKey, SelectItem, SelectStmt};
+use super::lexer::{tokenize, Token};
+use super::SqlError;
+use crate::agg::AggFunc;
+use crate::value::Value;
+
+/// Parse a single SELECT statement.
+pub fn parse(input: &str) -> Result<SelectStmt, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    p.eat_if(&Token::Semicolon);
+    if !p.at_end() {
+        return Err(p.error("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: &str) -> SqlError {
+        SqlError::Parse {
+            near: self.peek().map(|t| format!("{t:?}")).unwrap_or_else(|| "<eof>".into()),
+            message: message.to_string(),
+        }
+    }
+
+    /// Case-insensitive keyword check without consuming.
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn eat_if(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<(), SqlError> {
+        if self.eat_if(&tok) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {tok:?}")))
+        }
+    }
+
+    /// An identifier usable as a column/table name (quoted or bare).
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(Token::QuotedIdent(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected identifier"))
+            }
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_kw("SELECT")?;
+        let items = self.items()?;
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+
+        let selection = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.ident()?);
+            while self.eat_if(&Token::Comma) {
+                group_by.push(self.ident()?);
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let column = self.ident()?;
+                let ascending = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push(OrderKey { column, ascending });
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Token::IntLit(n)) if n >= 0 => Some(n as usize),
+                _ => return Err(self.error("expected non-negative LIMIT count")),
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStmt { items, table, selection, group_by, order_by, limit })
+    }
+
+    fn items(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        if self.eat_if(&Token::Star) {
+            return Ok(vec![SelectItem::Wildcard]);
+        }
+        let mut items = vec![self.item()?];
+        while self.eat_if(&Token::Comma) {
+            items.push(self.item()?);
+        }
+        Ok(items)
+    }
+
+    fn item(&mut self) -> Result<SelectItem, SqlError> {
+        let name = self.ident()?;
+        // Aggregate call?
+        if let Some(func) = agg_func(&name) {
+            if self.eat_if(&Token::LParen) {
+                let arg = if self.eat_if(&Token::Star) {
+                    None
+                } else {
+                    Some(self.ident()?)
+                };
+                self.expect(Token::RParen)?;
+                if func != AggFunc::Count && arg.is_none() {
+                    return Err(self.error("only count may aggregate `*`"));
+                }
+                let alias = self.alias()?;
+                return Ok(SelectItem::Aggregate { call: AggCall { func, arg }, alias });
+            }
+        }
+        let alias = self.alias()?;
+        Ok(SelectItem::Column { name, alias })
+    }
+
+    fn alias(&mut self) -> Result<Option<String>, SqlError> {
+        if self.eat_kw("AS") {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_kw("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_if(&Token::LParen) {
+            let e = self.expr()?;
+            self.expect(Token::RParen)?;
+            return Ok(e);
+        }
+        // `col IN (...)` / `col BETWEEN lo AND hi` need the column first.
+        let lhs = self.operand()?;
+        if let Expr::Col(col) = &lhs {
+            if self.eat_kw("IN") {
+                self.expect(Token::LParen)?;
+                let mut list = vec![self.literal()?];
+                while self.eat_if(&Token::Comma) {
+                    list.push(self.literal()?);
+                }
+                self.expect(Token::RParen)?;
+                return Ok(Expr::InList { col: col.clone(), list });
+            }
+            if self.eat_kw("BETWEEN") {
+                let lo = self.literal()?;
+                self.expect_kw("AND")?;
+                let hi = self.literal()?;
+                return Ok(Expr::Between { col: col.clone(), lo, hi });
+            }
+        }
+        let op = match self.next() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error("expected comparison operator"));
+            }
+        };
+        let rhs = self.operand()?;
+        Ok(Expr::Cmp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn operand(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().cloned() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("NULL") => {
+                self.pos += 1;
+                Ok(Expr::Lit(Value::Null))
+            }
+            Some(Token::Ident(_)) | Some(Token::QuotedIdent(_)) => {
+                Ok(Expr::Col(self.ident()?))
+            }
+            _ => Ok(Expr::Lit(self.literal()?)),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, SqlError> {
+        match self.next() {
+            Some(Token::StringLit(s)) => Ok(Value::str(s)),
+            Some(Token::IntLit(n)) => Ok(Value::Int(n)),
+            Some(Token::FloatLit(f)) => Ok(Value::Float(f)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected literal"))
+            }
+        }
+    }
+}
+
+fn agg_func(name: &str) -> Option<AggFunc> {
+    match name.to_ascii_lowercase().as_str() {
+        "count" => Some(AggFunc::Count),
+        "sum" => Some(AggFunc::Sum),
+        "min" => Some(AggFunc::Min),
+        "max" => Some(AggFunc::Max),
+        "avg" => Some(AggFunc::Avg),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_query() {
+        let q = parse(
+            "SELECT author, year, venue, count(*) AS pubcnt FROM Pub GROUP BY author, year, venue",
+        )
+        .unwrap();
+        assert_eq!(q.table, "Pub");
+        assert_eq!(q.group_by, vec!["author", "year", "venue"]);
+        assert!(q.is_cape_query());
+        match &q.items[3] {
+            SelectItem::Aggregate { call, alias } => {
+                assert_eq!(call.func, AggFunc::Count);
+                assert_eq!(call.arg, None);
+                assert_eq!(alias.as_deref(), Some("pubcnt"));
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_where_clause() {
+        let q = parse(
+            "SELECT venue, count(*) FROM pub \
+             WHERE author = 'AX' AND (year >= 2005 OR NOT venue = 'TKDE') \
+             GROUP BY venue",
+        )
+        .unwrap();
+        let w = q.selection.unwrap();
+        assert!(matches!(w, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn parses_in_and_between() {
+        let q = parse(
+            "SELECT * FROM pub WHERE venue IN ('SIGMOD','VLDB') AND year BETWEEN 2004 AND 2007",
+        )
+        .unwrap();
+        match q.selection.unwrap() {
+            Expr::And(a, b) => {
+                assert!(matches!(*a, Expr::InList { .. }));
+                assert!(matches!(*b, Expr::Between { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(q.items, vec![SelectItem::Wildcard]);
+    }
+
+    #[test]
+    fn parses_order_and_limit() {
+        let q = parse(
+            "SELECT author, count(*) AS n FROM pub GROUP BY author ORDER BY n DESC, author LIMIT 5;",
+        )
+        .unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].ascending);
+        assert!(q.order_by[1].ascending);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let q = parse("select author from pub where year = 2007").unwrap();
+        assert_eq!(q.table, "pub");
+        assert!(q.selection.is_some());
+    }
+
+    #[test]
+    fn sum_over_column() {
+        let q = parse("SELECT dept, sum(sales) FROM t GROUP BY dept").unwrap();
+        let aggs = q.aggregates();
+        assert_eq!(aggs[0].func, AggFunc::Sum);
+        assert_eq!(aggs[0].arg.as_deref(), Some("sales"));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("FROM t").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("SELECT sum(*) FROM t GROUP BY a").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse("SELECT a FROM t extra").is_err());
+        assert!(parse("SELECT a FROM t WHERE a &").is_err());
+    }
+
+    #[test]
+    fn quoted_identifiers_are_not_keywords() {
+        let q = parse("SELECT \"from\" FROM t").unwrap();
+        match &q.items[0] {
+            SelectItem::Column { name, .. } => assert_eq!(name, "from"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_literal() {
+        let q = parse("SELECT a FROM t WHERE b = NULL").unwrap();
+        match q.selection.unwrap() {
+            Expr::Cmp { rhs, .. } => assert_eq!(*rhs, Expr::Lit(Value::Null)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-attribute dataset statistics (domains, cardinalities, ranges).
+//!
+//! Explanation scoring needs attribute ranges to normalize numeric
+//! distances; mining uses distinct counts to size candidate spaces.
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// Statistics for one attribute of a relation.
+#[derive(Debug, Clone)]
+pub struct AttrStats {
+    /// Number of distinct non-null values.
+    pub distinct: usize,
+    /// Number of null cells.
+    pub nulls: usize,
+    /// Minimum numeric value (numeric attributes only).
+    pub min: Option<f64>,
+    /// Maximum numeric value (numeric attributes only).
+    pub max: Option<f64>,
+}
+
+impl AttrStats {
+    /// The numeric range (`max - min`) when defined and positive.
+    pub fn range(&self) -> Option<f64> {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) if hi > lo => Some(hi - lo),
+            _ => None,
+        }
+    }
+}
+
+/// Compute [`AttrStats`] for a single attribute.
+pub fn attr_stats(rel: &Relation, attr: AttrId) -> Result<AttrStats> {
+    rel.schema().attr(attr)?;
+    let mut distinct: HashSet<&Value> = HashSet::new();
+    let mut nulls = 0usize;
+    let mut min: Option<f64> = None;
+    let mut max: Option<f64> = None;
+    for v in rel.column(attr) {
+        if v.is_null() {
+            nulls += 1;
+            continue;
+        }
+        distinct.insert(v);
+        if let Some(x) = v.as_f64() {
+            min = Some(min.map_or(x, |m| m.min(x)));
+            max = Some(max.map_or(x, |m| m.max(x)));
+        }
+    }
+    Ok(AttrStats { distinct: distinct.len(), nulls, min, max })
+}
+
+/// Compute stats for every attribute of `rel`.
+pub fn all_attr_stats(rel: &Relation) -> Result<Vec<AttrStats>> {
+    (0..rel.schema().arity()).map(|a| attr_stats(rel, a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn rel() -> Relation {
+        let schema = Schema::new([("v", ValueType::Str), ("y", ValueType::Int)]).unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("a"), Value::Int(2000)],
+                vec![Value::str("a"), Value::Int(2010)],
+                vec![Value::Null, Value::Int(2005)],
+                vec![Value::str("b"), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distinct_and_nulls() {
+        let s = attr_stats(&rel(), 0).unwrap();
+        assert_eq!(s.distinct, 2);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.min, None);
+        assert_eq!(s.range(), None);
+    }
+
+    #[test]
+    fn numeric_range() {
+        let s = attr_stats(&rel(), 1).unwrap();
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.min, Some(2000.0));
+        assert_eq!(s.max, Some(2010.0));
+        assert_eq!(s.range(), Some(10.0));
+    }
+
+    #[test]
+    fn all_stats() {
+        let all = all_attr_stats(&rel()).unwrap();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn invalid_attr() {
+        assert!(attr_stats(&rel(), 5).is_err());
+    }
+
+    #[test]
+    fn constant_column_has_no_range() {
+        let schema = Schema::new([("x", ValueType::Int)]).unwrap();
+        let r = Relation::from_rows(schema, vec![vec![Value::Int(3)], vec![Value::Int(3)]]).unwrap();
+        let s = attr_stats(&r, 0).unwrap();
+        assert_eq!(s.range(), None);
+        assert_eq!(s.distinct, 1);
+    }
+}

@@ -1,0 +1,324 @@
+//! Dynamically typed values stored in relations.
+//!
+//! `Value` is the cell type of the engine. Strings are reference-counted
+//! (`Arc<str>`) so that wide fan-out during grouping and sorting clones
+//! cheaply; see [`crate::interner`] for deduplicating construction.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The type of a [`Value`] / of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string (categorical).
+    Str,
+}
+
+impl ValueType {
+    /// Whether values of this type can be used as regression predictors /
+    /// aggregation inputs without encoding.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ValueType::Int | ValueType::Float)
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single cell value.
+///
+/// `Value` implements total equality, ordering and hashing so it can serve
+/// as a grouping key. Floats are compared by their canonicalized bit
+/// pattern (`NaN`s are collapsed to a single representative, `-0.0 == 0.0`).
+/// Cross-type comparisons order by type tag (`Null < Int < Float < Str`)
+/// except that `Int` and `Float` compare numerically.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL-style NULL / missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string (shared).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type, or `None` for `Null`.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Str(_) => Some(ValueType::Str),
+        }
+    }
+
+    /// True when the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it has one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view (exact only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Canonicalized bits for hashing / equality of floats: all NaNs map to
+    /// one bit pattern and `-0.0` maps to `+0.0`.
+    fn canon_f64_bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0u64
+        } else {
+            f.to_bits()
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 1, // shares the numeric rank with Int
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => {
+                Self::canon_f64_bits(*a) == Self::canon_f64_bits(*b)
+            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                (*a as f64) == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            // Ints and equal-valued floats must hash identically because they
+            // compare equal; hash integral numerics through the float path.
+            Value::Int(i) => {
+                state.write_u8(1);
+                state.write_u64(Self::canon_f64_bits(*i as f64));
+            }
+            Value::Float(f) => {
+                state.write_u8(1);
+                state.write_u64(Self::canon_f64_bits(*f));
+            }
+            Value::Str(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_numeric_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn nan_is_self_equal_and_zero_signs_collapse() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(hash_of(&Value::Float(0.0)), hash_of(&Value::Float(-0.0)));
+    }
+
+    #[test]
+    fn ordering_is_total_and_numeric() {
+        let mut vals = vec![
+            Value::str("b"),
+            Value::Int(2),
+            Value::Null,
+            Value::Float(1.5),
+            Value::str("a"),
+            Value::Int(1),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Int(1),
+                Value::Float(1.5),
+                Value::Int(2),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.25).to_string(), "2.25");
+        assert_eq!(Value::str("SIGMOD").to_string(), "SIGMOD");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i32), Value::Int(5));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(2.5f64).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Int(7).as_i64(), Some(7));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.value_type(), None);
+        assert_eq!(Value::Int(1).value_type(), Some(ValueType::Int));
+    }
+
+    #[test]
+    fn value_type_numeric() {
+        assert!(ValueType::Int.is_numeric());
+        assert!(ValueType::Float.is_numeric());
+        assert!(!ValueType::Str.is_numeric());
+        assert_eq!(ValueType::Str.to_string(), "str");
+    }
+}

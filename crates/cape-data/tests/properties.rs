@@ -1,0 +1,243 @@
+//! Property-based tests of the relational operators.
+
+use cape_data::ops::{
+    aggregate, aggregate_with_row_count, cube, distinct, distinct_project, project, select,
+    sort_by, sort_perm, sorted_block_starts,
+};
+use cape_data::{AggFunc, AggSpec, Predicate, Relation, Schema, Value, ValueType};
+use proptest::prelude::*;
+
+/// Random relation over (cat: Str[0..4], num: Int[0..6], val: Int).
+fn arb_relation(max_rows: usize) -> impl Strategy<Value = Relation> {
+    let row = (0u8..4, 0i64..6, -20i64..20);
+    proptest::collection::vec(row, 0..max_rows).prop_map(|rows| {
+        let schema = Schema::new([
+            ("cat", ValueType::Str),
+            ("num", ValueType::Int),
+            ("val", ValueType::Int),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            rows.into_iter().map(|(c, n, v)| {
+                vec![Value::str(format!("c{c}")), Value::Int(n), Value::Int(v)]
+            }),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn group_counts_sum_to_rows(rel in arb_relation(60)) {
+        let out = aggregate(&rel, &[0], &[AggSpec::count_star()]).unwrap().relation;
+        let total: i64 = (0..out.num_rows())
+            .map(|i| out.value(i, 1).as_i64().unwrap())
+            .sum();
+        prop_assert_eq!(total as usize, rel.num_rows());
+    }
+
+    #[test]
+    fn row_count_column_matches_count_star(rel in arb_relation(60)) {
+        let out = aggregate_with_row_count(&rel, &[0, 1], &[AggSpec::count_star()])
+            .unwrap()
+            .relation;
+        let rows_col = out.schema().attr_id("__rows").unwrap();
+        for i in 0..out.num_rows() {
+            prop_assert_eq!(out.value(i, 2), out.value(i, rows_col));
+        }
+    }
+
+    #[test]
+    fn sum_aggregate_matches_manual(rel in arb_relation(60)) {
+        let out = aggregate(&rel, &[0], &[AggSpec::over(AggFunc::Sum, 2)]).unwrap().relation;
+        for i in 0..out.num_rows() {
+            let key = out.value(i, 0).clone();
+            let manual: f64 = (0..rel.num_rows())
+                .filter(|&r| rel.value(r, 0) == &key)
+                .map(|r| rel.value(r, 2).as_f64().unwrap())
+                .sum();
+            prop_assert_eq!(out.value(i, 1).as_f64().unwrap(), manual);
+        }
+    }
+
+    #[test]
+    fn sort_perm_is_a_permutation(rel in arb_relation(60)) {
+        let mut perm = sort_perm(&rel, &[1, 0]);
+        perm.sort_unstable();
+        let expect: Vec<usize> = (0..rel.num_rows()).collect();
+        prop_assert_eq!(perm, expect);
+    }
+
+    #[test]
+    fn sort_is_ordered_and_preserves_bag(rel in arb_relation(60)) {
+        let sorted = sort_by(&rel, &[0, 1]);
+        prop_assert_eq!(sorted.num_rows(), rel.num_rows());
+        for i in 1..sorted.num_rows() {
+            let prev = (sorted.value(i - 1, 0), sorted.value(i - 1, 1));
+            let cur = (sorted.value(i, 0), sorted.value(i, 1));
+            prop_assert!(prev <= cur);
+        }
+        // Multiset equality via sorted row lists.
+        let mut a: Vec<Vec<Value>> = rel.iter_rows().collect();
+        let mut b: Vec<Vec<Value>> = sorted.iter_rows().collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn block_starts_partition_sorted_relation(rel in arb_relation(60)) {
+        let sorted = sort_by(&rel, &[0]);
+        let starts = sorted_block_starts(&sorted, &[0]);
+        prop_assert_eq!(*starts.last().unwrap(), sorted.num_rows());
+        for w in starts.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            prop_assert!(s < e);
+            // Homogeneous within, different across.
+            for i in s + 1..e {
+                prop_assert_eq!(sorted.value(i, 0), sorted.value(s, 0));
+            }
+            if e < sorted.num_rows() {
+                prop_assert_ne!(sorted.value(e, 0), sorted.value(s, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn select_partitions_with_complement(rel in arb_relation(60), pivot in 0i64..6) {
+        let p = Predicate::Lt(1, Value::Int(pivot));
+        let yes = select(&rel, &p);
+        let no = select(&rel, &Predicate::Not(Box::new(p)));
+        prop_assert_eq!(yes.num_rows() + no.num_rows(), rel.num_rows());
+    }
+
+    #[test]
+    fn distinct_project_bounds(rel in arb_relation(60)) {
+        let d = distinct_project(&rel, &[0, 1]).unwrap();
+        prop_assert!(d.num_rows() <= rel.num_rows());
+        let d0 = distinct_project(&rel, &[0]).unwrap();
+        prop_assert!(d0.num_rows() <= d.num_rows());
+        // Number of groups equals distinct projection size.
+        let g = aggregate(&rel, &[0, 1], &[AggSpec::count_star()]).unwrap();
+        prop_assert_eq!(g.num_groups, d.num_rows());
+    }
+
+    #[test]
+    fn distinct_is_idempotent(rel in arb_relation(40)) {
+        let once = distinct(&rel);
+        let twice = distinct(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn cube_slices_match_direct_group_bys(rel in arb_relation(40)) {
+        let slices = cube(&rel, &[0, 1], 1, 2, &[AggSpec::count_star()]).unwrap();
+        for slice in slices {
+            let direct = aggregate_with_row_count(&rel, &slice.dims, &[AggSpec::count_star()])
+                .unwrap()
+                .relation;
+            prop_assert_eq!(slice.relation.num_rows(), direct.num_rows());
+            // Same multiset of rows.
+            let mut a: Vec<Vec<Value>> = slice.relation.iter_rows().collect();
+            let mut b: Vec<Vec<Value>> = direct.iter_rows().collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn projection_keeps_row_count(rel in arb_relation(40)) {
+        let p = project(&rel, &[2, 0]).unwrap();
+        prop_assert_eq!(p.num_rows(), rel.num_rows());
+        for i in 0..rel.num_rows() {
+            prop_assert_eq!(p.value(i, 0), rel.value(i, 2));
+            prop_assert_eq!(p.value(i, 1), rel.value(i, 0));
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip(rel in arb_relation(40)) {
+        let mut buf = Vec::new();
+        cape_data::csv::write_csv(&mut buf, &rel).unwrap();
+        let back = cape_data::csv::read_csv(&buf[..], rel.schema().clone()).unwrap();
+        prop_assert_eq!(back, rel);
+    }
+}
+
+mod sql_properties {
+    use super::arb_relation_pub;
+    use cape_data::sql::{execute, parse};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// WHERE partitions: `p` plus `NOT p` cover every row exactly once.
+        #[test]
+        fn where_and_not_where_partition(rel in arb_relation_pub(50), pivot in 0i64..6) {
+            let q1 = parse(&format!("SELECT * FROM t WHERE num < {pivot}")).unwrap();
+            let q2 = parse(&format!("SELECT * FROM t WHERE NOT num < {pivot}")).unwrap();
+            let a = execute(&q1, &rel).unwrap();
+            let b = execute(&q2, &rel).unwrap();
+            prop_assert_eq!(a.num_rows() + b.num_rows(), rel.num_rows());
+        }
+
+        /// GROUP BY counts through SQL agree with the raw operator.
+        #[test]
+        fn sql_group_by_matches_operator(rel in arb_relation_pub(50)) {
+            let q = parse("SELECT cat, count(*) AS n FROM t GROUP BY cat").unwrap();
+            let out = execute(&q, &rel).unwrap();
+            let direct = cape_data::ops::aggregate(&rel, &[0], &[cape_data::AggSpec::count_star()])
+                .unwrap()
+                .relation;
+            prop_assert_eq!(out.num_rows(), direct.num_rows());
+            let total: i64 = (0..out.num_rows())
+                .map(|i| out.value(i, 1).as_i64().unwrap())
+                .sum();
+            prop_assert_eq!(total as usize, rel.num_rows());
+        }
+
+        /// ORDER BY + LIMIT k returns the k smallest keys.
+        #[test]
+        fn order_limit_returns_prefix(rel in arb_relation_pub(50), k in 1usize..10) {
+            let q = parse(&format!("SELECT num FROM t ORDER BY num LIMIT {k}")).unwrap();
+            let out = execute(&q, &rel).unwrap();
+            prop_assert_eq!(out.num_rows(), k.min(rel.num_rows()));
+            let mut all: Vec<i64> = rel.column(1).iter().map(|v| v.as_i64().unwrap()).collect();
+            all.sort_unstable();
+            for i in 0..out.num_rows() {
+                prop_assert_eq!(out.value(i, 0).as_i64().unwrap(), all[i]);
+            }
+        }
+
+        /// IN lists behave like a disjunction of equalities.
+        #[test]
+        fn in_list_equals_or(rel in arb_relation_pub(50), a in 0i64..6, b in 0i64..6) {
+            let q1 = parse(&format!("SELECT * FROM t WHERE num IN ({a}, {b})")).unwrap();
+            let q2 = parse(&format!("SELECT * FROM t WHERE num = {a} OR num = {b}")).unwrap();
+            let r1 = execute(&q1, &rel).unwrap();
+            let r2 = execute(&q2, &rel).unwrap();
+            prop_assert_eq!(r1, r2);
+        }
+    }
+}
+
+/// Random relation helper shared with the SQL property tests.
+fn arb_relation_pub(max_rows: usize) -> impl Strategy<Value = Relation> {
+    let row = (0u8..4, 0i64..6, -20i64..20);
+    proptest::collection::vec(row, 1..max_rows).prop_map(|rows| {
+        let schema = Schema::new([
+            ("cat", ValueType::Str),
+            ("num", ValueType::Int),
+            ("val", ValueType::Int),
+        ])
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            rows.into_iter().map(|(c, n, v)| {
+                vec![Value::str(format!("c{c}")), Value::Int(n), Value::Int(v)]
+            }),
+        )
+        .unwrap()
+    })
+}

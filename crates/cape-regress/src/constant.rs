@@ -1,0 +1,110 @@
+//! Constant regression with Pearson chi-square goodness-of-fit.
+//!
+//! The prediction function is `g(x) = β` with `β` the mean of the observed
+//! aggregate values. Goodness-of-fit is the p-value of Pearson's
+//! chi-square test of the observations against the constant expectation
+//! (paper §2.1 cites Pearson 1900): high p-value ⇒ deviations are
+//! consistent with noise ⇒ the constant describes the fragment well.
+
+use crate::error::{RegressError, Result};
+use crate::model::{Fitted, Model};
+use crate::special::chi_square_sf;
+use crate::stats::mean;
+
+/// Guard against division by ~zero expectations in the chi-square
+/// statistic. Pearson's test assumes positive expected counts; CAPE's
+/// aggregates are usually positive counts/sums, but `sum` over negative
+/// values can break that, so we divide by `max(|E|, EXPECTATION_FLOOR)`.
+const EXPECTATION_FLOOR: f64 = 1e-9;
+
+/// Fit a constant model to the observations `ys` and compute its GoF.
+pub fn fit_constant(ys: &[f64]) -> Result<Fitted> {
+    if ys.is_empty() {
+        return Err(RegressError::EmptyTrainingSet);
+    }
+    if ys.iter().any(|y| !y.is_finite()) {
+        return Err(RegressError::NonFiniteInput);
+    }
+    let beta = mean(ys).expect("non-empty");
+    let gof = chi_square_gof(ys, beta);
+    Ok(Fitted { model: Model::Constant { beta }, gof, n: ys.len() })
+}
+
+/// Pearson chi-square p-value of observations `ys` against the constant
+/// expectation `expected`.
+///
+/// `GoF = Q(df/2, χ²/2)` with `χ² = Σ (yᵢ − E)² / |E|` and `df = n − 1`.
+/// A perfect fit (all observations equal to `expected`) gives exactly 1;
+/// one observation always fits (df would be 0), also 1.
+pub fn chi_square_gof(ys: &[f64], expected: f64) -> f64 {
+    let n = ys.len();
+    if n <= 1 {
+        return 1.0;
+    }
+    let denom = expected.abs().max(EXPECTATION_FLOOR);
+    let statistic: f64 = ys.iter().map(|y| (y - expected) * (y - expected) / denom).sum();
+    if statistic == 0.0 {
+        return 1.0;
+    }
+    chi_square_sf(statistic, (n - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_has_gof_one() {
+        let f = fit_constant(&[3.0, 3.0, 3.0]).unwrap();
+        assert_eq!(f.model, Model::Constant { beta: 3.0 });
+        assert_eq!(f.gof, 1.0);
+        assert_eq!(f.n, 3);
+    }
+
+    #[test]
+    fn single_observation_fits_perfectly() {
+        let f = fit_constant(&[7.0]).unwrap();
+        assert_eq!(f.gof, 1.0);
+    }
+
+    #[test]
+    fn small_noise_keeps_high_gof() {
+        // Publication counts 4, 5, 4, 5, 4 around mean 4.4: tiny chi-square.
+        let f = fit_constant(&[4.0, 5.0, 4.0, 5.0, 4.0]).unwrap();
+        assert!((f.model.predict(&[]) - 4.4).abs() < 1e-12);
+        assert!(f.gof > 0.9, "gof = {}", f.gof);
+    }
+
+    #[test]
+    fn wild_deviations_reject_the_constant() {
+        let f = fit_constant(&[1.0, 100.0, 1.0, 100.0]).unwrap();
+        assert!(f.gof < 0.01, "gof = {}", f.gof);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(fit_constant(&[]), Err(RegressError::EmptyTrainingSet));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert_eq!(fit_constant(&[1.0, f64::NAN]), Err(RegressError::NonFiniteInput));
+    }
+
+    #[test]
+    fn near_zero_expectation_guarded() {
+        // Mean 0 would divide by zero without the floor.
+        let f = fit_constant(&[-1.0, 1.0]).unwrap();
+        assert!(f.gof.is_finite());
+        assert!((0.0..=1.0).contains(&f.gof));
+        // The statistic is enormous thanks to the floor, so GoF ~ 0.
+        assert!(f.gof < 1e-6);
+    }
+
+    #[test]
+    fn gof_monotone_in_noise() {
+        let low_noise = fit_constant(&[10.0, 10.5, 9.5, 10.0]).unwrap().gof;
+        let high_noise = fit_constant(&[10.0, 20.0, 0.0, 10.0]).unwrap().gof;
+        assert!(low_noise > high_noise);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for regression fitting.
+
+use std::fmt;
+
+/// Errors produced when fitting regression models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegressError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Predictor rows had inconsistent dimensionality.
+    DimensionMismatch {
+        /// Dimension of the first row.
+        expected: usize,
+        /// Offending row's dimension.
+        actual: usize,
+    },
+    /// Number of targets differed from number of predictor rows.
+    LengthMismatch {
+        /// Number of predictor rows.
+        xs: usize,
+        /// Number of targets.
+        ys: usize,
+    },
+    /// A linear system could not be solved (singular, even with ridge fallback).
+    SingularSystem,
+    /// A non-finite value (NaN / infinity) appeared in the training data.
+    NonFiniteInput,
+}
+
+impl fmt::Display for RegressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressError::EmptyTrainingSet => write!(f, "empty training set"),
+            RegressError::DimensionMismatch { expected, actual } => {
+                write!(f, "predictor dimension mismatch: expected {expected}, got {actual}")
+            }
+            RegressError::LengthMismatch { xs, ys } => {
+                write!(f, "length mismatch: {xs} predictor rows vs {ys} targets")
+            }
+            RegressError::SingularSystem => write!(f, "singular normal equations"),
+            RegressError::NonFiniteInput => write!(f, "non-finite value in training data"),
+        }
+    }
+}
+
+impl std::error::Error for RegressError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, RegressError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(RegressError::EmptyTrainingSet.to_string().contains("empty"));
+        assert!(RegressError::DimensionMismatch { expected: 2, actual: 3 }
+            .to_string()
+            .contains('2'));
+    }
+}

@@ -1,0 +1,53 @@
+//! Unified fitting entry point dispatching on [`ModelType`].
+//!
+//! The pattern miner treats regression as a black box (paper §4): it hands
+//! over the fragment's `(V, agg(A))` samples and gets back a model with a
+//! goodness-of-fit value.
+
+use crate::constant::fit_constant;
+use crate::error::Result;
+use crate::linear::fit_linear;
+use crate::model::{Fitted, ModelType};
+use crate::quadratic::fit_quadratic;
+
+/// Fit a model of the requested type to samples `(xs[i], ys[i])`.
+///
+/// For [`ModelType::Const`] the predictor vectors are ignored (categorical
+/// predictors are fine); for [`ModelType::Lin`] they must be numeric and
+/// non-empty.
+pub fn fit(ty: ModelType, xs: &[Vec<f64>], ys: &[f64]) -> Result<Fitted> {
+    match ty {
+        ModelType::Const => fit_constant(ys),
+        ModelType::Lin => fit_linear(xs, ys),
+        ModelType::Quad => fit_quadratic(xs, ys),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn dispatches_to_constant() {
+        let f = fit(ModelType::Const, &[], &[2.0, 2.0]).unwrap();
+        assert_eq!(f.model, Model::Constant { beta: 2.0 });
+    }
+
+    #[test]
+    fn dispatches_to_quadratic() {
+        let xs = vec![vec![-1.0], vec![0.0], vec![1.0], vec![2.0]];
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] * r[0]).collect();
+        let f = fit(ModelType::Quad, &xs, &ys).unwrap();
+        assert!(matches!(f.model, Model::Quadratic { .. }));
+        assert!(f.gof > 0.999);
+    }
+
+    #[test]
+    fn dispatches_to_linear() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let f = fit(ModelType::Lin, &xs, &[1.0, 3.0]).unwrap();
+        assert!(matches!(f.model, Model::Linear { .. }));
+        assert!((f.model.predict(&[2.0]) - 5.0).abs() < 1e-10);
+    }
+}

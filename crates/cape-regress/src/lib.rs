@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # cape-regress — regression substrate for CAPE
+//!
+//! Implements the regression machinery the CAPE paper (SIGMOD 2019)
+//! delegates to off-the-shelf statistics packages:
+//!
+//! * **constant regression** (`g(x) = β`) with Pearson's chi-square test
+//!   p-value as goodness-of-fit,
+//! * **linear regression** (simple and multiple OLS) with `R²`,
+//! * the special functions behind them (`ln Γ`, regularized incomplete
+//!   gamma, chi-square survival function),
+//! * a small dense-matrix solver for the normal equations.
+//!
+//! Goodness-of-fit is always a value in `[0, 1]`, equal to 1 exactly when
+//! the model reproduces every training observation (paper §2.1).
+
+pub mod constant;
+pub mod error;
+pub mod fit;
+pub mod linear;
+pub mod matrix;
+pub mod model;
+pub mod quadratic;
+pub mod special;
+pub mod stats;
+
+pub use constant::{chi_square_gof, fit_constant};
+pub use error::{RegressError, Result};
+pub use fit::fit;
+pub use linear::{fit_linear, r_squared};
+pub use quadratic::{fit_quadratic, square_features};
+pub use model::{Fitted, Model, ModelType};

@@ -1,0 +1,188 @@
+//! Small dense matrices and linear solving for the OLS normal equations.
+
+use crate::error::{RegressError, Result};
+
+/// A small row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from nested rows (used in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged matrix rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Solve the square system `A x = b` by Gaussian elimination with partial
+/// pivoting. `A` and `b` are consumed (worked in place).
+pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve requires a square matrix");
+    assert_eq!(b.len(), n, "rhs length must match");
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = a[(col, col)].abs();
+        for r in col + 1..n {
+            let v = a[(r, col)].abs();
+            if v > best {
+                best = v;
+                pivot = r;
+            }
+        }
+        if best < 1e-12 {
+            return Err(RegressError::SingularSystem);
+        }
+        if pivot != col {
+            for j in 0..n {
+                let tmp = a[(col, j)];
+                a[(col, j)] = a[(pivot, j)];
+                a[(pivot, j)] = tmp;
+            }
+            b.swap(col, pivot);
+        }
+        // Eliminate below.
+        for r in col + 1..n {
+            let factor = a[(r, col)] / a[(col, col)];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[(r, j)] -= factor * a[(col, j)];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in i + 1..n {
+            sum -= a[(i, j)] * x[j];
+        }
+        x[i] = sum / a[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Solve `A x = b`, retrying with a small ridge term (`A + λI`) when the
+/// system is singular — this happens for perfectly collinear predictors,
+/// which real data (e.g. planted FDs) does produce.
+pub fn solve_ridge_fallback(a: Matrix, b: Vec<f64>) -> Result<Vec<f64>> {
+    match solve(a.clone(), b.clone()) {
+        Ok(x) => Ok(x),
+        Err(RegressError::SingularSystem) => {
+            let n = a.rows();
+            // Scale the ridge term to the matrix magnitude.
+            let scale = (0..n).map(|i| a[(i, i)].abs()).fold(0.0f64, f64::max).max(1.0);
+            let mut ridged = a;
+            for i in 0..n {
+                ridged[(i, i)] += 1e-8 * scale;
+            }
+            solve(ridged, b)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_system() {
+        // x + y = 3, x − y = 1 ⇒ x = 2, y = 1
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]);
+        let x = solve(a, vec![3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[3.0, 1.0]]);
+        let x = solve(a, vec![4.0, 5.0]).unwrap();
+        // y = 2, 3x + 2 = 5 ⇒ x = 1
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(solve(a, vec![1.0, 2.0]), Err(RegressError::SingularSystem));
+    }
+
+    #[test]
+    fn ridge_fallback_recovers() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let x = solve_ridge_fallback(a, vec![1.0, 2.0]).unwrap();
+        // The ridge solution satisfies the (consistent) system approximately.
+        assert!((x[0] + 2.0 * x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn three_by_three() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, -1.0],
+            &[-3.0, -1.0, 2.0],
+            &[-2.0, 1.0, 2.0],
+        ]);
+        let x = solve(a, vec![8.0, -11.0, -3.0]).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(expect) {
+            assert!((xi - ei).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn indexing() {
+        let mut m = Matrix::zeros(2, 3);
+        m[(1, 2)] = 7.0;
+        assert_eq!(m[(1, 2)], 7.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+}

@@ -1,0 +1,187 @@
+//! Regression model types and fitted models.
+
+use std::fmt;
+
+/// The regression model types used by ARPs (paper §2.1): constant and
+/// linear regression, chosen because they are easy to explain to users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelType {
+    /// `g(x) = β` — goodness-of-fit is the Pearson chi-square p-value.
+    Const,
+    /// `g(x) = β₀ + Σ βᵢ xᵢ` — goodness-of-fit is `R²`.
+    Lin,
+    /// `g(x) = β₀ + Σ βᵢ xᵢ + Σ γᵢ xᵢ²` — goodness-of-fit is `R²`.
+    /// An extension beyond the paper's two model types (its framework is
+    /// explicitly regression-model agnostic, §2.1).
+    Quad,
+}
+
+impl ModelType {
+    /// All model types CAPE mines for.
+    pub const ALL: [ModelType; 3] = [ModelType::Const, ModelType::Lin, ModelType::Quad];
+
+    /// The paper's original two model types.
+    pub const PAPER: [ModelType; 2] = [ModelType::Const, ModelType::Lin];
+
+    /// Paper notation.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelType::Const => "Const",
+            ModelType::Lin => "Lin",
+            ModelType::Quad => "Quad",
+        }
+    }
+
+    /// Linear regression needs numeric predictors; constant regression
+    /// ignores the predictor values entirely (categorical is fine).
+    pub fn requires_numeric_predictors(self) -> bool {
+        matches!(self, ModelType::Lin | ModelType::Quad)
+    }
+}
+
+impl fmt::Display for ModelType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fitted prediction function `g : X → Y`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Model {
+    /// `g(x) = beta`.
+    Constant {
+        /// The constant prediction.
+        beta: f64,
+    },
+    /// `g(x) = intercept + coefs · x`.
+    Linear {
+        /// Intercept β₀.
+        intercept: f64,
+        /// Per-predictor slopes.
+        coefs: Vec<f64>,
+    },
+    /// `g(x) = intercept + lin · x + quad · x²` (elementwise squares).
+    Quadratic {
+        /// Intercept β₀.
+        intercept: f64,
+        /// Linear coefficients.
+        lin: Vec<f64>,
+        /// Quadratic coefficients.
+        quad: Vec<f64>,
+    },
+}
+
+impl Model {
+    /// Predict the dependent variable for predictor vector `x`.
+    ///
+    /// For `Constant`, `x` is ignored. For `Linear`, `x.len()` must equal
+    /// the coefficient count.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            Model::Constant { beta } => *beta,
+            Model::Linear { intercept, coefs } => {
+                debug_assert_eq!(x.len(), coefs.len(), "predictor dimension mismatch");
+                intercept + coefs.iter().zip(x).map(|(c, xi)| c * xi).sum::<f64>()
+            }
+            Model::Quadratic { intercept, lin, quad } => {
+                debug_assert_eq!(x.len(), lin.len(), "predictor dimension mismatch");
+                intercept
+                    + lin.iter().zip(x).map(|(c, xi)| c * xi).sum::<f64>()
+                    + quad.iter().zip(x).map(|(c, xi)| c * xi * xi).sum::<f64>()
+            }
+        }
+    }
+
+    /// Which model type this is.
+    pub fn model_type(&self) -> ModelType {
+        match self {
+            Model::Constant { .. } => ModelType::Const,
+            Model::Linear { .. } => ModelType::Lin,
+            Model::Quadratic { .. } => ModelType::Quad,
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Model::Constant { beta } => write!(f, "g(x) = {beta:.4}"),
+            Model::Linear { intercept, coefs } => {
+                write!(f, "g(x) = {intercept:.4}")?;
+                for (i, c) in coefs.iter().enumerate() {
+                    write!(f, " {} {:.4}·x{}", if *c < 0.0 { "-" } else { "+" }, c.abs(), i + 1)?;
+                }
+                Ok(())
+            }
+            Model::Quadratic { intercept, lin, quad } => {
+                write!(f, "g(x) = {intercept:.4}")?;
+                for (i, c) in lin.iter().enumerate() {
+                    write!(f, " {} {:.4}·x{}", if *c < 0.0 { "-" } else { "+" }, c.abs(), i + 1)?;
+                }
+                for (i, c) in quad.iter().enumerate() {
+                    write!(f, " {} {:.4}·x{}²", if *c < 0.0 { "-" } else { "+" }, c.abs(), i + 1)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A model together with its goodness-of-fit on the training fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fitted {
+    /// The fitted prediction function.
+    pub model: Model,
+    /// Goodness-of-fit in `[0, 1]`; `1` iff the model reproduces every
+    /// training observation exactly (paper §2.1).
+    pub gof: f64,
+    /// Number of training samples.
+    pub n: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_predicts_beta() {
+        let m = Model::Constant { beta: 2.5 };
+        assert_eq!(m.predict(&[1.0]), 2.5);
+        assert_eq!(m.predict(&[]), 2.5);
+        assert_eq!(m.model_type(), ModelType::Const);
+    }
+
+    #[test]
+    fn linear_predicts_dot_product() {
+        let m = Model::Linear { intercept: 1.0, coefs: vec![2.0, -0.5] };
+        assert_eq!(m.predict(&[3.0, 4.0]), 1.0 + 6.0 - 2.0);
+        assert_eq!(m.model_type(), ModelType::Lin);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ModelType::Const.to_string(), "Const");
+        assert_eq!(ModelType::Lin.to_string(), "Lin");
+        let m = Model::Linear { intercept: 1.0, coefs: vec![-2.0] };
+        assert!(m.to_string().contains("- 2.0000"));
+        assert!(Model::Constant { beta: 3.0 }.to_string().contains("3.0000"));
+    }
+
+    #[test]
+    fn type_properties() {
+        assert!(ModelType::Lin.requires_numeric_predictors());
+        assert!(ModelType::Quad.requires_numeric_predictors());
+        assert!(!ModelType::Const.requires_numeric_predictors());
+        assert_eq!(ModelType::ALL.len(), 3);
+        assert_eq!(ModelType::PAPER.len(), 2);
+    }
+
+    #[test]
+    fn quadratic_predicts_with_squares() {
+        let m = Model::Quadratic { intercept: 1.0, lin: vec![2.0], quad: vec![0.5] };
+        assert_eq!(m.predict(&[3.0]), 1.0 + 6.0 + 4.5);
+        assert_eq!(m.model_type(), ModelType::Quad);
+        assert!(m.to_string().contains("x1²"));
+        assert_eq!(ModelType::Quad.to_string(), "Quad");
+    }
+}

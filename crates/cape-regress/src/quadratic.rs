@@ -1,0 +1,109 @@
+//! Quadratic regression — an additional model type beyond the paper's
+//! Const/Lin pair, exercising its claim that "most of our results are
+//! independent of what type of regression is used" (§2.1).
+//!
+//! Fits `y = β₀ + Σ βᵢ xᵢ + Σ γᵢ xᵢ²` by OLS on the squared-feature
+//! expansion; goodness-of-fit is `R²` like the linear model.
+
+use crate::error::{RegressError, Result};
+use crate::linear::{fit_linear, r_squared};
+use crate::model::{Fitted, Model};
+
+/// Expand predictor rows with per-dimension squares: `(x₁, …, x_d)` →
+/// `(x₁, …, x_d, x₁², …, x_d²)`.
+pub fn square_features(xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    xs.iter()
+        .map(|row| {
+            let mut out = row.clone();
+            out.extend(row.iter().map(|x| x * x));
+            out
+        })
+        .collect()
+}
+
+/// Fit a quadratic model. Errors mirror [`fit_linear`].
+pub fn fit_quadratic(xs: &[Vec<f64>], ys: &[f64]) -> Result<Fitted> {
+    if xs.is_empty() {
+        return Err(RegressError::EmptyTrainingSet);
+    }
+    let d = xs[0].len();
+    if d == 0 {
+        return Err(RegressError::DimensionMismatch { expected: 1, actual: 0 });
+    }
+    let expanded = square_features(xs);
+    let fitted = fit_linear(&expanded, ys)?;
+    let (intercept, coefs) = match fitted.model {
+        Model::Linear { intercept, coefs } => (intercept, coefs),
+        other => unreachable!("fit_linear returned {other:?}"),
+    };
+    let lin = coefs[..d].to_vec();
+    let quad = coefs[d..].to_vec();
+    let model = Model::Quadratic { intercept, lin, quad };
+    // R² against the *original* predictors through the quadratic predict.
+    let gof = r_squared(&model, xs, ys);
+    Ok(Fitted { model, gof, n: ys.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(xs: &[f64]) -> Vec<Vec<f64>> {
+        xs.iter().map(|&x| vec![x]).collect()
+    }
+
+    #[test]
+    fn exact_parabola_recovered() {
+        let xs = col(&[-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0]);
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 + 0.5 * r[0] - 1.5 * r[0] * r[0]).collect();
+        let f = fit_quadratic(&xs, &ys).unwrap();
+        assert!(f.gof > 0.999999, "gof = {}", f.gof);
+        let pred = f.model.predict(&[4.0]);
+        let expect = 2.0 + 2.0 - 24.0;
+        assert!((pred - expect).abs() < 1e-6, "pred = {pred}");
+    }
+
+    #[test]
+    fn linear_data_fits_with_zero_quadratic_term() {
+        let xs = col(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 * r[0] + 1.0).collect();
+        let f = fit_quadratic(&xs, &ys).unwrap();
+        assert!(f.gof > 0.999999);
+        match &f.model {
+            Model::Quadratic { quad, .. } => assert!(quad[0].abs() < 1e-6),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parabola_beats_linear() {
+        let xs = col(&[-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0]);
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] * r[0]).collect();
+        let lin = crate::linear::fit_linear(&xs, &ys).unwrap();
+        let quad = fit_quadratic(&xs, &ys).unwrap();
+        assert!(quad.gof > 0.999);
+        assert!(lin.gof < 0.1, "symmetric parabola has no linear signal: {}", lin.gof);
+    }
+
+    #[test]
+    fn two_dimensional_quadratic() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in -2..=2 {
+            for b in -2..=2 {
+                let (a, b) = (a as f64, b as f64);
+                xs.push(vec![a, b]);
+                ys.push(1.0 + a - b + 0.5 * a * a + 2.0 * b * b);
+            }
+        }
+        let f = fit_quadratic(&xs, &ys).unwrap();
+        assert!(f.gof > 0.999999);
+        assert!((f.model.predict(&[3.0, 1.0]) - (1.0 + 3.0 - 1.0 + 4.5 + 2.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(fit_quadratic(&[], &[]).is_err());
+        assert!(fit_quadratic(&[vec![]], &[1.0]).is_err());
+    }
+}

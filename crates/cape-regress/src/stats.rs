@@ -1,0 +1,94 @@
+//! Basic descriptive statistics shared by the regression fitters.
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population variance (divides by `n`); `None` for empty input.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation (divides by `n − 1`); `None` for fewer than 2 points.
+pub fn sample_std(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some((ss / (xs.len() - 1) as f64).sqrt())
+}
+
+/// Total sum of squares around the mean.
+pub fn total_sum_of_squares(ys: &[f64]) -> f64 {
+    match mean(ys) {
+        Some(m) => ys.iter().map(|y| (y - m) * (y - m)).sum(),
+        None => 0.0,
+    }
+}
+
+/// Pearson correlation coefficient; `None` if either side is constant or
+/// the inputs are too short / mismatched.
+pub fn pearson_r(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(variance(&[1.0, 1.0, 1.0]), Some(0.0));
+        assert_eq!(variance(&[2.0, 4.0]), Some(1.0));
+    }
+
+    #[test]
+    fn sample_std_needs_two_points() {
+        assert_eq!(sample_std(&[1.0]), None);
+        let s = sample_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tss() {
+        assert_eq!(total_sum_of_squares(&[3.0, 3.0]), 0.0);
+        assert_eq!(total_sum_of_squares(&[1.0, 3.0]), 2.0);
+        assert_eq!(total_sum_of_squares(&[]), 0.0);
+    }
+
+    #[test]
+    fn correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson_r(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let ys_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson_r(&xs, &ys_neg).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson_r(&xs, &[1.0, 1.0, 1.0, 1.0]), None);
+        assert_eq!(pearson_r(&xs, &[1.0]), None);
+    }
+}

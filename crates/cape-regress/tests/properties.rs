@@ -1,0 +1,115 @@
+//! Property-based tests of the regression substrate.
+
+use cape_regress::{fit, fit_constant, fit_linear, special, Model, ModelType};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3f64..1e3, len)
+}
+
+proptest! {
+    #[test]
+    fn gamma_pq_complementary(a in 0.1f64..50.0, x in 0.0f64..100.0) {
+        let p = special::gamma_p(a, x);
+        let q = special::gamma_q(a, x);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&q));
+        prop_assert!((p + q - 1.0).abs() < 1e-9, "P+Q = {}", p + q);
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x(a in 0.1f64..20.0, x in 0.0f64..50.0, dx in 0.01f64..10.0) {
+        prop_assert!(special::gamma_p(a, x) <= special::gamma_p(a, x + dx) + 1e-12);
+    }
+
+    #[test]
+    fn chi_square_sf_decreasing(df in 1.0f64..30.0, x in 0.0f64..60.0, dx in 0.01f64..10.0) {
+        let a = special::chi_square_sf(x, df);
+        let b = special::chi_square_sf(x + dx, df);
+        prop_assert!(b <= a + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn constant_fit_is_mean_and_bounded(ys in finite_vec(1..40)) {
+        let f = fit_constant(&ys).unwrap();
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        match f.model {
+            Model::Constant { beta } => prop_assert!((beta - mean).abs() < 1e-9),
+            _ => prop_assert!(false, "wrong model kind"),
+        }
+        prop_assert!((0.0..=1.0).contains(&f.gof));
+        prop_assert_eq!(f.n, ys.len());
+    }
+
+    #[test]
+    fn constant_gof_perfect_iff_constant(y in -100.0f64..100.0, n in 2usize..20) {
+        let ys = vec![y; n];
+        prop_assert_eq!(fit_constant(&ys).unwrap().gof, 1.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(
+        slope in -50.0f64..50.0,
+        intercept in -50.0f64..50.0,
+        n in 3usize..30,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x[0] + intercept).collect();
+        let f = fit_linear(&xs, &ys).unwrap();
+        prop_assert!(f.gof > 1.0 - 1e-6, "gof = {}", f.gof);
+        let pred = f.model.predict(&[(n + 5) as f64]);
+        let expect = slope * (n + 5) as f64 + intercept;
+        // Relative tolerance for large slopes.
+        prop_assert!((pred - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn r_squared_within_unit_interval(ys in finite_vec(2..30)) {
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let f = fit_linear(&xs, &ys).unwrap();
+        prop_assert!((0.0..=1.0).contains(&f.gof));
+    }
+
+    #[test]
+    fn linear_never_fits_worse_than_constant(ys in finite_vec(3..30)) {
+        // OLS minimizes squared error, so its residual is ≤ the constant
+        // model's; in R² terms the linear fit explains at least as much
+        // variance (both compare against the same SS_tot).
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let lin = fit_linear(&xs, &ys).unwrap();
+        let constant = Model::Constant { beta: ys.iter().sum::<f64>() / ys.len() as f64 };
+        let lin_sse: f64 = xs.iter().zip(&ys).map(|(x, y)| {
+            let e = y - lin.model.predict(x);
+            e * e
+        }).sum();
+        let const_sse: f64 = xs.iter().zip(&ys).map(|(x, y)| {
+            let e = y - constant.predict(x);
+            e * e
+        }).sum();
+        prop_assert!(lin_sse <= const_sse + 1e-6 * (1.0 + const_sse));
+    }
+
+    #[test]
+    fn fit_dispatch_agrees(ys in finite_vec(2..20)) {
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let a = fit(ModelType::Const, &xs, &ys).unwrap();
+        let b = fit_constant(&ys).unwrap();
+        prop_assert_eq!(a, b);
+        let c = fit(ModelType::Lin, &xs, &ys).unwrap();
+        let d = fit_linear(&xs, &ys).unwrap();
+        prop_assert_eq!(c, d);
+    }
+
+    #[test]
+    fn multi_ols_residuals_sum_to_zero(ys in finite_vec(4..25)) {
+        // With an intercept column, OLS residuals sum to ~0.
+        let xs: Vec<Vec<f64>> = (0..ys.len())
+            .map(|i| vec![i as f64, ((i * i) % 17) as f64])
+            .collect();
+        let f = fit_linear(&xs, &ys).unwrap();
+        let resid_sum: f64 = xs.iter().zip(&ys).map(|(x, y)| y - f.model.predict(x)).sum();
+        let scale: f64 = ys.iter().map(|y| y.abs()).sum::<f64>().max(1.0);
+        prop_assert!(resid_sum.abs() < 1e-6 * scale, "residual sum {resid_sum}");
+    }
+}

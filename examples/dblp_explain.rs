@@ -1,0 +1,73 @@
+//! The DBLP case study (paper §1 and Appendix A): mine patterns over a
+//! synthetic bibliography, then answer both directions of the running
+//! example — the low SIGKDD-2007 question (Table 3) and the high
+//! SIGKDD-2012 question (Table 4) — and contrast with the
+//! pattern-oblivious baseline (Table 6).
+//!
+//! Run with: `cargo run --release --example dblp_explain`
+
+use cape::core::explain::{render_table, BaselineExplainer};
+use cape::core::prelude::*;
+use cape::data::{AggFunc, Value};
+use cape::datagen::dblp::{attrs, generate, DblpConfig, CASE_STUDY_AUTHOR};
+
+fn main() -> Result<()> {
+    let rel = generate(&DblpConfig::with_rows(8_000));
+    println!("synthetic DBLP: {} rows, schema {}", rel.num_rows(), rel.schema());
+
+    let mining = MiningConfig {
+        thresholds: Thresholds::new(0.15, 4, 0.3, 3),
+        psi: 3,
+        exclude: vec![attrs::PUBID],
+        ..MiningConfig::default()
+    };
+    let mined = ArpMiner.mine(&rel, &mining)?;
+    println!(
+        "mined {} patterns ({} local) in {:?}\n",
+        mined.store.len(),
+        mined.store.num_local_patterns(),
+        mined.stats.total_time
+    );
+
+    let cfg = ExplainConfig::default_for(&rel, 10);
+    let question = |venue: &str, year: i64, dir: Direction| {
+        UserQuestion::from_query(
+            &rel,
+            vec![attrs::AUTHOR, attrs::VENUE, attrs::YEAR],
+            AggFunc::Count,
+            None,
+            vec![Value::str(CASE_STUDY_AUTHOR), Value::str(venue), Value::Int(year)],
+            dir,
+        )
+    };
+
+    // Table 3: the low question.
+    let low = question("SIGKDD", 2007, Direction::Low)?;
+    println!("Q1: {}", low.display(rel.schema()));
+    let (expls, stats) = OptimizedExplainer.explain(&mined.store, &low, &cfg);
+    println!(
+        "{}({} relevant patterns, {} tuples checked, {:?})\n",
+        render_table(&expls, rel.schema()),
+        stats.patterns_relevant,
+        stats.tuples_checked,
+        stats.time
+    );
+
+    // Table 4: the high question.
+    let high = question("SIGKDD", 2012, Direction::High)?;
+    println!("Q2: {}", high.display(rel.schema()));
+    let (expls, _) = OptimizedExplainer.explain(&mined.store, &high, &cfg);
+    println!("{}", render_table(&expls[..expls.len().min(5)], rel.schema()));
+
+    // Table 6: what the baseline would say for Q2.
+    println!("baseline (no patterns) for Q2:");
+    let (base, _) = BaselineExplainer.explain(&rel, &high, &cfg)?;
+    println!("{}", render_table(&base[..base.len().min(5)], rel.schema()));
+    println!(
+        "note how the baseline prefers venues {} rarely publishes in (low but\n\
+         predictable counts), while CAPE surfaces counts that are unusual\n\
+         *relative to a pattern* — the paper's Appendix A.2 observation.",
+        CASE_STUDY_AUTHOR
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Ground-truth recovery (paper §5.3 in miniature): plant an outlier and
+//! its counterbalance in synthetic data, then check that CAPE ranks the
+//! planted counterbalance into the top-k under different thresholds.
+//!
+//! Run with: `cargo run --release --example ground_truth`
+
+use cape::core::prelude::*;
+use cape::data::AggFunc;
+use cape::datagen::dblp::{attrs, generate, DblpConfig};
+use cape::datagen::ground_truth::{inject, pick_coordinates};
+
+fn main() -> Result<()> {
+    let base = generate(&DblpConfig { target_rows: 4_000, case_study: false, ..DblpConfig::default() });
+
+    // Pick a well-populated (author, year) coordinate and a second year.
+    let (f, outlier_year, counter_year) =
+        pick_coordinates(&base, &[attrs::AUTHOR], attrs::YEAR, 5, 99).expect("coordinates");
+    println!(
+        "planting: author {} | outlier year {} (remove 60%) | counterbalance year {}",
+        f[0], outlier_year, counter_year
+    );
+    let case = inject(
+        &base,
+        &[attrs::AUTHOR],
+        &f,
+        attrs::YEAR,
+        &outlier_year,
+        &counter_year,
+        true, // low outlier
+        0.6,
+        4242,
+    )
+    .expect("injectable");
+    println!("moved {} rows; dataset still has {} rows\n", case.moved, case.relation.num_rows());
+
+    let uq = UserQuestion::from_query(
+        &case.relation,
+        vec![attrs::AUTHOR, attrs::YEAR],
+        AggFunc::Count,
+        None,
+        vec![f[0].clone(), outlier_year.clone()],
+        Direction::Low,
+    )?;
+    println!("question: {}\n", uq.display(case.relation.schema()));
+
+    for (theta, label) in [(0.1, "lenient"), (0.5, "paper default"), (0.9, "strict")] {
+        let mining = MiningConfig {
+            thresholds: Thresholds::new(theta, 3, 0.3, 1),
+            psi: 2,
+            exclude: vec![attrs::PUBID],
+            ..MiningConfig::default()
+        };
+        let store = ArpMiner.mine(&case.relation, &mining)?.store;
+        let cfg = ExplainConfig::default_for(&case.relation, 10);
+        let (expls, _) = OptimizedExplainer.explain(&store, &uq, &cfg);
+        let hit = expls.iter().any(|e| {
+            e.attrs.iter().zip(&e.tuple).any(|(&a, v)| a == attrs::YEAR && v == &counter_year)
+                && e.attrs.iter().zip(&e.tuple).any(|(&a, v)| a == attrs::AUTHOR && v == &f[0])
+        });
+        println!(
+            "theta = {theta} ({label}): {} patterns, {} explanations, ground truth {}",
+            store.len(),
+            expls.len(),
+            if hit { "FOUND" } else { "missed" }
+        );
+    }
+    println!(
+        "\nhigher theta filters out the very pattern the outlier broke —\n\
+         the paper's Figure 7 finding that lenient model-quality thresholds\n\
+         recover more ground truth."
+    );
+    Ok(())
+}

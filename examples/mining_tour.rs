@@ -1,0 +1,56 @@
+//! A tour of the four ARP-mining algorithms (paper §4): NAIVE, CUBE,
+//! SHARE-GRP and ARP-MINE produce identical pattern sets at very
+//! different costs. Prints per-miner query/sort/regression statistics.
+//!
+//! Run with: `cargo run --release --example mining_tour`
+
+use cape::core::mining::{ArpMiner, CubeMiner, Miner, NaiveMiner, ShareGrpMiner};
+use cape::core::prelude::*;
+use cape::datagen::crime::generate;
+use cape::datagen::CrimeConfig;
+use std::collections::BTreeSet;
+
+fn main() -> Result<()> {
+    let full = generate(&CrimeConfig::with_rows(4_000));
+    let rel = cape::data::ops::project(&full, &[0, 1, 2, 3]).map_err(CapeError::Data)?;
+    println!("dataset: {} rows, schema {}\n", rel.num_rows(), rel.schema());
+
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.3, 5, 0.5, 2),
+        psi: 3,
+        ..MiningConfig::default()
+    };
+
+    let miners: [&dyn Miner; 4] = [&NaiveMiner, &CubeMiner, &ShareGrpMiner, &ArpMiner];
+    println!(
+        "{:<10} {:>9} {:>8} {:>7} {:>10} {:>9} {:>9}",
+        "miner", "time[ms]", "queries", "sorts", "candidates", "fits", "patterns"
+    );
+    let mut pattern_sets: Vec<BTreeSet<String>> = Vec::new();
+    for miner in miners {
+        let out = miner.mine(&rel, &cfg)?;
+        println!(
+            "{:<10} {:>9.1} {:>8} {:>7} {:>10} {:>9} {:>9}",
+            miner.name(),
+            out.stats.total_time.as_secs_f64() * 1e3,
+            out.stats.group_queries,
+            out.stats.sort_queries,
+            out.stats.candidates_considered,
+            out.stats.fragments_fitted,
+            out.store.len(),
+        );
+        pattern_sets.push(
+            out.store.iter().map(|(_, p)| p.arp.display(rel.schema())).collect(),
+        );
+    }
+
+    // All four algorithms find the same globally holding ARPs.
+    for set in &pattern_sets[1..] {
+        assert_eq!(set, &pattern_sets[0], "miners disagree");
+    }
+    println!("\nall four miners agree on {} patterns, e.g.:", pattern_sets[0].len());
+    for p in pattern_sets[0].iter().take(5) {
+        println!("  {p}");
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # cape — explaining aggregate query answers with counterbalances
+//!
+//! A from-scratch Rust reproduction of **CAPE** (*"Going Beyond
+//! Provenance: Explaining Query Answers with Pattern-based
+//! Counterbalances"*, SIGMOD 2019): given an aggregate query answer a
+//! user finds surprisingly high or low, CAPE mines *aggregate regression
+//! patterns* (ARPs) that hold over the data and returns tuples deviating
+//! in the **opposite** direction with respect to those patterns —
+//! counterbalances that provenance-based explanation systems cannot find.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`data`] — in-memory columnar relational engine (the PostgreSQL role);
+//! * [`regress`] — constant/linear regression with chi-square / R² GoF;
+//! * [`datagen`] — deterministic synthetic DBLP and Chicago-Crime data;
+//! * [`core`] — ARPs, the four mining algorithms, explanation generation.
+//!
+//! ## Example
+//!
+//! ```
+//! use cape::core::prelude::*;
+//! use cape::data::{AggFunc, Value};
+//! use cape::datagen::{dblp, DblpConfig};
+//!
+//! // Synthetic DBLP data with a planted SIGKDD-2007 dip for author AX.
+//! let rel = dblp::generate(&DblpConfig::with_rows(3_000));
+//!
+//! // Mine ARPs (offline step).
+//! let mining = MiningConfig {
+//!     thresholds: Thresholds::new(0.15, 4, 0.3, 3),
+//!     psi: 3,
+//!     exclude: vec![dblp::attrs::PUBID],
+//!     ..MiningConfig::default()
+//! };
+//! let store = ArpMiner.mine(&rel, &mining).unwrap().store;
+//!
+//! // Ask: why did AX publish only one SIGKDD paper in 2007?
+//! let uq = UserQuestion::from_query(
+//!     &rel,
+//!     vec![dblp::attrs::AUTHOR, dblp::attrs::VENUE, dblp::attrs::YEAR],
+//!     AggFunc::Count,
+//!     None,
+//!     vec![Value::str("AX"), Value::str("SIGKDD"), Value::Int(2007)],
+//!     Direction::Low,
+//! ).unwrap();
+//!
+//! let cfg = ExplainConfig::default_for(&rel, 10);
+//! let (explanations, _) = OptimizedExplainer.explain(&store, &uq, &cfg);
+//! assert!(!explanations.is_empty());
+//! ```
+
+pub use cape_core as core;
+pub use cape_data as data;
+pub use cape_datagen as datagen;
+pub use cape_regress as regress;

@@ -1,0 +1,98 @@
+//! Integration: CSV round-trips preserve mining results, and the pattern
+//! store behaves consistently across serialization of its inputs.
+
+use cape::core::mining::{ArpMiner, Miner};
+use cape::core::prelude::*;
+use cape::data::csv::{read_csv, write_csv};
+use cape::datagen::{dblp, DblpConfig};
+use std::collections::BTreeSet;
+
+#[test]
+fn csv_roundtrip_preserves_mining() {
+    let rel = dblp::generate(&DblpConfig::with_rows(2_000));
+    let mut buf = Vec::new();
+    write_csv(&mut buf, &rel).unwrap();
+    let back = read_csv(&buf[..], rel.schema().clone()).unwrap();
+    assert_eq!(back.num_rows(), rel.num_rows());
+
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.2, 4, 0.4, 2),
+        psi: 2,
+        exclude: vec![dblp::attrs::PUBID],
+        ..MiningConfig::default()
+    };
+    let a: BTreeSet<String> = ArpMiner
+        .mine(&rel, &cfg)
+        .unwrap()
+        .store
+        .iter()
+        .map(|(_, p)| p.arp.display(rel.schema()))
+        .collect();
+    let b: BTreeSet<String> = ArpMiner
+        .mine(&back, &cfg)
+        .unwrap()
+        .store
+        .iter()
+        .map(|(_, p)| p.arp.display(back.schema()))
+        .collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn csv_file_io() {
+    let rel = dblp::generate(&DblpConfig::with_rows(500));
+    let dir = std::env::temp_dir().join("cape_csv_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pubs.csv");
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        write_csv(&mut f, &rel).unwrap();
+    }
+    let f = std::fs::File::open(&path).unwrap();
+    let back = read_csv(f, rel.schema().clone()).unwrap();
+    assert_eq!(back.num_rows(), rel.num_rows());
+    for i in [0usize, 99, 499] {
+        assert_eq!(back.row(i), rel.row(i));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_store_explanations_are_a_subset_source() {
+    // With fewer local patterns available, explanation scores can only be
+    // drawn from the remaining patterns; the pipeline must stay sound.
+    let rel = dblp::generate(&DblpConfig::with_rows(3_000));
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.15, 4, 0.3, 2),
+        psi: 3,
+        exclude: vec![dblp::attrs::PUBID],
+        ..MiningConfig::default()
+    };
+    let store = ArpMiner.mine(&rel, &cfg).unwrap().store;
+    let total = store.num_local_patterns();
+    assert!(total > 10);
+    let half = store.truncate_locals(total / 2);
+    assert!(half.num_local_patterns() <= total / 2);
+
+    let uq = UserQuestion::from_query(
+        &rel,
+        vec![0, 3, 2],
+        AggFunc::Count,
+        None,
+        vec![
+            cape::data::Value::str(cape::datagen::CASE_STUDY_AUTHOR),
+            cape::data::Value::str("SIGKDD"),
+            cape::data::Value::Int(2007),
+        ],
+        Direction::Low,
+    )
+    .unwrap();
+    let ecfg = ExplainConfig::default_for(&rel, 10);
+    use cape::core::explain::TopKExplainer;
+    let (full_expls, _) = OptimizedExplainer.explain(&store, &uq, &ecfg);
+    let (half_expls, _) = OptimizedExplainer.explain(&half, &uq, &ecfg);
+    // Fewer patterns can only ever produce at most as many candidates.
+    assert!(half_expls.len() <= full_expls.len() || full_expls.is_empty());
+}
+
+use cape::data::AggFunc;

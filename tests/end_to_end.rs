@@ -1,0 +1,206 @@
+//! End-to-end integration: data generation → mining (all four algorithm
+//! variants) → explanation generation (both variants) on both synthetic
+//! datasets, checking cross-algorithm agreement and that planted
+//! counterbalances are recovered.
+
+use cape::core::explain::TopKExplainer;
+use cape::core::mining::{ArpMiner, CubeMiner, Miner, NaiveMiner, ShareGrpMiner};
+use cape::core::prelude::*;
+use cape::data::{AggFunc, Value};
+use cape::datagen::crime::attrs as crime_attrs;
+use cape::datagen::dblp::attrs as dblp_attrs;
+use cape::datagen::{crime, dblp, CrimeConfig, DblpConfig, CASE_STUDY_AUTHOR};
+use std::collections::BTreeSet;
+
+fn pattern_set(
+    miner: &dyn Miner,
+    rel: &cape::data::Relation,
+    cfg: &MiningConfig,
+) -> BTreeSet<String> {
+    miner
+        .mine(rel, cfg)
+        .expect("mining succeeds")
+        .store
+        .iter()
+        .map(|(_, p)| p.arp.display(rel.schema()))
+        .collect()
+}
+
+#[test]
+fn all_four_miners_agree_on_dblp() {
+    let rel = dblp::generate(&DblpConfig::with_rows(2_000));
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.2, 4, 0.4, 2),
+        psi: 2,
+        exclude: vec![dblp_attrs::PUBID],
+        ..MiningConfig::default()
+    };
+    let naive = pattern_set(&NaiveMiner, &rel, &cfg);
+    let cube = pattern_set(&CubeMiner, &rel, &cfg);
+    let share = pattern_set(&ShareGrpMiner, &rel, &cfg);
+    let arp = pattern_set(&ArpMiner, &rel, &cfg);
+    assert!(!arp.is_empty(), "nothing mined");
+    assert_eq!(naive, arp);
+    assert_eq!(cube, arp);
+    assert_eq!(share, arp);
+}
+
+#[test]
+fn all_four_miners_agree_on_crime() {
+    let full = crime::generate(&CrimeConfig::with_rows(2_500));
+    let rel = cape::data::ops::project(&full, &[0, 1, 2, 3]).unwrap();
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.25, 5, 0.5, 2),
+        psi: 3,
+        ..MiningConfig::default()
+    };
+    let naive = pattern_set(&NaiveMiner, &rel, &cfg);
+    let cube = pattern_set(&CubeMiner, &rel, &cfg);
+    let share = pattern_set(&ShareGrpMiner, &rel, &cfg);
+    let arp = pattern_set(&ArpMiner, &rel, &cfg);
+    assert!(!arp.is_empty());
+    assert_eq!(naive, arp);
+    assert_eq!(cube, arp);
+    assert_eq!(share, arp);
+}
+
+#[test]
+fn dblp_case_study_pipeline() {
+    let rel = dblp::generate(&DblpConfig::with_rows(6_000));
+    let mining = MiningConfig {
+        thresholds: Thresholds::new(0.15, 4, 0.3, 3),
+        psi: 3,
+        exclude: vec![dblp_attrs::PUBID],
+        ..MiningConfig::default()
+    };
+    let store = ArpMiner.mine(&rel, &mining).unwrap().store;
+    assert!(store.len() >= 2, "too few patterns:\n{}", store.describe(rel.schema()));
+
+    let uq = UserQuestion::from_query(
+        &rel,
+        vec![dblp_attrs::AUTHOR, dblp_attrs::VENUE, dblp_attrs::YEAR],
+        AggFunc::Count,
+        None,
+        vec![Value::str(CASE_STUDY_AUTHOR), Value::str("SIGKDD"), Value::Int(2007)],
+        Direction::Low,
+    )
+    .unwrap();
+    assert_eq!(uq.agg_value, 1.0);
+
+    let cfg = ExplainConfig::default_for(&rel, 10);
+    let (naive, _) = NaiveExplainer.explain(&store, &uq, &cfg);
+    let (opt, _) = OptimizedExplainer.explain(&store, &uq, &cfg);
+    assert!(!naive.is_empty());
+    // Optimized returns the same top-k set and scores.
+    assert_eq!(naive.len(), opt.len());
+    for (a, b) in naive.iter().zip(&opt) {
+        assert_eq!(a.key(), b.key());
+        assert!((a.score - b.score).abs() < 1e-9);
+    }
+    // Every explanation counterbalances (low question ⇒ positive deviation).
+    for e in &naive {
+        assert!(e.deviation > 0.0);
+        assert!(e.score.is_finite() && e.score > 0.0);
+    }
+}
+
+#[test]
+fn crime_case_study_pipeline() {
+    let full = crime::generate(&CrimeConfig::with_rows(6_000));
+    let rel = cape::data::ops::project(
+        &full,
+        &[crime_attrs::PRIMARY_TYPE, crime_attrs::COMMUNITY, crime_attrs::YEAR],
+    )
+    .unwrap();
+    let mining = MiningConfig {
+        thresholds: Thresholds::new(0.15, 4, 0.3, 3),
+        psi: 3,
+        ..MiningConfig::default()
+    };
+    let store = ArpMiner.mine(&rel, &mining).unwrap().store;
+    let uq = UserQuestion::from_query(
+        &rel,
+        vec![0, 1, 2],
+        AggFunc::Count,
+        None,
+        vec![Value::str("Battery"), Value::Int(26), Value::Int(2011)],
+        Direction::Low,
+    )
+    .unwrap();
+    assert_eq!(uq.agg_value, 16.0);
+    let cfg = ExplainConfig::default_for(&rel, 5);
+    let (expls, _) = OptimizedExplainer.explain(&store, &uq, &cfg);
+    assert!(!expls.is_empty());
+    // The planted 2012 spike (117 batteries) must rank first.
+    assert!(
+        expls[0].tuple.contains(&Value::Int(2012)),
+        "top explanation should be the 2012 spike, got {:?}",
+        expls[0]
+    );
+}
+
+#[test]
+fn explanations_satisfy_definition_7() {
+    // Re-verify every returned explanation against the raw relation.
+    let rel = dblp::generate(&DblpConfig::with_rows(3_000));
+    let mining = MiningConfig {
+        thresholds: Thresholds::new(0.15, 4, 0.3, 2),
+        psi: 3,
+        exclude: vec![dblp_attrs::PUBID],
+        ..MiningConfig::default()
+    };
+    let store = ArpMiner.mine(&rel, &mining).unwrap().store;
+    let uq = UserQuestion::from_query(
+        &rel,
+        vec![dblp_attrs::AUTHOR, dblp_attrs::VENUE, dblp_attrs::YEAR],
+        AggFunc::Count,
+        None,
+        vec![Value::str(CASE_STUDY_AUTHOR), Value::str("SIGKDD"), Value::Int(2007)],
+        Direction::Low,
+    )
+    .unwrap();
+    let cfg = ExplainConfig::default_for(&rel, 20);
+    let (expls, _) = OptimizedExplainer.explain(&store, &uq, &cfg);
+    assert!(!expls.is_empty());
+
+    for e in &expls {
+        let p = store.get(e.pattern_idx).expect("pattern index valid");
+        let p2 = store.get(e.refinement_idx).expect("refinement index valid");
+        // (1) P is relevant: F∪V ⊆ G and t[F] holds locally.
+        assert!(uq.covers_attrs(&p.arp.g_attrs()));
+        let f_vals = uq.values_of(p.arp.f()).unwrap();
+        assert!(p.local(&f_vals).is_some());
+        // (2) P' refines P.
+        assert!(p.arp.is_refined_by(&p2.arp));
+        // (3) t'[F'] holds locally under P'.
+        let fprime_vals: Vec<Value> = p2
+            .arp
+            .f()
+            .iter()
+            .map(|a| {
+                let pos = e.attrs.iter().position(|b| b == a).expect("F' ⊆ attrs");
+                e.tuple[pos].clone()
+            })
+            .collect();
+        assert!(p2.local(&fprime_vals).is_some());
+        // (4) t'[F] = t[F].
+        for (a, v) in p.arp.f().iter().zip(&f_vals) {
+            let pos = e.attrs.iter().position(|b| b == a).expect("F ⊆ attrs");
+            assert_eq!(&e.tuple[pos], v);
+        }
+        // (5) Counterbalancing deviation, consistent with stored values.
+        assert!(e.deviation > 0.0);
+        assert!((e.agg_value - e.predicted - e.deviation).abs() < 1e-9);
+        // The aggregate value matches the real data: recount from rel.
+        let mut count = 0.0;
+        'rows: for i in 0..rel.num_rows() {
+            for (a, v) in e.attrs.iter().zip(&e.tuple) {
+                if rel.value(i, *a) != v {
+                    continue 'rows;
+                }
+            }
+            count += 1.0;
+        }
+        assert_eq!(count, e.agg_value, "aggregate mismatch for {e:?}");
+    }
+}

@@ -1,0 +1,276 @@
+//! Semantic integration tests: Definitions 3, 4, 8 and 10 checked against
+//! hand-computed expectations on small crafted relations.
+
+use cape::core::explain::TopKExplainer;
+use cape::core::mining::{ArpMiner, Miner};
+use cape::core::prelude::*;
+use cape::data::{AggFunc, Relation, Schema, Value, ValueType};
+use cape::regress::ModelType;
+
+/// `emp(dept, quarter)` with one row per sale: dept A sells exactly 5 per
+/// quarter (perfect Const fit), dept B sells 1,2,3,4,5,6 (perfect Lin
+/// fit), dept C alternates wildly.
+fn sales() -> Relation {
+    let schema =
+        Schema::new([("dept", ValueType::Str), ("quarter", ValueType::Int)]).unwrap();
+    let mut rel = Relation::new(schema);
+    for q in 1..=6i64 {
+        for _ in 0..5 {
+            rel.push_row(vec![Value::str("A"), Value::Int(q)]).unwrap();
+        }
+        for _ in 0..q {
+            rel.push_row(vec![Value::str("B"), Value::Int(q)]).unwrap();
+        }
+        let wild = if q % 2 == 0 { 30 } else { 1 };
+        for _ in 0..wild {
+            rel.push_row(vec![Value::str("C"), Value::Int(q)]).unwrap();
+        }
+    }
+    rel
+}
+
+#[test]
+fn local_holds_match_hand_computation() {
+    let rel = sales();
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.5, 3, 0.1, 1),
+        psi: 2,
+        models: vec![ModelType::Const, ModelType::Lin],
+        ..MiningConfig::default()
+    };
+    let store = ArpMiner.mine(&rel, &cfg).unwrap().store;
+
+    // [dept]: quarter ~Const~> count(*) — holds locally for A (perfect),
+    // not for B (linear growth fails chi-square at θ=0.5 over mean 3.5:
+    // χ² = Σ(q−3.5)²/3.5 = 17.5/3.5 = 5 with df 5 ⇒ p ≈ 0.416 < 0.5),
+    // and certainly not for C.
+    let const_p = store
+        .iter()
+        .find(|(_, p)| p.arp.model == ModelType::Const && p.arp.f() == [0])
+        .map(|(_, p)| p);
+    let const_p = const_p.expect("constant pattern should hold globally via A");
+    assert!(const_p.local(&[Value::str("A")]).is_some());
+    assert!(const_p.local(&[Value::str("B")]).is_none());
+    assert!(const_p.local(&[Value::str("C")]).is_none());
+    let a_local = const_p.local(&[Value::str("A")]).unwrap();
+    assert_eq!(a_local.fitted.gof, 1.0);
+    assert_eq!(a_local.support, 6);
+    assert!((a_local.fitted.model.predict(&[1.0]) - 5.0).abs() < 1e-12);
+
+    // [dept]: quarter ~Lin~> count(*) — holds for A (R² = 1 with slope 0)
+    // and B (exact line), not for C.
+    let lin_p = store
+        .iter()
+        .find(|(_, p)| p.arp.model == ModelType::Lin && p.arp.f() == [0])
+        .map(|(_, p)| p)
+        .expect("linear pattern should hold globally");
+    let b_local = lin_p.local(&[Value::str("B")]).expect("B is a perfect line");
+    assert!(b_local.fitted.gof > 0.999);
+    // slope 1, intercept 0: predicts q at quarter q.
+    assert!((b_local.fitted.model.predict(&[4.0]) - 4.0).abs() < 1e-9);
+    assert!(lin_p.local(&[Value::str("C")]).is_none());
+
+    // Global confidence of the Const pattern: 1 good of 3 supported = 1/3.
+    assert_eq!(const_p.num_supported, 3);
+    assert!((const_p.confidence - 1.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn global_thresholds_reject_patterns() {
+    let rel = sales();
+    // λ = 0.5 rejects the Const pattern (confidence 1/3).
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.5, 3, 0.5, 1),
+        psi: 2,
+        models: vec![ModelType::Const],
+        ..MiningConfig::default()
+    };
+    let store = ArpMiner.mine(&rel, &cfg).unwrap().store;
+    assert!(
+        store.iter().all(|(_, p)| p.arp.f() != [0] || p.arp.model != ModelType::Const),
+        "constant dept pattern should be rejected at λ=0.5"
+    );
+}
+
+#[test]
+fn deviation_and_score_formula() {
+    // dept A sells 5 per quarter except quarter 6 where it sells 9 —
+    // hand-check the deviation and the score of the explanation.
+    let schema =
+        Schema::new([("dept", ValueType::Str), ("quarter", ValueType::Int)]).unwrap();
+    let mut rel = Relation::new(schema);
+    for q in 1..=6i64 {
+        let n = if q == 6 { 9 } else { 5 };
+        for _ in 0..n {
+            rel.push_row(vec![Value::str("A"), Value::Int(q)]).unwrap();
+        }
+        // A stable control department so the pattern holds for 2 fragments.
+        for _ in 0..4 {
+            rel.push_row(vec![Value::str("D"), Value::Int(q)]).unwrap();
+        }
+    }
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.2, 3, 0.5, 1),
+        psi: 2,
+        models: vec![ModelType::Const],
+        ..MiningConfig::default()
+    };
+    let store = ArpMiner.mine(&rel, &cfg).unwrap().store;
+    let uq = UserQuestion::from_query(
+        &rel,
+        vec![0, 1],
+        AggFunc::Count,
+        None,
+        vec![Value::str("A"), Value::Int(1)],
+        Direction::Low,
+    )
+    .unwrap();
+    let ecfg = ExplainConfig::default_for(&rel, 10);
+    let (expls, _) = OptimizedExplainer.explain(&store, &uq, &ecfg);
+    let six = expls
+        .iter()
+        .find(|e| e.tuple.contains(&Value::Int(6)))
+        .expect("quarter-6 spike explains the low quarter-1 value");
+    // Mean of A's counts: (5*5 + 9)/6 = 34/6; deviation = 9 − 34/6.
+    let mean = 34.0 / 6.0;
+    assert!((six.predicted - mean).abs() < 1e-9);
+    assert!((six.deviation - (9.0 - mean)).abs() < 1e-9);
+    // NORM = the question's value at the pattern granularity = 5.
+    assert_eq!(six.norm, 5.0);
+    // Score = dev / (d · NORM + ε).
+    let expect = six.deviation / (six.distance * six.norm + 1e-6);
+    assert!((six.score - expect).abs() < 1e-9);
+}
+
+#[test]
+fn refinement_drill_down_crosses_granularity() {
+    // Question at (dept, region, quarter) granularity can be explained by
+    // a coarser pattern tuple at (dept, quarter) granularity.
+    let schema = Schema::new([
+        ("dept", ValueType::Str),
+        ("region", ValueType::Str),
+        ("quarter", ValueType::Int),
+    ])
+    .unwrap();
+    let mut rel = Relation::new(schema);
+    for dept in ["A", "B"] {
+        for region in ["north", "south"] {
+            for q in 1..=6i64 {
+                let mut n = 3;
+                if dept == "A" && region == "north" && q == 3 {
+                    n = 1; // questioned dip
+                }
+                if dept == "A" && region == "south" && q == 3 {
+                    n = 5; // counterbalance in the other region
+                }
+                for _ in 0..n {
+                    rel.push_row(vec![
+                        Value::str(dept),
+                        Value::str(region),
+                        Value::Int(q),
+                    ])
+                    .unwrap();
+                }
+            }
+        }
+    }
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.1, 3, 0.3, 1),
+        psi: 3,
+        models: vec![ModelType::Const],
+        ..MiningConfig::default()
+    };
+    let store = ArpMiner.mine(&rel, &cfg).unwrap().store;
+    let uq = UserQuestion::from_query(
+        &rel,
+        vec![0, 1, 2],
+        AggFunc::Count,
+        None,
+        vec![Value::str("A"), Value::str("north"), Value::Int(3)],
+        Direction::Low,
+    )
+    .unwrap();
+    let ecfg = ExplainConfig::default_for(&rel, 20);
+    let (expls, _) = OptimizedExplainer.explain(&store, &uq, &ecfg);
+    assert!(!expls.is_empty());
+    // The south-region spike at quarter 3 must be found.
+    assert!(
+        expls.iter().any(|e| e.tuple.contains(&Value::str("south"))
+            && e.tuple.contains(&Value::Int(3))),
+        "cross-region counterbalance missing:\n{}",
+        cape::core::explain::render_table(&expls, rel.schema())
+    );
+}
+
+#[test]
+fn zero_count_missing_answer_question() {
+    // The paper's open problem (§7): "why did AX have NO SIGKDD paper in
+    // 2007 at all?". The group is absent from the query result, yet
+    // counterbalances can still be found through the patterns.
+    let schema = Schema::new([
+        ("author", ValueType::Str),
+        ("year", ValueType::Int),
+        ("venue", ValueType::Str),
+    ])
+    .unwrap();
+    let mut rel = Relation::new(schema);
+    for a in 0..4 {
+        for y in 2000..2008i64 {
+            for venue in ["KDD", "ICDE"] {
+                let n = match (a, y, venue) {
+                    (0, 2003, "KDD") => 0,  // completely missing group
+                    (0, 2003, "ICDE") => 6, // the counterbalance
+                    _ => 2,
+                };
+                for _ in 0..n {
+                    rel.push_row(vec![
+                        Value::str(format!("a{a}")),
+                        Value::Int(y),
+                        Value::str(venue),
+                    ])
+                    .unwrap();
+                }
+            }
+        }
+    }
+    let uq = UserQuestion::zero_count(
+        &rel,
+        vec![0, 1, 2],
+        vec![Value::str("a0"), Value::Int(2003), Value::str("KDD")],
+    )
+    .unwrap();
+    assert_eq!(uq.agg_value, 0.0);
+    assert_eq!(uq.dir, Direction::Low);
+
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.1, 3, 0.3, 2),
+        psi: 3,
+        models: vec![ModelType::Const],
+        ..MiningConfig::default()
+    };
+    let store = ArpMiner.mine(&rel, &cfg).unwrap().store;
+    let ecfg = ExplainConfig::default_for(&rel, 10);
+    let (expls, _) = OptimizedExplainer.explain(&store, &uq, &ecfg);
+    assert!(!expls.is_empty(), "zero-count question got no explanations");
+    // The ICDE 2003 spike explains where the papers went.
+    assert!(
+        expls.iter().any(|e| e.tuple.contains(&Value::str("ICDE"))
+            && e.tuple.contains(&Value::Int(2003))),
+        "missing ICDE-2003 counterbalance:\n{}",
+        cape::core::explain::render_table(&expls, rel.schema())
+    );
+
+    // Constructor rejections.
+    assert!(UserQuestion::zero_count(
+        &rel,
+        vec![0, 1, 2],
+        vec![Value::str("a1"), Value::Int(2003), Value::str("KDD")],
+    )
+    .is_err(), "existing group must be rejected");
+    assert!(UserQuestion::zero_count(
+        &rel,
+        vec![0, 1, 2],
+        vec![Value::str("martian"), Value::Int(2003), Value::str("KDD")],
+    )
+    .is_err(), "never-seen value must be rejected");
+}
