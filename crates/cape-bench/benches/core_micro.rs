@@ -53,9 +53,7 @@ fn bench_distance(c: &mut Criterion) {
     let t1 = [Value::str("AX"), Value::str("SIGKDD"), Value::Int(2007)];
     let t2 = [Value::str("AX"), Value::str("ICDE"), Value::Int(2006)];
     let attrs = [0usize, 3, 2];
-    c.bench_function("tuple_distance", |b| {
-        b.iter(|| dm.tuple_distance(&attrs, &t1, &attrs, &t2))
-    });
+    c.bench_function("tuple_distance", |b| b.iter(|| dm.tuple_distance(&attrs, &t1, &attrs, &t2)));
 }
 
 fn bench_persist(c: &mut Criterion) {
@@ -78,9 +76,7 @@ fn bench_persist(c: &mut Criterion) {
     });
     let mut buf = Vec::new();
     persist::write_store(&mut buf, &store).unwrap();
-    group.bench_function("read_store", |b| {
-        b.iter(|| persist::read_store(&buf[..], &rel).unwrap())
-    });
+    group.bench_function("read_store", |b| b.iter(|| persist::read_store(&buf[..], &rel).unwrap()));
     group.finish();
 }
 
@@ -102,9 +98,7 @@ fn bench_sql(c: &mut Criterion) {
          WHERE year BETWEEN 2004 AND 2012 GROUP BY author, venue ORDER BY n DESC LIMIT 20",
     )
     .unwrap();
-    group.bench_function("execute_filter_group_sort", |b| {
-        b.iter(|| execute(&stmt, &rel).unwrap())
-    });
+    group.bench_function("execute_filter_group_sort", |b| b.iter(|| execute(&stmt, &rel).unwrap()));
     group.finish();
 }
 

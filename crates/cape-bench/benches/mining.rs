@@ -8,11 +8,7 @@ use cape_core::{MiningConfig, Thresholds};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_cfg() -> MiningConfig {
-    MiningConfig {
-        thresholds: Thresholds::new(0.5, 8, 0.5, 5),
-        psi: 3,
-        ..MiningConfig::default()
-    }
+    MiningConfig { thresholds: Thresholds::new(0.5, 8, 0.5, 5), psi: 3, ..MiningConfig::default() }
 }
 
 /// Figure 3a in miniature: miners vs attribute count on Crime 5k.

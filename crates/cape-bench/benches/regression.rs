@@ -20,9 +20,8 @@ fn bench_fits(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("linear_1d", n), &n, |b, _| {
             b.iter(|| fit_linear(&xs, &ys).unwrap())
         });
-        let xs3: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![i as f64, (i * i % 97) as f64, ((i * 31) % 11) as f64])
-            .collect();
+        let xs3: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![i as f64, (i * i % 97) as f64, ((i * 31) % 11) as f64]).collect();
         group.bench_with_input(BenchmarkId::new("linear_3d", n), &n, |b, _| {
             b.iter(|| fit_linear(&xs3, &ys).unwrap())
         });
@@ -39,9 +38,7 @@ fn bench_special(c: &mut Criterion) {
         let ys: Vec<f64> = (0..100).map(|i| 5.0 + ((i * 13) % 7) as f64 * 0.1).collect();
         b.iter(|| chi_square_gof(&ys, 5.3))
     });
-    group.bench_function("ln_gamma", |b| {
-        b.iter(|| special::ln_gamma(criterion::black_box(42.5)))
-    });
+    group.bench_function("ln_gamma", |b| b.iter(|| special::ln_gamma(criterion::black_box(42.5))));
     group.finish();
 }
 

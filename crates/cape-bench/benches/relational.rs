@@ -10,14 +10,10 @@ fn bench_aggregate(c: &mut Criterion) {
     for rows in [1_000usize, 10_000, 50_000] {
         let rel = crime_prefix(&crime_rows(rows), 4);
         group.bench_with_input(BenchmarkId::new("group_by_2", rows), &rel, |b, rel| {
-            b.iter(|| {
-                aggregate_with_row_count(rel, &[0, 1], &[AggSpec::count_star()]).unwrap()
-            })
+            b.iter(|| aggregate_with_row_count(rel, &[0, 1], &[AggSpec::count_star()]).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("group_by_3", rows), &rel, |b, rel| {
-            b.iter(|| {
-                aggregate_with_row_count(rel, &[0, 1, 2], &[AggSpec::count_star()]).unwrap()
-            })
+            b.iter(|| aggregate_with_row_count(rel, &[0, 1, 2], &[AggSpec::count_star()]).unwrap())
         });
     }
     group.finish();
@@ -26,9 +22,8 @@ fn bench_aggregate(c: &mut Criterion) {
 fn bench_sort(c: &mut Criterion) {
     let mut group = c.benchmark_group("sort");
     let rel = crime_prefix(&crime_rows(20_000), 4);
-    let grouped = aggregate_with_row_count(&rel, &[0, 1, 2], &[AggSpec::count_star()])
-        .unwrap()
-        .relation;
+    let grouped =
+        aggregate_with_row_count(&rel, &[0, 1, 2], &[AggSpec::count_star()]).unwrap().relation;
     group.bench_function("three_key_sort", |b| b.iter(|| sort_by(&grouped, &[0, 1, 2])));
     group.bench_function("one_key_sort", |b| b.iter(|| sort_by(&grouped, &[2])));
     group.finish();

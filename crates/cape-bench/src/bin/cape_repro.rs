@@ -16,8 +16,22 @@ use cape_bench::experiments::{
 use cape_bench::Scale;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig3a", "fig3b", "fig3c", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "table3",
-    "table4", "table5", "table6", "table7", "ablation", "userstudy",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig4",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig7",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "ablation",
+    "userstudy",
 ];
 
 fn usage() -> ! {

@@ -50,12 +50,10 @@ fn scoring_ablation() -> String {
 
     let mut out = section("Ablation A: scoring-function components (Definition 10)");
     out.push_str(&format!("candidate pool: {} explanations for φ0\n", pool.len()));
-    let variants: [(&str, Box<dyn Fn(&Explanation) -> f64>); 3] = [
+    type ScoreFn = Box<dyn Fn(&Explanation) -> f64>;
+    let variants: [(&str, ScoreFn); 3] = [
         ("full score  dev/(d·NORM)", Box::new(|e: &Explanation| e.score)),
-        (
-            "no NORM     dev/d",
-            Box::new(|e: &Explanation| e.deviation.abs() / (e.distance + 1e-6)),
-        ),
+        ("no NORM     dev/d", Box::new(|e: &Explanation| e.deviation.abs() / (e.distance + 1e-6))),
         ("no distance dev only", Box::new(|e: &Explanation| e.deviation.abs())),
     ];
     for (name, keyfn) in variants {

@@ -16,11 +16,7 @@ use cape_datagen::crime::attrs as c;
 /// `N_P` sweeps (the paper mines offline "to generate a large number of
 /// patterns").
 pub fn lenient_mining_config(psi: usize) -> MiningConfig {
-    MiningConfig {
-        thresholds: Thresholds::new(0.15, 4, 0.3, 3),
-        psi,
-        ..MiningConfig::default()
-    }
+    MiningConfig { thresholds: Thresholds::new(0.15, 4, 0.3, 3), psi, ..MiningConfig::default() }
 }
 
 /// Total explanation time over all `questions`, per explainer, for one
@@ -55,8 +51,7 @@ fn np_experiment(
 ) -> String {
     let cfg = ExplainConfig::default_for(rel, k);
     let sweep = np_sweep(store, 5);
-    let mut table =
-        SeriesTable::new("N_P", sweep.iter().map(|n| n.to_string()).collect());
+    let mut table = SeriesTable::new("N_P", sweep.iter().map(|n| n.to_string()).collect());
     let mut naive = Vec::new();
     let mut opt = Vec::new();
     for &np in &sweep {
@@ -83,11 +78,7 @@ pub fn fig6a(scale: Scale) -> String {
     let mut mcfg = lenient_mining_config(3);
     mcfg.exclude = vec![cape_datagen::dblp::attrs::PUBID];
     let store = ArpMiner.mine(&rel, &mcfg).expect("mining").store;
-    eprintln!(
-        "  fig6a: {} patterns / {} local patterns",
-        store.len(),
-        store.num_local_patterns()
-    );
+    eprintln!("  fig6a: {} patterns / {} local patterns", store.len(), store.num_local_patterns());
     let questions = generate_questions(
         &rel,
         &[
@@ -105,13 +96,8 @@ pub fn fig6a(scale: Scale) -> String {
 pub fn fig6b(scale: Scale) -> String {
     let rel = crime_prefix(&crime_rows(scale.explain_rows()), 5);
     let store = ArpMiner.mine(&rel, &lenient_mining_config(3)).expect("mining").store;
-    eprintln!(
-        "  fig6b: {} patterns / {} local patterns",
-        store.len(),
-        store.num_local_patterns()
-    );
-    let questions =
-        generate_questions(&rel, &[c::PRIMARY_TYPE, c::COMMUNITY, c::YEAR], 6, 62);
+    eprintln!("  fig6b: {} patterns / {} local patterns", store.len(), store.num_local_patterns());
+    let questions = generate_questions(&rel, &[c::PRIMARY_TYPE, c::COMMUNITY, c::YEAR], 6, 62);
     np_experiment("Figure 6b: explanation generation, Crime", &rel, &store, &questions, 10)
 }
 
@@ -119,9 +105,8 @@ pub fn fig6b(scale: Scale) -> String {
 /// user question (A_φ from 2 to 8).
 pub fn fig6c(scale: Scale) -> String {
     let rel = crime_rows(scale.explain_rows());
-    let store = ArpMiner.mine(&crime_prefix(&rel, 8), &lenient_mining_config(3))
-        .expect("mining")
-        .store;
+    let store =
+        ArpMiner.mine(&crime_prefix(&rel, 8), &lenient_mining_config(3)).expect("mining").store;
     let cfg = ExplainConfig::default_for(&rel, 10);
     // Question group-by attribute prefixes of increasing width.
     let phi_attrs: Vec<usize> = vec![
@@ -135,8 +120,7 @@ pub fn fig6c(scale: Scale) -> String {
         c::SEASON,
     ];
     let a_phi: Vec<usize> = vec![2, 3, 4, 5, 6, 7, 8];
-    let mut table =
-        SeriesTable::new("A_phi", a_phi.iter().map(|a| a.to_string()).collect());
+    let mut table = SeriesTable::new("A_phi", a_phi.iter().map(|a| a.to_string()).collect());
     let mut naive = Vec::new();
     let mut opt = Vec::new();
     for &a in &a_phi {

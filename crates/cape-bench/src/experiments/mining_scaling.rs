@@ -59,7 +59,12 @@ pub fn fig3a(scale: Scale) -> String {
 }
 
 /// Figures 3b / 3c: runtime vs rows for a fixed schema.
-fn d_scaling(name: &str, paper_ref: &str, scale: Scale, make: impl Fn(usize) -> Relation) -> String {
+fn d_scaling(
+    name: &str,
+    paper_ref: &str,
+    scale: Scale,
+    make: impl Fn(usize) -> Relation,
+) -> String {
     let cfg = paper_mining_config();
     let d_values = scale.d_sweep();
     let mut table = SeriesTable::new("D", d_values.iter().map(|d| d.to_string()).collect());
@@ -86,27 +91,19 @@ fn d_scaling(name: &str, paper_ref: &str, scale: Scale, make: impl Fn(usize) -> 
 pub fn fig3b(scale: Scale) -> String {
     let biggest = *scale.d_sweep().last().expect("non-empty sweep");
     let full = crime_rows(biggest);
-    d_scaling(
-        "Figure 3b: pattern mining, Crime, varying #rows",
-        "paper Fig. 3b, A=7",
-        scale,
-        |d| {
-            let prefix = crime_prefix(&full, 7);
-            truncate_rows(&prefix, d)
-        },
-    )
+    d_scaling("Figure 3b: pattern mining, Crime, varying #rows", "paper Fig. 3b, A=7", scale, |d| {
+        let prefix = crime_prefix(&full, 7);
+        truncate_rows(&prefix, d)
+    })
 }
 
 /// Figure 3c: DBLP (all 4 attributes), varying D.
 pub fn fig3c(scale: Scale) -> String {
     let biggest = *scale.d_sweep().last().expect("non-empty sweep");
     let full = dblp_rows(biggest);
-    d_scaling(
-        "Figure 3c: pattern mining, DBLP, varying #rows",
-        "paper Fig. 3c, A=4",
-        scale,
-        |d| truncate_rows(&full, d),
-    )
+    d_scaling("Figure 3c: pattern mining, DBLP, varying #rows", "paper Fig. 3c, A=4", scale, |d| {
+        truncate_rows(&full, d)
+    })
 }
 
 /// First `n` rows of a relation (the paper's size-varied dataset versions).

@@ -32,8 +32,7 @@ pub fn plant_cases(rows: usize, n: usize) -> Vec<Case> {
     let mut seed = 1000u64;
     while out.len() < n && seed < 1000 + 60 * n as u64 {
         seed += 7;
-        let Some((f, v1, v2)) =
-            pick_coordinates(&base, &[attrs::AUTHOR], attrs::YEAR, 5, seed)
+        let Some((f, v1, v2)) = pick_coordinates(&base, &[attrs::AUTHOR], attrs::YEAR, 5, seed)
         else {
             continue;
         };
@@ -69,10 +68,7 @@ pub fn plant_cases(rows: usize, n: usize) -> Vec<Case> {
 
 /// Whether any of the top-k explanations hits the planted counterbalance
 /// coordinate `(author = f, year = counter_v)`.
-fn found_ground_truth(
-    expls: &[cape_core::explain::Explanation],
-    case: &Case,
-) -> bool {
+fn found_ground_truth(expls: &[cape_core::explain::Explanation], case: &Case) -> bool {
     let f_val: &Value = &case.injected.f_vals[0];
     let counter: &Value = &case.injected.counter_v;
     expls.iter().any(|e| {
@@ -142,12 +138,7 @@ pub fn fig7(rows: usize, n_cases: usize) -> String {
             let row: Vec<Option<f64>> = thetas
                 .iter()
                 .map(|&th| {
-                    Some(precision(
-                        &cases,
-                        Thresholds::new(th, delta_local, lam, gd),
-                        2,
-                        10,
-                    ))
+                    Some(precision(&cases, Thresholds::new(th, delta_local, lam, gd), 2, 10))
                 })
                 .collect();
             table.push_series(format!("lambda={lam}"), row);

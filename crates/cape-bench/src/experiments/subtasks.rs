@@ -3,7 +3,7 @@
 
 use crate::datasets::{crime_prefix, crime_rows, Scale};
 use crate::experiments::mining_scaling::paper_mining_config;
-use crate::report::section;
+use crate::report::{section, telemetry_section};
 use cape_core::mining::{ArpMiner, CubeMiner, Miner, MiningStats, ShareGrpMiner};
 
 /// One bar of the figure: absolute subtask seconds for one (A, method).
@@ -37,27 +37,35 @@ impl Breakdown {
 }
 
 /// Collect the per-subtask breakdown for the three optimized miners.
-pub fn collect(scale: Scale) -> Vec<Breakdown> {
+///
+/// The phase times come from each run's span telemetry (`data.*` spans →
+/// query, `regress.*` → regression). Also returns the full snapshot of
+/// the ARP-MINE run at the largest A, for embedding in the report.
+pub fn collect(scale: Scale) -> (Vec<Breakdown>, Option<cape_obs::TelemetrySnapshot>) {
     let base = crime_rows(scale.base_rows());
     let cfg = paper_mining_config();
     let mut out = Vec::new();
+    let mut telemetry = None;
     for &a in &scale.a_sweep() {
         let rel = crime_prefix(&base, a);
         eprintln!("  fig4: A = {a}");
         let miners: [(&'static str, &dyn Miner); 3] =
             [("ARP-MINE", &ArpMiner), ("SHARE-GRP", &ShareGrpMiner), ("CUBE", &CubeMiner)];
         for (name, miner) in miners {
-            let stats = miner.mine(&rel, &cfg).expect("mining succeeds").stats;
-            out.push(Breakdown::from_stats(name, a, &stats));
+            let mined = miner.mine(&rel, &cfg).expect("mining succeeds");
+            out.push(Breakdown::from_stats(name, a, &mined.stats));
+            if name == "ARP-MINE" {
+                telemetry = Some(mined.telemetry);
+            }
         }
     }
-    out
+    (out, telemetry)
 }
 
 /// Figure 4 report: per A, bars normalized to the slowest method
 /// (the paper normalizes to CUBE).
 pub fn fig4(scale: Scale) -> String {
-    let rows = collect(scale);
+    let (rows, telemetry) = collect(scale);
     let mut out = section("Figure 4: mining subtask breakdown (normalized to slowest)");
     out.push_str("A   method      total  |  query  regression  other   (fractions of slowest)\n");
     out.push_str("--------------------------------------------------------------------------\n");
@@ -78,6 +86,9 @@ pub fn fig4(scale: Scale) -> String {
             ));
         }
     }
+    if let Some(snapshot) = telemetry {
+        out.push_str(&telemetry_section("Figure 4 telemetry (ARP-MINE, largest A)", &snapshot));
+    }
     out
 }
 
@@ -95,5 +106,17 @@ mod tests {
         };
         let b = Breakdown::from_stats("X", 4, &s);
         assert!((b.query + b.regression + b.other - b.total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arp_run_telemetry_matches_stats_and_embeds() {
+        let base = crime_rows(300);
+        let rel = crime_prefix(&base, 4);
+        let out = ArpMiner.mine(&rel, &paper_mining_config()).unwrap();
+        let phases = out.telemetry.phase_breakdown();
+        assert_eq!(out.stats.total_time.as_nanos() as u64, phases.total_ns);
+        assert_eq!(out.stats.query_time.as_nanos() as u64, phases.query_ns);
+        let report = telemetry_section("Telemetry", &out.telemetry);
+        assert!(report.contains("mining.mine") && report.contains("\"phases\""));
     }
 }

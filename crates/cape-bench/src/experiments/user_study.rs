@@ -56,8 +56,7 @@ fn plant_tasks(rows: usize) -> Vec<Task> {
     for &extremity in &extremities {
         loop {
             seed += 13;
-            let Some((f, v1, v2)) =
-                pick_coordinates(&base, &[attrs::AUTHOR], attrs::YEAR, 5, seed)
+            let Some((f, v1, v2)) = pick_coordinates(&base, &[attrs::AUTHOR], attrs::YEAR, 5, seed)
             else {
                 continue;
             };
@@ -144,13 +143,10 @@ fn treatment(task: &Task, budget: usize) -> Outcome {
 /// The control participant: probe the question's neighbourhood ordered by
 /// |deviation from the result average| (most suspicious first).
 fn control(task: &Task, budget: usize) -> Outcome {
-    let grouped = aggregate(
-        &task.relation,
-        &[attrs::AUTHOR, attrs::YEAR],
-        &[AggSpec::count_star()],
-    )
-    .expect("exploration query")
-    .relation;
+    let grouped =
+        aggregate(&task.relation, &[attrs::AUTHOR, attrs::YEAR], &[AggSpec::count_star()])
+            .expect("exploration query")
+            .relation;
     let avg = {
         let mut sum = 0.0;
         for i in 0..grouped.num_rows() {
@@ -201,13 +197,7 @@ pub fn user_study(rows: usize, budget: usize) -> String {
             Outcome::Found { probes_used } => format!("found in {probes_used:>2} probes"),
             Outcome::OutOfBudget => "NOT FOUND".to_string(),
         };
-        out.push_str(&format!(
-            "φ{:<4} {:<10} {:<22} {}\n",
-            i + 1,
-            task.extremity,
-            fmt(t),
-            fmt(c)
-        ));
+        out.push_str(&format!("φ{:<4} {:<10} {:<22} {}\n", i + 1, task.extremity, fmt(t), fmt(c)));
     }
     out.push_str(
         "\npaper's finding (success rates 86/71/57% treatment vs 71/43/0% control):\n\

@@ -18,9 +18,8 @@ pub fn generate_questions(
     n: usize,
     seed: u64,
 ) -> Vec<UserQuestion> {
-    let result = aggregate(rel, group_attrs, &[AggSpec::count_star()])
-        .expect("count query")
-        .relation;
+    let result =
+        aggregate(rel, group_attrs, &[AggSpec::count_star()]).expect("count query").relation;
     if result.is_empty() {
         return Vec::new();
     }
@@ -28,9 +27,11 @@ pub fn generate_questions(
     // Rank rows by count, descending.
     let mut order: Vec<usize> = (0..result.num_rows()).collect();
     order.sort_by(|&a, &b| {
-        result.value(b, agg_col).as_f64().unwrap_or(0.0).total_cmp(
-            &result.value(a, agg_col).as_f64().unwrap_or(0.0),
-        )
+        result
+            .value(b, agg_col)
+            .as_f64()
+            .unwrap_or(0.0)
+            .total_cmp(&result.value(a, agg_col).as_f64().unwrap_or(0.0))
     });
     let pool = &order[..(order.len() / 4).max(1).min(order.len())];
     let mut rng = SmallRng::seed_from_u64(seed);

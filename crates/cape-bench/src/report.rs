@@ -76,6 +76,12 @@ pub fn section(title: &str) -> String {
     format!("\n=== {title} ===\n")
 }
 
+/// Embed a telemetry snapshot in a report: a header plus the same JSON
+/// document `cape --metrics` writes (phases, spans, counters, histograms).
+pub fn telemetry_section(title: &str, snapshot: &cape_obs::TelemetrySnapshot) -> String {
+    format!("{}{}\n", section(title), snapshot.to_json())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +103,17 @@ mod tests {
     #[test]
     fn section_header() {
         assert!(section("Figure 3a").contains("Figure 3a"));
+    }
+
+    #[test]
+    fn telemetry_section_embeds_snapshot_json() {
+        let rec = cape_obs::Recorder::new();
+        let guard = rec.install();
+        cape_obs::counter_add("bench.runs", 1);
+        drop(guard);
+        let s = telemetry_section("Telemetry", &rec.snapshot());
+        assert!(s.contains("=== Telemetry ==="));
+        assert!(s.contains("\"counters\"") && s.contains("bench.runs"));
+        assert!(s.contains("\"phases\""));
     }
 }

@@ -15,8 +15,11 @@ pub struct Args {
 /// boolean flag.
 const VALUE_KEYS: &[&str] = &[
     "csv", "schema", "out", "patterns", "sql", "tuple", "dir", "k", "psi", "theta", "delta",
-    "lambda", "support", "rows", "seed", "agg", "agg-attr", "exclude",
+    "lambda", "support", "rows", "seed", "agg", "agg-attr", "exclude", "metrics",
 ];
+
+/// Single-dash short flags and the long flag each expands to.
+const SHORT_FLAGS: &[(&str, &str)] = &[("-v", "verbose"), ("-q", "quiet")];
 
 impl Args {
     /// Parse `argv[1..]`.
@@ -27,15 +30,19 @@ impl Args {
             let a = &argv[i];
             if let Some(key) = a.strip_prefix("--") {
                 if VALUE_KEYS.contains(&key) {
-                    let value = argv
-                        .get(i + 1)
-                        .ok_or_else(|| format!("--{key} requires a value"))?;
+                    let value =
+                        argv.get(i + 1).ok_or_else(|| format!("--{key} requires a value"))?;
                     out.options.insert(key.to_string(), value.clone());
                     i += 2;
                 } else {
                     out.flags.push(key.to_string());
                     i += 1;
                 }
+            } else if let Some((_, long)) = SHORT_FLAGS.iter().find(|(s, _)| s == a) {
+                out.flags.push(long.to_string());
+                i += 1;
+            } else if a.starts_with('-') {
+                return Err(format!("unknown flag `{a}`"));
             } else if out.command.is_none() {
                 out.command = Some(a.clone());
                 i += 1;
@@ -86,6 +93,16 @@ mod tests {
         assert_eq!(a.get_parse::<usize>("psi", 4).unwrap(), 3);
         assert!(a.flag("fd"));
         assert!(!a.flag("narrate"));
+    }
+
+    #[test]
+    fn short_flags_and_metrics() {
+        let a = Args::parse(&argv("explain --metrics out.json -v")).unwrap();
+        assert_eq!(a.get("metrics"), Some("out.json"));
+        assert!(a.flag("verbose"));
+        let q = Args::parse(&argv("mine -q")).unwrap();
+        assert!(q.flag("quiet"));
+        assert!(Args::parse(&argv("mine -x")).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::args::Args;
 use crate::io::{load_csv, parse_schema, parse_tuple};
+use crate::CliError;
 use cape_core::explain::{render_table, BaselineExplainer, ExplainConfig, TopKExplainer};
 use cape_core::mining::{ArpMiner, Miner};
 use cape_core::prelude::OptimizedExplainer;
@@ -33,24 +34,38 @@ USAGE:
   cape query --csv FILE --schema SPEC --sql QUERY
       Run a SQL query against a CSV file.
 
+GLOBAL OPTIONS:
+  -v, --verbose     Debug-level progress on stderr (--trace for spans too).
+  -q, --quiet       Errors only on stderr.
+  --metrics FILE    Write a JSON telemetry snapshot (spans, counters,
+                    histograms, per-phase timings) after the command.
+
   SPEC is name:type[,name:type...] with types int, float, str.
   VALUES are comma-separated group-by values, e.g. 'AX,SIGKDD,2007'.
 ";
 
-fn load(args: &Args) -> Result<Relation, String> {
-    let schema = parse_schema(args.require("schema")?)?;
-    load_csv(args.require("csv")?, schema)
+fn usage(e: impl ToString) -> CliError {
+    CliError::Usage(e.to_string())
 }
 
-fn mining_config(args: &Args, rel: &Relation) -> Result<MiningConfig, String> {
+fn runtime(e: impl ToString) -> CliError {
+    CliError::Runtime(e.to_string())
+}
+
+fn load(args: &Args) -> Result<Relation, CliError> {
+    let schema = parse_schema(args.require("schema").map_err(usage)?).map_err(usage)?;
+    load_csv(args.require("csv").map_err(usage)?, schema).map_err(runtime)
+}
+
+fn mining_config(args: &Args, rel: &Relation) -> Result<MiningConfig, CliError> {
     let mut cfg = MiningConfig {
         thresholds: Thresholds::new(
-            args.get_parse("theta", 0.15)?,
-            args.get_parse("delta", 4usize)?,
-            args.get_parse("lambda", 0.3)?,
-            args.get_parse("support", 3usize)?,
+            args.get_parse("theta", 0.15).map_err(usage)?,
+            args.get_parse("delta", 4usize).map_err(usage)?,
+            args.get_parse("lambda", 0.3).map_err(usage)?,
+            args.get_parse("support", 3usize).map_err(usage)?,
         ),
-        psi: args.get_parse("psi", 3usize)?,
+        psi: args.get_parse("psi", 3usize).map_err(usage)?,
         fd_pruning: args.flag("fd"),
         ..MiningConfig::default()
     };
@@ -59,7 +74,7 @@ fn mining_config(args: &Args, rel: &Relation) -> Result<MiningConfig, String> {
             let id = rel
                 .schema()
                 .attr_id(name.trim())
-                .map_err(|_| format!("--exclude: unknown column `{name}`"))?;
+                .map_err(|_| usage(format!("--exclude: unknown column `{name}`")))?;
             cfg.exclude.push(id);
         }
     }
@@ -67,65 +82,73 @@ fn mining_config(args: &Args, rel: &Relation) -> Result<MiningConfig, String> {
 }
 
 /// `cape mine`.
-pub fn mine(args: &Args) -> Result<(), String> {
+pub fn mine(args: &Args) -> Result<(), CliError> {
     let rel = load(args)?;
     let cfg = mining_config(args, &rel)?;
-    eprintln!("mining {} rows (psi={}, thresholds={:?}) ...", rel.num_rows(), cfg.psi, cfg.thresholds);
-    let out = ArpMiner.mine(&rel, &cfg).map_err(|e| e.to_string())?;
-    eprintln!(
-        "found {} patterns ({} local) in {:?}; {} candidates, {} skipped by FDs",
-        out.store.len(),
-        out.store.num_local_patterns(),
-        out.stats.total_time,
-        out.stats.candidates_considered,
-        out.stats.skipped_by_fd,
-    );
-    let path = args.require("out")?;
-    let mut file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-    persist::write_store(&mut file, &out.store).map_err(|e| e.to_string())?;
+    cape_obs::info("cli", || {
+        format!(
+            "mining {} rows (psi={}, thresholds={:?}) ...",
+            rel.num_rows(),
+            cfg.psi,
+            cfg.thresholds
+        )
+    });
+    let out = ArpMiner.mine(&rel, &cfg).map_err(runtime)?;
+    cape_obs::info("cli", || {
+        format!(
+            "found {} patterns ({} local) in {:?}; {} candidates, {} skipped by FDs",
+            out.store.len(),
+            out.store.num_local_patterns(),
+            out.stats.total_time,
+            out.stats.candidates_considered,
+            out.stats.skipped_by_fd,
+        )
+    });
+    let path = args.require("out").map_err(usage)?;
+    let mut file = File::create(path).map_err(|e| runtime(format!("cannot create {path}: {e}")))?;
+    persist::write_store(&mut file, &out.store).map_err(runtime)?;
     println!("wrote {} patterns to {path}", out.store.len());
     Ok(())
 }
 
 /// `cape patterns`.
-pub fn patterns(args: &Args) -> Result<(), String> {
+pub fn patterns(args: &Args) -> Result<(), CliError> {
     let rel = load(args)?;
     let store = read_patterns(args, &rel)?;
     println!("{}", store.describe(rel.schema()));
     Ok(())
 }
 
-fn read_patterns(args: &Args, rel: &Relation) -> Result<cape_core::PatternStore, String> {
-    let path = args.require("patterns")?;
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    persist::read_store(file, rel).map_err(|e| e.to_string())
+fn read_patterns(args: &Args, rel: &Relation) -> Result<cape_core::PatternStore, CliError> {
+    let path = args.require("patterns").map_err(usage)?;
+    let file = File::open(path).map_err(|e| runtime(format!("cannot open {path}: {e}")))?;
+    persist::read_store(file, rel).map_err(runtime)
 }
 
 /// `cape explain`.
-pub fn explain(args: &Args) -> Result<(), String> {
+pub fn explain(args: &Args) -> Result<(), CliError> {
     let rel = load(args)?;
     let store = read_patterns(args, &rel)?;
-    let sql_text = args.require("sql")?;
-    let dir = match args.require("dir")? {
+    let sql_text = args.require("sql").map_err(usage)?;
+    let dir = match args.require("dir").map_err(usage)? {
         "high" => Direction::High,
         "low" => Direction::Low,
-        other => return Err(format!("--dir must be high or low, got `{other}`")),
+        other => return Err(usage(format!("--dir must be high or low, got `{other}`"))),
     };
 
     // Resolve group attrs from the query so the tuple can be typed.
-    let stmt = sql::parse(sql_text).map_err(|e| e.to_string())?;
-    let group_attrs: Result<Vec<usize>, String> = stmt
-        .group_by
-        .iter()
-        .map(|n| rel.schema().attr_id(n).map_err(|e| e.to_string()))
-        .collect();
-    let tuple = parse_tuple(args.require("tuple")?, rel.schema(), &group_attrs?)?;
+    let stmt = sql::parse(sql_text).map_err(usage)?;
+    let group_attrs: Result<Vec<usize>, CliError> =
+        stmt.group_by.iter().map(|n| rel.schema().attr_id(n).map_err(usage)).collect();
+    let tuple = parse_tuple(args.require("tuple").map_err(usage)?, rel.schema(), &group_attrs?)
+        .map_err(usage)?;
 
-    let uq = UserQuestion::from_sql(&rel, sql_text, tuple, dir).map_err(|e| e.to_string())?;
+    let uq = UserQuestion::from_sql(&rel, sql_text, tuple, dir).map_err(runtime)?;
     println!("question: {}\n", uq.display(rel.schema()));
 
-    let k = args.get_parse("k", 10usize)?;
+    let k = args.get_parse("k", 10usize).map_err(usage)?;
     let cfg = ExplainConfig::default_for(&rel, k);
+    cape_obs::debug("cli", || format!("explaining against {} patterns (k={k})", store.len()));
     let (expls, stats) = OptimizedExplainer.explain(&store, &uq, &cfg);
     println!(
         "top-{} explanations ({} relevant patterns, {} tuples checked, {:?}):",
@@ -139,24 +162,24 @@ pub fn explain(args: &Args) -> Result<(), String> {
         println!("{}", narrate_all(&expls, &store, &uq, rel.schema()));
     }
     if args.flag("baseline") {
-        let (base, _) = BaselineExplainer.explain(&rel, &uq, &cfg).map_err(|e| e.to_string())?;
+        let (base, _) = BaselineExplainer.explain(&rel, &uq, &cfg).map_err(runtime)?;
         println!("baseline (no patterns):\n{}", render_table(&base, rel.schema()));
     }
     Ok(())
 }
 
 /// `cape query`.
-pub fn query(args: &Args) -> Result<(), String> {
+pub fn query(args: &Args) -> Result<(), CliError> {
     let rel = load(args)?;
-    let stmt = sql::parse(args.require("sql")?).map_err(|e| e.to_string())?;
-    let out = sql::execute(&stmt, &rel).map_err(|e| e.to_string())?;
+    let stmt = sql::parse(args.require("sql").map_err(usage)?).map_err(usage)?;
+    let out = sql::execute(&stmt, &rel).map_err(runtime)?;
     println!("{}", out.to_ascii(50));
     println!("({} rows)", out.num_rows());
     Ok(())
 }
 
 /// `cape demo` — generate DBLP data, mine, explain the paper's φ₀.
-pub fn demo(_args: &Args) -> Result<(), String> {
+pub fn demo(_args: &Args) -> Result<(), CliError> {
     use cape_data::Value;
     use cape_datagen::{dblp, DblpConfig};
 
@@ -169,7 +192,7 @@ pub fn demo(_args: &Args) -> Result<(), String> {
         ..MiningConfig::default()
     };
     println!("mining patterns ...");
-    let out = ArpMiner.mine(&rel, &cfg).map_err(|e| e.to_string())?;
+    let out = ArpMiner.mine(&rel, &cfg).map_err(runtime)?;
     println!(
         "found {} patterns ({} local) in {:?}\n",
         out.store.len(),
@@ -184,7 +207,7 @@ pub fn demo(_args: &Args) -> Result<(), String> {
         vec![Value::str(dblp::CASE_STUDY_AUTHOR), Value::str("SIGKDD"), Value::Int(2007)],
         Direction::Low,
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(runtime)?;
     println!("question: {}\n", uq.display(rel.schema()));
 
     let ecfg = ExplainConfig::default_for(&rel, 10);

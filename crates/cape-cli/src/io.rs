@@ -29,11 +29,7 @@ pub fn load_csv(path: &str, schema: Schema) -> Result<Relation, String> {
 
 /// Parse comma-separated tuple values against the types of the given
 /// attributes, e.g. `AX,SIGKDD,2007`.
-pub fn parse_tuple(
-    spec: &str,
-    schema: &Schema,
-    attrs: &[usize],
-) -> Result<Vec<Value>, String> {
+pub fn parse_tuple(spec: &str, schema: &Schema, attrs: &[usize]) -> Result<Vec<Value>, String> {
     let parts: Vec<&str> = spec.split(',').collect();
     if parts.len() != attrs.len() {
         return Err(format!(
@@ -49,10 +45,9 @@ pub fn parse_tuple(
             let ty = schema.attr(a).map_err(|e| e.to_string())?.value_type();
             let raw = raw.trim();
             match ty {
-                ValueType::Int => raw
-                    .parse::<i64>()
-                    .map(Value::Int)
-                    .map_err(|_| format!("`{raw}` is not an int")),
+                ValueType::Int => {
+                    raw.parse::<i64>().map(Value::Int).map_err(|_| format!("`{raw}` is not an int"))
+                }
                 ValueType::Float => raw
                     .parse::<f64>()
                     .map(Value::Float)

@@ -11,6 +11,9 @@
 //!              --tuple "AX,SIGKDD,2007" --dir low [--k 10] [--narrate] [--baseline]
 //! cape query   --csv pub.csv --schema ... --sql "SELECT ..."
 //! ```
+//!
+//! Global options (any command): `-v`/`--verbose`, `-q`/`--quiet`,
+//! `--trace`, and `--metrics FILE` to dump a JSON telemetry snapshot.
 
 mod args;
 mod commands;
@@ -18,30 +21,99 @@ mod io;
 
 use args::Args;
 
+/// A CLI failure, classified so `main` can pick an exit code: usage
+/// errors (bad flags, malformed option values) exit 2, runtime errors
+/// (I/O, mining, query evaluation) exit 1.
+#[derive(Debug)]
+pub enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => f.write_str(m),
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match run(&argv) {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("error: {e}");
-            2
+            match e {
+                CliError::Usage(_) => 2,
+                CliError::Runtime(_) => 1,
+            }
         }
     };
     std::process::exit(code);
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv)?;
-    match args.command.as_deref() {
-        Some("demo") => commands::demo(&args),
-        Some("mine") => commands::mine(&args),
-        Some("patterns") => commands::patterns(&args),
-        Some("explain") => commands::explain(&args),
-        Some("query") => commands::query(&args),
-        Some("help") | None => {
+/// The event level implied by `-q` / default / `-v` / `--trace`.
+fn verbosity(args: &Args) -> cape_obs::Level {
+    if args.flag("trace") {
+        cape_obs::Level::Trace
+    } else if args.flag("verbose") {
+        cape_obs::Level::Debug
+    } else if args.flag("quiet") {
+        cape_obs::Level::Error
+    } else {
+        cape_obs::Level::Info
+    }
+}
+
+/// Root span name for a subcommand (span names must be `'static`).
+fn span_name(cmd: &str) -> &'static str {
+    match cmd {
+        "demo" => "cli.demo",
+        "mine" => "cli.mine",
+        "patterns" => "cli.patterns",
+        "explain" => "cli.explain",
+        "query" => "cli.query",
+        _ => "cli.run",
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv).map_err(CliError::Usage)?;
+
+    // A session-wide recorder: events go to stderr at the requested
+    // level; spans/counters from every layer accumulate for --metrics.
+    let recorder = cape_obs::Recorder::new();
+    recorder.set_level(verbosity(&args));
+    recorder.add_sink(Box::new(cape_obs::StderrSink));
+    let install = recorder.install();
+
+    let cmd = args.command.clone().unwrap_or_else(|| "help".to_string());
+    let result = {
+        let _root = cape_obs::span(span_name(&cmd));
+        dispatch(&cmd, &args)
+    };
+    drop(install);
+
+    if let Some(path) = args.get("metrics") {
+        let json = recorder.snapshot().to_json();
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+    }
+    result
+}
+
+fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
+    match cmd {
+        "demo" => commands::demo(args),
+        "mine" => commands::mine(args),
+        "patterns" => commands::patterns(args),
+        "explain" => commands::explain(args),
+        "query" => commands::query(args),
+        "help" => {
             print!("{}", commands::USAGE);
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}` (try `cape help`)")),
+        other => Err(CliError::Usage(format!("unknown command `{other}` (try `cape help`)"))),
     }
 }

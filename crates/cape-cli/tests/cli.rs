@@ -2,7 +2,7 @@
 //! a real temporary CSV file, plus usage/error behavior.
 
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
 fn cape() -> Command {
@@ -13,14 +13,14 @@ fn run(args: &[&str]) -> Output {
     cape().args(args).output().expect("binary runs")
 }
 
-fn temp_dir() -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("cape-cli-test-{}", std::process::id()));
+fn temp_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cape-cli-test-{}-{test}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     dir
 }
 
 /// A tiny publications CSV with a planted dip/counterbalance.
-fn write_csv(dir: &PathBuf) -> String {
+fn write_csv(dir: &Path) -> String {
     let path = dir.join("pub.csv");
     let mut f = std::fs::File::create(&path).unwrap();
     writeln!(f, "author,year,venue").unwrap();
@@ -68,14 +68,29 @@ fn missing_options_reported() {
 
 #[test]
 fn full_workflow_mine_patterns_explain_query() {
-    let dir = temp_dir();
+    let dir = temp_dir("workflow");
     let csv = write_csv(&dir);
     let patterns = dir.join("patterns.cape").to_string_lossy().into_owned();
 
     // mine
     let out = run(&[
-        "mine", "--csv", &csv, "--schema", SCHEMA, "--theta", "0.1", "--delta", "3",
-        "--lambda", "0.3", "--support", "2", "--psi", "3", "--out", &patterns,
+        "mine",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--theta",
+        "0.1",
+        "--delta",
+        "3",
+        "--lambda",
+        "0.3",
+        "--support",
+        "2",
+        "--psi",
+        "3",
+        "--out",
+        &patterns,
     ]);
     assert!(out.status.success(), "mine failed: {}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
@@ -87,9 +102,22 @@ fn full_workflow_mine_patterns_explain_query() {
 
     // explain
     let out = run(&[
-        "explain", "--csv", &csv, "--schema", SCHEMA, "--patterns", &patterns, "--sql",
+        "explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--patterns",
+        &patterns,
+        "--sql",
         "SELECT author, year, venue, count(*) FROM pub GROUP BY author, year, venue",
-        "--tuple", "a0,2005,KDD", "--dir", "low", "--k", "5", "--narrate",
+        "--tuple",
+        "a0,2005,KDD",
+        "--dir",
+        "low",
+        "--k",
+        "5",
+        "--narrate",
     ]);
     assert!(out.status.success(), "explain failed: {}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
@@ -98,7 +126,12 @@ fn full_workflow_mine_patterns_explain_query() {
 
     // query
     let out = run(&[
-        "query", "--csv", &csv, "--schema", SCHEMA, "--sql",
+        "query",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--sql",
         "SELECT venue, count(*) AS n FROM pub GROUP BY venue ORDER BY n DESC",
     ]);
     assert!(out.status.success());
@@ -110,27 +143,62 @@ fn full_workflow_mine_patterns_explain_query() {
 
 #[test]
 fn explain_rejects_bad_direction_and_tuple() {
-    let dir = temp_dir();
+    let dir = temp_dir("baddir");
     let csv = write_csv(&dir);
     let patterns = dir.join("p2.cape").to_string_lossy().into_owned();
     let out = run(&[
-        "mine", "--csv", &csv, "--schema", SCHEMA, "--theta", "0.1", "--delta", "3",
-        "--lambda", "0.3", "--support", "2", "--psi", "2", "--out", &patterns,
+        "mine",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--theta",
+        "0.1",
+        "--delta",
+        "3",
+        "--lambda",
+        "0.3",
+        "--support",
+        "2",
+        "--psi",
+        "2",
+        "--out",
+        &patterns,
     ]);
     assert!(out.status.success());
 
     let out = run(&[
-        "explain", "--csv", &csv, "--schema", SCHEMA, "--patterns", &patterns, "--sql",
-        "SELECT author, count(*) FROM pub GROUP BY author", "--tuple", "a0", "--dir",
+        "explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--patterns",
+        &patterns,
+        "--sql",
+        "SELECT author, count(*) FROM pub GROUP BY author",
+        "--tuple",
+        "a0",
+        "--dir",
         "sideways",
     ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("high or low"));
 
     let out = run(&[
-        "explain", "--csv", &csv, "--schema", SCHEMA, "--patterns", &patterns, "--sql",
-        "SELECT author, year, count(*) FROM pub GROUP BY author, year", "--tuple",
-        "a0", "--dir", "low",
+        "explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--patterns",
+        &patterns,
+        "--sql",
+        "SELECT author, year, count(*) FROM pub GROUP BY author, year",
+        "--tuple",
+        "a0",
+        "--dir",
+        "low",
     ]);
     assert!(!out.status.success(), "tuple arity mismatch accepted");
     std::fs::remove_dir_all(&dir).ok();
@@ -138,10 +206,141 @@ fn explain_rejects_bad_direction_and_tuple() {
 
 #[test]
 fn query_reports_sql_errors() {
-    let dir = temp_dir();
+    let dir = temp_dir("sqlerr");
     let csv = write_csv(&dir);
     let out = run(&["query", "--csv", &csv, "--schema", SCHEMA, "--sql", "SELECT bogus FROM t"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("bogus"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exit_codes_distinguish_usage_from_runtime() {
+    // Usage errors (bad invocation) exit 2.
+    assert_eq!(run(&["mine"]).status.code(), Some(2), "missing options");
+    assert_eq!(run(&["bogus"]).status.code(), Some(2), "unknown command");
+    assert_eq!(run(&["mine", "-x"]).status.code(), Some(2), "unknown short flag");
+
+    // Runtime errors (environment) exit 1: well-formed invocation, absent file.
+    let dir = temp_dir("exitcodes");
+    let out_path = dir.join("p.cape").to_string_lossy().into_owned();
+    let out = run(&[
+        "mine",
+        "--csv",
+        "/nonexistent/cape-test.csv",
+        "--schema",
+        SCHEMA,
+        "--out",
+        &out_path,
+    ]);
+    assert_eq!(out.status.code(), Some(1), "missing CSV: {}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_flag_writes_telemetry_snapshot() {
+    let dir = temp_dir("metrics");
+    let csv = write_csv(&dir);
+    let patterns = dir.join("patterns.cape").to_string_lossy().into_owned();
+    let mine_metrics = dir.join("mine.json").to_string_lossy().into_owned();
+    let explain_metrics = dir.join("explain.json").to_string_lossy().into_owned();
+
+    let out = run(&[
+        "mine",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--theta",
+        "0.1",
+        "--delta",
+        "3",
+        "--lambda",
+        "0.3",
+        "--support",
+        "2",
+        "--psi",
+        "3",
+        "--out",
+        &patterns,
+        "--metrics",
+        &mine_metrics,
+    ]);
+    assert!(out.status.success(), "mine failed: {}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&mine_metrics).expect("metrics file written");
+    for key in [
+        "\"phases\"",
+        "\"counters\"",
+        "\"spans\"",
+        "\"histograms\"",
+        "mining.candidates_considered",
+        "mining.fragments_fitted",
+        "cli.mine",
+    ] {
+        assert!(json.contains(key), "mine metrics missing {key}:\n{json}");
+    }
+
+    let out = run(&[
+        "explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--patterns",
+        &patterns,
+        "--sql",
+        "SELECT author, year, venue, count(*) FROM pub GROUP BY author, year, venue",
+        "--tuple",
+        "a0,2005,KDD",
+        "--dir",
+        "low",
+        "--metrics",
+        &explain_metrics,
+    ]);
+    assert!(out.status.success(), "explain failed: {}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&explain_metrics).expect("metrics file written");
+    for key in ["\"phases\"", "explain.refinements_pruned", "explain.run_ns", "explain.run"] {
+        assert!(json.contains(key), "explain metrics missing {key}:\n{json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quiet_suppresses_progress_verbose_keeps_it() {
+    let dir = temp_dir("verbosity");
+    let csv = write_csv(&dir);
+    let patterns = dir.join("p.cape").to_string_lossy().into_owned();
+    let base = [
+        "mine",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--theta",
+        "0.1",
+        "--delta",
+        "3",
+        "--lambda",
+        "0.3",
+        "--support",
+        "2",
+        "--psi",
+        "2",
+        "--out",
+        &patterns,
+    ];
+
+    let out = run(&base);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mining") && stderr.contains("rows"), "no progress:\n{stderr}");
+
+    let mut quiet: Vec<&str> = base.to_vec();
+    quiet.push("-q");
+    let out = run(&quiet);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("mining"), "-q still noisy:\n{stderr}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"), "data output suppressed");
     std::fs::remove_dir_all(&dir).ok();
 }

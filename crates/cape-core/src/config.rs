@@ -114,7 +114,7 @@ impl MiningConfig {
             }
             AggSelection::Explicit(list) => list
                 .iter()
-                .filter(|(_, attr)| attr.map_or(true, |a| !g.contains(&a)))
+                .filter(|(_, attr)| attr.is_none_or(|a| !g.contains(&a)))
                 .cloned()
                 .collect(),
         }
@@ -148,8 +148,7 @@ mod tests {
 
     #[test]
     fn candidate_attrs_respects_exclusions() {
-        let mut cfg = MiningConfig::default();
-        cfg.exclude = vec![3];
+        let cfg = MiningConfig { exclude: vec![3], ..MiningConfig::default() };
         assert_eq!(cfg.candidate_attrs(&rel()), vec![0, 1, 2]);
     }
 
@@ -161,8 +160,7 @@ mod tests {
 
     #[test]
     fn all_numeric_selection_excludes_group_attrs() {
-        let mut cfg = MiningConfig::default();
-        cfg.aggs = AggSelection::AllNumeric;
+        let cfg = MiningConfig { aggs: AggSelection::AllNumeric, ..MiningConfig::default() };
         let aggs = cfg.resolve_aggs(&rel(), &[0, 2]);
         // count(*) + {sum,min,max} over year and cites (both numeric, not in G)
         assert_eq!(aggs.len(), 1 + 3 + 3);
@@ -172,11 +170,10 @@ mod tests {
 
     #[test]
     fn explicit_selection_filters_grouped_attrs() {
-        let mut cfg = MiningConfig::default();
-        cfg.aggs = AggSelection::Explicit(vec![
-            (AggFunc::Count, None),
-            (AggFunc::Sum, Some(3)),
-        ]);
+        let cfg = MiningConfig {
+            aggs: AggSelection::Explicit(vec![(AggFunc::Count, None), (AggFunc::Sum, Some(3))]),
+            ..MiningConfig::default()
+        };
         assert_eq!(cfg.resolve_aggs(&rel(), &[0, 3]).len(), 1);
         assert_eq!(cfg.resolve_aggs(&rel(), &[0, 1]).len(), 2);
     }

@@ -42,6 +42,7 @@ impl BaselineExplainer {
         cfg: &ExplainConfig,
     ) -> Result<(Vec<Explanation>, BaselineStats)> {
         let t0 = Instant::now();
+        let mut span = cape_obs::span("explain.baseline");
         let mut stats = BaselineStats::default();
 
         let spec = AggSpec { func: uq.agg, attr: uq.agg_attr };
@@ -75,12 +76,8 @@ impl BaselineExplainer {
             if !uq.dir.counterbalances(deviation) {
                 continue;
             }
-            let distance = cfg.distance.tuple_distance(
-                &uq.group_attrs,
-                &uq.tuple,
-                &uq.group_attrs,
-                &tuple,
-            );
+            let distance =
+                cfg.distance.tuple_distance(&uq.group_attrs, &uq.tuple, &uq.group_attrs, &tuple);
             let score = deviation * uq.dir.is_low_sign() / (distance + SCORE_EPSILON);
             topk.offer(Explanation {
                 pattern_idx: NO_PATTERN,
@@ -97,6 +94,9 @@ impl BaselineExplainer {
         }
 
         stats.time = t0.elapsed();
+        span.add("tuples_checked", stats.tuples_checked as u64);
+        drop(span);
+        cape_obs::counter_add("explain.baseline_tuples_checked", stats.tuples_checked as u64);
         Ok((topk.into_sorted_vec(), stats))
     }
 }

@@ -43,12 +43,7 @@ pub(crate) fn drill_down(
     uq_sorted.sort_unstable();
     let same_schema = p2.arp.g_attrs() == uq_sorted;
     let uq_vals_for_t: Option<Vec<Value>> = if same_schema {
-        Some(
-            t_attrs
-                .iter()
-                .map(|&a| uq.value_of(a).expect("covered attr").clone())
-                .collect(),
-        )
+        Some(t_attrs.iter().map(|&a| uq.value_of(a).expect("covered attr").clone()).collect())
     } else {
         None
     };
@@ -82,8 +77,7 @@ pub(crate) fn drill_down(
         }
         stats.candidates_generated += 1;
 
-        let distance =
-            cfg.distance.tuple_distance(&uq.group_attrs, &uq.tuple, &t_attrs, &t_vals);
+        let distance = cfg.distance.tuple_distance(&uq.group_attrs, &uq.tuple, &t_attrs, &t_vals);
         let score = score_value(deviation, uq.dir.is_low_sign(), distance, norm);
         topk.offer(Explanation {
             pattern_idx: p_idx,

@@ -115,9 +115,9 @@ mod tests {
             for y in 2000..2008i64 {
                 for venue in ["KDD", "ICDE"] {
                     let n = match (a, y, venue) {
-                        (0, 2003, _) => 1,          // generalizing dip
-                        (1, 2003, "KDD") => 1,      // venue-specific dip …
-                        (1, 2003, "ICDE") => 5,     // … counterbalanced
+                        (0, 2003, _) => 1,      // generalizing dip
+                        (1, 2003, "KDD") => 1,  // venue-specific dip …
+                        (1, 2003, "ICDE") => 5, // … counterbalanced
                         _ => 3,
                     };
                     for _ in 0..n {
@@ -157,10 +157,8 @@ mod tests {
         let findings = generalizations(&store, &question("a0"));
         assert!(!findings.is_empty(), "no roll-up patterns found");
         // a0's total 2003 output (2) is below the ~6/year prediction.
-        let author_year = findings
-            .iter()
-            .find(|f| f.attrs == vec![0, 1])
-            .expect("author/year roll-up exists");
+        let author_year =
+            findings.iter().find(|f| f.attrs == vec![0, 1]).expect("author/year roll-up exists");
         assert!(author_year.generalizes, "{author_year:?}");
         assert!(author_year.deviation < 0.0);
         assert_eq!(author_year.tuple, vec![Value::str("a0"), Value::Int(2003)]);
@@ -170,10 +168,8 @@ mod tests {
     fn venue_specific_dip_does_not_generalize() {
         let (_, store) = setup();
         let findings = generalizations(&store, &question("a1"));
-        let author_year = findings
-            .iter()
-            .find(|f| f.attrs == vec![0, 1])
-            .expect("author/year roll-up exists");
+        let author_year =
+            findings.iter().find(|f| f.attrs == vec![0, 1]).expect("author/year roll-up exists");
         // a1's total 2003 output is 1 + 5 = 6 = the usual level.
         assert!(!author_year.generalizes, "{author_year:?}");
         assert!(author_year.deviation.abs() < 1.0);

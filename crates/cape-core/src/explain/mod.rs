@@ -9,8 +9,8 @@ pub mod distance;
 mod drill;
 pub mod generalize;
 pub mod naive;
-pub mod provenance;
 pub mod optimized;
+pub mod provenance;
 pub mod score;
 pub mod topk;
 
@@ -19,8 +19,8 @@ pub use candidate::{render_table, Explanation};
 pub use distance::{AttrDistanceFn, DistanceModel};
 pub use generalize::{generalizations, GeneralizationFinding};
 pub use naive::NaiveExplainer;
-pub use provenance::{provenance_of, summarize as summarize_provenance, ProvenanceSummary};
 pub use optimized::OptimizedExplainer;
+pub use provenance::{provenance_of, summarize as summarize_provenance, ProvenanceSummary};
 pub use score::{norm_factor, relevant_fragment, score_value, SCORE_EPSILON};
 pub use topk::TopK;
 
@@ -60,6 +60,21 @@ pub struct ExplainStats {
     pub tuples_checked: usize,
     /// Candidates satisfying all conditions of Definition 7.
     pub candidates_generated: usize,
+}
+
+impl ExplainStats {
+    /// Publish this run's statistics to the installed recorders as
+    /// `explain.*` counters plus an `explain.run_ns` histogram sample.
+    /// Zero-valued counters are published too, so a snapshot always
+    /// contains the full `explain.*` key set after a run.
+    pub fn publish(&self) {
+        cape_obs::counter_add("explain.patterns_relevant", self.patterns_relevant as u64);
+        cape_obs::counter_add("explain.refinements_considered", self.refinements_considered as u64);
+        cape_obs::counter_add("explain.refinements_pruned", self.refinements_pruned as u64);
+        cape_obs::counter_add("explain.tuples_checked", self.tuples_checked as u64);
+        cape_obs::counter_add("explain.candidates_generated", self.candidates_generated as u64);
+        cape_obs::observe_ns("explain.run_ns", self.time.as_nanos() as u64);
+    }
 }
 
 /// A top-k explanation generator over a mined pattern store.

@@ -25,6 +25,7 @@ impl TopKExplainer for NaiveExplainer {
         cfg: &ExplainConfig,
     ) -> (Vec<Explanation>, ExplainStats) {
         let t0 = Instant::now();
+        let span = cape_obs::span("explain.run");
         let mut stats = ExplainStats::default();
         let mut topk = TopK::new(cfg.k);
 
@@ -41,7 +42,9 @@ impl TopKExplainer for NaiveExplainer {
             }
         }
 
+        drop(span);
         stats.time = t0.elapsed();
+        stats.publish();
         (topk.into_sorted_vec(), stats)
     }
 }
@@ -74,12 +77,8 @@ pub(crate) mod tests {
                         n = if venue == "KDD" { 1 } else { 4 };
                     }
                     for _ in 0..n {
-                        rel.push_row(vec![
-                            Value::str(&name),
-                            Value::Int(y),
-                            Value::str(venue),
-                        ])
-                        .unwrap();
+                        rel.push_row(vec![Value::str(&name), Value::Int(y), Value::str(venue)])
+                            .unwrap();
                     }
                 }
             }
@@ -111,16 +110,16 @@ pub(crate) mod tests {
     fn finds_the_planted_counterbalance() {
         let rel = planted();
         let store = mine(&rel);
-        assert!(store.len() > 0, "mining found nothing");
+        assert!(!store.is_empty(), "mining found nothing");
         let cfg = ExplainConfig::default_for(&rel, 10);
         let (expls, stats) = NaiveExplainer.explain(&store, &question(), &cfg);
         assert!(!expls.is_empty(), "no explanations generated");
         assert!(stats.patterns_relevant > 0);
         assert!(stats.candidates_generated > 0);
         // The ICDE-2003 spike must appear among the top explanations.
-        let found = expls.iter().any(|e| {
-            e.tuple.contains(&Value::str("ICDE")) && e.tuple.contains(&Value::Int(2003))
-        });
+        let found = expls
+            .iter()
+            .any(|e| e.tuple.contains(&Value::str("ICDE")) && e.tuple.contains(&Value::Int(2003)));
         assert!(
             found,
             "expected (a0, ICDE, 2003) counterbalance, got:\n{}",

@@ -45,6 +45,7 @@ impl TopKExplainer for OptimizedExplainer {
         cfg: &ExplainConfig,
     ) -> (Vec<Explanation>, ExplainStats) {
         let t0 = Instant::now();
+        let span = cape_obs::span("explain.run");
         let mut stats = ExplainStats::default();
         let mut topk = TopK::new(cfg.k);
 
@@ -88,7 +89,9 @@ impl TopKExplainer for OptimizedExplainer {
             }
         }
 
+        drop(span);
         stats.time = t0.elapsed();
+        stats.publish();
         (topk.into_sorted_vec(), stats)
     }
 }

@@ -33,9 +33,7 @@ pub struct ProvenanceSummary {
 pub fn summarize(rel: &Relation, uq: &UserQuestion) -> ProvenanceSummary {
     let prov = provenance_of(rel, uq);
     let inputs = match uq.agg_attr {
-        Some(a) => (0..prov.num_rows())
-            .filter_map(|i| prov.value(i, a).as_f64())
-            .collect(),
+        Some(a) => (0..prov.num_rows()).filter_map(|i| prov.value(i, a).as_f64()).collect(),
         None => Vec::new(),
     };
     ProvenanceSummary { rows: prov.num_rows(), inputs }

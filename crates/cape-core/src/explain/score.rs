@@ -55,10 +55,7 @@ pub fn score_upper_bound(dev_bound: f64, dist_lower: f64, norm: f64) -> f64 {
 /// pattern uses the same aggregate, generalizes the question
 /// (`F ∪ V ⊆ G`), and holds locally on `t[F]`. Returns the fragment key
 /// `t[F]` on success so callers can reuse it.
-pub fn relevant_fragment(
-    pattern: &PatternInstance,
-    uq: &UserQuestion,
-) -> Option<Vec<Value>> {
+pub fn relevant_fragment(pattern: &PatternInstance, uq: &UserQuestion) -> Option<Vec<Value>> {
     if pattern.arp.agg != uq.agg || pattern.arp.agg_attr != uq.agg_attr {
         return None;
     }
@@ -164,10 +161,8 @@ mod tests {
     fn norm_is_the_question_value_at_pattern_granularity() {
         let (_, store) = mined();
         let uq = question();
-        let (_, author_year) = store
-            .iter()
-            .find(|(_, p)| p.arp.f() == [0] && p.arp.v() == [1])
-            .unwrap();
+        let (_, author_year) =
+            store.iter().find(|(_, p)| p.arp.f() == [0] && p.arp.v() == [1]).unwrap();
         // a0 publishes 4 papers in 2003 overall.
         assert_eq!(norm_factor(author_year, &uq), 4.0);
     }
@@ -178,10 +173,8 @@ mod tests {
         let (_, store) = mined();
         let mut uq = question();
         uq.tuple[0] = Value::str("nobody");
-        let (_, author_year) = store
-            .iter()
-            .find(|(_, p)| p.arp.f() == [0] && p.arp.v() == [1])
-            .unwrap();
+        let (_, author_year) =
+            store.iter().find(|(_, p)| p.arp.f() == [0] && p.arp.v() == [1]).unwrap();
         assert_eq!(norm_factor(author_year, &uq), 1.0);
     }
 

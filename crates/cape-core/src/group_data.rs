@@ -33,10 +33,7 @@ impl GroupData {
         group_attrs: &[AttrId],
         aggs: &[(AggFunc, Option<AttrId>)],
     ) -> Result<Self> {
-        let specs: Vec<AggSpec> = aggs
-            .iter()
-            .map(|&(func, attr)| AggSpec { func, attr })
-            .collect();
+        let specs: Vec<AggSpec> = aggs.iter().map(|&(func, attr)| AggSpec { func, attr }).collect();
         let result = aggregate_with_row_count(rel, group_attrs, &specs)?;
         Ok(Self::from_parts(group_attrs.to_vec(), result.relation, aggs))
     }
@@ -50,11 +47,7 @@ impl GroupData {
         aggs: &[(AggFunc, Option<AttrId>)],
     ) -> Self {
         let base = group_attrs.len();
-        let agg_cols = aggs
-            .iter()
-            .enumerate()
-            .map(|(i, &key)| (key, base + i))
-            .collect();
+        let agg_cols = aggs.iter().enumerate().map(|(i, &key)| (key, base + i)).collect();
         let rows_col = base + aggs.len();
         debug_assert_eq!(rows_col + 1, relation.schema().arity());
         GroupData { group_attrs, relation, agg_cols, rows_col }
@@ -114,12 +107,9 @@ mod tests {
 
     #[test]
     fn compute_and_lookup() {
-        let g = GroupData::compute(
-            &rel(),
-            &[0, 1],
-            &[(AggFunc::Count, None), (AggFunc::Sum, Some(2))],
-        )
-        .unwrap();
+        let g =
+            GroupData::compute(&rel(), &[0, 1], &[(AggFunc::Count, None), (AggFunc::Sum, Some(2))])
+                .unwrap();
         assert_eq!(g.relation.num_rows(), 3);
         let count_col = g.agg_col(AggFunc::Count, None).unwrap();
         let sum_col = g.agg_col(AggFunc::Sum, Some(2)).unwrap();

@@ -7,7 +7,7 @@ use crate::group_data::GroupData;
 use crate::mining::candidates::group_sets;
 use crate::mining::fit::fit_split;
 use crate::mining::share_grp::build_candidates;
-use crate::mining::{make_instance, validate_config, Miner, MiningOutput, MiningStats};
+use crate::mining::{make_instance, record_mining_run, validate_config, Miner, MiningOutput};
 use crate::pattern::Arp;
 use crate::store::PatternStore;
 use cape_data::ops::sort_by;
@@ -15,7 +15,6 @@ use cape_data::stats::attr_stats;
 use cape_data::{AttrId, FdDiscovery, FdSet, Relation};
 use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The ARP-MINE miner with optional FD pruning.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,48 +27,43 @@ impl Miner for ArpMiner {
 
     fn mine(&self, rel: &Relation, cfg: &MiningConfig) -> Result<MiningOutput> {
         validate_config(cfg)?;
-        let t_total = Instant::now();
-        let mut stats = MiningStats::default();
-        let mut store = PatternStore::new();
-        let mut fds = cfg.initial_fds.clone();
-        let mut fd_disc = FdDiscovery::new();
-        let attrs = cfg.candidate_attrs(rel);
+        record_mining_run(|| {
+            let mut store = PatternStore::new();
+            let mut fds = cfg.initial_fds.clone();
+            let mut fd_disc = FdDiscovery::new();
+            let attrs = cfg.candidate_attrs(rel);
 
-        // Seed FD discovery with singleton cardinalities (|π_A(R)|): the
-        // group-size map needs them to test FDs A → B at |G| = 2.
-        if cfg.fd_pruning {
-            let t = Instant::now();
-            for &a in &attrs {
-                let s = attr_stats(rel, a)?;
-                let distinct = s.distinct + usize::from(s.nulls > 0);
-                fd_disc.record([a], distinct);
-            }
-            stats.query_time += t.elapsed();
-        }
-
-        for g in group_sets(&attrs, cfg.psi) {
-            let aggs = cfg.resolve_aggs(rel, &g);
-            if aggs.is_empty() {
-                continue;
-            }
-            let t = Instant::now();
-            let gd = Arc::new(GroupData::compute(rel, &g, &aggs)?);
-            stats.query_time += t.elapsed();
-            stats.group_queries += 1;
-
-            // Record |π_G(R)| and detect new FDs (detectFDs, Appendix D).
+            // Seed FD discovery with singleton cardinalities (|π_A(R)|): the
+            // group-size map needs them to test FDs A → B at |G| = 2.
             if cfg.fd_pruning {
-                let g_set: BTreeSet<AttrId> = g.iter().copied().collect();
-                fd_disc.record(g.iter().copied(), gd.relation.num_rows());
-                let found = fd_disc.detect(&g_set, &mut fds);
-                stats.fds_discovered += found.len();
+                for &a in &attrs {
+                    let s = attr_stats(rel, a)?;
+                    let distinct = s.distinct + usize::from(s.nulls > 0);
+                    fd_disc.record([a], distinct);
+                }
             }
 
-            explore_sort_orders(rel, cfg, &gd, &g, &fds, &mut store, &mut stats)?;
-        }
+            for g in group_sets(&attrs, cfg.psi) {
+                let aggs = cfg.resolve_aggs(rel, &g);
+                if aggs.is_empty() {
+                    continue;
+                }
+                let gd = Arc::new(GroupData::compute(rel, &g, &aggs)?);
+                cape_obs::counter_add("mining.group_queries", 1);
 
-        stats.total_time = t_total.elapsed();
-        Ok(MiningOutput { store, fds, stats })
+                // Record |π_G(R)| and detect new FDs (detectFDs, Appendix D).
+                if cfg.fd_pruning {
+                    let g_set: BTreeSet<AttrId> = g.iter().copied().collect();
+                    fd_disc.record(g.iter().copied(), gd.relation.num_rows());
+                    let found = fd_disc.detect(&g_set, &mut fds);
+                    cape_obs::counter_add("mining.fds_discovered", found.len() as u64);
+                }
+
+                explore_sort_orders(rel, cfg, &gd, &g, &fds, &mut store)?;
+            }
+
+            Ok((store, fds))
+        })
     }
 }
 
@@ -83,7 +77,6 @@ pub(crate) fn explore_sort_orders(
     g: &[AttrId],
     fds: &FdSet,
     store: &mut PatternStore,
-    stats: &mut MiningStats,
 ) -> Result<()> {
     let aggs = cfg.resolve_aggs(rel, g);
     let mut covered: HashSet<Vec<AttrId>> = HashSet::new(); // F sets (sorted)
@@ -95,7 +88,7 @@ pub(crate) fn explore_sort_orders(
     if cfg.fd_pruning && !fds.is_empty() {
         for split in crate::mining::candidates::splits_of(g) {
             if !validate_fds(&split.f, &split.v, fds) {
-                stats.skipped_by_fd += 1;
+                cape_obs::counter_add("mining.skipped_by_fd", 1);
                 covered.insert(split.f);
             }
         }
@@ -116,12 +109,10 @@ pub(crate) fn explore_sort_orders(
         }
 
         // One sort covers every prefix split of this permutation.
-        let t = Instant::now();
         let perm_cols: Vec<usize> =
             perm.iter().map(|&a| gd.col_of_attr(a).expect("attr in G")).collect();
         let sorted = sort_by(&gd.relation, &perm_cols);
-        stats.query_time += t.elapsed();
-        stats.sort_queries += 1;
+        cape_obs::counter_add("mining.sort_queries", 1);
 
         for f in new_fs {
             covered.insert(f.clone());
@@ -133,8 +124,7 @@ pub(crate) fn explore_sort_orders(
             if candidates.is_empty() {
                 continue;
             }
-            let outcomes =
-                fit_split(&sorted, &f_cols, &v_cols, &candidates, &cfg.thresholds, stats);
+            let outcomes = fit_split(&sorted, &f_cols, &v_cols, &candidates, &cfg.thresholds);
             for (cand, outcome) in candidates.iter().zip(outcomes) {
                 if let Some(outcome) = outcome {
                     let arp = Arp::new(
@@ -278,11 +268,7 @@ mod tests {
         // No pattern may partition on both venue and venue2 (non-minimal F).
         for (_, p) in with_fd.store.iter() {
             let f = p.arp.f();
-            assert!(
-                !(f.contains(&2) && f.contains(&3)),
-                "non-minimal F survived: {:?}",
-                f
-            );
+            assert!(!(f.contains(&2) && f.contains(&3)), "non-minimal F survived: {:?}", f);
         }
         // Without pruning, mining still works but skips nothing.
         c.fd_pruning = false;

@@ -75,12 +75,7 @@ pub fn model_valid_for(rel: &Relation, model: ModelType, v: &[AttrId]) -> bool {
     if !model.requires_numeric_predictors() {
         return true;
     }
-    v.iter().all(|&a| {
-        rel.schema()
-            .attr(a)
-            .map(|at| at.value_type().is_numeric())
-            .unwrap_or(false)
-    })
+    v.iter().all(|&a| rel.schema().attr(a).map(|at| at.value_type().is_numeric()).unwrap_or(false))
 }
 
 #[cfg(test)]
@@ -91,15 +86,7 @@ mod tests {
     #[test]
     fn group_sets_sizes_and_order() {
         let gs = group_sets(&[0, 1, 2], 3);
-        assert_eq!(
-            gs,
-            vec![
-                vec![0, 1],
-                vec![0, 2],
-                vec![1, 2],
-                vec![0, 1, 2],
-            ]
-        );
+        assert_eq!(gs, vec![vec![0, 1], vec![0, 2], vec![1, 2], vec![0, 1, 2],]);
         // ψ caps the size.
         assert_eq!(group_sets(&[0, 1, 2, 3], 2).len(), 6);
         // ψ larger than arity is fine.
@@ -126,11 +113,7 @@ mod tests {
 
     #[test]
     fn model_validity() {
-        let schema = Schema::new([
-            ("author", ValueType::Str),
-            ("year", ValueType::Int),
-        ])
-        .unwrap();
+        let schema = Schema::new([("author", ValueType::Str), ("year", ValueType::Int)]).unwrap();
         let rel = Relation::new(schema);
         assert!(model_valid_for(&rel, ModelType::Const, &[0]));
         assert!(model_valid_for(&rel, ModelType::Const, &[0, 1]));

@@ -14,13 +14,12 @@ use crate::error::Result;
 use crate::group_data::GroupData;
 use crate::mining::candidates::{group_sets, splits_of};
 use crate::mining::share_grp::mine_split;
-use crate::mining::{validate_config, Miner, MiningOutput, MiningStats};
+use crate::mining::{record_mining_run, validate_config, Miner, MiningOutput};
 use crate::store::PatternStore;
 use cape_data::ops::cube;
 use cape_data::{AggFunc, AggSpec, AttrId, Relation};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The CUBE miner.
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,48 +32,45 @@ impl Miner for CubeMiner {
 
     fn mine(&self, rel: &Relation, cfg: &MiningConfig) -> Result<MiningOutput> {
         validate_config(cfg)?;
-        let t_total = Instant::now();
-        let mut stats = MiningStats::default();
-        let mut store = PatternStore::new();
-        let attrs = cfg.candidate_attrs(rel);
+        record_mining_run(|| {
+            let mut store = PatternStore::new();
+            let attrs = cfg.candidate_attrs(rel);
 
-        // The single cube query must evaluate the union of all aggregate
-        // calls any grouping needs (invalid combinations — A inside the
-        // grouping — are computed and discarded, as in SQL).
-        let union_aggs = union_agg_list(rel, cfg);
-        let specs: Vec<AggSpec> =
-            union_aggs.iter().map(|&(func, attr)| AggSpec { func, attr }).collect();
+            // The single cube query must evaluate the union of all aggregate
+            // calls any grouping needs (invalid combinations — A inside the
+            // grouping — are computed and discarded, as in SQL).
+            let union_aggs = union_agg_list(rel, cfg);
+            let specs: Vec<AggSpec> =
+                union_aggs.iter().map(|&(func, attr)| AggSpec { func, attr }).collect();
 
-        let t = Instant::now();
-        let slices = cube(rel, &attrs, 0, cfg.psi, &specs)?;
-        stats.query_time += t.elapsed();
-        stats.group_queries += 1; // one cube query
+            let slices = cube(rel, &attrs, 0, cfg.psi, &specs)?;
+            cape_obs::counter_add("mining.group_queries", 1); // one cube query
 
-        // Index slices by their dimension set.
-        let mut by_dims: HashMap<Vec<AttrId>, Arc<GroupData>> = HashMap::new();
-        for slice in slices {
-            let gd = GroupData::from_parts(slice.dims.clone(), slice.relation, &union_aggs);
-            by_dims.insert(slice.dims, Arc::new(gd));
-        }
-
-        for g in group_sets(&attrs, cfg.psi) {
-            let Some(gd) = by_dims.get(&g) else { continue };
-            // Only the aggregates valid for this grouping (A ∉ G).
-            let aggs: Vec<(AggFunc, Option<AttrId>)> = union_aggs
-                .iter()
-                .filter(|(_, attr)| attr.map_or(true, |a| !g.contains(&a)))
-                .cloned()
-                .collect();
-            if aggs.is_empty() {
-                continue;
+            // Index slices by their dimension set.
+            let mut by_dims: HashMap<Vec<AttrId>, Arc<GroupData>> = HashMap::new();
+            for slice in slices {
+                let gd = GroupData::from_parts(slice.dims.clone(), slice.relation, &union_aggs);
+                by_dims.insert(slice.dims, Arc::new(gd));
             }
-            for split in splits_of(&g) {
-                mine_split(rel, cfg, gd, &split, &aggs, &mut store, &mut stats)?;
-            }
-        }
 
-        stats.total_time = t_total.elapsed();
-        Ok(MiningOutput { store, fds: cfg.initial_fds.clone(), stats })
+            for g in group_sets(&attrs, cfg.psi) {
+                let Some(gd) = by_dims.get(&g) else { continue };
+                // Only the aggregates valid for this grouping (A ∉ G).
+                let aggs: Vec<(AggFunc, Option<AttrId>)> = union_aggs
+                    .iter()
+                    .filter(|(_, attr)| attr.is_none_or(|a| !g.contains(&a)))
+                    .cloned()
+                    .collect();
+                if aggs.is_empty() {
+                    continue;
+                }
+                for split in splits_of(&g) {
+                    mine_split(rel, cfg, gd, &split, &aggs, &mut store)?;
+                }
+            }
+
+            Ok((store, cfg.initial_fds.clone()))
+        })
     }
 }
 

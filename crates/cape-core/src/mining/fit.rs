@@ -3,13 +3,11 @@
 //! aggregation result, for *all* candidates sharing an `(F, V)` split.
 
 use crate::config::Thresholds;
-use crate::mining::MiningStats;
 use crate::store::LocalPattern;
 use cape_data::ops::sorted_block_starts;
 use cape_data::{AggFunc, AttrId, Relation, Value};
 use cape_regress::{fit, ModelType};
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// One pattern candidate sharing a given `(F, V)` split: the aggregate
 /// call (with its column in the grouped relation) and the model type.
@@ -50,9 +48,10 @@ pub fn fit_split(
     v_cols: &[usize],
     candidates: &[SplitCandidate],
     thresholds: &Thresholds,
-    stats: &mut MiningStats,
 ) -> Vec<Option<FitOutcome>> {
-    stats.candidates_considered += candidates.len();
+    cape_obs::counter_add("mining.candidates_considered", candidates.len() as u64);
+    let mut fragments_fitted = 0u64;
+    let mut patterns_found = 0u64;
 
     struct Partial {
         locals: HashMap<Vec<Value>, LocalPattern>,
@@ -118,11 +117,8 @@ pub fn fit_split(
             if ys.len() < thresholds.delta {
                 continue; // nulls reduced the usable evidence below δ
             }
-            stats.fragments_fitted += 1;
-            let t0 = Instant::now();
-            let fitted = fit(cand.model, &xs, &ys);
-            stats.regression_time += t0.elapsed();
-            let Ok(fitted) = fitted else { continue };
+            fragments_fitted += 1;
+            let Ok(fitted) = fit(cand.model, &xs, &ys) else { continue };
             if fitted.gof < thresholds.theta {
                 continue;
             }
@@ -142,7 +138,7 @@ pub fn fit_split(
         }
     }
 
-    partials
+    let out: Vec<Option<FitOutcome>> = partials
         .into_iter()
         .map(|p| {
             if num_supported == 0 {
@@ -151,13 +147,16 @@ pub fn fit_split(
             let good = p.locals.len();
             let confidence = good as f64 / num_supported as f64;
             if good >= thresholds.global_support && confidence >= thresholds.lambda {
-                stats.patterns_found += 1;
+                patterns_found += 1;
                 Some(FitOutcome { locals: p.locals, confidence, num_supported })
             } else {
                 None
             }
         })
-        .collect()
+        .collect();
+    cape_obs::counter_add("mining.fragments_fitted", fragments_fitted);
+    cape_obs::counter_add("mining.patterns_found", patterns_found);
+    out
 }
 
 #[cfg(test)]
@@ -198,6 +197,15 @@ mod tests {
         Thresholds::new(0.5, 3, 0.5, 2)
     }
 
+    /// Run `f` under a fresh recorder and return its result plus telemetry.
+    fn recorded<T>(f: impl FnOnce() -> T) -> (T, cape_obs::TelemetrySnapshot) {
+        let rec = cape_obs::Recorder::new();
+        let guard = rec.install();
+        let out = f();
+        drop(guard);
+        (out, rec.snapshot())
+    }
+
     #[test]
     fn constant_pattern_holds_for_stable_authors() {
         let sorted = sort_by(&grouped(), &[0, 1]);
@@ -207,8 +215,7 @@ mod tests {
             agg_col: 2,
             model: ModelType::Const,
         }];
-        let mut stats = MiningStats::default();
-        let out = fit_split(&sorted, &[0], &[1], &cands, &thresholds(), &mut stats);
+        let (out, telemetry) = recorded(|| fit_split(&sorted, &[0], &[1], &cands, &thresholds()));
         let outcome = out[0].as_ref().expect("pattern should hold globally");
         // tiny is excluded (support 1 < δ); stable1+stable2 hold, wild does not.
         assert_eq!(outcome.num_supported, 3);
@@ -216,9 +223,9 @@ mod tests {
         assert!((outcome.confidence - 2.0 / 3.0).abs() < 1e-12);
         assert!(outcome.locals.contains_key(&vec![Value::str("stable1")]));
         assert!(outcome.locals.contains_key(&vec![Value::str("stable2")]));
-        assert_eq!(stats.candidates_considered, 1);
-        assert_eq!(stats.fragments_fitted, 3);
-        assert_eq!(stats.patterns_found, 1);
+        assert_eq!(telemetry.counter("mining.candidates_considered"), 1);
+        assert_eq!(telemetry.counter("mining.fragments_fitted"), 3);
+        assert_eq!(telemetry.counter("mining.patterns_found"), 1);
     }
 
     #[test]
@@ -230,8 +237,7 @@ mod tests {
             agg_col: 2,
             model: ModelType::Const,
         }];
-        let mut stats = MiningStats::default();
-        let out = fit_split(&sorted, &[0], &[1], &cands, &thresholds(), &mut stats);
+        let out = fit_split(&sorted, &[0], &[1], &cands, &thresholds());
         let outcome = out[0].as_ref().unwrap();
         assert_eq!(outcome.locals[&vec![Value::str("stable1")]].support, 6);
         // Perfect constant fit: GoF 1, zero deviations.
@@ -255,8 +261,7 @@ mod tests {
             model: ModelType::Const,
         }];
         let tight = Thresholds::new(0.5, 3, 0.5, 10); // Δ = 10 unreachable
-        let mut stats = MiningStats::default();
-        let out = fit_split(&sorted, &[0], &[1], &cands, &tight, &mut stats);
+        let out = fit_split(&sorted, &[0], &[1], &cands, &tight);
         assert!(out[0].is_none());
     }
 
@@ -271,8 +276,7 @@ mod tests {
         }];
         // 2/3 fragments hold; λ = 0.9 rejects.
         let tight = Thresholds::new(0.5, 3, 0.9, 2);
-        let mut stats = MiningStats::default();
-        let out = fit_split(&sorted, &[0], &[1], &cands, &tight, &mut stats);
+        let out = fit_split(&sorted, &[0], &[1], &cands, &tight);
         assert!(out[0].is_none());
     }
 
@@ -293,14 +297,13 @@ mod tests {
                 model: ModelType::Lin,
             },
         ];
-        let mut stats = MiningStats::default();
-        let out = fit_split(&sorted, &[0], &[1], &cands, &thresholds(), &mut stats);
+        let (out, telemetry) = recorded(|| fit_split(&sorted, &[0], &[1], &cands, &thresholds()));
         assert_eq!(out.len(), 2);
         assert!(out[0].is_some());
         // Linear fits constants perfectly too (slope ~0 is fine, R² = 1 for
         // stable1 which is exactly constant) — at least stable1 holds; the
         // pattern may or may not hold globally depending on stable2's R².
-        assert_eq!(stats.candidates_considered, 2);
+        assert_eq!(telemetry.counter("mining.candidates_considered"), 2);
     }
 
     #[test]
@@ -312,8 +315,7 @@ mod tests {
             agg_col: 2,
             model: ModelType::Const,
         }];
-        let mut stats = MiningStats::default();
-        let out = fit_split(&empty, &[0], &[1], &cands, &thresholds(), &mut stats);
+        let out = fit_split(&empty, &[0], &[1], &cands, &thresholds());
         assert!(out[0].is_none());
     }
 }

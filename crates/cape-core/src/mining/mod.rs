@@ -22,6 +22,7 @@ use crate::config::MiningConfig;
 use crate::error::Result;
 use crate::store::PatternStore;
 use cape_data::{FdSet, Relation};
+use cape_obs::TelemetrySnapshot;
 
 /// The output of a mining run: the globally holding patterns, the FDs
 /// that were known or discovered, and timing/count statistics.
@@ -31,8 +32,35 @@ pub struct MiningOutput {
     pub store: PatternStore,
     /// Functional dependencies (initial + discovered).
     pub fds: FdSet,
-    /// Instrumentation for the subtask-breakdown experiment (Figure 4).
+    /// Instrumentation for the subtask-breakdown experiment (Figure 4),
+    /// derived from [`MiningOutput::telemetry`].
     pub stats: MiningStats,
+    /// Full telemetry of the run: span tree, counters, histograms.
+    pub telemetry: TelemetrySnapshot,
+}
+
+/// Run one miner body under a fresh [`cape_obs::Recorder`] with a root
+/// `mining.mine` span, and package the result with the run's telemetry.
+///
+/// The recorder is *installed* (pushed on the thread's recorder stack), so
+/// an outer session recorder — e.g. the CLI's `--metrics` recorder — still
+/// observes everything the run records.
+pub(crate) fn record_mining_run(
+    body: impl FnOnce() -> Result<(PatternStore, FdSet)>,
+) -> Result<MiningOutput> {
+    let recorder = cape_obs::Recorder::new();
+    let install = recorder.install();
+    let t_total = std::time::Instant::now();
+    let result = {
+        let _root = cape_obs::span("mining.mine");
+        body()
+    };
+    let (store, fds) = result?;
+    cape_obs::observe_ns("mining.run_ns", t_total.elapsed().as_nanos() as u64);
+    drop(install);
+    let telemetry = recorder.snapshot();
+    let stats = MiningStats::from_telemetry(&telemetry);
+    Ok(MiningOutput { store, fds, stats, telemetry })
 }
 
 /// A pattern-mining algorithm. All four paper variants implement this.
@@ -76,9 +104,7 @@ pub fn validate_config(cfg: &MiningConfig) -> Result<()> {
     }
     let t = &cfg.thresholds;
     if !(0.0..=1.0).contains(&t.theta) || !(0.0..=1.0).contains(&t.lambda) {
-        return Err(CapeError::InvalidConfig(
-            "theta and lambda must lie in [0, 1]".to_string(),
-        ));
+        return Err(CapeError::InvalidConfig("theta and lambda must lie in [0, 1]".to_string()));
     }
     if cfg.models.is_empty() {
         return Err(CapeError::InvalidConfig("no regression model types selected".into()));

@@ -6,16 +6,15 @@ use crate::config::MiningConfig;
 use crate::error::Result;
 use crate::group_data::GroupData;
 use crate::mining::candidates::{group_sets, model_valid_for, splits_of};
-use crate::mining::{make_instance, validate_config, Miner, MiningOutput, MiningStats};
-use crate::pattern::Arp;
 use crate::mining::fit::FitOutcome;
+use crate::mining::{make_instance, record_mining_run, validate_config, Miner, MiningOutput};
+use crate::pattern::Arp;
 use crate::store::PatternStore;
 use cape_data::ops::{aggregate_with_row_count, distinct_project, select};
 use cape_data::{AggSpec, AttrId, Predicate, Relation, Value};
 use cape_regress::fit;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The brute-force miner.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,69 +27,60 @@ impl Miner for NaiveMiner {
 
     fn mine(&self, rel: &Relation, cfg: &MiningConfig) -> Result<MiningOutput> {
         validate_config(cfg)?;
-        let t_total = Instant::now();
-        let mut stats = MiningStats::default();
-        let mut store = PatternStore::new();
-        let attrs = cfg.candidate_attrs(rel);
-        // Shared aggregations are only computed for patterns that hold, to
-        // attach the `data` needed by explanation generation; the mining
-        // work itself is per-fragment as in Algorithm 4.
-        let mut data_cache: HashMap<Vec<AttrId>, Arc<GroupData>> = HashMap::new();
+        record_mining_run(|| {
+            let mut store = PatternStore::new();
+            let attrs = cfg.candidate_attrs(rel);
+            // Shared aggregations are only computed for patterns that hold, to
+            // attach the `data` needed by explanation generation; the mining
+            // work itself is per-fragment as in Algorithm 4.
+            let mut data_cache: HashMap<Vec<AttrId>, Arc<GroupData>> = HashMap::new();
 
-        for g in group_sets(&attrs, cfg.psi) {
-            let aggs = cfg.resolve_aggs(rel, &g);
-            for split in splits_of(&g) {
-                for &(agg, agg_attr) in &aggs {
-                    if let Some(a) = agg_attr {
-                        if g.contains(&a) {
-                            continue;
+            for g in group_sets(&attrs, cfg.psi) {
+                let aggs = cfg.resolve_aggs(rel, &g);
+                for split in splits_of(&g) {
+                    for &(agg, agg_attr) in &aggs {
+                        if let Some(a) = agg_attr {
+                            if g.contains(&a) {
+                                continue;
+                            }
                         }
-                    }
-                    for &model in &cfg.models {
-                        if !model_valid_for(rel, model, &split.v) {
-                            continue;
-                        }
-                        stats.candidates_considered += 1;
-                        let outcome = naive_pattern_holds(
-                            rel,
-                            &split.f,
-                            &split.v,
-                            agg,
-                            agg_attr,
-                            model,
-                            cfg,
-                            &mut stats,
-                        )?;
-                        if let Some(outcome) = outcome {
-                            stats.patterns_found += 1;
-                            let gd = match data_cache.get(&g) {
-                                Some(gd) => Arc::clone(gd),
-                                None => {
-                                    let t = Instant::now();
-                                    let gd = Arc::new(GroupData::compute(rel, &g, &aggs)?);
-                                    stats.query_time += t.elapsed();
-                                    stats.group_queries += 1;
-                                    data_cache.insert(g.clone(), Arc::clone(&gd));
-                                    gd
-                                }
-                            };
-                            let agg_col = gd.agg_col(agg, agg_attr).expect("agg in shared data");
-                            let arp = Arp::new(
-                                split.f.iter().copied(),
-                                split.v.iter().copied(),
-                                agg,
-                                agg_attr,
-                                model,
-                            );
-                            store.push(make_instance(arp, gd, agg_col, outcome));
+                        for &model in &cfg.models {
+                            if !model_valid_for(rel, model, &split.v) {
+                                continue;
+                            }
+                            cape_obs::counter_add("mining.candidates_considered", 1);
+                            let outcome = naive_pattern_holds(
+                                rel, &split.f, &split.v, agg, agg_attr, model, cfg,
+                            )?;
+                            if let Some(outcome) = outcome {
+                                cape_obs::counter_add("mining.patterns_found", 1);
+                                let gd = match data_cache.get(&g) {
+                                    Some(gd) => Arc::clone(gd),
+                                    None => {
+                                        let gd = Arc::new(GroupData::compute(rel, &g, &aggs)?);
+                                        cape_obs::counter_add("mining.group_queries", 1);
+                                        data_cache.insert(g.clone(), Arc::clone(&gd));
+                                        gd
+                                    }
+                                };
+                                let agg_col =
+                                    gd.agg_col(agg, agg_attr).expect("agg in shared data");
+                                let arp = Arp::new(
+                                    split.f.iter().copied(),
+                                    split.v.iter().copied(),
+                                    agg,
+                                    agg_attr,
+                                    model,
+                                );
+                                store.push(make_instance(arp, gd, agg_col, outcome));
+                            }
                         }
                     }
                 }
             }
-        }
 
-        stats.total_time = t_total.elapsed();
-        Ok(MiningOutput { store, fds: cfg.initial_fds.clone(), stats })
+            Ok((store, cfg.initial_fds.clone()))
+        })
     }
 }
 
@@ -106,13 +96,10 @@ fn naive_pattern_holds(
     agg_attr: Option<AttrId>,
     model: cape_regress::ModelType,
     cfg: &MiningConfig,
-    stats: &mut MiningStats,
 ) -> Result<Option<FitOutcome>> {
     let th = &cfg.thresholds;
-    let t = Instant::now();
     let frags = distinct_project(rel, f)?;
-    stats.query_time += t.elapsed();
-    stats.group_queries += 1;
+    cape_obs::counter_add("mining.group_queries", 1);
 
     let mut locals = HashMap::new();
     let mut num_supported = 0usize;
@@ -121,12 +108,10 @@ fn naive_pattern_holds(
         let f_key: Vec<Value> = frags.row(fi);
 
         // Retrieval query Q_{P,f}.
-        let t = Instant::now();
         let selected = select(rel, &Predicate::key_match(f, &f_key));
         let spec = AggSpec { func: agg, attr: agg_attr };
         let grouped = aggregate_with_row_count(&selected, v, &[spec])?.relation;
-        stats.query_time += t.elapsed();
-        stats.group_queries += 1;
+        cape_obs::counter_add("mining.group_queries", 1);
 
         let support = grouped.num_rows();
         if support < th.delta {
@@ -156,11 +141,8 @@ fn naive_pattern_holds(
             continue;
         }
 
-        stats.fragments_fitted += 1;
-        let t = Instant::now();
-        let fitted = fit(model, &xs, &ys);
-        stats.regression_time += t.elapsed();
-        let Ok(fitted) = fitted else { continue };
+        cape_obs::counter_add("mining.fragments_fitted", 1);
+        let Ok(fitted) = fit(model, &xs, &ys) else { continue };
         if fitted.gof < th.theta {
             continue;
         }
@@ -222,7 +204,11 @@ mod tests {
         let find = |out: &crate::mining::MiningOutput| {
             out.store
                 .iter()
-                .find(|(_, p)| p.arp.f() == [0] && p.arp.v() == [1] && p.arp.model == cape_regress::ModelType::Const)
+                .find(|(_, p)| {
+                    p.arp.f() == [0]
+                        && p.arp.v() == [1]
+                        && p.arp.model == cape_regress::ModelType::Const
+                })
                 .map(|(_, p)| p.locals.len())
         };
         assert_eq!(find(&a), find(&b));

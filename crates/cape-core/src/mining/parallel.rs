@@ -14,28 +14,21 @@ use crate::error::Result;
 use crate::group_data::GroupData;
 use crate::mining::arp_mine::explore_sort_orders;
 use crate::mining::candidates::group_sets;
-use crate::mining::{validate_config, Miner, MiningOutput, MiningStats};
+use crate::mining::{record_mining_run, validate_config, Miner, MiningOutput};
 use crate::store::PatternStore;
 use cape_data::ops::distinct_project;
 use cape_data::stats::attr_stats;
 use cape_data::{AttrId, FdDiscovery, Relation};
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// A parallel ARP-MINE over `threads` worker threads
 /// (`0` = use the machine's available parallelism).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ParallelMiner {
     /// Number of worker threads; `0` selects
     /// [`std::thread::available_parallelism`].
     pub threads: usize,
-}
-
-impl Default for ParallelMiner {
-    fn default() -> Self {
-        ParallelMiner { threads: 0 }
-    }
 }
 
 impl ParallelMiner {
@@ -55,93 +48,83 @@ impl Miner for ParallelMiner {
 
     fn mine(&self, rel: &Relation, cfg: &MiningConfig) -> Result<MiningOutput> {
         validate_config(cfg)?;
-        let t_total = Instant::now();
-        let attrs = cfg.candidate_attrs(rel);
-        let gs = group_sets(&attrs, cfg.psi);
-        let threads = self.effective_threads().min(gs.len().max(1));
+        record_mining_run(|| {
+            let attrs = cfg.candidate_attrs(rel);
+            let gs = group_sets(&attrs, cfg.psi);
+            let threads = self.effective_threads().min(gs.len().max(1));
 
-        // Sequential FD pre-pass: record |π_G(R)| for every candidate set
-        // with distinct-count queries (no aggregates, no sorting), then
-        // derive the FD set once. Counted into the merged query time.
-        let mut fds = cfg.initial_fds.clone();
-        let mut prepass = MiningStats::default();
-        if cfg.fd_pruning {
-            let t = Instant::now();
-            let mut fd_disc = FdDiscovery::new();
-            for &a in &attrs {
-                let s = attr_stats(rel, a)?;
-                fd_disc.record([a], s.distinct + usize::from(s.nulls > 0));
+            // Sequential FD pre-pass: record |π_G(R)| for every candidate
+            // set with distinct-count queries (no aggregates, no sorting),
+            // then derive the FD set once.
+            let mut fds = cfg.initial_fds.clone();
+            if cfg.fd_pruning {
+                let mut fd_disc = FdDiscovery::new();
+                for &a in &attrs {
+                    let s = attr_stats(rel, a)?;
+                    fd_disc.record([a], s.distinct + usize::from(s.nulls > 0));
+                }
+                for g in &gs {
+                    let count = distinct_project(rel, g)?.num_rows();
+                    fd_disc.record(g.iter().copied(), count);
+                }
+                // Detect in increasing-size order (gs is size-ordered).
+                for g in &gs {
+                    let g_set: BTreeSet<AttrId> = g.iter().copied().collect();
+                    let found = fd_disc.detect(&g_set, &mut fds);
+                    cape_obs::counter_add("mining.fds_discovered", found.len() as u64);
+                }
             }
-            for g in &gs {
-                let count = distinct_project(rel, g)?.num_rows();
-                fd_disc.record(g.iter().copied(), count);
-            }
-            // Detect in increasing-size order (gs is size-ordered).
-            for g in &gs {
-                let g_set: BTreeSet<AttrId> = g.iter().copied().collect();
-                prepass.fds_discovered += fd_disc.detect(&g_set, &mut fds).len();
-            }
-            prepass.query_time += t.elapsed();
-        }
-        let fds = fds; // frozen; shared read-only below
+            let fds = fds; // frozen; shared read-only below
 
-        // Fan out: worker w takes group sets w, w+threads, w+2·threads, …
-        struct Slice {
-            index: usize,
-            store: PatternStore,
-            stats: MiningStats,
-        }
-        let results: Result<Vec<Vec<Slice>>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for w in 0..threads {
-                let gs = &gs;
-                let fds = &fds;
-                handles.push(scope.spawn(move || -> Result<Vec<Slice>> {
-                    let mut out = Vec::new();
-                    let mut i = w;
-                    while i < gs.len() {
-                        let g = &gs[i];
-                        let mut stats = MiningStats::default();
-                        let mut store = PatternStore::new();
-                        let aggs = cfg.resolve_aggs(rel, g);
-                        if !aggs.is_empty() {
-                            let t = Instant::now();
-                            let gd = Arc::new(GroupData::compute(rel, g, &aggs)?);
-                            stats.query_time += t.elapsed();
-                            stats.group_queries += 1;
-                            explore_sort_orders(rel, cfg, &gd, g, fds, &mut store, &mut stats)?;
+            // Fan out: worker w takes group sets w, w+threads, w+2·threads, …
+            // Each worker attaches the spawning thread's observability
+            // context so its spans and counters land in the same recorders.
+            struct Slice {
+                index: usize,
+                store: PatternStore,
+            }
+            let ctx = cape_obs::ThreadContext::capture();
+            let results: Result<Vec<Vec<Slice>>> = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for w in 0..threads {
+                    let gs = &gs;
+                    let fds = &fds;
+                    let ctx = &ctx;
+                    handles.push(scope.spawn(move || -> Result<Vec<Slice>> {
+                        let _obs = ctx.attach();
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < gs.len() {
+                            let g = &gs[i];
+                            let mut store = PatternStore::new();
+                            let aggs = cfg.resolve_aggs(rel, g);
+                            if !aggs.is_empty() {
+                                let gd = Arc::new(GroupData::compute(rel, g, &aggs)?);
+                                cape_obs::counter_add("mining.group_queries", 1);
+                                explore_sort_orders(rel, cfg, &gd, g, fds, &mut store)?;
+                            }
+                            out.push(Slice { index: i, store });
+                            i += threads;
                         }
-                        out.push(Slice { index: i, store, stats });
-                        i += threads;
-                    }
-                    Ok(out)
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
+                        Ok(out)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            });
 
-        // Merge deterministically in group-set order.
-        let mut slices: Vec<Slice> = results?.into_iter().flatten().collect();
-        slices.sort_by_key(|s| s.index);
-        let mut store = PatternStore::new();
-        let mut stats = prepass;
-        for slice in slices {
-            for (_, inst) in slice.store.iter() {
-                store.push(inst.clone());
+            // Merge deterministically in group-set order. Phase times are
+            // summed CPU across workers and may exceed the wall clock —
+            // `MiningStats::fractions` normalizes for that.
+            let mut slices: Vec<Slice> = results?.into_iter().flatten().collect();
+            slices.sort_by_key(|s| s.index);
+            let mut store = PatternStore::new();
+            for slice in slices {
+                for (_, inst) in slice.store.iter() {
+                    store.push(inst.clone());
+                }
             }
-            stats.query_time += slice.stats.query_time;
-            stats.regression_time += slice.stats.regression_time;
-            stats.candidates_considered += slice.stats.candidates_considered;
-            stats.patterns_found += slice.stats.patterns_found;
-            stats.fragments_fitted += slice.stats.fragments_fitted;
-            stats.skipped_by_fd += slice.stats.skipped_by_fd;
-            stats.group_queries += slice.stats.group_queries;
-            stats.sort_queries += slice.stats.sort_queries;
-        }
-        // total_time is wall clock; query/regression times are summed CPU
-        // across workers and may exceed it — that is expected.
-        stats.total_time = t_total.elapsed();
-        Ok(MiningOutput { store, fds, stats })
+            Ok((store, fds))
+        })
     }
 }
 
@@ -161,10 +144,7 @@ mod tests {
         }
     }
 
-    fn pattern_names(
-        out: &MiningOutput,
-        rel: &Relation,
-    ) -> Set<String> {
+    fn pattern_names(out: &MiningOutput, rel: &Relation) -> Set<String> {
         out.store.iter().map(|(_, p)| p.arp.display(rel.schema())).collect()
     }
 
@@ -229,6 +209,6 @@ mod tests {
     fn zero_threads_uses_available_parallelism() {
         let rel = crate::mining::share_grp::tests::pubs(3, 6, 3);
         let out = ParallelMiner::default().mine(&rel, &cfg(false)).unwrap();
-        assert!(out.store.len() > 0);
+        assert!(!out.store.is_empty());
     }
 }

@@ -10,13 +10,12 @@ use crate::error::Result;
 use crate::group_data::GroupData;
 use crate::mining::candidates::{group_sets, model_valid_for, splits_of, Split};
 use crate::mining::fit::{fit_split, SplitCandidate};
-use crate::mining::{make_instance, validate_config, Miner, MiningOutput, MiningStats};
+use crate::mining::{make_instance, record_mining_run, validate_config, Miner, MiningOutput};
 use crate::pattern::Arp;
 use crate::store::PatternStore;
 use cape_data::ops::sort_by;
 use cape_data::{AggFunc, AttrId, Relation};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The SHARE-GRP miner.
 #[derive(Debug, Clone, Copy, Default)]
@@ -29,28 +28,25 @@ impl Miner for ShareGrpMiner {
 
     fn mine(&self, rel: &Relation, cfg: &MiningConfig) -> Result<MiningOutput> {
         validate_config(cfg)?;
-        let t_total = Instant::now();
-        let mut stats = MiningStats::default();
-        let mut store = PatternStore::new();
-        let attrs = cfg.candidate_attrs(rel);
+        record_mining_run(|| {
+            let mut store = PatternStore::new();
+            let attrs = cfg.candidate_attrs(rel);
 
-        for g in group_sets(&attrs, cfg.psi) {
-            let aggs = cfg.resolve_aggs(rel, &g);
-            if aggs.is_empty() {
-                continue;
+            for g in group_sets(&attrs, cfg.psi) {
+                let aggs = cfg.resolve_aggs(rel, &g);
+                if aggs.is_empty() {
+                    continue;
+                }
+                let gd = Arc::new(GroupData::compute(rel, &g, &aggs)?);
+                cape_obs::counter_add("mining.group_queries", 1);
+
+                for split in splits_of(&g) {
+                    mine_split(rel, cfg, &gd, &split, &aggs, &mut store)?;
+                }
             }
-            let t = Instant::now();
-            let gd = Arc::new(GroupData::compute(rel, &g, &aggs)?);
-            stats.query_time += t.elapsed();
-            stats.group_queries += 1;
 
-            for split in splits_of(&g) {
-                mine_split(rel, cfg, &gd, &split, &aggs, &mut store, &mut stats)?;
-            }
-        }
-
-        stats.total_time = t_total.elapsed();
-        Ok(MiningOutput { store, fds: cfg.initial_fds.clone(), stats })
+            Ok((store, cfg.initial_fds.clone()))
+        })
     }
 }
 
@@ -63,7 +59,6 @@ pub(crate) fn mine_split(
     split: &Split,
     aggs: &[(AggFunc, Option<AttrId>)],
     store: &mut PatternStore,
-    stats: &mut MiningStats,
 ) -> Result<()> {
     let f_cols = gd.cols_of_attrs(&split.f).expect("F within G");
     let v_cols = gd.cols_of_attrs(&split.v).expect("V within G");
@@ -73,13 +68,11 @@ pub(crate) fn mine_split(
         return Ok(());
     }
 
-    let t = Instant::now();
     let sort_keys: Vec<usize> = f_cols.iter().chain(&v_cols).copied().collect();
     let sorted = sort_by(&gd.relation, &sort_keys);
-    stats.query_time += t.elapsed();
-    stats.sort_queries += 1;
+    cape_obs::counter_add("mining.sort_queries", 1);
 
-    let outcomes = fit_split(&sorted, &f_cols, &v_cols, &candidates, &cfg.thresholds, stats);
+    let outcomes = fit_split(&sorted, &f_cols, &v_cols, &candidates, &cfg.thresholds);
     for (cand, outcome) in candidates.iter().zip(outcomes) {
         if let Some(outcome) = outcome {
             let arp = Arp::new(
@@ -169,11 +162,13 @@ pub(crate) mod tests {
         let out = ShareGrpMiner.mine(&rel, &cfg()).unwrap();
         // [author]: year ~Const~> count(*) must be among the found patterns.
         let found = out.store.iter().any(|(_, p)| {
-            p.arp.f() == [0]
-                && p.arp.v() == [1]
-                && p.arp.model == cape_regress::ModelType::Const
+            p.arp.f() == [0] && p.arp.v() == [1] && p.arp.model == cape_regress::ModelType::Const
         });
-        assert!(found, "expected [author]: year pattern, got:\n{}", out.store.describe(rel.schema()));
+        assert!(
+            found,
+            "expected [author]: year pattern, got:\n{}",
+            out.store.describe(rel.schema())
+        );
         assert!(out.stats.group_queries >= 1);
         assert!(out.stats.sort_queries >= 2);
         assert!(out.stats.total_time >= out.stats.query_time);
@@ -198,7 +193,11 @@ pub(crate) mod tests {
         let (_, p) = out
             .store
             .iter()
-            .find(|(_, p)| p.arp.f() == [0] && p.arp.v() == [1] && p.arp.model == cape_regress::ModelType::Const)
+            .find(|(_, p)| {
+                p.arp.f() == [0]
+                    && p.arp.v() == [1]
+                    && p.arp.model == cape_regress::ModelType::Const
+            })
             .unwrap();
         let local = p.local(&[Value::str("a0")]).expect("a0 holds locally");
         // 4 papers per year.
@@ -212,9 +211,6 @@ pub(crate) mod tests {
         let mut c = cfg();
         c.exclude = vec![2];
         let out = ShareGrpMiner.mine(&rel, &c).unwrap();
-        assert!(out
-            .store
-            .iter()
-            .all(|(_, p)| !p.arp.g_attrs().contains(&2)));
+        assert!(out.store.iter().all(|(_, p)| !p.arp.g_attrs().contains(&2)));
     }
 }

@@ -44,13 +44,7 @@ impl Arp {
         if let Some(a) = agg_attr {
             assert!(!f.contains(&a) && !v.contains(&a), "A must not be in F ∪ V");
         }
-        Arp {
-            f: f.into_iter().collect(),
-            v: v.into_iter().collect(),
-            agg,
-            agg_attr,
-            model,
-        }
+        Arp { f: f.into_iter().collect(), v: v.into_iter().collect(), agg, agg_attr, model }
     }
 
     /// Partition attributes `F`, sorted.

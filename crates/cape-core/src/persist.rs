@@ -132,10 +132,8 @@ fn decode_model(s: &str, line: usize) -> Result<Model, PersistError> {
             let bits = parts.next().ok_or_else(|| err("missing intercept"))?;
             let intercept = f64::from_bits(bits.parse().map_err(|_| err("bad intercept"))?);
             let coefs_str = parts.next().ok_or_else(|| err("missing coefs"))?;
-            let coefs: Result<Vec<f64>, _> = coefs_str
-                .split(',')
-                .map(|c| c.parse::<u64>().map(f64::from_bits))
-                .collect();
+            let coefs: Result<Vec<f64>, _> =
+                coefs_str.split(',').map(|c| c.parse::<u64>().map(f64::from_bits)).collect();
             Ok(Model::Linear { intercept, coefs: coefs.map_err(|_| err("bad coef"))? })
         }
         Some("quad") => {
@@ -295,12 +293,10 @@ pub fn read_store<R: Read>(r: R, rel: &Relation) -> Result<PatternStore, Persist
                         })
                     }
                 };
-                let confidence = f64::from_bits(
-                    field(&parts, "conf", line_no)?.parse().map_err(|_| PersistError::Parse {
-                        line: line_no,
-                        message: "bad confidence".into(),
-                    })?,
-                );
+                let confidence =
+                    f64::from_bits(field(&parts, "conf", line_no)?.parse().map_err(|_| {
+                        PersistError::Parse { line: line_no, message: "bad confidence".into() }
+                    })?);
                 let num_supported = field(&parts, "supp", line_no)?.parse().map_err(|_| {
                     PersistError::Parse { line: line_no, message: "bad support".into() }
                 })?;
@@ -320,16 +316,16 @@ pub fn read_store<R: Read>(r: R, rel: &Relation) -> Result<PatternStore, Persist
                     .split('|')
                     .map(|p| decode_value(p, line_no))
                     .collect();
-                let support = field(&parts, "n", line_no)?.parse().map_err(|_| {
-                    PersistError::Parse { line: line_no, message: "bad n".into() }
-                })?;
+                let support = field(&parts, "n", line_no)?
+                    .parse()
+                    .map_err(|_| PersistError::Parse { line: line_no, message: "bad n".into() })?;
                 let bits = |name: &str| -> Result<f64, PersistError> {
-                    Ok(f64::from_bits(field(&parts, name, line_no)?.parse().map_err(
-                        |_| PersistError::Parse {
+                    Ok(f64::from_bits(field(&parts, name, line_no)?.parse().map_err(|_| {
+                        PersistError::Parse {
                             line: line_no,
                             message: format!("bad bits for {name}"),
-                        },
-                    )?))
+                        }
+                    })?))
                 };
                 let gof = bits("gof")?;
                 let max_pos_dev = bits("pos")?;
@@ -386,9 +382,10 @@ pub fn read_store<R: Read>(r: R, rel: &Relation) -> Result<PatternStore, Persist
             Some(gd) => Arc::clone(gd),
             None => {
                 let aggs = &aggs_by_g[&g];
-                let gd = Arc::new(GroupData::compute(rel, &g, aggs).map_err(|e| {
-                    PersistError::SchemaMismatch(e.to_string())
-                })?);
+                let gd = Arc::new(
+                    GroupData::compute(rel, &g, aggs)
+                        .map_err(|e| PersistError::SchemaMismatch(e.to_string()))?,
+                );
                 cache.insert(g.clone(), Arc::clone(&gd));
                 gd
             }
@@ -451,7 +448,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         let (rel, store) = mined();
-        assert!(store.len() > 0);
+        assert!(!store.is_empty());
         let mut buf = Vec::new();
         write_store(&mut buf, &store).unwrap();
         let back = read_store(&buf[..], &rel).unwrap();
@@ -516,10 +513,7 @@ mod tests {
         .is_err());
         // Pattern referencing attribute 9 with arity 3.
         let bad = "cape-store v1\npattern f=9 v=1 agg=count attr=- model=Const conf=0 supp=1";
-        assert!(matches!(
-            read_store(bad.as_bytes(), &rel),
-            Err(PersistError::SchemaMismatch(_))
-        ));
+        assert!(matches!(read_store(bad.as_bytes(), &rel), Err(PersistError::SchemaMismatch(_))));
     }
 
     #[test]

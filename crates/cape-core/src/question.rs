@@ -149,9 +149,7 @@ impl UserQuestion {
             })
             .expect("is_cape_query guarantees one aggregate");
         let agg_attr = match &agg_item.arg {
-            Some(name) => {
-                Some(rel.schema().attr_id(name).map_err(crate::error::CapeError::from)?)
-            }
+            Some(name) => Some(rel.schema().attr_id(name).map_err(crate::error::CapeError::from)?),
             None => None,
         };
         Self::from_query(rel, group_attrs?, agg_item.func, agg_attr, tuple, dir)
@@ -227,10 +225,9 @@ impl UserQuestion {
             })
             .collect();
         let agg_name = match self.agg_attr {
-            Some(a) => schema
-                .attr(a)
-                .map(|at| at.name().to_string())
-                .unwrap_or_else(|_| format!("#{a}")),
+            Some(a) => {
+                schema.attr(a).map(|at| at.name().to_string()).unwrap_or_else(|_| format!("#{a}"))
+            }
             None => "*".to_string(),
         };
         format!(
@@ -277,10 +274,7 @@ mod tests {
         let uq = q();
         assert_eq!(uq.value_of(3), Some(&Value::str("SIGKDD")));
         assert_eq!(uq.value_of(1), None);
-        assert_eq!(
-            uq.values_of(&[2, 0]),
-            Some(vec![Value::Int(2007), Value::str("AX")])
-        );
+        assert_eq!(uq.values_of(&[2, 0]), Some(vec![Value::Int(2007), Value::str("AX")]));
         assert_eq!(uq.values_of(&[1]), None);
         assert!(uq.covers_attrs(&[0, 2]));
         assert!(!uq.covers_attrs(&[0, 1]));
@@ -289,14 +283,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "align")]
     fn misaligned_tuple_rejected() {
-        UserQuestion::new(vec![0, 1], AggFunc::Count, None, vec![Value::Int(1)], 1.0, Direction::Low);
+        UserQuestion::new(
+            vec![0, 1],
+            AggFunc::Count,
+            None,
+            vec![Value::Int(1)],
+            1.0,
+            Direction::Low,
+        );
     }
 
     #[test]
     fn from_query_reads_the_actual_value() {
         use cape_data::{Relation, Schema, ValueType};
-        let schema =
-            Schema::new([("author", ValueType::Str), ("year", ValueType::Int)]).unwrap();
+        let schema = Schema::new([("author", ValueType::Str), ("year", ValueType::Int)]).unwrap();
         let rel = Relation::from_rows(
             schema,
             vec![
@@ -359,17 +359,12 @@ mod tests {
 
         // Wrong shapes are rejected.
         for bad in [
-            "SELECT author FROM pub",                                        // no aggregate
-            "SELECT author, count(*) FROM pub GROUP BY author LIMIT 3",      // limit
+            "SELECT author FROM pub",                                   // no aggregate
+            "SELECT author, count(*) FROM pub GROUP BY author LIMIT 3", // limit
             "SELECT author, count(*) FROM pub WHERE year = 2007 GROUP BY author", // where
-            "SELECT venue, count(*) FROM pub GROUP BY author",               // projection ≠ G
+            "SELECT venue, count(*) FROM pub GROUP BY author",          // projection ≠ G
         ] {
-            let r = UserQuestion::from_sql(
-                &rel,
-                bad,
-                vec![Value::str("AX")],
-                Direction::Low,
-            );
+            let r = UserQuestion::from_sql(&rel, bad, vec![Value::str("AX")], Direction::Low);
             assert!(r.is_err(), "should reject `{bad}`");
         }
     }

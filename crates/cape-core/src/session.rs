@@ -3,9 +3,7 @@
 
 use crate::config::MiningConfig;
 use crate::error::{CapeError, Result};
-use crate::explain::{
-    BaselineExplainer, ExplainConfig, ExplainStats, Explanation, TopKExplainer,
-};
+use crate::explain::{BaselineExplainer, ExplainConfig, ExplainStats, Explanation, TopKExplainer};
 use crate::mining::{ArpMiner, Miner, MiningStats};
 use crate::prelude::{NaiveExplainer, OptimizedExplainer};
 use crate::question::{Direction, UserQuestion};
@@ -59,6 +57,7 @@ pub struct CapeSession {
     explain_cfg: ExplainConfig,
     algo: ExplainAlgo,
     mining_stats: Option<MiningStats>,
+    mining_telemetry: Option<cape_obs::TelemetrySnapshot>,
 }
 
 impl CapeSession {
@@ -72,13 +71,21 @@ impl CapeSession {
             explain_cfg,
             algo: ExplainAlgo::default(),
             mining_stats: Some(out.stats),
+            mining_telemetry: Some(out.telemetry),
         })
     }
 
     /// Build a session around an existing (e.g. reloaded) pattern store.
     pub fn with_store(relation: Relation, store: PatternStore) -> Self {
         let explain_cfg = ExplainConfig::default_for(&relation, 10);
-        CapeSession { relation, store, explain_cfg, algo: ExplainAlgo::default(), mining_stats: None }
+        CapeSession {
+            relation,
+            store,
+            explain_cfg,
+            algo: ExplainAlgo::default(),
+            mining_stats: None,
+            mining_telemetry: None,
+        }
     }
 
     /// The underlying relation.
@@ -94,6 +101,12 @@ impl CapeSession {
     /// Mining statistics, when the session mined its own patterns.
     pub fn mining_stats(&self) -> Option<&MiningStats> {
         self.mining_stats.as_ref()
+    }
+
+    /// Full mining telemetry (span tree, counters, histograms), when the
+    /// session mined its own patterns.
+    pub fn mining_telemetry(&self) -> Option<&cape_obs::TelemetrySnapshot> {
+        self.mining_telemetry.as_ref()
     }
 
     /// Change how many explanations questions return (default 10).
@@ -125,10 +138,8 @@ impl CapeSession {
         dir: Direction,
     ) -> Result<UserQuestion> {
         let schema = self.relation.schema();
-        let group_attrs: Result<Vec<usize>> = keys
-            .iter()
-            .map(|(name, _)| schema.attr_id(name).map_err(CapeError::Data))
-            .collect();
+        let group_attrs: Result<Vec<usize>> =
+            keys.iter().map(|(name, _)| schema.attr_id(name).map_err(CapeError::Data)).collect();
         let agg_attr = match agg_attr {
             Some(name) => Some(schema.attr_id(name).map_err(CapeError::Data)?),
             None => None,
@@ -140,7 +151,9 @@ impl CapeSession {
     /// Explain an already-built question.
     pub fn explain(&self, uq: &UserQuestion) -> (Vec<Explanation>, ExplainStats) {
         match self.algo {
-            ExplainAlgo::Optimized => OptimizedExplainer.explain(&self.store, uq, &self.explain_cfg),
+            ExplainAlgo::Optimized => {
+                OptimizedExplainer.explain(&self.store, uq, &self.explain_cfg)
+            }
             ExplainAlgo::Naive => NaiveExplainer.explain(&self.store, uq, &self.explain_cfg),
         }
     }
@@ -172,8 +185,7 @@ mod tests {
     use cape_data::{Schema, ValueType};
 
     fn shops() -> Relation {
-        let schema =
-            Schema::new([("shop", ValueType::Str), ("day", ValueType::Int)]).unwrap();
+        let schema = Schema::new([("shop", ValueType::Str), ("day", ValueType::Int)]).unwrap();
         let mut rel = Relation::new(schema);
         for shop in ["A", "B", "C"] {
             for day in 0..8i64 {
@@ -202,7 +214,7 @@ mod tests {
     #[test]
     fn end_to_end_by_name() {
         let s = session();
-        assert!(s.store().len() > 0);
+        assert!(!s.store().is_empty());
         assert!(s.mining_stats().is_some());
         let (expls, stats) = s
             .why_count(&[("shop", Value::str("A")), ("day", Value::Int(3))], Direction::Low)

@@ -223,15 +223,8 @@ pub fn fold_dev_bounds(instance: &mut PatternInstance) {
 /// Extract, for a list of wanted attributes, the values they take in a
 /// tuple given as parallel `(attrs, values)` arrays. Returns `None` when
 /// a wanted attribute is absent.
-pub fn project_tuple(
-    attrs: &[AttrId],
-    values: &[Value],
-    wanted: &[AttrId],
-) -> Option<Vec<Value>> {
-    wanted
-        .iter()
-        .map(|w| attrs.iter().position(|a| a == w).map(|i| values[i].clone()))
-        .collect()
+pub fn project_tuple(attrs: &[AttrId], values: &[Value], wanted: &[AttrId]) -> Option<Vec<Value>> {
+    wanted.iter().map(|w| attrs.iter().position(|a| a == w).map(|i| values[i].clone())).collect()
 }
 
 #[cfg(test)]
@@ -252,12 +245,9 @@ mod tests {
         g.sort_unstable();
         let mut rel = Relation::new(base);
         // rows: (ax, 2004, KDD) x2, (ax, 2005, KDD), (ay, 2004, ICDE)
-        for (a, y, ve) in [
-            ("ax", 2004, "KDD"),
-            ("ax", 2004, "KDD"),
-            ("ax", 2005, "KDD"),
-            ("ay", 2004, "ICDE"),
-        ] {
+        for (a, y, ve) in
+            [("ax", 2004, "KDD"), ("ax", 2004, "KDD"), ("ax", 2005, "KDD"), ("ay", 2004, "ICDE")]
+        {
             rel.push_row(vec![Value::str(a), Value::Int(y), Value::str(ve)]).unwrap();
         }
         let data = GroupData::compute(&rel, &g, &[(AggFunc::Count, None)]).unwrap();
@@ -360,7 +350,8 @@ mod tests {
             ("venue", ValueType::Str),
         ])
         .unwrap();
-        let store = PatternStore::from_instances(vec![mk_instance(vec![0], vec![1], ModelType::Const)]);
+        let store =
+            PatternStore::from_instances(vec![mk_instance(vec![0], vec![1], ModelType::Const)]);
         let d = store.describe(&schema);
         assert!(d.contains("[author]"));
         assert!(d.contains("confidence"));

@@ -11,12 +11,9 @@ use std::collections::BTreeSet;
 fn arb_relation(max_rows: usize) -> impl Strategy<Value = Relation> {
     let row = (0u8..3, 0i64..5, 0u8..3);
     proptest::collection::vec(row, 8..max_rows).prop_map(|rows| {
-        let schema = Schema::new([
-            ("a", ValueType::Str),
-            ("x", ValueType::Int),
-            ("b", ValueType::Str),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new([("a", ValueType::Str), ("x", ValueType::Int), ("b", ValueType::Str)])
+                .unwrap();
         Relation::from_rows(
             schema,
             rows.into_iter().map(|(a, x, b)| {

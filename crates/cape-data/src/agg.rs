@@ -163,9 +163,7 @@ impl Accumulator {
         match self {
             Accumulator::Count(n) => Value::Int(*n as i64),
             Accumulator::Sum(s) => Value::Float(*s),
-            Accumulator::Min(m) | Accumulator::Max(m) => {
-                m.map_or(Value::Null, Value::Float)
-            }
+            Accumulator::Min(m) | Accumulator::Max(m) => m.map_or(Value::Null, Value::Float),
             Accumulator::Avg { sum, n } => {
                 if *n == 0 {
                     Value::Null
@@ -241,10 +239,7 @@ mod tests {
     #[test]
     fn spec_names() {
         assert_eq!(AggSpec::count_star().output_name(None), "count(*)");
-        assert_eq!(
-            AggSpec::over(AggFunc::Sum, 2).output_name(Some("price")),
-            "sum(price)"
-        );
+        assert_eq!(AggSpec::over(AggFunc::Sum, 2).output_name(Some("price")), "sum(price)");
         assert!(AggFunc::Sum.requires_numeric());
         assert!(!AggFunc::Count.requires_numeric());
     }

@@ -75,10 +75,7 @@ mod tests {
         let schema = Schema::new([("a", ValueType::Str), ("x", ValueType::Int)]).unwrap();
         let pub_rel = Relation::from_rows(
             schema.clone(),
-            vec![
-                vec![Value::str("p"), Value::Int(1)],
-                vec![Value::str("q"), Value::Int(2)],
-            ],
+            vec![vec![Value::str("p"), Value::Int(1)], vec![Value::str("q"), Value::Int(2)]],
         )
         .unwrap();
         let crime_rel =

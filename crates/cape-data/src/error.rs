@@ -61,7 +61,9 @@ impl fmt::Display for DataError {
             DataError::NonNumericAggregate(name) => {
                 write!(f, "aggregate requires a numeric attribute, got `{name}`")
             }
-            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             DataError::DuplicateAttribute(name) => write!(f, "duplicate attribute name `{name}`"),
             DataError::EmptyInput(what) => write!(f, "empty input: {what}"),
             DataError::Io(msg) => write!(f, "io error: {msg}"),

@@ -180,7 +180,7 @@ mod tests {
     fn minimality() {
         let mut fds = FdSet::new();
         fds.add(Fd::new([0], 1)); // district → side
-        // {district, side} is non-minimal: side is implied by district.
+                                  // {district, side} is non-minimal: side is implied by district.
         assert!(!fds.is_minimal(&set(&[0, 1])));
         assert!(fds.is_minimal(&set(&[0])));
         assert!(fds.is_minimal(&set(&[0, 2])));

@@ -48,6 +48,8 @@ fn aggregate_impl(
     aggs: &[AggSpec],
     with_rows: bool,
 ) -> Result<GroupByResult> {
+    let mut span = cape_obs::span("data.group_by");
+    span.add("rows_in", rel.num_rows() as u64);
     if aggs.is_empty() && !with_rows {
         return Err(DataError::EmptyInput("aggregate list"));
     }
@@ -124,6 +126,7 @@ fn aggregate_impl(
         out.push_row(row)?;
     }
     let num_groups = out.num_rows();
+    span.add("groups_out", num_groups as u64);
     Ok(GroupByResult { relation: out, num_groups })
 }
 
@@ -219,9 +222,8 @@ mod tests {
     #[test]
     fn row_count_column() {
         let r = pubs();
-        let out = aggregate_with_row_count(&r, &[0], &[AggSpec::over(AggFunc::Sum, 2)])
-            .unwrap()
-            .relation;
+        let out =
+            aggregate_with_row_count(&r, &[0], &[AggSpec::over(AggFunc::Sum, 2)]).unwrap().relation;
         let rows_col = out.schema().attr_id("__rows").unwrap();
         assert_eq!(out.value(0, rows_col), &Value::Int(3));
         assert_eq!(out.value(1, rows_col), &Value::Int(1));

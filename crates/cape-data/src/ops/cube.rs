@@ -36,7 +36,10 @@ pub fn cube(
     max_size: usize,
     aggs: &[AggSpec],
 ) -> Result<Vec<CubeSlice>> {
+    let mut span = cape_obs::span("data.cube");
+    span.add("rows_in", rel.num_rows() as u64);
     let subsets = subsets_in_range(dims, min_size, max_size);
+    span.add("slices_out", subsets.len() as u64);
 
     struct SliceAcc {
         dims: Vec<AttrId>,
@@ -123,7 +126,13 @@ pub(crate) fn subsets_in_range(
     min_size: usize,
     max_size: usize,
 ) -> Vec<Vec<AttrId>> {
-    fn combos(dims: &[AttrId], start: usize, left: usize, cur: &mut Vec<AttrId>, out: &mut Vec<Vec<AttrId>>) {
+    fn combos(
+        dims: &[AttrId],
+        start: usize,
+        left: usize,
+        cur: &mut Vec<AttrId>,
+        out: &mut Vec<Vec<AttrId>>,
+    ) {
         if left == 0 {
             out.push(cur.clone());
             return;
@@ -152,12 +161,9 @@ mod tests {
     use crate::schema::Schema;
 
     fn rel() -> Relation {
-        let schema = Schema::new([
-            ("a", ValueType::Str),
-            ("b", ValueType::Int),
-            ("x", ValueType::Int),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new([("a", ValueType::Str), ("b", ValueType::Int), ("x", ValueType::Int)])
+                .unwrap();
         Relation::from_rows(
             schema,
             vec![
@@ -172,17 +178,7 @@ mod tests {
     #[test]
     fn subset_enumeration() {
         let subsets = subsets_in_range(&[0, 1, 2], 1, 2);
-        assert_eq!(
-            subsets,
-            vec![
-                vec![0],
-                vec![1],
-                vec![2],
-                vec![0, 1],
-                vec![0, 2],
-                vec![1, 2],
-            ]
-        );
+        assert_eq!(subsets, vec![vec![0], vec![1], vec![2], vec![0, 1], vec![0, 2], vec![1, 2],]);
         assert_eq!(subsets_in_range(&[0, 1], 1, 5).len(), 3);
         assert_eq!(subsets_in_range(&[0, 1, 2, 3], 2, 2).len(), 6);
     }
@@ -209,13 +205,10 @@ mod tests {
         let r = rel();
         let slices = cube(&r, &[0, 1], 1, 2, &[AggSpec::count_star()]).unwrap();
         for slice in &slices {
-            let direct = crate::ops::aggregate_with_row_count(
-                &r,
-                &slice.dims,
-                &[AggSpec::count_star()],
-            )
-            .unwrap()
-            .relation;
+            let direct =
+                crate::ops::aggregate_with_row_count(&r, &slice.dims, &[AggSpec::count_star()])
+                    .unwrap()
+                    .relation;
             assert_eq!(slice.relation.num_rows(), direct.num_rows());
         }
     }

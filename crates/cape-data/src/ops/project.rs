@@ -31,6 +31,8 @@ pub fn distinct(rel: &Relation) -> Relation {
 
 /// `π_cols(rel)` with duplicate elimination — the paper's `frag(R, P) = π_F(R)`.
 pub fn distinct_project(rel: &Relation, cols: &[AttrId]) -> Result<Relation> {
+    let mut span = cape_obs::span("data.distinct");
+    span.add("rows_in", rel.num_rows() as u64);
     let schema = rel.schema().project(cols)?;
     let mut seen: HashSet<Vec<Value>> = HashSet::new();
     let mut out = Relation::new(schema);
@@ -40,6 +42,7 @@ pub fn distinct_project(rel: &Relation, cols: &[AttrId]) -> Result<Relation> {
             out.push_row(row)?;
         }
     }
+    span.add("rows_out", out.num_rows() as u64);
     Ok(out)
 }
 

@@ -5,13 +5,19 @@ use crate::relation::Relation;
 
 /// `σ_pred(rel)`: keep the rows satisfying the predicate.
 pub fn select(rel: &Relation, pred: &Predicate) -> Relation {
+    let mut span = cape_obs::span("data.select");
+    span.add("rows_in", rel.num_rows() as u64);
     let indices: Vec<usize> = (0..rel.num_rows()).filter(|&i| pred.eval(rel, i)).collect();
+    span.add("rows_out", indices.len() as u64);
     rel.take(&indices)
 }
 
 /// Selection by arbitrary closure over the row index.
 pub fn filter<F: FnMut(&Relation, usize) -> bool>(rel: &Relation, mut keep: F) -> Relation {
+    let mut span = cape_obs::span("data.select");
+    span.add("rows_in", rel.num_rows() as u64);
     let indices: Vec<usize> = (0..rel.num_rows()).filter(|&i| keep(rel, i)).collect();
+    span.add("rows_out", indices.len() as u64);
     rel.take(&indices)
 }
 
@@ -25,7 +31,8 @@ mod tests {
         let schema = Schema::new([("a", ValueType::Int), ("b", ValueType::Str)]).unwrap();
         Relation::from_rows(
             schema,
-            (0..10).map(|i| vec![Value::Int(i), Value::str(if i % 2 == 0 { "even" } else { "odd" })]),
+            (0..10)
+                .map(|i| vec![Value::Int(i), Value::str(if i % 2 == 0 { "even" } else { "odd" })]),
         )
         .unwrap()
     }

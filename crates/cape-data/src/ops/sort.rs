@@ -27,6 +27,8 @@ pub fn sort_perm(rel: &Relation, keys: &[AttrId]) -> Vec<usize> {
 /// Return a copy of `rel` sorted by `keys` (the paper's
 /// `SELECT * FROM D ORDER BY S`).
 pub fn sort_by(rel: &Relation, keys: &[AttrId]) -> Relation {
+    let mut span = cape_obs::span("data.sort");
+    span.add("rows_in", rel.num_rows() as u64);
     let perm = sort_perm(rel, keys);
     rel.take(&perm)
 }

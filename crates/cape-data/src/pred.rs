@@ -40,13 +40,7 @@ impl Predicate {
     /// query selection `σ_{F = f}` of the paper.
     pub fn key_match(attrs: &[AttrId], key: &[Value]) -> Predicate {
         debug_assert_eq!(attrs.len(), key.len());
-        Predicate::And(
-            attrs
-                .iter()
-                .zip(key)
-                .map(|(&a, v)| Predicate::Eq(a, v.clone()))
-                .collect(),
-        )
+        Predicate::And(attrs.iter().zip(key).map(|(&a, v)| Predicate::Eq(a, v.clone())).collect())
     }
 
     /// Evaluate against row `row` of `rel`.
@@ -74,8 +68,7 @@ mod tests {
     use crate::value::ValueType;
 
     fn rel() -> Relation {
-        let schema =
-            Schema::new([("venue", ValueType::Str), ("year", ValueType::Int)]).unwrap();
+        let schema = Schema::new([("venue", ValueType::Str), ("year", ValueType::Int)]).unwrap();
         Relation::from_rows(
             schema,
             vec![

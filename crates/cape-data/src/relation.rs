@@ -179,11 +179,7 @@ mod tests {
     use crate::value::ValueType;
 
     fn sample() -> Relation {
-        let schema = Schema::new([
-            ("author", ValueType::Str),
-            ("year", ValueType::Int),
-        ])
-        .unwrap();
+        let schema = Schema::new([("author", ValueType::Str), ("year", ValueType::Int)]).unwrap();
         Relation::from_rows(
             schema,
             vec![

@@ -84,10 +84,7 @@ impl Schema {
 
     /// Look up an attribute id by name.
     pub fn attr_id(&self, name: &str) -> Result<AttrId> {
-        self.by_name
-            .get(name)
-            .copied()
-            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+        self.by_name.get(name).copied().ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
     }
 
     /// Resolve several names to ids at once.

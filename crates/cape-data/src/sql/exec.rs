@@ -231,11 +231,9 @@ fn compile_expr(expr: &Expr, rel: &Relation) -> Result<Compiled, SqlError> {
     Ok(match expr {
         Expr::Col(name) => Compiled::Col(col(name)?),
         Expr::Lit(v) => Compiled::Lit(v.clone()),
-        Expr::Cmp { op, lhs, rhs } => Compiled::Cmp(
-            *op,
-            Box::new(compile_expr(lhs, rel)?),
-            Box::new(compile_expr(rhs, rel)?),
-        ),
+        Expr::Cmp { op, lhs, rhs } => {
+            Compiled::Cmp(*op, Box::new(compile_expr(lhs, rel)?), Box::new(compile_expr(rhs, rel)?))
+        }
         Expr::And(a, b) => {
             Compiled::And(Box::new(compile_expr(a, rel)?), Box::new(compile_expr(b, rel)?))
         }
@@ -300,9 +298,8 @@ mod tests {
 
     #[test]
     fn complex_where() {
-        let out = run(
-            "SELECT * FROM pub WHERE (author = 'ax' AND year >= 2007) OR venue IN ('ICDE')",
-        );
+        let out =
+            run("SELECT * FROM pub WHERE (author = 'ax' AND year >= 2007) OR venue IN ('ICDE')");
         assert_eq!(out.num_rows(), 3);
         let out = run("SELECT * FROM pub WHERE year BETWEEN 2007 AND 2008 AND NOT venue = 'KDD'");
         assert_eq!(out.num_rows(), 2);
@@ -311,9 +308,7 @@ mod tests {
 
     #[test]
     fn order_and_limit() {
-        let out = run(
-            "SELECT author, year, cites FROM pub ORDER BY cites DESC LIMIT 2",
-        );
+        let out = run("SELECT author, year, cites FROM pub ORDER BY cites DESC LIMIT 2");
         assert_eq!(out.num_rows(), 2);
         assert_eq!(out.value(0, 2), &Value::Int(10));
         assert_eq!(out.value(1, 2), &Value::Int(8));
@@ -351,10 +346,7 @@ mod tests {
         assert!(e.is_err(), "group by without aggregate");
         // GROUP BY only accepts column names; an aggregate there is a parse error.
         assert!(parse("SELECT venue FROM t GROUP BY author, count(*)").is_err());
-        let e = execute(
-            &parse("SELECT venue, count(*) FROM t GROUP BY author").unwrap(),
-            &pubs(),
-        );
+        let e = execute(&parse("SELECT venue, count(*) FROM t GROUP BY author").unwrap(), &pubs());
         assert!(e.is_err(), "ungrouped projected column");
         let e = execute(
             &parse("SELECT author, count(*) FROM t GROUP BY author ORDER BY bogus").unwrap(),
@@ -367,10 +359,8 @@ mod tests {
 
     #[test]
     fn the_paper_q0() {
-        let out = run(
-            "SELECT author, year, venue, count(*) AS pubcnt FROM Pub \
-             GROUP BY author, year, venue ORDER BY author, year, venue",
-        );
+        let out = run("SELECT author, year, venue, count(*) AS pubcnt FROM Pub \
+             GROUP BY author, year, venue ORDER BY author, year, venue");
         assert_eq!(out.num_rows(), 5);
         assert_eq!(out.schema().names(), vec!["author", "year", "venue", "pubcnt"]);
     }

@@ -110,9 +110,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                 i = next;
             }
             '"' => {
-                let end = input[i + 1..]
-                    .find('"')
-                    .ok_or(SqlError::Lex { offset: i, message: "unterminated identifier".into() })?;
+                let end = input[i + 1..].find('"').ok_or(SqlError::Lex {
+                    offset: i,
+                    message: "unterminated identifier".into(),
+                })?;
                 out.push(Token::QuotedIdent(input[i + 1..i + 1 + end].to_string()));
                 i += end + 2;
             }
@@ -238,10 +239,7 @@ mod tests {
         let ops: Vec<&Token> = toks
             .iter()
             .filter(|t| {
-                matches!(
-                    t,
-                    Token::Eq | Token::Ne | Token::Le | Token::Ge | Token::Lt | Token::Gt
-                )
+                matches!(t, Token::Eq | Token::Ne | Token::Le | Token::Ge | Token::Lt | Token::Gt)
             })
             .collect();
         assert_eq!(ops.len(), 7);

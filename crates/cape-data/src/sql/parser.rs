@@ -179,11 +179,7 @@ impl Parser {
         // Aggregate call?
         if let Some(func) = agg_func(&name) {
             if self.eat_if(&Token::LParen) {
-                let arg = if self.eat_if(&Token::Star) {
-                    None
-                } else {
-                    Some(self.ident()?)
-                };
+                let arg = if self.eat_if(&Token::Star) { None } else { Some(self.ident()?) };
                 self.expect(Token::RParen)?;
                 if func != AggFunc::Count && arg.is_none() {
                     return Err(self.error("only count may aggregate `*`"));
@@ -277,9 +273,7 @@ impl Parser {
                 self.pos += 1;
                 Ok(Expr::Lit(Value::Null))
             }
-            Some(Token::Ident(_)) | Some(Token::QuotedIdent(_)) => {
-                Ok(Expr::Col(self.ident()?))
-            }
+            Some(Token::Ident(_)) | Some(Token::QuotedIdent(_)) => Ok(Expr::Col(self.ident()?)),
             _ => Ok(Expr::Lit(self.literal()?)),
         }
     }

@@ -34,6 +34,8 @@ impl AttrStats {
 
 /// Compute [`AttrStats`] for a single attribute.
 pub fn attr_stats(rel: &Relation, attr: AttrId) -> Result<AttrStats> {
+    let mut span = cape_obs::span("data.attr_stats");
+    span.add("rows_in", rel.num_rows() as u64);
     rel.schema().attr(attr)?;
     let mut distinct: HashSet<&Value> = HashSet::new();
     let mut nulls = 0usize;
@@ -110,7 +112,8 @@ mod tests {
     #[test]
     fn constant_column_has_no_range() {
         let schema = Schema::new([("x", ValueType::Int)]).unwrap();
-        let r = Relation::from_rows(schema, vec![vec![Value::Int(3)], vec![Value::Int(3)]]).unwrap();
+        let r =
+            Relation::from_rows(schema, vec![vec![Value::Int(3)], vec![Value::Int(3)]]).unwrap();
         let s = attr_stats(&r, 0).unwrap();
         assert_eq!(s.range(), None);
         assert_eq!(s.distinct, 1);

@@ -19,9 +19,8 @@ fn arb_relation(max_rows: usize) -> impl Strategy<Value = Relation> {
         .unwrap();
         Relation::from_rows(
             schema,
-            rows.into_iter().map(|(c, n, v)| {
-                vec![Value::str(format!("c{c}")), Value::Int(n), Value::Int(v)]
-            }),
+            rows.into_iter()
+                .map(|(c, n, v)| vec![Value::str(format!("c{c}")), Value::Int(n), Value::Int(v)]),
         )
         .unwrap()
     })
@@ -205,8 +204,8 @@ mod sql_properties {
             prop_assert_eq!(out.num_rows(), k.min(rel.num_rows()));
             let mut all: Vec<i64> = rel.column(1).iter().map(|v| v.as_i64().unwrap()).collect();
             all.sort_unstable();
-            for i in 0..out.num_rows() {
-                prop_assert_eq!(out.value(i, 0).as_i64().unwrap(), all[i]);
+            for (i, &expected) in all.iter().take(out.num_rows()).enumerate() {
+                prop_assert_eq!(out.value(i, 0).as_i64().unwrap(), expected);
             }
         }
 
@@ -234,9 +233,8 @@ fn arb_relation_pub(max_rows: usize) -> impl Strategy<Value = Relation> {
         .unwrap();
         Relation::from_rows(
             schema,
-            rows.into_iter().map(|(c, n, v)| {
-                vec![Value::str(format!("c{c}")), Value::Int(n), Value::Int(v)]
-            }),
+            rows.into_iter()
+                .map(|(c, n, v)| vec![Value::str(format!("c{c}")), Value::Int(n), Value::Int(v)]),
         )
         .unwrap()
     })

@@ -124,14 +124,7 @@ pub fn generate(cfg: &DblpConfig) -> Relation {
             let n_papers = (expected + noise).round().max(0.0) as usize;
             for _ in 0..n_papers {
                 let v = (venue_zipf.sample(&mut rng) + offset) % cfg.n_venues;
-                push_pub(
-                    &mut rel,
-                    &mut interner,
-                    &mut pub_counter,
-                    &author,
-                    year,
-                    &venue_names[v],
-                );
+                push_pub(&mut rel, &mut interner, &mut pub_counter, &author, year, &venue_names[v]);
             }
         }
     }
@@ -146,14 +139,8 @@ pub fn generate(cfg: &DblpConfig) -> Relation {
 fn case_study_counts() -> Vec<(&'static str, i64, usize)> {
     let mut out = Vec::new();
     // (venue, base rate per year 2004..=2013)
-    let venues: [(&str, usize); 6] = [
-        ("SIGKDD", 4),
-        ("ICDE", 4),
-        ("VLDB", 3),
-        ("ICDM", 3),
-        ("SIGMOD", 2),
-        ("TKDE", 2),
-    ];
+    let venues: [(&str, usize); 6] =
+        [("SIGKDD", 4), ("ICDE", 4), ("VLDB", 3), ("ICDM", 3), ("SIGMOD", 2), ("TKDE", 2)];
     for (venue, base) in venues {
         for year in 2004..=2013 {
             let mut n = base;
@@ -207,9 +194,8 @@ fn push_pub(
 
 fn venue_name(i: usize) -> String {
     // A few recognizable names first, then synthetic ones.
-    const KNOWN: [&str; 10] = [
-        "SIGKDD", "ICDE", "VLDB", "ICDM", "SIGMOD", "TKDE", "WSDM", "CIKM", "EDBT", "PODS",
-    ];
+    const KNOWN: [&str; 10] =
+        ["SIGKDD", "ICDE", "VLDB", "ICDM", "SIGMOD", "TKDE", "WSDM", "CIKM", "EDBT", "PODS"];
     KNOWN.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("VENUE{i}"))
 }
 
@@ -229,10 +215,10 @@ mod tests {
         let mut cfg2 = cfg;
         cfg2.seed = 7;
         let c = generate(&cfg2);
-        assert!(c
-            .iter_rows()
-            .zip(a.iter_rows())
-            .any(|(x, y)| x != y), "different seeds should differ");
+        assert!(
+            c.iter_rows().zip(a.iter_rows()).any(|(x, y)| x != y),
+            "different seeds should differ"
+        );
     }
 
     #[test]

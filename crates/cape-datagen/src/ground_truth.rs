@@ -45,6 +45,7 @@ pub struct InjectedCase {
 ///
 /// Returns `None` when the source coordinate has too few rows (< 4) to
 /// carry a visible outlier.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's (F, v, direction, magnitude) spec
 pub fn inject(
     rel: &Relation,
     f_attrs: &[AttrId],
@@ -79,8 +80,7 @@ pub fn inject(
     if let Predicate::And(parts) = &mut pred_rm {
         parts.push(Predicate::Eq(v_attr, removed_at.clone()));
     }
-    let mut removable: Vec<usize> =
-        (0..rel.num_rows()).filter(|&i| pred_rm.eval(rel, i)).collect();
+    let mut removable: Vec<usize> = (0..rel.num_rows()).filter(|&i| pred_rm.eval(rel, i)).collect();
     if removable.len() < moved {
         return None;
     }
@@ -88,8 +88,7 @@ pub fn inject(
     for i in (1..removable.len()).rev() {
         removable.swap(i, rng.gen_range(0..=i));
     }
-    let to_remove: std::collections::HashSet<usize> =
-        removable.into_iter().take(moved).collect();
+    let to_remove: std::collections::HashSet<usize> = removable.into_iter().take(moved).collect();
 
     let mut out = filter(rel, |_, i| !to_remove.contains(&i));
 
@@ -154,8 +153,8 @@ pub fn pick_coordinates(
             by_frag.entry(f).or_default().push((v, n));
         }
     }
-    let mut frags: Vec<(Vec<Value>, Vec<(Value, usize)>)> =
-        by_frag.into_iter().filter(|(_, vs)| vs.len() >= 2).collect();
+    type Fragment = (Vec<Value>, Vec<(Value, usize)>);
+    let mut frags: Vec<Fragment> = by_frag.into_iter().filter(|(_, vs)| vs.len() >= 2).collect();
     if frags.is_empty() {
         return None;
     }
@@ -240,9 +239,7 @@ mod tests {
         let agg_before =
             aggregate(&rel, &[attrs::AUTHOR], &[AggSpec::count_star()]).unwrap().relation;
         let agg_after =
-            aggregate(&case.relation, &[attrs::AUTHOR], &[AggSpec::count_star()])
-                .unwrap()
-                .relation;
+            aggregate(&case.relation, &[attrs::AUTHOR], &[AggSpec::count_star()]).unwrap().relation;
         for i in 0..agg_before.num_rows() {
             let author = agg_before.value(i, 0);
             if author == &f[0] {

@@ -86,13 +86,9 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for r in 0..5 {
-            let freq = counts[r] as f64 / n as f64;
-            assert!(
-                (freq - z.pmf(r)).abs() < 0.01,
-                "rank {r}: freq {freq}, pmf {}",
-                z.pmf(r)
-            );
+        for (r, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / n as f64;
+            assert!((freq - z.pmf(r)).abs() < 0.01, "rank {r}: freq {freq}, pmf {}", z.pmf(r));
         }
     }
 

@@ -1,0 +1,111 @@
+//! Leveled events and pluggable sinks.
+
+use crate::json::Json;
+use crate::level::Level;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One log event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Subsystem that emitted the event (`cli`, `mining`, …).
+    pub target: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// Time since the receiving recorder started.
+    pub elapsed: Duration,
+}
+
+/// A destination for events. Sinks must tolerate concurrent calls from
+/// multiple threads (the recorder serializes per sink).
+pub trait Sink: Send {
+    /// Deliver one event.
+    fn emit(&mut self, event: &Event);
+}
+
+/// Pretty-printer for interactive stderr output:
+/// `[  12.345s info ] mining: found 42 patterns`.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&mut self, event: &Event) {
+        eprintln!(
+            "[{:>9.3}s {:<5}] {}: {}",
+            event.elapsed.as_secs_f64(),
+            event.level,
+            event.target,
+            event.message
+        );
+    }
+}
+
+/// Machine-readable JSON-lines sink: one object per event.
+pub struct JsonLinesSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesSink {
+    /// Wrap any writer (a file, a `Vec<u8>` buffer in tests, …).
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonLinesSink { writer: Mutex::new(writer) }
+    }
+}
+
+impl std::fmt::Debug for JsonLinesSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonLinesSink")
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn emit(&mut self, event: &Event) {
+        let line = Json::Obj(vec![
+            ("elapsed_ns".into(), Json::Num(event.elapsed.as_nanos() as f64)),
+            ("level".into(), Json::Str(event.level.name().into())),
+            ("target".into(), Json::Str(event.target.into())),
+            ("message".into(), Json::Str(event.message.clone())),
+        ]);
+        let mut w = self.writer.lock().expect("sink lock");
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn json_lines_are_parseable() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut sink = JsonLinesSink::new(Box::new(Shared(Arc::clone(&buf))));
+        sink.emit(&Event {
+            level: Level::Warn,
+            target: "test",
+            message: "hello \"world\"".into(),
+            elapsed: Duration::from_millis(5),
+        });
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let v = Json::parse(text.trim()).unwrap();
+        assert_eq!(v.get("level").and_then(Json::as_str), Some("warn"));
+        assert_eq!(v.get("message").and_then(Json::as_str), Some("hello \"world\""));
+        assert_eq!(v.get("elapsed_ns").and_then(Json::as_u64), Some(5_000_000));
+    }
+}

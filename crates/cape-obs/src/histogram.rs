@@ -1,0 +1,141 @@
+//! Log-scale latency histogram with lock-free recording.
+//!
+//! Values (nanoseconds) land in power-of-two buckets: bucket `i` covers
+//! `[2^(i-1), 2^i)` with bucket 0 holding zero. Quantiles are estimated as
+//! the geometric midpoint of the bucket containing the requested rank, so
+//! they are accurate within a factor of √2 — plenty for the p50/p95/p99
+//! summaries the telemetry snapshot reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 64;
+
+/// A concurrent log₂-bucketed histogram of `u64` observations.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Upper bound (exclusive) of bucket `i`; its geometric midpoint is the
+/// quantile estimate.
+fn bucket_mid(i: usize) -> u64 {
+    if i == 0 {
+        return 0;
+    }
+    let low = 1u64 << (i - 1);
+    let high = low.saturating_mul(2);
+    // Geometric-ish midpoint, safe against overflow in the top bucket.
+    low + (high - low) / 2
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        self.counts[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (exact, not bucketed). Zero when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`). Zero when empty; the
+    /// estimate never exceeds [`Histogram::max`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let last = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate().take(last + 1) {
+            seen += c;
+            if seen >= rank {
+                // In the top occupied bucket the exact max is a better
+                // estimate than the midpoint (and makes p100 exact).
+                return if i == last { self.max() } else { bucket_mid(i).min(self.max()) };
+            }
+        }
+        self.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1024), 11);
+    }
+
+    #[test]
+    fn quantiles_on_known_inputs() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        // Log buckets: estimates within a factor of 2 of the true value.
+        assert!((250..=1000).contains(&p50), "p50 = {p50}");
+        assert!((475..=1000).contains(&p95), "p95 = {p95}");
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        h.observe(7);
+        assert_eq!(h.quantile(0.5), 7); // clamped to max
+        assert_eq!(h.quantile(1.0), 7);
+    }
+}

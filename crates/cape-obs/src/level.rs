@@ -1,0 +1,86 @@
+//! Event severity levels.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Severity of an [`crate::Event`], ordered from most to least severe.
+///
+/// A level `l` passes a filter at `max` when `l <= max`, so
+/// `Level::Error < Level::Trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// The operation failed.
+    Error,
+    /// Something surprising that does not stop the run.
+    Warn,
+    /// High-level progress (default for interactive output).
+    Info,
+    /// Detailed diagnostics (`-v`).
+    Debug,
+    /// Per-span noise (`--trace`).
+    Trace,
+}
+
+impl Level {
+    /// All levels, most severe first.
+    pub const ALL: [Level; 5] =
+        [Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace];
+
+    /// Lower-case name (`"error"`, `"warn"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        Level::ALL
+            .into_iter()
+            .find(|l| l.name() == s)
+            .ok_or_else(|| format!("unknown level `{s}` (error|warn|info|debug|trace)"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Trace);
+    }
+
+    #[test]
+    fn round_trips_names() {
+        for l in Level::ALL {
+            assert_eq!(l.name().parse::<Level>().unwrap(), l);
+            assert_eq!(Level::from_u8(l as u8), l);
+        }
+        assert!("loud".parse::<Level>().is_err());
+    }
+}

@@ -1,0 +1,352 @@
+#![warn(missing_docs)]
+
+//! # cape-obs — observability substrate for the CAPE workspace
+//!
+//! Zero-dependency (std-only) tracing spans, metrics, leveled events, and
+//! JSON telemetry:
+//!
+//! * [`Recorder`] — one unit of collection (a CLI session, one miner run,
+//!   one test) holding a metrics registry, a span collector, and sinks;
+//! * [`span`] — RAII scoped timers with parent/child nesting and per-span
+//!   counters; parallel workers [attach](ThreadContext) the spawning
+//!   thread's context so their spans aggregate into the same tree;
+//! * [`counter_add`] / [`gauge_set`] / [`observe_ns`] — named metrics with
+//!   log-scale latency histograms (p50/p95/p99/max);
+//! * [`event`] and the level helpers ([`error`], [`warn`], [`info`],
+//!   [`debug`], [`trace`]) — leveled events with pluggable sinks
+//!   ([`StderrSink`] pretty-printer, [`JsonLinesSink`]);
+//! * [`TelemetrySnapshot`] — a JSON-exportable view of everything above,
+//!   including the query/regression/other phase breakdown mining reports.
+//!
+//! Instrumentation is free when no recorder is installed on the calling
+//! thread: every entry point checks a thread-local stack first and
+//! returns without taking a timestamp or a lock.
+//!
+//! ```
+//! use cape_obs as obs;
+//!
+//! let rec = obs::Recorder::new();
+//! let _install = rec.install();
+//! {
+//!     let mut span = obs::span("data.sort");
+//!     span.add("rows", 128);
+//! }
+//! obs::counter_add("mining.candidates_considered", 3);
+//! drop(_install);
+//!
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counter("mining.candidates_considered"), 3);
+//! assert_eq!(snap.spans[0].name, "data.sort");
+//! ```
+
+mod event;
+mod histogram;
+mod json;
+mod level;
+mod recorder;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use event::{Event, JsonLinesSink, Sink, StderrSink};
+pub use histogram::Histogram;
+pub use json::Json;
+pub use level::Level;
+pub use recorder::Recorder;
+pub use registry::Registry;
+pub use snapshot::{HistogramSummary, PhaseBreakdown, SpanNode, TelemetrySnapshot};
+pub use span::{SpanAgg, SpanCollector, SpanPath};
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+#[derive(Default)]
+struct ThreadState {
+    recorders: Vec<Recorder>,
+    path: Vec<&'static str>,
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadState> = RefCell::new(ThreadState::default());
+}
+
+/// Clones of the recorders currently installed on this thread (innermost
+/// last). Used by instrumentation after dropping the thread-local borrow.
+fn installed() -> Vec<Recorder> {
+    TLS.with(|t| t.borrow().recorders.clone())
+}
+
+fn any_installed() -> bool {
+    TLS.with(|t| !t.borrow().recorders.is_empty())
+}
+
+impl Recorder {
+    /// Install this recorder on the current thread until the guard drops.
+    /// Guards must drop in LIFO order (the natural scoping).
+    pub fn install(&self) -> InstallGuard {
+        TLS.with(|t| t.borrow_mut().recorders.push(self.clone()));
+        InstallGuard { recorder: self.clone(), _not_send: std::marker::PhantomData }
+    }
+}
+
+/// Uninstalls its recorder from the thread on drop.
+#[must_use = "the recorder is uninstalled when the guard drops"]
+pub struct InstallGuard {
+    recorder: Recorder,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        TLS.with(|t| {
+            let recorders = &mut t.borrow_mut().recorders;
+            let popped = recorders.pop();
+            debug_assert!(
+                popped.as_ref().is_some_and(|r| r.same_as(&self.recorder)),
+                "install guards dropped out of order"
+            );
+        });
+    }
+}
+
+/// A captured copy of the calling thread's observability context (the
+/// installed recorders and the open span path), for handing to worker
+/// threads so their spans and counters aggregate under the same tree.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadContext {
+    recorders: Vec<Recorder>,
+    path: Vec<&'static str>,
+}
+
+impl ThreadContext {
+    /// Capture the current thread's context.
+    pub fn capture() -> ThreadContext {
+        TLS.with(|t| {
+            let s = t.borrow();
+            ThreadContext { recorders: s.recorders.clone(), path: s.path.clone() }
+        })
+    }
+
+    /// Install this context on the current (worker) thread until the
+    /// guard drops. Any previously installed state is saved and restored.
+    pub fn attach(&self) -> AttachGuard {
+        let prev = TLS.with(|t| {
+            let mut s = t.borrow_mut();
+            ThreadState {
+                recorders: std::mem::replace(&mut s.recorders, self.recorders.clone()),
+                path: std::mem::replace(&mut s.path, self.path.clone()),
+            }
+        });
+        AttachGuard { prev: Some(prev), _not_send: std::marker::PhantomData }
+    }
+}
+
+/// Restores the thread's previous context on drop.
+#[must_use = "the context is detached when the guard drops"]
+pub struct AttachGuard {
+    prev: Option<ThreadState>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            TLS.with(|t| *t.borrow_mut() = prev);
+        }
+    }
+}
+
+/// RAII scoped timer. Created by [`span`]; records on drop into every
+/// recorder installed on the thread at that moment.
+#[must_use = "a span measures the scope it is alive in"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+    name: &'static str,
+    histogram: Option<&'static str>,
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl SpanGuard {
+    /// Attach (or bump) a per-span counter, flushed when the span closes.
+    pub fn add(&mut self, counter: &'static str, delta: u64) {
+        if self.start.is_none() {
+            return;
+        }
+        match self.counters.iter_mut().find(|(n, _)| *n == counter) {
+            Some((_, v)) => *v += delta,
+            None => self.counters.push((counter, delta)),
+        }
+    }
+
+    /// Whether any recorder is listening (false ⇒ the span is free).
+    pub fn is_active(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        let (recorders, path) = TLS.with(|t| {
+            let mut s = t.borrow_mut();
+            debug_assert_eq!(s.path.last(), Some(&self.name), "span guards dropped out of order");
+            let path = s.path.clone().into_boxed_slice();
+            s.path.pop();
+            (s.recorders.clone(), path)
+        });
+        for rec in &recorders {
+            rec.inner().spans.record(&path, elapsed_ns, &self.counters);
+            if let Some(hist) = self.histogram {
+                rec.inner().metrics.observe(hist, elapsed_ns);
+            }
+            if rec.emits(Level::Trace) {
+                rec.emit(
+                    Level::Trace,
+                    "span",
+                    &format!("{} closed in {elapsed_ns}ns", path.join("/")),
+                );
+            }
+        }
+    }
+}
+
+/// Open a span named `name` (scheme `subsystem.verb_noun`). No-op when no
+/// recorder is installed on this thread.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_impl(name, None)
+}
+
+/// Like [`span`], but additionally records the span's duration into the
+/// latency histogram `histogram` on every close.
+pub fn span_with_histogram(name: &'static str, histogram: &'static str) -> SpanGuard {
+    span_impl(name, Some(histogram))
+}
+
+fn span_impl(name: &'static str, histogram: Option<&'static str>) -> SpanGuard {
+    let active = TLS.with(|t| {
+        let mut s = t.borrow_mut();
+        if s.recorders.is_empty() {
+            false
+        } else {
+            s.path.push(name);
+            true
+        }
+    });
+    SpanGuard { start: active.then(Instant::now), name, histogram, counters: Vec::new() }
+}
+
+/// Add `delta` to the named counter in every installed recorder. A zero
+/// delta still registers the counter (so snapshots list it).
+pub fn counter_add(name: &'static str, delta: u64) {
+    for rec in installed() {
+        rec.inner().metrics.counter_add(name, delta);
+    }
+}
+
+/// Set the named gauge in every installed recorder.
+pub fn gauge_set(name: &'static str, value: f64) {
+    for rec in installed() {
+        rec.inner().metrics.gauge_set(name, value);
+    }
+}
+
+/// Record a nanosecond observation into the named latency histogram of
+/// every installed recorder.
+pub fn observe_ns(name: &'static str, ns: u64) {
+    for rec in installed() {
+        rec.inner().metrics.observe(name, ns);
+    }
+}
+
+/// Whether an event at `level` would reach any sink of any installed
+/// recorder — check before formatting an expensive message.
+pub fn enabled(level: Level) -> bool {
+    if !any_installed() {
+        return false;
+    }
+    installed().iter().any(|r| r.emits(level))
+}
+
+/// Emit a leveled event. The message closure runs only if some installed
+/// recorder has a sink accepting `level`.
+pub fn event(level: Level, target: &'static str, message: impl FnOnce() -> String) {
+    if !any_installed() {
+        return;
+    }
+    let recorders: Vec<Recorder> = installed().into_iter().filter(|r| r.emits(level)).collect();
+    if recorders.is_empty() {
+        return;
+    }
+    let msg = message();
+    for rec in recorders {
+        rec.emit(level, target, &msg);
+    }
+}
+
+/// Emit at [`Level::Error`].
+pub fn error(target: &'static str, message: impl FnOnce() -> String) {
+    event(Level::Error, target, message);
+}
+
+/// Emit at [`Level::Warn`].
+pub fn warn(target: &'static str, message: impl FnOnce() -> String) {
+    event(Level::Warn, target, message);
+}
+
+/// Emit at [`Level::Info`].
+pub fn info(target: &'static str, message: impl FnOnce() -> String) {
+    event(Level::Info, target, message);
+}
+
+/// Emit at [`Level::Debug`].
+pub fn debug(target: &'static str, message: impl FnOnce() -> String) {
+    event(Level::Debug, target, message);
+}
+
+/// Emit at [`Level::Trace`].
+pub fn trace(target: &'static str, message: impl FnOnce() -> String) {
+    event(Level::Trace, target, message);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_recorder_means_inactive_span() {
+        let s = span("data.sort");
+        assert!(!s.is_active());
+        counter_add("orphan", 1); // must not panic
+        assert!(!enabled(Level::Error));
+    }
+
+    #[test]
+    fn nested_recorders_both_observe() {
+        let outer = Recorder::new();
+        let inner = Recorder::new();
+        let _a = outer.install();
+        {
+            let _b = inner.install();
+            counter_add("k", 2);
+        }
+        counter_add("k", 1); // inner uninstalled: outer only
+        assert_eq!(outer.counter("k"), 3);
+        assert_eq!(inner.counter("k"), 2);
+    }
+
+    #[test]
+    fn span_nesting_builds_paths() {
+        let rec = Recorder::new();
+        let _g = rec.install();
+        {
+            let _outer = span("mine");
+            let _inner = span("data.sort");
+        }
+        drop(_g);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "mine");
+        assert_eq!(snap.spans[0].children[0].name, "data.sort");
+    }
+}

@@ -1,0 +1,131 @@
+//! The recorder: one unit of telemetry collection (a CLI session, one
+//! miner run, one test), combining a metrics registry, a span collector,
+//! and an event pipeline with leveled sinks.
+
+use crate::event::{Event, Sink};
+use crate::level::Level;
+use crate::registry::Registry;
+use crate::snapshot::{build_tree, HistogramSummary, TelemetrySnapshot};
+use crate::span::SpanCollector;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A cheaply clonable handle to one telemetry collection unit.
+///
+/// Recorders do nothing until [installed](Recorder::install) on a thread;
+/// every instrumentation call then records into *all* recorders installed
+/// on the calling thread, so a per-run recorder (for `MiningStats`) and an
+/// outer session recorder (for `--metrics` export) both observe the run.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").field("level", &self.level()).finish_non_exhaustive()
+    }
+}
+
+pub(crate) struct Inner {
+    pub(crate) start: Instant,
+    level: AtomicU8,
+    pub(crate) metrics: Registry,
+    pub(crate) spans: SpanCollector,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            start: Instant::now(),
+            level: AtomicU8::new(Level::Info as u8),
+            metrics: Registry::new(),
+            spans: SpanCollector::new(),
+            sinks: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Recorder {
+    /// A fresh recorder at [`Level::Info`] with no sinks.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Maximum level events must have to reach this recorder's sinks.
+    pub fn level(&self) -> Level {
+        Level::from_u8(self.inner.level.load(Ordering::Relaxed))
+    }
+
+    /// Set the level filter.
+    pub fn set_level(&self, level: Level) {
+        self.inner.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Attach a sink; events at or below the level filter are delivered.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        self.inner.sinks.lock().expect("sink lock").push(sink);
+    }
+
+    /// Whether an event at `level` would reach any sink.
+    pub fn emits(&self, level: Level) -> bool {
+        level <= self.level() && !self.inner.sinks.lock().expect("sink lock").is_empty()
+    }
+
+    /// Deliver an event (already past the level check) to every sink.
+    pub(crate) fn emit(&self, level: Level, target: &'static str, message: &str) {
+        let event = Event {
+            level,
+            target,
+            message: message.to_string(),
+            elapsed: self.inner.start.elapsed(),
+        };
+        for sink in self.inner.sinks.lock().expect("sink lock").iter_mut() {
+            sink.emit(&event);
+        }
+    }
+
+    pub(crate) fn inner(&self) -> &Inner {
+        &self.inner
+    }
+
+    /// Whether two handles reference the same recorder.
+    pub fn same_as(&self, other: &Recorder) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// A counter's current value (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.metrics.counter(name)
+    }
+
+    /// Export the current spans and metrics.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot {
+            spans: build_tree(self.inner.spans.entries()),
+            ..Default::default()
+        };
+        self.inner.metrics.for_each_counter(|name, v| {
+            snap.counters.insert(name.to_string(), v);
+        });
+        self.inner.metrics.for_each_gauge(|name, v| {
+            snap.gauges.insert(name.to_string(), v);
+        });
+        self.inner.metrics.for_each_histogram(|name, h| {
+            snap.histograms.insert(
+                name.to_string(),
+                HistogramSummary {
+                    count: h.count(),
+                    sum_ns: h.sum(),
+                    p50_ns: h.quantile(0.5),
+                    p95_ns: h.quantile(0.95),
+                    p99_ns: h.quantile(0.99),
+                    max_ns: h.max(),
+                },
+            );
+        });
+        snap
+    }
+}

@@ -1,0 +1,130 @@
+//! The metrics registry: named counters, gauges, and latency histograms.
+//!
+//! Metric names are `&'static str` in the `subsystem.verb_noun` scheme
+//! (`mining.candidates_considered`, `regress.fit_ns`). The hot path — an
+//! existing counter — takes a read lock plus one atomic add.
+
+use crate::histogram::Histogram;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Thread-safe registry of counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
+    gauges: RwLock<HashMap<&'static str, Arc<AtomicU64>>>, // f64 bits
+    histograms: RwLock<HashMap<&'static str, Arc<Histogram>>>,
+}
+
+fn intern<T: Default>(map: &RwLock<HashMap<&'static str, Arc<T>>>, name: &'static str) -> Arc<T> {
+    if let Some(v) = map.read().expect("registry lock").get(name) {
+        return Arc::clone(v);
+    }
+    Arc::clone(map.write().expect("registry lock").entry(name).or_default())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Add `delta` to a counter, creating it at zero first. A zero delta
+    /// still creates the counter, so snapshots list every metric a run
+    /// publishes even when nothing was counted.
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        intern(&self.counters, name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current counter value (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Set a gauge to `value`.
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        intern(&self.gauges, name).store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+
+    /// Record one observation into a histogram, creating it if needed.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        intern(&self.histograms, name).observe(value);
+    }
+
+    /// The histogram registered under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        self.histograms.read().expect("registry lock").get(name).map(Arc::clone)
+    }
+
+    /// Visit every counter as `(name, value)`.
+    pub fn for_each_counter(&self, mut f: impl FnMut(&'static str, u64)) {
+        for (name, c) in self.counters.read().expect("registry lock").iter() {
+            f(name, c.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Visit every gauge as `(name, value)`.
+    pub fn for_each_gauge(&self, mut f: impl FnMut(&'static str, f64)) {
+        for (name, g) in self.gauges.read().expect("registry lock").iter() {
+            f(name, f64::from_bits(g.load(Ordering::Relaxed)));
+        }
+    }
+
+    /// Visit every histogram.
+    pub fn for_each_histogram(&self, mut f: impl FnMut(&'static str, &Histogram)) {
+        for (name, h) in self.histograms.read().expect("registry lock").iter() {
+            f(name, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.counter_add("a.b", 2);
+        r.counter_add("a.b", 3);
+        assert_eq!(r.counter("a.b"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        r.counter_add("zeroed", 0);
+        let mut names = Vec::new();
+        r.for_each_counter(|n, _| names.push(n));
+        assert!(names.contains(&"zeroed"), "zero add must still register");
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = Registry::new();
+        assert_eq!(r.gauge("g"), None);
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", -2.25);
+        assert_eq!(r.gauge("g"), Some(-2.25));
+    }
+
+    #[test]
+    fn histograms_record() {
+        let r = Registry::new();
+        r.observe("h", 10);
+        r.observe("h", 20);
+        let h = r.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 20);
+    }
+}

@@ -1,0 +1,346 @@
+//! Exportable telemetry: a point-in-time view of one recorder's spans and
+//! metrics, convertible to and from JSON for `results/` files and bench
+//! reports.
+
+use crate::json::Json;
+use crate::span::{SpanAgg, SpanPath};
+use std::collections::BTreeMap;
+
+/// One node of the span tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanNode {
+    /// Span name (`subsystem.verb_noun`).
+    pub name: String,
+    /// Times this span closed. Zero for a node that only exists as an
+    /// ancestor of recorded spans (e.g. a still-open parent).
+    pub count: u64,
+    /// Total wall-clock nanoseconds (children included).
+    pub total_ns: u64,
+    /// Per-span counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Child spans, sorted by name.
+    pub children: Vec<SpanNode>,
+}
+
+/// Summary of one latency histogram.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations (nanoseconds).
+    pub sum_ns: u64,
+    /// Median estimate.
+    pub p50_ns: u64,
+    /// 95th-percentile estimate.
+    pub p95_ns: u64,
+    /// 99th-percentile estimate.
+    pub p99_ns: u64,
+    /// Exact maximum.
+    pub max_ns: u64,
+}
+
+/// The per-phase breakdown the paper's Figure 4 plots: relational query
+/// time (`data.*` spans), regression time (`regress.*` spans), and the
+/// residual, relative to the run's total wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseBreakdown {
+    /// Total wall-clock nanoseconds of the outermost spans.
+    pub total_ns: u64,
+    /// Nanoseconds inside relational operators.
+    pub query_ns: u64,
+    /// Nanoseconds inside regression fitting.
+    pub regression_ns: u64,
+    /// `total − query − regression`, floored at zero (parallel runs sum
+    /// per-worker CPU time, which may exceed wall clock).
+    pub other_ns: u64,
+}
+
+/// A point-in-time export of a recorder's telemetry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// Root spans (no open ancestor when they were recorded).
+    pub spans: Vec<SpanNode>,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Build the span tree from flat `(path, aggregate)` entries.
+pub(crate) fn build_tree(entries: Vec<(SpanPath, SpanAgg)>) -> Vec<SpanNode> {
+    let mut roots: Vec<SpanNode> = Vec::new();
+    for (path, agg) in entries {
+        let mut level = &mut roots;
+        for (depth, &seg) in path.iter().enumerate() {
+            let idx = match level.iter().position(|n| n.name == seg) {
+                Some(i) => i,
+                None => {
+                    level.push(SpanNode { name: seg.to_string(), ..SpanNode::default() });
+                    level.len() - 1
+                }
+            };
+            if depth + 1 == path.len() {
+                let node = &mut level[idx];
+                node.count = agg.count;
+                node.total_ns = agg.total_ns;
+                node.counters = agg.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+                break;
+            }
+            level = &mut level[idx].children;
+        }
+    }
+    sort_tree(&mut roots);
+    roots
+}
+
+fn sort_tree(nodes: &mut [SpanNode]) {
+    nodes.sort_by(|a, b| a.name.cmp(&b.name));
+    for n in nodes.iter_mut() {
+        sort_tree(&mut n.children);
+    }
+}
+
+enum Phase {
+    Query,
+    Regression,
+    Other,
+}
+
+fn phase_of(name: &str) -> Phase {
+    if name.starts_with("data.") {
+        Phase::Query
+    } else if name.starts_with("regress.") {
+        Phase::Regression
+    } else {
+        Phase::Other
+    }
+}
+
+/// Returns this subtree's contribution to total time while accumulating
+/// query/regression time. A node that never closed (count 0) contributes
+/// the sum of its children instead of its own (zero) duration.
+fn visit(node: &SpanNode, ph: &mut PhaseBreakdown) -> u64 {
+    match phase_of(&node.name) {
+        Phase::Query if node.count > 0 => {
+            ph.query_ns += node.total_ns;
+            node.total_ns
+        }
+        Phase::Regression if node.count > 0 => {
+            ph.regression_ns += node.total_ns;
+            node.total_ns
+        }
+        _ => {
+            let child_sum: u64 = node.children.iter().map(|c| visit(c, ph)).sum();
+            if node.count > 0 {
+                node.total_ns
+            } else {
+                child_sum
+            }
+        }
+    }
+}
+
+impl TelemetrySnapshot {
+    /// A counter's value (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Derive the query/regression/other breakdown from the span tree.
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        let mut ph = PhaseBreakdown::default();
+        for root in &self.spans {
+            ph.total_ns += visit(root, &mut ph);
+        }
+        ph.other_ns = ph.total_ns.saturating_sub(ph.query_ns + ph.regression_ns);
+        ph
+    }
+
+    /// Serialize to a JSON object (spans, counters, gauges, histograms,
+    /// plus the derived `phases` block).
+    pub fn to_json(&self) -> Json {
+        let ph = self.phase_breakdown();
+        Json::Obj(vec![
+            (
+                "phases".into(),
+                Json::Obj(vec![
+                    ("total_ns".into(), Json::Num(ph.total_ns as f64)),
+                    ("query_ns".into(), Json::Num(ph.query_ns as f64)),
+                    ("regression_ns".into(), Json::Num(ph.regression_ns as f64)),
+                    ("other_ns".into(), Json::Num(ph.other_ns as f64)),
+                ]),
+            ),
+            ("spans".into(), Json::Arr(self.spans.iter().map(span_to_json).collect())),
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(self.gauges.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect()),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| {
+                            (
+                                k.clone(),
+                                Json::Obj(vec![
+                                    ("count".into(), Json::Num(h.count as f64)),
+                                    ("sum_ns".into(), Json::Num(h.sum_ns as f64)),
+                                    ("p50_ns".into(), Json::Num(h.p50_ns as f64)),
+                                    ("p95_ns".into(), Json::Num(h.p95_ns as f64)),
+                                    ("p99_ns".into(), Json::Num(h.p99_ns as f64)),
+                                    ("max_ns".into(), Json::Num(h.max_ns as f64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a snapshot previously produced by [`TelemetrySnapshot::to_json`].
+    pub fn from_json(v: &Json) -> Result<TelemetrySnapshot, String> {
+        let mut snap = TelemetrySnapshot::default();
+        if let Some(items) = v.get("spans").and_then(Json::as_arr) {
+            snap.spans = items.iter().map(span_from_json).collect::<Result<_, _>>()?;
+        }
+        if let Some(fields) = v.get("counters").and_then(Json::as_obj) {
+            for (k, val) in fields {
+                snap.counters
+                    .insert(k.clone(), val.as_u64().ok_or("counter value must be a number")?);
+            }
+        }
+        if let Some(fields) = v.get("gauges").and_then(Json::as_obj) {
+            for (k, val) in fields {
+                snap.gauges.insert(k.clone(), val.as_f64().ok_or("gauge value must be a number")?);
+            }
+        }
+        if let Some(fields) = v.get("histograms").and_then(Json::as_obj) {
+            for (k, val) in fields {
+                let field = |name: &str| {
+                    val.get(name).and_then(Json::as_u64).ok_or_else(|| format!("missing {name}"))
+                };
+                snap.histograms.insert(
+                    k.clone(),
+                    HistogramSummary {
+                        count: field("count")?,
+                        sum_ns: field("sum_ns")?,
+                        p50_ns: field("p50_ns")?,
+                        p95_ns: field("p95_ns")?,
+                        p99_ns: field("p99_ns")?,
+                        max_ns: field("max_ns")?,
+                    },
+                );
+            }
+        }
+        Ok(snap)
+    }
+}
+
+fn span_to_json(node: &SpanNode) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(node.name.clone())),
+        ("count".into(), Json::Num(node.count as f64)),
+        ("total_ns".into(), Json::Num(node.total_ns as f64)),
+        (
+            "counters".into(),
+            Json::Obj(
+                node.counters.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect(),
+            ),
+        ),
+        ("children".into(), Json::Arr(node.children.iter().map(span_to_json).collect())),
+    ])
+}
+
+fn span_from_json(v: &Json) -> Result<SpanNode, String> {
+    let mut node = SpanNode {
+        name: v.get("name").and_then(Json::as_str).ok_or("span missing name")?.to_string(),
+        count: v.get("count").and_then(Json::as_u64).ok_or("span missing count")?,
+        total_ns: v.get("total_ns").and_then(Json::as_u64).ok_or("span missing total_ns")?,
+        ..SpanNode::default()
+    };
+    if let Some(fields) = v.get("counters").and_then(Json::as_obj) {
+        for (k, val) in fields {
+            node.counters.insert(k.clone(), val.as_u64().ok_or("span counter must be a number")?);
+        }
+    }
+    if let Some(items) = v.get("children").and_then(Json::as_arr) {
+        node.children = items.iter().map(span_from_json).collect::<Result<_, _>>()?;
+    }
+    Ok(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn agg(count: u64, total_ns: u64) -> SpanAgg {
+        SpanAgg { count, total_ns, counters: HashMap::new() }
+    }
+
+    #[test]
+    fn tree_reconstruction_nests_paths() {
+        let entries = vec![
+            (vec!["mine"].into_boxed_slice(), agg(1, 1000)),
+            (vec!["mine", "data.sort"].into_boxed_slice(), agg(3, 300)),
+            (vec!["mine", "regress.fit"].into_boxed_slice(), agg(5, 200)),
+        ];
+        let tree = build_tree(entries);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].name, "mine");
+        assert_eq!(tree[0].children.len(), 2);
+    }
+
+    #[test]
+    fn phases_from_categorized_spans() {
+        let entries = vec![
+            (vec!["mine"].into_boxed_slice(), agg(1, 1000)),
+            (vec!["mine", "data.sort"].into_boxed_slice(), agg(3, 300)),
+            (vec!["mine", "regress.fit"].into_boxed_slice(), agg(5, 200)),
+        ];
+        let snap = TelemetrySnapshot { spans: build_tree(entries), ..Default::default() };
+        let ph = snap.phase_breakdown();
+        assert_eq!(ph.total_ns, 1000);
+        assert_eq!(ph.query_ns, 300);
+        assert_eq!(ph.regression_ns, 200);
+        assert_eq!(ph.other_ns, 500);
+    }
+
+    #[test]
+    fn unclosed_root_sums_children() {
+        // The outer CLI span may still be open when a nested recorder
+        // snapshots; total must come from the closed children.
+        let entries = vec![
+            (vec!["cli.mine", "mine"].into_boxed_slice(), agg(1, 900)),
+            (vec!["cli.mine", "mine", "data.sort"].into_boxed_slice(), agg(2, 400)),
+        ];
+        let snap = TelemetrySnapshot { spans: build_tree(entries), ..Default::default() };
+        let ph = snap.phase_breakdown();
+        assert_eq!(ph.total_ns, 900);
+        assert_eq!(ph.query_ns, 400);
+        assert_eq!(ph.other_ns, 500);
+    }
+
+    #[test]
+    fn category_nodes_do_not_double_count_nested_same_category() {
+        // data.cube containing data.group_by: only the outer span counts.
+        let entries = vec![
+            (vec!["data.cube"].into_boxed_slice(), agg(1, 500)),
+            (vec!["data.cube", "data.group_by"].into_boxed_slice(), agg(4, 300)),
+        ];
+        let snap = TelemetrySnapshot { spans: build_tree(entries), ..Default::default() };
+        let ph = snap.phase_breakdown();
+        assert_eq!(ph.query_ns, 500);
+        assert_eq!(ph.total_ns, 500);
+    }
+}

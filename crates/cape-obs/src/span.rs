@@ -1,0 +1,81 @@
+//! Hierarchical span aggregation.
+//!
+//! A span is a named scope of work; nesting follows the thread's RAII
+//! guard stack, so `data.sort` opened while `mining.mine` is active is
+//! recorded under the path `mining.mine/data.sort`. The collector keeps
+//! one aggregate (invocation count, total wall time, per-span counters)
+//! per distinct path and is thread-safe, so parallel-miner workers that
+//! attach the owning thread's context aggregate into the same tree.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A span path: the names of every open ancestor plus the span itself.
+pub type SpanPath = Box<[&'static str]>;
+
+/// Aggregated measurements for one span path.
+#[derive(Debug, Clone, Default)]
+pub struct SpanAgg {
+    /// Times a span with this path closed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across those closes (children included).
+    pub total_ns: u64,
+    /// Per-span counters attached via [`crate::SpanGuard::add`].
+    pub counters: HashMap<&'static str, u64>,
+}
+
+/// Thread-safe map from span path to aggregate.
+#[derive(Debug, Default)]
+pub struct SpanCollector {
+    map: Mutex<HashMap<SpanPath, SpanAgg>>,
+}
+
+impl SpanCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        SpanCollector::default()
+    }
+
+    /// Fold one span close into the aggregate for `path`.
+    pub fn record(&self, path: &[&'static str], elapsed_ns: u64, counters: &[(&'static str, u64)]) {
+        let mut map = self.map.lock().expect("span lock");
+        let agg = match map.get_mut(path) {
+            Some(agg) => agg,
+            None => map.entry(path.to_vec().into_boxed_slice()).or_default(),
+        };
+        agg.count += 1;
+        agg.total_ns += elapsed_ns;
+        for &(name, delta) in counters {
+            *agg.counters.entry(name).or_default() += delta;
+        }
+    }
+
+    /// Snapshot every `(path, aggregate)` pair, sorted by path for
+    /// deterministic output.
+    pub fn entries(&self) -> Vec<(SpanPath, SpanAgg)> {
+        let map = self.map.lock().expect("span lock");
+        let mut out: Vec<(SpanPath, SpanAgg)> =
+            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_by_path() {
+        let c = SpanCollector::new();
+        c.record(&["mine", "data.sort"], 100, &[("rows", 5)]);
+        c.record(&["mine", "data.sort"], 50, &[("rows", 3)]);
+        c.record(&["mine"], 500, &[]);
+        let entries = c.entries();
+        assert_eq!(entries.len(), 2);
+        let sort = entries.iter().find(|(p, _)| p.len() == 2).unwrap();
+        assert_eq!(sort.1.count, 2);
+        assert_eq!(sort.1.total_ns, 150);
+        assert_eq!(sort.1.counters["rows"], 8);
+    }
+}

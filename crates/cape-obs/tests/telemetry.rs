@@ -1,0 +1,119 @@
+//! Integration tests for the recorder as a whole: span timing, cross-
+//! thread aggregation, and snapshot JSON round-trips.
+
+use cape_obs::{Json, Recorder, TelemetrySnapshot, ThreadContext};
+use std::time::Duration;
+
+fn find<'a>(nodes: &'a [cape_obs::SpanNode], name: &str) -> Option<&'a cape_obs::SpanNode> {
+    for n in nodes {
+        if n.name == name {
+            return Some(n);
+        }
+        if let Some(hit) = find(&n.children, name) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+#[test]
+fn parent_span_time_covers_children() {
+    let rec = Recorder::new();
+    let guard = rec.install();
+    {
+        let _outer = cape_obs::span("test.outer");
+        for _ in 0..3 {
+            let _inner = cape_obs::span("test.inner");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    drop(guard);
+    let snap = rec.snapshot();
+    let outer = find(&snap.spans, "test.outer").expect("outer span");
+    let inner = find(&outer.children, "test.inner").expect("inner nested");
+    assert_eq!(outer.count, 1);
+    assert_eq!(inner.count, 3);
+    // Wall-clock monotonicity: the parent was open the whole time the
+    // children ran, and each child slept ≥ 2ms.
+    assert!(inner.total_ns >= 3 * 2_000_000, "inner too fast: {}", inner.total_ns);
+    assert!(outer.total_ns >= inner.total_ns, "parent shorter than child");
+}
+
+#[test]
+fn counters_aggregate_across_threads() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let rec = Recorder::new();
+    let guard = rec.install();
+    {
+        let _root = cape_obs::span("test.fanout");
+        let ctx = ThreadContext::capture();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    let _obs = ctx.attach();
+                    let mut span = cape_obs::span("test.worker");
+                    for _ in 0..PER_THREAD {
+                        cape_obs::counter_add("test.items", 1);
+                    }
+                    span.add("slices", 1);
+                    cape_obs::observe_ns("test.worker_ns", (t + 1) * 1_000);
+                });
+            }
+        });
+    }
+    drop(guard);
+    let snap = rec.snapshot();
+    // No increments lost to races, no double counting.
+    assert_eq!(snap.counter("test.items"), THREADS * PER_THREAD);
+    let worker = find(&snap.spans, "test.worker").expect("worker spans attached under root");
+    assert_eq!(worker.count, THREADS);
+    assert_eq!(worker.counters.get("slices"), Some(&THREADS));
+    let hist = &snap.histograms["test.worker_ns"];
+    assert_eq!(hist.count, THREADS);
+    assert_eq!(hist.max_ns, THREADS * 1_000);
+}
+
+#[test]
+fn snapshot_round_trips_through_json() {
+    let rec = Recorder::new();
+    let guard = rec.install();
+    {
+        let mut span = cape_obs::span("test.root");
+        span.add("widgets", 7);
+        let _child = cape_obs::span("data.scan");
+    }
+    cape_obs::counter_add("test.count", 42);
+    cape_obs::gauge_set("test.ratio", 0.5);
+    for ns in [100, 1_000, 10_000, 1_000_000] {
+        cape_obs::observe_ns("test.lat_ns", ns);
+    }
+    drop(guard);
+
+    let snap = rec.snapshot();
+    let text = snap.to_json().to_string();
+    let parsed = Json::parse(&text).expect("own JSON parses");
+    let back = TelemetrySnapshot::from_json(&parsed).expect("snapshot deserializes");
+    assert_eq!(back, snap);
+
+    // The derived phases block is part of the document.
+    let phases = parsed.get("phases").expect("phases present");
+    assert!(phases.get("query_ns").and_then(Json::as_u64).unwrap() > 0);
+}
+
+#[test]
+fn histogram_percentiles_are_ordered_and_max_exact() {
+    let rec = Recorder::new();
+    let guard = rec.install();
+    for i in 1..=1000u64 {
+        cape_obs::observe_ns("test.lat_ns", i * 1_000);
+    }
+    drop(guard);
+    let h = &rec.snapshot().histograms["test.lat_ns"];
+    assert_eq!(h.count, 1000);
+    assert!(h.p50_ns <= h.p95_ns && h.p95_ns <= h.p99_ns && h.p99_ns <= h.max_ns);
+    assert_eq!(h.max_ns, 1_000_000);
+    // Log-scale buckets: estimates are within a factor of two of truth.
+    assert!(h.p50_ns >= 250_000 && h.p50_ns <= 1_000_000, "p50 {}", h.p50_ns);
+}

@@ -16,11 +16,23 @@ use crate::quadratic::fit_quadratic;
 /// predictors are fine); for [`ModelType::Lin`] they must be numeric and
 /// non-empty.
 pub fn fit(ty: ModelType, xs: &[Vec<f64>], ys: &[f64]) -> Result<Fitted> {
-    match ty {
+    let (attempted, accepted) = match ty {
+        ModelType::Const => ("regress.fits_attempted.const", "regress.fits_accepted.const"),
+        ModelType::Lin => ("regress.fits_attempted.lin", "regress.fits_accepted.lin"),
+        ModelType::Quad => ("regress.fits_attempted.quad", "regress.fits_accepted.quad"),
+    };
+    cape_obs::counter_add(attempted, 1);
+    let span = cape_obs::span_with_histogram("regress.fit", "regress.fit_ns");
+    let result = match ty {
         ModelType::Const => fit_constant(ys),
         ModelType::Lin => fit_linear(xs, ys),
         ModelType::Quad => fit_quadratic(xs, ys),
+    };
+    drop(span);
+    if result.is_ok() {
+        cape_obs::counter_add(accepted, 1);
     }
+    result
 }
 
 #[cfg(test)]

@@ -29,5 +29,5 @@ pub use constant::{chi_square_gof, fit_constant};
 pub use error::{RegressError, Result};
 pub use fit::fit;
 pub use linear::{fit_linear, r_squared};
-pub use quadratic::{fit_quadratic, square_features};
 pub use model::{Fitted, Model, ModelType};
+pub use quadratic::{fit_quadratic, square_features};

@@ -35,11 +35,7 @@ pub fn fit_linear(xs: &[Vec<f64>], ys: &[f64]) -> Result<Fitted> {
         return Err(RegressError::NonFiniteInput);
     }
 
-    let model = if d == 1 {
-        fit_simple(xs, ys)
-    } else {
-        fit_multiple(xs, ys, d)?
-    };
+    let model = if d == 1 { fit_simple(xs, ys) } else { fit_multiple(xs, ys, d)? };
 
     let gof = r_squared(&model, xs, ys);
     Ok(Fitted { model, gof, n: ys.len() })
@@ -166,13 +162,8 @@ mod tests {
     #[test]
     fn two_predictors() {
         // y = 1 + 2 x1 − 3 x2, exact.
-        let xs: Vec<Vec<f64>> = vec![
-            vec![0.0, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![2.0, 1.0],
-            vec![1.0, 2.0],
-        ];
+        let xs: Vec<Vec<f64>> =
+            vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, 1.0], vec![1.0, 2.0]];
         let ys: Vec<f64> = xs.iter().map(|r| 1.0 + 2.0 * r[0] - 3.0 * r[1]).collect();
         let f = fit_linear(&xs, &ys).unwrap();
         assert!(f.gof > 0.999999);
@@ -182,12 +173,8 @@ mod tests {
     #[test]
     fn collinear_predictors_survive_via_ridge() {
         // x2 = 2·x1 exactly — XᵀX is singular.
-        let xs: Vec<Vec<f64>> = vec![
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-            vec![4.0, 8.0],
-        ];
+        let xs: Vec<Vec<f64>> =
+            vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0], vec![4.0, 8.0]];
         let ys: Vec<f64> = xs.iter().map(|r| 5.0 * r[0]).collect();
         let f = fit_linear(&xs, &ys).unwrap();
         assert!(f.gof > 0.999, "gof = {}", f.gof);

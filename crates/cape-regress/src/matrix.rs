@@ -165,11 +165,7 @@ mod tests {
 
     #[test]
     fn three_by_three() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let x = solve(a, vec![8.0, -11.0, -3.0]).unwrap();
         let expect = [2.0, 3.0, -1.0];
         for (xi, ei) in x.iter().zip(expect) {

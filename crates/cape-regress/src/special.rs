@@ -10,7 +10,9 @@
 ///
 /// Valid for `x > 0`.
 pub fn ln_gamma(x: f64) -> f64 {
-    // Coefficients for g = 7, n = 9 (Godfrey / Numerical Recipes style).
+    // Coefficients for g = 7, n = 9 (Godfrey / Numerical Recipes style),
+    // kept exactly as published even where they exceed f64 precision.
+    #[allow(clippy::excessive_precision)]
     const COEFFS: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,
@@ -162,7 +164,7 @@ mod tests {
     fn gamma_p_known_values() {
         // P(1, x) = 1 − e^{−x}
         for &x in &[0.1, 1.0, 2.0, 5.0] {
-            close(gamma_p(1.0, x), 1.0 - (-x as f64).exp(), 1e-12);
+            close(gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-12);
         }
         // Boundaries
         close(gamma_p(3.0, 0.0), 0.0, 0.0);

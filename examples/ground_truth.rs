@@ -10,7 +10,8 @@ use cape::datagen::dblp::{attrs, generate, DblpConfig};
 use cape::datagen::ground_truth::{inject, pick_coordinates};
 
 fn main() -> Result<()> {
-    let base = generate(&DblpConfig { target_rows: 4_000, case_study: false, ..DblpConfig::default() });
+    let base =
+        generate(&DblpConfig { target_rows: 4_000, case_study: false, ..DblpConfig::default() });
 
     // Pick a well-populated (author, year) coordinate and a second year.
     let (f, outlier_year, counter_year) =

@@ -39,9 +39,7 @@ fn main() -> Result<()> {
             out.stats.fragments_fitted,
             out.store.len(),
         );
-        pattern_sets.push(
-            out.store.iter().map(|(_, p)| p.arp.display(rel.schema())).collect(),
-        );
+        pattern_sets.push(out.store.iter().map(|(_, p)| p.arp.display(rel.schema())).collect());
     }
 
     // All four algorithms find the same globally holding ARPs.

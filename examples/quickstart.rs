@@ -28,12 +28,8 @@ fn main() -> Result<()> {
                     n = if venue == "SIGKDD" { 1 } else { 6 };
                 }
                 for _ in 0..n {
-                    rel.push_row(vec![
-                        Value::str(author),
-                        Value::Int(year),
-                        Value::str(venue),
-                    ])
-                    .map_err(CapeError::Data)?;
+                    rel.push_row(vec![Value::str(author), Value::Int(year), Value::str(venue)])
+                        .map_err(CapeError::Data)?;
                 }
             }
         }

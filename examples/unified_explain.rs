@@ -67,7 +67,12 @@ fn main() -> Result<()> {
             .map(|(&a, v)| {
                 format!(
                     "{}={}",
-                    session.relation().schema().attr(a).map(|x| x.name().to_string()).unwrap_or_default(),
+                    session
+                        .relation()
+                        .schema()
+                        .attr(a)
+                        .map(|x| x.name().to_string())
+                        .unwrap_or_default(),
                     v
                 )
             })
@@ -86,6 +91,14 @@ fn main() -> Result<()> {
     let (expls, _) = session.explain(&uq);
     println!("--- counterbalance explanations ---");
     println!("{}", render_table(&expls, session.relation().schema()));
-    println!("{}", narrate_all(&expls[..expls.len().min(2)], session.store(), &uq, session.relation().schema()));
+    println!(
+        "{}",
+        narrate_all(
+            &expls[..expls.len().min(2)],
+            session.store(),
+            &uq,
+            session.relation().schema()
+        )
+    );
     Ok(())
 }

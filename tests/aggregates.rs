@@ -187,11 +187,7 @@ fn avg_aggregate_usable_via_explicit_selection() {
 /// holds where the linear one cannot.
 #[test]
 fn quadratic_pattern_fits_seasonal_shape() {
-    let schema = Schema::new([
-        ("city", ValueType::Str),
-        ("month", ValueType::Int),
-    ])
-    .unwrap();
+    let schema = Schema::new([("city", ValueType::Str), ("month", ValueType::Int)]).unwrap();
     let mut rel = Relation::new(schema);
     for city in ["rome", "oslo", "lima"] {
         for month in 1..=12i64 {

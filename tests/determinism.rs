@@ -50,10 +50,7 @@ fn generation_mining_explanation_chain_is_deterministic() {
         .unwrap();
         let cfg = ExplainConfig::default_for(&rel, 10);
         let (expls, _) = OptimizedExplainer.explain(&store, &uq, &cfg);
-        expls
-            .into_iter()
-            .map(|e| (e.tuple, e.score.to_bits()))
-            .collect::<Vec<_>>()
+        expls.into_iter().map(|e| (e.tuple, e.score.to_bits())).collect::<Vec<_>>()
     };
     assert_eq!(run(), run(), "explanations differ between identical runs");
 }

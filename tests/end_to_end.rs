@@ -127,11 +127,11 @@ fn crime_case_study_pipeline() {
         Direction::Low,
     )
     .unwrap();
-    assert_eq!(uq.agg_value, 16.0);
+    assert_eq!(uq.agg_value, 38.0); // the planted Battery/26 2011 dip
     let cfg = ExplainConfig::default_for(&rel, 5);
     let (expls, _) = OptimizedExplainer.explain(&store, &uq, &cfg);
     assert!(!expls.is_empty());
-    // The planted 2012 spike (117 batteries) must rank first.
+    // The planted 2012 spike (82 batteries) must rank first.
     assert!(
         expls[0].tuple.contains(&Value::Int(2012)),
         "top explanation should be the 2012 spike, got {:?}",

@@ -8,20 +8,11 @@ use cape::core::prelude::*;
 use cape::data::{AggFunc, Relation, Schema, Value, ValueType};
 
 fn all_miners() -> Vec<Box<dyn Miner>> {
-    vec![
-        Box::new(NaiveMiner),
-        Box::new(CubeMiner),
-        Box::new(ShareGrpMiner),
-        Box::new(ArpMiner),
-    ]
+    vec![Box::new(NaiveMiner), Box::new(CubeMiner), Box::new(ShareGrpMiner), Box::new(ArpMiner)]
 }
 
 fn lenient() -> MiningConfig {
-    MiningConfig {
-        thresholds: Thresholds::new(0.1, 2, 0.1, 1),
-        psi: 2,
-        ..MiningConfig::default()
-    }
+    MiningConfig { thresholds: Thresholds::new(0.1, 2, 0.1, 1), psi: 2, ..MiningConfig::default() }
 }
 
 #[test]
@@ -47,12 +38,9 @@ fn single_row_relation() {
 
 #[test]
 fn null_heavy_columns_do_not_panic() {
-    let schema = Schema::new([
-        ("a", ValueType::Str),
-        ("x", ValueType::Int),
-        ("m", ValueType::Float),
-    ])
-    .unwrap();
+    let schema =
+        Schema::new([("a", ValueType::Str), ("x", ValueType::Int), ("m", ValueType::Float)])
+            .unwrap();
     let mut rel = Relation::new(schema);
     for i in 0..60i64 {
         let a = if i % 7 == 0 { Value::Null } else { Value::str(format!("g{}", i % 3)) };
@@ -150,8 +138,9 @@ fn explanation_on_store_from_other_relation_is_graceful() {
 
 #[test]
 fn extreme_values_stay_finite() {
-    let schema = Schema::new([("a", ValueType::Str), ("x", ValueType::Int), ("v", ValueType::Float)])
-        .unwrap();
+    let schema =
+        Schema::new([("a", ValueType::Str), ("x", ValueType::Int), ("v", ValueType::Float)])
+            .unwrap();
     let mut rel = Relation::new(schema);
     for g in 0..2 {
         for x in 0..6i64 {
@@ -161,12 +150,8 @@ fn extreme_values_stay_finite() {
                 Value::Float(1e12 * (x as f64 + 1.0)),
             ])
             .unwrap();
-            rel.push_row(vec![
-                Value::str(format!("g{g}")),
-                Value::Int(x),
-                Value::Float(-1e12),
-            ])
-            .unwrap();
+            rel.push_row(vec![Value::str(format!("g{g}")), Value::Int(x), Value::Float(-1e12)])
+                .unwrap();
         }
     }
     let mut cfg = lenient();

@@ -11,8 +11,7 @@ use cape::regress::ModelType;
 /// quarter (perfect Const fit), dept B sells 1,2,3,4,5,6 (perfect Lin
 /// fit), dept C alternates wildly.
 fn sales() -> Relation {
-    let schema =
-        Schema::new([("dept", ValueType::Str), ("quarter", ValueType::Int)]).unwrap();
+    let schema = Schema::new([("dept", ValueType::Str), ("quarter", ValueType::Int)]).unwrap();
     let mut rel = Relation::new(schema);
     for q in 1..=6i64 {
         for _ in 0..5 {
@@ -96,8 +95,7 @@ fn global_thresholds_reject_patterns() {
 fn deviation_and_score_formula() {
     // dept A sells 5 per quarter except quarter 6 where it sells 9 —
     // hand-check the deviation and the score of the explanation.
-    let schema =
-        Schema::new([("dept", ValueType::Str), ("quarter", ValueType::Int)]).unwrap();
+    let schema = Schema::new([("dept", ValueType::Str), ("quarter", ValueType::Int)]).unwrap();
     let mut rel = Relation::new(schema);
     for q in 1..=6i64 {
         let n = if q == 6 { 9 } else { 5 };
@@ -164,12 +162,8 @@ fn refinement_drill_down_crosses_granularity() {
                     n = 5; // counterbalance in the other region
                 }
                 for _ in 0..n {
-                    rel.push_row(vec![
-                        Value::str(dept),
-                        Value::str(region),
-                        Value::Int(q),
-                    ])
-                    .unwrap();
+                    rel.push_row(vec![Value::str(dept), Value::str(region), Value::Int(q)])
+                        .unwrap();
                 }
             }
         }
@@ -195,8 +189,9 @@ fn refinement_drill_down_crosses_granularity() {
     assert!(!expls.is_empty());
     // The south-region spike at quarter 3 must be found.
     assert!(
-        expls.iter().any(|e| e.tuple.contains(&Value::str("south"))
-            && e.tuple.contains(&Value::Int(3))),
+        expls
+            .iter()
+            .any(|e| e.tuple.contains(&Value::str("south")) && e.tuple.contains(&Value::Int(3))),
         "cross-region counterbalance missing:\n{}",
         cape::core::explain::render_table(&expls, rel.schema())
     );
@@ -254,23 +249,30 @@ fn zero_count_missing_answer_question() {
     assert!(!expls.is_empty(), "zero-count question got no explanations");
     // The ICDE 2003 spike explains where the papers went.
     assert!(
-        expls.iter().any(|e| e.tuple.contains(&Value::str("ICDE"))
-            && e.tuple.contains(&Value::Int(2003))),
+        expls
+            .iter()
+            .any(|e| e.tuple.contains(&Value::str("ICDE")) && e.tuple.contains(&Value::Int(2003))),
         "missing ICDE-2003 counterbalance:\n{}",
         cape::core::explain::render_table(&expls, rel.schema())
     );
 
     // Constructor rejections.
-    assert!(UserQuestion::zero_count(
-        &rel,
-        vec![0, 1, 2],
-        vec![Value::str("a1"), Value::Int(2003), Value::str("KDD")],
-    )
-    .is_err(), "existing group must be rejected");
-    assert!(UserQuestion::zero_count(
-        &rel,
-        vec![0, 1, 2],
-        vec![Value::str("martian"), Value::Int(2003), Value::str("KDD")],
-    )
-    .is_err(), "never-seen value must be rejected");
+    assert!(
+        UserQuestion::zero_count(
+            &rel,
+            vec![0, 1, 2],
+            vec![Value::str("a1"), Value::Int(2003), Value::str("KDD")],
+        )
+        .is_err(),
+        "existing group must be rejected"
+    );
+    assert!(
+        UserQuestion::zero_count(
+            &rel,
+            vec![0, 1, 2],
+            vec![Value::str("martian"), Value::Int(2003), Value::str("KDD")],
+        )
+        .is_err(),
+        "never-seen value must be rejected"
+    );
 }

@@ -1,0 +1,327 @@
+//! Offline stand-in for the `rand` crate exposing the subset of the 0.8
+//! API the CAPE workspace uses: the [`Rng`] extension methods `gen`,
+//! `gen_range`, and `gen_bool`, [`SeedableRng::seed_from_u64`], and
+//! [`rngs::SmallRng`]. See `third_party/README.md`.
+//!
+//! The generator and the uniform samplers reproduce rand 0.8's
+//! algorithms bit-for-bit (xoshiro256++ seeded via SplitMix64, Lemire
+//! widening-multiply integer sampling, `[1, 2)`-mantissa float
+//! sampling), so seeded data generation yields the same datasets as the
+//! real crate — the workspace's statistical test expectations were
+//! calibrated against those streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be drawn uniformly from the generator's raw output
+/// (the `Standard` distribution in real rand).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Types with a uniform sampler over an interval. The blanket
+/// [`SampleRange`] impls below are generic over this trait — a single
+/// impl per range shape, exactly like real rand, so type inference can
+/// flow from the use site into an untyped range literal.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_in<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+/// Lemire-style sampling: `v * range >> width` with zone rejection,
+/// matching rand 0.8's `uniform_int_impl!`. `$u_large` is the raw draw
+/// width (u32 for byte/short types, u64 otherwise) and `$wide` the
+/// double-width type used for the widening multiply.
+macro_rules! int_sample_uniform {
+    ($($t:ty => $unsigned:ty, $u_large:ty, $wide:ty, $next:ident);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: Rng + ?Sized>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                let range =
+                    (hi as $unsigned).wrapping_sub(lo as $unsigned).wrapping_add(inclusive as $unsigned)
+                        as $u_large;
+                if range == 0 {
+                    // Inclusive over the whole type: accept any draw.
+                    return rng.$next() as $t;
+                }
+                let zone = if (<$unsigned>::MAX as u128) <= u16::MAX as u128 {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = rng.$next() as $u_large;
+                    let m = (v as $wide) * (range as $wide);
+                    let m_hi = (m >> <$u_large>::BITS) as $u_large;
+                    let m_lo = m as $u_large;
+                    if m_lo <= zone {
+                        return lo.wrapping_add(m_hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+int_sample_uniform! {
+    i8 => u8, u32, u64, next_u32;
+    u8 => u8, u32, u64, next_u32;
+    i16 => u16, u32, u64, next_u32;
+    u16 => u16, u32, u64, next_u32;
+    i32 => u32, u32, u64, next_u32;
+    u32 => u32, u32, u64, next_u32;
+    i64 => u64, u64, u128, next_u64;
+    u64 => u64, u64, u128, next_u64;
+    isize => usize, u64, u128, next_u64;
+    usize => usize, u64, u128, next_u64;
+}
+
+macro_rules! float_sample_uniform {
+    ($($t:ty => $bits_to_discard:expr, $one_bits:expr, $next:ident);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: Rng + ?Sized>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                let scale = if inclusive {
+                    // Stretch so the largest mantissa value lands on `hi`.
+                    (hi - lo) / (1.0 - <$t>::EPSILON / 2.0)
+                } else {
+                    hi - lo
+                };
+                // Random mantissa with the exponent of 1.0 -> [1, 2).
+                let value1_2 = <$t>::from_bits($one_bits | (rng.$next() >> $bits_to_discard));
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + lo
+            }
+        }
+    )*};
+}
+
+float_sample_uniform! {
+    f32 => 9u32, 0x3f80_0000u32, next_u32;
+    f64 => 12u64, 0x3ff0_0000_0000_0000u64, next_u64;
+}
+
+/// Ranges a value of type `T` can be drawn uniformly from.
+pub trait SampleRange<T> {
+    /// Draw one value; panics on an empty range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_in(lo, hi, true, rng)
+    }
+}
+
+/// Random number generator interface: a raw bit source plus the
+/// convenience methods rand 0.8 provides on `Rng`.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Draw a value of `T` from its standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over the type).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draw uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        if p >= 1.0 {
+            return true;
+        }
+        // Same fixed-point comparison as rand's Bernoulli.
+        let p_int = (p * (2.0f64).powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Generators constructible from a small seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Small, fast, non-cryptographic generator: xoshiro256++ seeded via
+    /// SplitMix64, bit-identical to rand 0.8's `SmallRng` on 64-bit
+    /// platforms. Deterministic across platforms.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        /// Construct directly from raw state words (reference vectors).
+        #[cfg(test)]
+        pub(crate) fn from_state(s: [u64; 4]) -> SmallRng {
+            SmallRng { s }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> SmallRng {
+            // SplitMix64 fills the state words, as in the xoshiro
+            // reference implementation.
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *word = z ^ (z >> 31);
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            // Upper half: the low bits of ++ output are weaker.
+            (self.next_u64() >> 32) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_xoshiro256plusplus_reference() {
+        // First outputs of xoshiro256++ from the state {1, 2, 3, 4}
+        // (reference implementation test vector).
+        let mut rng = SmallRng::from_state([1, 2, 3, 4]);
+        let expect: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
+        for e in expect {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let j = rng.gen_range(3usize..=8);
+            assert!((3..=8).contains(&j));
+            let f = rng.gen_range(-0.5f64..0.5);
+            assert!((-0.5..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let freq = hits as f64 / 20_000.0;
+        assert!((freq - 0.25).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
