@@ -11,7 +11,8 @@
 //! hardware) but the comparative shape is the reproduction target.
 
 use cape_bench::experiments::{
-    ablation, explain_perf, fd_opt, mining_scaling, sensitivity, subtasks, tables, user_study,
+    ablation, explain_perf, fd_opt, mining_scaling, sensitivity, serve, subtasks, tables,
+    user_study,
 };
 use cape_bench::Scale;
 
@@ -32,6 +33,7 @@ const EXPERIMENTS: &[&str] = &[
     "table7",
     "ablation",
     "userstudy",
+    "serve",
 ];
 
 fn usage() -> ! {
@@ -64,6 +66,7 @@ fn run(name: &str, scale: Scale) -> String {
         "table6" => tables::table6(),
         "table7" => tables::table7(),
         "ablation" => ablation::ablation(),
+        "serve" => serve::serve(scale),
         "userstudy" => {
             let (rows, budget) = match scale {
                 Scale::Quick => (3_000, 12),

@@ -5,6 +5,7 @@ pub mod explain_perf;
 pub mod fd_opt;
 pub mod mining_scaling;
 pub mod sensitivity;
+pub mod serve;
 pub mod subtasks;
 pub mod tables;
 pub mod user_study;

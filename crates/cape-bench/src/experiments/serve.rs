@@ -1,0 +1,130 @@
+//! Serving throughput: requests/sec for a fixed question batch answered
+//! by `cape-serve`, sweeping the worker-thread count (1 → 4) and the
+//! drill cache (cold vs warm). Results are written to
+//! `results/BENCH_serve.json` in addition to the rendered table.
+//!
+//! The JSON records `host_cpus` alongside every series: thread scaling is
+//! only physically possible when the host exposes more than one core, so
+//! consumers (CI dashboards, the acceptance checklist) should read the
+//! req/s-vs-threads curve together with that field.
+
+use crate::datasets::{dblp_rows, Scale};
+use crate::questions::generate_questions;
+use crate::report::{section, SeriesTable};
+use cape_core::mining::{ArpMiner, Miner};
+use cape_core::UserQuestion;
+use cape_obs::Json;
+use cape_serve::{ExplainRequest, ExplainService, PatternStoreHandle, ServeConfig};
+use std::time::Instant;
+
+const TOP_K: usize = 10;
+const THREAD_SWEEP: &[usize] = &[1, 2, 4];
+const REPS: usize = 3;
+
+fn batch_requests(questions: &[UserQuestion]) -> Vec<ExplainRequest> {
+    questions.iter().map(|q| ExplainRequest::new(q.clone(), TOP_K)).collect()
+}
+
+/// Answer the batch `REPS` times on a fresh service and return the best
+/// wall-clock seconds (first rep doubles as cache warm-up: the sweep
+/// measures the steady state an interactive deployment actually runs in).
+fn best_batch_secs(service: &ExplainService, questions: &[UserQuestion]) -> f64 {
+    let mut best = f64::INFINITY;
+    // Warm-up rep (not timed): populates the shared drill cache.
+    let _ = service.batch(batch_requests(questions));
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let responses = service.batch(batch_requests(questions));
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(responses.len(), questions.len());
+        best = best.min(secs);
+    }
+    best
+}
+
+/// The serve experiment: mine once, then sweep worker counts.
+pub fn serve(scale: Scale) -> String {
+    let rows = match scale {
+        Scale::Quick => 20_000,
+        Scale::Full => 100_000,
+    };
+    let rel = dblp_rows(rows);
+    let mut mcfg = super::explain_perf::lenient_mining_config(3);
+    mcfg.exclude = vec![cape_datagen::dblp::attrs::PUBID];
+    eprintln!("  serve: mining {} rows ...", rel.num_rows());
+    let store = ArpMiner.mine(&rel, &mcfg).expect("mining").store;
+    eprintln!("  serve: {} patterns / {} local patterns", store.len(), store.num_local_patterns());
+    let questions = generate_questions(
+        &rel,
+        &[
+            cape_datagen::dblp::attrs::AUTHOR,
+            cape_datagen::dblp::attrs::YEAR,
+            cape_datagen::dblp::attrs::VENUE,
+        ],
+        32,
+        71,
+    );
+    let num_rows = rel.num_rows();
+    let handle = PatternStoreHandle::new(rel, store);
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut series = Vec::new();
+    let mut wall = Vec::new();
+    let mut rps = Vec::new();
+    // A cache-disabled single-thread baseline quantifies what the shared
+    // drill cache itself buys, independent of concurrency.
+    let cold = {
+        let service = ExplainService::start(
+            handle.clone(),
+            ServeConfig { threads: 1, cache_capacity: 0, distance: None },
+        );
+        best_batch_secs(&service, &questions)
+    };
+    for &threads in THREAD_SWEEP {
+        let service = ExplainService::start(handle.clone(), ServeConfig::with_threads(threads));
+        let secs = best_batch_secs(&service, &questions);
+        let req_per_s = questions.len() as f64 / secs;
+        eprintln!(
+            "  serve: {threads} thread(s): {:.3}s for {} requests ({:.1} req/s, cache {}h/{}m)",
+            secs,
+            questions.len(),
+            req_per_s,
+            service.cache().hits(),
+            service.cache().misses(),
+        );
+        wall.push(Some(secs));
+        rps.push(Some(req_per_s));
+        series.push(Json::Obj(vec![
+            ("threads".into(), Json::Num(threads as f64)),
+            ("wall_s".into(), Json::Num(secs)),
+            ("req_per_s".into(), Json::Num(req_per_s)),
+        ]));
+    }
+
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("serve".into())),
+        ("dataset".into(), Json::Str("dblp-synthetic".into())),
+        ("rows".into(), Json::Num(num_rows as f64)),
+        ("questions".into(), Json::Num(questions.len() as f64)),
+        ("k".into(), Json::Num(TOP_K as f64)),
+        ("reps".into(), Json::Num(REPS as f64)),
+        ("host_cpus".into(), Json::Num(host_cpus as f64)),
+        ("uncached_1thread_wall_s".into(), Json::Num(cold)),
+        ("series".into(), Json::Arr(series)),
+    ]);
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_serve.json", format!("{json}\n"))
+        .expect("write BENCH_serve.json");
+
+    let mut table =
+        SeriesTable::new("threads", THREAD_SWEEP.iter().map(|t| t.to_string()).collect());
+    table.push_series("wall [s]", wall);
+    table.push_series("req/s", rps);
+    format!(
+        "{}{} requests over {num_rows} rows, top-{TOP_K} (host cpus: {host_cpus}; \
+         uncached 1-thread: {cold:.3}s)\nwrote results/BENCH_serve.json\n{}",
+        section("Serve: requests/sec vs worker threads"),
+        questions.len(),
+        table.render()
+    )
+}

@@ -14,8 +14,29 @@ pub struct Args {
 /// Option keys that take a value; everything else starting with `--` is a
 /// boolean flag.
 const VALUE_KEYS: &[&str] = &[
-    "csv", "schema", "out", "patterns", "sql", "tuple", "dir", "k", "psi", "theta", "delta",
-    "lambda", "support", "rows", "seed", "agg", "agg-attr", "exclude", "metrics",
+    "csv",
+    "schema",
+    "out",
+    "patterns",
+    "sql",
+    "tuple",
+    "dir",
+    "k",
+    "psi",
+    "theta",
+    "delta",
+    "lambda",
+    "support",
+    "rows",
+    "seed",
+    "agg",
+    "agg-attr",
+    "exclude",
+    "metrics",
+    "questions",
+    "threads",
+    "timeout-ms",
+    "cache",
 ];
 
 /// Single-dash short flags and the long flag each expands to.

@@ -31,6 +31,15 @@ USAGE:
                --tuple VALUES --dir high|low [--k N] [--narrate] [--baseline]
       Explain why a query-result tuple is surprisingly high or low.
 
+  cape batch-explain --csv FILE --schema SPEC --patterns FILE --sql QUERY
+                     --questions FILE [--k N] [--threads N] [--timeout-ms MS]
+                     [--cache N] [--fail-on-timeout]
+      Answer a file of questions concurrently over one shared pattern
+      store. Each non-empty, non-# line of FILE is `VALUES high|low`
+      (e.g. 'AX,SIGKDD,2007 low'). Answers print in input order; requests
+      that exceed --timeout-ms return a partial top-k marked [partial]
+      (exit 1 instead with --fail-on-timeout).
+
   cape query --csv FILE --schema SPEC --sql QUERY
       Run a SQL query against a CSV file.
 
@@ -164,6 +173,123 @@ pub fn explain(args: &Args) -> Result<(), CliError> {
     if args.flag("baseline") {
         let (base, _) = BaselineExplainer.explain(&rel, &uq, &cfg).map_err(runtime)?;
         println!("baseline (no patterns):\n{}", render_table(&base, rel.schema()));
+    }
+    Ok(())
+}
+
+/// `cape batch-explain` — answer a file of questions concurrently via
+/// `cape-serve` over one shared pattern store.
+///
+/// Stdout is deterministic: answers print in input order and contain no
+/// timings or thread counts, so runs with different `--threads` values
+/// are byte-identical (the golden-file tests rely on this). Concurrency
+/// diagnostics go to stderr / `--metrics` instead.
+pub fn batch_explain(args: &Args) -> Result<(), CliError> {
+    use cape_serve::{ExplainRequest, ExplainService, PatternStoreHandle, ServeConfig};
+    use std::time::Duration;
+
+    let rel = load(args)?;
+    let store = read_patterns(args, &rel)?;
+    let sql_text = args.require("sql").map_err(usage)?;
+    let stmt = sql::parse(sql_text).map_err(usage)?;
+    let group_attrs: Vec<usize> = stmt
+        .group_by
+        .iter()
+        .map(|n| rel.schema().attr_id(n).map_err(usage))
+        .collect::<Result<_, _>>()?;
+
+    let k = args.get_parse("k", 10usize).map_err(usage)?;
+    let threads = args.get_parse("threads", 1usize).map_err(usage)?;
+    if threads == 0 {
+        return Err(usage("--threads must be at least 1"));
+    }
+    let cache = args.get_parse("cache", 4096usize).map_err(usage)?;
+    let timeout = match args.get("timeout-ms") {
+        Some(_) => Some(Duration::from_millis(args.get_parse("timeout-ms", 0u64).map_err(usage)?)),
+        None => None,
+    };
+
+    // Parse the questions file: `VALUES high|low` per line.
+    let qpath = args.require("questions").map_err(usage)?;
+    let text =
+        std::fs::read_to_string(qpath).map_err(|e| runtime(format!("cannot read {qpath}: {e}")))?;
+    let mut questions = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((values, dir_word)) = line.rsplit_once(char::is_whitespace) else {
+            return Err(usage(format!(
+                "{qpath}:{}: expected `VALUES high|low`, got `{line}`",
+                lineno + 1
+            )));
+        };
+        let dir = match dir_word {
+            "high" => Direction::High,
+            "low" => Direction::Low,
+            other => {
+                return Err(usage(format!(
+                    "{qpath}:{}: direction must be high or low, got `{other}`",
+                    lineno + 1
+                )))
+            }
+        };
+        let tuple = parse_tuple(values.trim(), rel.schema(), &group_attrs).map_err(usage)?;
+        let uq = UserQuestion::from_sql(&rel, sql_text, tuple, dir).map_err(runtime)?;
+        questions.push(uq);
+    }
+    if questions.is_empty() {
+        return Err(runtime(format!("{qpath} contains no questions")));
+    }
+
+    cape_obs::info("cli", || {
+        format!(
+            "batch-explain: {} questions, {} threads, cache capacity {}",
+            questions.len(),
+            threads,
+            cache
+        )
+    });
+    let handle = PatternStoreHandle::new(rel, store);
+    let service = ExplainService::start(
+        handle.clone(),
+        ServeConfig { threads, cache_capacity: cache, distance: None },
+    );
+    let requests: Vec<ExplainRequest> = questions
+        .iter()
+        .map(|q| {
+            let req = ExplainRequest::new(q.clone(), k);
+            match timeout {
+                Some(t) => req.with_timeout(t),
+                None => req,
+            }
+        })
+        .collect();
+    let responses = service.batch(requests);
+
+    let schema = handle.relation().schema();
+    let mut partial_count = 0usize;
+    for (i, (uq, resp)) in questions.iter().zip(&responses).enumerate() {
+        let marker = if resp.partial {
+            partial_count += 1;
+            " [partial]"
+        } else {
+            ""
+        };
+        println!("[{i}] question: {}{marker}", uq.display(schema));
+        println!("{}", render_table(&resp.explanations, schema));
+    }
+    println!("answered {} questions ({partial_count} partial)", questions.len());
+    cape_obs::info("cli", || {
+        format!(
+            "batch-explain: cache hits {} / misses {}",
+            service.cache().hits(),
+            service.cache().misses()
+        )
+    });
+    if args.flag("fail-on-timeout") && partial_count > 0 {
+        return Err(runtime(format!("{partial_count} request(s) exceeded the deadline")));
     }
     Ok(())
 }

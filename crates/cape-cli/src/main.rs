@@ -73,6 +73,7 @@ fn span_name(cmd: &str) -> &'static str {
         "mine" => "cli.mine",
         "patterns" => "cli.patterns",
         "explain" => "cli.explain",
+        "batch-explain" => "cli.batch_explain",
         "query" => "cli.query",
         _ => "cli.run",
     }
@@ -109,6 +110,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
         "mine" => commands::mine(args),
         "patterns" => commands::patterns(args),
         "explain" => commands::explain(args),
+        "batch-explain" => commands::batch_explain(args),
         "query" => commands::query(args),
         "help" => {
             print!("{}", commands::USAGE);

@@ -237,6 +237,202 @@ fn exit_codes_distinguish_usage_from_runtime() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Mine the planted CSV into `dir` and return the patterns path.
+fn mine_planted(dir: &Path, csv: &str) -> String {
+    let patterns = dir.join("patterns.cape").to_string_lossy().into_owned();
+    let out = run(&[
+        "mine",
+        "--csv",
+        csv,
+        "--schema",
+        SCHEMA,
+        "--theta",
+        "0.1",
+        "--delta",
+        "3",
+        "--lambda",
+        "0.3",
+        "--support",
+        "2",
+        "--psi",
+        "3",
+        "--out",
+        &patterns,
+    ]);
+    assert!(out.status.success(), "mine failed: {}", String::from_utf8_lossy(&out.stderr));
+    patterns
+}
+
+/// A questions file exercising both directions, comments, and blanks.
+fn write_questions(dir: &Path) -> String {
+    let path = dir.join("questions.txt");
+    std::fs::write(
+        &path,
+        "# planted dip and its counterbalance\n\
+         a0,2005,KDD low\n\
+         a0,2005,ICDE high\n\
+         \n\
+         a1,2003,KDD low\n\
+         a2,2007,ICDE high\n",
+    )
+    .unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+const BATCH_SQL: &str =
+    "SELECT author, year, venue, count(*) FROM pub GROUP BY author, year, venue";
+
+#[test]
+fn batch_explain_matches_golden_and_is_thread_invariant() {
+    let dir = temp_dir("batchgolden");
+    let csv = write_csv(&dir);
+    let patterns = mine_planted(&dir, &csv);
+    let questions = write_questions(&dir);
+
+    let base = [
+        "batch-explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--patterns",
+        &patterns,
+        "--sql",
+        BATCH_SQL,
+        "--questions",
+        &questions,
+        "--k",
+        "5",
+    ];
+    let mut one: Vec<&str> = base.to_vec();
+    one.extend(["--threads", "1"]);
+    let out1 = run(&one);
+    assert!(out1.status.success(), "batch failed: {}", String::from_utf8_lossy(&out1.stderr));
+    let stdout1 = String::from_utf8_lossy(&out1.stdout).into_owned();
+
+    // Golden comparison; bless with CAPE_BLESS=1.
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/batch_explain.txt");
+    if std::env::var_os("CAPE_BLESS").is_some() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &stdout1).unwrap();
+    }
+    let golden =
+        std::fs::read_to_string(&golden_path).expect("golden file (CAPE_BLESS=1 to create)");
+    assert_eq!(stdout1, golden, "batch-explain output drifted from the golden file");
+
+    // The answers must mention the planted counterbalance and the summary.
+    assert!(stdout1.contains("ICDE"), "counterbalance missing:\n{stdout1}");
+    assert!(stdout1.contains("answered 4 questions (0 partial)"));
+
+    // Different worker counts must be byte-identical on stdout.
+    for threads in ["2", "4"] {
+        let mut many: Vec<&str> = base.to_vec();
+        many.extend(["--threads", threads]);
+        let out = run(&many);
+        assert!(out.status.success());
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            stdout1,
+            "--threads {threads} changed stdout"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_explain_timeout_degrades_and_exit_codes() {
+    let dir = temp_dir("batchtimeout");
+    let csv = write_csv(&dir);
+    let patterns = mine_planted(&dir, &csv);
+    let questions = write_questions(&dir);
+    let base = [
+        "batch-explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--patterns",
+        &patterns,
+        "--sql",
+        BATCH_SQL,
+        "--questions",
+        &questions,
+        "--timeout-ms",
+        "0",
+    ];
+
+    // Zero deadline: every answer is partial, but that is still success.
+    let out = run(&base);
+    assert!(out.status.success(), "partial answers must not fail by default");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[partial]"), "no partial marker:\n{stdout}");
+    assert!(stdout.contains("answered 4 questions (4 partial)"), "summary wrong:\n{stdout}");
+
+    // With --fail-on-timeout the same run is a runtime failure (exit 1).
+    let mut strict: Vec<&str> = base.to_vec();
+    strict.push("--fail-on-timeout");
+    let out = run(&strict);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("deadline"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_explain_usage_and_runtime_errors() {
+    let dir = temp_dir("batcherr");
+    let csv = write_csv(&dir);
+    let patterns = mine_planted(&dir, &csv);
+    let questions = write_questions(&dir);
+    let base = |extra: &[&str]| {
+        let mut v = vec![
+            "batch-explain",
+            "--csv",
+            &csv,
+            "--schema",
+            SCHEMA,
+            "--patterns",
+            &patterns,
+            "--sql",
+            BATCH_SQL,
+        ];
+        v.extend_from_slice(extra);
+        run(&v)
+    };
+
+    // Usage errors exit 2.
+    assert_eq!(base(&[]).status.code(), Some(2), "missing --questions");
+    assert_eq!(
+        base(&["--questions", &questions, "--threads", "0"]).status.code(),
+        Some(2),
+        "--threads 0"
+    );
+    assert_eq!(
+        base(&["--questions", &questions, "--threads", "abc"]).status.code(),
+        Some(2),
+        "non-numeric --threads"
+    );
+    let bad_dir = dir.join("bad.txt");
+    std::fs::write(&bad_dir, "a0,2005,KDD sideways\n").unwrap();
+    let bad_dir = bad_dir.to_string_lossy().into_owned();
+    let out = base(&["--questions", &bad_dir]);
+    assert_eq!(out.status.code(), Some(2), "bad direction in questions file");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("high or low"));
+
+    // Runtime errors exit 1.
+    assert_eq!(
+        base(&["--questions", "/nonexistent/questions.txt"]).status.code(),
+        Some(1),
+        "missing questions file"
+    );
+    let empty = dir.join("empty.txt");
+    std::fs::write(&empty, "# only comments\n\n").unwrap();
+    let empty = empty.to_string_lossy().into_owned();
+    assert_eq!(base(&["--questions", &empty]).status.code(), Some(1), "no questions");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn metrics_flag_writes_telemetry_snapshot() {
     let dir = temp_dir("metrics");

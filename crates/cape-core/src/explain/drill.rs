@@ -1,5 +1,19 @@
 //! Shared drill-down: enumerate counterbalance tuples for one
 //! `(relevant pattern, refinement)` pair and offer them to the top-k heap.
+//!
+//! The work splits into two halves with very different reuse profiles:
+//!
+//! * [`raw_candidates`] — the **question-independent** scan. It depends
+//!   only on `(F, t[F], P')`: which rows of `P'`'s grouped data match the
+//!   fragment value, hold locally, and by how much they deviate. Two
+//!   questions over the same relation that share a fragment value (same
+//!   author, same shop, …) produce identical raw candidate lists, which
+//!   is what `cape-serve` caches and shares across concurrent requests.
+//! * [`offer_candidates`] — the **question-dependent** filter and scorer:
+//!   direction of counterbalance, exclusion of the question tuple itself,
+//!   distance, NORM, and the top-k offer.
+//!
+//! [`drill_down`] is simply the composition of the two.
 
 use crate::explain::candidate::Explanation;
 use crate::explain::score::score_value;
@@ -8,6 +22,137 @@ use crate::explain::{ExplainConfig, ExplainStats};
 use crate::question::UserQuestion;
 use crate::store::PatternInstance;
 use cape_data::{AttrId, Value};
+
+/// One tuple `t'` of a refinement's grouped data that matches the
+/// fragment value and holds locally, together with its deviation — before
+/// any question-specific filtering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawCandidate {
+    /// Values of `t'` over [`DrillResult::attrs`] (`F'` then `V` order).
+    pub tuple: Vec<Value>,
+    /// Actual aggregate value of `t'`.
+    pub agg_value: f64,
+    /// Local-model prediction for `t'`.
+    pub predicted: f64,
+    /// `agg_value − predicted` (Definition 8), any sign.
+    pub deviation: f64,
+}
+
+/// The question-independent part of one `(F, t[F], P')` drill-down:
+/// matching, locally-holding rows with their deviations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DrillResult {
+    /// Attributes of each candidate tuple, in `F'` then `V` order.
+    pub attrs: Vec<AttrId>,
+    /// Candidate tuples (both deviation signs — callers filter by
+    /// direction).
+    pub candidates: Vec<RawCandidate>,
+    /// Rows of the refinement's grouped relation that were scanned;
+    /// feeds the `tuples_checked` statistic.
+    pub rows_scanned: usize,
+}
+
+/// Scan refinement `p2` for rows whose `F`-projection equals `f_vals`
+/// (condition 4a of Definition 7) and that hold locally under `P'`
+/// (condition 3), recording each row's deviation. Depends only on
+/// `(f_attrs, f_vals, p2)` — never on the user question — so the result
+/// is cacheable and shareable across questions.
+pub fn raw_candidates(f_attrs: &[AttrId], f_vals: &[Value], p2: &PatternInstance) -> DrillResult {
+    let rel = &p2.data.relation;
+    let Some(f_cols) = p2.data.cols_of_attrs(f_attrs) else {
+        return DrillResult::default(); // refinement must contain P's partition attributes
+    };
+    // Attributes of t' in output order: F' then V.
+    let mut t_attrs: Vec<AttrId> = p2.arp.f().to_vec();
+    t_attrs.extend_from_slice(p2.arp.v());
+    let Some(t_cols) = p2.data.cols_of_attrs(&t_attrs) else {
+        return DrillResult::default();
+    };
+    let fprime_cols = p2.data.cols_of_attrs(p2.arp.f()).expect("F' within its own data");
+
+    let mut out =
+        DrillResult { attrs: t_attrs, candidates: Vec::new(), rows_scanned: rel.num_rows() };
+    for i in 0..rel.num_rows() {
+        // (4a) t'[F] = t[F].
+        if f_cols.iter().zip(f_vals).any(|(&c, w)| rel.value(i, c) != w) {
+            continue;
+        }
+        // (3) t'[F'] must hold locally under P'.
+        let fprime_key = rel.row_project(i, &fprime_cols);
+        let Some(local) = p2.local(&fprime_key) else {
+            continue;
+        };
+        let Some(x) = p2.predictor_vec(i) else { continue };
+        let Some(actual) = p2.data.agg_value(i, p2.agg_col) else { continue };
+        let predicted = local.fitted.model.predict(&x);
+        out.candidates.push(RawCandidate {
+            tuple: rel.row_project(i, &t_cols),
+            agg_value: actual,
+            predicted,
+            deviation: actual - predicted,
+        });
+    }
+    out
+}
+
+/// Apply the question-dependent conditions of Definition 7 to a raw
+/// drill-down result — counterbalancing direction (condition 5) and
+/// exclusion of the question tuple itself when `G_{P'}` equals the
+/// question's group-by set (condition 4b) — then score survivors against
+/// the relevant pattern's NORM and push them into `topk`.
+#[allow(clippy::too_many_arguments)]
+pub fn offer_candidates(
+    drill: &DrillResult,
+    p_idx: usize,
+    p2_idx: usize,
+    p2: &PatternInstance,
+    norm: f64,
+    uq: &UserQuestion,
+    cfg: &ExplainConfig,
+    topk: &mut TopK,
+    stats: &mut ExplainStats,
+) {
+    // Same-schema check data: when G_{P'} equals the question's group-by
+    // set, t' = t must be excluded (condition 4 of Definition 7).
+    let mut uq_sorted: Vec<AttrId> = uq.group_attrs.clone();
+    uq_sorted.sort_unstable();
+    let same_schema = p2.arp.g_attrs() == uq_sorted;
+    let uq_vals_for_t: Option<Vec<Value>> = if same_schema {
+        Some(drill.attrs.iter().map(|&a| uq.value_of(a).expect("covered attr").clone()).collect())
+    } else {
+        None
+    };
+
+    for cand in &drill.candidates {
+        // (4b) t' ≠ t when over the same schema.
+        if let Some(uq_vals) = &uq_vals_for_t {
+            if &cand.tuple == uq_vals {
+                continue;
+            }
+        }
+        // (5) Deviation in the opposite direction.
+        if !uq.dir.counterbalances(cand.deviation) {
+            continue;
+        }
+        stats.candidates_generated += 1;
+
+        let distance =
+            cfg.distance.tuple_distance(&uq.group_attrs, &uq.tuple, &drill.attrs, &cand.tuple);
+        let score = score_value(cand.deviation, uq.dir.is_low_sign(), distance, norm);
+        topk.offer(Explanation {
+            pattern_idx: p_idx,
+            refinement_idx: p2_idx,
+            attrs: drill.attrs.clone(),
+            tuple: cand.tuple.clone(),
+            agg_value: cand.agg_value,
+            predicted: cand.predicted,
+            deviation: cand.deviation,
+            distance,
+            norm,
+            score,
+        });
+    }
+}
 
 /// Iterate all tuples `t' ∈ γ_{F'∪V, agg(A)}(R)` for refinement `p2`,
 /// apply the conditions of Definition 7, score survivors against the
@@ -25,71 +170,7 @@ pub(crate) fn drill_down(
     topk: &mut TopK,
     stats: &mut ExplainStats,
 ) {
-    let rel = &p2.data.relation;
-    let Some(f_cols) = p2.data.cols_of_attrs(p.arp.f()) else {
-        return; // refinement's data must contain P's partition attributes
-    };
-    // Attributes of t' in output order: F' then V.
-    let mut t_attrs: Vec<AttrId> = p2.arp.f().to_vec();
-    t_attrs.extend_from_slice(p2.arp.v());
-    let Some(t_cols) = p2.data.cols_of_attrs(&t_attrs) else {
-        return;
-    };
-    let fprime_cols = p2.data.cols_of_attrs(p2.arp.f()).expect("F' within its own data");
-
-    // Same-schema check data: when G_{P'} equals the question's group-by
-    // set, t' = t must be excluded (condition 4 of Definition 7).
-    let mut uq_sorted: Vec<AttrId> = uq.group_attrs.clone();
-    uq_sorted.sort_unstable();
-    let same_schema = p2.arp.g_attrs() == uq_sorted;
-    let uq_vals_for_t: Option<Vec<Value>> = if same_schema {
-        Some(t_attrs.iter().map(|&a| uq.value_of(a).expect("covered attr").clone()).collect())
-    } else {
-        None
-    };
-
-    for i in 0..rel.num_rows() {
-        stats.tuples_checked += 1;
-
-        // (4a) t'[F] = t[F].
-        if f_cols.iter().zip(f_vals).any(|(&c, w)| rel.value(i, c) != w) {
-            continue;
-        }
-        let t_vals = rel.row_project(i, &t_cols);
-        // (4b) t' ≠ t when over the same schema.
-        if let Some(uq_vals) = &uq_vals_for_t {
-            if &t_vals == uq_vals {
-                continue;
-            }
-        }
-        // (3) t'[F'] must hold locally under P'.
-        let fprime_key = rel.row_project(i, &fprime_cols);
-        let Some(local) = p2.local(&fprime_key) else {
-            continue;
-        };
-        // (5) Deviation in the opposite direction.
-        let Some(x) = p2.predictor_vec(i) else { continue };
-        let Some(actual) = p2.data.agg_value(i, p2.agg_col) else { continue };
-        let predicted = local.fitted.model.predict(&x);
-        let deviation = actual - predicted;
-        if !uq.dir.counterbalances(deviation) {
-            continue;
-        }
-        stats.candidates_generated += 1;
-
-        let distance = cfg.distance.tuple_distance(&uq.group_attrs, &uq.tuple, &t_attrs, &t_vals);
-        let score = score_value(deviation, uq.dir.is_low_sign(), distance, norm);
-        topk.offer(Explanation {
-            pattern_idx: p_idx,
-            refinement_idx: p2_idx,
-            attrs: t_attrs.clone(),
-            tuple: t_vals,
-            agg_value: actual,
-            predicted,
-            deviation,
-            distance,
-            norm,
-            score,
-        });
-    }
+    let drill = raw_candidates(p.arp.f(), f_vals, p2);
+    stats.tuples_checked += drill.rows_scanned;
+    offer_candidates(&drill, p_idx, p2_idx, p2, norm, uq, cfg, topk, stats);
 }

@@ -6,7 +6,7 @@
 pub mod baseline;
 pub mod candidate;
 pub mod distance;
-mod drill;
+pub mod drill;
 pub mod generalize;
 pub mod naive;
 pub mod optimized;
@@ -17,6 +17,7 @@ pub mod topk;
 pub use baseline::BaselineExplainer;
 pub use candidate::{render_table, Explanation};
 pub use distance::{AttrDistanceFn, DistanceModel};
+pub use drill::{offer_candidates, raw_candidates, DrillResult, RawCandidate};
 pub use generalize::{generalizations, GeneralizationFinding};
 pub use naive::NaiveExplainer;
 pub use optimized::OptimizedExplainer;

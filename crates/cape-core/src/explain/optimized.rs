@@ -58,9 +58,6 @@ impl TopKExplainer for OptimizedExplainer {
         // Small NORM ⇒ large potential scores ⇒ process first.
         relevant.sort_by(|a, b| a.2.total_cmp(&b.2));
 
-        let mut uq_attrs_sorted = uq.group_attrs.clone();
-        uq_attrs_sorted.sort_unstable();
-
         for (p_idx, f_vals, norm) in relevant {
             let p = store.get(p_idx).expect("relevant index");
             for p2_idx in store.refinements_of(p_idx) {
@@ -80,7 +77,11 @@ impl TopKExplainer for OptimizedExplainer {
                     t_attrs.extend_from_slice(p2.arp.v());
                     let d_low = cfg.distance.lower_bound(&uq.group_attrs, &t_attrs);
                     let bound = score_upper_bound(dev_up, d_low, norm);
-                    if bound <= threshold {
+                    // Strictly below the k-th best only: a candidate whose
+                    // score *equals* the threshold can still enter via the
+                    // deterministic tie-break, and skipping it here would
+                    // make the result depend on pattern iteration order.
+                    if bound < threshold {
                         stats.refinements_pruned += 1;
                         continue;
                     }

@@ -1,13 +1,21 @@
-//! Top-k collection with per-candidate deduplication.
+//! Top-k collection with per-candidate deduplication and a **total**
+//! candidate order.
 //!
 //! Algorithm 1 keeps a min-heap of the best k explanations. Additionally,
 //! when the same `(P', t')` arises from several relevant patterns `P`, only
 //! the highest-scored copy may survive (§3.3). We implement this with a
 //! lazy-deletion min-heap plus a best-score map.
+//!
+//! Candidates are compared under a strict total order — score descending,
+//! then dedup key `(refinement, tuple)` ascending — so the surviving set is
+//! a function of the *candidate set only*, never of insertion order. This
+//! is what lets concurrent, cached, and re-ordered explainers produce
+//! byte-identical top-k lists (the `cape-serve` differential harness
+//! asserts exactly that).
 
 use crate::explain::candidate::Explanation;
 use cape_data::Value;
-use std::cmp::Reverse;
+use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap};
 
 /// Total order wrapper for finite scores.
@@ -30,16 +38,29 @@ impl Ord for OrdF64 {
 
 type Key = (usize, Vec<Value>);
 
+/// `true` when candidate `(score_a, key_a)` ranks strictly better than
+/// `(score_b, key_b)`: higher score wins; equal scores break toward the
+/// smaller key (refinement index, then tuple values).
+fn beats(score_a: f64, key_a: &Key, score_b: f64, key_b: &Key) -> bool {
+    match score_a.total_cmp(&score_b) {
+        Ordering::Greater => true,
+        Ordering::Less => false,
+        Ordering::Equal => key_a < key_b,
+    }
+}
+
 /// A size-`k` collection of the best-scored explanations, deduplicated by
-/// `(refinement, tuple)`.
+/// `(refinement, tuple)`, with deterministic tie-breaking.
 #[derive(Debug)]
 pub struct TopK {
     k: usize,
     /// Live explanations by key.
     live: HashMap<Key, Explanation>,
     /// Min-heap of (score, key); may contain stale entries whose score no
-    /// longer matches `live` (lazy deletion).
-    heap: BinaryHeap<Reverse<(OrdF64, usize, Vec<Value>)>>,
+    /// longer matches `live` (lazy deletion). The inner `Reverse<Key>`
+    /// makes the heap minimum the *worst* candidate under the total
+    /// order: lowest score, and among equal scores the largest key.
+    heap: BinaryHeap<Reverse<(OrdF64, Reverse<Key>)>>,
 }
 
 impl TopK {
@@ -60,19 +81,21 @@ impl TopK {
 
     /// The current pruning threshold: the k-th best score once the
     /// collection is full, `None` while it still has room. Candidates with
-    /// `score ≤ threshold` cannot enter.
+    /// `score < threshold` cannot enter; candidates with `score ==
+    /// threshold` still can (they may win the deterministic tie-break), so
+    /// upper-bound pruning against this threshold must use a **strict**
+    /// comparison.
     pub fn threshold(&mut self) -> Option<f64> {
         if self.live.len() < self.k {
             return None;
         }
         self.drop_stale();
-        self.heap.peek().map(|Reverse((s, _, _))| s.0)
+        self.heap.peek().map(|Reverse((s, _))| s.0)
     }
 
     fn drop_stale(&mut self) {
-        while let Some(Reverse((s, r, t))) = self.heap.peek() {
-            let key = (*r, t.clone());
-            match self.live.get(&key) {
+        while let Some(Reverse((s, Reverse(key)))) = self.heap.peek() {
+            match self.live.get(key) {
                 Some(e) if e.score == s.0 => break,
                 _ => {
                     self.heap.pop();
@@ -93,32 +116,38 @@ impl TopK {
             if existing.score >= expl.score {
                 return false;
             }
-            self.heap.push(Reverse((OrdF64(expl.score), key.0, key.1.clone())));
+            self.heap.push(Reverse((OrdF64(expl.score), Reverse(key.clone()))));
             self.live.insert(key, expl);
             return true;
         }
         if self.live.len() < self.k {
-            self.heap.push(Reverse((OrdF64(expl.score), key.0, key.1.clone())));
+            self.heap.push(Reverse((OrdF64(expl.score), Reverse(key.clone()))));
             self.live.insert(key, expl);
             return true;
         }
-        // Full: must beat the current minimum.
+        // Full: must beat the current worst under the total order, so that
+        // equal-score survivors never depend on insertion order.
         self.drop_stale();
-        let min = self.heap.peek().map(|Reverse((s, _, _))| s.0).unwrap_or(f64::NEG_INFINITY);
-        if expl.score <= min {
+        let enters = match self.heap.peek() {
+            Some(Reverse((worst_score, Reverse(worst_key)))) => {
+                beats(expl.score, &key, worst_score.0, worst_key)
+            }
+            None => true, // unreachable while full, but harmless
+        };
+        if !enters {
             return false;
         }
-        // Evict the minimum.
-        if let Some(Reverse((_, r, t))) = self.heap.pop() {
-            self.live.remove(&(r, t));
+        // Evict the worst.
+        if let Some(Reverse((_, Reverse(k)))) = self.heap.pop() {
+            self.live.remove(&k);
         }
-        self.heap.push(Reverse((OrdF64(expl.score), key.0, key.1.clone())));
+        self.heap.push(Reverse((OrdF64(expl.score), Reverse(key.clone()))));
         self.live.insert(key, expl);
         true
     }
 
-    /// Extract the explanations, best first. Ties break deterministically
-    /// on the dedup key.
+    /// Extract the explanations, best first, under the same total order
+    /// used for eviction (score descending, then dedup key ascending).
     pub fn into_sorted_vec(self) -> Vec<Explanation> {
         let mut v: Vec<Explanation> = self.live.into_values().collect();
         v.sort_by(|a, b| {
@@ -228,5 +257,55 @@ mod tests {
         assert_eq!(v[0].refinement_idx, 1);
         assert_eq!(v[0].tuple, vec![Value::Int(0)]);
         assert_eq!(v[2].refinement_idx, 2);
+    }
+
+    /// Equal-score survivors are a function of the candidate *set*: every
+    /// insertion order of tied candidates keeps exactly the smallest keys.
+    #[test]
+    fn tie_survivors_independent_of_insertion_order() {
+        let tied: Vec<Explanation> =
+            (0..6).map(|t| expl(1, t, 4.0)).chain((0..3).map(|t| expl(0, t, 4.0))).collect();
+        let orders: Vec<Vec<usize>> = vec![
+            (0..tied.len()).collect(),
+            (0..tied.len()).rev().collect(),
+            vec![4, 1, 7, 0, 8, 3, 6, 2, 5],
+        ];
+        let mut outcomes = Vec::new();
+        for order in orders {
+            let mut tk = TopK::new(4);
+            tk.offer(expl(2, 99, 9.0)); // one clear winner above the ties
+            for i in order {
+                tk.offer(tied[i].clone());
+            }
+            let keys: Vec<(usize, Vec<Value>)> =
+                tk.into_sorted_vec().iter().map(|e| e.key()).collect();
+            outcomes.push(keys);
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0], outcomes[2]);
+        // Best first: the 9.0, then the three smallest tied keys.
+        assert_eq!(
+            outcomes[0],
+            vec![
+                (2, vec![Value::Int(99)]),
+                (0, vec![Value::Int(0)]),
+                (0, vec![Value::Int(1)]),
+                (0, vec![Value::Int(2)]),
+            ]
+        );
+    }
+
+    /// A tied candidate with a smaller key evicts the largest-key survivor
+    /// even when the collection is already full.
+    #[test]
+    fn tied_candidate_with_smaller_key_enters_full_collection() {
+        let mut tk = TopK::new(2);
+        tk.offer(expl(1, 5, 3.0));
+        tk.offer(expl(1, 7, 3.0));
+        assert!(tk.offer(expl(1, 2, 3.0)), "smaller key must enter");
+        assert!(!tk.offer(expl(1, 9, 3.0)), "larger key must not");
+        let v = tk.into_sorted_vec();
+        assert_eq!(v[0].tuple, vec![Value::Int(2)]);
+        assert_eq!(v[1].tuple, vec![Value::Int(5)]);
     }
 }

@@ -155,6 +155,14 @@ impl PatternStore {
             .collect()
     }
 
+    /// Refinement indices for *every* pattern at once: entry `i` equals
+    /// `refinements_of(i)`. [`refinements_of`](Self::refinements_of) is an
+    /// O(n) scan per call; services answering many questions against an
+    /// immutable store precompute this table once and share it.
+    pub fn refinement_index(&self) -> Vec<Vec<usize>> {
+        (0..self.instances.len()).map(|i| self.refinements_of(i)).collect()
+    }
+
     /// Total number of local patterns across all instances — the paper's
     /// `N_P` knob in the explanation-generation experiments (§5.2).
     pub fn num_local_patterns(&self) -> usize {

@@ -1,7 +1,9 @@
 //! Property-based tests of the CAPE core: candidate enumeration, the
-//! top-k heap, the distance model, and miner agreement on random data.
+//! top-k heap (including deterministic tie-breaking), the scoring
+//! function's monotonicity, the distance model, and miner agreement on
+//! random data.
 
-use cape_core::explain::{DistanceModel, Explanation, TopK};
+use cape_core::explain::{score_value, DistanceModel, Explanation, TopK};
 use cape_core::mining::{splits_of, ArpMiner, Miner, ShareGrpMiner};
 use cape_core::{MiningConfig, Thresholds};
 use cape_data::{Relation, Schema, Value, ValueType};
@@ -123,6 +125,84 @@ proptest! {
         let lb = dm.lower_bound(&[0, 1], &[1]);
         let cross = dm.tuple_distance(&[0, 1], &t1, &[1], &t2[1..]);
         prop_assert!(lb <= cross + 1e-12);
+    }
+
+    /// The surviving top-k set is a pure function of the candidate *set*:
+    /// any insertion order — including heavy score ties from quantized
+    /// scores — keeps exactly the k best candidates under the total order
+    /// (score desc, then refinement, then tuple).
+    #[test]
+    fn topk_survivors_are_order_independent(
+        entries in proptest::collection::vec((0usize..3, 0i64..8, 0u8..4), 1..40),
+        priorities in proptest::collection::vec(0u32..1000, 40..41),
+        k in 1usize..8,
+    ) {
+        // Quantized scores force ties; (refinement, tag) pairs collide too.
+        let candidates: Vec<Explanation> = entries
+            .iter()
+            .map(|&(r, tag, q)| expl(r, tag, f64::from(q)))
+            .collect();
+
+        // Reference: dedup each key to its max score, then apply the
+        // documented total order and truncate to k.
+        use std::collections::HashMap;
+        let mut best: HashMap<(usize, i64), f64> = HashMap::new();
+        for &(r, tag, q) in &entries {
+            let e = best.entry((r, tag)).or_insert(f64::NEG_INFINITY);
+            if f64::from(q) > *e { *e = f64::from(q); }
+        }
+        let mut expect: Vec<((usize, i64), f64)> = best.into_iter().collect();
+        expect.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        expect.truncate(k);
+
+        // A generated permutation of the insertion order.
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by_key(|&i| (priorities[i % priorities.len()], i));
+
+        for ord in [&(0..candidates.len()).collect::<Vec<_>>(), &order] {
+            let mut tk = TopK::new(k);
+            for &i in ord {
+                tk.offer(candidates[i].clone());
+            }
+            let got: Vec<((usize, i64), f64)> = tk
+                .into_sorted_vec()
+                .iter()
+                .map(|e| ((e.refinement_idx, e.tuple[0].as_i64().unwrap()), e.score))
+                .collect();
+            prop_assert_eq!(&got, &expect, "insertion order changed the survivors");
+        }
+    }
+
+    /// Definition 10: the score grows strictly with the counterbalancing
+    /// deviation and shrinks strictly as the explanation tuple moves away
+    /// from the question tuple. Holds for both question directions.
+    #[test]
+    fn score_monotone_in_deviation_antimonotone_in_distance(
+        dev in 0.01f64..50.0,
+        bump in 0.01f64..10.0,
+        dist in 0.0f64..5.0,
+        step in 0.01f64..5.0,
+        norm in 0.1f64..20.0,
+        low in 0u8..2,
+    ) {
+        // A Low question counterbalances with positive deviations, a High
+        // question with negative ones; the isLow factor flips the sign
+        // back so the score stays positive either way.
+        let is_low = if low == 0 { 1.0 } else { -1.0 };
+        let base = score_value(is_low * dev, is_low, dist, norm);
+        prop_assert!(base > 0.0);
+
+        let more_dev = score_value(is_low * (dev + bump), is_low, dist, norm);
+        prop_assert!(
+            more_dev > base,
+            "larger deviation must score higher: {} vs {}", more_dev, base
+        );
+
+        let farther = score_value(is_low * dev, is_low, dist + step, norm);
+        prop_assert!(
+            farther < base,
+            "farther tuple must score lower: {} vs {}", farther, base
+        );
     }
 
     #[test]

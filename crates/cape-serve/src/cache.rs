@@ -1,0 +1,204 @@
+//! A small thread-safe LRU cache for drill-down reuse.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never hold the lock across a computation.** Callers probe, miss,
+//!    compute *outside* the lock, then insert. Two threads may compute
+//!    the same value concurrently; since cached values are deterministic
+//!    functions of their key this wastes a little work but can never
+//!    produce divergent answers.
+//! 2. **Cheap hits.** Values are expected to be `Arc`-wrapped, so a hit
+//!    is a clone of a pointer.
+//! 3. **No external dependencies.** Recency is a `BTreeMap<u64, K>` keyed
+//!    by a monotone tick — O(log n) per touch, entirely std.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct Inner<K, V> {
+    /// key → (last-touch tick, value)
+    map: HashMap<K, (u64, V)>,
+    /// last-touch tick → key; the smallest tick is the LRU entry.
+    recency: BTreeMap<u64, K>,
+    tick: u64,
+}
+
+/// A bounded least-recently-used map with interior locking and hit/miss
+/// accounting.
+pub struct LruCache<K, V> {
+    capacity: usize,
+    inner: Mutex<Inner<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Cache holding at most `capacity` entries (0 disables caching:
+    /// every probe misses and inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            inner: Mutex::new(Inner { map: HashMap::new(), recency: BTreeMap::new(), tick: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(slot) => {
+                let old = std::mem::replace(&mut slot.0, tick);
+                let value = slot.1.clone();
+                inner.recency.remove(&old);
+                inner.recency.insert(tick, key.clone());
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry
+    /// when full.
+    pub fn insert(&self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((old, _)) = inner.map.remove(&key) {
+            inner.recency.remove(&old);
+        }
+        while inner.map.len() >= self.capacity {
+            let Some((&oldest, _)) = inner.recency.iter().next() else {
+                break;
+            };
+            if let Some(victim) = inner.recency.remove(&oldest) {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.recency.insert(tick, key.clone());
+        inner.map.insert(key, (tick, value));
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Probes answered from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Probes that missed since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl<K, V> std::fmt::Debug for LruCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruCache")
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache: LruCache<u32, u32> = LruCache::new(4);
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(cache.get(&1), Some(10));
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&2), None, "LRU entry should have been evicted");
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11); // refresh: 2 is now the LRU
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.get(&2), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache: LruCache<u32, u32> = LruCache::new(0);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache: std::sync::Arc<LruCache<u32, u32>> = std::sync::Arc::new(LruCache::new(16));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let cache = std::sync::Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..200u32 {
+                        let k = (t * 7 + i) % 32;
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, k * 2);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 16);
+        for _ in 0..64 {
+            // Any surviving value must be consistent with its key.
+            for k in 0..32u32 {
+                if let Some(v) = cache.get(&k) {
+                    assert_eq!(v, k * 2);
+                }
+            }
+        }
+    }
+}

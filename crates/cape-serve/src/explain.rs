@@ -1,0 +1,249 @@
+//! Cache-backed, deadline-aware explanation generation.
+//!
+//! This mirrors `cape_core`'s optimized explainer (upper-bound pruning,
+//! small-NORM-first pattern order) with two additions:
+//!
+//! * the question-independent half of each drill-down is looked up in a
+//!   shared [`DrillCache`] keyed by `(F, t[F], P')`, so concurrent and
+//!   repeated questions reuse scans; and
+//! * an optional deadline is checked between `(P, P')` pairs; when it
+//!   expires the accumulated top-k is returned with `partial = true`.
+//!
+//! Without a deadline the result is **identical** to the sequential
+//! explainers: caching only changes *who computes* a drill-down, never
+//! its value, and the deterministic top-k tie-break makes the surviving
+//! set independent of candidate arrival order.
+
+use crate::cache::LruCache;
+use crate::shared::PatternStoreHandle;
+use cape_core::explain::score::score_upper_bound;
+use cape_core::explain::{norm_factor, relevant_fragment};
+use cape_core::explain::{
+    offer_candidates, raw_candidates, DrillResult, ExplainConfig, ExplainStats, Explanation, TopK,
+};
+use cape_core::question::{Direction, UserQuestion};
+use cape_core::store::PatternInstance;
+use cape_data::{AttrId, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cache key for one question-independent drill-down: the relevant
+/// pattern's partition attributes `F`, the fragment value `t[F]`, and the
+/// refinement index. Questions sharing a fragment (same author, same
+/// shop, …) map to the same keys regardless of direction, k, or the rest
+/// of the question tuple.
+pub type DrillKey = (Vec<AttrId>, Vec<Value>, usize);
+
+/// Shared LRU of drill-down scans.
+pub type DrillCache = LruCache<DrillKey, Arc<DrillResult>>;
+
+/// The direction-appropriate deviation magnitude bound `dev_↑(φ, P')`.
+fn dev_bound(p2: &PatternInstance, dir: Direction) -> f64 {
+    match dir {
+        Direction::Low => p2.max_pos_dev,
+        Direction::High => -p2.max_neg_dev,
+    }
+}
+
+/// Answer `uq` against the shared store, reusing cached drill-downs and
+/// respecting `deadline`. Returns `(explanations, stats, partial)`;
+/// `partial` is true when the deadline expired mid-search.
+pub fn explain_cached(
+    handle: &PatternStoreHandle,
+    cache: &DrillCache,
+    uq: &UserQuestion,
+    cfg: &ExplainConfig,
+    deadline: Option<Instant>,
+) -> (Vec<Explanation>, ExplainStats, bool) {
+    let t0 = Instant::now();
+    let span = cape_obs::span("serve.explain");
+    let store = handle.store();
+    let mut stats = ExplainStats::default();
+    let mut topk = TopK::new(cfg.k);
+    let mut partial = false;
+
+    // Relevant patterns, smallest NORM first (largest potential scores).
+    let mut relevant: Vec<(usize, Vec<Value>, f64)> = store
+        .iter()
+        .filter_map(|(idx, p)| relevant_fragment(p, uq).map(|f| (idx, f, norm_factor(p, uq))))
+        .collect();
+    stats.patterns_relevant = relevant.len();
+    relevant.sort_by(|a, b| a.2.total_cmp(&b.2));
+
+    'patterns: for (p_idx, f_vals, norm) in relevant {
+        let p = store.get(p_idx).expect("relevant index");
+        for &p2_idx in handle.refinements_of(p_idx) {
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    partial = true;
+                    break 'patterns;
+                }
+            }
+            stats.refinements_considered += 1;
+            let p2 = store.get(p2_idx).expect("refinement index");
+
+            let dev_up = dev_bound(p2, uq.dir);
+            if dev_up <= 0.0 {
+                stats.refinements_pruned += 1;
+                continue;
+            }
+            if let Some(threshold) = topk.threshold() {
+                let mut t_attrs: Vec<AttrId> = p2.arp.f().to_vec();
+                t_attrs.extend_from_slice(p2.arp.v());
+                let d_low = cfg.distance.lower_bound(&uq.group_attrs, &t_attrs);
+                let bound = score_upper_bound(dev_up, d_low, norm);
+                // Strict: equal-score candidates may still win the
+                // deterministic tie-break.
+                if bound < threshold {
+                    stats.refinements_pruned += 1;
+                    continue;
+                }
+            }
+
+            let key: DrillKey = (p.arp.f().to_vec(), f_vals.clone(), p2_idx);
+            let drill = match cache.get(&key) {
+                Some(hit) => {
+                    cape_obs::counter_add("serve.cache.hits", 1);
+                    hit
+                }
+                None => {
+                    cape_obs::counter_add("serve.cache.misses", 1);
+                    let computed = Arc::new(raw_candidates(p.arp.f(), &f_vals, p2));
+                    stats.tuples_checked += computed.rows_scanned;
+                    cache.insert(key, Arc::clone(&computed));
+                    computed
+                }
+            };
+            offer_candidates(&drill, p_idx, p2_idx, p2, norm, uq, cfg, &mut topk, &mut stats);
+        }
+    }
+
+    drop(span);
+    stats.time = t0.elapsed();
+    stats.publish();
+    (topk.into_sorted_vec(), stats, partial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cape_core::config::{MiningConfig, Thresholds};
+    use cape_core::mining::{Miner, ShareGrpMiner};
+    use cape_core::prelude::{NaiveExplainer, OptimizedExplainer, TopKExplainer};
+    use cape_data::{AggFunc, Relation, Schema, ValueType};
+
+    /// A DBLP-like relation with a planted counterbalance (a0 publishes a
+    /// dip in KDD-2003 and a spike in ICDE-2003).
+    fn planted() -> Relation {
+        let schema = Schema::new([
+            ("author", ValueType::Str),
+            ("year", ValueType::Int),
+            ("venue", ValueType::Str),
+        ])
+        .unwrap();
+        let mut rel = Relation::new(schema);
+        for a in 0..4 {
+            let name = format!("a{a}");
+            for y in 2000..2008 {
+                for venue in ["KDD", "ICDE"] {
+                    let mut n = 2;
+                    if a == 0 && y == 2003 {
+                        n = if venue == "KDD" { 1 } else { 4 };
+                    }
+                    for _ in 0..n {
+                        rel.push_row(vec![Value::str(&name), Value::Int(y), Value::str(venue)])
+                            .unwrap();
+                    }
+                }
+            }
+        }
+        rel
+    }
+
+    fn handle() -> PatternStoreHandle {
+        let rel = planted();
+        let cfg = MiningConfig {
+            thresholds: Thresholds::new(0.1, 3, 0.5, 2),
+            psi: 3,
+            ..MiningConfig::default()
+        };
+        let store = ShareGrpMiner.mine(&rel, &cfg).unwrap().store;
+        PatternStoreHandle::new(rel, store)
+    }
+
+    fn question() -> UserQuestion {
+        UserQuestion::new(
+            vec![0, 1, 2],
+            AggFunc::Count,
+            None,
+            vec![Value::str("a0"), Value::Int(2003), Value::str("KDD")],
+            1.0,
+            Direction::Low,
+        )
+    }
+
+    fn assert_same(a: &[Explanation], b: &[Explanation]) {
+        assert_eq!(a.len(), b.len(), "lengths differ");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.key(), y.key());
+            assert!((x.score - y.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_explainers() {
+        let handle = handle();
+        let cfg = ExplainConfig::default_for(handle.relation(), 10);
+        let uq = question();
+        let cache = DrillCache::new(64);
+        let (served, _, partial) = explain_cached(&handle, &cache, &uq, &cfg, None);
+        assert!(!partial);
+        let (naive, _) = NaiveExplainer.explain(handle.store(), &uq, &cfg);
+        let (opt, _) = OptimizedExplainer.explain(handle.store(), &uq, &cfg);
+        assert_same(&served, &naive);
+        assert_same(&served, &opt);
+        assert!(!served.is_empty());
+    }
+
+    #[test]
+    fn warm_cache_gives_identical_answers_with_fewer_scans() {
+        let handle = handle();
+        let cfg = ExplainConfig::default_for(handle.relation(), 10);
+        let uq = question();
+        let cache = DrillCache::new(64);
+        let (cold, cold_stats, _) = explain_cached(&handle, &cache, &uq, &cfg, None);
+        assert!(cache.misses() > 0);
+        let (warm, warm_stats, _) = explain_cached(&handle, &cache, &uq, &cfg, None);
+        assert_same(&cold, &warm);
+        assert!(cache.hits() > 0, "second run should hit the cache");
+        assert!(
+            warm_stats.tuples_checked < cold_stats.tuples_checked,
+            "warm run should scan fewer rows ({} vs {})",
+            warm_stats.tuples_checked,
+            cold_stats.tuples_checked
+        );
+    }
+
+    #[test]
+    fn zero_deadline_degrades_to_empty_partial() {
+        let handle = handle();
+        let cfg = ExplainConfig::default_for(handle.relation(), 10);
+        let cache = DrillCache::new(64);
+        let past = Instant::now();
+        let (expls, _, partial) = explain_cached(&handle, &cache, &question(), &cfg, Some(past));
+        assert!(partial, "expired deadline must mark the answer partial");
+        assert!(expls.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_cache_still_correct() {
+        let handle = handle();
+        let cfg = ExplainConfig::default_for(handle.relation(), 10);
+        let uq = question();
+        let cache = DrillCache::new(0);
+        let (served, _, _) = explain_cached(&handle, &cache, &uq, &cfg, None);
+        let (naive, _) = NaiveExplainer.explain(handle.store(), &uq, &cfg);
+        assert_same(&served, &naive);
+        assert_eq!(cache.hits(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Request/response types for the explanation service.
+
+use cape_core::explain::{ExplainStats, Explanation};
+use cape_core::question::UserQuestion;
+use std::time::Duration;
+
+/// One user question submitted to the service.
+#[derive(Debug, Clone)]
+pub struct ExplainRequest {
+    /// The question φ = (Q, R, t, dir).
+    pub question: UserQuestion,
+    /// Number of explanations to return.
+    pub k: usize,
+    /// Per-request deadline, measured from submission. `None` means no
+    /// deadline; `Some(Duration::ZERO)` forces an immediate (empty,
+    /// partial) answer — useful for testing degradation paths.
+    pub timeout: Option<Duration>,
+}
+
+impl ExplainRequest {
+    /// A request with no deadline.
+    pub fn new(question: UserQuestion, k: usize) -> Self {
+        ExplainRequest { question, k, timeout: None }
+    }
+
+    /// Attach a deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// The service's answer to one [`ExplainRequest`].
+#[derive(Debug, Clone)]
+pub struct ExplainResponse {
+    /// Top-k explanations, best first. When `partial` is set this is a
+    /// valid top-k of the *candidates examined before the deadline*, not
+    /// of the full search space.
+    pub explanations: Vec<Explanation>,
+    /// Counters from the run. Under caching, `tuples_checked` counts only
+    /// rows actually scanned (cache hits skip the scan), so it may be
+    /// lower than a cold sequential run's — explanation lists are still
+    /// identical.
+    pub stats: ExplainStats,
+    /// True when the deadline expired before the search space was
+    /// exhausted.
+    pub partial: bool,
+    /// Time from submission to completion (queue wait + service).
+    pub total_time: Duration,
+}

@@ -1,0 +1,325 @@
+//! The worker-pool explanation service.
+//!
+//! A fixed pool of worker threads drains a FIFO queue of
+//! [`ExplainRequest`]s. All workers share one [`PatternStoreHandle`] and
+//! one [`DrillCache`]; replies travel over per-request `mpsc` channels so
+//! callers can submit from any thread and await answers in any order.
+//!
+//! Instrumentation (all via `cape-obs`, visible in `--metrics` snapshots):
+//!
+//! * `serve.queue_depth` gauge — queue length sampled at dequeue time;
+//! * `serve.request_ns` histogram — full request latency (wait + service);
+//! * `serve.requests`, `serve.timeouts` counters;
+//! * `serve.cache.hits` / `serve.cache.misses` counters (from
+//!   [`explain_cached`]).
+
+use crate::explain::{explain_cached, DrillCache};
+use crate::request::{ExplainRequest, ExplainResponse};
+use crate::shared::PatternStoreHandle;
+use cape_core::explain::{DistanceModel, ExplainConfig};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (≥ 1; 0 is clamped to 1).
+    pub threads: usize,
+    /// Drill-down LRU capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Distance model; defaults to
+    /// [`DistanceModel::default_for`] the handle's relation when `None`.
+    pub distance: Option<DistanceModel>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { threads: 1, cache_capacity: 1024, distance: None }
+    }
+}
+
+impl ServeConfig {
+    /// Configuration with `threads` workers and default cache size.
+    pub fn with_threads(threads: usize) -> Self {
+        ServeConfig { threads, ..ServeConfig::default() }
+    }
+}
+
+struct Job {
+    request: ExplainRequest,
+    submitted: Instant,
+    reply: mpsc::Sender<ExplainResponse>,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    handle: PatternStoreHandle,
+    cache: DrillCache,
+    distance: DistanceModel,
+    queue: Mutex<Queue>,
+    ready: Condvar,
+}
+
+/// A running pool of explanation workers over one shared pattern store.
+///
+/// Dropping the service shuts the queue down and joins all workers;
+/// already-submitted requests are still answered first.
+pub struct ExplainService {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ExplainService {
+    /// Start `cfg.threads` workers over `handle`.
+    pub fn start(handle: PatternStoreHandle, cfg: ServeConfig) -> Self {
+        let distance =
+            cfg.distance.clone().unwrap_or_else(|| DistanceModel::default_for(handle.relation()));
+        let shared = Arc::new(Shared {
+            handle,
+            cache: DrillCache::new(cfg.cache_capacity),
+            distance,
+            queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
+            ready: Condvar::new(),
+        });
+        let obs_ctx = cape_obs::ThreadContext::capture();
+        let threads = cfg.threads.max(1);
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let obs_ctx = obs_ctx.clone();
+                std::thread::spawn(move || {
+                    let _obs = obs_ctx.attach();
+                    worker_loop(&shared);
+                })
+            })
+            .collect();
+        ExplainService { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shared drill-down cache (for hit/miss inspection).
+    pub fn cache(&self) -> &DrillCache {
+        &self.shared.cache
+    }
+
+    /// Enqueue a request; the answer arrives on the returned channel.
+    pub fn submit(&self, request: ExplainRequest) -> mpsc::Receiver<ExplainResponse> {
+        let (tx, rx) = mpsc::channel();
+        let job = Job { request, submitted: Instant::now(), reply: tx };
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        queue.jobs.push_back(job);
+        cape_obs::gauge_set("serve.queue_depth", queue.jobs.len() as f64);
+        drop(queue);
+        self.shared.ready.notify_one();
+        rx
+    }
+
+    /// Submit a batch and collect the answers **in input order** (each
+    /// request is still answered by whichever worker dequeues it).
+    pub fn batch(&self, requests: Vec<ExplainRequest>) -> Vec<ExplainResponse> {
+        let receivers: Vec<_> = requests.into_iter().map(|r| self.submit(r)).collect();
+        receivers.into_iter().map(|rx| rx.recv().expect("worker replies")).collect()
+    }
+}
+
+impl Drop for ExplainService {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ExplainService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExplainService")
+            .field("threads", &self.workers.len())
+            .field("cache", &self.shared.cache)
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    cape_obs::gauge_set("serve.queue_depth", queue.jobs.len() as f64);
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.ready.wait(queue).expect("queue lock");
+            }
+        };
+
+        let deadline = job.request.timeout.map(|t| job.submitted + t);
+        let cfg = ExplainConfig { k: job.request.k, distance: shared.distance.clone() };
+        let (explanations, stats, partial) =
+            explain_cached(&shared.handle, &shared.cache, &job.request.question, &cfg, deadline);
+
+        let total_time = job.submitted.elapsed();
+        cape_obs::observe_ns("serve.request_ns", total_time.as_nanos() as u64);
+        cape_obs::counter_add("serve.requests", 1);
+        if partial {
+            cape_obs::counter_add("serve.timeouts", 1);
+        }
+        // The caller may have dropped its receiver (fire-and-forget);
+        // a failed send is not an error.
+        let _ = job.reply.send(ExplainResponse { explanations, stats, partial, total_time });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cape_core::config::{MiningConfig, Thresholds};
+    use cape_core::mining::{Miner, ShareGrpMiner};
+    use cape_core::prelude::{NaiveExplainer, TopKExplainer};
+    use cape_core::question::{Direction, UserQuestion};
+    use cape_data::{AggFunc, Relation, Schema, Value, ValueType};
+    use std::time::Duration;
+
+    fn planted() -> Relation {
+        let schema = Schema::new([
+            ("author", ValueType::Str),
+            ("year", ValueType::Int),
+            ("venue", ValueType::Str),
+        ])
+        .unwrap();
+        let mut rel = Relation::new(schema);
+        for a in 0..4 {
+            let name = format!("a{a}");
+            for y in 2000..2008 {
+                for venue in ["KDD", "ICDE"] {
+                    let mut n = 2;
+                    if a == 0 && y == 2003 {
+                        n = if venue == "KDD" { 1 } else { 4 };
+                    }
+                    for _ in 0..n {
+                        rel.push_row(vec![Value::str(&name), Value::Int(y), Value::str(venue)])
+                            .unwrap();
+                    }
+                }
+            }
+        }
+        rel
+    }
+
+    fn handle() -> PatternStoreHandle {
+        let rel = planted();
+        let cfg = MiningConfig {
+            thresholds: Thresholds::new(0.1, 3, 0.5, 2),
+            psi: 3,
+            ..MiningConfig::default()
+        };
+        let store = ShareGrpMiner.mine(&rel, &cfg).unwrap().store;
+        PatternStoreHandle::new(rel, store)
+    }
+
+    fn questions(handle: &PatternStoreHandle) -> Vec<UserQuestion> {
+        let mut out = Vec::new();
+        for a in 0..4 {
+            for (y, dir) in [(2003, Direction::Low), (2005, Direction::High)] {
+                let tuple = vec![Value::str(format!("a{a}")), Value::Int(y), Value::str("KDD")];
+                let uq = UserQuestion::from_query(
+                    handle.relation(),
+                    vec![0, 1, 2],
+                    AggFunc::Count,
+                    None,
+                    tuple,
+                    dir,
+                );
+                out.push(uq.expect("grid question exists"));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn batch_matches_sequential_naive() {
+        let handle = handle();
+        let cfg = ExplainConfig::default_for(handle.relation(), 8);
+        let qs = questions(&handle);
+        let service = ExplainService::start(handle.clone(), ServeConfig::with_threads(4));
+        let responses =
+            service.batch(qs.iter().map(|q| ExplainRequest::new(q.clone(), 8)).collect());
+        assert_eq!(responses.len(), qs.len());
+        for (uq, resp) in qs.iter().zip(&responses) {
+            assert!(!resp.partial);
+            let (expected, _) = NaiveExplainer.explain(handle.store(), uq, &cfg);
+            assert_eq!(resp.explanations.len(), expected.len());
+            for (a, b) in resp.explanations.iter().zip(&expected) {
+                assert_eq!(a.key(), b.key());
+                assert!((a.score - b.score).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn answers_arrive_in_input_order() {
+        let handle = handle();
+        let qs = questions(&handle);
+        let service = ExplainService::start(handle, ServeConfig::with_threads(2));
+        let reqs: Vec<ExplainRequest> =
+            qs.iter().enumerate().map(|(i, q)| ExplainRequest::new(q.clone(), i + 1)).collect();
+        let responses = service.batch(reqs);
+        for (i, resp) in responses.iter().enumerate() {
+            assert!(resp.explanations.len() <= i + 1, "k was {} for request {i}", i + 1);
+        }
+    }
+
+    #[test]
+    fn zero_timeout_yields_partial_answers() {
+        let handle = handle();
+        let qs = questions(&handle);
+        let service = ExplainService::start(handle, ServeConfig::with_threads(2));
+        let reqs: Vec<ExplainRequest> = qs
+            .iter()
+            .map(|q| ExplainRequest::new(q.clone(), 5).with_timeout(Duration::ZERO))
+            .collect();
+        let responses = service.batch(reqs);
+        assert!(responses.iter().all(|r| r.partial));
+        assert!(responses.iter().all(|r| r.explanations.is_empty()));
+    }
+
+    #[test]
+    fn shutdown_answers_pending_requests() {
+        let handle = handle();
+        let q = questions(&handle).remove(0);
+        let service = ExplainService::start(handle, ServeConfig::with_threads(1));
+        let receivers: Vec<_> =
+            (0..6).map(|_| service.submit(ExplainRequest::new(q.clone(), 3))).collect();
+        drop(service); // joins workers after the queue drains
+        for rx in receivers {
+            let resp = rx.recv().expect("answered before shutdown");
+            assert!(!resp.partial);
+        }
+    }
+
+    #[test]
+    fn cache_is_shared_across_requests() {
+        let handle = handle();
+        let q = questions(&handle).remove(0);
+        let service = ExplainService::start(handle, ServeConfig::with_threads(2));
+        let _ = service.batch((0..4).map(|_| ExplainRequest::new(q.clone(), 5)).collect());
+        assert!(service.cache().hits() > 0, "repeated question must hit the shared cache");
+    }
+}

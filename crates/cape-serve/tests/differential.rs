@@ -1,0 +1,202 @@
+//! Differential correctness harness (ISSUE 2).
+//!
+//! For a deterministic grid of user questions over the synthetic DBLP and
+//! Crime generators, assert that every execution strategy produces the
+//! *same* top-k explanation list:
+//!
+//! * `NaiveExplainer` (exhaustive, the reference semantics),
+//! * `OptimizedExplainer` (upper-bound pruning),
+//! * `explain_cached` cold and warm (shared drill cache),
+//! * `ExplainService` with 1 worker and with 4 workers (concurrent).
+//!
+//! "Same" means same candidate keys (pattern refinement + tuple), in the
+//! same order, with scores equal to 1e-9 — the deterministic tie-break in
+//! `cape_core::explain::topk` is what makes this well-defined.
+
+use cape_core::config::MiningConfig;
+use cape_core::explain::{ExplainConfig, Explanation};
+use cape_core::mining::{ArpMiner, Miner};
+use cape_core::prelude::{NaiveExplainer, OptimizedExplainer, TopKExplainer};
+use cape_core::question::{Direction, UserQuestion};
+use cape_core::store::PatternStore;
+use cape_data::ops::aggregate;
+use cape_data::{AggFunc, AggSpec, AttrId, Relation};
+use cape_serve::{DrillCache, ExplainRequest, ExplainService, PatternStoreHandle, ServeConfig};
+
+const TOP_K: usize = 8;
+const QUESTIONS_PER_DATASET: usize = 24;
+const SCORE_TOL: f64 = 1e-9;
+
+/// A deterministic grid of questions: group by `group_attrs`, rank the
+/// result rows by count descending (ties broken by tuple values), take
+/// the top `n` with alternating High/Low directions. No RNG — the grid is
+/// a pure function of the relation.
+fn question_grid(rel: &Relation, group_attrs: &[AttrId], n: usize) -> Vec<UserQuestion> {
+    let result = aggregate(rel, group_attrs, &[AggSpec { func: AggFunc::Count, attr: None }])
+        .expect("count query")
+        .relation;
+    let agg_col = group_attrs.len();
+    let key_cols: Vec<usize> = (0..group_attrs.len()).collect();
+    let mut order: Vec<usize> = (0..result.num_rows()).collect();
+    order.sort_by(|&a, &b| {
+        let ca = result.value(a, agg_col).as_f64().unwrap_or(0.0);
+        let cb = result.value(b, agg_col).as_f64().unwrap_or(0.0);
+        cb.total_cmp(&ca)
+            .then_with(|| result.row_project(a, &key_cols).cmp(&result.row_project(b, &key_cols)))
+    });
+    order
+        .iter()
+        .take(n)
+        .enumerate()
+        .map(|(i, &row)| {
+            let tuple = result.row_project(row, &key_cols);
+            let agg_value = result.value(row, agg_col).as_f64().unwrap_or(0.0);
+            let dir = if i % 2 == 0 { Direction::Low } else { Direction::High };
+            UserQuestion::new(group_attrs.to_vec(), AggFunc::Count, None, tuple, agg_value, dir)
+        })
+        .collect()
+}
+
+fn assert_identical(label: &str, qi: usize, reference: &[Explanation], got: &[Explanation]) {
+    assert_eq!(
+        reference.len(),
+        got.len(),
+        "{label}: question {qi}: lengths differ ({} vs {})",
+        reference.len(),
+        got.len()
+    );
+    for (j, (a, b)) in reference.iter().zip(got).enumerate() {
+        assert_eq!(a.key(), b.key(), "{label}: question {qi}: rank {j} candidate differs");
+        assert!(
+            (a.score - b.score).abs() < SCORE_TOL,
+            "{label}: question {qi}: rank {j} score {} vs {}",
+            a.score,
+            b.score
+        );
+        assert_eq!(a.pattern_idx, b.pattern_idx, "{label}: question {qi}: rank {j} pattern");
+    }
+}
+
+/// The full differential matrix for one mined dataset.
+fn run_matrix(label: &str, rel: Relation, store: PatternStore, questions: Vec<UserQuestion>) {
+    assert!(questions.len() >= 20, "{label}: differential grid too small ({})", questions.len());
+    let cfg = ExplainConfig::default_for(&rel, TOP_K);
+    let handle = PatternStoreHandle::new(rel, store);
+
+    // Reference: the sequential naive explainer.
+    let reference: Vec<Vec<Explanation>> =
+        questions.iter().map(|q| NaiveExplainer.explain(handle.store(), q, &cfg).0).collect();
+    let answered = reference.iter().filter(|r| !r.is_empty()).count();
+    assert!(answered > 0, "{label}: no question produced any explanation — harness is vacuous");
+
+    // Optimized sequential.
+    for (i, q) in questions.iter().enumerate() {
+        let (opt, _) = OptimizedExplainer.explain(handle.store(), q, &cfg);
+        assert_identical(&format!("{label}/optimized"), i, &reference[i], &opt);
+    }
+
+    // Cached, cold then warm, on one shared cache.
+    let cache = DrillCache::new(4096);
+    for pass in ["cold", "warm"] {
+        for (i, q) in questions.iter().enumerate() {
+            let (served, _, partial) = cape_serve::explain_cached(&handle, &cache, q, &cfg, None);
+            assert!(!partial);
+            assert_identical(&format!("{label}/cached-{pass}"), i, &reference[i], &served);
+        }
+    }
+    assert!(cache.hits() > 0, "{label}: warm pass never hit the cache");
+
+    // Concurrent service, 1 and 4 workers.
+    for threads in [1, 4] {
+        let service = ExplainService::start(handle.clone(), ServeConfig::with_threads(threads));
+        let responses = service
+            .batch(questions.iter().map(|q| ExplainRequest::new(q.clone(), TOP_K)).collect());
+        for (i, resp) in responses.iter().enumerate() {
+            assert!(!resp.partial);
+            assert_identical(
+                &format!("{label}/service-{threads}t"),
+                i,
+                &reference[i],
+                &resp.explanations,
+            );
+        }
+    }
+}
+
+#[test]
+fn dblp_grid_all_strategies_agree() {
+    let rel = cape_datagen::dblp::generate(&cape_datagen::dblp::DblpConfig::with_rows(6000));
+    let mut mcfg = MiningConfig {
+        thresholds: cape_core::config::Thresholds::new(0.15, 4, 0.3, 3),
+        psi: 3,
+        ..MiningConfig::default()
+    };
+    mcfg.exclude = vec![cape_datagen::dblp::attrs::PUBID];
+    let store = ArpMiner.mine(&rel, &mcfg).expect("mining").store;
+    assert!(!store.is_empty(), "DBLP mining found no patterns");
+    let questions = question_grid(
+        &rel,
+        &[
+            cape_datagen::dblp::attrs::AUTHOR,
+            cape_datagen::dblp::attrs::YEAR,
+            cape_datagen::dblp::attrs::VENUE,
+        ],
+        QUESTIONS_PER_DATASET,
+    );
+    run_matrix("dblp", rel, store, questions);
+}
+
+#[test]
+fn crime_grid_all_strategies_agree() {
+    let rel = cape_datagen::crime::generate(&cape_datagen::crime::CrimeConfig::with_rows(6000));
+    let mcfg = MiningConfig {
+        thresholds: cape_core::config::Thresholds::new(0.15, 4, 0.3, 3),
+        psi: 3,
+        ..MiningConfig::default()
+    };
+    let store = ArpMiner.mine(&rel, &mcfg).expect("mining").store;
+    assert!(!store.is_empty(), "Crime mining found no patterns");
+    let questions = question_grid(
+        &rel,
+        &[
+            cape_datagen::crime::attrs::PRIMARY_TYPE,
+            cape_datagen::crime::attrs::COMMUNITY,
+            cape_datagen::crime::attrs::YEAR,
+        ],
+        QUESTIONS_PER_DATASET,
+    );
+    run_matrix("crime", rel, store, questions);
+}
+
+/// Mixed directions and k values through the concurrent service still
+/// match per-question sequential answers (requests are heterogeneous, so
+/// this exercises per-request config rather than shared state).
+#[test]
+fn heterogeneous_requests_match_sequential() {
+    let rel = cape_datagen::dblp::generate(&cape_datagen::dblp::DblpConfig::with_rows(4000));
+    let mut mcfg = MiningConfig {
+        thresholds: cape_core::config::Thresholds::new(0.15, 4, 0.3, 3),
+        psi: 3,
+        ..MiningConfig::default()
+    };
+    mcfg.exclude = vec![cape_datagen::dblp::attrs::PUBID];
+    let store = ArpMiner.mine(&rel, &mcfg).expect("mining").store;
+    let questions = question_grid(
+        &rel,
+        &[cape_datagen::dblp::attrs::AUTHOR, cape_datagen::dblp::attrs::YEAR],
+        10,
+    );
+    let handle = PatternStoreHandle::new(rel, store);
+    let service = ExplainService::start(handle.clone(), ServeConfig::with_threads(3));
+    let reqs: Vec<ExplainRequest> = questions
+        .iter()
+        .enumerate()
+        .map(|(i, q)| ExplainRequest::new(q.clone(), 1 + (i % 5)))
+        .collect();
+    let responses = service.batch(reqs);
+    for (i, (q, resp)) in questions.iter().zip(&responses).enumerate() {
+        let cfg = ExplainConfig::default_for(handle.relation(), 1 + (i % 5));
+        let (expected, _) = NaiveExplainer.explain(handle.store(), q, &cfg);
+        assert_identical("dblp/heterogeneous", i, &expected, &resp.explanations);
+    }
+}

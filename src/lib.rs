@@ -13,7 +13,9 @@
 //! * [`data`] — in-memory columnar relational engine (the PostgreSQL role);
 //! * [`regress`] — constant/linear regression with chi-square / R² GoF;
 //! * [`datagen`] — deterministic synthetic DBLP and Chicago-Crime data;
-//! * [`core`] — ARPs, the four mining algorithms, explanation generation.
+//! * [`core`] — ARPs, the four mining algorithms, explanation generation;
+//! * [`serve`] — concurrent explanation serving over a shared pattern
+//!   store, with drill-down caching and per-request deadlines.
 //!
 //! ## Example
 //!
@@ -53,3 +55,4 @@ pub use cape_core as core;
 pub use cape_data as data;
 pub use cape_datagen as datagen;
 pub use cape_regress as regress;
+pub use cape_serve as serve;
