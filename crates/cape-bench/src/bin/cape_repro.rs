@@ -11,10 +11,11 @@
 //! hardware) but the comparative shape is the reproduction target.
 
 use cape_bench::experiments::{
-    ablation, explain_perf, fd_opt, mining_scaling, sensitivity, serve, subtasks, tables,
-    user_study,
+    ablation, explain_perf, fd_opt, mine_bench, mining_scaling, sensitivity, serve, subtasks,
+    tables, user_study,
 };
 use cape_bench::Scale;
+use mine_bench::MineBenchOpts;
 
 const EXPERIMENTS: &[&str] = &[
     "fig3a",
@@ -34,15 +35,19 @@ const EXPERIMENTS: &[&str] = &[
     "ablation",
     "userstudy",
     "serve",
+    "mine-bench",
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: cape-repro [--scale quick|full] <experiment>...");
+    eprintln!(
+        "usage: cape-repro [--scale quick|full] [--no-rollup] [--no-sort-cache] <experiment>..."
+    );
     eprintln!("experiments: all {}", EXPERIMENTS.join(" "));
+    eprintln!("--no-rollup / --no-sort-cache disable one mining kernel in mine-bench");
     std::process::exit(2);
 }
 
-fn run(name: &str, scale: Scale) -> String {
+fn run(name: &str, scale: Scale, mine_opts: MineBenchOpts) -> String {
     eprintln!("running {name} ({scale:?}) ...");
     match name {
         "fig3a" => mining_scaling::fig3a(scale),
@@ -67,6 +72,7 @@ fn run(name: &str, scale: Scale) -> String {
         "table7" => tables::table7(),
         "ablation" => ablation::ablation(),
         "serve" => serve::serve(scale),
+        "mine-bench" | "minebench" => mine_bench::mine_bench(scale, mine_opts),
         "userstudy" => {
             let (rows, budget) = match scale {
                 Scale::Quick => (3_000, 12),
@@ -84,6 +90,7 @@ fn run(name: &str, scale: Scale) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
+    let mut mine_opts = MineBenchOpts::default();
     let mut selected: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -96,6 +103,8 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--no-rollup" => mine_opts.rollup = false,
+            "--no-sort-cache" => mine_opts.sort_cache = false,
             "--help" | "-h" => usage(),
             other => selected.push(other.to_string()),
         }
@@ -110,7 +119,7 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     for name in &selected {
-        let report = run(name, scale);
+        let report = run(name, scale, mine_opts);
         println!("{report}");
     }
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());

@@ -1,0 +1,201 @@
+//! Mining-kernel benchmark: wall-clock and per-stage times for the miner
+//! variants with the columnar kernels (lattice roll-up and the
+//! sort-permutation cache) off — the pre-kernel baseline — and on, at
+//! DBLP and Crime scales. Results are written to
+//! `results/BENCH_mine.json` in addition to the rendered table.
+//!
+//! The `--no-rollup` / `--no-sort-cache` escape hatches force the
+//! corresponding kernel off in the "on" configuration, so a regression
+//! can be bisected to one kernel from the command line without editing
+//! code.
+
+use crate::datasets::{crime_prefix, crime_rows, dblp_rows, Scale};
+use crate::report::{section, SeriesTable};
+use cape_core::config::MiningConfig;
+use cape_core::mining::{ArpMiner, CubeMiner, Miner, MiningOutput, ParallelMiner, ShareGrpMiner};
+use cape_data::Relation;
+use cape_obs::Json;
+
+/// Escape hatches for the kernels-on configuration (satellite of the
+/// columnar-kernels change): `cape-repro mine-bench --no-rollup
+/// --no-sort-cache` reproduces the pre-kernel data path even in the "on"
+/// runs.
+#[derive(Debug, Clone, Copy)]
+pub struct MineBenchOpts {
+    /// Enable lattice roll-up in the kernels-on runs.
+    pub rollup: bool,
+    /// Enable the sort-permutation cache in the kernels-on runs.
+    pub sort_cache: bool,
+}
+
+impl Default for MineBenchOpts {
+    fn default() -> Self {
+        MineBenchOpts { rollup: true, sort_cache: true }
+    }
+}
+
+/// Number of crime attributes kept (the paper's core query attributes).
+const CRIME_ATTRS: usize = 5;
+
+fn miners() -> Vec<(&'static str, Box<dyn Miner>)> {
+    vec![
+        ("SHARE-GRP", Box::new(ShareGrpMiner)),
+        ("CUBE", Box::new(CubeMiner)),
+        ("ARP-MINE", Box::new(ArpMiner)),
+        ("PAR-2", Box::new(ParallelMiner { threads: 2 })),
+    ]
+}
+
+fn threads_of(name: &str) -> usize {
+    if name == "PAR-2" {
+        2
+    } else {
+        1
+    }
+}
+
+fn base_cfg(exclude: Vec<usize>) -> MiningConfig {
+    MiningConfig {
+        thresholds: cape_core::config::Thresholds::new(0.15, 4, 0.3, 3),
+        psi: 3,
+        exclude,
+        ..MiningConfig::default()
+    }
+}
+
+struct Run {
+    wall_s: f64,
+    query_s: f64,
+    regress_s: f64,
+    other_s: f64,
+    patterns: usize,
+    group_queries: usize,
+    sort_queries: usize,
+    rollup_hits: usize,
+    sort_cache_hits: usize,
+    scan_rows_saved: usize,
+}
+
+fn run_once(miner: &dyn Miner, rel: &Relation, cfg: &MiningConfig) -> Run {
+    let out: MiningOutput = miner.mine(rel, cfg).expect("mining");
+    let s = &out.stats;
+    Run {
+        wall_s: s.total_time.as_secs_f64(),
+        query_s: s.query_time.as_secs_f64(),
+        regress_s: s.regression_time.as_secs_f64(),
+        other_s: s.other_time().as_secs_f64(),
+        patterns: out.store.len(),
+        group_queries: s.group_queries,
+        sort_queries: s.sort_queries,
+        rollup_hits: s.rollup_hits,
+        sort_cache_hits: s.sort_cache_hits,
+        scan_rows_saved: s.scan_rows_saved,
+    }
+}
+
+fn run_json(label: &str, r: &Run) -> (String, Json) {
+    (
+        label.into(),
+        Json::Obj(vec![
+            ("wall_s".into(), Json::Num(r.wall_s)),
+            (
+                "per_stage".into(),
+                Json::Obj(vec![
+                    ("query_s".into(), Json::Num(r.query_s)),
+                    ("regress_s".into(), Json::Num(r.regress_s)),
+                    ("other_s".into(), Json::Num(r.other_s)),
+                ]),
+            ),
+            ("patterns".into(), Json::Num(r.patterns as f64)),
+            ("group_queries".into(), Json::Num(r.group_queries as f64)),
+            ("sort_queries".into(), Json::Num(r.sort_queries as f64)),
+            ("rollup_hits".into(), Json::Num(r.rollup_hits as f64)),
+            ("sort_cache_hits".into(), Json::Num(r.sort_cache_hits as f64)),
+            ("scan_rows_saved".into(), Json::Num(r.scan_rows_saved as f64)),
+        ]),
+    )
+}
+
+/// The mine-bench experiment: for each dataset scale and miner, mine with
+/// the kernels off (baseline) and on, and report the speedup.
+pub fn mine_bench(scale: Scale, opts: MineBenchOpts) -> String {
+    let row_sweep: Vec<usize> = match scale {
+        Scale::Quick => vec![10_000],
+        Scale::Full => vec![10_000, 30_000, 100_000],
+    };
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut entries = Vec::new();
+    let mut report = String::new();
+    for &rows in &row_sweep {
+        let datasets: Vec<(&str, Relation, Vec<usize>)> = vec![
+            ("dblp", dblp_rows(rows), vec![cape_datagen::dblp::attrs::PUBID]),
+            ("crime", crime_prefix(&crime_rows(rows), CRIME_ATTRS), vec![]),
+        ];
+        for (dataset, rel, exclude) in datasets {
+            let mut off_cfg = base_cfg(exclude.clone());
+            off_cfg.rollup = false;
+            off_cfg.sort_cache = false;
+            let mut on_cfg = base_cfg(exclude);
+            on_cfg.rollup = opts.rollup;
+            on_cfg.sort_cache = opts.sort_cache;
+
+            let mut wall_off = Vec::new();
+            let mut wall_on = Vec::new();
+            let mut speedups = Vec::new();
+            let names: Vec<String> = miners().iter().map(|(n, _)| n.to_string()).collect();
+            for (name, miner) in miners() {
+                let off = run_once(miner.as_ref(), &rel, &off_cfg);
+                let on = run_once(miner.as_ref(), &rel, &on_cfg);
+                let speedup = if on.wall_s > 0.0 { off.wall_s / on.wall_s } else { f64::NAN };
+                eprintln!(
+                    "  mine-bench: {dataset}/{rows} {name}: off {:.3}s on {:.3}s ({speedup:.2}x, \
+                     rollup hits {}, sort-cache hits {}, rows saved {})",
+                    off.wall_s, on.wall_s, on.rollup_hits, on.sort_cache_hits, on.scan_rows_saved,
+                );
+                assert_eq!(off.patterns, on.patterns, "kernels changed the mined pattern count");
+                wall_off.push(Some(off.wall_s));
+                wall_on.push(Some(on.wall_s));
+                speedups.push(Some(speedup));
+                entries.push(Json::Obj(vec![
+                    ("dataset".into(), Json::Str(dataset.into())),
+                    ("rows".into(), Json::Num(rel.num_rows() as f64)),
+                    ("miner".into(), Json::Str(name.into())),
+                    ("threads".into(), Json::Num(threads_of(name) as f64)),
+                    ("rollup".into(), Json::Bool(opts.rollup)),
+                    ("sort_cache".into(), Json::Bool(opts.sort_cache)),
+                    ("speedup".into(), Json::Num(speedup)),
+                    run_json("baseline", &off),
+                    run_json("kernels", &on),
+                ]));
+            }
+
+            let mut table = SeriesTable::new("miner", names);
+            table.push_series("baseline [s]", wall_off);
+            table.push_series("kernels [s]", wall_on);
+            table.push_series("speedup", speedups);
+            report.push_str(&format!(
+                "{}{} rows (rollup: {}, sort cache: {})\n{}",
+                section(&format!("Mining kernels: {dataset} @ {rows}")),
+                rel.num_rows(),
+                opts.rollup,
+                opts.sort_cache,
+                table.render()
+            ));
+        }
+    }
+
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::Str("mine-bench".into())),
+        ("host_cpus".into(), Json::Num(host_cpus as f64)),
+        ("rollup".into(), Json::Bool(opts.rollup)),
+        ("sort_cache".into(), Json::Bool(opts.sort_cache)),
+        ("psi".into(), Json::Num(3.0)),
+        ("crime_attrs".into(), Json::Num(CRIME_ATTRS as f64)),
+        ("entries".into(), Json::Arr(entries)),
+    ]);
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_mine.json", format!("{json}\n")).expect("write BENCH_mine.json");
+    report.push_str("wrote results/BENCH_mine.json\n");
+    report
+}

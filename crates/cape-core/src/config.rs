@@ -70,6 +70,16 @@ pub struct MiningConfig {
     /// FDs known up front (e.g. from key constraints). Discovered FDs are
     /// added on top when `fd_pruning` is enabled.
     pub initial_fds: FdSet,
+    /// Whether to derive child group sets from already-materialized
+    /// lattice parents (roll-up aggregation) instead of rescanning the
+    /// base relation. Output-equivalent either way.
+    pub rollup: bool,
+    /// Whether to cache sort permutations per group set and serve `(F, V)`
+    /// splits from prefix-compatible cached orders.
+    pub sort_cache: bool,
+    /// Bounded-memory budget for roll-up parents: total cached *group*
+    /// rows across materializations before least-recently-used eviction.
+    pub rollup_budget_rows: usize,
 }
 
 impl Default for MiningConfig {
@@ -82,6 +92,9 @@ impl Default for MiningConfig {
             exclude: Vec::new(),
             fd_pruning: false,
             initial_fds: FdSet::new(),
+            rollup: true,
+            sort_cache: true,
+            rollup_budget_rows: 2_000_000,
         }
     }
 }

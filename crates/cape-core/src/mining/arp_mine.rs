@@ -10,7 +10,6 @@ use crate::mining::share_grp::build_candidates;
 use crate::mining::{make_instance, record_mining_run, validate_config, Miner, MiningOutput};
 use crate::pattern::Arp;
 use crate::store::PatternStore;
-use cape_data::ops::sort_by;
 use cape_data::stats::attr_stats;
 use cape_data::{AttrId, FdDiscovery, FdSet, Relation};
 use std::collections::{BTreeSet, HashSet};
@@ -60,6 +59,7 @@ impl Miner for ArpMiner {
                 }
 
                 explore_sort_orders(rel, cfg, &gd, &g, &fds, &mut store)?;
+                gd.clear_sort_cache();
             }
 
             Ok((store, fds))
@@ -108,11 +108,25 @@ pub(crate) fn explore_sort_orders(
             continue; // nothing new — skip the sort entirely (line 2 of Alg. 5)
         }
 
-        // One sort covers every prefix split of this permutation.
+        // One sort order covers every prefix split of this permutation; a
+        // cached permutation whose prefixes match each needed F as a set
+        // (from another permutation of G, or a prior mine_split) serves
+        // without re-sorting. `sort_queries` still counts the logical
+        // request, as in the paper's cost model.
         let perm_cols: Vec<usize> =
             perm.iter().map(|&a| gd.col_of_attr(a).expect("attr in G")).collect();
-        let sorted = sort_by(&gd.relation, &perm_cols);
         cape_obs::counter_add("mining.sort_queries", 1);
+        let prefix_lens: Vec<usize> = new_fs.iter().map(|f| f.len()).collect();
+        let (sorted_copy, sort_perm) = if cfg.sort_cache {
+            (None, gd.sort_perm_covering(&perm_cols, &prefix_lens, true))
+        } else {
+            // Pre-kernel data path: one materialized `ORDER BY` copy per
+            // useful permutation, scanned in storage order.
+            let sorted = cape_data::ops::sort_by(&gd.relation, &perm_cols);
+            let identity: Arc<Vec<usize>> = Arc::new((0..sorted.num_rows()).collect());
+            (Some(sorted), identity)
+        };
+        let scan: &Relation = sorted_copy.as_ref().unwrap_or(&gd.relation);
 
         for f in new_fs {
             covered.insert(f.clone());
@@ -124,7 +138,8 @@ pub(crate) fn explore_sort_orders(
             if candidates.is_empty() {
                 continue;
             }
-            let outcomes = fit_split(&sorted, &f_cols, &v_cols, &candidates, &cfg.thresholds);
+            let outcomes =
+                fit_split(scan, &sort_perm, &f_cols, &v_cols, &candidates, &cfg.thresholds);
             for (cand, outcome) in candidates.iter().zip(outcomes) {
                 if let Some(outcome) = outcome {
                     let arp = Arp::new(

@@ -13,13 +13,14 @@ use crate::config::{AggSelection, MiningConfig};
 use crate::error::Result;
 use crate::group_data::GroupData;
 use crate::mining::candidates::{group_sets, splits_of};
+use crate::mining::rollup::{materialize_group, plan_order, LatticeRollup};
 use crate::mining::share_grp::mine_split;
 use crate::mining::{record_mining_run, validate_config, Miner, MiningOutput};
 use crate::store::PatternStore;
 use cape_data::ops::cube;
 use cape_data::{AggFunc, AggSpec, AttrId, Relation};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The CUBE miner.
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,7 +34,6 @@ impl Miner for CubeMiner {
     fn mine(&self, rel: &Relation, cfg: &MiningConfig) -> Result<MiningOutput> {
         validate_config(cfg)?;
         record_mining_run(|| {
-            let mut store = PatternStore::new();
             let attrs = cfg.candidate_attrs(rel);
 
             // The single cube query must evaluate the union of all aggregate
@@ -43,18 +43,31 @@ impl Miner for CubeMiner {
             let specs: Vec<AggSpec> =
                 union_aggs.iter().map(|&(func, attr)| AggSpec { func, attr }).collect();
 
-            let slices = cube(rel, &attrs, 0, cfg.psi, &specs)?;
+            // With roll-up on, only the *maximal* groupings come from the
+            // cube scan; every smaller grouping derives from them through
+            // the lattice (the slices carry the full union aggregate list,
+            // so any child's aggregates compose). With roll-up off, the
+            // cube materializes all groupings as before.
+            let min_size = if cfg.rollup { cfg.psi.min(attrs.len()) } else { 0 };
+            let slices = cube(rel, &attrs, min_size, cfg.psi, &specs)?;
             cape_obs::counter_add("mining.group_queries", 1); // one cube query
 
-            // Index slices by their dimension set.
+            let lattice = Mutex::new(LatticeRollup::new(rel.num_rows(), cfg));
             let mut by_dims: HashMap<Vec<AttrId>, Arc<GroupData>> = HashMap::new();
             for slice in slices {
-                let gd = GroupData::from_parts(slice.dims.clone(), slice.relation, &union_aggs);
-                by_dims.insert(slice.dims, Arc::new(gd));
+                let gd = Arc::new(GroupData::from_parts(
+                    slice.dims.clone(),
+                    slice.relation,
+                    &union_aggs,
+                ));
+                lattice.lock().expect("lattice").seed(Arc::clone(&gd), specs.clone());
+                by_dims.insert(slice.dims, gd);
             }
 
-            for g in group_sets(&attrs, cfg.psi) {
-                let Some(gd) = by_dims.get(&g) else { continue };
+            let gs = group_sets(&attrs, cfg.psi);
+            let mut stores: Vec<PatternStore> = gs.iter().map(|_| PatternStore::new()).collect();
+            for &i in &plan_order(&gs, cfg.rollup) {
+                let g = &gs[i];
                 // Only the aggregates valid for this grouping (A ∉ G).
                 let aggs: Vec<(AggFunc, Option<AttrId>)> = union_aggs
                     .iter()
@@ -64,11 +77,26 @@ impl Miner for CubeMiner {
                 if aggs.is_empty() {
                     continue;
                 }
-                for split in splits_of(&g) {
-                    mine_split(rel, cfg, gd, &split, &aggs, &mut store)?;
+                let gd = if cfg.rollup {
+                    materialize_group(rel, g, &aggs, &lattice)?
+                } else {
+                    match by_dims.get(g) {
+                        Some(gd) => Arc::clone(gd),
+                        None => continue,
+                    }
+                };
+                for split in splits_of(g) {
+                    mine_split(rel, cfg, &gd, &split, &aggs, &mut stores[i])?;
                 }
+                gd.clear_sort_cache();
             }
 
+            let mut store = PatternStore::new();
+            for slice in stores {
+                for (_, inst) in slice.iter() {
+                    store.push(inst.clone());
+                }
+            }
             Ok((store, cfg.initial_fds.clone()))
         })
     }

@@ -4,7 +4,7 @@
 
 use crate::config::Thresholds;
 use crate::store::LocalPattern;
-use cape_data::ops::sorted_block_starts;
+use cape_data::ops::perm_block_starts;
 use cape_data::{AggFunc, AttrId, Relation, Value};
 use cape_regress::{fit, ModelType};
 use std::collections::HashMap;
@@ -35,15 +35,22 @@ pub struct FitOutcome {
     pub num_supported: usize,
 }
 
-/// Scan `sorted` — a grouped relation (`γ_{F∪V, aggs}`) sorted so that all
-/// rows of a fragment (`t[F] = f`) are consecutive — and evaluate every
-/// candidate. Returns one entry per candidate: `Some(outcome)` if the
-/// pattern holds globally under `thresholds`, else `None`.
+/// Scan `grouped` — a grouped relation (`γ_{F∪V, aggs}`) — *through* the
+/// sort permutation `perm` (virtual row `i` is `grouped`'s row `perm[i]`,
+/// ordered so that all rows of a fragment `t[F] = f` are consecutive) and
+/// evaluate every candidate. Returns one entry per candidate:
+/// `Some(outcome)` if the pattern holds globally under `thresholds`, else
+/// `None`.
+///
+/// Reading through the permutation means no sorted copy of the grouped
+/// relation is ever materialized — one permutation vector replaces a full
+/// relation clone per `(F, V)` split.
 ///
 /// This is the "evaluate multiple patterns in parallel with one scan"
 /// optimization of Section 4.2.
 pub fn fit_split(
-    sorted: &Relation,
+    grouped: &Relation,
+    perm: &[usize],
     f_cols: &[usize],
     v_cols: &[usize],
     candidates: &[SplitCandidate],
@@ -61,7 +68,28 @@ pub fn fit_split(
     let mut num_supported = 0usize;
 
     let needs_numeric_x = candidates.iter().any(|c| c.model.requires_numeric_predictors());
-    let starts = sorted_block_starts(sorted, f_cols);
+    let starts = perm_block_starts(grouped, perm, f_cols);
+
+    // Distinct aggregate columns and each candidate's slot among them.
+    let mut distinct_cols: Vec<usize> = Vec::new();
+    let col_slot: Vec<usize> = candidates
+        .iter()
+        .map(|c| {
+            distinct_cols.iter().position(|&d| d == c.agg_col).unwrap_or_else(|| {
+                distinct_cols.push(c.agg_col);
+                distinct_cols.len() - 1
+            })
+        })
+        .collect();
+
+    // Per-block extraction buffers, reused across blocks. Predictor rows
+    // are only materialized when some candidate actually reads them —
+    // models that ignore predictors fit straight from the y buffer.
+    let mut xs_rows: Vec<Vec<f64>> = Vec::new();
+    let mut x_missing: Vec<bool> = Vec::new();
+    let mut ys_raw: Vec<Vec<Option<f64>>> = vec![Vec::new(); distinct_cols.len()];
+    let mut ys_dense: Vec<Vec<f64>> = vec![Vec::new(); distinct_cols.len()];
+    let mut ys_is_dense: Vec<bool> = vec![false; distinct_cols.len()];
 
     for w in starts.windows(2) {
         let (start, end) = (w[0], w[1]);
@@ -70,63 +98,93 @@ pub fn fit_split(
             continue; // insufficient evidence: excluded from frag_supp
         }
         num_supported += 1;
-        let f_key = sorted.row_project(start, f_cols);
+        let f_key = grouped.row_project(perm[start], f_cols);
 
-        // Pre-extract predictor vectors once per block.
-        let xs_block: Vec<Option<Vec<f64>>> = (start..end)
-            .map(|i| {
+        // Pre-extract predictor rows once per block; nulls become 0.0 and
+        // are flagged so models needing numeric predictors can drop the
+        // row.
+        let mut n_x_missing = 0usize;
+        if needs_numeric_x {
+            xs_rows.clear();
+            x_missing.clear();
+            for &p in &perm[start..end] {
                 let mut x = Vec::with_capacity(v_cols.len());
+                let mut missing = false;
                 for &c in v_cols {
-                    match sorted.value(i, c).as_f64() {
+                    match grouped.value(p, c).as_f64() {
                         Some(v) => x.push(v),
-                        None if !needs_numeric_x => x.push(0.0),
-                        None => return None,
+                        None => {
+                            x.push(0.0);
+                            missing = true;
+                        }
                     }
                 }
-                Some(x)
-            })
-            .collect();
-
-        // Pre-extract each distinct aggregate column once per block.
-        let mut ys_by_col: HashMap<usize, Vec<Option<f64>>> = HashMap::new();
-        for cand in candidates {
-            ys_by_col.entry(cand.agg_col).or_insert_with(|| {
-                (start..end).map(|i| sorted.value(i, cand.agg_col).as_f64()).collect()
-            });
+                if missing {
+                    n_x_missing += 1;
+                }
+                x_missing.push(missing);
+                xs_rows.push(x);
+            }
         }
 
-        for (cand, partial) in candidates.iter().zip(&mut partials) {
-            let ys_raw = &ys_by_col[&cand.agg_col];
-            let lin = cand.model.requires_numeric_predictors();
-            let mut xs = Vec::with_capacity(support);
-            let mut ys = Vec::with_capacity(support);
-            for (x_opt, y_opt) in xs_block.iter().zip(ys_raw) {
-                let Some(y) = y_opt else { continue };
-                match x_opt {
-                    Some(x) => {
-                        xs.push(x.clone());
-                        ys.push(*y);
-                    }
-                    None if !lin => {
-                        xs.push(vec![0.0; v_cols.len()]);
-                        ys.push(*y);
-                    }
-                    None => {} // missing numeric predictor under Lin: drop row
+        // Pre-extract each distinct aggregate column once per block,
+        // keeping the null-free dense form so the common case fits
+        // straight from the shared buffers with no per-candidate copies.
+        for (j, &col) in distinct_cols.iter().enumerate() {
+            let raw = &mut ys_raw[j];
+            let dense = &mut ys_dense[j];
+            raw.clear();
+            dense.clear();
+            let mut all_present = true;
+            for &p in &perm[start..end] {
+                let v = grouped.value(p, col).as_f64();
+                raw.push(v);
+                match v {
+                    Some(y) => dense.push(y),
+                    None => all_present = false,
                 }
             }
+            ys_is_dense[j] = all_present;
+        }
+
+        for ((cand, &slot), partial) in candidates.iter().zip(&col_slot).zip(&mut partials) {
+            let lin = cand.model.requires_numeric_predictors();
+            let mut xs_owned: Vec<Vec<f64>> = Vec::new();
+            let mut ys_owned: Vec<f64> = Vec::new();
+            // Dense fast path: no nulls anywhere — fit directly from the
+            // shared block buffers. `xs_rows` is empty for models that
+            // ignore predictors (their `predict` never reads `x`).
+            let (xs, ys): (&[Vec<f64>], &[f64]) = if ys_is_dense[slot] && (!lin || n_x_missing == 0)
+            {
+                (&xs_rows, &ys_dense[slot])
+            } else {
+                for (i, y_opt) in ys_raw[slot].iter().enumerate() {
+                    let Some(y) = y_opt else { continue };
+                    if lin && x_missing[i] {
+                        continue; // missing numeric predictor: drop row
+                    }
+                    if lin {
+                        xs_owned.push(xs_rows[i].clone());
+                    }
+                    ys_owned.push(*y);
+                }
+                (&xs_owned, &ys_owned)
+            };
             if ys.len() < thresholds.delta {
                 continue; // nulls reduced the usable evidence below δ
             }
             fragments_fitted += 1;
-            let Ok(fitted) = fit(cand.model, &xs, &ys) else { continue };
+            let Ok(fitted) = fit(cand.model, xs, ys) else { continue };
             if fitted.gof < thresholds.theta {
                 continue;
             }
             // Holds locally: record per-tuple deviation extremes for the
-            // upper score bound (§3.5).
+            // upper score bound (§3.5). `xs` may be empty for models that
+            // ignore predictors (their `predict` never reads `x`).
             let mut max_pos = 0.0f64;
             let mut max_neg = 0.0f64;
-            for (x, y) in xs.iter().zip(&ys) {
+            for (i, y) in ys.iter().enumerate() {
+                let x: &[f64] = xs.get(i).map(Vec::as_slice).unwrap_or(&[]);
                 let dev = y - fitted.model.predict(x);
                 max_pos = max_pos.max(dev);
                 max_neg = max_neg.min(dev);
@@ -162,7 +220,7 @@ pub fn fit_split(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cape_data::ops::sort_by;
+    use cape_data::ops::sort_perm;
     use cape_data::{Schema, ValueType};
 
     /// Grouped data shaped like γ_{author, year, count(*)}: two authors
@@ -208,14 +266,15 @@ mod tests {
 
     #[test]
     fn constant_pattern_holds_for_stable_authors() {
-        let sorted = sort_by(&grouped(), &[0, 1]);
+        let g = grouped();
+        let perm = sort_perm(&g, &[0, 1]);
         let cands = [SplitCandidate {
             agg: AggFunc::Count,
             agg_attr: None,
             agg_col: 2,
             model: ModelType::Const,
         }];
-        let (out, telemetry) = recorded(|| fit_split(&sorted, &[0], &[1], &cands, &thresholds()));
+        let (out, telemetry) = recorded(|| fit_split(&g, &perm, &[0], &[1], &cands, &thresholds()));
         let outcome = out[0].as_ref().expect("pattern should hold globally");
         // tiny is excluded (support 1 < δ); stable1+stable2 hold, wild does not.
         assert_eq!(outcome.num_supported, 3);
@@ -230,14 +289,15 @@ mod tests {
 
     #[test]
     fn local_support_recorded() {
-        let sorted = sort_by(&grouped(), &[0, 1]);
+        let g = grouped();
+        let perm = sort_perm(&g, &[0, 1]);
         let cands = [SplitCandidate {
             agg: AggFunc::Count,
             agg_attr: None,
             agg_col: 2,
             model: ModelType::Const,
         }];
-        let out = fit_split(&sorted, &[0], &[1], &cands, &thresholds());
+        let out = fit_split(&g, &perm, &[0], &[1], &cands, &thresholds());
         let outcome = out[0].as_ref().unwrap();
         assert_eq!(outcome.locals[&vec![Value::str("stable1")]].support, 6);
         // Perfect constant fit: GoF 1, zero deviations.
@@ -253,7 +313,8 @@ mod tests {
 
     #[test]
     fn strict_global_support_fails() {
-        let sorted = sort_by(&grouped(), &[0, 1]);
+        let g = grouped();
+        let perm = sort_perm(&g, &[0, 1]);
         let cands = [SplitCandidate {
             agg: AggFunc::Count,
             agg_attr: None,
@@ -261,13 +322,14 @@ mod tests {
             model: ModelType::Const,
         }];
         let tight = Thresholds::new(0.5, 3, 0.5, 10); // Δ = 10 unreachable
-        let out = fit_split(&sorted, &[0], &[1], &cands, &tight);
+        let out = fit_split(&g, &perm, &[0], &[1], &cands, &tight);
         assert!(out[0].is_none());
     }
 
     #[test]
     fn strict_confidence_fails() {
-        let sorted = sort_by(&grouped(), &[0, 1]);
+        let g = grouped();
+        let perm = sort_perm(&g, &[0, 1]);
         let cands = [SplitCandidate {
             agg: AggFunc::Count,
             agg_attr: None,
@@ -276,13 +338,14 @@ mod tests {
         }];
         // 2/3 fragments hold; λ = 0.9 rejects.
         let tight = Thresholds::new(0.5, 3, 0.9, 2);
-        let out = fit_split(&sorted, &[0], &[1], &cands, &tight);
+        let out = fit_split(&g, &perm, &[0], &[1], &cands, &tight);
         assert!(out[0].is_none());
     }
 
     #[test]
     fn multiple_candidates_one_scan() {
-        let sorted = sort_by(&grouped(), &[0, 1]);
+        let g = grouped();
+        let perm = sort_perm(&g, &[0, 1]);
         let cands = [
             SplitCandidate {
                 agg: AggFunc::Count,
@@ -297,7 +360,7 @@ mod tests {
                 model: ModelType::Lin,
             },
         ];
-        let (out, telemetry) = recorded(|| fit_split(&sorted, &[0], &[1], &cands, &thresholds()));
+        let (out, telemetry) = recorded(|| fit_split(&g, &perm, &[0], &[1], &cands, &thresholds()));
         assert_eq!(out.len(), 2);
         assert!(out[0].is_some());
         // Linear fits constants perfectly too (slope ~0 is fine, R² = 1 for
@@ -309,13 +372,14 @@ mod tests {
     #[test]
     fn empty_relation_yields_none() {
         let empty = Relation::new(grouped().schema().clone());
+        let perm: Vec<usize> = Vec::new();
         let cands = [SplitCandidate {
             agg: AggFunc::Count,
             agg_attr: None,
             agg_col: 2,
             model: ModelType::Const,
         }];
-        let out = fit_split(&empty, &[0], &[1], &cands, &thresholds());
+        let out = fit_split(&empty, &perm, &[0], &[1], &cands, &thresholds());
         assert!(out[0].is_none());
     }
 }

@@ -10,12 +10,12 @@ use crate::error::Result;
 use crate::group_data::GroupData;
 use crate::mining::candidates::{group_sets, model_valid_for, splits_of, Split};
 use crate::mining::fit::{fit_split, SplitCandidate};
+use crate::mining::rollup::{materialize_group, plan_order, LatticeRollup};
 use crate::mining::{make_instance, record_mining_run, validate_config, Miner, MiningOutput};
 use crate::pattern::Arp;
 use crate::store::PatternStore;
-use cape_data::ops::sort_by;
 use cape_data::{AggFunc, AttrId, Relation};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The SHARE-GRP miner.
 #[derive(Debug, Clone, Copy, Default)]
@@ -29,29 +29,46 @@ impl Miner for ShareGrpMiner {
     fn mine(&self, rel: &Relation, cfg: &MiningConfig) -> Result<MiningOutput> {
         validate_config(cfg)?;
         record_mining_run(|| {
-            let mut store = PatternStore::new();
             let attrs = cfg.candidate_attrs(rel);
+            let gs = group_sets(&attrs, cfg.psi);
+            let lattice = Mutex::new(LatticeRollup::new(rel.num_rows(), cfg));
 
-            for g in group_sets(&attrs, cfg.psi) {
-                let aggs = cfg.resolve_aggs(rel, &g);
+            // Roll-up visits the lattice parents-first (decreasing size);
+            // per-set stores are merged back in candidate order so the
+            // resulting pattern order is identical either way.
+            let mut slices: Vec<PatternStore> = gs.iter().map(|_| PatternStore::new()).collect();
+            for &i in &plan_order(&gs, cfg.rollup) {
+                let g = &gs[i];
+                let aggs = cfg.resolve_aggs(rel, g);
                 if aggs.is_empty() {
                     continue;
                 }
-                let gd = Arc::new(GroupData::compute(rel, &g, &aggs)?);
-                cape_obs::counter_add("mining.group_queries", 1);
-
-                for split in splits_of(&g) {
-                    mine_split(rel, cfg, &gd, &split, &aggs, &mut store)?;
+                let gd = materialize_group(rel, g, &aggs, &lattice)?;
+                for split in splits_of(g) {
+                    mine_split(rel, cfg, &gd, &split, &aggs, &mut slices[i])?;
                 }
+                gd.clear_sort_cache();
             }
 
+            let mut store = PatternStore::new();
+            for slice in slices {
+                for (_, inst) in slice.iter() {
+                    store.push(inst.clone());
+                }
+            }
             Ok((store, cfg.initial_fds.clone()))
         })
     }
 }
 
-/// Sort the shared aggregation for one `(F, V)` split and fit every
-/// `(agg, A, M)` candidate in one scan. Shared with the CUBE miner.
+/// Obtain a fragment-contiguous sort order for one `(F, V)` split of the
+/// shared aggregation and fit every `(agg, A, M)` candidate in one scan.
+/// Shared with the CUBE miner.
+///
+/// The order is a permutation *view* over the shared [`GroupData`] — no
+/// sorted relation copy is materialized — served from the group's sort
+/// cache when a compatible order exists (any cached key sequence whose
+/// leading `|F|` columns equal `F` as a set keeps fragments contiguous).
 pub(crate) fn mine_split(
     rel: &Relation,
     cfg: &MiningConfig,
@@ -68,11 +85,20 @@ pub(crate) fn mine_split(
         return Ok(());
     }
 
-    let sort_keys: Vec<usize> = f_cols.iter().chain(&v_cols).copied().collect();
-    let sorted = sort_by(&gd.relation, &sort_keys);
+    // `sort_queries` counts logical sort requests (the paper's cost
+    // model); cache hits/misses are reported separately.
     cape_obs::counter_add("mining.sort_queries", 1);
-
-    let outcomes = fit_split(&sorted, &f_cols, &v_cols, &candidates, &cfg.thresholds);
+    let sort_keys: Vec<usize> = f_cols.iter().chain(&v_cols).copied().collect();
+    let outcomes = if cfg.sort_cache {
+        let perm = gd.sort_perm_covering(&sort_keys, &[f_cols.len()], true);
+        fit_split(&gd.relation, &perm, &f_cols, &v_cols, &candidates, &cfg.thresholds)
+    } else {
+        // Pre-kernel data path: one materialized `ORDER BY` copy per
+        // split, scanned in storage order.
+        let sorted = cape_data::ops::sort_by(&gd.relation, &sort_keys);
+        let identity: Vec<usize> = (0..sorted.num_rows()).collect();
+        fit_split(&sorted, &identity, &f_cols, &v_cols, &candidates, &cfg.thresholds)
+    };
     for (cand, outcome) in candidates.iter().zip(outcomes) {
         if let Some(outcome) = outcome {
             let arp = Arp::new(

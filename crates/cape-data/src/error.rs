@@ -41,6 +41,9 @@ pub enum DataError {
     DuplicateAttribute(String),
     /// An operation received an empty input where at least one row/attribute is required.
     EmptyInput(&'static str),
+    /// The requested derivation is not expressible (e.g. a roll-up whose
+    /// child aggregate cannot be composed from the parent's columns).
+    Unsupported(&'static str),
     /// I/O error (carried as a string so the error stays `Clone + Eq`).
     Io(String),
 }
@@ -66,6 +69,7 @@ impl fmt::Display for DataError {
             }
             DataError::DuplicateAttribute(name) => write!(f, "duplicate attribute name `{name}`"),
             DataError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            DataError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             DataError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }

@@ -7,10 +7,10 @@
 
 use crate::agg::{Accumulator, AggSpec};
 use crate::error::{DataError, Result};
+use crate::ops::group_index::{group_key_index, group_key_index_unpacked};
 use crate::relation::Relation;
-use crate::schema::AttrId;
+use crate::schema::{AttrId, Schema};
 use crate::value::{Value, ValueType};
-use std::collections::HashMap;
 
 /// Result of a group-by: the output relation plus bookkeeping that mining
 /// uses (number of groups = `|π_G(R)|`, used for FD discovery).
@@ -28,7 +28,7 @@ pub struct GroupByResult {
 /// followed by one column per aggregate, named like `count(*)` / `sum(x)`.
 /// Group order is the order of first appearance (deterministic).
 pub fn aggregate(rel: &Relation, group: &[AttrId], aggs: &[AggSpec]) -> Result<GroupByResult> {
-    aggregate_impl(rel, group, aggs, false)
+    aggregate_impl(rel, group, aggs, false, false)
 }
 
 /// Like [`aggregate`] but additionally appends a trailing `__rows` column
@@ -39,7 +39,48 @@ pub fn aggregate_with_row_count(
     group: &[AttrId],
     aggs: &[AggSpec],
 ) -> Result<GroupByResult> {
-    aggregate_impl(rel, group, aggs, true)
+    aggregate_impl(rel, group, aggs, true, false)
+}
+
+/// Like [`aggregate_with_row_count`] but forcing the legacy `Vec<Value>`
+/// hash-key path, so the packed group-id kernel can be differentially
+/// tested against it.
+#[doc(hidden)]
+pub fn aggregate_with_row_count_unpacked(
+    rel: &Relation,
+    group: &[AttrId],
+    aggs: &[AggSpec],
+) -> Result<GroupByResult> {
+    aggregate_impl(rel, group, aggs, true, true)
+}
+
+/// Output schema of `γ_{group, aggs}`: the projected group columns, one
+/// column per aggregate (`count` → Int, everything else → Float), and an
+/// optional trailing `__rows` Int column. Shared with the roll-up operator
+/// so derived aggregations are schema-identical to direct ones.
+pub(crate) fn grouped_output_schema(
+    base: &Schema,
+    group: &[AttrId],
+    aggs: &[AggSpec],
+    with_rows: bool,
+) -> Result<Schema> {
+    let mut schema = base.project(group)?;
+    for spec in aggs {
+        let attr_name = match spec.attr {
+            Some(a) => Some(base.attr(a)?.name().to_string()),
+            None => None,
+        };
+        let name = spec.output_name(attr_name.as_deref());
+        let ty = match spec.func {
+            crate::agg::AggFunc::Count => ValueType::Int,
+            _ => ValueType::Float,
+        };
+        schema.push(crate::schema::Attribute::new(name, ty))?;
+    }
+    if with_rows {
+        schema.push(crate::schema::Attribute::new("__rows", ValueType::Int))?;
+    }
+    Ok(schema)
 }
 
 fn aggregate_impl(
@@ -47,6 +88,7 @@ fn aggregate_impl(
     group: &[AttrId],
     aggs: &[AggSpec],
     with_rows: bool,
+    force_unpacked: bool,
 ) -> Result<GroupByResult> {
     let mut span = cape_obs::span("data.group_by");
     span.add("rows_in", rel.num_rows() as u64);
@@ -61,51 +103,22 @@ fn aggregate_impl(
             }
         }
     }
+    let schema = grouped_output_schema(rel.schema(), group, aggs, with_rows)?;
 
-    // Output schema.
-    let mut schema = rel.schema().project(group)?;
-    for spec in aggs {
-        let attr_name = match spec.attr {
-            Some(a) => Some(rel.schema().attr(a)?.name().to_string()),
-            None => None,
-        };
-        let name = spec.output_name(attr_name.as_deref());
-        let ty = match spec.func {
-            crate::agg::AggFunc::Count => ValueType::Int,
-            _ => ValueType::Float,
-        };
-        schema.push(crate::schema::Attribute::new(name, ty))?;
-    }
-    if with_rows {
-        schema.push(crate::schema::Attribute::new("__rows", ValueType::Int))?;
-    }
-
-    // Accumulate.
-    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
-    let mut keys: Vec<Vec<Value>> = Vec::new();
-    let mut accs: Vec<Vec<Accumulator>> = Vec::new();
-    let mut row_counts: Vec<u64> = Vec::new();
-
-    // The key lookup is the hot path: reuse one scratch key per row and
-    // only allocate a persistent copy when a new group is first seen
-    // (hits — the common case — allocate nothing).
-    let mut scratch: Vec<Value> = Vec::with_capacity(group.len());
+    // Assign dense group slots (first-appearance order) via the packed
+    // group-id kernel, then accumulate with direct slot indexing.
+    let idx = if force_unpacked {
+        group_key_index_unpacked(rel, group)
+    } else {
+        group_key_index(rel, group)
+    };
+    let num_groups = idx.num_groups();
+    let mut accs: Vec<Vec<Accumulator>> = (0..num_groups)
+        .map(|_| aggs.iter().map(|sp| Accumulator::new(sp.func)).collect())
+        .collect();
+    let mut row_counts: Vec<u64> = vec![0; num_groups];
     for i in 0..rel.num_rows() {
-        scratch.clear();
-        for &g in group {
-            scratch.push(rel.value(i, g).clone());
-        }
-        let slot = match groups.get(&scratch) {
-            Some(&s) => s,
-            None => {
-                let s = accs.len();
-                groups.insert(scratch.clone(), s);
-                keys.push(scratch.clone());
-                accs.push(aggs.iter().map(|sp| Accumulator::new(sp.func)).collect());
-                row_counts.push(0);
-                s
-            }
-        };
+        let slot = idx.slots[i] as usize;
         row_counts[slot] += 1;
         for (acc, spec) in accs[slot].iter_mut().zip(aggs) {
             let value = spec.attr.map(|a| rel.value(i, a));
@@ -113,10 +126,11 @@ fn aggregate_impl(
         }
     }
 
-    // Materialize.
-    let mut out = Relation::with_capacity(schema, keys.len());
-    for (slot, key) in keys.into_iter().enumerate() {
-        let mut row = key;
+    // Materialize; group keys come from each slot's first row, so no
+    // per-group key vectors are ever stored during the scan.
+    let mut out = Relation::with_capacity(schema, num_groups);
+    for slot in 0..num_groups {
+        let mut row = rel.row_project(idx.first_rows[slot] as usize, group);
         for acc in &accs[slot] {
             row.push(acc.finish());
         }
@@ -125,7 +139,6 @@ fn aggregate_impl(
         }
         out.push_row(row)?;
     }
-    let num_groups = out.num_rows();
     span.add("groups_out", num_groups as u64);
     Ok(GroupByResult { relation: out, num_groups })
 }

@@ -1,0 +1,305 @@
+//! Packed group-id computation: the shared kernel behind hash aggregation.
+//!
+//! Grouping by `Vec<Value>` hash keys clones and hashes every group-by
+//! value of every row. This kernel instead dictionary-encodes each group
+//! column into dense `u32` codes (one tiny per-column dictionary, the same
+//! dedup idea as [`crate::interner::Interner`]) and packs the codes into a
+//! single `u64`/`u128` group-id when the code widths permit. Group *slots*
+//! are then resolved either by direct indexing into a dense table (small
+//! packed domains) or by hashing one integer — never by hashing a
+//! `Vec<Value>`. When the packed width exceeds 128 bits the kernel falls
+//! back to the classic `HashMap<Vec<Value>, _>` path.
+//!
+//! Slot numbering is by order of first appearance in all paths, so every
+//! consumer observes exactly the group order the legacy path produced.
+
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Maximum packed width before falling back to `Vec<Value>` keys.
+const MAX_PACKED_BITS: u32 = 128;
+/// Packed domains up to `2^DENSE_LIMIT_BITS` slots use a direct-index
+/// table (≤ 1 Mi entries ⇒ ≤ 4 MiB) instead of a hash map.
+const DENSE_LIMIT_BITS: u32 = 20;
+
+/// A per-row group assignment: `slots[i]` is the dense group id of row `i`,
+/// numbered in order of first appearance.
+#[derive(Debug, Clone)]
+pub struct GroupKeyIndex {
+    /// Dense group slot per row (first-appearance numbering).
+    pub slots: Vec<u32>,
+    /// The first row index of each group, indexed by slot. Group keys can
+    /// be rematerialized via [`Relation::row_project`] on these rows.
+    pub first_rows: Vec<u32>,
+    /// Whether the packed (dictionary-encoded) fast path was taken.
+    pub packed: bool,
+}
+
+impl GroupKeyIndex {
+    /// Number of distinct groups.
+    pub fn num_groups(&self) -> usize {
+        self.first_rows.len()
+    }
+}
+
+/// Compute the group assignment of `rel` grouped by `cols`.
+///
+/// An empty `cols` means one global group (when the relation is non-empty).
+pub fn group_key_index(rel: &Relation, cols: &[AttrId]) -> GroupKeyIndex {
+    build(rel, cols, false)
+}
+
+/// Legacy `Vec<Value>`-keyed group assignment, kept callable so the packed
+/// path can be differentially tested against it.
+#[doc(hidden)]
+pub fn group_key_index_unpacked(rel: &Relation, cols: &[AttrId]) -> GroupKeyIndex {
+    build(rel, cols, true)
+}
+
+fn build(rel: &Relation, cols: &[AttrId], force_fallback: bool) -> GroupKeyIndex {
+    let n = rel.num_rows();
+    assert!(n < u32::MAX as usize, "relation too large for u32 group slots");
+    if cols.is_empty() {
+        return GroupKeyIndex {
+            slots: vec![0; n],
+            first_rows: if n > 0 { vec![0] } else { Vec::new() },
+            packed: false,
+        };
+    }
+    if !force_fallback {
+        if let Some(idx) = packed_index(rel, cols) {
+            cape_obs::counter_add("data.group_keys.packed", 1);
+            return idx;
+        }
+    }
+    cape_obs::counter_add("data.group_keys.fallback", 1);
+    fallback_index(rel, cols)
+}
+
+/// Dictionary-encode each group column, pack codes into one integer id,
+/// and assign slots. Returns `None` when the packed width exceeds
+/// [`MAX_PACKED_BITS`].
+fn packed_index(rel: &Relation, cols: &[AttrId]) -> Option<GroupKeyIndex> {
+    let n = rel.num_rows();
+
+    // Pass 1: per-column dictionaries. `Value`'s Eq/Hash already treat
+    // Int(3) and Float(3.0) as the same key, matching the legacy path.
+    let mut col_codes: Vec<Vec<u32>> = Vec::with_capacity(cols.len());
+    let mut widths: Vec<u32> = Vec::with_capacity(cols.len());
+    let mut total_bits = 0u32;
+    for &c in cols {
+        let column = rel.column(c);
+        let mut dict: HashMap<&Value, u32> = HashMap::new();
+        let mut codes = Vec::with_capacity(n);
+        for v in column {
+            let next = dict.len() as u32;
+            codes.push(*dict.entry(v).or_insert(next));
+        }
+        let card = dict.len().max(1) as u64;
+        let bits = (u64::BITS - (card - 1).leading_zeros()).max(1);
+        total_bits += bits;
+        if total_bits > MAX_PACKED_BITS {
+            return None;
+        }
+        widths.push(bits);
+        col_codes.push(codes);
+    }
+
+    let mut slots: Vec<u32> = Vec::with_capacity(n);
+    let mut first_rows: Vec<u32> = Vec::new();
+
+    if total_bits <= 64 {
+        let pack = |i: usize| -> u64 {
+            let mut id = 0u64;
+            for (codes, &w) in col_codes.iter().zip(&widths) {
+                id = (id << w) | codes[i] as u64;
+            }
+            id
+        };
+        if total_bits <= DENSE_LIMIT_BITS {
+            // Direct-index table over the packed domain: no hashing at all.
+            let mut table = vec![u32::MAX; 1usize << total_bits];
+            for i in 0..n {
+                let id = pack(i) as usize;
+                let mut slot = table[id];
+                if slot == u32::MAX {
+                    slot = first_rows.len() as u32;
+                    table[id] = slot;
+                    first_rows.push(i as u32);
+                }
+                slots.push(slot);
+            }
+        } else {
+            let mut map: HashMap<u64, u32> = HashMap::new();
+            for i in 0..n {
+                let id = pack(i);
+                let next = first_rows.len() as u32;
+                let slot = *map.entry(id).or_insert(next);
+                if slot == next {
+                    first_rows.push(i as u32);
+                }
+                slots.push(slot);
+            }
+        }
+    } else {
+        let mut map: HashMap<u128, u32> = HashMap::new();
+        for i in 0..n {
+            let mut id = 0u128;
+            for (codes, &w) in col_codes.iter().zip(&widths) {
+                id = (id << w) | codes[i] as u128;
+            }
+            let next = first_rows.len() as u32;
+            let slot = *map.entry(id).or_insert(next);
+            if slot == next {
+                first_rows.push(i as u32);
+            }
+            slots.push(slot);
+        }
+    }
+
+    Some(GroupKeyIndex { slots, first_rows, packed: true })
+}
+
+/// The legacy `HashMap<Vec<Value>, _>` path (scratch-key reuse so hits —
+/// the common case — allocate nothing).
+fn fallback_index(rel: &Relation, cols: &[AttrId]) -> GroupKeyIndex {
+    let n = rel.num_rows();
+    let mut groups: HashMap<Vec<Value>, u32> = HashMap::new();
+    let mut slots: Vec<u32> = Vec::with_capacity(n);
+    let mut first_rows: Vec<u32> = Vec::new();
+    let mut scratch: Vec<Value> = Vec::with_capacity(cols.len());
+    for i in 0..n {
+        scratch.clear();
+        for &c in cols {
+            scratch.push(rel.value(i, c).clone());
+        }
+        let slot = match groups.get(&scratch) {
+            Some(&s) => s,
+            None => {
+                let s = first_rows.len() as u32;
+                groups.insert(scratch.clone(), s);
+                first_rows.push(i as u32);
+                s
+            }
+        };
+        slots.push(slot);
+    }
+    GroupKeyIndex { slots, first_rows, packed: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn rel() -> Relation {
+        let schema =
+            Schema::new([("a", ValueType::Str), ("b", ValueType::Int), ("x", ValueType::Float)])
+                .unwrap();
+        Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::str("p"), Value::Int(1), Value::Float(1.0)],
+                vec![Value::str("q"), Value::Int(1), Value::Float(2.0)],
+                vec![Value::str("p"), Value::Int(2), Value::Float(3.0)],
+                vec![Value::str("p"), Value::Int(1), Value::Float(4.0)],
+                vec![Value::str("q"), Value::Int(2), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn packed_matches_fallback() {
+        let r = rel();
+        for cols in [vec![0], vec![1], vec![0, 1], vec![1, 0], vec![0, 1, 2]] {
+            let packed = group_key_index(&r, &cols);
+            let legacy = group_key_index_unpacked(&r, &cols);
+            assert!(packed.packed, "small relation must take the packed path");
+            assert!(!legacy.packed);
+            assert_eq!(packed.slots, legacy.slots, "cols {cols:?}");
+            assert_eq!(packed.first_rows, legacy.first_rows, "cols {cols:?}");
+        }
+    }
+
+    #[test]
+    fn first_appearance_numbering() {
+        let r = rel();
+        let idx = group_key_index(&r, &[0]);
+        // p first (slot 0), then q (slot 1).
+        assert_eq!(idx.slots, vec![0, 1, 0, 0, 1]);
+        assert_eq!(idx.first_rows, vec![0, 1]);
+        assert_eq!(idx.num_groups(), 2);
+    }
+
+    #[test]
+    fn empty_cols_is_one_group() {
+        let r = rel();
+        let idx = group_key_index(&r, &[]);
+        assert_eq!(idx.num_groups(), 1);
+        assert_eq!(idx.slots, vec![0; 5]);
+        let empty = Relation::new(r.schema().clone());
+        assert_eq!(group_key_index(&empty, &[]).num_groups(), 0);
+    }
+
+    #[test]
+    fn null_is_a_group_key() {
+        let r = rel();
+        let idx = group_key_index(&r, &[2]);
+        // All x values distinct (incl. one Null): 5 groups.
+        assert_eq!(idx.num_groups(), 5);
+    }
+
+    #[test]
+    fn cross_type_numeric_keys_merge() {
+        // Int(3) and Float(3.0) must land in the same group, exactly as
+        // the legacy Vec<Value> hash path groups them.
+        let schema = Schema::new([("k", ValueType::Float)]).unwrap();
+        let r = Relation::from_rows(
+            schema,
+            vec![vec![Value::Int(3)], vec![Value::Float(3.0)], vec![Value::Int(4)]],
+        )
+        .unwrap();
+        let packed = group_key_index(&r, &[0]);
+        let legacy = group_key_index_unpacked(&r, &[0]);
+        assert_eq!(packed.slots, legacy.slots);
+        assert_eq!(packed.slots, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn wide_schema_falls_back_naturally() {
+        // 26 columns × 32 distinct values each = 26 × 5 bits = 130 bits,
+        // which exceeds the 128-bit packed budget.
+        let schema =
+            Schema::new((0..26).map(|i| (format!("c{i}"), ValueType::Int)).collect::<Vec<_>>())
+                .unwrap();
+        let mut r = Relation::new(schema);
+        for row in 0..64i64 {
+            r.push_row((0..26).map(|c| Value::Int((row + c) % 32)).collect()).unwrap();
+        }
+        let cols: Vec<usize> = (0..26).collect();
+        let idx = group_key_index(&r, &cols);
+        assert!(!idx.packed, "130-bit key must fall back");
+        let legacy = group_key_index_unpacked(&r, &cols);
+        assert_eq!(idx.slots, legacy.slots);
+        assert_eq!(idx.first_rows, legacy.first_rows);
+    }
+
+    #[test]
+    fn high_cardinality_uses_hash_not_dense() {
+        // One column with > 2^20 cardinality would blow the dense table
+        // budget; make sure the hashed-u64 path agrees with the fallback.
+        let schema = Schema::new([("k", ValueType::Int), ("v", ValueType::Int)]).unwrap();
+        let mut r = Relation::new(schema);
+        for i in 0..3000i64 {
+            r.push_row(vec![Value::Int(i % 1500), Value::Int(i % 7)]).unwrap();
+        }
+        let idx = group_key_index(&r, &[0, 1]);
+        assert!(idx.packed);
+        let legacy = group_key_index_unpacked(&r, &[0, 1]);
+        assert_eq!(idx.slots, legacy.slots);
+    }
+}

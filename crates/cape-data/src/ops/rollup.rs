@@ -1,0 +1,405 @@
+//! Roll-up aggregation: derive `γ_{G, aggs}` from a materialized
+//! `γ_{G', aggs'}` with `G ⊆ G'` instead of rescanning the base relation.
+//!
+//! Sum, count, min and max compose across the parent's groups; avg
+//! re-derives from a parent sum + count pair; and aggregates over an
+//! attribute that is one of the parent's *dimensions* derive from the key
+//! value weighted by the parent's `__rows` count. The output is
+//! row-for-row identical to [`crate::ops::aggregate_with_row_count`] on
+//! the base relation — same schema, same first-appearance group order —
+//! because the parent's groups are themselves in base first-appearance
+//! order, so re-grouping them in order reproduces it.
+
+use crate::agg::{AggFunc, AggSpec};
+use crate::error::{DataError, Result};
+use crate::ops::aggregate::grouped_output_schema;
+use crate::ops::group_index::group_key_index;
+use crate::ops::GroupByResult;
+use crate::relation::Relation;
+use crate::schema::{AttrId, Schema};
+use crate::value::Value;
+
+/// How one child aggregate derives from the parent materialization.
+/// Column indices point into the parent relation.
+#[derive(Debug, Clone, Copy)]
+enum RollOp {
+    /// Integer sum of a parent column (`count` composition, `__rows`).
+    SumInt(usize),
+    /// Float sum of a parent column (`sum` composition); nulls skipped.
+    SumFloat(usize),
+    /// Min of a parent column (agg column or dimension key); nulls skipped.
+    Min(usize),
+    /// Max of a parent column (agg column or dimension key); nulls skipped.
+    Max(usize),
+    /// Avg from a parent `sum(a)` + `count(a)` column pair.
+    AvgFromCols { sum: usize, cnt: usize },
+    /// `sum(a)` where `a` is a parent dimension: Σ key × `__rows`.
+    SumFromKey { key: usize, rows: usize },
+    /// `count(a)` where `a` is a parent dimension: Σ `__rows` over
+    /// non-null keys.
+    CountFromKey { key: usize, rows: usize },
+    /// `avg(a)` where `a` is a parent dimension: weighted mean of keys.
+    AvgFromKey { key: usize, rows: usize },
+}
+
+/// Running state for one child aggregate of one child group.
+#[derive(Debug, Clone, Copy)]
+enum RollAcc {
+    Int(i64),
+    Float(f64),
+    MinMax(Option<f64>),
+    Avg { sum: f64, cnt: i64 },
+}
+
+/// Plan how every child aggregate derives from the parent's columns.
+/// `None` when any aggregate is underivable (e.g. avg without a matching
+/// sum+count pair, or over an attribute absent from the parent).
+fn plan_rolls(
+    parent_dims: &[AttrId],
+    parent_aggs: &[AggSpec],
+    child_aggs: &[AggSpec],
+    rows_col: usize,
+) -> Option<Vec<RollOp>> {
+    let pcol = |func: AggFunc, attr: Option<AttrId>| {
+        parent_aggs
+            .iter()
+            .position(|p| p.func == func && p.attr == attr)
+            .map(|i| parent_dims.len() + i)
+    };
+    let kcol = |a: AttrId| parent_dims.iter().position(|&d| d == a);
+    child_aggs
+        .iter()
+        .map(|spec| match (spec.func, spec.attr) {
+            (AggFunc::Count, None) => Some(RollOp::SumInt(rows_col)),
+            (AggFunc::Count, Some(a)) => pcol(AggFunc::Count, Some(a))
+                .map(RollOp::SumInt)
+                .or_else(|| kcol(a).map(|key| RollOp::CountFromKey { key, rows: rows_col })),
+            (AggFunc::Sum, Some(a)) => pcol(AggFunc::Sum, Some(a))
+                .map(RollOp::SumFloat)
+                .or_else(|| kcol(a).map(|key| RollOp::SumFromKey { key, rows: rows_col })),
+            (AggFunc::Min, Some(a)) => {
+                pcol(AggFunc::Min, Some(a)).or_else(|| kcol(a)).map(RollOp::Min)
+            }
+            (AggFunc::Max, Some(a)) => {
+                pcol(AggFunc::Max, Some(a)).or_else(|| kcol(a)).map(RollOp::Max)
+            }
+            (AggFunc::Avg, Some(a)) => {
+                match (pcol(AggFunc::Sum, Some(a)), pcol(AggFunc::Count, Some(a))) {
+                    (Some(sum), Some(cnt)) => Some(RollOp::AvgFromCols { sum, cnt }),
+                    _ => kcol(a).map(|key| RollOp::AvgFromKey { key, rows: rows_col }),
+                }
+            }
+            (_, None) => None,
+        })
+        .collect()
+}
+
+/// Whether every aggregate in `child_aggs` (over group set `child_dims`)
+/// can be derived from a parent materialized over `parent_dims` with
+/// `parent_aggs` columns (and a `__rows` count).
+pub fn rollup_supported(
+    parent_dims: &[AttrId],
+    parent_aggs: &[AggSpec],
+    child_dims: &[AttrId],
+    child_aggs: &[AggSpec],
+) -> bool {
+    child_dims.iter().all(|d| parent_dims.contains(d))
+        && plan_rolls(parent_dims, parent_aggs, child_aggs, parent_dims.len() + parent_aggs.len())
+            .is_some()
+}
+
+/// Derive `γ_{child_dims, child_aggs}` + `__rows` of the base relation
+/// from the `parent` materialization (`parent_dims…, parent_aggs…,
+/// __rows` layout, as produced by `aggregate_with_row_count` or `cube`).
+///
+/// `base_schema` is the base relation's schema, used only to build the
+/// output schema so it is byte-identical to a direct aggregation.
+pub fn rollup_aggregate(
+    base_schema: &Schema,
+    parent: &Relation,
+    parent_dims: &[AttrId],
+    parent_aggs: &[AggSpec],
+    child_dims: &[AttrId],
+    child_aggs: &[AggSpec],
+) -> Result<GroupByResult> {
+    let mut span = cape_obs::span("data.rollup");
+    span.add("rows_in", parent.num_rows() as u64);
+    let rows_col = parent_dims.len() + parent_aggs.len();
+    let rolls = plan_rolls(parent_dims, parent_aggs, child_aggs, rows_col)
+        .ok_or(DataError::Unsupported("child aggregate not derivable from parent"))?;
+    let group_cols: Vec<usize> = child_dims
+        .iter()
+        .map(|d| {
+            parent_dims
+                .iter()
+                .position(|p| p == d)
+                .ok_or(DataError::Unsupported("child dims not a subset of parent dims"))
+        })
+        .collect::<Result<_>>()?;
+
+    let schema = grouped_output_schema(base_schema, child_dims, child_aggs, true)?;
+
+    // Re-group the parent's rows (packed kernel again: the parent's dim
+    // columns are exactly the child's group keys).
+    let idx = group_key_index(parent, &group_cols);
+    let num_groups = idx.num_groups();
+    let mut accs: Vec<Vec<RollAcc>> = (0..num_groups)
+        .map(|_| {
+            rolls
+                .iter()
+                .map(|r| match r {
+                    RollOp::SumInt(_) | RollOp::CountFromKey { .. } => RollAcc::Int(0),
+                    RollOp::SumFloat(_) | RollOp::SumFromKey { .. } => RollAcc::Float(0.0),
+                    RollOp::Min(_) | RollOp::Max(_) => RollAcc::MinMax(None),
+                    RollOp::AvgFromCols { .. } | RollOp::AvgFromKey { .. } => {
+                        RollAcc::Avg { sum: 0.0, cnt: 0 }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut row_counts: Vec<i64> = vec![0; num_groups];
+
+    let int_at = |i: usize, c: usize| -> Result<i64> {
+        parent
+            .value(i, c)
+            .as_i64()
+            .ok_or(DataError::TypeMismatch { expected: "int", actual: "other" })
+    };
+    let num_at = |i: usize, c: usize| -> Result<f64> {
+        parent
+            .value(i, c)
+            .as_f64()
+            .ok_or(DataError::TypeMismatch { expected: "numeric", actual: "other" })
+    };
+
+    for i in 0..parent.num_rows() {
+        let slot = idx.slots[i] as usize;
+        row_counts[slot] += int_at(i, rows_col)?;
+        for (acc, roll) in accs[slot].iter_mut().zip(&rolls) {
+            match (*roll, acc) {
+                (RollOp::SumInt(c), RollAcc::Int(n)) => *n += int_at(i, c)?,
+                (RollOp::SumFloat(c), RollAcc::Float(s)) => {
+                    if !parent.value(i, c).is_null() {
+                        *s += num_at(i, c)?;
+                    }
+                }
+                (RollOp::Min(c), RollAcc::MinMax(m)) => {
+                    if !parent.value(i, c).is_null() {
+                        let x = num_at(i, c)?;
+                        *m = Some(m.map_or(x, |cur| cur.min(x)));
+                    }
+                }
+                (RollOp::Max(c), RollAcc::MinMax(m)) => {
+                    if !parent.value(i, c).is_null() {
+                        let x = num_at(i, c)?;
+                        *m = Some(m.map_or(x, |cur| cur.max(x)));
+                    }
+                }
+                (RollOp::AvgFromCols { sum, cnt }, RollAcc::Avg { sum: s, cnt: n }) => {
+                    // Parent sum is Float(0.0) and count is Int(0) for an
+                    // all-null parent group, so both fold in harmlessly.
+                    *s += num_at(i, sum)?;
+                    *n += int_at(i, cnt)?;
+                }
+                (RollOp::SumFromKey { key, rows }, RollAcc::Float(s)) => {
+                    if !parent.value(i, key).is_null() {
+                        *s += num_at(i, key)? * int_at(i, rows)? as f64;
+                    }
+                }
+                (RollOp::CountFromKey { key, rows }, RollAcc::Int(n)) => {
+                    if !parent.value(i, key).is_null() {
+                        *n += int_at(i, rows)?;
+                    }
+                }
+                (RollOp::AvgFromKey { key, rows }, RollAcc::Avg { sum: s, cnt: n }) => {
+                    if !parent.value(i, key).is_null() {
+                        let w = int_at(i, rows)?;
+                        *s += num_at(i, key)? * w as f64;
+                        *n += w;
+                    }
+                }
+                _ => unreachable!("accumulator/op mismatch"),
+            }
+        }
+    }
+
+    // Materialize in first-appearance order, mirroring `aggregate`'s
+    // finish semantics (sum of nothing = 0.0, min/max/avg of nothing =
+    // Null, counts are Int).
+    let mut out = Relation::with_capacity(schema, num_groups);
+    for slot in 0..num_groups {
+        let mut row = parent.row_project(idx.first_rows[slot] as usize, &group_cols);
+        for acc in &accs[slot] {
+            row.push(match *acc {
+                RollAcc::Int(n) => Value::Int(n),
+                RollAcc::Float(s) => Value::Float(s),
+                RollAcc::MinMax(m) => m.map_or(Value::Null, Value::Float),
+                RollAcc::Avg { sum, cnt } => {
+                    if cnt == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(sum / cnt as f64)
+                    }
+                }
+            });
+        }
+        row.push(Value::Int(row_counts[slot]));
+        out.push_row(row)?;
+    }
+    span.add("groups_out", num_groups as u64);
+    Ok(GroupByResult { relation: out, num_groups })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::aggregate_with_row_count;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn base() -> Relation {
+        let schema = Schema::new([
+            ("a", ValueType::Str),
+            ("b", ValueType::Int),
+            ("c", ValueType::Str),
+            ("x", ValueType::Int),
+        ])
+        .unwrap();
+        let mut rel = Relation::new(schema);
+        for i in 0..60i64 {
+            rel.push_row(vec![
+                Value::str(format!("a{}", i % 4)),
+                Value::Int(i % 5),
+                Value::str(format!("c{}", i % 3)),
+                if i % 7 == 0 { Value::Null } else { Value::Int(i % 11 - 5) },
+            ])
+            .unwrap();
+        }
+        rel
+    }
+
+    fn all_aggs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::count_star(),
+            AggSpec::over(AggFunc::Count, 3),
+            AggSpec::over(AggFunc::Sum, 3),
+            AggSpec::over(AggFunc::Min, 3),
+            AggSpec::over(AggFunc::Max, 3),
+            AggSpec::over(AggFunc::Avg, 3),
+        ]
+    }
+
+    #[test]
+    fn rollup_matches_direct_aggregation() {
+        let rel = base();
+        let aggs = all_aggs();
+        let parent = aggregate_with_row_count(&rel, &[0, 1, 2], &aggs).unwrap();
+        for child_dims in [vec![0], vec![1], vec![2], vec![0, 1], vec![1, 2], vec![2, 0]] {
+            assert!(rollup_supported(&[0, 1, 2], &aggs, &child_dims, &aggs));
+            let rolled = rollup_aggregate(
+                rel.schema(),
+                &parent.relation,
+                &[0, 1, 2],
+                &aggs,
+                &child_dims,
+                &aggs,
+            )
+            .unwrap();
+            let direct = aggregate_with_row_count(&rel, &child_dims, &aggs).unwrap();
+            assert_eq!(rolled.num_groups, direct.num_groups, "dims {child_dims:?}");
+            assert_eq!(
+                rolled.relation.schema().names(),
+                direct.relation.schema().names(),
+                "dims {child_dims:?}"
+            );
+            for r in 0..direct.relation.num_rows() {
+                for c in 0..direct.relation.schema().arity() {
+                    let (got, want) = (rolled.relation.value(r, c), direct.relation.value(r, c));
+                    match (got.as_f64(), want.as_f64()) {
+                        (Some(g), Some(w)) => {
+                            assert!((g - w).abs() < 1e-9, "[{r},{c}] got {got:?} want {want:?}")
+                        }
+                        _ => assert_eq!(got, want, "[{r},{c}] dims {child_dims:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_attr_aggregates_derive_from_keys() {
+        // Aggregate over `b`, which is a dimension of the parent: sum,
+        // count, min, max, avg must all derive from key × __rows.
+        let rel = base();
+        let b_aggs = vec![
+            AggSpec::over(AggFunc::Sum, 1),
+            AggSpec::over(AggFunc::Count, 1),
+            AggSpec::over(AggFunc::Min, 1),
+            AggSpec::over(AggFunc::Max, 1),
+            AggSpec::over(AggFunc::Avg, 1),
+        ];
+        let parent = aggregate_with_row_count(&rel, &[0, 1], &[AggSpec::count_star()]).unwrap();
+        assert!(rollup_supported(&[0, 1], &[AggSpec::count_star()], &[0], &b_aggs));
+        let rolled = rollup_aggregate(
+            rel.schema(),
+            &parent.relation,
+            &[0, 1],
+            &[AggSpec::count_star()],
+            &[0],
+            &b_aggs,
+        )
+        .unwrap();
+        let direct = aggregate_with_row_count(&rel, &[0], &b_aggs).unwrap();
+        for r in 0..direct.relation.num_rows() {
+            for c in 0..direct.relation.schema().arity() {
+                let (got, want) = (rolled.relation.value(r, c), direct.relation.value(r, c));
+                match (got.as_f64(), want.as_f64()) {
+                    (Some(g), Some(w)) => assert!((g - w).abs() < 1e-9),
+                    _ => assert_eq!(got, want),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn underivable_rollups_are_rejected() {
+        let rel = base();
+        // Parent has only count(*): avg(x) is not derivable (x is neither
+        // a parent agg nor a parent dimension).
+        assert!(!rollup_supported(
+            &[0, 1],
+            &[AggSpec::count_star()],
+            &[0],
+            &[AggSpec::over(AggFunc::Avg, 3)]
+        ));
+        // Child dims not a subset of parent dims.
+        assert!(!rollup_supported(
+            &[0, 1],
+            &[AggSpec::count_star()],
+            &[2],
+            &[AggSpec::count_star()]
+        ));
+        let parent = aggregate_with_row_count(&rel, &[0, 1], &[AggSpec::count_star()]).unwrap();
+        let err = rollup_aggregate(
+            rel.schema(),
+            &parent.relation,
+            &[0, 1],
+            &[AggSpec::count_star()],
+            &[0],
+            &[AggSpec::over(AggFunc::Avg, 3)],
+        );
+        assert!(matches!(err, Err(DataError::Unsupported(_))));
+    }
+
+    #[test]
+    fn group_order_matches_first_appearance() {
+        let rel = base();
+        let aggs = vec![AggSpec::count_star()];
+        let parent = aggregate_with_row_count(&rel, &[2, 0], &aggs).unwrap();
+        let rolled =
+            rollup_aggregate(rel.schema(), &parent.relation, &[2, 0], &aggs, &[0], &aggs).unwrap();
+        let direct = aggregate_with_row_count(&rel, &[0], &aggs).unwrap();
+        assert_eq!(rolled.relation, direct.relation);
+    }
+}

@@ -7,6 +7,7 @@
 use crate::relation::Relation;
 use crate::schema::AttrId;
 use std::cmp::Ordering;
+use std::collections::HashMap;
 
 /// Compute the permutation that sorts `rel` by `keys` (lexicographic,
 /// ascending). The sort is stable.
@@ -22,6 +23,44 @@ pub fn sort_perm(rel: &Relation, keys: &[AttrId]) -> Vec<usize> {
         Ordering::Equal
     });
     perm
+}
+
+/// Dense ranks of one column: `ranks[i]` is the 0-based position of row
+/// `i`'s value in the sorted list of *distinct* values of column `col`.
+/// Returns `(ranks, num_distinct)`. Two rows get the same rank iff their
+/// values are equal under [`crate::value::Value`] equality, and ranks are
+/// order-compatible with `Value`'s `Ord`, so multi-key sorts can compare
+/// integer ranks instead of values.
+pub fn column_ranks(rel: &Relation, col: AttrId) -> (Vec<u32>, u32) {
+    let n = rel.num_rows();
+    // Dictionary-encode first so only the distinct values get sorted.
+    let mut map: HashMap<&crate::value::Value, u32> = HashMap::new();
+    let mut distinct: Vec<&crate::value::Value> = Vec::new();
+    let mut codes: Vec<u32> = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = rel.value(i, col);
+        let code = *map.entry(v).or_insert_with(|| {
+            distinct.push(v);
+            (distinct.len() - 1) as u32
+        });
+        codes.push(code);
+    }
+    let mut order: Vec<u32> = (0..distinct.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| distinct[a as usize].cmp(distinct[b as usize]));
+    // Distinct-by-equality values may still compare `Equal` in corner
+    // cases (`Ord` and `Eq` both canonicalize, but defensively re-check),
+    // so ranks increment only on strict inequality.
+    let mut rank_of_code = vec![0u32; distinct.len()];
+    let mut rank = 0u32;
+    for (pos, &c) in order.iter().enumerate() {
+        if pos > 0 && distinct[c as usize] != distinct[order[pos - 1] as usize] {
+            rank += 1;
+        }
+        rank_of_code[c as usize] = rank;
+    }
+    let ranks: Vec<u32> = codes.into_iter().map(|c| rank_of_code[c as usize]).collect();
+    let num_distinct = if n == 0 { 0 } else { rank + 1 };
+    (ranks, num_distinct)
 }
 
 /// Return a copy of `rel` sorted by `keys` (the paper's
@@ -44,6 +83,26 @@ pub fn sorted_block_starts(rel: &Relation, prefix: &[AttrId]) -> Vec<usize> {
     let mut starts = vec![0];
     for i in 1..n {
         let differs = prefix.iter().any(|&k| rel.value(i, k) != rel.value(i - 1, k));
+        if differs {
+            starts.push(i);
+        }
+    }
+    starts.push(n);
+    starts
+}
+
+/// Like [`sorted_block_starts`] but reading `rel` *through* a sort
+/// permutation instead of requiring a materialized sorted copy: row `i` of
+/// the virtual sorted relation is `rel`'s row `perm[i]`. An empty
+/// permutation yields `[0]`.
+pub fn perm_block_starts(rel: &Relation, perm: &[usize], prefix: &[AttrId]) -> Vec<usize> {
+    let n = perm.len();
+    if n == 0 {
+        return vec![0];
+    }
+    let mut starts = vec![0];
+    for i in 1..n {
+        let differs = prefix.iter().any(|&k| rel.value(perm[i], k) != rel.value(perm[i - 1], k));
         if differs {
             starts.push(i);
         }
@@ -108,6 +167,36 @@ mod tests {
         assert_eq!(sorted_block_starts(&empty, &[0]), vec![0]);
         let one = rel().take(&[0]);
         assert_eq!(sorted_block_starts(&one, &[0]), vec![0, 1]);
+    }
+
+    #[test]
+    fn perm_block_starts_matches_materialized() {
+        let r = rel();
+        let perm = sort_perm(&r, &[0, 1]);
+        let via_perm = perm_block_starts(&r, &perm, &[0]);
+        let via_copy = sorted_block_starts(&r.take(&perm), &[0]);
+        assert_eq!(via_perm, via_copy);
+        assert_eq!(perm_block_starts(&r, &[], &[0]), vec![0]);
+    }
+
+    #[test]
+    fn ranks_are_order_compatible() {
+        let r = rel();
+        for col in 0..3 {
+            let (ranks, distinct) = column_ranks(&r, col);
+            assert!(ranks.iter().all(|&x| x < distinct));
+            for a in 0..r.num_rows() {
+                for b in 0..r.num_rows() {
+                    assert_eq!(
+                        ranks[a].cmp(&ranks[b]),
+                        r.value(a, col).cmp(r.value(b, col)),
+                        "col {col} rows {a},{b}"
+                    );
+                }
+            }
+        }
+        let empty = Relation::new(rel().schema().clone());
+        assert_eq!(column_ranks(&empty, 0), (vec![], 0));
     }
 
     #[test]

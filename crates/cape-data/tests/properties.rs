@@ -165,6 +165,125 @@ proptest! {
     }
 }
 
+mod kernel_properties {
+    use cape_data::ops::{
+        aggregate_with_row_count, aggregate_with_row_count_unpacked, rollup_aggregate,
+    };
+    use cape_data::{AggFunc, AggSpec, Relation, Schema, Value, ValueType};
+    use proptest::prelude::*;
+
+    /// Random relation with nulls in both a group column and the
+    /// aggregated column: `(cat: Str?, num: Int, val: Int?)`.
+    fn arb_nullable_relation(max_rows: usize) -> impl Strategy<Value = Relation> {
+        let row = (0u8..5, 0i64..6, -24i64..28);
+        collection::vec(row, 0..max_rows).prop_map(|rows| {
+            let schema = Schema::new([
+                ("cat", ValueType::Str),
+                ("num", ValueType::Int),
+                ("val", ValueType::Int),
+            ])
+            .unwrap();
+            Relation::from_rows(
+                schema,
+                rows.into_iter().map(|(c, n, v)| {
+                    let cat = if c == 4 { Value::Null } else { Value::str(format!("c{c}")) };
+                    let val = if v >= 24 { Value::Null } else { Value::Int(v) };
+                    vec![cat, Value::Int(n), val]
+                }),
+            )
+            .unwrap()
+        })
+    }
+
+    /// A 30-column relation grouped on every column: the per-column code
+    /// widths can exceed the 128-bit pack budget (forcing the scratch-key
+    /// fallback) or fit, depending on the drawn cardinalities — the
+    /// equivalence must hold on both paths.
+    fn arb_wide_relation(max_rows: usize) -> impl Strategy<Value = Relation> {
+        const COLS: usize = 30;
+        collection::vec(collection::vec(0i64..40, COLS..COLS + 1), 0..max_rows).prop_map(|rows| {
+            let schema = Schema::new((0..COLS).map(|c| (format!("g{c}"), ValueType::Int))).unwrap();
+            Relation::from_rows(
+                schema,
+                rows.into_iter().map(|r| r.into_iter().map(Value::Int).collect::<Vec<_>>()),
+            )
+            .unwrap()
+        })
+    }
+
+    fn all_specs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::count_star(),
+            AggSpec::over(AggFunc::Count, 2),
+            AggSpec::over(AggFunc::Sum, 2),
+            AggSpec::over(AggFunc::Min, 2),
+            AggSpec::over(AggFunc::Max, 2),
+            AggSpec::over(AggFunc::Avg, 2),
+        ]
+    }
+
+    proptest! {
+        /// Packed group-id aggregation is byte-identical to the legacy
+        /// `Vec<Value>` scratch-key hash aggregation, nulls included.
+        #[test]
+        fn packed_matches_unpacked(rel in arb_nullable_relation(80)) {
+            for group in [&[0usize][..], &[1], &[0, 1]] {
+                let packed = aggregate_with_row_count(&rel, group, &all_specs()).unwrap();
+                let unpacked =
+                    aggregate_with_row_count_unpacked(&rel, group, &all_specs()).unwrap();
+                prop_assert_eq!(&packed.relation, &unpacked.relation);
+                prop_assert_eq!(packed.num_groups, unpacked.num_groups);
+            }
+        }
+
+        /// Same equivalence on a wide schema where the packed key can
+        /// overflow 128 bits and take the fallback path internally.
+        #[test]
+        fn wide_key_matches_unpacked(rel in arb_wide_relation(64)) {
+            let group: Vec<usize> = (0..rel.schema().arity()).collect();
+            let specs = [AggSpec::count_star()];
+            let packed = aggregate_with_row_count(&rel, &group, &specs).unwrap();
+            let unpacked = aggregate_with_row_count_unpacked(&rel, &group, &specs).unwrap();
+            prop_assert_eq!(&packed.relation, &unpacked.relation);
+        }
+
+        /// Rolling a parent aggregation up to a child group set equals
+        /// aggregating the base relation directly — including aggregates
+        /// over an attribute that is a *dimension* of the parent (derived
+        /// from the key and `__rows`), with all-integer data the match is
+        /// exact, not just within tolerance.
+        #[test]
+        fn rollup_matches_direct(rel in arb_nullable_relation(80)) {
+            let parent_dims = [0usize, 1];
+            let parent_specs = all_specs();
+            // Aggregates over parent dimension `num` derive from the key.
+            let child_extra = [
+                AggSpec::over(AggFunc::Sum, 1),
+                AggSpec::over(AggFunc::Min, 1),
+                AggSpec::over(AggFunc::Avg, 1),
+                AggSpec::over(AggFunc::Count, 1),
+            ];
+            let parent = aggregate_with_row_count(&rel, &parent_dims, &parent_specs).unwrap();
+            let mut child_specs = all_specs();
+            child_specs.extend(child_extra);
+            for child_dims in [&[0usize][..], &[1]] {
+                let rolled = rollup_aggregate(
+                    rel.schema(),
+                    &parent.relation,
+                    &parent_dims,
+                    &parent_specs,
+                    child_dims,
+                    &child_specs,
+                )
+                .unwrap();
+                let direct =
+                    aggregate_with_row_count(&rel, child_dims, &child_specs).unwrap();
+                prop_assert_eq!(&rolled.relation, &direct.relation);
+            }
+        }
+    }
+}
+
 mod sql_properties {
     use super::arb_relation_pub;
     use cape_data::sql::{execute, parse};
