@@ -11,8 +11,8 @@
 //! hardware) but the comparative shape is the reproduction target.
 
 use cape_bench::experiments::{
-    ablation, explain_perf, fd_opt, mine_bench, mining_scaling, sensitivity, serve, subtasks,
-    tables, user_study,
+    ablation, explain_perf, fd_opt, mine_bench, mining_scaling, sensitivity, serve, store_bench,
+    subtasks, tables, user_study,
 };
 use cape_bench::Scale;
 use mine_bench::MineBenchOpts;
@@ -36,6 +36,8 @@ const EXPERIMENTS: &[&str] = &[
     "userstudy",
     "serve",
     "mine-bench",
+    "store-bench",
+    "store-verify",
 ];
 
 fn usage() -> ! {
@@ -73,6 +75,8 @@ fn run(name: &str, scale: Scale, mine_opts: MineBenchOpts) -> String {
         "ablation" => ablation::ablation(),
         "serve" => serve::serve(scale),
         "mine-bench" | "minebench" => mine_bench::mine_bench(scale, mine_opts),
+        "store-bench" => store_bench::store_bench(scale),
+        "store-verify" => store_bench::store_verify(scale),
         "userstudy" => {
             let (rows, budget) = match scale {
                 Scale::Quick => (3_000, 12),

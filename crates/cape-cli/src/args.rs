@@ -17,6 +17,8 @@ const VALUE_KEYS: &[&str] = &[
     "csv",
     "schema",
     "out",
+    "save",
+    "store",
     "patterns",
     "sql",
     "tuple",

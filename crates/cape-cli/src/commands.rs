@@ -7,6 +7,7 @@ use cape_core::explain::{render_table, BaselineExplainer, ExplainConfig, TopKExp
 use cape_core::mining::{ArpMiner, Miner};
 use cape_core::prelude::OptimizedExplainer;
 use cape_core::report::narrate_all;
+use cape_core::snapshot::{self, SnapshotError};
 use cape_core::{persist, Direction, MiningConfig, Thresholds, UserQuestion};
 use cape_data::sql;
 use cape_data::Relation;
@@ -21,19 +22,24 @@ USAGE:
       Run the built-in DBLP walk-through end to end.
 
   cape mine --csv FILE --schema SPEC [--psi N] [--theta F] [--delta N]
-            [--lambda F] [--support N] [--fd] [--exclude COLS] --out FILE
-      Mine aggregate regression patterns and persist them.
+            [--lambda F] [--support N] [--fd] [--exclude COLS]
+            [--out FILE] [--save FILE]
+      Mine aggregate regression patterns and persist them: --out writes
+      the line-based text format, --save writes the versioned,
+      checksummed binary snapshot (written atomically; load it back with
+      --store). At least one of the two is required.
 
-  cape patterns --csv FILE --schema SPEC --patterns FILE
+  cape patterns --csv FILE --schema SPEC (--patterns FILE | --store FILE)
       List the patterns in a persisted store.
 
-  cape explain --csv FILE --schema SPEC --patterns FILE --sql QUERY
-               --tuple VALUES --dir high|low [--k N] [--narrate] [--baseline]
+  cape explain --csv FILE --schema SPEC (--patterns FILE | --store FILE)
+               --sql QUERY --tuple VALUES --dir high|low
+               [--k N] [--narrate] [--baseline]
       Explain why a query-result tuple is surprisingly high or low.
 
-  cape batch-explain --csv FILE --schema SPEC --patterns FILE --sql QUERY
-                     --questions FILE [--k N] [--threads N] [--timeout-ms MS]
-                     [--cache N] [--fail-on-timeout]
+  cape batch-explain --csv FILE --schema SPEC (--patterns FILE | --store FILE)
+                     --sql QUERY --questions FILE [--k N] [--threads N]
+                     [--timeout-ms MS] [--cache N] [--fail-on-timeout]
       Answer a file of questions concurrently over one shared pattern
       store. Each non-empty, non-# line of FILE is `VALUES high|low`
       (e.g. 'AX,SIGKDD,2007 low'). Answers print in input order; requests
@@ -51,6 +57,10 @@ GLOBAL OPTIONS:
 
   SPEC is name:type[,name:type...] with types int, float, str.
   VALUES are comma-separated group-by values, e.g. 'AX,SIGKDD,2007'.
+
+EXIT CODES:
+  0 success; 1 runtime error (I/O, mining, query evaluation);
+  2 usage error; 3 corrupt or incompatible --store snapshot file.
 ";
 
 fn usage(e: impl ToString) -> CliError {
@@ -113,10 +123,22 @@ pub fn mine(args: &Args) -> Result<(), CliError> {
             out.stats.skipped_by_fd,
         )
     });
-    let path = args.require("out").map_err(usage)?;
-    let mut file = File::create(path).map_err(|e| runtime(format!("cannot create {path}: {e}")))?;
-    persist::write_store(&mut file, &out.store).map_err(runtime)?;
-    println!("wrote {} patterns to {path}", out.store.len());
+    let out_path = args.get("out");
+    let save_path = args.get("save");
+    if out_path.is_none() && save_path.is_none() {
+        return Err(usage("mine needs --out FILE (text) and/or --save FILE (binary snapshot)"));
+    }
+    if let Some(path) = out_path {
+        let mut file =
+            File::create(path).map_err(|e| runtime(format!("cannot create {path}: {e}")))?;
+        persist::write_store(&mut file, &out.store).map_err(runtime)?;
+        println!("wrote {} patterns to {path}", out.store.len());
+    }
+    if let Some(path) = save_path {
+        let bytes = snapshot::save_snapshot(path, rel.schema(), &cfg, &out.store)
+            .map_err(|e| runtime(format!("cannot save snapshot {path}: {e}")))?;
+        println!("saved {} patterns to {path} ({bytes} bytes)", out.store.len());
+    }
     Ok(())
 }
 
@@ -128,8 +150,22 @@ pub fn patterns(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Load the pattern store from `--store` (binary snapshot, validated
+/// against the live relation) or `--patterns` (line-based text format).
+/// A rejected snapshot becomes [`CliError::Store`] (exit 3) — except a
+/// plain read failure (absent file, permissions), which stays a runtime
+/// error like any other missing input.
 fn read_patterns(args: &Args, rel: &Relation) -> Result<cape_core::PatternStore, CliError> {
-    let path = args.require("patterns").map_err(usage)?;
+    if let Some(path) = args.get("store") {
+        let loaded = snapshot::load_snapshot(path, rel).map_err(|e| match e {
+            SnapshotError::Io(m) => runtime(format!("cannot read store {path}: {m}")),
+            other => CliError::Store(format!("store file {path} rejected: {other}")),
+        })?;
+        return Ok(loaded.store);
+    }
+    let path = args
+        .require("patterns")
+        .map_err(|_| usage("need --patterns FILE (text) or --store FILE (binary snapshot)"))?;
     let file = File::open(path).map_err(|e| runtime(format!("cannot open {path}: {e}")))?;
     persist::read_store(file, rel).map_err(runtime)
 }

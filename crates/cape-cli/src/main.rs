@@ -23,17 +23,21 @@ use args::Args;
 
 /// A CLI failure, classified so `main` can pick an exit code: usage
 /// errors (bad flags, malformed option values) exit 2, runtime errors
-/// (I/O, mining, query evaluation) exit 1.
+/// (I/O, mining, query evaluation) exit 1, and corrupt or incompatible
+/// `--store` snapshot files exit 3 — scripts restarting a service can
+/// tell "re-mine the store" (3) apart from "fix the invocation" (2) and
+/// "transient environment problem" (1).
 #[derive(Debug)]
 pub enum CliError {
     Usage(String),
     Runtime(String),
+    Store(String),
 }
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Usage(m) | CliError::Runtime(m) => f.write_str(m),
+            CliError::Usage(m) | CliError::Runtime(m) | CliError::Store(m) => f.write_str(m),
         }
     }
 }
@@ -47,6 +51,7 @@ fn main() {
             match e {
                 CliError::Usage(_) => 2,
                 CliError::Runtime(_) => 1,
+                CliError::Store(_) => 3,
             }
         }
     };

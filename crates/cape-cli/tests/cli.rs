@@ -433,6 +433,189 @@ fn batch_explain_usage_and_runtime_errors() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Mine the planted CSV into a binary snapshot and return its path.
+fn mine_snapshot(dir: &Path, csv: &str) -> String {
+    let store = dir.join("store.cape").to_string_lossy().into_owned();
+    let out = run(&[
+        "mine",
+        "--csv",
+        csv,
+        "--schema",
+        SCHEMA,
+        "--theta",
+        "0.1",
+        "--delta",
+        "3",
+        "--lambda",
+        "0.3",
+        "--support",
+        "2",
+        "--psi",
+        "3",
+        "--save",
+        &store,
+    ]);
+    assert!(out.status.success(), "mine --save failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("saved"));
+    store
+}
+
+#[test]
+fn snapshot_workflow_mine_save_explain_store() {
+    let dir = temp_dir("snapworkflow");
+    let csv = write_csv(&dir);
+    let store = mine_snapshot(&dir, &csv);
+
+    // patterns listing from the snapshot.
+    let out = run(&["patterns", "--csv", &csv, "--schema", SCHEMA, "--store", &store]);
+    assert!(out.status.success(), "patterns --store: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("confidence"));
+
+    // explain against the snapshot finds the planted counterbalance.
+    let out = run(&[
+        "explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--store",
+        &store,
+        "--sql",
+        BATCH_SQL,
+        "--tuple",
+        "a0,2005,KDD",
+        "--dir",
+        "low",
+        "--k",
+        "5",
+    ]);
+    assert!(out.status.success(), "explain --store: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ICDE"));
+
+    // batch-explain from the snapshot answers every question.
+    let questions = write_questions(&dir);
+    let out = run(&[
+        "batch-explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--store",
+        &store,
+        "--sql",
+        BATCH_SQL,
+        "--questions",
+        &questions,
+        "--k",
+        "5",
+    ]);
+    assert!(out.status.success(), "batch --store: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("answered 4 questions (0 partial)"), "summary wrong:\n{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_store_files_exit_3_with_typed_stderr() {
+    let dir = temp_dir("snapcorrupt");
+    let csv = write_csv(&dir);
+    let store = mine_snapshot(&dir, &csv);
+    let bytes = std::fs::read(&store).unwrap();
+
+    // Run `explain --store PATH` and return (exit code, stderr).
+    let explain_with = |path: &str, schema: &str| {
+        let out = run(&[
+            "explain",
+            "--csv",
+            &csv,
+            "--schema",
+            schema,
+            "--store",
+            path,
+            "--sql",
+            BATCH_SQL,
+            "--tuple",
+            "a0,2005,KDD",
+            "--dir",
+            "low",
+        ]);
+        (out.status.code(), String::from_utf8_lossy(&out.stderr).into_owned())
+    };
+    let write_variant = |name: &str, content: &[u8]| {
+        let path = dir.join(name).to_string_lossy().into_owned();
+        std::fs::write(&path, content).unwrap();
+        path
+    };
+
+    // Not a snapshot at all → bad magic.
+    let p = write_variant("garbage.cape", b"NOTASNAPSHOTFILE-and-then-some-padding");
+    let (code, stderr) = explain_with(&p, SCHEMA);
+    assert_eq!(code, Some(3), "bad magic: {stderr}");
+    assert!(stderr.contains("bad magic"), "stderr: {stderr}");
+
+    // Version byte bumped → unsupported version.
+    let mut v = bytes.clone();
+    v[8] ^= 0xFF;
+    let p = write_variant("version.cape", &v);
+    let (code, stderr) = explain_with(&p, SCHEMA);
+    assert_eq!(code, Some(3), "version: {stderr}");
+    assert!(stderr.contains("unsupported snapshot version"), "stderr: {stderr}");
+
+    // First section tag flipped → section corrupt.
+    let mut v = bytes.clone();
+    v[16] ^= 0xFF;
+    let p = write_variant("section.cape", &v);
+    let (code, stderr) = explain_with(&p, SCHEMA);
+    assert_eq!(code, Some(3), "section: {stderr}");
+    assert!(stderr.contains("section corrupt"), "stderr: {stderr}");
+
+    // Last byte missing → truncated (torn write).
+    let p = write_variant("torn.cape", &bytes[..bytes.len() - 1]);
+    let (code, stderr) = explain_with(&p, SCHEMA);
+    assert_eq!(code, Some(3), "truncated: {stderr}");
+    assert!(stderr.contains("truncated"), "stderr: {stderr}");
+
+    // Valid file, different schema → schema mismatch.
+    let (code, stderr) = explain_with(&store, "author:str,year:str,venue:str");
+    assert_eq!(code, Some(3), "schema: {stderr}");
+    assert!(stderr.contains("schema mismatch"), "stderr: {stderr}");
+
+    // A *missing* store file is an environment problem, not corruption:
+    // exit 1, same as any other unreadable input.
+    let (code, stderr) = explain_with("/nonexistent/store.cape", SCHEMA);
+    assert_eq!(code, Some(1), "missing store file: {stderr}");
+    assert!(stderr.contains("cannot read store"), "stderr: {stderr}");
+
+    // Usage taxonomy stays intact: --patterns and --store both absent.
+    let out = run(&[
+        "explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--sql",
+        BATCH_SQL,
+        "--tuple",
+        "a0,2005,KDD",
+        "--dir",
+        "low",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "no pattern source is a usage error");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mine_without_out_or_save_is_usage_error() {
+    let dir = temp_dir("minesave");
+    let csv = write_csv(&dir);
+    let out = run(&["mine", "--csv", &csv, "--schema", SCHEMA]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--save"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn metrics_flag_writes_telemetry_snapshot() {
     let dir = temp_dir("metrics");

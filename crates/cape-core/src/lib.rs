@@ -48,6 +48,7 @@ pub mod persist;
 pub mod question;
 pub mod report;
 pub mod session;
+pub mod snapshot;
 pub mod store;
 
 pub use config::{AggSelection, MiningConfig, Thresholds};
@@ -55,6 +56,7 @@ pub use error::{CapeError, Result};
 pub use pattern::Arp;
 pub use question::{Direction, UserQuestion};
 pub use session::{CapeSession, ExplainAlgo};
+pub use snapshot::{SnapshotContents, SnapshotError};
 pub use store::{LocalPattern, PatternInstance, PatternStore};
 
 /// Convenient glob-import surface for examples and applications.
@@ -71,5 +73,6 @@ pub mod prelude {
     pub use crate::pattern::Arp;
     pub use crate::question::{Direction, UserQuestion};
     pub use crate::session::{CapeSession, ExplainAlgo};
+    pub use crate::snapshot::{load_snapshot, save_snapshot, SnapshotContents, SnapshotError};
     pub use crate::store::{PatternInstance, PatternStore};
 }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 /// A pattern holding *locally* on one fragment `f ∈ frag(R, P)`
 /// (Definition 3): the fitted model `g_{P,f}` plus bookkeeping used by
 /// explanation scoring and pruning.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocalPattern {
     /// The fitted regression model and its goodness-of-fit.
     pub fitted: Fitted,

@@ -133,6 +133,46 @@ fn explainers_publish_metrics_to_installed_recorder() {
 }
 
 #[test]
+fn snapshot_store_publishes_save_load_and_reject_metrics() {
+    let rel = shops();
+    let cfg = config();
+    let store = ArpMiner.mine(&rel, &cfg).unwrap().store;
+    let dir = std::env::temp_dir().join(format!("cape-obs-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("store.cape");
+
+    let recorder = cape_obs::Recorder::new();
+    let install = recorder.install();
+    let written = cape_core::snapshot::save_snapshot(&path, rel.schema(), &cfg, &store).unwrap();
+    let loaded = cape_core::snapshot::load_snapshot(&path, &rel).unwrap();
+    drop(install);
+    assert_eq!(loaded.store.len(), store.len());
+
+    let snap = recorder.snapshot();
+    // One save, one load, and the byte counter saw the file twice.
+    assert_eq!(snap.histograms.get("store.save_ns").map(|h| h.count), Some(1));
+    assert_eq!(snap.histograms.get("store.load_ns").map(|h| h.count), Some(1));
+    assert_eq!(snap.counter("store.bytes"), 2 * written as u64);
+    assert_eq!(snap.counter("store.corrupt_rejects"), 0);
+
+    // A corrupted file increments the reject counter and records no
+    // additional successful load.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    let recorder = cape_obs::Recorder::new();
+    let install = recorder.install();
+    assert!(cape_core::snapshot::load_snapshot(&path, &rel).is_err());
+    drop(install);
+    let snap = recorder.snapshot();
+    assert_eq!(snap.counter("store.corrupt_rejects"), 1);
+    assert!(!snap.histograms.contains_key("store.save_ns"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn baseline_explainer_is_instrumented() {
     let session = CapeSession::mine(shops(), &config()).unwrap();
     let uq = session

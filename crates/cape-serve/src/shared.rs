@@ -34,6 +34,22 @@ impl PatternStoreHandle {
         PatternStoreHandle { relation, store, refinements }
     }
 
+    /// Construct a serving handle from a durable snapshot written by
+    /// `cape mine --save` (or [`cape_core::snapshot::save_snapshot`]):
+    /// load the file, validate its schema fingerprint against the live
+    /// relation, rebuild group data, and precompute the refinement
+    /// index. This is the cold-start path a service restart takes
+    /// instead of re-mining; a corrupt or incompatible file is a typed
+    /// [`SnapshotError`](cape_core::snapshot::SnapshotError), never a
+    /// panic.
+    pub fn from_snapshot(
+        path: impl AsRef<std::path::Path>,
+        relation: Relation,
+    ) -> Result<Self, cape_core::snapshot::SnapshotError> {
+        let loaded = cape_core::snapshot::load_snapshot(path, &relation)?;
+        Ok(PatternStoreHandle::new(relation, loaded.store))
+    }
+
     /// The underlying relation.
     pub fn relation(&self) -> &Relation {
         &self.relation

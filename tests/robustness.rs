@@ -168,6 +168,87 @@ fn extreme_values_stay_finite() {
 }
 
 #[test]
+fn zero_row_relation_snapshot_roundtrips() {
+    // A zero-row relation still has a schema and a (possibly empty)
+    // mined store; the durable snapshot must round-trip it cleanly.
+    let schema = Schema::new([("a", ValueType::Str), ("x", ValueType::Int)]).unwrap();
+    let rel = Relation::new(schema);
+    let cfg = lenient();
+    let store = ShareGrpMiner.mine(&rel, &cfg).unwrap().store;
+    assert!(store.is_empty());
+    let bytes = cape::core::snapshot::encode_snapshot(rel.schema(), &cfg, &store);
+    let back = cape::core::snapshot::read_snapshot(&bytes, &rel).unwrap();
+    assert!(back.store.is_empty());
+    assert_eq!(back.config.psi, cfg.psi);
+    // And the store loaded from the empty snapshot answers gracefully.
+    let uq = UserQuestion::new(
+        vec![0, 1],
+        AggFunc::Count,
+        None,
+        vec![Value::str("q"), Value::Int(1)],
+        1.0,
+        Direction::High,
+    );
+    let ecfg = ExplainConfig::default_for(&rel, 5);
+    let (expls, _) = OptimizedExplainer.explain(&back.store, &uq, &ecfg);
+    assert!(expls.is_empty());
+}
+
+#[test]
+fn all_null_group_by_key_fragments_survive_save_load() {
+    // A partition column that is entirely Null yields fragments keyed by
+    // Value::Null. Those Null keys must survive the binary snapshot and
+    // produce bit-identical explanations after reload.
+    let schema =
+        Schema::new([("n", ValueType::Str), ("a", ValueType::Str), ("x", ValueType::Int)]).unwrap();
+    let mut rel = Relation::new(schema);
+    for i in 0..40i64 {
+        rel.push_row(vec![
+            Value::Null, // the group-by key column: all NULL
+            Value::str(format!("g{}", i % 2)),
+            Value::Int(i % 5),
+        ])
+        .unwrap();
+    }
+    let cfg = lenient();
+    let store = ShareGrpMiner.mine(&rel, &cfg).unwrap().store;
+    assert!(!store.is_empty());
+    let null_keyed = store
+        .iter()
+        .flat_map(|(_, p)| p.locals.keys())
+        .filter(|k| k.iter().any(|v| matches!(v, Value::Null)))
+        .count();
+    assert!(null_keyed > 0, "fixture must produce Null-keyed fragments");
+
+    let bytes = cape::core::snapshot::encode_snapshot(rel.schema(), &cfg, &store);
+    let back = cape::core::snapshot::read_snapshot(&bytes, &rel).unwrap();
+    assert_eq!(back.store.len(), store.len());
+    for ((_, p), (_, q)) in store.iter().zip(back.store.iter()) {
+        assert_eq!(p.arp, q.arp);
+        assert_eq!(p.locals, q.locals, "Null-keyed locals must survive the roundtrip");
+    }
+
+    // An explanation over a Null fragment is identical on both stores.
+    let uq = UserQuestion::from_query(
+        &rel,
+        vec![0, 2],
+        AggFunc::Count,
+        None,
+        vec![Value::Null, Value::Int(0)],
+        Direction::High,
+    )
+    .unwrap();
+    let ecfg = ExplainConfig::default_for(&rel, 5);
+    let (a, _) = OptimizedExplainer.explain(&store, &uq, &ecfg);
+    let (b, _) = OptimizedExplainer.explain(&back.store, &uq, &ecfg);
+    assert_eq!(a.len(), b.len());
+    for (ea, eb) in a.iter().zip(b.iter()) {
+        assert!((ea.score - eb.score).abs() < 1e-9);
+        assert_eq!(ea.tuple, eb.tuple);
+    }
+}
+
+#[test]
 fn unicode_and_weird_strings_survive_the_pipeline() {
     let schema = Schema::new([("a", ValueType::Str), ("x", ValueType::Int)]).unwrap();
     let weird = ["北京大学", "O'Reilly \"&\" Sons", "a,b|c%d", "  spaces  ", ""];
