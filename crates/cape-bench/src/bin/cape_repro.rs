@@ -4,6 +4,10 @@
 //! cape-repro [--scale quick|full] <experiment>...
 //! cape-repro all            # every figure and table
 //! cape-repro fig3a fig6b    # a subset
+//! cape-repro bench-diff OLD.json NEW.json [--threshold PCT] [--noise-floor-ms MS]
+//!                           # compare two bench records; exit 1 on a
+//!                           # regression past the threshold (default 25%,
+//!                           # time metrics under 10 ms both sides skipped)
 //! ```
 //!
 //! Output mirrors the paper's rows/series; absolute numbers differ (our
@@ -44,9 +48,65 @@ fn usage() -> ! {
     eprintln!(
         "usage: cape-repro [--scale quick|full] [--no-rollup] [--no-sort-cache] <experiment>..."
     );
+    eprintln!(
+        "       cape-repro bench-diff OLD.json NEW.json [--threshold PCT] [--noise-floor-ms MS]"
+    );
     eprintln!("experiments: all {}", EXPERIMENTS.join(" "));
     eprintln!("--no-rollup / --no-sort-cache disable one mining kernel in mine-bench");
     std::process::exit(2);
+}
+
+/// `cape-repro bench-diff OLD NEW [--threshold PCT] [--noise-floor-ms MS]`:
+/// exit 0 when no metric regressed past the threshold, 1 when one did, 2
+/// on usage or unreadable/unparseable inputs.
+fn bench_diff(args: &[String]) -> ! {
+    let mut paths = Vec::new();
+    let mut threshold_pct = 25.0;
+    let mut noise_floor_s = cape_bench::diff::DEFAULT_NOISE_FLOOR_S;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold_pct = match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(v) if v >= 0.0 => v,
+                    _ => usage(),
+                };
+            }
+            "--noise-floor-ms" => {
+                i += 1;
+                noise_floor_s = match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(v) if v >= 0.0 => v / 1e3,
+                    _ => usage(),
+                };
+            }
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = paths.as_slice() else { usage() };
+    let load = |path: &str| -> cape_obs::Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench-diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        cape_obs::Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bench-diff: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (old, new) = (load(old_path), load(new_path));
+    match cape_bench::diff::diff_records_with(&old, &new, threshold_pct, noise_floor_s) {
+        Ok(report) => {
+            print!("{}", report.render());
+            std::process::exit(if report.regressions().is_empty() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn run(name: &str, scale: Scale, mine_opts: MineBenchOpts) -> String {
@@ -93,6 +153,9 @@ fn run(name: &str, scale: Scale, mine_opts: MineBenchOpts) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench-diff") {
+        bench_diff(&args[1..]);
+    }
     let mut scale = Scale::Quick;
     let mut mine_opts = MineBenchOpts::default();
     let mut selected: Vec<String> = Vec::new();

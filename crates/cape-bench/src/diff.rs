@@ -1,0 +1,401 @@
+//! `bench-diff`: compare two enveloped bench records and flag regressions.
+//!
+//! The comparator walks both payloads structurally: objects are matched
+//! key-by-key, arrays of objects are aligned by their identity fields
+//! (`dataset`, `miner`, `threads`, `rows`, `scale`, `label` — whichever
+//! are present), and numeric leaves whose names look like performance
+//! metrics are compared directionally:
+//!
+//! * lower-is-better: `*_s`, `*_ns`, `*_ms`, `wall*`, `*time*`
+//! * higher-is-better: `*per_s*`, `*speedup*`, `*throughput*`
+//!
+//! Everything else (counts, configuration echoes, `host_cpus`) is
+//! ignored — a bench record is allowed to mine a different number of
+//! patterns without that being a "regression". A metric regressing by
+//! more than the threshold percentage makes the diff fail; entries
+//! present on only one side are reported but not fatal (benches grow).
+//!
+//! Time metrics where both sides sit under a noise floor (default 10 ms)
+//! are skipped rather than compared: a 4 ms stage doubling to 8 ms is
+//! scheduler noise on a busy CI runner, not a regression — relative
+//! thresholds are meaningless below the clock's signal level. A metric
+//! *crossing* the floor (4 ms → 500 ms) is still compared.
+
+use cape_obs::Json;
+
+/// How a metric's value ordering maps to "better".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricDirection {
+    LowerIsBetter,
+    HigherIsBetter,
+}
+
+/// Classify a JSON key as a performance metric, if it is one.
+fn direction_of(key: &str) -> Option<MetricDirection> {
+    // Higher-better patterns first: "req_per_s" ends in `_s` and would
+    // otherwise classify as a latency.
+    if key.contains("per_s") || key.contains("speedup") || key.contains("throughput") {
+        return Some(MetricDirection::HigherIsBetter);
+    }
+    if key.ends_with("_s") || key.ends_with("_ns") || key.ends_with("_ms") {
+        return Some(MetricDirection::LowerIsBetter);
+    }
+    if key.starts_with("wall") || key.contains("time") {
+        return Some(MetricDirection::LowerIsBetter);
+    }
+    None
+}
+
+/// The value of a time metric in seconds, when `key` names one (`_ns`,
+/// `_ms`, `_s`, `wall*`, `*time*`). Throughputs and ratios have no time
+/// unit and return `None`.
+fn seconds_of(key: &str, value: f64) -> Option<f64> {
+    if key.contains("per_s") || key.contains("speedup") || key.contains("throughput") {
+        return None;
+    }
+    if key.ends_with("_ns") {
+        Some(value / 1e9)
+    } else if key.ends_with("_ms") {
+        Some(value / 1e3)
+    } else if key.ends_with("_s") || key.starts_with("wall") || key.contains("time") {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+/// Identity fields used to align array elements across the two records.
+const IDENTITY_KEYS: &[&str] = &["dataset", "miner", "threads", "rows", "scale", "label"];
+
+fn identity_of(v: &Json) -> Option<String> {
+    let mut parts = Vec::new();
+    for key in IDENTITY_KEYS {
+        if let Some(field) = v.get(key) {
+            match field {
+                Json::Str(s) => parts.push(format!("{key}={s}")),
+                Json::Num(n) => parts.push(format!("{key}={n}")),
+                _ => {}
+            }
+        }
+    }
+    (!parts.is_empty()).then(|| parts.join(","))
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Where in the record the metric lives (e.g.
+    /// `entries.series[threads=4].wall_s`).
+    pub path: String,
+    /// Old and new values.
+    pub old: f64,
+    /// New value.
+    pub new: f64,
+    /// Percent change in the *bad* direction: positive means worse
+    /// (slower for latencies, lower for throughputs).
+    pub regression_pct: f64,
+}
+
+/// The outcome of one comparison.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Metrics compared on both sides.
+    pub compared: Vec<MetricDelta>,
+    /// Paths present on one side only (informational).
+    pub unmatched: Vec<String>,
+    /// Time metrics skipped because both sides were under the noise floor.
+    pub noise_skipped: Vec<String>,
+    /// The threshold used.
+    pub threshold_pct: f64,
+    /// The time-metric noise floor used, in seconds.
+    pub noise_floor_s: f64,
+}
+
+impl DiffReport {
+    /// Metrics whose regression exceeds the threshold.
+    pub fn regressions(&self) -> Vec<&MetricDelta> {
+        self.compared.iter().filter(|m| m.regression_pct > self.threshold_pct).collect()
+    }
+
+    /// Human-readable rendering (one line per compared metric).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for m in &self.compared {
+            let verdict = if m.regression_pct > self.threshold_pct {
+                "REGRESSION"
+            } else if m.regression_pct > 0.0 {
+                "worse"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "{:<10} {}: {:.6} -> {:.6} ({:+.1}%)\n",
+                verdict, m.path, m.old, m.new, m.regression_pct
+            ));
+        }
+        for path in &self.unmatched {
+            out.push_str(&format!("unmatched  {path}\n"));
+        }
+        if !self.noise_skipped.is_empty() {
+            out.push_str(&format!(
+                "{} time metric(s) under the {:.0} ms noise floor skipped\n",
+                self.noise_skipped.len(),
+                self.noise_floor_s * 1e3
+            ));
+        }
+        let n = self.regressions().len();
+        out.push_str(&format!(
+            "{} metric(s) compared, {} regression(s) past {:.0}%\n",
+            self.compared.len(),
+            n,
+            self.threshold_pct
+        ));
+        out
+    }
+}
+
+/// Default noise floor for time metrics: comparisons where both sides are
+/// under 10 ms are scheduler noise, not signal.
+pub const DEFAULT_NOISE_FLOOR_S: f64 = 0.010;
+
+/// [`diff_records_with`] at the default noise floor.
+pub fn diff_records(old: &Json, new: &Json, threshold_pct: f64) -> Result<DiffReport, String> {
+    diff_records_with(old, new, threshold_pct, DEFAULT_NOISE_FLOOR_S)
+}
+
+/// Compare two enveloped bench records. Fails fast on envelope mismatches
+/// (different experiments or schema versions are not comparable).
+pub fn diff_records_with(
+    old: &Json,
+    new: &Json,
+    threshold_pct: f64,
+    noise_floor_s: f64,
+) -> Result<DiffReport, String> {
+    for (doc, which) in [(old, "old"), (new, "new")] {
+        if doc.get("schema_version").and_then(Json::as_u64).is_none() {
+            return Err(format!("{which} record has no schema_version (not an enveloped bench?)"));
+        }
+    }
+    let (ov, nv) = (
+        old.get("schema_version").and_then(Json::as_u64).unwrap(),
+        new.get("schema_version").and_then(Json::as_u64).unwrap(),
+    );
+    if ov != nv {
+        return Err(format!("schema_version mismatch: old {ov} vs new {nv}"));
+    }
+    let (oe, ne) = (
+        old.get("experiment").and_then(Json::as_str).unwrap_or(""),
+        new.get("experiment").and_then(Json::as_str).unwrap_or(""),
+    );
+    if oe != ne {
+        return Err(format!("experiment mismatch: old `{oe}` vs new `{ne}`"));
+    }
+    let mut report = DiffReport { threshold_pct, noise_floor_s, ..DiffReport::default() };
+    let (Some(old_entries), Some(new_entries)) = (old.get("entries"), new.get("entries")) else {
+        return Err("record has no entries payload".into());
+    };
+    walk("entries", old_entries, new_entries, &mut report);
+    Ok(report)
+}
+
+fn walk(path: &str, old: &Json, new: &Json, report: &mut DiffReport) {
+    match (old, new) {
+        (Json::Obj(of), Json::Obj(nf)) => {
+            for (key, ov) in of {
+                match nf.iter().find(|(k, _)| k == key) {
+                    Some((_, nv)) => {
+                        let child = format!("{path}.{key}");
+                        if let (Json::Num(a), Json::Num(b)) = (ov, nv) {
+                            if let Some(dir) = direction_of(key) {
+                                compare(&child, key, *a, *b, dir, report);
+                            }
+                        } else {
+                            walk(&child, ov, nv, report);
+                        }
+                    }
+                    None => report.unmatched.push(format!("{path}.{key} (old only)")),
+                }
+            }
+            for (key, _) in nf {
+                if !of.iter().any(|(k, _)| k == key) {
+                    report.unmatched.push(format!("{path}.{key} (new only)"));
+                }
+            }
+        }
+        (Json::Arr(oa), Json::Arr(na)) => {
+            // Align by identity fields when present, else by position.
+            let keyed = oa.iter().all(|v| identity_of(v).is_some())
+                && na.iter().all(|v| identity_of(v).is_some());
+            if keyed {
+                for ov in oa {
+                    let id = identity_of(ov).unwrap();
+                    match na.iter().find(|nv| identity_of(nv).as_deref() == Some(&id)) {
+                        Some(nv) => walk(&format!("{path}[{id}]"), ov, nv, report),
+                        None => report.unmatched.push(format!("{path}[{id}] (old only)")),
+                    }
+                }
+                for nv in na {
+                    let id = identity_of(nv).unwrap();
+                    if !oa.iter().any(|ov| identity_of(ov).as_deref() == Some(&id)) {
+                        report.unmatched.push(format!("{path}[{id}] (new only)"));
+                    }
+                }
+            } else {
+                for (i, (ov, nv)) in oa.iter().zip(na).enumerate() {
+                    walk(&format!("{path}[{i}]"), ov, nv, report);
+                }
+                if oa.len() != na.len() {
+                    report.unmatched.push(format!("{path} length {} vs {}", oa.len(), na.len()));
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn compare(
+    path: &str,
+    key: &str,
+    old: f64,
+    new: f64,
+    dir: MetricDirection,
+    report: &mut DiffReport,
+) {
+    if !old.is_finite() || !new.is_finite() || old.abs() < 1e-12 {
+        return; // sub-nanosecond or NaN baselines are noise, not signal
+    }
+    if let (Some(old_s), Some(new_s)) = (seconds_of(key, old), seconds_of(key, new)) {
+        if old_s.max(new_s) < report.noise_floor_s {
+            report.noise_skipped.push(path.to_string());
+            return;
+        }
+    }
+    let regression_pct = match dir {
+        MetricDirection::LowerIsBetter => (new - old) / old * 100.0,
+        MetricDirection::HigherIsBetter => (old - new) / old * 100.0,
+    };
+    report.compared.push(MetricDelta { path: path.to_string(), old, new, regression_pct });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(wall: f64, rps: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema_version":1,"experiment":"serve","git_commit":"x",
+                "timestamp_utc":"1970-01-01T00:00:00Z","host_cpus":4,
+                "entries":{{"rows":1000,
+                  "series":[{{"threads":1,"wall_s":{wall},"req_per_s":{rps}}},
+                            {{"threads":4,"wall_s":0.5,"req_per_s":64.0}}]}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_records_have_no_regressions() {
+        let a = record(2.0, 16.0);
+        let report = diff_records(&a, &a, 25.0).unwrap();
+        assert!(!report.compared.is_empty());
+        assert!(report.regressions().is_empty());
+        assert!(report.unmatched.is_empty());
+    }
+
+    #[test]
+    fn two_x_slower_wall_clock_is_a_regression() {
+        let report = diff_records(&record(2.0, 16.0), &record(4.0, 16.0), 25.0).unwrap();
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].path.contains("threads=1"));
+        assert!(regs[0].path.ends_with("wall_s"));
+        assert!((regs[0].regression_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_direction_is_inverted() {
+        // req/s doubling is an improvement, not a regression...
+        let report = diff_records(&record(2.0, 16.0), &record(2.0, 32.0), 25.0).unwrap();
+        assert!(report.regressions().is_empty());
+        // ...and halving is a 50% regression.
+        let report = diff_records(&record(2.0, 16.0), &record(2.0, 8.0), 25.0).unwrap();
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].path.ends_with("req_per_s"));
+        assert!((regs[0].regression_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_gates_failure() {
+        let report = diff_records(&record(2.0, 16.0), &record(2.4, 16.0), 25.0).unwrap();
+        assert!(report.regressions().is_empty(), "20% is under the 25% threshold");
+        let report = diff_records(&record(2.0, 16.0), &record(2.6, 16.0), 25.0).unwrap();
+        assert_eq!(report.regressions().len(), 1, "30% is over");
+    }
+
+    #[test]
+    fn entries_align_by_identity_not_position() {
+        let a = Json::parse(
+            r#"{"schema_version":1,"experiment":"e","entries":{"items":[
+                {"dataset":"dblp","wall_s":1.0},{"dataset":"crime","wall_s":2.0}]}}"#,
+        )
+        .unwrap();
+        let b = Json::parse(
+            r#"{"schema_version":1,"experiment":"e","entries":{"items":[
+                {"dataset":"crime","wall_s":2.0},{"dataset":"dblp","wall_s":1.0}]}}"#,
+        )
+        .unwrap();
+        let report = diff_records(&a, &b, 10.0).unwrap();
+        assert_eq!(report.compared.len(), 2);
+        assert!(report.regressions().is_empty(), "reordered entries must align by identity");
+    }
+
+    #[test]
+    fn envelope_mismatches_are_errors() {
+        let a = record(2.0, 16.0);
+        let mut not_enveloped = a.clone();
+        if let Json::Obj(fields) = &mut not_enveloped {
+            fields.retain(|(k, _)| k != "schema_version");
+        }
+        assert!(diff_records(&a, &not_enveloped, 25.0).is_err());
+        let other =
+            Json::parse(r#"{"schema_version":1,"experiment":"mine-bench","entries":{}}"#).unwrap();
+        assert!(diff_records(&a, &other, 25.0).is_err(), "different experiments");
+    }
+
+    #[test]
+    fn sub_floor_time_metrics_are_noise_not_regressions() {
+        let rec = |stage_s: f64| {
+            Json::parse(&format!(
+                r#"{{"schema_version":1,"experiment":"e",
+                    "entries":{{"wall_s":1.0,"stage_s":{stage_s}}}}}"#
+            ))
+            .unwrap()
+        };
+        // 4 ms doubling to 8 ms: both under the 10 ms floor — skipped.
+        let report = diff_records(&rec(0.004), &rec(0.008), 25.0).unwrap();
+        assert!(report.regressions().is_empty(), "sub-floor doubling is noise");
+        assert_eq!(report.noise_skipped, vec!["entries.stage_s"]);
+        assert_eq!(report.compared.len(), 1, "wall_s is still compared");
+        // 4 ms exploding to 500 ms crosses the floor — still caught.
+        let report = diff_records(&rec(0.004), &rec(0.5), 25.0).unwrap();
+        assert_eq!(report.regressions().len(), 1, "crossing the floor is signal");
+        // A tighter floor can be requested explicitly.
+        let report = diff_records_with(&rec(0.004), &rec(0.008), 25.0, 0.001).unwrap();
+        assert_eq!(report.regressions().len(), 1, "explicit 1 ms floor compares it");
+    }
+
+    #[test]
+    fn non_metric_numbers_are_ignored() {
+        let a = Json::parse(
+            r#"{"schema_version":1,"experiment":"e","entries":{"patterns":100,"wall_s":1.0}}"#,
+        )
+        .unwrap();
+        let b = Json::parse(
+            r#"{"schema_version":1,"experiment":"e","entries":{"patterns":400,"wall_s":1.0}}"#,
+        )
+        .unwrap();
+        let report = diff_records(&a, &b, 25.0).unwrap();
+        assert_eq!(report.compared.len(), 1, "only wall_s is a metric");
+        assert!(report.regressions().is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! The shared `BenchRecord` envelope every bench JSON is wrapped in.
+//!
+//! All three bench writers (`mine-bench`, `serve`, `store-bench`) emit
+//! the same outer shape so trajectory tooling (`cape-repro bench-diff`,
+//! the CI `bench-trajectory` job) can treat them uniformly:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "experiment": "mine-bench",
+//!   "git_commit": "<hex or \"unknown\">",
+//!   "timestamp_utc": "2026-08-07T12:34:56Z",
+//!   "host_cpus": 8,
+//!   "entries": { ...the experiment's own payload, unchanged... }
+//! }
+//! ```
+//!
+//! The experiment payload keeps its previous schema verbatim under
+//! `entries`; only the envelope is new. `git_commit` comes from the
+//! `CAPE_GIT_COMMIT` environment variable when set (CI knows its commit
+//! without a checkout-local `.git`), else `git rev-parse HEAD`, else
+//! `"unknown"` — a bench run outside a repository still produces a valid
+//! record.
+
+use cape_obs::Json;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Version of the envelope itself (not of any experiment's payload).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The commit the bench binary was run against.
+pub fn git_commit() -> String {
+    if let Ok(commit) = std::env::var("CAPE_GIT_COMMIT") {
+        let commit = commit.trim().to_string();
+        if !commit.is_empty() {
+            return commit;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Days-since-epoch → (year, month, day) in the proleptic Gregorian
+/// calendar (Howard Hinnant's `civil_from_days`, std-only).
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// The current wall-clock time as an ISO-8601 UTC string
+/// (`YYYY-MM-DDTHH:MM:SSZ`).
+pub fn timestamp_utc() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    format_utc(secs)
+}
+
+/// Format seconds-since-epoch as ISO-8601 UTC.
+pub fn format_utc(epoch_secs: u64) -> String {
+    let days = (epoch_secs / 86_400) as i64;
+    let rem = epoch_secs % 86_400;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z", rem / 3600, (rem % 3600) / 60, rem % 60)
+}
+
+/// Wrap one experiment's payload in the `BenchRecord` envelope.
+pub fn envelope(experiment: &str, entries: Json) -> Json {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    Json::Obj(vec![
+        ("schema_version".into(), Json::Num(SCHEMA_VERSION as f64)),
+        ("experiment".into(), Json::Str(experiment.into())),
+        ("git_commit".into(), Json::Str(git_commit())),
+        ("timestamp_utc".into(), Json::Str(timestamp_utc())),
+        ("host_cpus".into(), Json::Num(host_cpus as f64)),
+        ("entries".into(), entries),
+    ])
+}
+
+/// Write an enveloped bench record to `path` (creating `results/` first
+/// when needed).
+pub fn write_bench(path: &str, experiment: &str, entries: Json) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    }
+    let doc = envelope(experiment, entries);
+    std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_from_days_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(format_utc(0), "1970-01-01T00:00:00Z");
+        // 2000-02-29 (leap day) = 11016 days after the epoch.
+        assert_eq!(civil_from_days(11_016), (2000, 2, 29));
+        assert_eq!(format_utc(1_786_451_696), "2026-08-11T12:34:56Z");
+    }
+
+    #[test]
+    fn envelope_carries_required_fields() {
+        let doc = envelope("serve", Json::Obj(vec![("rows".into(), Json::Num(10.0))]));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+        assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("serve"));
+        assert!(doc.get("git_commit").and_then(Json::as_str).is_some());
+        let ts = doc.get("timestamp_utc").and_then(Json::as_str).unwrap();
+        assert_eq!(ts.len(), 20, "ISO-8601 Z timestamp: {ts}");
+        assert!(ts.ends_with('Z') && ts.contains('T'));
+        assert!(doc.get("host_cpus").and_then(Json::as_u64).unwrap() >= 1);
+        assert_eq!(doc.get("entries").and_then(|e| e.get("rows")).and_then(Json::as_u64), Some(10));
+    }
+
+    #[test]
+    fn git_commit_env_override_wins() {
+        // Env-var reads are process-global; run both cases in one test to
+        // avoid a race with parallel tests.
+        std::env::set_var("CAPE_GIT_COMMIT", "abc123");
+        assert_eq!(git_commit(), "abc123");
+        std::env::remove_var("CAPE_GIT_COMMIT");
+        let fallback = git_commit();
+        assert!(!fallback.is_empty());
+    }
+}

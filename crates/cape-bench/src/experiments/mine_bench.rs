@@ -1,7 +1,9 @@
 //! Mining-kernel benchmark: wall-clock and per-stage times for the miner
 //! variants with the columnar kernels (lattice roll-up and the
 //! sort-permutation cache) off — the pre-kernel baseline — and on, at
-//! DBLP and Crime scales. Results are written to
+//! DBLP and Crime scales. Each configuration is mined [`REPS`] times and
+//! the fastest run is reported, so `bench-diff` trajectories compare
+//! capability rather than scheduler luck. Results are written to
 //! `results/BENCH_mine.json` in addition to the rendered table.
 //!
 //! The `--no-rollup` / `--no-sort-cache` escape hatches force the
@@ -36,6 +38,9 @@ impl Default for MineBenchOpts {
 
 /// Number of crime attributes kept (the paper's core query attributes).
 const CRIME_ATTRS: usize = 5;
+
+/// Runs per configuration; the per-metric minimum is reported.
+const REPS: usize = 5;
 
 fn miners() -> Vec<(&'static str, Box<dyn Miner>)> {
     vec![
@@ -93,27 +98,50 @@ fn run_once(miner: &dyn Miner, rel: &Relation, cfg: &MiningConfig) -> Run {
     }
 }
 
-fn run_json(label: &str, r: &Run) -> (String, Json) {
-    (
-        label.into(),
-        Json::Obj(vec![
-            ("wall_s".into(), Json::Num(r.wall_s)),
-            (
-                "per_stage".into(),
-                Json::Obj(vec![
-                    ("query_s".into(), Json::Num(r.query_s)),
-                    ("regress_s".into(), Json::Num(r.regress_s)),
-                    ("other_s".into(), Json::Num(r.other_s)),
-                ]),
-            ),
-            ("patterns".into(), Json::Num(r.patterns as f64)),
-            ("group_queries".into(), Json::Num(r.group_queries as f64)),
-            ("sort_queries".into(), Json::Num(r.sort_queries as f64)),
-            ("rollup_hits".into(), Json::Num(r.rollup_hits as f64)),
-            ("sort_cache_hits".into(), Json::Num(r.sort_cache_hits as f64)),
-            ("scan_rows_saved".into(), Json::Num(r.scan_rows_saved as f64)),
-        ]),
-    )
+/// Per-metric minimum across [`REPS`] runs. The minimum is the least-noisy
+/// estimator of each timing (anything above it is scheduler interference),
+/// which matters doubly for the parallel miner on small hosts where
+/// per-stage times sum across contending threads. Taking minima
+/// independently means stage times need not sum to `wall_s`; counters are
+/// deterministic and come from the first run.
+fn best_run(miner: &dyn Miner, rel: &Relation, cfg: &MiningConfig) -> Run {
+    let mut best = run_once(miner, rel, cfg);
+    for _ in 1..REPS {
+        let r = run_once(miner, rel, cfg);
+        best.wall_s = best.wall_s.min(r.wall_s);
+        best.query_s = best.query_s.min(r.query_s);
+        best.regress_s = best.regress_s.min(r.regress_s);
+        best.other_s = best.other_s.min(r.other_s);
+    }
+    best
+}
+
+/// JSON for one run. Per-stage times are recorded only for
+/// single-threaded miners (`with_stages`): the parallel miner sums stage
+/// times across contending worker threads, so on a small host they
+/// measure the scheduler, not the kernels, and would make the bench-diff
+/// trajectory gate flaky.
+fn run_json(label: &str, r: &Run, with_stages: bool) -> (String, Json) {
+    let mut fields = vec![("wall_s".into(), Json::Num(r.wall_s))];
+    if with_stages {
+        fields.push((
+            "per_stage".into(),
+            Json::Obj(vec![
+                ("query_s".into(), Json::Num(r.query_s)),
+                ("regress_s".into(), Json::Num(r.regress_s)),
+                ("other_s".into(), Json::Num(r.other_s)),
+            ]),
+        ));
+    }
+    fields.extend([
+        ("patterns".into(), Json::Num(r.patterns as f64)),
+        ("group_queries".into(), Json::Num(r.group_queries as f64)),
+        ("sort_queries".into(), Json::Num(r.sort_queries as f64)),
+        ("rollup_hits".into(), Json::Num(r.rollup_hits as f64)),
+        ("sort_cache_hits".into(), Json::Num(r.sort_cache_hits as f64)),
+        ("scan_rows_saved".into(), Json::Num(r.scan_rows_saved as f64)),
+    ]);
+    (label.into(), Json::Obj(fields))
 }
 
 /// The mine-bench experiment: for each dataset scale and miner, mine with
@@ -145,8 +173,8 @@ pub fn mine_bench(scale: Scale, opts: MineBenchOpts) -> String {
             let mut speedups = Vec::new();
             let names: Vec<String> = miners().iter().map(|(n, _)| n.to_string()).collect();
             for (name, miner) in miners() {
-                let off = run_once(miner.as_ref(), &rel, &off_cfg);
-                let on = run_once(miner.as_ref(), &rel, &on_cfg);
+                let off = best_run(miner.as_ref(), &rel, &off_cfg);
+                let on = best_run(miner.as_ref(), &rel, &on_cfg);
                 let speedup = if on.wall_s > 0.0 { off.wall_s / on.wall_s } else { f64::NAN };
                 eprintln!(
                     "  mine-bench: {dataset}/{rows} {name}: off {:.3}s on {:.3}s ({speedup:.2}x, \
@@ -165,8 +193,8 @@ pub fn mine_bench(scale: Scale, opts: MineBenchOpts) -> String {
                     ("rollup".into(), Json::Bool(opts.rollup)),
                     ("sort_cache".into(), Json::Bool(opts.sort_cache)),
                     ("speedup".into(), Json::Num(speedup)),
-                    run_json("baseline", &off),
-                    run_json("kernels", &on),
+                    run_json("baseline", &off, threads_of(name) == 1),
+                    run_json("kernels", &on, threads_of(name) == 1),
                 ]));
             }
 
@@ -185,17 +213,17 @@ pub fn mine_bench(scale: Scale, opts: MineBenchOpts) -> String {
         }
     }
 
-    let json = Json::Obj(vec![
+    let payload = Json::Obj(vec![
         ("experiment".into(), Json::Str("mine-bench".into())),
         ("host_cpus".into(), Json::Num(host_cpus as f64)),
         ("rollup".into(), Json::Bool(opts.rollup)),
         ("sort_cache".into(), Json::Bool(opts.sort_cache)),
         ("psi".into(), Json::Num(3.0)),
+        ("reps".into(), Json::Num(REPS as f64)),
         ("crime_attrs".into(), Json::Num(CRIME_ATTRS as f64)),
         ("entries".into(), Json::Arr(entries)),
     ]);
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/BENCH_mine.json", format!("{json}\n")).expect("write BENCH_mine.json");
+    crate::envelope::write_bench("results/BENCH_mine.json", "mine-bench", payload);
     report.push_str("wrote results/BENCH_mine.json\n");
     report
 }

@@ -76,7 +76,7 @@ pub fn serve(scale: Scale) -> String {
     let cold = {
         let service = ExplainService::start(
             handle.clone(),
-            ServeConfig { threads: 1, cache_capacity: 0, distance: None },
+            ServeConfig { threads: 1, cache_capacity: 0, ..ServeConfig::default() },
         );
         best_batch_secs(&service, &questions)
     };
@@ -101,7 +101,7 @@ pub fn serve(scale: Scale) -> String {
         ]));
     }
 
-    let json = Json::Obj(vec![
+    let payload = Json::Obj(vec![
         ("experiment".into(), Json::Str("serve".into())),
         ("dataset".into(), Json::Str("dblp-synthetic".into())),
         ("rows".into(), Json::Num(num_rows as f64)),
@@ -112,9 +112,7 @@ pub fn serve(scale: Scale) -> String {
         ("uncached_1thread_wall_s".into(), Json::Num(cold)),
         ("series".into(), Json::Arr(series)),
     ]);
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/BENCH_serve.json", format!("{json}\n"))
-        .expect("write BENCH_serve.json");
+    crate::envelope::write_bench("results/BENCH_serve.json", "serve", payload);
 
     let mut table =
         SeriesTable::new("threads", THREAD_SWEEP.iter().map(|t| t.to_string()).collect());

@@ -16,6 +16,8 @@
 //! Criterion microbenches live under `benches/`.
 
 pub mod datasets;
+pub mod diff;
+pub mod envelope;
 pub mod experiments;
 pub mod questions;
 pub mod report;

@@ -1,0 +1,98 @@
+//! End-to-end tests of `cape-repro bench-diff`: the exit-code contract CI
+//! relies on (0 = no regression, 1 = regression past threshold, 2 =
+//! usage / unreadable input).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cape-repro")).args(args).output().expect("binary runs")
+}
+
+fn temp_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cape-bench-diff-{}-{test}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A minimal enveloped serve record with the given per-thread wall times.
+fn record(wall_1t: f64, wall_4t: f64) -> String {
+    format!(
+        r#"{{"schema_version":1,"experiment":"serve","git_commit":"deadbeef",
+"timestamp_utc":"2026-08-07T00:00:00Z","host_cpus":4,
+"entries":{{"rows":20000,"uncached_1thread_wall_s":3.0,
+"series":[{{"threads":1,"wall_s":{wall_1t},"req_per_s":{}}},
+          {{"threads":4,"wall_s":{wall_4t},"req_per_s":{}}}]}}}}"#,
+        32.0 / wall_1t,
+        32.0 / wall_4t
+    )
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn identical_records_exit_zero() {
+    let dir = temp_dir("identical");
+    let a = write(&dir, "a.json", &record(2.0, 0.6));
+    let b = write(&dir, "b.json", &record(2.0, 0.6));
+    let out = repro(&["bench-diff", &a, &b]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "identical records must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 regression(s)"), "report:\n{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_2x_regression_exits_nonzero() {
+    let dir = temp_dir("regression");
+    let a = write(&dir, "a.json", &record(2.0, 0.6));
+    let b = write(&dir, "b.json", &record(4.0, 0.6)); // 1-thread leg 2x slower
+    let out = repro(&["bench-diff", &a, &b]);
+    assert_eq!(out.status.code(), Some(1), "2x regression must fail the diff");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REGRESSION"), "report:\n{text}");
+    assert!(text.contains("threads=1"), "regression not attributed to its series:\n{text}");
+
+    // The same pair passes with a threshold looser than the regression.
+    let out = repro(&["bench-diff", &a, &b, "--threshold", "150"]);
+    assert_eq!(out.status.code(), Some(0), "150% threshold tolerates a 2x slowdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_and_input_errors_exit_two() {
+    let dir = temp_dir("usage");
+    let a = write(&dir, "a.json", &record(2.0, 0.6));
+    assert_eq!(repro(&["bench-diff"]).status.code(), Some(2), "missing paths");
+    assert_eq!(repro(&["bench-diff", &a]).status.code(), Some(2), "one path");
+    assert_eq!(
+        repro(&["bench-diff", &a, "/nonexistent/bench.json"]).status.code(),
+        Some(2),
+        "unreadable input"
+    );
+    let garbage = write(&dir, "garbage.json", "not json at all");
+    assert_eq!(repro(&["bench-diff", &a, &garbage]).status.code(), Some(2), "unparseable input");
+    let unenveloped = write(&dir, "raw.json", r#"{"experiment":"serve","series":[]}"#);
+    assert_eq!(
+        repro(&["bench-diff", &a, &unenveloped]).status.code(),
+        Some(2),
+        "record without schema_version"
+    );
+    let other =
+        write(&dir, "other.json", r#"{"schema_version":1,"experiment":"mine-bench","entries":{}}"#);
+    assert_eq!(
+        repro(&["bench-diff", &a, &other]).status.code(),
+        Some(2),
+        "experiment mismatch is not comparable"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -39,6 +39,10 @@ const VALUE_KEYS: &[&str] = &[
     "threads",
     "timeout-ms",
     "cache",
+    "trace-out",
+    "access-log",
+    "snapshot",
+    "top",
 ];
 
 /// Single-dash short flags and the long flag each expands to.

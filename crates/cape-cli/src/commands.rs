@@ -40,11 +40,19 @@ USAGE:
   cape batch-explain --csv FILE --schema SPEC (--patterns FILE | --store FILE)
                      --sql QUERY --questions FILE [--k N] [--threads N]
                      [--timeout-ms MS] [--cache N] [--fail-on-timeout]
+                     [--access-log FILE]
       Answer a file of questions concurrently over one shared pattern
       store. Each non-empty, non-# line of FILE is `VALUES high|low`
       (e.g. 'AX,SIGKDD,2007 low'). Answers print in input order; requests
       that exceed --timeout-ms return a partial top-k marked [partial]
-      (exit 1 instead with --fail-on-timeout).
+      (exit 1 instead with --fail-on-timeout). --access-log appends one
+      JSON line per request (trace id, question, deadline, cache
+      hits/misses, outcome).
+
+  cape serve-report --snapshot FILE [--top N]
+      Render the flight-recorder section of a --metrics snapshot: recent
+      request summaries plus the slowest requests with their span trees
+      (queue wait vs execution per request).
 
   cape query --csv FILE --schema SPEC --sql QUERY
       Run a SQL query against a CSV file.
@@ -53,7 +61,10 @@ GLOBAL OPTIONS:
   -v, --verbose     Debug-level progress on stderr (--trace for spans too).
   -q, --quiet       Errors only on stderr.
   --metrics FILE    Write a JSON telemetry snapshot (spans, counters,
-                    histograms, per-phase timings) after the command.
+                    histograms, per-phase timings, flight recorder) after
+                    the command.
+  --trace-out FILE  Write a Chrome trace_event timeline of the command
+                    (open in about:tracing or https://ui.perfetto.dev).
 
   SPEC is name:type[,name:type...] with types int, float, str.
   VALUES are comma-separated group-by values, e.g. 'AX,SIGKDD,2007'.
@@ -287,15 +298,25 @@ pub fn batch_explain(args: &Args) -> Result<(), CliError> {
             cache
         )
     });
+    let access_log = match args.get("access-log") {
+        Some(path) => Some(std::sync::Arc::new(
+            cape_obs::JsonLinesWriter::create(path)
+                .map_err(|e| runtime(format!("cannot open access log {path}: {e}")))?,
+        )),
+        None => None,
+    };
     let handle = PatternStoreHandle::new(rel, store);
     let service = ExplainService::start(
         handle.clone(),
-        ServeConfig { threads, cache_capacity: cache, distance: None },
+        ServeConfig { threads, cache_capacity: cache, distance: None, access_log },
     );
+    // Each request is its own top-level operation: mint a fresh trace id
+    // rather than inheriting the session scope, so access-log lines and
+    // Chrome-trace slices are attributable per question.
     let requests: Vec<ExplainRequest> = questions
         .iter()
         .map(|q| {
-            let req = ExplainRequest::new(q.clone(), k);
+            let req = ExplainRequest::new(q.clone(), k).with_trace(cape_obs::TraceId::next());
             match timeout {
                 Some(t) => req.with_timeout(t),
                 None => req,
@@ -326,6 +347,98 @@ pub fn batch_explain(args: &Args) -> Result<(), CliError> {
     });
     if args.flag("fail-on-timeout") && partial_count > 0 {
         return Err(runtime(format!("{partial_count} request(s) exceeded the deadline")));
+    }
+    Ok(())
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+fn render_span_tree(node: &cape_obs::SpanNode, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "{:indent$}{} — {} (x{})",
+        "",
+        node.name,
+        fmt_ms(node.total_ns),
+        node.count,
+        indent = 4 + depth * 2
+    );
+    for child in &node.children {
+        render_span_tree(child, depth + 1, out);
+    }
+}
+
+/// `cape serve-report` — render the flight-recorder section of a
+/// `--metrics` telemetry snapshot.
+pub fn serve_report(args: &Args) -> Result<(), CliError> {
+    let path = args
+        .require("snapshot")
+        .map_err(|_| usage("serve-report needs --snapshot FILE (a --metrics output)"))?;
+    let top = args.get_parse("top", 5usize).map_err(usage)?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| runtime(format!("cannot read {path}: {e}")))?;
+    let json = cape_obs::Json::parse(&text)
+        .map_err(|e| runtime(format!("{path} is not valid JSON: {e}")))?;
+    let snap = cape_obs::TelemetrySnapshot::from_json(&json)
+        .map_err(|e| runtime(format!("{path} is not a telemetry snapshot: {e}")))?;
+
+    let Some(flight) = &snap.requests else {
+        println!("no requests recorded in {path}");
+        return Ok(());
+    };
+    println!(
+        "{} request(s) recorded (slow-capture threshold {})",
+        flight.recorded,
+        fmt_ms(flight.threshold_ns)
+    );
+    for name in ["serve.request_ns", "serve.queue_wait_ns", "serve.exec_ns"] {
+        if let Some(h) = snap.histograms.get(name) {
+            println!(
+                "  {name}: p50 {} / p95 {} / max {} ({} samples)",
+                fmt_ms(h.p50_ns),
+                fmt_ms(h.p95_ns),
+                fmt_ms(h.max_ns),
+                h.count
+            );
+        }
+    }
+
+    println!("\nslowest {} request(s):", flight.slowest.len().min(top));
+    for slow in flight.slowest.iter().take(top) {
+        let s = &slow.summary;
+        println!(
+            "  [{:016x}] {} — total {} (queue {}, exec {}), cache {}/{} hit/miss, {}",
+            s.trace_id,
+            s.label,
+            fmt_ms(s.total_ns),
+            fmt_ms(s.queue_ns),
+            fmt_ms(s.exec_ns),
+            s.cache_hits,
+            s.cache_misses,
+            s.outcome
+        );
+        let mut tree = String::new();
+        for root in &slow.spans {
+            render_span_tree(root, 0, &mut tree);
+        }
+        print!("{tree}");
+    }
+
+    let tail = flight.recent.len().min(top);
+    println!("\nmost recent {tail} of {} summarie(s):", flight.recent.len());
+    for s in flight.recent.iter().rev().take(tail) {
+        println!(
+            "  [{:016x}] {} — total {} (queue {}, exec {}), {}",
+            s.trace_id,
+            s.label,
+            fmt_ms(s.total_ns),
+            fmt_ms(s.queue_ns),
+            fmt_ms(s.exec_ns),
+            s.outcome
+        );
     }
     Ok(())
 }

@@ -13,7 +13,9 @@
 //! ```
 //!
 //! Global options (any command): `-v`/`--verbose`, `-q`/`--quiet`,
-//! `--trace`, and `--metrics FILE` to dump a JSON telemetry snapshot.
+//! `--trace`, `--metrics FILE` to dump a JSON telemetry snapshot, and
+//! `--trace-out FILE` to dump a Chrome `trace_event` timeline (loadable
+//! in `about:tracing` / <https://ui.perfetto.dev>).
 
 mod args;
 mod commands;
@@ -79,6 +81,7 @@ fn span_name(cmd: &str) -> &'static str {
         "patterns" => "cli.patterns",
         "explain" => "cli.explain",
         "batch-explain" => "cli.batch_explain",
+        "serve-report" => "cli.serve_report",
         "query" => "cli.query",
         _ => "cli.run",
     }
@@ -92,10 +95,17 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     let recorder = cape_obs::Recorder::new();
     recorder.set_level(verbosity(&args));
     recorder.add_sink(Box::new(cape_obs::StderrSink));
+    if args.get("trace-out").is_some() {
+        recorder.enable_trace_capture();
+    }
     let install = recorder.install();
 
     let cmd = args.command.clone().unwrap_or_else(|| "help".to_string());
     let result = {
+        // The whole invocation is one trace: requests submitted inside
+        // (e.g. by batch-explain) mint their own ids, everything else is
+        // attributed to the session id.
+        let _session = cape_obs::trace_scope(cape_obs::TraceId::next());
         let _root = cape_obs::span(span_name(&cmd));
         dispatch(&cmd, &args)
     };
@@ -104,6 +114,11 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     if let Some(path) = args.get("metrics") {
         let json = recorder.snapshot().to_json();
         std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+    }
+    if let Some(path) = args.get("trace-out") {
+        recorder
+            .write_chrome_trace(path, &format!("cape {cmd}"))
             .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
     }
     result
@@ -116,6 +131,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
         "patterns" => commands::patterns(args),
         "explain" => commands::explain(args),
         "batch-explain" => commands::batch_explain(args),
+        "serve-report" => commands::serve_report(args),
         "query" => commands::query(args),
         "help" => {
             print!("{}", commands::USAGE);

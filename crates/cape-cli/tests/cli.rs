@@ -685,6 +685,139 @@ fn metrics_flag_writes_telemetry_snapshot() {
 }
 
 #[test]
+fn batch_explain_trace_out_emits_valid_chrome_trace() {
+    use cape_obs::Json;
+
+    let dir = temp_dir("traceout");
+    let csv = write_csv(&dir);
+    let patterns = mine_planted(&dir, &csv);
+    let questions = write_questions(&dir);
+    let trace_path = dir.join("trace.json").to_string_lossy().into_owned();
+
+    let out = run(&[
+        "batch-explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--patterns",
+        &patterns,
+        "--sql",
+        BATCH_SQL,
+        "--questions",
+        &questions,
+        "--threads",
+        "2",
+        "--trace-out",
+        &trace_path,
+    ]);
+    assert!(out.status.success(), "batch failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let doc = Json::parse(&text).expect("trace file is valid JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    assert!(events.len() > 1, "trace has only the metadata event");
+
+    // Metadata names the process; slices are complete-duration events
+    // with numeric ts/dur and at least the serve-side phases present.
+    assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("M"));
+    let mut names = std::collections::BTreeSet::new();
+    let mut request_trace_ids = std::collections::BTreeSet::new();
+    for slice in &events[1..] {
+        assert_eq!(slice.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(slice.get("ts").and_then(Json::as_f64).is_some(), "slice missing ts");
+        assert!(slice.get("dur").and_then(Json::as_f64).is_some(), "slice missing dur");
+        let name = slice.get("name").and_then(Json::as_str).expect("slice name");
+        names.insert(name.to_string());
+        if name == "serve.request" {
+            let id = slice
+                .get("args")
+                .and_then(|a| a.get("trace_id"))
+                .and_then(Json::as_str)
+                .expect("request slice carries its trace id");
+            request_trace_ids.insert(id.to_string());
+        }
+    }
+    for expected in ["cli.batch_explain", "serve.request", "serve.queue_wait", "serve.exec"] {
+        assert!(names.contains(expected), "trace missing {expected} slices: {names:?}");
+    }
+    assert_eq!(request_trace_ids.len(), 4, "each of the 4 questions has its own trace id");
+    assert_eq!(
+        doc.get("otherData").and_then(|o| o.get("dropped_events")).and_then(Json::as_u64),
+        Some(0)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn access_log_and_serve_report_workflow() {
+    use cape_obs::Json;
+
+    let dir = temp_dir("accesslog");
+    let csv = write_csv(&dir);
+    let patterns = mine_planted(&dir, &csv);
+    let questions = write_questions(&dir);
+    let log_path = dir.join("access.jsonl").to_string_lossy().into_owned();
+    let metrics_path = dir.join("metrics.json").to_string_lossy().into_owned();
+
+    let out = run(&[
+        "batch-explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--patterns",
+        &patterns,
+        "--sql",
+        BATCH_SQL,
+        "--questions",
+        &questions,
+        "--threads",
+        "2",
+        "--access-log",
+        &log_path,
+        "--metrics",
+        &metrics_path,
+    ]);
+    assert!(out.status.success(), "batch failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // One parseable line per question with the attribution fields.
+    let log = std::fs::read_to_string(&log_path).expect("access log written");
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 4, "one access-log line per question:\n{log}");
+    for line in &lines {
+        let v = Json::parse(line).expect("access-log line parses");
+        for key in ["trace_id", "question", "outcome", "queue_ns", "exec_ns", "total_ns"] {
+            assert!(v.get(key).is_some(), "access-log line missing {key}: {line}");
+        }
+        assert_eq!(v.get("outcome").and_then(Json::as_str), Some("ok"));
+    }
+
+    // The metrics snapshot carries the flight-recorder section, and
+    // serve-report renders it with the queue-wait/execution split.
+    let out = run(&["serve-report", "--snapshot", &metrics_path, "--top", "3"]);
+    assert!(out.status.success(), "serve-report: {}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("4 request(s) recorded"), "report:\n{report}");
+    assert!(report.contains("slowest"), "report:\n{report}");
+    assert!(report.contains("serve.request"), "span tree missing:\n{report}");
+    assert!(report.contains("serve.queue_wait"), "queue-wait phase missing:\n{report}");
+    assert!(report.contains("serve.exec"), "execution phase missing:\n{report}");
+    assert!(report.contains("serve.queue_wait_ns: p50"), "histogram line missing:\n{report}");
+
+    // serve-report without --snapshot is a usage error.
+    assert_eq!(run(&["serve-report"]).status.code(), Some(2));
+    // A snapshot with no requests section reports that and succeeds.
+    let empty = dir.join("empty.json").to_string_lossy().into_owned();
+    std::fs::write(&empty, "{\"counters\":{}}\n").unwrap();
+    let out = run(&["serve-report", "--snapshot", &empty]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no requests recorded"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn quiet_suppresses_progress_verbose_keeps_it() {
     let dir = temp_dir("verbosity");
     let csv = write_csv(&dir);

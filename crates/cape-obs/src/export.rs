@@ -1,0 +1,147 @@
+//! Exporters: Chrome `trace_event` JSON and JSON-lines streams.
+//!
+//! The Chrome format is the least-common-denominator of timeline viewers:
+//! a file written here loads directly in `about:tracing` (Chrome) and
+//! <https://ui.perfetto.dev> with per-thread lanes, nested slices, and the
+//! span counters under each slice's `args`. We emit complete-duration
+//! (`"ph": "X"`) events only, which need no begin/end pairing and are
+//! robust to truncated buffers.
+
+use crate::json::Json;
+use crate::trace::TraceEvent;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Convert captured events into one Chrome `trace_event` JSON document.
+///
+/// Timestamps and durations are microseconds (the format's unit), kept
+/// fractional so nanosecond spans remain visible. Each slice's `args`
+/// carry the trace id (hex) and the span's counters. `dropped` (from
+/// [`TraceBuffer::dropped`](crate::trace::TraceBuffer::dropped)) is
+/// reported under `otherData` so a truncated capture is self-describing.
+pub fn chrome_trace(process_name: &str, events: &[TraceEvent], dropped: u64) -> Json {
+    let mut out: Vec<Json> = Vec::with_capacity(events.len() + 1);
+    // Process-name metadata event (ph "M").
+    out.push(Json::Obj(vec![
+        ("name".into(), Json::Str("process_name".into())),
+        ("ph".into(), Json::Str("M".into())),
+        ("pid".into(), Json::Num(1.0)),
+        ("tid".into(), Json::Num(0.0)),
+        ("args".into(), Json::Obj(vec![("name".into(), Json::Str(process_name.to_string()))])),
+    ]));
+    for e in events {
+        let mut args: Vec<(String, Json)> = Vec::with_capacity(1 + e.counters.len());
+        if e.trace_id != 0 {
+            args.push(("trace_id".into(), Json::Str(format!("{:016x}", e.trace_id))));
+        }
+        for &(name, value) in &e.counters {
+            args.push((name.to_string(), Json::Num(value as f64)));
+        }
+        out.push(Json::Obj(vec![
+            ("name".into(), Json::Str(e.name.to_string())),
+            ("cat".into(), Json::Str("cape".into())),
+            ("ph".into(), Json::Str("X".into())),
+            ("ts".into(), Json::Num(e.begin_ns as f64 / 1000.0)),
+            ("dur".into(), Json::Num(e.dur_ns as f64 / 1000.0)),
+            ("pid".into(), Json::Num(1.0)),
+            ("tid".into(), Json::Num(e.tid as f64)),
+            ("args".into(), Json::Obj(args)),
+        ]));
+    }
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(out)),
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+        ("otherData".into(), Json::Obj(vec![("dropped_events".into(), Json::Num(dropped as f64))])),
+    ])
+}
+
+/// A thread-safe JSON-lines sink: one JSON document per line, flushed per
+/// write so a crash loses at most the line being written. Backs the
+/// cape-serve access log.
+pub struct JsonLinesWriter {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonLinesWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesWriter").finish_non_exhaustive()
+    }
+}
+
+impl JsonLinesWriter {
+    /// Append to (creating if needed) the file at `path`.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonLinesWriter::from_writer(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Wrap any writer (tests use an in-memory buffer).
+    pub fn from_writer(out: Box<dyn Write + Send>) -> Self {
+        JsonLinesWriter { out: Mutex::new(out) }
+    }
+
+    /// Write one JSON value as a line. Errors are reported, not panicked:
+    /// an unwritable access log must never take down the service.
+    pub fn write_line(&self, value: &Json) -> std::io::Result<()> {
+        let mut out = self.out.lock().expect("jsonl lock");
+        writeln!(out, "{value}")?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn event(name: &'static str, begin: u64, dur: u64) -> TraceEvent {
+        TraceEvent { trace_id: 7, name, tid: 3, begin_ns: begin, dur_ns: dur, counters: vec![] }
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_round_trip() {
+        let events =
+            vec![event("cli.batch_explain", 0, 5_000_000), event("serve.explain", 1_000, 2_000)];
+        let doc = chrome_trace("cape", &events, 2);
+        let parsed = Json::parse(&doc.to_string()).expect("exporter emits valid JSON");
+        let items = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(items.len(), 3, "metadata + 2 slices");
+        let slice = &items[1];
+        assert_eq!(slice.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(slice.get("name").and_then(Json::as_str), Some("cli.batch_explain"));
+        assert_eq!(slice.get("dur").and_then(Json::as_f64), Some(5000.0));
+        assert_eq!(
+            slice.get("args").and_then(|a| a.get("trace_id")).and_then(Json::as_str),
+            Some("0000000000000007")
+        );
+        assert_eq!(
+            parsed.get("otherData").and_then(|o| o.get("dropped_events")).and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn jsonl_writes_one_parseable_line_per_entry() {
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Buf::default();
+        let sink = JsonLinesWriter::from_writer(Box::new(buf.clone()));
+        sink.write_line(&Json::Obj(vec![("a".into(), Json::Num(1.0))])).unwrap();
+        sink.write_line(&Json::Obj(vec![("b".into(), Json::Str("x \"y\"".into()))])).unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            Json::parse(line).expect("each access-log line is standalone JSON");
+        }
+    }
+}

@@ -40,22 +40,28 @@
 //! ```
 
 mod event;
+mod export;
 mod histogram;
 mod json;
 mod level;
 mod recorder;
 mod registry;
+mod ring;
 mod snapshot;
 mod span;
+mod trace;
 
 pub use event::{Event, JsonLinesSink, Sink, StderrSink};
+pub use export::{chrome_trace, JsonLinesWriter};
 pub use histogram::Histogram;
 pub use json::Json;
 pub use level::Level;
 pub use recorder::Recorder;
 pub use registry::Registry;
+pub use ring::{FlightRecorder, FlightSnapshot, RequestSummary, SlowRequest};
 pub use snapshot::{HistogramSummary, PhaseBreakdown, SpanNode, TelemetrySnapshot};
 pub use span::{SpanAgg, SpanCollector, SpanPath};
+pub use trace::{thread_lane, TraceBuffer, TraceEvent, TraceId};
 
 use std::cell::RefCell;
 use std::time::Instant;
@@ -64,6 +70,7 @@ use std::time::Instant;
 struct ThreadState {
     recorders: Vec<Recorder>,
     path: Vec<&'static str>,
+    trace: Option<TraceId>,
 }
 
 thread_local! {
@@ -110,12 +117,14 @@ impl Drop for InstallGuard {
 }
 
 /// A captured copy of the calling thread's observability context (the
-/// installed recorders and the open span path), for handing to worker
-/// threads so their spans and counters aggregate under the same tree.
+/// installed recorders, the open span path, and the active trace id), for
+/// handing to worker threads so their spans and counters aggregate under
+/// the same tree and keep the originating request's trace id.
 #[derive(Debug, Clone, Default)]
 pub struct ThreadContext {
     recorders: Vec<Recorder>,
     path: Vec<&'static str>,
+    trace: Option<TraceId>,
 }
 
 impl ThreadContext {
@@ -123,7 +132,7 @@ impl ThreadContext {
     pub fn capture() -> ThreadContext {
         TLS.with(|t| {
             let s = t.borrow();
-            ThreadContext { recorders: s.recorders.clone(), path: s.path.clone() }
+            ThreadContext { recorders: s.recorders.clone(), path: s.path.clone(), trace: s.trace }
         })
     }
 
@@ -135,6 +144,7 @@ impl ThreadContext {
             ThreadState {
                 recorders: std::mem::replace(&mut s.recorders, self.recorders.clone()),
                 path: std::mem::replace(&mut s.path, self.path.clone()),
+                trace: std::mem::replace(&mut s.trace, self.trace),
             }
         });
         AttachGuard { prev: Some(prev), _not_send: std::marker::PhantomData }
@@ -187,7 +197,8 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
-        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        let end = Instant::now();
+        let elapsed_ns = end.saturating_duration_since(start).as_nanos() as u64;
         let (recorders, path) = TLS.with(|t| {
             let mut s = t.borrow_mut();
             debug_assert_eq!(s.path.last(), Some(&self.name), "span guards dropped out of order");
@@ -197,6 +208,7 @@ impl Drop for SpanGuard {
         });
         for rec in &recorders {
             rec.inner().spans.record(&path, elapsed_ns, &self.counters);
+            rec.capture_trace(self.name, end, elapsed_ns, &self.counters);
             if let Some(hist) = self.histogram {
                 rec.inner().metrics.observe(hist, elapsed_ns);
             }
@@ -209,6 +221,79 @@ impl Drop for SpanGuard {
             }
         }
     }
+}
+
+/// Enter a trace scope: until the guard drops, spans closed on this
+/// thread (and on workers that [attach](ThreadContext) a context captured
+/// inside the scope) are attributed to `id`. Scopes nest; the previous id
+/// is restored on drop.
+pub fn trace_scope(id: TraceId) -> TraceScopeGuard {
+    let prev = TLS.with(|t| t.borrow_mut().trace.replace(id));
+    TraceScopeGuard { prev, _not_send: std::marker::PhantomData }
+}
+
+/// The trace id active on this thread, if any.
+pub fn current_trace() -> Option<TraceId> {
+    TLS.with(|t| t.borrow().trace)
+}
+
+/// The active trace id as a raw u64, 0 when none (the form trace events
+/// carry).
+pub(crate) fn current_trace_raw() -> u64 {
+    current_trace().map_or(0, TraceId::as_u64)
+}
+
+/// Restores the previously active trace id on drop.
+#[must_use = "the trace scope ends when the guard drops"]
+pub struct TraceScopeGuard {
+    prev: Option<TraceId>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for TraceScopeGuard {
+    fn drop(&mut self) {
+        TLS.with(|t| t.borrow_mut().trace = self.prev);
+    }
+}
+
+/// Record a completed interval `[begin, end]` that was *not* measured by
+/// an open [`span`] — e.g. queue wait measured from a submission
+/// timestamp stamped on another thread. The interval aggregates into the
+/// span tree as a child `name` of the current path and, on
+/// capture-enabled recorders, becomes a trace event with true wall-clock
+/// begin/end. No-op without an installed recorder.
+pub fn interval(name: &'static str, begin: Instant, end: Instant) {
+    let (recorders, mut path) = TLS.with(|t| {
+        let s = t.borrow();
+        (s.recorders.clone(), s.path.clone())
+    });
+    if recorders.is_empty() {
+        return;
+    }
+    path.push(name);
+    let dur_ns = end.saturating_duration_since(begin).as_nanos() as u64;
+    for rec in &recorders {
+        rec.inner().spans.record(&path, dur_ns, &[]);
+        rec.capture_trace(name, end, dur_ns, &[]);
+    }
+}
+
+/// Push one completed-request record into the flight recorder of every
+/// recorder installed on this thread. `spans` is the request's own span
+/// tree (kept only for slowest-N requests past each recorder's
+/// threshold).
+pub fn flight_record(summary: &RequestSummary, spans: &[SpanNode]) {
+    for rec in installed() {
+        let mut summary = summary.clone();
+        summary.end_off_ns = rec.inner().start.elapsed().as_nanos() as u64;
+        rec.flight().record(summary, spans);
+    }
+}
+
+/// Whether any installed recorder would keep a flight record — callers
+/// can skip building per-request summaries and span trees when false.
+pub fn flight_wanted() -> bool {
+    installed().iter().any(|r| r.flight().enabled())
 }
 
 /// Open a span named `name` (scheme `subsystem.verb_noun`). No-op when no

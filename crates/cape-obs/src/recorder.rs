@@ -5,9 +5,11 @@
 use crate::event::{Event, Sink};
 use crate::level::Level;
 use crate::registry::Registry;
+use crate::ring::FlightRecorder;
 use crate::snapshot::{build_tree, HistogramSummary, TelemetrySnapshot};
 use crate::span::SpanCollector;
-use std::sync::atomic::{AtomicU8, Ordering};
+use crate::trace::{thread_lane, TraceBuffer, TraceEvent};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -34,6 +36,9 @@ pub(crate) struct Inner {
     pub(crate) metrics: Registry,
     pub(crate) spans: SpanCollector,
     sinks: Mutex<Vec<Box<dyn Sink>>>,
+    trace_capture: AtomicBool,
+    traces: TraceBuffer,
+    flight: FlightRecorder,
 }
 
 impl Default for Inner {
@@ -44,6 +49,9 @@ impl Default for Inner {
             metrics: Registry::new(),
             spans: SpanCollector::new(),
             sinks: Mutex::new(Vec::new()),
+            trace_capture: AtomicBool::new(false),
+            traces: TraceBuffer::default(),
+            flight: FlightRecorder::default(),
         }
     }
 }
@@ -101,10 +109,79 @@ impl Recorder {
         self.inner.metrics.counter(name)
     }
 
+    /// Start capturing per-close [`TraceEvent`]s (wall-clock begin/end
+    /// per span) for Chrome-trace export. Off by default: aggregation is
+    /// always on, event capture only when someone will export it.
+    pub fn enable_trace_capture(&self) {
+        self.inner.trace_capture.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether trace-event capture is on.
+    pub fn trace_capture_enabled(&self) -> bool {
+        self.inner.trace_capture.load(Ordering::Relaxed)
+    }
+
+    /// Record one trace event if capture is enabled. `end` is the span's
+    /// wall-clock close; the begin offset is derived from this recorder's
+    /// own start so events from recorders installed at different times
+    /// stay on one timeline.
+    pub(crate) fn capture_trace(
+        &self,
+        name: &'static str,
+        end: Instant,
+        dur_ns: u64,
+        counters: &[(&'static str, u64)],
+    ) {
+        if !self.trace_capture_enabled() {
+            return;
+        }
+        let end_off = end.saturating_duration_since(self.inner.start).as_nanos() as u64;
+        self.inner.traces.push(TraceEvent {
+            trace_id: crate::current_trace_raw(),
+            name,
+            tid: thread_lane(),
+            begin_ns: end_off.saturating_sub(dur_ns),
+            dur_ns,
+            counters: counters.to_vec(),
+        });
+    }
+
+    /// The captured trace events, ordered by begin time.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner.traces.events()
+    }
+
+    /// Trace events dropped because the capture buffer was full.
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner.traces.dropped()
+    }
+
+    /// Render the captured events as a Chrome `trace_event` JSON document
+    /// (loadable in `about:tracing` / Perfetto).
+    pub fn chrome_trace(&self, process_name: &str) -> crate::Json {
+        crate::export::chrome_trace(process_name, &self.trace_events(), self.trace_dropped())
+    }
+
+    /// Write the Chrome trace to a file.
+    pub fn write_chrome_trace(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        process_name: &str,
+    ) -> std::io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.chrome_trace(process_name)))
+    }
+
+    /// This recorder's flight recorder (completed-request ring).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
+    }
+
     /// Export the current spans and metrics.
     pub fn snapshot(&self) -> TelemetrySnapshot {
+        let flight = self.inner.flight.snapshot();
         let mut snap = TelemetrySnapshot {
             spans: build_tree(self.inner.spans.entries()),
+            requests: (flight.recorded > 0).then_some(flight),
             ..Default::default()
         };
         self.inner.metrics.for_each_counter(|name, v| {

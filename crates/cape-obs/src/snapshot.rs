@@ -3,6 +3,7 @@
 //! reports.
 
 use crate::json::Json;
+use crate::ring::FlightSnapshot;
 use crate::span::{SpanAgg, SpanPath};
 use std::collections::BTreeMap;
 
@@ -66,6 +67,9 @@ pub struct TelemetrySnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Flight-recorder state (recent + slowest requests); present when at
+    /// least one request was recorded.
+    pub requests: Option<FlightSnapshot>,
 }
 
 /// Build the span tree from flat `(path, aggregate)` entries.
@@ -159,10 +163,11 @@ impl TelemetrySnapshot {
     }
 
     /// Serialize to a JSON object (spans, counters, gauges, histograms,
-    /// plus the derived `phases` block).
+    /// plus the derived `phases` block and, when requests were recorded,
+    /// the flight-recorder `requests` section).
     pub fn to_json(&self) -> Json {
         let ph = self.phase_breakdown();
-        Json::Obj(vec![
+        let mut fields = vec![
             (
                 "phases".into(),
                 Json::Obj(vec![
@@ -204,7 +209,11 @@ impl TelemetrySnapshot {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(flight) = &self.requests {
+            fields.push(("requests".into(), flight.to_json()));
+        }
+        Json::Obj(fields)
     }
 
     /// Parse a snapshot previously produced by [`TelemetrySnapshot::to_json`].
@@ -242,11 +251,14 @@ impl TelemetrySnapshot {
                 );
             }
         }
+        if let Some(flight) = v.get("requests") {
+            snap.requests = Some(FlightSnapshot::from_json(flight)?);
+        }
         Ok(snap)
     }
 }
 
-fn span_to_json(node: &SpanNode) -> Json {
+pub(crate) fn span_to_json(node: &SpanNode) -> Json {
     Json::Obj(vec![
         ("name".into(), Json::Str(node.name.clone())),
         ("count".into(), Json::Num(node.count as f64)),
@@ -261,7 +273,7 @@ fn span_to_json(node: &SpanNode) -> Json {
     ])
 }
 
-fn span_from_json(v: &Json) -> Result<SpanNode, String> {
+pub(crate) fn span_from_json(v: &Json) -> Result<SpanNode, String> {
     let mut node = SpanNode {
         name: v.get("name").and_then(Json::as_str).ok_or("span missing name")?.to_string(),
         count: v.get("count").and_then(Json::as_u64).ok_or("span missing count")?,

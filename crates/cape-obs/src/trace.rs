@@ -1,0 +1,227 @@
+//! Request-scoped trace contexts and wall-clock span events.
+//!
+//! A [`TraceId`] names one top-level operation — a CLI command, one
+//! `cape-serve` request — and follows the work across threads: the worker
+//! that dequeues a request enters the request's trace scope before
+//! executing it, so every span the request produces carries the same id
+//! no matter which thread closed it.
+//!
+//! While a recorder has trace capture enabled (see
+//! [`Recorder::enable_trace_capture`](crate::Recorder::enable_trace_capture)),
+//! every span close additionally appends a [`TraceEvent`] — the span's
+//! wall-clock begin/end offsets relative to the recorder's start, the
+//! closing thread's lane, and the current trace id — to a bounded
+//! [`TraceBuffer`]. The buffer feeds the Chrome `trace_event` exporter in
+//! [`crate::export`], so an entire session can be opened in
+//! `about:tracing` / Perfetto with per-thread lanes and per-request ids.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A 64-bit identifier for one top-level traced operation.
+///
+/// Ids are unique within a process run and start from a per-process seed
+/// derived from the clock and process id, so ids from different runs are
+/// unlikely to collide in merged logs. The id `0` is reserved for
+/// "no trace" and never produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(u64);
+
+/// SplitMix64 finalizer: a cheap, well-distributed bijection on u64.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn process_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        splitmix64(nanos ^ (std::process::id() as u64) << 32)
+    })
+}
+
+impl TraceId {
+    /// Allocate a fresh, process-unique trace id.
+    pub fn next() -> TraceId {
+        static COUNTER: AtomicU64 = AtomicU64::new(1);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(process_seed().wrapping_add(n));
+        TraceId(if id == 0 { 1 } else { id })
+    }
+
+    /// Wrap a raw id (0 is remapped to 1, keeping 0 reserved).
+    pub fn from_u64(raw: u64) -> TraceId {
+        TraceId(if raw == 0 { 1 } else { raw })
+    }
+
+    /// The raw 64-bit value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    /// Fixed-width lowercase hex, the form used in logs and exports.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A small dense per-thread lane number for trace exports (`tid` in the
+/// Chrome trace format). Monotonically assigned on first use per thread;
+/// stable for the thread's lifetime.
+pub fn thread_lane() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static LANE: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    LANE.with(|l| *l)
+}
+
+/// One captured span close: wall-clock begin/duration relative to the
+/// owning recorder's start, plus attribution (trace id, thread lane).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The trace scope active when the span closed (0 = none).
+    pub trace_id: u64,
+    /// Span name.
+    pub name: &'static str,
+    /// Closing thread's lane ([`thread_lane`]).
+    pub tid: u64,
+    /// Wall-clock begin, nanoseconds since the recorder started.
+    pub begin_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Per-span counters attached via [`crate::SpanGuard::add`].
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// A bounded, thread-safe buffer of [`TraceEvent`]s. When full, further
+/// events are counted as dropped rather than growing without limit — a
+/// flight-recorder discipline: the exporter reports the drop count so a
+/// truncated trace is never mistaken for a complete one.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    events: Mutex<Vec<TraceEvent>>,
+    dropped: AtomicU64,
+    capacity: usize,
+}
+
+/// Default capacity: enough for every span of a large batch run while
+/// bounding worst-case memory to a few MiB.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 17;
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceBuffer {
+    /// An empty buffer holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer { events: Mutex::new(Vec::new()), dropped: AtomicU64::new(0), capacity }
+    }
+
+    /// Append one event, or count it as dropped when full.
+    pub fn push(&self, event: TraceEvent) {
+        let mut events = self.events.lock().expect("trace lock");
+        if events.len() < self.capacity {
+            events.push(event);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the buffered events, ordered by begin time.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = self.events.lock().expect("trace lock").clone();
+        out.sort_by_key(|e| (e.begin_ns, e.dur_ns));
+        out
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace lock").len()
+    }
+
+    /// Whether no events have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = TraceId::next();
+            assert_ne!(id.as_u64(), 0);
+            assert!(seen.insert(id.as_u64()), "duplicate trace id");
+        }
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        let id = TraceId::from_u64(0xabc);
+        assert_eq!(id.to_string(), "0000000000000abc");
+        assert_eq!(TraceId::from_u64(0).as_u64(), 1, "zero is reserved");
+    }
+
+    #[test]
+    fn buffer_bounds_and_counts_drops() {
+        let buf = TraceBuffer::with_capacity(2);
+        for i in 0..5u64 {
+            buf.push(TraceEvent {
+                trace_id: 1,
+                name: "x",
+                tid: 1,
+                begin_ns: i,
+                dur_ns: 1,
+                counters: Vec::new(),
+            });
+        }
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 3);
+    }
+
+    #[test]
+    fn events_sorted_by_begin() {
+        let buf = TraceBuffer::with_capacity(8);
+        for begin in [30u64, 10, 20] {
+            buf.push(TraceEvent {
+                trace_id: 1,
+                name: "x",
+                tid: 1,
+                begin_ns: begin,
+                dur_ns: 1,
+                counters: Vec::new(),
+            });
+        }
+        let begins: Vec<u64> = buf.events().iter().map(|e| e.begin_ns).collect();
+        assert_eq!(begins, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn thread_lanes_are_stable_and_distinct() {
+        let here = thread_lane();
+        assert_eq!(here, thread_lane());
+        let other = std::thread::spawn(thread_lane).join().unwrap();
+        assert_ne!(here, other);
+    }
+}

@@ -1,0 +1,176 @@
+//! Edge-case tests across the cape-obs public API: histogram percentiles
+//! at tiny sample counts, span nesting across worker attach/detach,
+//! flight-ring wraparound at exactly capacity, and Chrome-trace / JSON
+//! escaping of hostile strings.
+
+use cape_obs::{
+    chrome_trace, FlightRecorder, Histogram, Json, Recorder, RequestSummary, ThreadContext,
+    TraceEvent, TraceId,
+};
+
+#[test]
+fn histogram_quantiles_with_zero_and_one_samples() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 0, "empty histogram must answer 0 for q={q}");
+    }
+    assert_eq!(h.max(), 0);
+
+    h.observe(1_500);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.max(), 1_500);
+    let p50 = h.quantile(0.5);
+    let p99 = h.quantile(0.99);
+    assert_eq!(p50, p99, "one sample: every quantile is that sample's bucket");
+    assert!(p50 >= 1_500, "bucket upper bound covers the sample, got {p50}");
+
+    // A single-sample histogram through the snapshot path too.
+    let rec = Recorder::new();
+    let guard = rec.install();
+    cape_obs::observe_ns("edge.single_ns", 1_500);
+    drop(guard);
+    let snap = rec.snapshot();
+    let summary = &snap.histograms["edge.single_ns"];
+    assert_eq!(summary.count, 1);
+    assert_eq!(summary.p50_ns, summary.p99_ns);
+    assert_eq!(summary.max_ns, 1_500);
+}
+
+#[test]
+fn span_nesting_survives_thread_context_attach_detach() {
+    let rec = Recorder::new();
+    let guard = rec.install();
+    {
+        let _outer = cape_obs::span("edge.outer");
+        // Capture while `edge.outer` is open; the worker's spans must nest
+        // under it even though they close on another thread.
+        let ctx = ThreadContext::capture();
+        let worker = std::thread::spawn(move || {
+            let _attach = ctx.attach();
+            let _inner = cape_obs::span("edge.worker");
+            cape_obs::counter_add("edge.worker_ran", 1);
+            // Guard drops here: span recorded, then context detached.
+        });
+        worker.join().unwrap();
+
+        // After the worker detached, this thread's path is unchanged:
+        // a sibling span still lands under `edge.outer`, not under any
+        // leftover worker state.
+        let _sibling = cape_obs::span("edge.sibling");
+    }
+    drop(guard);
+
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter("edge.worker_ran"), 1);
+    assert_eq!(snap.spans.len(), 1, "one root: {:?}", snap.spans);
+    let root = &snap.spans[0];
+    assert_eq!(root.name, "edge.outer");
+    let child_names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(child_names, vec!["edge.sibling", "edge.worker"], "children sorted by name");
+    // The worker thread saw no installed recorder after the detach.
+    let orphan = std::thread::spawn(|| cape_obs::span("edge.orphan").is_active());
+    assert!(!orphan.join().unwrap(), "fresh thread must not inherit the context");
+}
+
+#[test]
+fn flight_ring_wraparound_at_exact_capacity() {
+    let fr = FlightRecorder::new(4, 0, 0);
+    let push = |n: u64| {
+        fr.record(RequestSummary { trace_id: n, total_ns: n, ..RequestSummary::default() }, &[]);
+    };
+    // Exactly capacity: nothing evicted yet.
+    (1..=4).for_each(push);
+    let snap = fr.snapshot();
+    assert_eq!(snap.recorded, 4);
+    assert_eq!(snap.recent.iter().map(|s| s.trace_id).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    // One past capacity: the oldest (and only the oldest) is gone.
+    push(5);
+    let snap = fr.snapshot();
+    assert_eq!(snap.recorded, 5, "eviction must not lose the running count");
+    assert_eq!(snap.recent.iter().map(|s| s.trace_id).collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+    // Wrap all the way around twice.
+    (6..=13).for_each(push);
+    let snap = fr.snapshot();
+    assert_eq!(snap.recorded, 13);
+    assert_eq!(snap.recent.iter().map(|s| s.trace_id).collect::<Vec<_>>(), vec![10, 11, 12, 13]);
+}
+
+#[test]
+fn chrome_trace_escapes_quotes_and_backslashes() {
+    // Process names and flight labels come from user data (file paths,
+    // rendered questions); the exported JSON must stay parseable.
+    let hostile = r#"cape "batch" C:\data\pubs.csv
+with newline"#;
+    let events = vec![TraceEvent {
+        trace_id: 1,
+        name: "serve.request",
+        tid: 0,
+        begin_ns: 0,
+        dur_ns: 10,
+        counters: vec![],
+    }];
+    let doc = chrome_trace(hostile, &events, 0);
+    let text = doc.to_string();
+    let parsed = Json::parse(&text).expect("escaped Chrome trace parses");
+    let name = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .and_then(|a| a.first())
+        .and_then(|m| m.get("args"))
+        .and_then(|a| a.get("name"))
+        .and_then(Json::as_str)
+        .expect("process name survives");
+    assert_eq!(name, hostile, "quotes, backslashes, and newlines round-trip");
+}
+
+#[test]
+fn flight_snapshot_json_escapes_hostile_labels() {
+    let fr = FlightRecorder::new(4, 2, 0);
+    let label = r#"author = "A\X", venue = "SIG\KDD""#;
+    fr.record(
+        RequestSummary {
+            trace_id: 7,
+            label: label.into(),
+            outcome: "ok".into(),
+            total_ns: 42,
+            ..RequestSummary::default()
+        },
+        &[],
+    );
+    let snap = fr.snapshot();
+    let text = snap.to_json().to_string();
+    let parsed = cape_obs::FlightSnapshot::from_json(&Json::parse(&text).expect("parses"))
+        .expect("snapshot round-trips");
+    assert_eq!(parsed.recent[0].label, label);
+    assert_eq!(parsed, snap);
+}
+
+#[test]
+fn trace_ids_are_unique_and_propagate_through_contexts() {
+    let a = TraceId::next();
+    let b = TraceId::next();
+    assert_ne!(a, b);
+    assert_ne!(a.as_u64(), 0, "0 is reserved for untraced");
+    assert_eq!(format!("{a}").len(), 16, "fixed-width hex rendering");
+
+    let rec = Recorder::new();
+    rec.enable_trace_capture();
+    let guard = rec.install();
+    let scope = cape_obs::trace_scope(a);
+    assert_eq!(cape_obs::current_trace(), Some(a));
+    let ctx = ThreadContext::capture();
+    std::thread::spawn(move || {
+        let _attach = ctx.attach();
+        assert_eq!(cape_obs::current_trace(), Some(a), "trace id crosses threads via the context");
+        let _span = cape_obs::span("edge.traced");
+    })
+    .join()
+    .unwrap();
+    drop(scope);
+    assert_eq!(cape_obs::current_trace(), None, "scope restored on drop");
+    drop(guard);
+    let events = rec.trace_events();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].trace_id, a.as_u64());
+}

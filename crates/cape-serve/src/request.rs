@@ -2,6 +2,7 @@
 
 use cape_core::explain::{ExplainStats, Explanation};
 use cape_core::question::UserQuestion;
+use cape_obs::TraceId;
 use std::time::Duration;
 
 /// One user question submitted to the service.
@@ -15,17 +16,27 @@ pub struct ExplainRequest {
     /// deadline; `Some(Duration::ZERO)` forces an immediate (empty,
     /// partial) answer — useful for testing degradation paths.
     pub timeout: Option<Duration>,
+    /// Trace id to attribute the request's spans to. `None` (the
+    /// default) inherits the submitting thread's trace scope, or a
+    /// fresh id when there is none — every request always has one.
+    pub trace: Option<TraceId>,
 }
 
 impl ExplainRequest {
     /// A request with no deadline.
     pub fn new(question: UserQuestion, k: usize) -> Self {
-        ExplainRequest { question, k, timeout: None }
+        ExplainRequest { question, k, timeout: None, trace: None }
     }
 
     /// Attach a deadline.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Attach an explicit trace id (propagated from an upstream caller).
+    pub fn with_trace(mut self, trace: TraceId) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -47,4 +58,11 @@ pub struct ExplainResponse {
     pub partial: bool,
     /// Time from submission to completion (queue wait + service).
     pub total_time: Duration,
+    /// The trace id the request ran under (also in the access log and
+    /// the Chrome trace, so a slow answer can be found in both).
+    pub trace_id: TraceId,
+    /// Time spent queued before a worker dequeued the request.
+    pub queue_wait: Duration,
+    /// Time spent executing on the worker (total − queue − reply).
+    pub exec_time: Duration,
 }

@@ -7,16 +7,26 @@
 //!
 //! Instrumentation (all via `cape-obs`, visible in `--metrics` snapshots):
 //!
-//! * `serve.queue_depth` gauge — queue length sampled at dequeue time;
+//! * `serve.queue_depth` gauge — queue length sampled at submit and
+//!   dequeue time, reset to 0 when the pool drains and shuts down;
 //! * `serve.request_ns` histogram — full request latency (wait + service);
+//! * `serve.queue_wait_ns` / `serve.exec_ns` histograms — the queue-wait
+//!   and execution halves of that latency, split per request;
 //! * `serve.requests`, `serve.timeouts` counters;
 //! * `serve.cache.hits` / `serve.cache.misses` counters (from
 //!   [`explain_cached`]).
+//!
+//! Every request runs under a trace id (inherited from the submitter's
+//! [`cape_obs::trace_scope`], or freshly minted): its spans land in the
+//! Chrome trace, its summary in the flight recorder, and — when
+//! [`ServeConfig::access_log`] is set — one JSON line per request in the
+//! access log, all sharing the id.
 
 use crate::explain::{explain_cached, DrillCache};
 use crate::request::{ExplainRequest, ExplainResponse};
 use crate::shared::PatternStoreHandle;
 use cape_core::explain::{DistanceModel, ExplainConfig};
+use cape_obs::{Json, JsonLinesWriter, RequestSummary, SpanNode, TraceId};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -32,11 +42,13 @@ pub struct ServeConfig {
     /// Distance model; defaults to
     /// [`DistanceModel::default_for`] the handle's relation when `None`.
     pub distance: Option<DistanceModel>,
+    /// Per-request access log (JSON lines). `None` disables logging.
+    pub access_log: Option<Arc<JsonLinesWriter>>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { threads: 1, cache_capacity: 1024, distance: None }
+        ServeConfig { threads: 1, cache_capacity: 1024, distance: None, access_log: None }
     }
 }
 
@@ -45,10 +57,17 @@ impl ServeConfig {
     pub fn with_threads(threads: usize) -> Self {
         ServeConfig { threads, ..ServeConfig::default() }
     }
+
+    /// Attach a per-request access log.
+    pub fn with_access_log(mut self, log: Arc<JsonLinesWriter>) -> Self {
+        self.access_log = Some(log);
+        self
+    }
 }
 
 struct Job {
     request: ExplainRequest,
+    trace_id: TraceId,
     submitted: Instant,
     reply: mpsc::Sender<ExplainResponse>,
 }
@@ -62,6 +81,7 @@ struct Shared {
     handle: PatternStoreHandle,
     cache: DrillCache,
     distance: DistanceModel,
+    access_log: Option<Arc<JsonLinesWriter>>,
     queue: Mutex<Queue>,
     ready: Condvar,
 }
@@ -84,6 +104,7 @@ impl ExplainService {
             handle,
             cache: DrillCache::new(cfg.cache_capacity),
             distance,
+            access_log: cfg.access_log,
             queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
             ready: Condvar::new(),
         });
@@ -113,9 +134,14 @@ impl ExplainService {
     }
 
     /// Enqueue a request; the answer arrives on the returned channel.
+    ///
+    /// The request runs under `request.trace` if set, otherwise under the
+    /// submitting thread's current trace scope, otherwise a fresh id —
+    /// so spans recorded by the worker are attributable either way.
     pub fn submit(&self, request: ExplainRequest) -> mpsc::Receiver<ExplainResponse> {
         let (tx, rx) = mpsc::channel();
-        let job = Job { request, submitted: Instant::now(), reply: tx };
+        let trace_id = request.trace.or_else(cape_obs::current_trace).unwrap_or_else(TraceId::next);
+        let job = Job { request, trace_id, submitted: Instant::now(), reply: tx };
         let mut queue = self.shared.queue.lock().expect("queue lock");
         queue.jobs.push_back(job);
         cape_obs::gauge_set("serve.queue_depth", queue.jobs.len() as f64);
@@ -154,6 +180,45 @@ impl std::fmt::Debug for ExplainService {
     }
 }
 
+/// Extract the `serve.request` subtree from a per-request span snapshot.
+///
+/// The per-request recorder may have been installed under ancestor spans
+/// (whatever the spawning thread had open when the pool started); the
+/// flight recorder wants the request root, not those count-0 scaffolding
+/// nodes.
+fn request_subtree(spans: &[SpanNode]) -> Vec<SpanNode> {
+    fn find(nodes: &[SpanNode]) -> Option<SpanNode> {
+        for node in nodes {
+            if node.name == "serve.request" {
+                return Some(node.clone());
+            }
+            if let Some(found) = find(&node.children) {
+                return Some(found);
+            }
+        }
+        None
+    }
+    match find(spans) {
+        Some(root) => vec![root],
+        None => spans.to_vec(),
+    }
+}
+
+fn access_line(summary: &RequestSummary, k: usize, deadline_ms: Option<f64>) -> Json {
+    Json::Obj(vec![
+        ("trace_id".into(), Json::Str(format!("{:016x}", summary.trace_id))),
+        ("question".into(), Json::Str(summary.label.clone())),
+        ("k".into(), Json::Num(k as f64)),
+        ("deadline_ms".into(), deadline_ms.map_or(Json::Null, Json::Num)),
+        ("outcome".into(), Json::Str(summary.outcome.clone())),
+        ("queue_ns".into(), Json::Num(summary.queue_ns as f64)),
+        ("exec_ns".into(), Json::Num(summary.exec_ns as f64)),
+        ("total_ns".into(), Json::Num(summary.total_ns as f64)),
+        ("cache_hits".into(), Json::Num(summary.cache_hits as f64)),
+        ("cache_misses".into(), Json::Num(summary.cache_misses as f64)),
+    ])
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
@@ -164,26 +229,84 @@ fn worker_loop(shared: &Shared) {
                     break job;
                 }
                 if queue.shutdown {
+                    // The queue is drained for good: leave the gauge at
+                    // its true (empty) value rather than the depth seen
+                    // at the last dequeue.
+                    cape_obs::gauge_set("serve.queue_depth", 0.0);
                     return;
                 }
                 queue = shared.ready.wait(queue).expect("queue lock");
             }
         };
 
-        let deadline = job.request.timeout.map(|t| job.submitted + t);
-        let cfg = ExplainConfig { k: job.request.k, distance: shared.distance.clone() };
-        let (explanations, stats, partial) =
-            explain_cached(&shared.handle, &shared.cache, &job.request.question, &cfg, deadline);
+        let dequeued = Instant::now();
+        let queue_wait = dequeued.saturating_duration_since(job.submitted);
+        let _trace = cape_obs::trace_scope(job.trace_id);
+
+        // A per-request recorder gives the flight recorder and access log
+        // an isolated span tree and cache counters for *this* request.
+        // Only pay for it when someone will consume the result.
+        let want_detail = shared.access_log.is_some() || cape_obs::flight_wanted();
+        let req_rec = if want_detail { Some(cape_obs::Recorder::new()) } else { None };
+        let req_guard = req_rec.as_ref().map(cape_obs::Recorder::install);
+
+        let exec_start = Instant::now();
+        let (explanations, stats, partial) = {
+            let _root = cape_obs::span("serve.request");
+            // Queue wait happened before this worker touched the job;
+            // record it retroactively so the request's span tree shows
+            // wait vs execution side by side.
+            cape_obs::interval("serve.queue_wait", job.submitted, dequeued);
+            let _exec = cape_obs::span("serve.exec");
+            let deadline = job.request.timeout.map(|t| job.submitted + t);
+            let cfg = ExplainConfig { k: job.request.k, distance: shared.distance.clone() };
+            explain_cached(&shared.handle, &shared.cache, &job.request.question, &cfg, deadline)
+        };
+        let exec_time = exec_start.elapsed();
+        drop(req_guard);
 
         let total_time = job.submitted.elapsed();
         cape_obs::observe_ns("serve.request_ns", total_time.as_nanos() as u64);
+        cape_obs::observe_ns("serve.queue_wait_ns", queue_wait.as_nanos() as u64);
+        cape_obs::observe_ns("serve.exec_ns", exec_time.as_nanos() as u64);
         cape_obs::counter_add("serve.requests", 1);
         if partial {
             cape_obs::counter_add("serve.timeouts", 1);
         }
+
+        if let Some(rec) = &req_rec {
+            let schema = shared.handle.relation().schema();
+            let summary = RequestSummary {
+                trace_id: job.trace_id.as_u64(),
+                label: job.request.question.display(schema),
+                outcome: if partial { "partial".into() } else { "ok".into() },
+                queue_ns: queue_wait.as_nanos() as u64,
+                exec_ns: exec_time.as_nanos() as u64,
+                total_ns: total_time.as_nanos() as u64,
+                cache_hits: rec.counter("serve.cache.hits"),
+                cache_misses: rec.counter("serve.cache.misses"),
+                end_off_ns: 0, // stamped per recorder by flight_record
+            };
+            let spans = request_subtree(&rec.snapshot().spans);
+            cape_obs::flight_record(&summary, &spans);
+            if let Some(log) = &shared.access_log {
+                let deadline_ms = job.request.timeout.map(|t| t.as_secs_f64() * 1000.0);
+                // A broken access log must never take down the service.
+                let _ = log.write_line(&access_line(&summary, job.request.k, deadline_ms));
+            }
+        }
+
         // The caller may have dropped its receiver (fire-and-forget);
         // a failed send is not an error.
-        let _ = job.reply.send(ExplainResponse { explanations, stats, partial, total_time });
+        let _ = job.reply.send(ExplainResponse {
+            explanations,
+            stats,
+            partial,
+            total_time,
+            trace_id: job.trace_id,
+            queue_wait,
+            exec_time,
+        });
     }
 }
 
@@ -195,6 +318,7 @@ mod tests {
     use cape_core::prelude::{NaiveExplainer, TopKExplainer};
     use cape_core::question::{Direction, UserQuestion};
     use cape_data::{AggFunc, Relation, Schema, Value, ValueType};
+    use std::io::Write;
     use std::time::Duration;
 
     fn planted() -> Relation {
@@ -321,5 +445,116 @@ mod tests {
         let service = ExplainService::start(handle, ServeConfig::with_threads(2));
         let _ = service.batch((0..4).map(|_| ExplainRequest::new(q.clone(), 5)).collect());
         assert!(service.cache().hits() > 0, "repeated question must hit the shared cache");
+    }
+
+    #[test]
+    fn queue_depth_gauge_resets_after_shutdown() {
+        let rec = cape_obs::Recorder::new();
+        let _guard = rec.install();
+        let handle = handle();
+        let q = questions(&handle).remove(0);
+        let service = ExplainService::start(handle, ServeConfig::with_threads(1));
+        let _ = service.batch((0..5).map(|_| ExplainRequest::new(q.clone(), 3)).collect());
+        drop(service);
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.gauges.get("serve.queue_depth").copied(),
+            Some(0.0),
+            "drained+shut-down pool must report an empty queue, not the last dequeue depth"
+        );
+    }
+
+    #[test]
+    fn responses_carry_trace_and_timing_split() {
+        let handle = handle();
+        let qs = questions(&handle);
+        let service = ExplainService::start(handle, ServeConfig::with_threads(2));
+        let responses =
+            service.batch(qs.iter().map(|q| ExplainRequest::new(q.clone(), 4)).collect());
+        for resp in &responses {
+            assert_ne!(resp.trace_id.as_u64(), 0, "every request gets a trace id");
+            assert!(
+                resp.queue_wait + resp.exec_time <= resp.total_time + Duration::from_millis(1),
+                "split must not exceed the total"
+            );
+        }
+        let explicit = TraceId::next();
+        let resp = service
+            .submit(ExplainRequest::new(qs[0].clone(), 4).with_trace(explicit))
+            .recv()
+            .unwrap();
+        assert_eq!(resp.trace_id, explicit, "explicit trace ids propagate to the response");
+    }
+
+    #[test]
+    fn flight_recorder_separates_queue_wait_from_execution() {
+        let rec = cape_obs::Recorder::new();
+        let _guard = rec.install();
+        let handle = handle();
+        let qs = questions(&handle);
+        let service = ExplainService::start(handle, ServeConfig::with_threads(1));
+        let responses =
+            service.batch(qs.iter().map(|q| ExplainRequest::new(q.clone(), 4)).collect());
+        drop(service);
+        let snap = rec.snapshot();
+        let flight = snap.requests.expect("flight recorder captured requests");
+        assert_eq!(flight.recorded, responses.len() as u64);
+        assert_eq!(flight.recent.len(), responses.len());
+        assert!(!flight.slowest.is_empty());
+        for slow in &flight.slowest {
+            assert_eq!(slow.spans.len(), 1, "one serve.request root");
+            let root = &slow.spans[0];
+            assert_eq!(root.name, "serve.request");
+            let child = |name: &str| root.children.iter().find(|c| c.name == name);
+            let wait = child("serve.queue_wait").expect("queue-wait child span");
+            let exec = child("serve.exec").expect("execution child span");
+            assert_eq!(wait.count, 1);
+            assert!(exec.total_ns > 0, "execution time is non-zero");
+            assert!(
+                exec.children.iter().any(|c| c.name == "serve.explain"),
+                "execution subtree contains the explain span"
+            );
+        }
+    }
+
+    #[test]
+    fn access_log_writes_one_line_per_request() {
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Buf::default();
+        let log = Arc::new(JsonLinesWriter::from_writer(Box::new(buf.clone())));
+        let handle = handle();
+        let qs = questions(&handle);
+        let service =
+            ExplainService::start(handle, ServeConfig::with_threads(2).with_access_log(log));
+        let n = qs.len();
+        let mut reqs: Vec<ExplainRequest> =
+            qs.iter().map(|q| ExplainRequest::new(q.clone(), 4)).collect();
+        reqs[0] = reqs[0].clone().with_timeout(Duration::ZERO);
+        let _ = service.batch(reqs);
+        drop(service);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), n);
+        let mut outcomes = Vec::new();
+        for line in &lines {
+            let v = Json::parse(line).expect("access-log line parses");
+            assert!(v.get("trace_id").and_then(Json::as_str).is_some());
+            assert!(v.get("question").and_then(Json::as_str).is_some());
+            assert!(v.get("queue_ns").and_then(Json::as_u64).is_some());
+            assert!(v.get("exec_ns").and_then(Json::as_u64).is_some());
+            outcomes.push(v.get("outcome").and_then(Json::as_str).unwrap().to_string());
+        }
+        assert!(outcomes.iter().any(|o| o == "partial"), "zero-deadline request logged as partial");
+        assert!(outcomes.iter().any(|o| o == "ok"));
     }
 }

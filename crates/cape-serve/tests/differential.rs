@@ -106,8 +106,11 @@ fn run_matrix(label: &str, rel: Relation, store: PatternStore, questions: Vec<Us
     }
     assert!(cache.hits() > 0, "{label}: warm pass never hit the cache");
 
-    // Concurrent service, 1 and 4 workers.
+    // Concurrent service, 1 and 4 workers — observed by a recorder so the
+    // run doubles as an end-to-end check of the flight recorder.
     for threads in [1, 4] {
+        let rec = cape_obs::Recorder::new();
+        let guard = rec.install();
         let service = ExplainService::start(handle.clone(), ServeConfig::with_threads(threads));
         let responses = service
             .batch(questions.iter().map(|q| ExplainRequest::new(q.clone(), TOP_K)).collect());
@@ -120,6 +123,41 @@ fn run_matrix(label: &str, rel: Relation, store: PatternStore, questions: Vec<Us
                 &resp.explanations,
             );
         }
+        drop(service);
+        drop(guard);
+        assert_flight_separates_phases(&format!("{label}/service-{threads}t"), &rec, &responses);
+    }
+}
+
+/// The flight recorder must have summarized every request, and each
+/// retained slowest-request span tree must show queue wait and execution
+/// as separate phases under the request root.
+fn assert_flight_separates_phases(
+    label: &str,
+    rec: &cape_obs::Recorder,
+    responses: &[cape_serve::ExplainResponse],
+) {
+    let snap = rec.snapshot();
+    let flight = snap.requests.unwrap_or_else(|| panic!("{label}: no flight snapshot"));
+    assert_eq!(flight.recorded, responses.len() as u64, "{label}: every request summarized");
+    assert!(!flight.slowest.is_empty(), "{label}: slowest-N capture is empty");
+    for slow in &flight.slowest {
+        let root = &slow.spans[0];
+        assert_eq!(root.name, "serve.request", "{label}: flight span root");
+        let wait = root.children.iter().find(|c| c.name == "serve.queue_wait");
+        let exec = root.children.iter().find(|c| c.name == "serve.exec");
+        assert!(wait.is_some(), "{label}: span tree missing queue-wait phase");
+        let exec = exec.unwrap_or_else(|| panic!("{label}: span tree missing execution phase"));
+        assert!(exec.total_ns > 0, "{label}: execution phase empty");
+        assert!(
+            slow.summary.queue_ns + slow.summary.exec_ns <= slow.summary.total_ns,
+            "{label}: phase split exceeds the request total"
+        );
+        // The summary's trace id matches a response the caller saw.
+        assert!(
+            responses.iter().any(|r| r.trace_id.as_u64() == slow.summary.trace_id),
+            "{label}: flight trace id not found among responses"
+        );
     }
 }
 
