@@ -15,8 +15,8 @@
 //! hardware) but the comparative shape is the reproduction target.
 
 use cape_bench::experiments::{
-    ablation, explain_perf, fd_opt, mine_bench, mining_scaling, sensitivity, serve, store_bench,
-    subtasks, tables, user_study,
+    ablation, explain_perf, fd_opt, mine_bench, mining_scaling, sensitivity, serve, serve_net,
+    store_bench, subtasks, tables, user_study,
 };
 use cape_bench::Scale;
 use mine_bench::MineBenchOpts;
@@ -39,6 +39,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation",
     "userstudy",
     "serve",
+    "serve-net",
     "mine-bench",
     "store-bench",
     "store-verify",
@@ -134,6 +135,7 @@ fn run(name: &str, scale: Scale, mine_opts: MineBenchOpts) -> String {
         "table7" => tables::table7(),
         "ablation" => ablation::ablation(),
         "serve" => serve::serve(scale),
+        "serve-net" => serve_net::serve_net(scale),
         "mine-bench" | "minebench" => mine_bench::mine_bench(scale, mine_opts),
         "store-bench" => store_bench::store_bench(scale),
         "store-verify" => store_bench::store_verify(scale),

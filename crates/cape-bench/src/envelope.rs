@@ -100,6 +100,47 @@ pub fn write_bench(path: &str, experiment: &str, entries: Json) {
     std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| panic!("write {path}: {e}"));
 }
 
+/// Entries of an existing enveloped record at `path`, when it parses and
+/// belongs to `experiment`; empty otherwise.
+fn existing_entries(path: &str, experiment: &str) -> Vec<(String, Json)> {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .filter(|doc| doc.get("experiment").and_then(Json::as_str) == Some(experiment))
+        .and_then(|doc| doc.get("entries").and_then(Json::as_obj).map(<[_]>::to_vec))
+        .unwrap_or_default()
+}
+
+/// [`write_bench`], but carrying over the listed `preserve` keys from an
+/// existing record at `path` (same experiment) when `entries` does not
+/// set them itself. Lets two experiments share one bench file: the
+/// in-process `serve` sweep owns the top-level keys and preserves `net`;
+/// `serve-net` owns `net` via [`merge_bench_section`].
+pub fn write_bench_preserving(path: &str, experiment: &str, entries: Json, preserve: &[&str]) {
+    let existing = existing_entries(path, experiment);
+    let mut fields = match entries {
+        Json::Obj(fields) => fields,
+        other => panic!("bench entries must be an object, got {other}"),
+    };
+    for key in preserve {
+        if !fields.iter().any(|(k, _)| k == key) {
+            if let Some(kept) = existing.iter().find(|(k, _)| k == key) {
+                fields.push(kept.clone());
+            }
+        }
+    }
+    write_bench(path, experiment, Json::Obj(fields));
+}
+
+/// Replace one `section` of an existing enveloped record's entries
+/// (creating the file if absent), keeping every other section verbatim.
+pub fn merge_bench_section(path: &str, experiment: &str, section: &str, payload: Json) {
+    let mut fields = existing_entries(path, experiment);
+    fields.retain(|(k, _)| k != section);
+    fields.push((section.to_string(), payload));
+    write_bench(path, experiment, Json::Obj(fields));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

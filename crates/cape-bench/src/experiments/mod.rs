@@ -7,6 +7,7 @@ pub mod mine_bench;
 pub mod mining_scaling;
 pub mod sensitivity;
 pub mod serve;
+pub mod serve_net;
 pub mod store_bench;
 pub mod subtasks;
 pub mod tables;

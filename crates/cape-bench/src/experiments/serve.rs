@@ -112,7 +112,9 @@ pub fn serve(scale: Scale) -> String {
         ("uncached_1thread_wall_s".into(), Json::Num(cold)),
         ("series".into(), Json::Arr(series)),
     ]);
-    crate::envelope::write_bench("results/BENCH_serve.json", "serve", payload);
+    // `serve-net` shares this file: its results live under `entries.net`
+    // and must survive a re-run of the in-process sweep.
+    crate::envelope::write_bench_preserving("results/BENCH_serve.json", "serve", payload, &["net"]);
 
     let mut table =
         SeriesTable::new("threads", THREAD_SWEEP.iter().map(|t| t.to_string()).collect());

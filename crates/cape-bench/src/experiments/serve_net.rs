@@ -1,0 +1,251 @@
+//! Network serving throughput (`serve-net`): requests/sec and tail
+//! latency through the full `cape-net` HTTP/1.1 stack — TCP, parser,
+//! admission control, JSON codec — measured twice: steady state, and
+//! with the backing snapshot being hot-swapped under the load. Both runs
+//! demand zero 5xx responses, so the bench doubles as a swap-correctness
+//! smoke at scale.
+//!
+//! Results merge into `results/BENCH_serve.json` under `entries.net`,
+//! keeping the file a single `serve` experiment so `bench-diff` can gate
+//! the trajectory (it refuses to compare records with different
+//! experiment names).
+
+use crate::datasets::{dblp_rows, Scale};
+use crate::questions::generate_questions;
+use crate::report::section;
+use cape_core::mining::{ArpMiner, Miner};
+use cape_core::question::Direction;
+use cape_core::snapshot::save_snapshot;
+use cape_data::Value;
+use cape_net::registry::StoreRegistry;
+use cape_net::server::{NetConfig, Server};
+use cape_net::testclient::{explain_body, Client};
+use cape_obs::Json;
+use cape_serve::{PatternStoreHandle, ServeConfig};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TOP_K: usize = 10;
+const CLIENTS: usize = 4;
+const SWAP_PAUSE_MS: u64 = 25;
+
+struct PhaseResult {
+    requests: usize,
+    wall_s: f64,
+    req_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    errors_5xx: usize,
+    swaps: u64,
+}
+
+fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 * p).ceil() as usize).clamp(1, sorted_ns.len()) - 1;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+/// Drive `per_client` requests from each of [`CLIENTS`] connections;
+/// when `swap_path` is set, a control thread hot-swaps the snapshot
+/// every [`SWAP_PAUSE_MS`] for the duration.
+fn run_phase(
+    addr: std::net::SocketAddr,
+    bodies: &Arc<Vec<Json>>,
+    per_client: usize,
+    swap_path: Option<&std::path::Path>,
+) -> PhaseResult {
+    let errors = Arc::new(AtomicUsize::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let swapper = swap_path.map(|path| {
+        let done = Arc::clone(&done);
+        let body = Json::Obj(vec![("path".into(), Json::Str(path.display().to_string()))]);
+        std::thread::spawn(move || -> u64 {
+            let mut client = Client::connect(addr).expect("swap client connect");
+            let mut swaps = 0u64;
+            while !done.load(Ordering::SeqCst) {
+                let resp =
+                    client.post_json("/admin/stores/dblp/swap", &body).expect("swap request");
+                assert_eq!(resp.status, 200, "swap failed mid-bench");
+                swaps += 1;
+                std::thread::sleep(Duration::from_millis(SWAP_PAUSE_MS));
+            }
+            swaps
+        })
+    });
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let bodies = Arc::clone(bodies);
+            let errors = Arc::clone(&errors);
+            std::thread::spawn(move || -> Vec<u64> {
+                let mut client = Client::connect(addr).expect("bench client connect");
+                let mut latencies = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let body = &bodies[(c + i * CLIENTS) % bodies.len()];
+                    let s0 = Instant::now();
+                    let resp = client.post_json("/v1/dblp/explain", body).expect("explain");
+                    latencies.push(s0.elapsed().as_nanos() as u64);
+                    if resp.status >= 500 {
+                        errors.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        assert_eq!(resp.status, 200, "unexpected status {}", resp.status);
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("bench client"));
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    done.store(true, Ordering::SeqCst);
+    let swaps = swapper.map_or(0, |s| s.join().expect("swap thread"));
+
+    latencies.sort_unstable();
+    PhaseResult {
+        requests: latencies.len(),
+        wall_s,
+        req_per_s: latencies.len() as f64 / wall_s,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        errors_5xx: errors.load(Ordering::SeqCst),
+        swaps,
+    }
+}
+
+fn phase_json(r: &PhaseResult) -> Json {
+    Json::Obj(vec![
+        ("requests".into(), Json::Num(r.requests as f64)),
+        ("wall_s".into(), Json::Num(r.wall_s)),
+        ("req_per_s".into(), Json::Num(r.req_per_s)),
+        ("p50_ms".into(), Json::Num(r.p50_ms)),
+        ("p99_ms".into(), Json::Num(r.p99_ms)),
+        ("errors_5xx".into(), Json::Num(r.errors_5xx as f64)),
+        ("swaps".into(), Json::Num(r.swaps as f64)),
+    ])
+}
+
+/// The `serve-net` experiment.
+pub fn serve_net(scale: Scale) -> String {
+    let (rows, per_client) = match scale {
+        Scale::Quick => (8_000, 150),
+        Scale::Full => (30_000, 600),
+    };
+    let rel = dblp_rows(rows);
+    let mut mcfg = super::explain_perf::lenient_mining_config(3);
+    mcfg.exclude = vec![cape_datagen::dblp::attrs::PUBID];
+    eprintln!("  serve-net: mining {} rows ...", rel.num_rows());
+    let store = ArpMiner.mine(&rel, &mcfg).expect("mining").store;
+    let questions = generate_questions(
+        &rel,
+        &[
+            cape_datagen::dblp::attrs::AUTHOR,
+            cape_datagen::dblp::attrs::YEAR,
+            cape_datagen::dblp::attrs::VENUE,
+        ],
+        32,
+        71,
+    );
+    let num_rows = rel.num_rows();
+
+    // Wire bodies for every question.
+    let sql = "SELECT author, year, venue, count(*) FROM dblp GROUP BY author, year, venue";
+    let bodies: Arc<Vec<Json>> = Arc::new(
+        questions
+            .iter()
+            .map(|q| {
+                let tuple: Vec<Json> = q
+                    .tuple
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => Json::Str(s.to_string()),
+                        Value::Int(n) => Json::Num(*n as f64),
+                        Value::Float(f) => Json::Num(*f),
+                        Value::Null => Json::Null,
+                    })
+                    .collect();
+                let dir = match q.dir {
+                    Direction::High => "high",
+                    Direction::Low => "low",
+                };
+                explain_body(sql, &tuple, dir, Some(TOP_K), None)
+            })
+            .collect(),
+    );
+
+    // Snapshot used by the mid-swap phase (same contents — the cost being
+    // measured is the swap itself: load, epoch churn, cache refill).
+    let tmp = std::env::temp_dir().join(format!("cape-serve-net-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create temp dir");
+    let snap_path = tmp.join("swap.cape");
+    save_snapshot(&snap_path, rel.schema(), &mcfg, &store).expect("save snapshot");
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 4);
+    let registry = Arc::new(StoreRegistry::new());
+    registry.register(
+        "dblp",
+        PatternStoreHandle::new(rel, store),
+        ServeConfig::with_threads(threads),
+    );
+    let cfg = NetConfig { admission_capacity: 256, ..NetConfig::default() };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&registry), cfg).expect("bind");
+    let addr = server.local_addr();
+
+    // Warm-up (untimed): fill the drill cache like a live deployment.
+    let _ = run_phase(addr, &bodies, per_client / 4 + 1, None);
+
+    let steady = run_phase(addr, &bodies, per_client, None);
+    eprintln!(
+        "  serve-net: steady    {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms ({} requests)",
+        steady.req_per_s, steady.p50_ms, steady.p99_ms, steady.requests
+    );
+    let mid_swap = run_phase(addr, &bodies, per_client, Some(&snap_path));
+    eprintln!(
+        "  serve-net: mid-swap  {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms ({} swaps)",
+        mid_swap.req_per_s, mid_swap.p50_ms, mid_swap.p99_ms, mid_swap.swaps
+    );
+    assert_eq!(steady.errors_5xx, 0, "steady-state phase saw 5xx responses");
+    assert_eq!(mid_swap.errors_5xx, 0, "hot swaps must not surface as 5xx");
+    assert!(mid_swap.swaps > 0, "mid-swap phase performed no swaps");
+
+    let payload = Json::Obj(vec![
+        ("dataset".into(), Json::Str("dblp-synthetic".into())),
+        ("rows".into(), Json::Num(num_rows as f64)),
+        ("questions".into(), Json::Num(bodies.len() as f64)),
+        ("k".into(), Json::Num(TOP_K as f64)),
+        ("clients".into(), Json::Num(CLIENTS as f64)),
+        ("worker_threads".into(), Json::Num(threads as f64)),
+        ("steady".into(), phase_json(&steady)),
+        ("mid_swap".into(), phase_json(&mid_swap)),
+    ]);
+    crate::envelope::merge_bench_section("results/BENCH_serve.json", "serve", "net", payload);
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let mut out = section("serve-net: HTTP front-end throughput (steady vs mid-swap)");
+    out.push_str(&format!(
+        "  {} questions, {} clients, {} worker threads, k={}\n",
+        bodies.len(),
+        CLIENTS,
+        threads,
+        TOP_K
+    ));
+    out.push_str(&format!(
+        "  steady   : {:>8.1} req/s   p50 {:>7.2} ms   p99 {:>7.2} ms\n",
+        steady.req_per_s, steady.p50_ms, steady.p99_ms
+    ));
+    out.push_str(&format!(
+        "  mid-swap : {:>8.1} req/s   p50 {:>7.2} ms   p99 {:>7.2} ms   ({} swaps, 0 errors)\n",
+        mid_swap.req_per_s, mid_swap.p50_ms, mid_swap.p99_ms, mid_swap.swaps
+    ));
+    out
+}

@@ -43,6 +43,12 @@ const VALUE_KEYS: &[&str] = &[
     "access-log",
     "snapshot",
     "top",
+    "listen",
+    "name",
+    "queue",
+    "max-body",
+    "deadline-ms",
+    "max-connections",
 ];
 
 /// Single-dash short flags and the long flag each expands to.

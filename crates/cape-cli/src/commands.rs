@@ -49,6 +49,20 @@ USAGE:
       JSON line per request (trace id, question, deadline, cache
       hits/misses, outcome).
 
+  cape serve --listen ADDR --csv FILE --schema SPEC
+             (--patterns FILE | --store FILE) [--name NAME] [--threads N]
+             [--queue N] [--cache N] [--max-body BYTES] [--deadline-ms MS]
+             [--max-connections N] [--access-log FILE]
+      Serve explanations over HTTP/1.1 (std-only, keep-alive and
+      pipelining). Routes: POST /v1/NAME/explain, POST
+      /v1/NAME/batch-explain, GET /v1/stores, POST
+      /admin/stores/NAME/swap (hot-swap the --store snapshot under live
+      traffic), GET /healthz, GET /metrics. --queue bounds concurrent
+      requests (overflow answers 429 + Retry-After); --deadline-ms sets a
+      default per-request deadline (exceeded requests degrade to a
+      partial top-k, marked \"partial\": true). Prints one `listening on
+      ADDR` line to stdout when ready; runs until killed.
+
   cape serve-report --snapshot FILE [--top N]
       Render the flight-recorder section of a --metrics snapshot: recent
       request summaries plus the slowest requests with their span trees
@@ -71,7 +85,8 @@ GLOBAL OPTIONS:
 
 EXIT CODES:
   0 success; 1 runtime error (I/O, mining, query evaluation);
-  2 usage error; 3 corrupt or incompatible --store snapshot file.
+  2 usage error; 3 corrupt or incompatible --store snapshot file;
+  4 question references an aggregate column not in the relation schema.
 ";
 
 fn usage(e: impl ToString) -> CliError {
@@ -80,6 +95,16 @@ fn usage(e: impl ToString) -> CliError {
 
 fn runtime(e: impl ToString) -> CliError {
     CliError::Runtime(e.to_string())
+}
+
+/// Classify a question-construction failure: an unknown aggregate column
+/// is the *question's* fault (exit 4), everything else is a runtime
+/// error (exit 1).
+fn question_err(e: cape_core::error::CapeError) -> CliError {
+    match e {
+        cape_core::error::CapeError::UnknownAggregateColumn(_) => CliError::Question(e.to_string()),
+        other => runtime(other),
+    }
 }
 
 fn load(args: &Args) -> Result<Relation, CliError> {
@@ -199,7 +224,7 @@ pub fn explain(args: &Args) -> Result<(), CliError> {
     let tuple = parse_tuple(args.require("tuple").map_err(usage)?, rel.schema(), &group_attrs?)
         .map_err(usage)?;
 
-    let uq = UserQuestion::from_sql(&rel, sql_text, tuple, dir).map_err(runtime)?;
+    let uq = UserQuestion::from_sql(&rel, sql_text, tuple, dir).map_err(question_err)?;
     println!("question: {}\n", uq.display(rel.schema()));
 
     let k = args.get_parse("k", 10usize).map_err(usage)?;
@@ -245,6 +270,18 @@ pub fn batch_explain(args: &Args) -> Result<(), CliError> {
         .map(|n| rel.schema().attr_id(n).map_err(usage))
         .collect::<Result<_, _>>()?;
 
+    // Detect an unknown aggregate column up front, before reading the
+    // questions file — the query is shared by every question, so this
+    // fails once with exit 4 instead of surfacing per-line.
+    if let Some(arg) = stmt.items.iter().find_map(|i| match i {
+        sql::SelectItem::Aggregate { call, .. } => call.arg.as_ref(),
+        _ => None,
+    }) {
+        rel.schema().attr_id(arg).map_err(|_| {
+            question_err(cape_core::error::CapeError::UnknownAggregateColumn(arg.clone()))
+        })?;
+    }
+
     let k = args.get_parse("k", 10usize).map_err(usage)?;
     let threads = args.get_parse("threads", 1usize).map_err(usage)?;
     if threads == 0 {
@@ -283,7 +320,7 @@ pub fn batch_explain(args: &Args) -> Result<(), CliError> {
             }
         };
         let tuple = parse_tuple(values.trim(), rel.schema(), &group_attrs).map_err(usage)?;
-        let uq = UserQuestion::from_sql(&rel, sql_text, tuple, dir).map_err(runtime)?;
+        let uq = UserQuestion::from_sql(&rel, sql_text, tuple, dir).map_err(question_err)?;
         questions.push(uq);
     }
     if questions.is_empty() {
@@ -368,6 +405,73 @@ fn render_span_tree(node: &cape_obs::SpanNode, depth: usize, out: &mut String) {
     );
     for child in &node.children {
         render_span_tree(child, depth + 1, out);
+    }
+}
+
+/// `cape serve` — the network front-end: serve explanations over
+/// std-only HTTP/1.1 with a hot-swappable store registry.
+///
+/// Prints a single `listening on ADDR` line to stdout once the listener
+/// is bound (scripts wait on it), then parks until the process is
+/// killed. The bound address includes the ephemeral port when `--listen`
+/// ends in `:0`.
+pub fn serve(args: &Args) -> Result<(), CliError> {
+    use cape_net::http::HttpLimits;
+    use cape_net::registry::StoreRegistry;
+    use cape_net::server::{NetConfig, Server};
+    use cape_serve::{PatternStoreHandle, ServeConfig};
+    use std::time::Duration;
+
+    let listen = args.require("listen").map_err(usage)?;
+    let rel = load(args)?;
+    let store = read_patterns(args, &rel)?;
+    let name = args.get("name").unwrap_or("default").to_string();
+
+    let threads = args.get_parse("threads", 2usize).map_err(usage)?;
+    let cache = args.get_parse("cache", 4096usize).map_err(usage)?;
+    let queue = args.get_parse("queue", 64usize).map_err(usage)?;
+    let max_body = args.get_parse("max-body", HttpLimits::default().max_body).map_err(usage)?;
+    let max_connections = args.get_parse("max-connections", 256usize).map_err(usage)?;
+    let default_deadline = match args.get("deadline-ms") {
+        Some(_) => Some(Duration::from_millis(args.get_parse("deadline-ms", 0u64).map_err(usage)?)),
+        None => None,
+    };
+    let access_log = match args.get("access-log") {
+        Some(path) => Some(std::sync::Arc::new(
+            cape_obs::JsonLinesWriter::create(path)
+                .map_err(|e| runtime(format!("cannot open access log {path}: {e}")))?,
+        )),
+        None => None,
+    };
+
+    let serve_cfg = ServeConfig { threads, cache_capacity: cache, distance: None, access_log };
+    let registry = std::sync::Arc::new(StoreRegistry::new());
+    registry.register(&name, PatternStoreHandle::new(rel, store), serve_cfg);
+
+    // The session recorder is installed on this thread; Server::bind
+    // captures it, so request counters/gauges feed --metrics and
+    // GET /metrics alike.
+    let net_cfg = NetConfig {
+        limits: HttpLimits { max_body, ..HttpLimits::default() },
+        admission_capacity: queue,
+        max_connections,
+        default_deadline,
+        metrics: cape_obs::current_recorder(),
+        ..NetConfig::default()
+    };
+    let server = Server::bind(listen, registry, net_cfg)
+        .map_err(|e| runtime(format!("cannot bind {listen}: {e}")))?;
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    cape_obs::info("cli", || {
+        format!(
+            "serving store `{name}` on {} ({threads} workers, queue {queue})",
+            server.local_addr()
+        )
+    });
+    loop {
+        std::thread::park();
     }
 }
 

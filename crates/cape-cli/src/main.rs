@@ -25,21 +25,27 @@ use args::Args;
 
 /// A CLI failure, classified so `main` can pick an exit code: usage
 /// errors (bad flags, malformed option values) exit 2, runtime errors
-/// (I/O, mining, query evaluation) exit 1, and corrupt or incompatible
-/// `--store` snapshot files exit 3 — scripts restarting a service can
-/// tell "re-mine the store" (3) apart from "fix the invocation" (2) and
-/// "transient environment problem" (1).
+/// (I/O, mining, query evaluation) exit 1, corrupt or incompatible
+/// `--store` snapshot files exit 3, and questions referencing an
+/// aggregate column that is not in the relation schema exit 4 — scripts
+/// restarting a service can tell "re-mine the store" (3) and "fix the
+/// question set" (4) apart from "fix the invocation" (2) and "transient
+/// environment problem" (1).
 #[derive(Debug)]
 pub enum CliError {
     Usage(String),
     Runtime(String),
     Store(String),
+    Question(String),
 }
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Usage(m) | CliError::Runtime(m) | CliError::Store(m) => f.write_str(m),
+            CliError::Usage(m)
+            | CliError::Runtime(m)
+            | CliError::Store(m)
+            | CliError::Question(m) => f.write_str(m),
         }
     }
 }
@@ -54,6 +60,7 @@ fn main() {
                 CliError::Usage(_) => 2,
                 CliError::Runtime(_) => 1,
                 CliError::Store(_) => 3,
+                CliError::Question(_) => 4,
             }
         }
     };
@@ -81,6 +88,7 @@ fn span_name(cmd: &str) -> &'static str {
         "patterns" => "cli.patterns",
         "explain" => "cli.explain",
         "batch-explain" => "cli.batch_explain",
+        "serve" => "cli.serve",
         "serve-report" => "cli.serve_report",
         "query" => "cli.query",
         _ => "cli.run",
@@ -131,6 +139,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
         "patterns" => commands::patterns(args),
         "explain" => commands::explain(args),
         "batch-explain" => commands::batch_explain(args),
+        "serve" => commands::serve(args),
         "serve-report" => commands::serve_report(args),
         "query" => commands::query(args),
         "help" => {

@@ -856,3 +856,116 @@ fn quiet_suppresses_progress_verbose_keeps_it() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"), "data output suppressed");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Mine a patterns file for the unknown-aggregate-column tests.
+fn mined_patterns(dir: &Path, csv: &str) -> String {
+    let patterns = dir.join("p.cape").to_string_lossy().into_owned();
+    let out = run(&[
+        "mine",
+        "--csv",
+        csv,
+        "--schema",
+        SCHEMA,
+        "--theta",
+        "0.1",
+        "--delta",
+        "3",
+        "--lambda",
+        "0.3",
+        "--support",
+        "2",
+        "--psi",
+        "3",
+        "--out",
+        &patterns,
+    ]);
+    assert!(out.status.success(), "mine failed: {}", String::from_utf8_lossy(&out.stderr));
+    patterns
+}
+
+const GOLDEN_UNKNOWN_COLUMN: &str =
+    "error: unknown aggregate column `royalties`: not in the relation schema";
+
+#[test]
+fn explain_unknown_aggregate_column_exits_4() {
+    let dir = temp_dir("unknown-agg-explain");
+    let csv = write_csv(&dir);
+    let patterns = mined_patterns(&dir, &csv);
+
+    let out = run(&[
+        "explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--patterns",
+        &patterns,
+        "--sql",
+        "SELECT author, year, venue, sum(royalties) FROM pub GROUP BY author, year, venue",
+        "--tuple",
+        "a0,2005,KDD",
+        "--dir",
+        "low",
+    ]);
+    // Distinct exit code: 4, not the generic runtime error (1).
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Golden last line: the typed error, naming the column.
+    assert_eq!(stderr.lines().last(), Some(GOLDEN_UNKNOWN_COLUMN), "stderr:\n{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_explain_unknown_aggregate_column_exits_4_before_reading_questions() {
+    let dir = temp_dir("unknown-agg-batch");
+    let csv = write_csv(&dir);
+    let patterns = mined_patterns(&dir, &csv);
+    // The questions file does not even exist: the shared query is
+    // validated up front, so the column error wins with exit 4 (a
+    // missing file alone would be a runtime error, exit 1).
+    let questions = dir.join("absent.txt").to_string_lossy().into_owned();
+
+    let out = run(&[
+        "batch-explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--patterns",
+        &patterns,
+        "--sql",
+        "SELECT author, year, venue, sum(royalties) FROM pub GROUP BY author, year, venue",
+        "--questions",
+        &questions,
+    ]);
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(stderr.lines().last(), Some(GOLDEN_UNKNOWN_COLUMN), "stderr:\n{stderr}");
+
+    // Control: the same invocation with a valid aggregate column fails
+    // on the missing questions file instead — exit 1, different message.
+    let out = run(&[
+        "batch-explain",
+        "--csv",
+        &csv,
+        "--schema",
+        SCHEMA,
+        "--patterns",
+        &patterns,
+        "--sql",
+        "SELECT author, year, venue, count(*) FROM pub GROUP BY author, year, venue",
+        "--questions",
+        &questions,
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_documents_exit_code_4() {
+    let out = run(&["help"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cape serve --listen"), "serve missing from usage:\n{text}");
+    assert!(text.contains("4 question references an aggregate column"), "exit 4 undocumented");
+}

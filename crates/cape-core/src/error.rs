@@ -13,6 +13,13 @@ pub enum CapeError {
     Regress(RegressError),
     /// The user question is inconsistent with the relation or pattern set.
     InvalidQuestion(String),
+    /// The question's aggregate references a column that does not exist
+    /// in the relation schema. Distinguished from the generic
+    /// [`InvalidQuestion`](CapeError::InvalidQuestion) so front-ends can
+    /// report it precisely (CLI exit code 4, HTTP
+    /// `unknown_aggregate_column` payload) instead of a generic runtime
+    /// failure.
+    UnknownAggregateColumn(String),
     /// Invalid configuration (e.g. ψ < 2).
     InvalidConfig(String),
 }
@@ -23,6 +30,9 @@ impl fmt::Display for CapeError {
             CapeError::Data(e) => write!(f, "data error: {e}"),
             CapeError::Regress(e) => write!(f, "regression error: {e}"),
             CapeError::InvalidQuestion(m) => write!(f, "invalid user question: {m}"),
+            CapeError::UnknownAggregateColumn(name) => {
+                write!(f, "unknown aggregate column `{name}`: not in the relation schema")
+            }
             CapeError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
         }
     }
@@ -64,6 +74,8 @@ mod tests {
         let e: CapeError = RegressError::EmptyTrainingSet.into();
         assert!(e.to_string().contains("regression error"));
         assert!(CapeError::InvalidQuestion("no group".into()).to_string().contains("no group"));
+        let e = CapeError::UnknownAggregateColumn("pages".into());
+        assert!(e.to_string().contains("unknown aggregate column `pages`"));
         assert!(CapeError::InvalidConfig("psi".into()).to_string().contains("psi"));
     }
 

@@ -149,7 +149,11 @@ impl UserQuestion {
             })
             .expect("is_cape_query guarantees one aggregate");
         let agg_attr = match &agg_item.arg {
-            Some(name) => Some(rel.schema().attr_id(name).map_err(crate::error::CapeError::from)?),
+            Some(name) => Some(
+                rel.schema()
+                    .attr_id(name)
+                    .map_err(|_| crate::error::CapeError::UnknownAggregateColumn(name.clone()))?,
+            ),
             None => None,
         };
         Self::from_query(rel, group_attrs?, agg_item.func, agg_attr, tuple, dir)

@@ -1,0 +1,172 @@
+//! Bounded admission control with load-shedding.
+//!
+//! A request must [`try_acquire`](Admission::try_acquire) a permit
+//! *before* it is enqueued on any worker pool. When the configured
+//! capacity is reached the acquire fails immediately and the caller
+//! answers 429 — the overflow request never touches a queue, so a burst
+//! cannot build unbounded latency behind it. Once the server begins
+//! shutting down acquisition fails differently (503), letting clients
+//! distinguish "retry soon" from "go elsewhere".
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Why admission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// Capacity reached: answer 429 with `Retry-After`.
+    Overloaded,
+    /// Server is shutting down: answer 503.
+    ShuttingDown,
+}
+
+#[derive(Debug)]
+struct Inner {
+    inflight: AtomicUsize,
+    capacity: usize,
+    shutting_down: AtomicBool,
+}
+
+/// Shared admission state; clone freely across connection threads.
+#[derive(Clone)]
+pub struct Admission {
+    inner: Arc<Inner>,
+}
+
+impl Admission {
+    /// Admission with room for `capacity` concurrent requests (0 is
+    /// clamped to 1 — a server that can admit nothing serves nothing).
+    pub fn new(capacity: usize) -> Self {
+        Admission {
+            inner: Arc::new(Inner {
+                inflight: AtomicUsize::new(0),
+                capacity: capacity.max(1),
+                shutting_down: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Requests currently admitted.
+    pub fn inflight(&self) -> usize {
+        self.inner.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Maximum concurrent requests.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Flip into shutdown: all further acquisitions fail with
+    /// [`AdmissionError::ShuttingDown`].
+    pub fn begin_shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// Try to admit one request. The returned [`Permit`] releases the
+    /// slot on drop, so early returns and panics cannot leak capacity.
+    pub fn try_acquire(&self) -> Result<Permit, AdmissionError> {
+        if self.inner.shutting_down.load(Ordering::SeqCst) {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        // CAS loop so the counter never overshoots capacity, even
+        // transiently — `inflight()` is exported as a gauge and must
+        // stay a true reading.
+        let mut current = self.inner.inflight.load(Ordering::SeqCst);
+        loop {
+            if current >= self.inner.capacity {
+                cape_obs::counter_add("net.admission.shed", 1);
+                return Err(AdmissionError::Overloaded);
+            }
+            match self.inner.inflight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    cape_obs::gauge_set("serve.net.inflight", (current + 1) as f64);
+                    return Ok(Permit { inner: Arc::clone(&self.inner) });
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Admission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Admission")
+            .field("inflight", &self.inflight())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+/// RAII admission slot; dropping it frees the capacity.
+#[derive(Debug)]
+pub struct Permit {
+    inner: Arc<Inner>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let prev = self.inner.inflight.fetch_sub(1, Ordering::SeqCst);
+        cape_obs::gauge_set("serve.net.inflight", prev.saturating_sub(1) as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn over_capacity_is_shed_without_queueing() {
+        let adm = Admission::new(2);
+        let a = adm.try_acquire().unwrap();
+        let _b = adm.try_acquire().unwrap();
+        assert_eq!(adm.try_acquire().unwrap_err(), AdmissionError::Overloaded);
+        assert_eq!(adm.inflight(), 2);
+        drop(a);
+        assert_eq!(adm.inflight(), 1);
+        let _c = adm.try_acquire().unwrap();
+    }
+
+    #[test]
+    fn shutdown_wins_over_overload() {
+        let adm = Admission::new(1);
+        let _a = adm.try_acquire().unwrap();
+        adm.begin_shutdown();
+        assert_eq!(adm.try_acquire().unwrap_err(), AdmissionError::ShuttingDown);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let adm = Admission::new(0);
+        let _a = adm.try_acquire().unwrap();
+        assert_eq!(adm.try_acquire().unwrap_err(), AdmissionError::Overloaded);
+    }
+
+    #[test]
+    fn concurrent_acquires_never_exceed_capacity() {
+        let adm = Admission::new(4);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let adm = adm.clone();
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        if let Ok(_permit) = adm.try_acquire() {
+                            peak.fetch_max(adm.inflight(), Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 4, "inflight never exceeds capacity");
+        assert_eq!(adm.inflight(), 0, "all permits released");
+    }
+}

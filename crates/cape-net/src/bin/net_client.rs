@@ -1,0 +1,47 @@
+//! `cape-net-client` — tiny CLI wrapper around the in-tree test client,
+//! used by the CI `serve-net` job to smoke a running server without
+//! shelling out to curl (which the image may not have).
+//!
+//! ```text
+//! cape-net-client get  ADDR PATH
+//! cape-net-client post ADDR PATH JSON_BODY
+//! ```
+//!
+//! Prints `STATUS` on the first line and the body on the second; exits
+//! 0 for 2xx, 1 otherwise.
+
+use cape_net::testclient::Client;
+use cape_obs::Json;
+use std::process::ExitCode;
+
+fn run() -> Result<u16, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (verb, addr, path, body) = match args.as_slice() {
+        [v, a, p] if v == "get" => (v.as_str(), a, p, None),
+        [v, a, p, b] if v == "post" => (v.as_str(), a, p, Some(b)),
+        _ => return Err("usage: cape-net-client get ADDR PATH | post ADDR PATH JSON_BODY".into()),
+    };
+    let mut client = Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    let response = match verb {
+        "get" => client.get(path).map_err(|e| e.to_string())?,
+        _ => {
+            let json = Json::parse(body.expect("post has a body"))
+                .map_err(|e| format!("body is not valid JSON: {e}"))?;
+            client.post_json(path, &json).map_err(|e| e.to_string())?
+        }
+    };
+    println!("{}", response.status);
+    println!("{}", String::from_utf8_lossy(&response.body));
+    Ok(response.status)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(status) if (200..300).contains(&status) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("cape-net-client: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

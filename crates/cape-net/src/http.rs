@@ -1,0 +1,550 @@
+//! Incremental HTTP/1.1 request parsing with hard limits.
+//!
+//! The parser is a byte-at-a-time-safe state machine: callers [`feed`]
+//! arbitrary chunks (a single byte per call is fine — the torture suite
+//! feeds every split of every input) and [`poll`] complete requests out.
+//! Bytes beyond one request stay buffered, so pipelined requests parse
+//! one [`poll`] at a time in arrival order.
+//!
+//! Every way an input can be malformed maps to one [`ParseError`]
+//! variant with a definite HTTP status (400 or 413) — never a panic and
+//! never an unbounded buffer: the request line, header section, and body
+//! are each capped by [`HttpLimits`] and overflow is detected *before*
+//! the offending bytes are retained.
+//!
+//! [`feed`]: RequestParser::feed
+//! [`poll`]: RequestParser::poll
+
+/// Size caps enforced during parsing.
+#[derive(Debug, Clone)]
+pub struct HttpLimits {
+    /// Maximum request-line length in bytes (method + target + version).
+    pub max_request_line: usize,
+    /// Maximum total header-section size in bytes.
+    pub max_header_bytes: usize,
+    /// Maximum number of header fields.
+    pub max_headers: usize,
+    /// Maximum declared body size in bytes.
+    pub max_body: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_request_line: 8 * 1024,
+            max_header_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// A malformed or over-limit request. [`ParseError::status`] gives the
+/// response code the connection must answer before closing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The request line is not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine(String),
+    /// The target contains control bytes, spaces, or no leading `/`.
+    BadTarget(String),
+    /// Unsupported or malformed HTTP version token.
+    BadVersion(String),
+    /// A header line is malformed (no colon, bad name, control bytes).
+    BadHeader(String),
+    /// `Content-Length` is non-numeric, negative, or repeated.
+    BadContentLength(String),
+    /// `Transfer-Encoding` (chunked or otherwise) is not supported.
+    UnsupportedTransferEncoding(String),
+    /// The request line exceeds [`HttpLimits::max_request_line`].
+    RequestLineTooLong,
+    /// Header section exceeds [`HttpLimits::max_header_bytes`] or
+    /// [`HttpLimits::max_headers`].
+    HeadersTooLarge,
+    /// Declared body exceeds [`HttpLimits::max_body`].
+    BodyTooLarge(u64),
+}
+
+impl ParseError {
+    /// The HTTP status this error must be answered with: 413 for an
+    /// over-limit *body*, 400 for everything else (including oversized
+    /// request lines and header sections — those are hostile framing,
+    /// not a well-formed-but-big entity).
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::BodyTooLarge(_) => 413,
+            _ => 400,
+        }
+    }
+
+    /// Short machine-readable kind for error payloads.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ParseError::BadRequestLine(_) => "bad_request_line",
+            ParseError::BadTarget(_) => "bad_target",
+            ParseError::BadVersion(_) => "bad_version",
+            ParseError::BadHeader(_) => "bad_header",
+            ParseError::BadContentLength(_) => "bad_content_length",
+            ParseError::UnsupportedTransferEncoding(_) => "unsupported_transfer_encoding",
+            ParseError::RequestLineTooLong => "request_line_too_long",
+            ParseError::HeadersTooLarge => "headers_too_large",
+            ParseError::BodyTooLarge(_) => "body_too_large",
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadRequestLine(m) => write!(f, "bad request line: {m}"),
+            ParseError::BadTarget(m) => write!(f, "bad request target: {m}"),
+            ParseError::BadVersion(m) => write!(f, "bad HTTP version: {m}"),
+            ParseError::BadHeader(m) => write!(f, "bad header: {m}"),
+            ParseError::BadContentLength(m) => write!(f, "bad Content-Length: {m}"),
+            ParseError::UnsupportedTransferEncoding(m) => {
+                write!(f, "unsupported Transfer-Encoding: {m}")
+            }
+            ParseError::RequestLineTooLong => write!(f, "request line too long"),
+            ParseError::HeadersTooLarge => write!(f, "header section too large"),
+            ParseError::BodyTooLarge(n) => write!(f, "declared body of {n} bytes too large"),
+        }
+    }
+}
+
+/// HTTP version of a parsed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpVersion {
+    /// `HTTP/1.0` — no keep-alive unless requested.
+    V10,
+    /// `HTTP/1.1` — keep-alive unless `Connection: close`.
+    V11,
+}
+
+/// One complete, validated request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method token, upper/lower case preserved (`GET`, `POST`).
+    pub method: String,
+    /// Origin-form target as sent (path plus optional `?query`).
+    pub target: String,
+    /// Protocol version.
+    pub version: HttpVersion,
+    /// Header fields in arrival order (names lower-cased, values
+    /// OWS-trimmed).
+    pub headers: Vec<(String, String)>,
+    /// Request body (`Content-Length` framing only).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First header value with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path (target up to the first `?`).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the connection should stay open after this request.
+    pub fn keep_alive(&self) -> bool {
+        let conn = self.header("connection").map(str::to_ascii_lowercase);
+        match self.version {
+            HttpVersion::V11 => conn.as_deref() != Some("close"),
+            HttpVersion::V10 => conn.as_deref() == Some("keep-alive"),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    /// Waiting for the request line (leading CRLFs are skipped).
+    Line,
+    /// Request line parsed; collecting header lines.
+    Headers { headers_seen: usize, header_bytes: usize },
+    /// Headers done; waiting for `need` body bytes.
+    Body { need: usize },
+    /// A hard error was hit; the parser refuses further work.
+    Failed,
+}
+
+/// Incremental request parser; see the module docs.
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: HttpLimits,
+    buf: Vec<u8>,
+    state: State,
+    partial: Option<HttpRequest>,
+    /// Prefix of `buf` already scanned without finding a CRLF. Keeps
+    /// byte-at-a-time feeding (slowloris) linear instead of quadratic:
+    /// each poll resumes the line search where the last one stopped.
+    scanned: usize,
+}
+
+/// True for characters allowed in an HTTP token (RFC 9110 §5.6.2).
+fn is_token_byte(b: u8) -> bool {
+    matches!(b,
+        b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.' |
+        b'^' | b'_' | b'`' | b'|' | b'~' | b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z')
+}
+
+impl RequestParser {
+    /// A parser with the given limits.
+    pub fn new(limits: HttpLimits) -> Self {
+        RequestParser { limits, buf: Vec::new(), state: State::Line, partial: None, scanned: 0 }
+    }
+
+    /// Bytes buffered but not yet consumed by a completed request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Buffer bytes without parsing; call [`poll`](RequestParser::poll)
+    /// to drive the state machine over them. Use this from read loops
+    /// that drain completed requests via `poll` — unlike
+    /// [`feed`](RequestParser::feed) it can never swallow a completion.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append bytes and try to complete a request ([`feed`] = buffer +
+    /// [`poll`]). Returns `Ok(Some(req))` when one request completed,
+    /// `Ok(None)` when more bytes are needed.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<HttpRequest>, ParseError> {
+        self.push(bytes);
+        self.poll()
+    }
+
+    /// Drive the state machine over the buffered bytes. Call repeatedly
+    /// to drain pipelined requests.
+    pub fn poll(&mut self) -> Result<Option<HttpRequest>, ParseError> {
+        loop {
+            match &mut self.state {
+                State::Failed => {
+                    // A framing error poisons the connection: byte
+                    // boundaries after it are meaningless.
+                    return Err(ParseError::BadRequestLine("parser already failed".into()));
+                }
+                State::Line => {
+                    // Robustness: skip CRLF pairs (and stray LFs) between
+                    // pipelined requests.
+                    let skip = self.buf.iter().take_while(|&&b| b == b'\r' || b == b'\n').count();
+                    if skip > 0 {
+                        self.buf.drain(..skip);
+                        self.scanned = self.scanned.saturating_sub(skip);
+                    }
+                    match find_crlf_cached(&self.buf, &mut self.scanned) {
+                        None => {
+                            if self.buf.len() > self.limits.max_request_line {
+                                return Err(self.fail(ParseError::RequestLineTooLong));
+                            }
+                            return Ok(None);
+                        }
+                        Some(end) => {
+                            if end > self.limits.max_request_line {
+                                return Err(self.fail(ParseError::RequestLineTooLong));
+                            }
+                            let line: Vec<u8> = self.buf.drain(..end + 2).take(end).collect();
+                            self.scanned = 0;
+                            match parse_request_line(&line) {
+                                Ok(req) => {
+                                    self.partial = Some(req);
+                                    self.state =
+                                        State::Headers { headers_seen: 0, header_bytes: 0 };
+                                }
+                                Err(e) => return Err(self.fail(e)),
+                            }
+                        }
+                    }
+                }
+                State::Headers { headers_seen, header_bytes } => {
+                    match find_crlf_cached(&self.buf, &mut self.scanned) {
+                        None => {
+                            if self.buf.len() + *header_bytes > self.limits.max_header_bytes {
+                                return Err(self.fail(ParseError::HeadersTooLarge));
+                            }
+                            return Ok(None);
+                        }
+                        Some(0) => {
+                            // Blank line: headers complete.
+                            self.buf.drain(..2);
+                            self.scanned = 0;
+                            let need = match self.content_length() {
+                                Ok(n) => n,
+                                Err(e) => return Err(self.fail(e)),
+                            };
+                            self.state = State::Body { need };
+                        }
+                        Some(end) => {
+                            if *header_bytes + end + 2 > self.limits.max_header_bytes {
+                                return Err(self.fail(ParseError::HeadersTooLarge));
+                            }
+                            if *headers_seen + 1 > self.limits.max_headers {
+                                return Err(self.fail(ParseError::HeadersTooLarge));
+                            }
+                            *headers_seen += 1;
+                            *header_bytes += end + 2;
+                            let line: Vec<u8> = self.buf.drain(..end + 2).take(end).collect();
+                            self.scanned = 0;
+                            let parsed = parse_header_line(&line);
+                            match parsed {
+                                Ok((name, value)) => {
+                                    self.partial
+                                        .as_mut()
+                                        .expect("headers state implies partial")
+                                        .headers
+                                        .push((name, value));
+                                }
+                                Err(e) => return Err(self.fail(e)),
+                            }
+                        }
+                    }
+                }
+                State::Body { need } => {
+                    let need = *need;
+                    if self.buf.len() < need {
+                        return Ok(None);
+                    }
+                    let mut req = self.partial.take().expect("body state implies partial");
+                    req.body = self.buf.drain(..need).collect();
+                    self.scanned = 0;
+                    self.state = State::Line;
+                    return Ok(Some(req));
+                }
+            }
+        }
+    }
+
+    /// Validate framing headers of the partial request and return the
+    /// body length to read.
+    fn content_length(&self) -> Result<usize, ParseError> {
+        let req = self.partial.as_ref().expect("headers parsed");
+        if let Some(te) = req.header("transfer-encoding") {
+            // No chunked support: a body we cannot frame is a request we
+            // must refuse before touching the stream further.
+            return Err(ParseError::UnsupportedTransferEncoding(te.to_string()));
+        }
+        let mut lengths = req.headers.iter().filter(|(n, _)| n == "content-length");
+        let Some((_, first)) = lengths.next() else {
+            return Ok(0);
+        };
+        if lengths.next().is_some() {
+            return Err(ParseError::BadContentLength("repeated header".into()));
+        }
+        if first.is_empty() || !first.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseError::BadContentLength(format!("`{first}` is not a length")));
+        }
+        let n: u64 =
+            first.parse().map_err(|_| ParseError::BadContentLength(format!("`{first}`")))?;
+        if n > self.limits.max_body as u64 {
+            return Err(ParseError::BodyTooLarge(n));
+        }
+        Ok(n as usize)
+    }
+
+    fn fail(&mut self, e: ParseError) -> ParseError {
+        self.state = State::Failed;
+        self.buf.clear();
+        self.partial = None;
+        self.scanned = 0;
+        e
+    }
+}
+
+/// Position of the first CRLF at or after `*scanned`, i.e. the line
+/// length before it. On a miss, records how far the scan got so the next
+/// call resumes there instead of rescanning the whole buffer.
+fn find_crlf_cached(buf: &[u8], scanned: &mut usize) -> Option<usize> {
+    let start = (*scanned).min(buf.len());
+    match buf[start..].windows(2).position(|w| w == b"\r\n") {
+        Some(p) => Some(start + p),
+        None => {
+            // The last byte may pair with the next push's first byte.
+            *scanned = buf.len().saturating_sub(1);
+            None
+        }
+    }
+}
+
+fn parse_request_line(line: &[u8]) -> Result<HttpRequest, ParseError> {
+    let text = std::str::from_utf8(line)
+        .map_err(|_| ParseError::BadRequestLine("not valid UTF-8".into()))?;
+    // A lone LF inside the "line" means the client used bare-LF framing;
+    // CR is impossible here (CRLF terminated the line) but reject both.
+    if text.bytes().any(|b| b == b'\n' || b == b'\r' || (b < 0x20 && b != b'\t') || b == 0x7f) {
+        return Err(ParseError::BadRequestLine("control bytes in request line".into()));
+    }
+    let mut parts = text.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::BadRequestLine(format!(
+            "expected `METHOD SP TARGET SP VERSION`, got `{}`",
+            text.escape_default()
+        )));
+    };
+    if method.is_empty() || !method.bytes().all(is_token_byte) {
+        return Err(ParseError::BadRequestLine(format!(
+            "method `{}` is not a token",
+            method.escape_default()
+        )));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::BadTarget(format!(
+            "target `{}` must be origin-form (start with /)",
+            target.escape_default()
+        )));
+    }
+    if target.bytes().any(|b| b <= 0x20 || b == 0x7f) {
+        return Err(ParseError::BadTarget("control bytes in target".into()));
+    }
+    let version = match version {
+        "HTTP/1.1" => HttpVersion::V11,
+        "HTTP/1.0" => HttpVersion::V10,
+        other => return Err(ParseError::BadVersion(other.escape_default().to_string())),
+    };
+    Ok(HttpRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+        version,
+        headers: Vec::new(),
+        body: Vec::new(),
+    })
+}
+
+fn parse_header_line(line: &[u8]) -> Result<(String, String), ParseError> {
+    let text =
+        std::str::from_utf8(line).map_err(|_| ParseError::BadHeader("not valid UTF-8".into()))?;
+    let Some((name, value)) = text.split_once(':') else {
+        return Err(ParseError::BadHeader(format!("no colon in `{}`", text.escape_default())));
+    };
+    if name.is_empty() || !name.bytes().all(is_token_byte) {
+        return Err(ParseError::BadHeader(format!(
+            "name `{}` is not a token",
+            name.escape_default()
+        )));
+    }
+    let value = value.trim_matches([' ', '\t']);
+    if value.bytes().any(|b| (b < 0x20 && b != b'\t') || b == 0x7f) {
+        return Err(ParseError::BadHeader("control bytes in value".into()));
+    }
+    Ok((name.to_ascii_lowercase(), value.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(input: &[u8]) -> Result<Vec<HttpRequest>, ParseError> {
+        let mut p = RequestParser::new(HttpLimits::default());
+        let mut out = Vec::new();
+        p.buf.extend_from_slice(input);
+        while let Some(req) = p.poll()? {
+            out.push(req);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let reqs = parse_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].method, "GET");
+        assert_eq!(reqs[0].path(), "/healthz");
+        assert_eq!(reqs[0].header("host"), Some("x"));
+        assert!(reqs[0].keep_alive());
+        assert!(reqs[0].body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_pipelined_get() {
+        let input =
+            b"POST /v1/d/explain HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET / HTTP/1.1\r\n\r\n";
+        let reqs = parse_all(input).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].body, b"abcd");
+        assert_eq!(reqs[1].method, "GET");
+    }
+
+    #[test]
+    fn byte_at_a_time_equals_one_shot() {
+        let input: &[u8] = b"POST /x HTTP/1.1\r\nA: b\r\nContent-Length: 3\r\n\r\nxyz";
+        let whole = parse_all(input).unwrap();
+        let mut p = RequestParser::new(HttpLimits::default());
+        let mut got = None;
+        for &b in input {
+            if let Some(req) = p.feed(&[b]).unwrap() {
+                got = Some(req);
+            }
+        }
+        let got = got.expect("completed");
+        assert_eq!(got.method, whole[0].method);
+        assert_eq!(got.headers, whole[0].headers);
+        assert_eq!(got.body, whole[0].body);
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let reqs = parse_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!reqs[0].keep_alive());
+        let reqs = parse_all(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(reqs[0].keep_alive());
+        let reqs = parse_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!reqs[0].keep_alive());
+    }
+
+    #[test]
+    fn rejects_hostile_framing() {
+        for (input, status) in [
+            (b"GET /\rinjected HTTP/1.1\r\n\r\n".as_slice(), 400),
+            (b"GET /a\x00b HTTP/1.1\r\n\r\n".as_slice(), 400),
+            (b"BOGUS/ /x HTTP/1.1\r\n\r\n".as_slice(), 400),
+            (b"GET /x HTTP/2.0\r\n\r\n".as_slice(), 400),
+            (b"GET x HTTP/1.1\r\n\r\n".as_slice(), 400),
+            (b"GET /x HTTP/1.1\r\nNo colon here\r\n\r\n".as_slice(), 400),
+            (b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n".as_slice(), 400),
+            (b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n".as_slice(), 400),
+            (b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n".as_slice(), 400),
+        ] {
+            let err = parse_all(input).unwrap_err();
+            assert_eq!(err.status(), status, "{input:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let limits = HttpLimits { max_request_line: 32, max_body: 16, ..HttpLimits::default() };
+        let mut p = RequestParser::new(limits.clone());
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64));
+        assert_eq!(p.feed(long.as_bytes()).unwrap_err(), ParseError::RequestLineTooLong);
+
+        let mut p = RequestParser::new(limits.clone());
+        let big = b"POST /x HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+        assert_eq!(p.feed(big).unwrap_err(), ParseError::BodyTooLarge(1000));
+        assert_eq!(ParseError::BodyTooLarge(1000).status(), 413);
+
+        let mut p = RequestParser::new(HttpLimits { max_headers: 2, ..HttpLimits::default() });
+        let many = b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n";
+        assert_eq!(p.feed(many).unwrap_err(), ParseError::HeadersTooLarge);
+
+        // Oversized header section detected even without a newline.
+        let mut p =
+            RequestParser::new(HttpLimits { max_header_bytes: 64, ..HttpLimits::default() });
+        p.feed(b"GET / HTTP/1.1\r\n").unwrap();
+        let torrent = vec![b'a'; 200];
+        assert_eq!(p.feed(&torrent).unwrap_err(), ParseError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn failed_parser_stays_failed() {
+        let mut p = RequestParser::new(HttpLimits::default());
+        assert!(p.feed(b"GARBAGE\r\n\r\n").is_err());
+        assert!(p.feed(b"GET / HTTP/1.1\r\n\r\n").is_err(), "poisoned parser refuses new input");
+    }
+
+    #[test]
+    fn skips_interstitial_crlf() {
+        let reqs = parse_all(b"\r\n\r\nGET / HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(reqs.len(), 1);
+    }
+}

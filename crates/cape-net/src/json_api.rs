@@ -1,0 +1,359 @@
+//! JSON ↔ domain translation for the wire API.
+//!
+//! Request bodies arrive as [`Json`]; this module validates them against
+//! the target store's relation (schema-driven tuple coercion, question
+//! construction via `UserQuestion::from_sql`) and renders
+//! [`ExplainResponse`]s back to JSON. Every error is an [`ApiError`]
+//! with a definite HTTP status and machine-readable kind — the serve
+//! path's analogue of the CLI's exit-code taxonomy.
+
+use cape_core::error::CapeError;
+use cape_core::question::{Direction, UserQuestion};
+use cape_core::store::PatternStore;
+use cape_data::{Relation, Schema, Value, ValueType};
+use cape_obs::Json;
+use cape_serve::ExplainResponse;
+use std::time::Duration;
+
+/// Maximum questions accepted in one batch-explain body.
+pub const MAX_BATCH: usize = 256;
+
+/// Default and maximum top-k per question.
+pub const DEFAULT_K: usize = 10;
+/// Upper bound on requested k (a DoS guard, not a correctness limit).
+pub const MAX_K: usize = 1000;
+
+/// A request rejected during validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status to answer with.
+    pub status: u16,
+    /// Machine-readable error kind for the JSON payload.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        ApiError { status: 400, kind: "bad_request", message: message.into() }
+    }
+
+    fn invalid_question(message: impl Into<String>) -> Self {
+        ApiError { status: 400, kind: "invalid_question", message: message.into() }
+    }
+
+    /// Map a core error from question construction; the unknown-
+    /// aggregate-column case keeps its distinct kind so clients can tell
+    /// a typo'd column from a structurally bad question.
+    fn from_cape(e: CapeError) -> Self {
+        match e {
+            CapeError::UnknownAggregateColumn(name) => ApiError {
+                status: 400,
+                kind: "unknown_aggregate_column",
+                message: format!("unknown aggregate column `{name}`: not in the relation schema"),
+            },
+            other => ApiError::invalid_question(other.to_string()),
+        }
+    }
+}
+
+/// One validated explain request off the wire.
+#[derive(Debug, Clone)]
+pub struct ExplainBody {
+    /// The question, already resolved against the store's relation.
+    pub question: UserQuestion,
+    /// Top-k to return.
+    pub k: usize,
+    /// Optional per-request deadline.
+    pub deadline: Option<Duration>,
+    /// Test-only artificial service time (see `NetConfig::allow_sleep`).
+    pub sleep: Option<Duration>,
+}
+
+fn coerce_value(json: &Json, ty: ValueType, attr: &str) -> Result<Value, ApiError> {
+    match (json, ty) {
+        (Json::Null, _) => Ok(Value::Null),
+        (Json::Num(n), ValueType::Int) => {
+            if n.fract() == 0.0 && n.is_finite() {
+                Ok(Value::Int(*n as i64))
+            } else {
+                Err(ApiError::bad_request(format!("tuple value for `{attr}` must be an integer")))
+            }
+        }
+        (Json::Num(n), ValueType::Float) => Ok(Value::Float(*n)),
+        (Json::Str(s), ValueType::Str) => Ok(Value::str(s)),
+        (other, ty) => Err(ApiError::bad_request(format!(
+            "tuple value for `{attr}` has the wrong type: expected {ty:?}, got {other}"
+        ))),
+    }
+}
+
+fn required_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, ApiError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request(format!("missing or non-string field `{key}`")))
+}
+
+fn optional_ms(obj: &Json, key: &str) -> Result<Option<Duration>, ApiError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let ms = v.as_f64().filter(|m| m.is_finite() && *m >= 0.0).ok_or_else(|| {
+                ApiError::bad_request(format!("field `{key}` must be a non-negative number"))
+            })?;
+            Ok(Some(Duration::from_secs_f64(ms / 1000.0)))
+        }
+    }
+}
+
+/// Parse one explain-question object:
+/// `{"sql", "tuple", "dir", "k"?, "deadline_ms"?, "sleep_ms"?}`.
+pub fn parse_explain_body(body: &Json, rel: &Relation) -> Result<ExplainBody, ApiError> {
+    let sql = required_str(body, "sql")?;
+    let dir = match required_str(body, "dir")? {
+        "high" => Direction::High,
+        "low" => Direction::Low,
+        other => {
+            return Err(ApiError::bad_request(format!(
+                "field `dir` must be \"high\" or \"low\", got \"{other}\""
+            )))
+        }
+    };
+    let tuple_json = body
+        .get("tuple")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ApiError::bad_request("missing or non-array field `tuple`"))?;
+
+    // Coerce the tuple against the *group-by columns* of the SQL, in
+    // order, so JSON numbers/strings land as the schema's value types.
+    let stmt = cape_data::sql::parse(sql)
+        .map_err(|e| ApiError::invalid_question(format!("SQL parse error: {e}")))?;
+    if stmt.group_by.len() != tuple_json.len() {
+        return Err(ApiError::bad_request(format!(
+            "tuple has {} values but the query groups by {} columns",
+            tuple_json.len(),
+            stmt.group_by.len()
+        )));
+    }
+    let mut tuple = Vec::with_capacity(tuple_json.len());
+    for (value, name) in tuple_json.iter().zip(&stmt.group_by) {
+        let id = rel
+            .schema()
+            .attr_id(name)
+            .map_err(|_| ApiError::invalid_question(format!("unknown group-by column `{name}`")))?;
+        let ty = rel.schema().attr(id).expect("attr_id implies attr").value_type();
+        tuple.push(coerce_value(value, ty, name)?);
+    }
+
+    let question = UserQuestion::from_sql(rel, sql, tuple, dir).map_err(ApiError::from_cape)?;
+
+    let k = match body.get("k") {
+        None | Some(Json::Null) => DEFAULT_K,
+        Some(v) => {
+            let k = v.as_u64().filter(|&k| k >= 1 && k <= MAX_K as u64).ok_or_else(|| {
+                ApiError::bad_request(format!("field `k` must be an integer in 1..={MAX_K}"))
+            })?;
+            k as usize
+        }
+    };
+    let deadline = optional_ms(body, "deadline_ms")?;
+    let sleep = optional_ms(body, "sleep_ms")?;
+    Ok(ExplainBody { question, k, deadline, sleep })
+}
+
+/// Parse a batch body: `{"questions": [<explain body>, ...]}`.
+pub fn parse_batch_body(body: &Json, rel: &Relation) -> Result<Vec<ExplainBody>, ApiError> {
+    let questions = body
+        .get("questions")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ApiError::bad_request("missing or non-array field `questions`"))?;
+    if questions.is_empty() {
+        return Err(ApiError::bad_request("`questions` must not be empty"));
+    }
+    if questions.len() > MAX_BATCH {
+        return Err(ApiError::bad_request(format!(
+            "`questions` has {} entries, maximum is {MAX_BATCH}",
+            questions.len()
+        )));
+    }
+    questions
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            parse_explain_body(q, rel).map_err(|mut e| {
+                e.message = format!("questions[{i}]: {}", e.message);
+                e
+            })
+        })
+        .collect()
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Int(n) => Json::Num(*n as f64),
+        Value::Float(f) => Json::Num(*f),
+        Value::Str(s) => Json::Str(s.to_string()),
+    }
+}
+
+fn explanation_json(
+    e: &cape_core::explain::Explanation,
+    schema: &Schema,
+    store: &PatternStore,
+) -> Json {
+    let attr_name = |id: &cape_data::AttrId| {
+        schema.attr(*id).map(|a| a.name().to_string()).unwrap_or_else(|_| format!("#{id}"))
+    };
+    let pattern_display =
+        |idx: usize| store.get(idx).map_or(Json::Null, |p| Json::Str(p.arp.display(schema)));
+    Json::Obj(vec![
+        ("score".into(), Json::Num(e.score)),
+        ("pattern".into(), pattern_display(e.pattern_idx)),
+        ("refinement".into(), pattern_display(e.refinement_idx)),
+        ("attrs".into(), Json::Arr(e.attrs.iter().map(|a| Json::Str(attr_name(a))).collect())),
+        ("tuple".into(), Json::Arr(e.tuple.iter().map(value_to_json).collect())),
+        ("agg_value".into(), Json::Num(e.agg_value)),
+        ("predicted".into(), Json::Num(e.predicted)),
+        ("deviation".into(), Json::Num(e.deviation)),
+        ("distance".into(), Json::Num(e.distance)),
+    ])
+}
+
+/// Render one service answer, stamped with the store name and snapshot
+/// generation it was computed against.
+pub fn explain_response_json(
+    store_name: &str,
+    generation: u64,
+    resp: &ExplainResponse,
+    schema: &Schema,
+    store: &PatternStore,
+) -> Json {
+    Json::Obj(vec![
+        ("trace_id".into(), Json::Str(format!("{:016x}", resp.trace_id.as_u64()))),
+        ("store".into(), Json::Str(store_name.to_string())),
+        ("generation".into(), Json::Num(generation as f64)),
+        ("partial".into(), Json::Bool(resp.partial)),
+        (
+            "explanations".into(),
+            Json::Arr(
+                resp.explanations.iter().map(|e| explanation_json(e, schema, store)).collect(),
+            ),
+        ),
+        (
+            "stats".into(),
+            Json::Obj(vec![
+                ("queue_ns".into(), Json::Num(resp.queue_wait.as_nanos() as f64)),
+                ("exec_ns".into(), Json::Num(resp.exec_time.as_nanos() as f64)),
+                ("total_ns".into(), Json::Num(resp.total_time.as_nanos() as f64)),
+                ("patterns_relevant".into(), Json::Num(resp.stats.patterns_relevant as f64)),
+                (
+                    "refinements_considered".into(),
+                    Json::Num(resp.stats.refinements_considered as f64),
+                ),
+                ("tuples_checked".into(), Json::Num(resp.stats.tuples_checked as f64)),
+                ("candidates_generated".into(), Json::Num(resp.stats.candidates_generated as f64)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cape_data::{Schema, ValueType};
+
+    fn relation() -> Relation {
+        let schema = Schema::new([
+            ("author", ValueType::Str),
+            ("year", ValueType::Int),
+            ("venue", ValueType::Str),
+        ])
+        .unwrap();
+        let mut rel = Relation::new(schema);
+        for y in 2000..2004 {
+            for v in ["KDD", "ICDE"] {
+                rel.push_row(vec![Value::str("a0"), Value::Int(y), Value::str(v)]).unwrap();
+            }
+        }
+        rel
+    }
+
+    fn body(sql: &str, tuple: &str, dir: &str) -> Json {
+        Json::parse(&format!(r#"{{"sql":"{sql}","tuple":{tuple},"dir":"{dir}"}}"#)).unwrap()
+    }
+
+    const SQL: &str = "SELECT author, year, venue, count(*) FROM pubs GROUP BY author, year, venue";
+
+    #[test]
+    fn parses_a_valid_question() {
+        let rel = relation();
+        let parsed = parse_explain_body(&body(SQL, r#"["a0", 2001, "KDD"]"#, "low"), &rel).unwrap();
+        assert_eq!(parsed.k, DEFAULT_K);
+        assert_eq!(parsed.question.dir, Direction::Low);
+        assert_eq!(parsed.question.tuple[1], Value::Int(2001));
+        assert!(parsed.deadline.is_none());
+    }
+
+    #[test]
+    fn k_and_deadline_are_honored_and_bounded() {
+        let rel = relation();
+        let mut obj = body(SQL, r#"["a0", 2001, "KDD"]"#, "high");
+        if let Json::Obj(fields) = &mut obj {
+            fields.push(("k".into(), Json::Num(3.0)));
+            fields.push(("deadline_ms".into(), Json::Num(250.0)));
+        }
+        let parsed = parse_explain_body(&obj, &rel).unwrap();
+        assert_eq!(parsed.k, 3);
+        assert_eq!(parsed.deadline, Some(Duration::from_millis(250)));
+
+        if let Json::Obj(fields) = &mut obj {
+            fields.retain(|(k, _)| k != "k");
+            fields.push(("k".into(), Json::Num(0.0)));
+        }
+        assert_eq!(parse_explain_body(&obj, &rel).unwrap_err().kind, "bad_request");
+    }
+
+    #[test]
+    fn unknown_aggregate_column_gets_its_own_kind() {
+        let rel = relation();
+        let sql = "SELECT author, sum(pages) FROM pubs GROUP BY author";
+        let err = parse_explain_body(&body(sql, r#"["a0"]"#, "low"), &rel).unwrap_err();
+        assert_eq!(err.kind, "unknown_aggregate_column");
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("`pages`"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_shape_errors() {
+        let rel = relation();
+        for (b, want) in [
+            (Json::parse(r#"{"tuple":[],"dir":"low"}"#).unwrap(), "bad_request"),
+            (body(SQL, r#"["a0", 2001, "KDD"]"#, "sideways"), "bad_request"),
+            (body(SQL, r#"["a0", 2001]"#, "low"), "bad_request"),
+            (body(SQL, r#"["a0", "x", "KDD"]"#, "low"), "bad_request"),
+            (body("SELECT FROM", r#"[]"#, "low"), "invalid_question"),
+            (
+                body("SELECT author, count(*) FROM p GROUP BY author", r#"["zz"]"#, "low"),
+                "invalid_question", // tuple not in the query result
+            ),
+        ] {
+            let err = parse_explain_body(&b, &rel).unwrap_err();
+            assert_eq!(err.kind, want, "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn batch_bounds_and_error_prefix() {
+        let rel = relation();
+        let empty = Json::parse(r#"{"questions":[]}"#).unwrap();
+        assert_eq!(parse_batch_body(&empty, &rel).unwrap_err().kind, "bad_request");
+        let bad = Json::Obj(vec![(
+            "questions".into(),
+            Json::Arr(vec![body(SQL, r#"["a0", 2001, "KDD"]"#, "low"), Json::Null]),
+        )]);
+        let err = parse_batch_body(&bad, &rel).unwrap_err();
+        assert!(err.message.starts_with("questions[1]:"), "{}", err.message);
+    }
+}

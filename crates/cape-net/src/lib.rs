@@ -1,0 +1,56 @@
+//! Std-only HTTP/1.1 + JSON network front-end for CAPE explanation
+//! serving, with a hot-swappable multi-store registry.
+//!
+//! The paper's workload is interactive — an analyst asks "why is this
+//! aggregate high/low?" and expects counterbalances back within a
+//! latency budget (PAPER.md §6). This crate puts the `cape-serve` worker
+//! pool behind a wire protocol without taking on any dependency: the
+//! listener, the HTTP parser, and the JSON codec are all owned here or
+//! in `cape-obs`, same vendoring discipline as `third_party/`.
+//!
+//! The per-connection pipeline:
+//!
+//! 1. **Parse** — incremental HTTP/1.1 state machine ([`http`]) with
+//!    hard size/header limits; malformed or hostile input answers
+//!    400/413 and closes, never panics.
+//! 2. **Admit** — bounded concurrent-request capacity ([`admission`]);
+//!    overflow answers 429 + `Retry-After` *before* anything is queued.
+//! 3. **Execute** — per-request deadlines reuse the partial-top-k
+//!    degradation of [`cape_serve::explain_cached`]; answers carry the
+//!    trace id, so slow requests can be found in the access log and the
+//!    Chrome trace.
+//! 4. **Respond** — JSON bodies stamped with the store name and the
+//!    snapshot **generation** the answer was computed against.
+//!
+//! Hot swap ([`registry`]): each named store pairs an immutable relation
+//! with a swappable *epoch* (pattern store + worker pool + generation)
+//! behind one `Arc`. `POST /admin/stores/{name}/swap` loads a `.cape`
+//! snapshot and replaces the epoch atomically — in-flight requests
+//! finish on the old epoch, new requests see the new one, no drain.
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/{store}/explain` | one question → top-k counterbalances |
+//! | `POST /v1/{store}/batch-explain` | many questions, answers in order |
+//! | `GET /v1/stores` | registry listing with generations + swap counts |
+//! | `POST /admin/stores/{name}/swap` | install a new `.cape` snapshot |
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | `cape-obs` telemetry snapshot |
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod http;
+pub mod json_api;
+pub mod registry;
+pub mod response;
+pub mod server;
+pub mod testclient;
+
+pub use admission::{Admission, AdmissionError, Permit};
+pub use http::{HttpLimits, HttpRequest, ParseError, RequestParser};
+pub use json_api::{ApiError, ExplainBody};
+pub use registry::{StoreEpoch, StoreRegistry, StoreSlot};
+pub use response::HttpResponse;
+pub use server::{NetConfig, Server};
+pub use testclient::{Client, ClientResponse};

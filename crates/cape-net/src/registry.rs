@@ -1,0 +1,178 @@
+//! The hot-swappable multi-store registry.
+//!
+//! A [`StoreRegistry`] maps store names to [`StoreSlot`]s. Each slot owns
+//! an immutable relation plus a *current epoch*: the pattern store, its
+//! worker pool, and a monotonically increasing generation number, all
+//! bundled behind one `Arc`. A request clones that `Arc` exactly once at
+//! routing time, so everything it touches — patterns, cache, workers, the
+//! generation it stamps into the response — belongs to one epoch by
+//! construction. [`StoreSlot::swap_snapshot`] installs a new epoch
+//! atomically: new requests see it immediately, in-flight requests finish
+//! on the old epoch's `Arc`, and the old worker pool is joined when the
+//! last in-flight reference drops. There is no drain, no barrier, and no
+//! window where a request can observe half of two snapshots.
+
+use cape_core::snapshot::{load_snapshot, SnapshotError};
+use cape_data::Relation;
+use cape_serve::{ExplainService, PatternStoreHandle, ServeConfig};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One snapshot version of a store: handle + worker pool + generation.
+///
+/// Everything a request needs to answer is reachable from here, so
+/// holding the `Arc<StoreEpoch>` is all the consistency a request needs.
+pub struct StoreEpoch {
+    /// Monotonic per-slot version, starting at 1 for the initial load.
+    pub generation: u64,
+    /// Relation + store + refinement index for this version.
+    pub handle: PatternStoreHandle,
+    /// Worker pool bound to this version (cache is epoch-local, so a new
+    /// snapshot always starts cache-cold — no stale entries can leak
+    /// across versions).
+    pub service: ExplainService,
+}
+
+impl std::fmt::Debug for StoreEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreEpoch")
+            .field("generation", &self.generation)
+            .field("patterns", &self.handle.store().len())
+            .finish()
+    }
+}
+
+/// A named store: fixed relation, swappable epoch.
+pub struct StoreSlot {
+    name: String,
+    relation: Arc<Relation>,
+    serve_cfg: ServeConfig,
+    epoch: RwLock<Arc<StoreEpoch>>,
+    generations: AtomicU64,
+    swaps: AtomicU64,
+}
+
+impl StoreSlot {
+    fn new(name: String, handle: PatternStoreHandle, serve_cfg: ServeConfig) -> Self {
+        let relation = handle.relation_arc();
+        let service = ExplainService::start(handle.clone(), serve_cfg.clone());
+        let epoch = Arc::new(StoreEpoch { generation: 1, handle, service });
+        StoreSlot {
+            name,
+            relation,
+            serve_cfg,
+            epoch: RwLock::new(epoch),
+            generations: AtomicU64::new(1),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// The store's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fixed relation all epochs of this slot serve against.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// The current epoch. Cloning the returned `Arc` is the *only*
+    /// synchronization a request performs; the lock is held just long
+    /// enough to clone.
+    pub fn epoch(&self) -> Arc<StoreEpoch> {
+        Arc::clone(&self.epoch.read().expect("epoch lock"))
+    }
+
+    /// Completed swaps since the slot was created.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::SeqCst)
+    }
+
+    /// Current generation number.
+    pub fn generation(&self) -> u64 {
+        self.epoch.read().expect("epoch lock").generation
+    }
+
+    /// Atomically replace the current epoch with one loaded from a
+    /// `.cape` snapshot. The expensive work (file read, validation,
+    /// group-data rebuild, refinement index, worker spawn) happens
+    /// *before* the write lock is taken; the lock protects only the
+    /// pointer swap. On any error the current epoch is untouched.
+    pub fn swap_snapshot(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+        let contents = load_snapshot(path, &self.relation)?;
+        let handle =
+            PatternStoreHandle::from_arcs(Arc::clone(&self.relation), Arc::new(contents.store));
+        let service = ExplainService::start(handle.clone(), self.serve_cfg.clone());
+        let generation = self.generations.fetch_add(1, Ordering::SeqCst) + 1;
+        let next = Arc::new(StoreEpoch { generation, handle, service });
+        let previous = {
+            let mut slot = self.epoch.write().expect("epoch lock");
+            std::mem::replace(&mut *slot, next)
+        };
+        self.swaps.fetch_add(1, Ordering::SeqCst);
+        cape_obs::counter_add("net.store.swaps", 1);
+        // Dropping outside the lock: if this is the last reference the
+        // old pool joins its (idle) workers here, off the swap-lock path.
+        drop(previous);
+        Ok(generation)
+    }
+}
+
+impl std::fmt::Debug for StoreSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreSlot")
+            .field("name", &self.name)
+            .field("generation", &self.generation())
+            .field("swaps", &self.swap_count())
+            .finish()
+    }
+}
+
+/// Named stores, each independently hot-swappable.
+#[derive(Default)]
+pub struct StoreRegistry {
+    slots: RwLock<HashMap<String, Arc<StoreSlot>>>,
+}
+
+impl StoreRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        StoreRegistry::default()
+    }
+
+    /// Register a store under `name`, replacing any previous slot with
+    /// that name. Returns the new slot.
+    pub fn register(
+        &self,
+        name: &str,
+        handle: PatternStoreHandle,
+        serve_cfg: ServeConfig,
+    ) -> Arc<StoreSlot> {
+        let slot = Arc::new(StoreSlot::new(name.to_string(), handle, serve_cfg));
+        self.slots.write().expect("registry lock").insert(name.to_string(), Arc::clone(&slot));
+        slot
+    }
+
+    /// Look up a store by name.
+    pub fn get(&self, name: &str) -> Option<Arc<StoreSlot>> {
+        self.slots.read().expect("registry lock").get(name).cloned()
+    }
+
+    /// All slots, sorted by name (for `GET /v1/stores`).
+    pub fn list(&self) -> Vec<Arc<StoreSlot>> {
+        let mut slots: Vec<_> =
+            self.slots.read().expect("registry lock").values().cloned().collect();
+        slots.sort_by(|a, b| a.name().cmp(b.name()));
+        slots
+    }
+}
+
+impl std::fmt::Debug for StoreRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self.list().iter().map(|s| s.name().to_string()).collect();
+        f.debug_struct("StoreRegistry").field("stores", &names).finish()
+    }
+}

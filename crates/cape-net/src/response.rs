@@ -1,0 +1,136 @@
+//! HTTP/1.1 response serialization.
+
+use cape_obs::Json;
+use std::io::{self, Write};
+
+/// Reason phrase for the status codes the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// One response, always framed with an explicit `Content-Length` so
+/// keep-alive clients can find the next response boundary.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (200, 400, 413, 429, 503, ...).
+    pub status: u16,
+    /// Extra headers beyond the always-present framing set.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Whether to announce `Connection: close` and drop the socket.
+    pub close: bool,
+}
+
+impl HttpResponse {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: &Json) -> Self {
+        HttpResponse {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.to_string().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// Mark the connection for closing after this response.
+    pub fn with_close(mut self) -> Self {
+        self.close = true;
+        self
+    }
+
+    /// Add a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Advise the client to retry after `secs` (429/503 responses).
+    pub fn with_retry_after(self, secs: u32) -> Self {
+        self.with_header("Retry-After", secs.to_string())
+    }
+
+    /// Serialize status line, headers, and body onto `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status));
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        if self.close {
+            head.push_str("Connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The uniform error payload: `{"error": {"kind", "message", "trace_id"}}`.
+pub fn error_body(kind: &str, message: &str, trace_id: Option<u64>) -> Json {
+    Json::Obj(vec![(
+        "error".into(),
+        Json::Obj(vec![
+            ("kind".into(), Json::Str(kind.to_string())),
+            ("message".into(), Json::Str(message.to_string())),
+            ("trace_id".into(), trace_id.map_or(Json::Null, |t| Json::Str(format!("{t:016x}")))),
+        ]),
+    )])
+}
+
+/// A JSON error response: status + `{"error": ...}` body.
+pub fn error_response(
+    status: u16,
+    kind: &str,
+    message: &str,
+    trace_id: Option<u64>,
+) -> HttpResponse {
+    HttpResponse::json(status, &error_body(kind, message, trace_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_is_framed_with_content_length() {
+        let resp = HttpResponse::json(200, &Json::Obj(vec![("ok".into(), Json::Bool(true))]));
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        assert!(!text.contains("Connection: close"));
+    }
+
+    #[test]
+    fn close_and_retry_after_render() {
+        let resp = error_response(429, "overloaded", "queue full", Some(0xabc))
+            .with_retry_after(1)
+            .with_close();
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("\"kind\":\"overloaded\""));
+        assert!(text.contains("\"trace_id\":\"0000000000000abc\""));
+    }
+}

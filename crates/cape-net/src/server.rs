@@ -1,0 +1,464 @@
+//! The TCP listener, connection loop, and request router.
+//!
+//! Thread-per-connection over [`std::net::TcpListener`], with a hard cap
+//! on concurrent connections (over-cap connections get an immediate 503
+//! and close). Each connection runs an incremental [`RequestParser`];
+//! keep-alive and pipelining fall out of the parser's buffered leftovers.
+//! Parse errors answer 400/413 and close — a connection whose framing is
+//! broken cannot be trusted for another request.
+//!
+//! Request processing is: route → admission permit → epoch clone →
+//! validate → submit to the epoch's worker pool → render. The admission
+//! check happens *before* any work is queued, so shed requests cost a
+//! rejected JSON body and nothing else.
+
+use crate::admission::{Admission, AdmissionError};
+use crate::http::{HttpLimits, HttpRequest, RequestParser};
+use crate::json_api::{
+    explain_response_json, parse_batch_body, parse_explain_body, ApiError, ExplainBody,
+};
+use crate::registry::{StoreEpoch, StoreRegistry};
+use crate::response::{error_response, HttpResponse};
+use cape_obs::{Json, Recorder, TraceId};
+use cape_serve::ExplainRequest;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often blocked reads wake up to check the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(250);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Parser limits applied per connection.
+    pub limits: HttpLimits,
+    /// Maximum concurrently admitted requests; overflow answers 429.
+    pub admission_capacity: usize,
+    /// Maximum concurrent connections; overflow answers 503 and closes.
+    pub max_connections: usize,
+    /// Deadline applied to requests that do not carry `deadline_ms`.
+    pub default_deadline: Option<Duration>,
+    /// Honor the `sleep_ms` request field (holds the admission permit
+    /// for that long before executing). **Test instrumentation only** —
+    /// lets load-shed tests fill the bounded queue deterministically.
+    pub allow_sleep: bool,
+    /// Recorder backing `GET /metrics`. The server installs nothing;
+    /// pass a clone of the recorder the process already installed.
+    pub metrics: Option<Recorder>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            limits: HttpLimits::default(),
+            admission_capacity: 64,
+            max_connections: 256,
+            default_deadline: None,
+            allow_sleep: false,
+            metrics: None,
+        }
+    }
+}
+
+struct ServerShared {
+    registry: Arc<StoreRegistry>,
+    cfg: NetConfig,
+    admission: Admission,
+    connections: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// A running HTTP server. [`shutdown`](Server::shutdown) (or drop) stops
+/// the accept loop and joins connection threads.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` and start accepting connections against `registry`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<StoreRegistry>,
+        cfg: NetConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let admission = Admission::new(cfg.admission_capacity);
+        let shared = Arc::new(ServerShared {
+            registry,
+            cfg,
+            admission,
+            connections: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let obs_ctx = cape_obs::ThreadContext::capture();
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conn_threads);
+        let accept_thread = std::thread::spawn(move || {
+            let _obs = obs_ctx.attach();
+            accept_loop(&listener, &accept_shared, &accept_conns);
+        });
+        Ok(Server { shared, local_addr, accept_thread: Some(accept_thread), conn_threads })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests currently admitted (the `serve.net.inflight` gauge).
+    pub fn inflight(&self) -> usize {
+        self.shared.admission.inflight()
+    }
+
+    /// Stop accepting, fail new admissions with 503, and join all
+    /// threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.admission.begin_shutdown();
+        // The accept loop blocks in accept(); a loopback connection
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let threads: Vec<_> = self.conn_threads.lock().expect("conn threads").drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.local_addr)
+            .field("inflight", &self.inflight())
+            .finish()
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ServerShared>,
+    conn_threads: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        cape_obs::counter_add("net.conn.accepted", 1);
+        let active = shared.connections.fetch_add(1, Ordering::SeqCst) + 1;
+        if active > shared.cfg.max_connections {
+            shared.connections.fetch_sub(1, Ordering::SeqCst);
+            cape_obs::counter_add("net.conn.over_cap", 1);
+            let mut stream = stream;
+            let resp = error_response(503, "unavailable", "connection limit reached", None)
+                .with_retry_after(1)
+                .with_close();
+            let _ = resp.write_to(&mut stream);
+            continue;
+        }
+        let conn_shared = Arc::clone(shared);
+        let obs_ctx = cape_obs::ThreadContext::capture();
+        let handle = std::thread::spawn(move || {
+            let _obs = obs_ctx.attach();
+            connection_loop(stream, &conn_shared);
+            conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
+        });
+        let mut threads = conn_threads.lock().expect("conn threads");
+        // Reap finished threads opportunistically so a long-lived server
+        // does not accumulate handles for every connection it ever saw.
+        threads.retain(|t| !t.is_finished());
+        threads.push(handle);
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new(shared.cfg.limits.clone());
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Drain every already-buffered (pipelined) request before
+        // blocking on the socket again.
+        loop {
+            match parser.poll() {
+                Ok(Some(request)) => {
+                    let keep_alive = request.keep_alive();
+                    let response = handle_request(&request, shared);
+                    let close = response.close || !keep_alive;
+                    let response = if close { response.with_close() } else { response };
+                    if response.write_to(&mut stream).is_err() {
+                        return;
+                    }
+                    if close {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    cape_obs::counter_add("net.http.parse_errors", 1);
+                    let resp =
+                        error_response(e.status(), e.kind(), &e.to_string(), None).with_close();
+                    let _ = resp.write_to(&mut stream);
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                // Buffer only; the poll loop above is the single place
+                // completed requests (and parse errors) surface.
+                parser.push(&chunk[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Split `/v1/{store}/{action}` into its two variable segments.
+fn v1_route(path: &str) -> Option<(&str, &str)> {
+    let rest = path.strip_prefix("/v1/")?;
+    let (store, action) = rest.split_once('/')?;
+    if store.is_empty() || action.is_empty() || action.contains('/') {
+        return None;
+    }
+    Some((store, action))
+}
+
+/// Split `/admin/stores/{name}/swap` into the store name.
+fn swap_route(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("/admin/stores/")?;
+    let name = rest.strip_suffix("/swap")?;
+    if name.is_empty() || name.contains('/') {
+        return None;
+    }
+    Some(name)
+}
+
+fn handle_request(request: &HttpRequest, shared: &Arc<ServerShared>) -> HttpResponse {
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => {
+            cape_obs::counter_add("net.route.healthz", 1);
+            HttpResponse::json(200, &Json::Obj(vec![("status".into(), Json::Str("ok".into()))]))
+        }
+        ("GET", "/metrics") => {
+            cape_obs::counter_add("net.route.metrics", 1);
+            match &shared.cfg.metrics {
+                Some(rec) => HttpResponse::json(200, &rec.snapshot().to_json()),
+                None => error_response(404, "not_found", "no metrics recorder configured", None),
+            }
+        }
+        ("GET", "/v1/stores") => {
+            cape_obs::counter_add("net.route.stores", 1);
+            let stores: Vec<Json> = shared
+                .registry
+                .list()
+                .iter()
+                .map(|slot| {
+                    let epoch = slot.epoch();
+                    Json::Obj(vec![
+                        ("name".into(), Json::Str(slot.name().to_string())),
+                        ("generation".into(), Json::Num(epoch.generation as f64)),
+                        ("swaps".into(), Json::Num(slot.swap_count() as f64)),
+                        ("patterns".into(), Json::Num(epoch.handle.store().len() as f64)),
+                        ("rows".into(), Json::Num(slot.relation().num_rows() as f64)),
+                    ])
+                })
+                .collect();
+            HttpResponse::json(200, &Json::Obj(vec![("stores".into(), Json::Arr(stores))]))
+        }
+        ("POST", path) => {
+            if let Some(name) = swap_route(path) {
+                cape_obs::counter_add("net.route.swap", 1);
+                return handle_swap(name, &request.body, shared);
+            }
+            match v1_route(path) {
+                Some((store, "explain")) => {
+                    cape_obs::counter_add("net.route.explain", 1);
+                    handle_explain(store, &request.body, shared, false)
+                }
+                Some((store, "batch-explain")) => {
+                    cape_obs::counter_add("net.route.batch", 1);
+                    handle_explain(store, &request.body, shared, true)
+                }
+                _ => {
+                    cape_obs::counter_add("net.http.404", 1);
+                    error_response(404, "not_found", &format!("no route for `{path}`"), None)
+                }
+            }
+        }
+        (_, path) if v1_route(path).is_some() || path == "/healthz" || path == "/metrics" => {
+            error_response(405, "method_not_allowed", "wrong method for this route", None)
+        }
+        (_, path) => {
+            cape_obs::counter_add("net.http.404", 1);
+            error_response(404, "not_found", &format!("no route for `{path}`"), None)
+        }
+    }
+}
+
+fn handle_swap(name: &str, body: &[u8], shared: &Arc<ServerShared>) -> HttpResponse {
+    let Some(slot) = shared.registry.get(name) else {
+        return error_response(404, "not_found", &format!("no store named `{name}`"), None);
+    };
+    let parsed = match std::str::from_utf8(body).ok().and_then(|s| Json::parse(s).ok()) {
+        Some(json) => json,
+        None => return error_response(400, "bad_request", "body is not valid JSON", None),
+    };
+    let Some(path) = parsed.get("path").and_then(Json::as_str) else {
+        return error_response(400, "bad_request", "missing string field `path`", None);
+    };
+    match slot.swap_snapshot(path) {
+        Ok(generation) => HttpResponse::json(
+            200,
+            &Json::Obj(vec![
+                ("store".into(), Json::Str(name.to_string())),
+                ("generation".into(), Json::Num(generation as f64)),
+                ("swaps".into(), Json::Num(slot.swap_count() as f64)),
+            ]),
+        ),
+        // A bad snapshot file is the *caller's* problem (bad path, wrong
+        // schema, corrupt bytes) — 400, and the serving epoch is
+        // untouched.
+        Err(e) => error_response(400, "bad_snapshot", &e.to_string(), None),
+    }
+}
+
+fn handle_explain(
+    store: &str,
+    body: &[u8],
+    shared: &Arc<ServerShared>,
+    batch: bool,
+) -> HttpResponse {
+    let trace = TraceId::next();
+    let tid = Some(trace.as_u64());
+
+    // Admit before any parsing or queueing: shed work must cost nothing.
+    let permit = match shared.admission.try_acquire() {
+        Ok(p) => p,
+        Err(AdmissionError::Overloaded) => {
+            cape_obs::counter_add("net.http.429", 1);
+            return error_response(429, "overloaded", "admission queue is full; retry", tid)
+                .with_retry_after(1);
+        }
+        Err(AdmissionError::ShuttingDown) => {
+            cape_obs::counter_add("net.http.503", 1);
+            return error_response(503, "unavailable", "server is shutting down", tid)
+                .with_retry_after(1)
+                .with_close();
+        }
+    };
+
+    let Some(slot) = shared.registry.get(store) else {
+        return error_response(404, "not_found", &format!("no store named `{store}`"), tid);
+    };
+    // One epoch clone; everything below — relation, workers, generation —
+    // comes from this epoch even if a swap lands mid-request.
+    let epoch: Arc<StoreEpoch> = slot.epoch();
+
+    let parsed = match std::str::from_utf8(body).ok().and_then(|s| Json::parse(s).ok()) {
+        Some(json) => json,
+        None => return error_response(400, "bad_request", "body is not valid JSON", tid),
+    };
+    let questions: Vec<ExplainBody> = if batch {
+        match parse_batch_body(&parsed, epoch.handle.relation()) {
+            Ok(qs) => qs,
+            Err(e) => return api_error_response(&e, tid),
+        }
+    } else {
+        match parse_explain_body(&parsed, epoch.handle.relation()) {
+            Ok(q) => vec![q],
+            Err(e) => return api_error_response(&e, tid),
+        }
+    };
+
+    if shared.cfg.allow_sleep {
+        // Test hook: hold the admission permit to simulate a slow
+        // request, so load-shed tests can fill capacity deterministically.
+        if let Some(sleep) = questions.iter().filter_map(|q| q.sleep).max() {
+            std::thread::sleep(sleep);
+        }
+    }
+
+    let requests: Vec<ExplainRequest> = questions
+        .iter()
+        .map(|q| {
+            let mut req = ExplainRequest::new(q.question.clone(), q.k).with_trace(trace);
+            if let Some(deadline) = q.deadline.or(shared.cfg.default_deadline) {
+                req = req.with_timeout(deadline);
+            }
+            req
+        })
+        .collect();
+    let responses = epoch.service.batch(requests);
+    drop(permit);
+
+    let schema = epoch.handle.relation().schema();
+    let store_ref = epoch.handle.store();
+    let rendered: Vec<Json> = responses
+        .iter()
+        .map(|r| explain_response_json(slot.name(), epoch.generation, r, schema, store_ref))
+        .collect();
+    if batch {
+        HttpResponse::json(
+            200,
+            &Json::Obj(vec![
+                ("trace_id".into(), Json::Str(format!("{:016x}", trace.as_u64()))),
+                ("store".into(), Json::Str(slot.name().to_string())),
+                ("generation".into(), Json::Num(epoch.generation as f64)),
+                ("answers".into(), Json::Arr(rendered)),
+            ]),
+        )
+    } else {
+        HttpResponse::json(200, &rendered.into_iter().next().expect("one answer"))
+    }
+}
+
+fn api_error_response(e: &ApiError, trace_id: Option<u64>) -> HttpResponse {
+    cape_obs::counter_add("net.http.400", 1);
+    error_response(e.status, e.kind, &e.message, trace_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_parse() {
+        assert_eq!(v1_route("/v1/dblp/explain"), Some(("dblp", "explain")));
+        assert_eq!(v1_route("/v1/dblp/batch-explain"), Some(("dblp", "batch-explain")));
+        assert_eq!(v1_route("/v1/dblp"), None);
+        assert_eq!(v1_route("/v1//explain"), None);
+        assert_eq!(v1_route("/v1/a/b/c"), None);
+        assert_eq!(swap_route("/admin/stores/dblp/swap"), Some("dblp"));
+        assert_eq!(swap_route("/admin/stores//swap"), None);
+        assert_eq!(swap_route("/admin/stores/a/b/swap"), None);
+    }
+}

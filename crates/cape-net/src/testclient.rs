@@ -1,0 +1,170 @@
+//! A minimal blocking HTTP/1.1 client for tests, benches, and CI smoke
+//! checks. Writes raw bytes to a [`TcpStream`] — deliberately no
+//! dependency on the server's parser, so client and server disagree on
+//! framing only if one of them is wrong.
+
+use cape_obs::Json;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value with the given lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Parse the body as JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|e| e.to_string())?;
+        Json::parse(text).map_err(|e| e.to_string())
+    }
+}
+
+/// A keep-alive connection to one server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    leftovers: Vec<u8>,
+}
+
+impl Client {
+    /// Connect, with a generous read timeout so a hung server fails a
+    /// test instead of wedging it.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, leftovers: Vec::new() })
+    }
+
+    /// Write raw bytes (for pipelining and hostile-input tests).
+    pub fn write_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Send `GET path` and read the response.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.write_raw(format!("GET {path} HTTP/1.1\r\nHost: cape\r\n\r\n").as_bytes())?;
+        self.read_response()
+    }
+
+    /// Send `POST path` with a JSON body and read the response.
+    pub fn post_json(&mut self, path: &str, body: &Json) -> std::io::Result<ClientResponse> {
+        let body = body.to_string();
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: cape\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.write_raw(head.as_bytes())?;
+        self.write_raw(body.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Pipeline several `POST`s in one write, then read all responses in
+    /// order.
+    pub fn pipeline_post_json(
+        &mut self,
+        path: &str,
+        bodies: &[Json],
+    ) -> std::io::Result<Vec<ClientResponse>> {
+        let mut wire = Vec::new();
+        for body in bodies {
+            let body = body.to_string();
+            wire.extend_from_slice(
+                format!(
+                    "POST {path} HTTP/1.1\r\nHost: cape\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+            wire.extend_from_slice(body.as_bytes());
+        }
+        self.write_raw(&wire)?;
+        bodies.iter().map(|_| self.read_response()).collect()
+    }
+
+    /// Read exactly one response (status line, headers, Content-Length
+    /// body). Bytes past it are kept for the next call.
+    pub fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let header_end = loop {
+            if let Some(pos) = self.leftovers.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            self.fill()?;
+        };
+        let head: Vec<u8> = self.leftovers.drain(..header_end + 4).take(header_end).collect();
+        let head = String::from_utf8(head)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status: u16 =
+            status_line.split(' ').nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line `{status_line}`"),
+                )
+            })?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        let length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        while self.leftovers.len() < length {
+            self.fill()?;
+        }
+        let body: Vec<u8> = self.leftovers.drain(..length).collect();
+        Ok(ClientResponse { status, headers, body })
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-response",
+            ));
+        }
+        self.leftovers.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}
+
+/// Build the JSON body for one explain question.
+pub fn explain_body(
+    sql: &str,
+    tuple: &[Json],
+    dir: &str,
+    k: Option<usize>,
+    deadline_ms: Option<f64>,
+) -> Json {
+    let mut fields = vec![
+        ("sql".to_string(), Json::Str(sql.to_string())),
+        ("tuple".to_string(), Json::Arr(tuple.to_vec())),
+        ("dir".to_string(), Json::Str(dir.to_string())),
+    ];
+    if let Some(k) = k {
+        fields.push(("k".into(), Json::Num(k as f64)));
+    }
+    if let Some(ms) = deadline_ms {
+        fields.push(("deadline_ms".into(), Json::Num(ms)));
+    }
+    Json::Obj(fields)
+}

@@ -1,0 +1,395 @@
+//! The HTTP parser torture matrix (ISSUE 7, satellite 1).
+//!
+//! Mirrors the PR-4 `store_corruption.rs` style: a corpus of valid
+//! requests is replayed through every two-chunk split boundary and
+//! byte-at-a-time feeding (incremental parse must equal one-shot parse),
+//! every header byte of a valid request is inverted once, and a hostile
+//! corpus (oversized headers, chunked transfer encodings, pipelined
+//! garbage, NUL/CRLF injection in paths) must always yield a typed
+//! [`ParseError`] answering 400 or 413 — never a panic, never a hang,
+//! never an accepted request. [`matrix_is_not_vacuous`] pins a
+//! case-count floor so CI fails if the suite ever degenerates.
+//!
+//! The final section drives the *live server* with the same hostile
+//! corpus over real TCP and asserts every connection ends in a 4xx
+//! response or a clean close — the wire-level contract, not just the
+//! parser's.
+
+use cape_net::http::{HttpLimits, HttpRequest, ParseError, RequestParser};
+use cape_net::registry::StoreRegistry;
+use cape_net::server::{NetConfig, Server};
+use cape_net::testclient::Client;
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Pinned floor for the deterministic matrix (splits + flips + hostile
+/// corpus). The valid corpus alone contributes ~2× its total byte
+/// length; dropping below the floor means the corpus collapsed or a
+/// matrix dimension went missing.
+const CASE_FLOOR: usize = 900;
+
+/// Valid requests of every supported shape. Each parses to exactly one
+/// request under default limits.
+fn valid_corpus() -> Vec<&'static [u8]> {
+    vec![
+        b"GET /healthz HTTP/1.1\r\n\r\n".as_slice(),
+        b"GET /metrics HTTP/1.1\r\nHost: cape\r\nAccept: application/json\r\n\r\n".as_slice(),
+        b"GET /v1/stores?verbose=1 HTTP/1.0\r\nConnection: keep-alive\r\n\r\n".as_slice(),
+        b"POST /v1/dblp/explain HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}".as_slice(),
+        b"POST /v1/dblp/batch-explain HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: 18\r\n\r\n{\"questions\":[{}]}"
+            .as_slice(),
+        b"POST /admin/stores/dblp/swap HTTP/1.1\r\nContent-Length: 0\r\n\r\n".as_slice(),
+        b"DELETE /v1/dblp/explain HTTP/1.1\r\nX-Empty:\r\nX-Ows:  padded \t\r\n\r\n".as_slice(),
+    ]
+}
+
+/// Hostile inputs and why each must be rejected. Every entry must yield
+/// a `ParseError` with status 400 or 413 under default limits.
+fn hostile_corpus() -> Vec<(&'static str, Vec<u8>)> {
+    let mut corpus: Vec<(&'static str, Vec<u8>)> = vec![
+        // --- request-line shape ---
+        ("empty method", b"  / HTTP/1.1\r\n\r\n".to_vec()),
+        ("missing version", b"GET /\r\n\r\n".to_vec()),
+        ("extra token", b"GET / HTTP/1.1 extra\r\n\r\n".to_vec()),
+        ("unsupported version", b"GET / HTTP/2.0\r\n\r\n".to_vec()),
+        ("version typo", b"GET / HTPT/1.1\r\n\r\n".to_vec()),
+        ("method with separator", b"GE\x54{} / HTTP/1.1\r\n\r\n".to_vec()),
+        ("non-origin-form target", b"GET example.com HTTP/1.1\r\n\r\n".to_vec()),
+        ("absolute-uri target", b"GET http://x/ HTTP/1.1\r\n\r\n".to_vec()),
+        // --- NUL / CRLF injection in paths ---
+        ("NUL in path", b"GET /a\x00b HTTP/1.1\r\n\r\n".to_vec()),
+        ("encoded-free CR in path", b"GET /a\rSet-Cookie:x HTTP/1.1\r\n\r\n".to_vec()),
+        ("bare-LF request line", b"GET / HTTP/1.1\nHost: x\r\n\r\n".to_vec()),
+        ("DEL in path", b"GET /a\x7fb HTTP/1.1\r\n\r\n".to_vec()),
+        ("tab in path", b"GET /a\tb HTTP/1.1\r\n\r\n".to_vec()),
+        // --- header shape ---
+        ("header without colon", b"GET / HTTP/1.1\r\nBogus header\r\n\r\n".to_vec()),
+        ("empty header name", b"GET / HTTP/1.1\r\n: value\r\n\r\n".to_vec()),
+        ("space in header name", b"GET / HTTP/1.1\r\nBad Name: v\r\n\r\n".to_vec()),
+        ("NUL in header value", b"GET / HTTP/1.1\r\nX: a\x00b\r\n\r\n".to_vec()),
+        ("non-utf8 header", b"GET / HTTP/1.1\r\nX: \xff\xfe\r\n\r\n".to_vec()),
+        // --- framing ---
+        (
+            "chunked transfer encoding",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n"
+                .to_vec(),
+        ),
+        (
+            "bad chunked encoding",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nZZ\r\ngarbage".to_vec(),
+        ),
+        ("gzip transfer encoding", b"POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n".to_vec()),
+        ("negative content length", b"POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n".to_vec()),
+        ("non-numeric content length", b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n".to_vec()),
+        (
+            "duplicate content length",
+            b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\nab".to_vec(),
+        ),
+        (
+            "overflowing content length",
+            b"POST /x HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n".to_vec(),
+        ),
+        // --- size-limit abuse (413 for the body, 400 for framing) ---
+        (
+            "oversized declared body",
+            b"POST /x HTTP/1.1\r\nContent-Length: 10000000\r\n\r\n".to_vec(),
+        ),
+        // --- pipelined garbage ---
+        ("garbage after valid request", {
+            let mut v = b"GET / HTTP/1.1\r\n\r\n".to_vec();
+            v.extend_from_slice(b"\x16\x03\x01\x02\x00garbage that is not HTTP at all\r\n\r\n");
+            v
+        }),
+        ("TLS handshake bytes", b"\x16\x03\x01\x02\x00\x01\x00\x01\xfc\x03\x03".to_vec()),
+        ("shell injection attempt", b"GET /$(rm%20-rf) HTTP/1.1\r\nX: `id`\x00\r\n\r\n".to_vec()),
+    ];
+    // Oversized request line: a path longer than max_request_line.
+    let mut long_path = b"GET /".to_vec();
+    long_path.extend(std::iter::repeat_n(b'a', 10 * 1024));
+    long_path.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    corpus.push(("oversized request line", long_path));
+    // Oversized single header value.
+    let mut big_header = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+    big_header.extend(std::iter::repeat_n(b'v', 20 * 1024));
+    big_header.extend_from_slice(b"\r\n\r\n");
+    corpus.push(("oversized header value", big_header));
+    // Too many headers.
+    let mut many = b"GET / HTTP/1.1\r\n".to_vec();
+    for i in 0..200 {
+        many.extend_from_slice(format!("X-{i}: v\r\n").as_bytes());
+    }
+    many.extend_from_slice(b"\r\n");
+    corpus.push(("too many headers", many));
+    // A header torrent with no newline at all (slowloris-style).
+    let mut torrent = b"GET / HTTP/1.1\r\nX: ".to_vec();
+    torrent.extend(std::iter::repeat_n(b'a', 32 * 1024));
+    corpus.push(("unterminated header torrent", torrent));
+    corpus
+}
+
+fn parse_one_shot(input: &[u8]) -> Result<Vec<HttpRequest>, ParseError> {
+    let mut parser = RequestParser::new(HttpLimits::default());
+    parser.push(input);
+    let mut out = Vec::new();
+    loop {
+        match parser.poll()? {
+            Some(req) => out.push(req),
+            None => return Ok(out),
+        }
+    }
+}
+
+fn assert_same_requests(a: &[HttpRequest], b: &[HttpRequest]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.method, y.method);
+        assert_eq!(x.target, y.target);
+        assert_eq!(x.version, y.version);
+        assert_eq!(x.headers, y.headers);
+        assert_eq!(x.body, y.body);
+    }
+}
+
+/// Every two-chunk split of every valid request parses identically to
+/// the one-shot parse. Returns the number of split cases exercised.
+fn exhaustive_split_cases() -> usize {
+    let mut cases = 0;
+    for input in valid_corpus() {
+        let expected = parse_one_shot(input).expect("corpus entry is valid");
+        assert_eq!(expected.len(), 1, "corpus entries are single requests");
+        for split in 1..input.len() {
+            let mut parser = RequestParser::new(HttpLimits::default());
+            let first = parser.feed(&input[..split]).expect("prefix of valid input");
+            let second = parser.feed(&input[split..]).expect("suffix of valid input");
+            let got: Vec<HttpRequest> = first.into_iter().chain(second).collect();
+            assert_same_requests(&got, &expected);
+            cases += 1;
+        }
+    }
+    cases
+}
+
+/// Byte-at-a-time feeding of every valid request. Counts one case per
+/// request byte (every boundary is a feed boundary).
+fn byte_at_a_time_cases() -> usize {
+    let mut cases = 0;
+    for input in valid_corpus() {
+        let expected = parse_one_shot(input).expect("corpus entry is valid");
+        let mut parser = RequestParser::new(HttpLimits::default());
+        let mut got = Vec::new();
+        for &byte in input {
+            if let Some(req) = parser.feed(&[byte]).expect("valid input") {
+                got.push(req);
+            }
+            cases += 1;
+        }
+        assert_same_requests(&got, &expected);
+    }
+    cases
+}
+
+/// Invert each byte of each valid request once; the parser must either
+/// reject with a typed 400/413 or parse some request — never panic.
+fn byte_flip_cases() -> usize {
+    let mut cases = 0;
+    for input in valid_corpus() {
+        for offset in 0..input.len() {
+            let mut mutated = input.to_vec();
+            mutated[offset] = !mutated[offset];
+            match parse_one_shot(&mutated) {
+                Ok(_) => {} // e.g. a flipped body byte is still a valid body
+                Err(e) => {
+                    assert!(
+                        e.status() == 400 || e.status() == 413,
+                        "flip at {offset}: {e} answered {}",
+                        e.status()
+                    );
+                }
+            }
+            cases += 1;
+        }
+    }
+    cases
+}
+
+fn hostile_cases() -> usize {
+    let corpus = hostile_corpus();
+    for (label, input) in &corpus {
+        // One-shot: must be rejected (possibly after a leading valid
+        // request for the pipelined-garbage entries). Inputs that are
+        // merely *incomplete* (e.g. bare TLS bytes) are completed with a
+        // CRLF-free flood, which must push them over a limit.
+        let mut parser = RequestParser::new(HttpLimits::default());
+        parser.push(input);
+        let err = loop {
+            match parser.poll() {
+                Ok(Some(_)) => continue, // leading valid request is fine
+                Ok(None) => {
+                    break parser
+                        .feed(&vec![b'a'; 64 * 1024])
+                        .expect_err(&format!("{label}: survived the completion flood"))
+                }
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            err.status() == 400 || err.status() == 413,
+            "{label}: {err} answered {}",
+            err.status()
+        );
+        // Byte-at-a-time: same terminal error status, and the parser
+        // refuses to resurrect afterwards.
+        let mut parser = RequestParser::new(HttpLimits::default());
+        let mut terminal = None;
+        for &byte in input.iter() {
+            match parser.feed(&[byte]) {
+                Ok(_) => {}
+                Err(e) => {
+                    terminal = Some(e);
+                    break;
+                }
+            }
+        }
+        // Slow feeding may leave the parser waiting for more bytes on
+        // truncated inputs; completing with a flood must still error.
+        let err2 = match terminal {
+            Some(e) => e,
+            None => parser
+                .feed(&vec![b'a'; 64 * 1024])
+                .expect_err(&format!("{label}: survived the completion flood")),
+        };
+        assert_eq!(err.status(), err2.status(), "{label}: split-dependent status");
+        assert!(parser.feed(b"GET / HTTP/1.1\r\n\r\n").is_err(), "{label}: parser resurrected");
+    }
+    corpus.len() * 2
+}
+
+#[test]
+fn split_feeding_matches_one_shot() {
+    assert!(exhaustive_split_cases() > 0);
+}
+
+#[test]
+fn byte_at_a_time_matches_one_shot() {
+    assert!(byte_at_a_time_cases() > 0);
+}
+
+#[test]
+fn mutated_requests_never_panic() {
+    assert!(byte_flip_cases() > 0);
+}
+
+#[test]
+fn hostile_corpus_is_rejected() {
+    assert!(hostile_cases() > 0);
+}
+
+/// The deterministic matrix, counted against the pinned floor.
+#[test]
+fn matrix_is_not_vacuous() {
+    let total =
+        exhaustive_split_cases() + byte_at_a_time_cases() + byte_flip_cases() + hostile_cases();
+    assert!(total >= CASE_FLOOR, "torture matrix shrank to {total} cases (floor {CASE_FLOOR})");
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the parser and never yield anything
+    /// other than a parsed request, a request for more input, or a typed
+    /// 400/413 — whether fed whole or at random chunk boundaries.
+    #[test]
+    fn random_bytes_never_panic(
+        bytes in collection::vec((0u16..256).prop_map(|b| b as u8), 0..512),
+        chunk in 1usize..17,
+    ) {
+        let mut parser = RequestParser::new(HttpLimits::default());
+        let mut failed = false;
+        for piece in bytes.chunks(chunk) {
+            match parser.feed(piece) {
+                Ok(_) => {}
+                Err(e) => {
+                    prop_assert!(e.status() == 400 || e.status() == 413);
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if !failed {
+            // Drain any pipelined completions; still must not panic.
+            while let Ok(Some(_)) = parser.poll() {}
+        }
+    }
+
+    /// Random chunkings of a pipelined pair of valid requests always
+    /// reassemble into the same two requests.
+    #[test]
+    fn random_chunking_preserves_pipelining(
+        seed in 0usize..7,
+        cuts in collection::vec(1usize..120, 1..8),
+    ) {
+        let corpus = valid_corpus();
+        let a = corpus[seed % corpus.len()];
+        let b = corpus[(seed + 3) % corpus.len()];
+        let mut wire = a.to_vec();
+        wire.extend_from_slice(b);
+        let expected = parse_one_shot(&wire).unwrap();
+        prop_assert_eq!(expected.len(), 2);
+
+        let mut parser = RequestParser::new(HttpLimits::default());
+        let mut got = Vec::new();
+        let mut rest: &[u8] = &wire;
+        for cut in cuts {
+            let take = cut.min(rest.len());
+            let (piece, tail) = rest.split_at(take);
+            rest = tail;
+            if let Some(req) = parser.feed(piece).unwrap() {
+                got.push(req);
+            }
+        }
+        if let Some(req) = parser.feed(rest).unwrap() {
+            got.push(req);
+        }
+        while let Some(req) = parser.poll().unwrap() {
+            got.push(req);
+        }
+        assert_same_requests(&got, &expected);
+    }
+}
+
+/// The wire-level contract: the live server answers every hostile input
+/// with a 4xx and/or closes cleanly — no hang, no panic, no 5xx.
+#[test]
+fn live_server_survives_hostile_corpus() {
+    let registry = Arc::new(StoreRegistry::new());
+    let server =
+        Server::bind("127.0.0.1:0", registry, NetConfig::default()).expect("bind ephemeral");
+    let addr = server.local_addr();
+
+    for (label, input) in hostile_corpus() {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        // The server may close mid-write on early rejection; a broken
+        // pipe here is a *clean* outcome, not a failure. Half-closing the
+        // write side lets merely-incomplete inputs end in EOF instead of
+        // a server that is (correctly) still waiting for bytes.
+        let _ = stream.write_all(&input);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut response = Vec::new();
+        let _ = stream.read_to_end(&mut response);
+        if response.is_empty() {
+            continue; // clean close without a response: acceptable
+        }
+        let text = String::from_utf8_lossy(&response);
+        let status: u16 = text
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("{label}: unparsable response {text:?}"));
+        assert!((400..500).contains(&status), "{label}: expected 4xx or clean close, got {status}");
+    }
+
+    // The server is still healthy afterwards.
+    let mut client = Client::connect(addr).expect("connect after torture");
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+}

@@ -1,0 +1,214 @@
+//! Load-shedding and deadline degradation (ISSUE 7, satellite 4).
+//!
+//! * With admission capacity filled by slow requests, the overflow
+//!   request is answered 429 + `Retry-After` immediately — it is never
+//!   enqueued on the worker pool (`serve.requests` does not move).
+//! * A request whose deadline expires degrades to the partial-top-k
+//!   path: HTTP 200 with `partial: true`, not an error.
+//! * After the burst drains, `serve.queue_depth` and
+//!   `serve.net.inflight` read 0 from `/metrics`.
+//! * Over-cap *connections* (as opposed to requests) get 503 and a
+//!   closed socket.
+
+use cape_core::config::{MiningConfig, Thresholds};
+use cape_core::mining::{ArpMiner, Miner};
+use cape_data::ops::aggregate;
+use cape_data::{AggFunc, AggSpec, Relation, Value};
+use cape_datagen::dblp::{attrs, generate, DblpConfig};
+use cape_net::registry::StoreRegistry;
+use cape_net::server::{NetConfig, Server};
+use cape_net::testclient::{explain_body, Client};
+use cape_obs::{Json, Recorder};
+use cape_serve::{PatternStoreHandle, ServeConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn mined_relation() -> (Relation, PatternStoreHandle) {
+    let rel = generate(&DblpConfig::with_rows(2000));
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.15, 4, 0.3, 3),
+        psi: 3,
+        exclude: vec![attrs::PUBID],
+        ..MiningConfig::default()
+    };
+    let store = ArpMiner.mine(&rel, &cfg).expect("mining").store;
+    assert!(!store.is_empty());
+    (rel.clone(), PatternStoreHandle::new(rel, store))
+}
+
+fn question_body(rel: &Relation, sleep_ms: Option<f64>, deadline_ms: Option<f64>) -> Json {
+    let group = [attrs::AUTHOR, attrs::YEAR, attrs::VENUE];
+    let result = aggregate(rel, &group, &[AggSpec { func: AggFunc::Count, attr: None }])
+        .expect("count query")
+        .relation;
+    let cols: Vec<usize> = (0..group.len()).collect();
+    let best = (0..result.num_rows())
+        .max_by(|&a, &b| {
+            result
+                .value(a, group.len())
+                .as_f64()
+                .unwrap_or(0.0)
+                .total_cmp(&result.value(b, group.len()).as_f64().unwrap_or(0.0))
+        })
+        .expect("rows");
+    let tuple: Vec<Json> = result
+        .row_project(best, &cols)
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => Json::Str(s.to_string()),
+            Value::Int(n) => Json::Num(*n as f64),
+            other => panic!("unexpected group value {other:?}"),
+        })
+        .collect();
+    let mut body = explain_body(
+        "SELECT author, year, venue, count(*) FROM dblp GROUP BY author, year, venue",
+        &tuple,
+        "low",
+        Some(5),
+        deadline_ms,
+    );
+    if let (Json::Obj(fields), Some(ms)) = (&mut body, sleep_ms) {
+        fields.push(("sleep_ms".into(), Json::Num(ms)));
+    }
+    body
+}
+
+fn counter(snapshot: &Json, name: &str) -> u64 {
+    snapshot.get("counters").and_then(|c| c.get(name)).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn gauge(snapshot: &Json, name: &str) -> Option<f64> {
+    snapshot.get("gauges").and_then(|g| g.get(name)).and_then(Json::as_f64)
+}
+
+#[test]
+fn overflow_is_shed_without_queueing_and_queue_drains() {
+    let rec = Recorder::new();
+    let _guard = rec.install();
+
+    let (rel, handle) = mined_relation();
+    let registry = Arc::new(StoreRegistry::new());
+    registry.register("dblp", handle, ServeConfig::with_threads(1));
+    let cfg = NetConfig {
+        admission_capacity: 2,
+        allow_sleep: true,
+        metrics: Some(rec.clone()),
+        ..NetConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&registry), cfg).expect("bind");
+    let addr = server.local_addr();
+
+    // Warm up: one normal request end-to-end, and record the service
+    // request counter before the burst.
+    let mut probe = Client::connect(addr).expect("connect");
+    let warm = probe.post_json("/v1/dblp/explain", &question_body(&rel, None, None)).unwrap();
+    assert_eq!(warm.status, 200);
+    let served_before = counter(&rec.snapshot().to_json(), "serve.requests");
+
+    // Two sleepers fill the admission capacity; the sleep happens while
+    // holding the permit, *before* the worker queue is touched.
+    let sleepers: Vec<_> = (0..2)
+        .map(|_| {
+            let body = question_body(&rel, Some(700.0), None);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect sleeper");
+                let resp = c.post_json("/v1/dblp/explain", &body).expect("sleeper explain");
+                assert_eq!(resp.status, 200, "sleepers eventually succeed");
+            })
+        })
+        .collect();
+
+    // Give the sleepers time to acquire both permits.
+    std::thread::sleep(Duration::from_millis(250));
+
+    // Overflow request: shed immediately with 429 + Retry-After, long
+    // before the sleepers release their permits.
+    let t0 = Instant::now();
+    let shed = probe.post_json("/v1/dblp/explain", &question_body(&rel, None, None)).unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(shed.status, 429, "{}", String::from_utf8_lossy(&shed.body));
+    assert_eq!(shed.header("retry-after"), Some("1"));
+    let err = shed.json().expect("valid JSON");
+    assert_eq!(
+        err.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("overloaded")
+    );
+    assert!(
+        elapsed < Duration::from_millis(300),
+        "shed response must not wait behind the sleepers (took {elapsed:?})"
+    );
+
+    // The shed request never reached the worker pool.
+    let snap = rec.snapshot().to_json();
+    assert_eq!(
+        counter(&snap, "serve.requests"),
+        served_before,
+        "overflow request must not be enqueued"
+    );
+    assert!(counter(&snap, "net.admission.shed") >= 1);
+    assert!(counter(&snap, "net.http.429") >= 1);
+
+    for s in sleepers {
+        s.join().expect("sleeper thread");
+    }
+
+    // After the burst drains, both depth gauges read zero from /metrics.
+    let metrics = probe.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let snap = metrics.json().expect("valid JSON");
+    assert_eq!(gauge(&snap, "serve.queue_depth"), Some(0.0), "queue drained");
+    assert_eq!(gauge(&snap, "serve.net.inflight"), Some(0.0), "no inflight requests");
+    // And normal service resumed.
+    let after = probe.post_json("/v1/dblp/explain", &question_body(&rel, None, None)).unwrap();
+    assert_eq!(after.status, 200);
+}
+
+#[test]
+fn deadline_exceeded_degrades_to_partial_top_k() {
+    let (rel, handle) = mined_relation();
+    let registry = Arc::new(StoreRegistry::new());
+    registry.register("dblp", handle, ServeConfig::with_threads(1));
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&registry), NetConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Zero deadline: already expired on arrival — the service returns
+    // a valid partial answer, never an error.
+    let resp = client.post_json("/v1/dblp/explain", &question_body(&rel, None, Some(0.0))).unwrap();
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let json = resp.json().expect("valid JSON");
+    assert_eq!(json.get("partial").and_then(Json::as_bool), Some(true));
+    assert!(json.get("explanations").and_then(Json::as_arr).is_some());
+    assert!(json.get("stats").is_some());
+
+    // Generous deadline on the same connection: complete answer.
+    let resp =
+        client.post_json("/v1/dblp/explain", &question_body(&rel, None, Some(30_000.0))).unwrap();
+    assert_eq!(resp.status, 200);
+    let json = resp.json().expect("valid JSON");
+    assert_eq!(json.get("partial").and_then(Json::as_bool), Some(false));
+    assert!(!json.get("explanations").and_then(Json::as_arr).unwrap_or(&[]).is_empty());
+}
+
+#[test]
+fn over_cap_connections_get_503() {
+    let (_rel, handle) = mined_relation();
+    let registry = Arc::new(StoreRegistry::new());
+    registry.register("dblp", handle, ServeConfig::with_threads(1));
+    let cfg = NetConfig { max_connections: 1, ..NetConfig::default() };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&registry), cfg).expect("bind");
+    let addr = server.local_addr();
+
+    // First connection occupies the only slot (proved live by a request).
+    let mut first = Client::connect(addr).expect("connect first");
+    assert_eq!(first.get("/healthz").unwrap().status, 200);
+
+    // Second connection is refused at accept time with 503 + close.
+    let mut second = Client::connect(addr).expect("connect second");
+    let resp = second.get("/healthz").expect("over-cap response");
+    assert_eq!(resp.status, 503);
+    assert!(resp.header("retry-after").is_some());
+
+    // The first connection keeps working.
+    assert_eq!(first.get("/healthz").unwrap().status, 200);
+}

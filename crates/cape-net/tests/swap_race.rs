@@ -1,0 +1,258 @@
+//! Hot-swap under live traffic (ISSUE 7, satellite 3).
+//!
+//! Client threads hammer `/v1/{store}/explain` while a control thread
+//! swaps the backing snapshot in a loop. Invariants:
+//!
+//! 1. zero 5xx responses — a swap never makes a request fail;
+//! 2. every answer is internally consistent with exactly ONE snapshot
+//!    version: the `generation` stamped in the response selects which
+//!    reference answer set the explanations must match (to 1e-9);
+//! 3. the registry's swap counter matches the number of swap requests.
+//!
+//! Two snapshots with *different* mining configs back the swaps, so the
+//! two reference answer sets genuinely differ — a torn read (pattern
+//! store from one epoch, generation stamp from another) cannot match
+//! either set and fails loudly.
+
+use cape_core::config::{MiningConfig, Thresholds};
+use cape_core::mining::{ArpMiner, Miner};
+use cape_core::question::{Direction, UserQuestion};
+use cape_core::snapshot::save_snapshot;
+use cape_core::PatternStore;
+use cape_data::ops::aggregate;
+use cape_data::{AggFunc, AggSpec, Relation, Value};
+use cape_datagen::dblp::{attrs, generate, DblpConfig};
+use cape_net::registry::StoreRegistry;
+use cape_net::server::{NetConfig, Server};
+use cape_net::testclient::{explain_body, Client};
+use cape_obs::Json;
+use cape_serve::{ExplainRequest, ExplainService, PatternStoreHandle, ServeConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const TOP_K: usize = 6;
+const SWAPS: usize = 10;
+const SCORE_TOL: f64 = 1e-9;
+
+fn tmpdir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cape-swap-race-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+fn mine_with(rel: &Relation, thresholds: Thresholds, psi: usize) -> (MiningConfig, PatternStore) {
+    let cfg =
+        MiningConfig { thresholds, psi, exclude: vec![attrs::PUBID], ..MiningConfig::default() };
+    let store = ArpMiner.mine(rel, &cfg).expect("mining").store;
+    assert!(!store.is_empty(), "mining found no patterns");
+    (cfg, store)
+}
+
+/// The most populous group in the count query — a question every
+/// snapshot can answer.
+fn pick_question(rel: &Relation) -> UserQuestion {
+    let group = [attrs::AUTHOR, attrs::YEAR, attrs::VENUE];
+    let result = aggregate(rel, &group, &[AggSpec { func: AggFunc::Count, attr: None }])
+        .expect("count query")
+        .relation;
+    let agg_col = group.len();
+    let best = (0..result.num_rows())
+        .max_by(|&a, &b| {
+            let ca = result.value(a, agg_col).as_f64().unwrap_or(0.0);
+            let cb = result.value(b, agg_col).as_f64().unwrap_or(0.0);
+            ca.total_cmp(&cb)
+        })
+        .expect("non-empty result");
+    let cols: Vec<usize> = (0..group.len()).collect();
+    let tuple = result.row_project(best, &cols);
+    let agg_value = result.value(best, agg_col).as_f64().unwrap_or(0.0);
+    UserQuestion::new(group.to_vec(), AggFunc::Count, None, tuple, agg_value, Direction::Low)
+}
+
+/// Reference answers for one snapshot, as (score, tuple-json) pairs.
+fn reference_answers(rel: &Relation, store: &PatternStore, q: &UserQuestion) -> Vec<(f64, Json)> {
+    let handle = PatternStoreHandle::new(rel.clone(), store.clone());
+    let service = ExplainService::start(handle, ServeConfig::with_threads(1));
+    let resp = service.submit(ExplainRequest::new(q.clone(), TOP_K)).recv().expect("reply");
+    resp.explanations
+        .iter()
+        .map(|e| {
+            let tuple: Vec<Json> = e
+                .tuple
+                .iter()
+                .map(|v| match v {
+                    Value::Null => Json::Null,
+                    Value::Int(n) => Json::Num(*n as f64),
+                    Value::Float(f) => Json::Num(*f),
+                    Value::Str(s) => Json::Str(s.to_string()),
+                })
+                .collect();
+            (e.score, Json::Arr(tuple))
+        })
+        .collect()
+}
+
+fn matches_reference(answer: &Json, reference: &[(f64, Json)]) -> bool {
+    let Some(wire) = answer.get("explanations").and_then(Json::as_arr) else {
+        return false;
+    };
+    if wire.len() != reference.len() {
+        return false;
+    }
+    wire.iter().zip(reference).all(|(got, (score, tuple))| {
+        let s = got.get("score").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let t = got.get("tuple").cloned().unwrap_or(Json::Null);
+        (s - score).abs() < SCORE_TOL && &t == tuple
+    })
+}
+
+fn run_race(n_clients: usize, label: &str) {
+    let rel = generate(&DblpConfig::with_rows(3000));
+    let question = pick_question(&rel);
+
+    // Snapshot A (generation odd) and B (generation even) use different
+    // mining configs so their answer sets differ.
+    let (cfg_a, store_a) = mine_with(&rel, Thresholds::new(0.15, 4, 0.3, 3), 3);
+    let (cfg_b, store_b) = mine_with(&rel, Thresholds::new(0.1, 3, 0.25, 2), 2);
+    let ref_a = reference_answers(&rel, &store_a, &question);
+    let ref_b = reference_answers(&rel, &store_b, &question);
+    assert!(
+        !ref_a.is_empty() && ref_a != ref_b,
+        "reference answer sets must differ for the consistency check to bite \
+         (a={} answers, b={} answers)",
+        ref_a.len(),
+        ref_b.len()
+    );
+
+    let dir = tmpdir(label);
+    let path_a = dir.join("a.cape");
+    let path_b = dir.join("b.cape");
+    save_snapshot(&path_a, rel.schema(), &cfg_a, &store_a).expect("save a");
+    save_snapshot(&path_b, rel.schema(), &cfg_b, &store_b).expect("save b");
+
+    let registry = Arc::new(StoreRegistry::new());
+    registry.register(
+        "dblp",
+        PatternStoreHandle::new(rel.clone(), store_a.clone()),
+        ServeConfig::with_threads(2),
+    );
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&registry), NetConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let sql = "SELECT author, year, venue, count(*) FROM dblp GROUP BY author, year, venue";
+    let tuple: Vec<Json> = question
+        .tuple
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => Json::Str(s.to_string()),
+            Value::Int(n) => Json::Num(*n as f64),
+            other => panic!("unexpected group value {other:?}"),
+        })
+        .collect();
+    let body = explain_body(sql, &tuple, "low", Some(TOP_K), None);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..n_clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let body = body.clone();
+            let ref_a = ref_a.clone();
+            let ref_b = ref_b.clone();
+            std::thread::spawn(move || -> (usize, Vec<String>) {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut ok = 0usize;
+                let mut violations = Vec::new();
+                let mut last_generation = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let resp = client.post_json("/v1/dblp/explain", &body).expect("explain");
+                    if resp.status >= 500 {
+                        violations.push(format!(
+                            "client {c}: got {} — {}",
+                            resp.status,
+                            String::from_utf8_lossy(&resp.body)
+                        ));
+                        continue;
+                    }
+                    assert_eq!(resp.status, 200, "client {c}");
+                    let json = resp.json().expect("valid JSON");
+                    let generation =
+                        json.get("generation").and_then(Json::as_u64).expect("generation stamp");
+                    if generation < last_generation {
+                        violations.push(format!(
+                            "client {c}: generation went backwards {last_generation} -> {generation}"
+                        ));
+                    }
+                    last_generation = generation;
+                    // Odd generations serve snapshot A, even serve B.
+                    let expected = if generation % 2 == 1 { &ref_a } else { &ref_b };
+                    let other = if generation % 2 == 1 { &ref_b } else { &ref_a };
+                    if !matches_reference(&json, expected) {
+                        let which = if matches_reference(&json, other) {
+                            "matches the OTHER snapshot (torn generation stamp)"
+                        } else {
+                            "matches NEITHER snapshot (torn answer)"
+                        };
+                        violations.push(format!(
+                            "client {c}: generation {generation} answer {which}"
+                        ));
+                    }
+                    ok += 1;
+                }
+                (ok, violations)
+            })
+        })
+        .collect();
+
+    // Control thread: alternate B, A, B, A... so generation 2 serves B,
+    // 3 serves A, keeping the odd/even mapping above true.
+    let mut control = Client::connect(addr).expect("connect control");
+    let mut swap_generations = Vec::new();
+    for i in 0..SWAPS {
+        let path = if i % 2 == 0 { &path_b } else { &path_a };
+        let swap_body = Json::Obj(vec![("path".into(), Json::Str(path.display().to_string()))]);
+        let resp = control.post_json("/admin/stores/dblp/swap", &swap_body).expect("swap request");
+        assert_eq!(resp.status, 200, "swap {i}: {}", String::from_utf8_lossy(&resp.body));
+        let json = resp.json().expect("valid JSON");
+        swap_generations.push(json.get("generation").and_then(Json::as_u64).expect("generation"));
+        // Let traffic land on the new epoch before the next swap.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+    }
+    stop.store(true, Ordering::SeqCst);
+
+    let mut total_ok = 0usize;
+    let mut violations = Vec::new();
+    for handle in clients {
+        let (ok, v) = handle.join().expect("client thread");
+        total_ok += ok;
+        violations.extend(v);
+    }
+    assert!(violations.is_empty(), "consistency violations:\n{}", violations.join("\n"));
+    assert!(total_ok > 0, "no requests completed — race test is vacuous");
+    assert_eq!(
+        swap_generations,
+        (2..2 + SWAPS as u64).collect::<Vec<_>>(),
+        "each swap bumps the generation by exactly one"
+    );
+
+    // Registry bookkeeping: swap counter matches, final generation too.
+    let listing = control.get("/v1/stores").expect("stores").json().expect("valid JSON");
+    let entry = listing.get("stores").and_then(Json::as_arr).expect("stores")[0].clone();
+    assert_eq!(entry.get("swaps").and_then(Json::as_u64), Some(SWAPS as u64));
+    assert_eq!(entry.get("generation").and_then(Json::as_u64), Some(1 + SWAPS as u64));
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn swap_under_single_client() {
+    run_race(1, "single");
+}
+
+#[test]
+fn swap_under_concurrent_clients() {
+    run_race(4, "multi");
+}

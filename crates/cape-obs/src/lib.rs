@@ -83,6 +83,13 @@ fn installed() -> Vec<Recorder> {
     TLS.with(|t| t.borrow().recorders.clone())
 }
 
+/// The innermost recorder installed on the current thread, if any —
+/// for handing to a subsystem that wants to *read* the same telemetry
+/// this thread is writing (e.g. a server's `/metrics` endpoint).
+pub fn current_recorder() -> Option<Recorder> {
+    TLS.with(|t| t.borrow().recorders.last().cloned())
+}
+
 fn any_installed() -> bool {
     TLS.with(|t| !t.borrow().recorders.is_empty())
 }

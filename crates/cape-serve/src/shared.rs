@@ -55,6 +55,20 @@ impl PatternStoreHandle {
         &self.relation
     }
 
+    /// The relation's shared ownership handle. Network front-ends clone
+    /// this so a hot-swapped store can keep serving in-flight requests
+    /// against the same relation without copying it.
+    pub fn relation_arc(&self) -> Arc<Relation> {
+        Arc::clone(&self.relation)
+    }
+
+    /// The store's shared ownership handle (see [`relation_arc`]).
+    ///
+    /// [`relation_arc`]: PatternStoreHandle::relation_arc
+    pub fn store_arc(&self) -> Arc<PatternStore> {
+        Arc::clone(&self.store)
+    }
+
     /// The mined pattern store.
     pub fn store(&self) -> &PatternStore {
         &self.store
