@@ -147,11 +147,18 @@ impl HttpRequest {
     }
 
     /// Whether the connection should stay open after this request.
+    ///
+    /// `Connection` is a comma-separated token list (`close, te`), so the
+    /// check is per-token, not whole-value.
     pub fn keep_alive(&self) -> bool {
-        let conn = self.header("connection").map(str::to_ascii_lowercase);
+        let has_token = |token: &str| {
+            self.header("connection").is_some_and(|v| {
+                v.split(',').any(|t| t.trim().eq_ignore_ascii_case(token))
+            })
+        };
         match self.version {
-            HttpVersion::V11 => conn.as_deref() != Some("close"),
-            HttpVersion::V10 => conn.as_deref() == Some("keep-alive"),
+            HttpVersion::V11 => !has_token("close"),
+            HttpVersion::V10 => has_token("keep-alive"),
         }
     }
 }
@@ -491,6 +498,18 @@ mod tests {
         assert!(reqs[0].keep_alive());
         let reqs = parse_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
         assert!(!reqs[0].keep_alive());
+    }
+
+    #[test]
+    fn connection_header_is_a_token_list() {
+        let reqs = parse_all(b"GET / HTTP/1.1\r\nConnection: close, te\r\n\r\n").unwrap();
+        assert!(!reqs[0].keep_alive(), "`close` in a list must still close");
+        let reqs = parse_all(b"GET / HTTP/1.1\r\nConnection: te, CLOSE\r\n\r\n").unwrap();
+        assert!(!reqs[0].keep_alive(), "token match is case-insensitive");
+        let reqs = parse_all(b"GET / HTTP/1.0\r\nConnection: keep-alive, te\r\n\r\n").unwrap();
+        assert!(reqs[0].keep_alive());
+        let reqs = parse_all(b"GET / HTTP/1.1\r\nConnection: closed\r\n\r\n").unwrap();
+        assert!(reqs[0].keep_alive(), "`closed` is not the `close` token");
     }
 
     #[test]

@@ -102,7 +102,12 @@ fn optional_ms(obj: &Json, key: &str) -> Result<Option<Duration>, ApiError> {
             let ms = v.as_f64().filter(|m| m.is_finite() && *m >= 0.0).ok_or_else(|| {
                 ApiError::bad_request(format!("field `{key}` must be a non-negative number"))
             })?;
-            Ok(Some(Duration::from_secs_f64(ms / 1000.0)))
+            // `from_secs_f64` panics past Duration::MAX (~5.8e11 secs); a
+            // request body must never be able to unwind the connection
+            // thread, so overflow is the caller's 400.
+            Duration::try_from_secs_f64(ms / 1000.0).map(Some).map_err(|_| {
+                ApiError::bad_request(format!("field `{key}` is too large for a duration"))
+            })
         }
     }
 }
@@ -313,6 +318,21 @@ mod tests {
             fields.push(("k".into(), Json::Num(0.0)));
         }
         assert_eq!(parse_explain_body(&obj, &rel).unwrap_err().kind, "bad_request");
+    }
+
+    #[test]
+    fn huge_deadline_is_a_400_not_a_panic() {
+        let rel = relation();
+        // 1e300 ms overflows Duration; must surface as the caller's error.
+        for ms in [1e300, f64::MAX] {
+            let mut obj = body(SQL, r#"["a0", 2001, "KDD"]"#, "high");
+            if let Json::Obj(fields) = &mut obj {
+                fields.push(("deadline_ms".into(), Json::Num(ms)));
+            }
+            let err = parse_explain_body(&obj, &rel).unwrap_err();
+            assert_eq!(err.kind, "bad_request");
+            assert_eq!(err.status, 400);
+        }
     }
 
     #[test]

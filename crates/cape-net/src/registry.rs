@@ -50,7 +50,6 @@ pub struct StoreSlot {
     relation: Arc<Relation>,
     serve_cfg: ServeConfig,
     epoch: RwLock<Arc<StoreEpoch>>,
-    generations: AtomicU64,
     swaps: AtomicU64,
 }
 
@@ -64,7 +63,6 @@ impl StoreSlot {
             relation,
             serve_cfg,
             epoch: RwLock::new(epoch),
-            generations: AtomicU64::new(1),
             swaps: AtomicU64::new(0),
         }
     }
@@ -106,11 +104,16 @@ impl StoreSlot {
         let handle =
             PatternStoreHandle::from_arcs(Arc::clone(&self.relation), Arc::new(contents.store));
         let service = ExplainService::start(handle.clone(), self.serve_cfg.clone());
-        let generation = self.generations.fetch_add(1, Ordering::SeqCst) + 1;
-        let next = Arc::new(StoreEpoch { generation, handle, service });
-        let previous = {
+        // The generation is allocated *inside* the critical section so
+        // assignment and installation are atomic: two concurrent swaps
+        // can never install epochs out of generation order (an earlier
+        // loader overwriting a later one would make observed generations
+        // go backwards).
+        let (generation, previous) = {
             let mut slot = self.epoch.write().expect("epoch lock");
-            std::mem::replace(&mut *slot, next)
+            let generation = slot.generation + 1;
+            let next = Arc::new(StoreEpoch { generation, handle, service });
+            (generation, std::mem::replace(&mut *slot, next))
         };
         self.swaps.fetch_add(1, Ordering::SeqCst);
         cape_obs::counter_add("net.store.swaps", 1);

@@ -153,6 +153,17 @@ impl std::fmt::Debug for Server {
     }
 }
 
+/// Decrements the connection counter when dropped, so the slot is
+/// released even if the connection thread unwinds from a panic — a
+/// leaked slot would otherwise count against `max_connections` forever.
+struct ConnSlotGuard(Arc<ServerShared>);
+
+impl Drop for ConnSlotGuard {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<ServerShared>,
@@ -178,9 +189,9 @@ fn accept_loop(
         let conn_shared = Arc::clone(shared);
         let obs_ctx = cape_obs::ThreadContext::capture();
         let handle = std::thread::spawn(move || {
+            let _slot = ConnSlotGuard(Arc::clone(&conn_shared));
             let _obs = obs_ctx.attach();
             connection_loop(stream, &conn_shared);
-            conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
         });
         let mut threads = conn_threads.lock().expect("conn threads");
         // Reap finished threads opportunistically so a long-lived server
@@ -314,7 +325,13 @@ fn handle_request(request: &HttpRequest, shared: &Arc<ServerShared>) -> HttpResp
                 }
             }
         }
-        (_, path) if v1_route(path).is_some() || path == "/healthz" || path == "/metrics" => {
+        (_, path)
+            if v1_route(path).is_some()
+                || swap_route(path).is_some()
+                || path == "/v1/stores"
+                || path == "/healthz"
+                || path == "/metrics" =>
+        {
             error_response(405, "method_not_allowed", "wrong method for this route", None)
         }
         (_, path) => {

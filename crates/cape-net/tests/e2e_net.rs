@@ -321,7 +321,33 @@ fn wire_error_payloads() {
         "error payload carries a trace id"
     );
 
-    // Wrong method on a known route → 405.
+    // An absurd deadline_ms must be the caller's 400, never a server
+    // panic (a panicking connection thread would leak its slot).
+    let mut huge = explain_body(&ds.sql, &tuple, "low", None, None);
+    if let Json::Obj(fields) = &mut huge {
+        fields.push(("deadline_ms".into(), Json::Num(1e300)));
+    }
+    let resp =
+        client.post_json(&format!("/v1/{}/explain", ds.name), &huge).expect("huge deadline");
+    assert_eq!(resp.status, 400);
+
+    // Wrong method on a known route → 405, including the admin swap
+    // route and the store listing (not a route-hiding 404).
     let resp = client.get(&format!("/v1/{}/explain", ds.name)).expect("get");
     assert_eq!(resp.status, 405);
+    let resp = client.get(&format!("/admin/stores/{}/swap", ds.name)).expect("get swap");
+    assert_eq!(resp.status, 405);
+    client.write_raw(b"DELETE /v1/stores HTTP/1.1\r\n\r\n").expect("delete");
+    let resp = client.read_response().expect("delete response");
+    assert_eq!(resp.status, 405);
+
+    // A request that closes via a list-valued Connection header still
+    // gets its answer before the server closes the socket.
+    let mut closing = Client::connect(server.local_addr()).expect("connect");
+    closing
+        .write_raw(b"GET /healthz HTTP/1.1\r\nConnection: close, te\r\n\r\n")
+        .expect("write");
+    let resp = closing.read_response().expect("response");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("connection"), Some("close"));
 }

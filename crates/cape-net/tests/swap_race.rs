@@ -247,6 +247,67 @@ fn run_race(n_clients: usize, label: &str) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Concurrent `swap_snapshot` calls must allocate and install their
+/// generation atomically: every swap returns a distinct consecutive
+/// generation, an observer never sees the generation go backwards, and
+/// the final epoch carries the highest generation. (Allocating the
+/// generation before taking the epoch lock let a slower loader install
+/// an *older* generation last, leaving the slot serving a stale epoch.)
+#[test]
+fn concurrent_swaps_keep_generations_monotonic() {
+    let rel = generate(&DblpConfig::with_rows(1500));
+    let (cfg, store) = mine_with(&rel, Thresholds::new(0.15, 4, 0.3, 3), 3);
+    let dir = tmpdir("concurrent-swaps");
+    let path = dir.join("snap.cape");
+    save_snapshot(&path, rel.schema(), &cfg, &store).expect("save");
+
+    let registry = StoreRegistry::new();
+    let slot =
+        registry.register("dblp", PatternStoreHandle::new(rel, store), ServeConfig::with_threads(1));
+
+    const THREADS: usize = 4;
+    const SWAPS_PER_THREAD: usize = 6;
+    let stop = Arc::new(AtomicBool::new(false));
+    let observer = {
+        let slot = Arc::clone(&slot);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let g = slot.generation();
+                assert!(g >= last, "observed generation went backwards: {last} -> {g}");
+                last = g;
+            }
+        })
+    };
+    let swappers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let slot = Arc::clone(&slot);
+            let path = path.clone();
+            std::thread::spawn(move || {
+                (0..SWAPS_PER_THREAD)
+                    .map(|_| slot.swap_snapshot(&path).expect("swap"))
+                    .collect::<Vec<u64>>()
+            })
+        })
+        .collect();
+    let mut generations: Vec<u64> =
+        swappers.into_iter().flat_map(|h| h.join().expect("swapper thread")).collect();
+    stop.store(true, Ordering::SeqCst);
+    observer.join().expect("observer thread");
+
+    let total = (THREADS * SWAPS_PER_THREAD) as u64;
+    generations.sort_unstable();
+    assert_eq!(
+        generations,
+        (2..=1 + total).collect::<Vec<_>>(),
+        "every swap gets a distinct consecutive generation"
+    );
+    assert_eq!(slot.generation(), 1 + total, "the last-installed epoch is the newest");
+    assert_eq!(slot.swap_count(), total);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn swap_under_single_client() {
     run_race(1, "single");
