@@ -15,8 +15,8 @@
 //! hardware) but the comparative shape is the reproduction target.
 
 use cape_bench::experiments::{
-    ablation, explain_perf, fd_opt, mine_bench, mining_scaling, sensitivity, serve, serve_net,
-    store_bench, subtasks, tables, user_study,
+    ablation, explain_perf, fd_opt, incr_bench, mine_bench, mining_scaling, sensitivity, serve,
+    serve_net, store_bench, subtasks, tables, user_study,
 };
 use cape_bench::Scale;
 use mine_bench::MineBenchOpts;
@@ -43,6 +43,8 @@ const EXPERIMENTS: &[&str] = &[
     "mine-bench",
     "store-bench",
     "store-verify",
+    "incr-bench",
+    "incr-verify",
 ];
 
 fn usage() -> ! {
@@ -139,6 +141,8 @@ fn run(name: &str, scale: Scale, mine_opts: MineBenchOpts) -> String {
         "mine-bench" | "minebench" => mine_bench::mine_bench(scale, mine_opts),
         "store-bench" => store_bench::store_bench(scale),
         "store-verify" => store_bench::store_verify(scale),
+        "incr-bench" => incr_bench::incr_bench(scale),
+        "incr-verify" => incr_bench::incr_verify(scale),
         "userstudy" => {
             let (rows, budget) = match scale {
                 Scale::Quick => (3_000, 12),

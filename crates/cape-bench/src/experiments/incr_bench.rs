@@ -1,0 +1,345 @@
+//! Incremental maintenance benchmark (ISSUE 8): at what delta size does
+//! appending into a live store stop beating a from-scratch re-mine?
+//!
+//! `incr-bench` mines a base prefix of DBLP and Crime, then for a sweep
+//! of delta sizes times `IncrStore::append(Δ)` (WAL commit + fragment
+//! re-validation + store regeneration) against a full re-mine of
+//! `R + ΔR`, asserting the two stores answer identically to 1e-9 before
+//! any number is reported. Timings are the best of [`REPS`] runs; each
+//! append rep starts from a freshly opened store with an empty WAL so no
+//! rep benefits from a previous rep's state. The crossover — the first
+//! delta fraction where append is no longer faster — is the headline
+//! number in `results/BENCH_incr.json`.
+//!
+//! The run also leaves a durable artifact per dataset: a base snapshot
+//! at `results/incr_{scale}_{dataset}.cape` with an *uncompacted* WAL
+//! beside it holding the middle delta. `incr-verify` is the
+//! cross-process half: a fresh process replays that WAL and asserts the
+//! result matches a full re-mine — proving the files on disk, not the
+//! memory of the process that wrote them, carry the appended rows.
+//!
+//! Re-mine times use the same miner the incremental layer regenerates
+//! with (`ShareGrpMiner`), so the comparison is append-vs-mine on equal
+//! output, not append-vs-a-different-search-order.
+
+use crate::datasets::{crime_prefix, crime_rows, dblp_rows, Scale};
+use crate::questions::generate_questions;
+use crate::report::{section, SeriesTable};
+use cape_core::explain::ExplainConfig;
+use cape_core::incr::{wal_path_for, IncrStore};
+use cape_core::mining::{Miner, ShareGrpMiner};
+use cape_core::prelude::{OptimizedExplainer, TopKExplainer};
+use cape_core::snapshot::save_snapshot;
+use cape_core::{MiningConfig, PatternStore};
+use cape_data::{Relation, Value};
+use cape_obs::Json;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const TOP_K: usize = 8;
+const QUESTIONS: usize = 12;
+const SCORE_TOL: f64 = 1e-9;
+
+/// Runs per timing; the fastest is reported.
+const REPS: usize = 3;
+
+/// Delta sizes as fractions of the full relation. The artifact for
+/// `incr-verify` uses [`ARTIFACT_PCT`].
+const DELTA_PCTS: &[f64] = &[0.01, 0.05, 0.10, 0.20];
+const ARTIFACT_PCT: f64 = 0.05;
+
+struct Dataset {
+    name: &'static str,
+    rel: Relation,
+    cfg: MiningConfig,
+    question_attrs: Vec<usize>,
+}
+
+fn datasets(scale: Scale) -> Vec<Dataset> {
+    let rows = match scale {
+        Scale::Quick => 10_000,
+        Scale::Full => 100_000,
+    };
+    let mut dblp_cfg = super::explain_perf::lenient_mining_config(3);
+    dblp_cfg.exclude = vec![cape_datagen::dblp::attrs::PUBID];
+    let crime = crime_rows(rows);
+    vec![
+        Dataset {
+            name: "dblp",
+            rel: dblp_rows(rows),
+            cfg: dblp_cfg,
+            question_attrs: vec![
+                cape_datagen::dblp::attrs::AUTHOR,
+                cape_datagen::dblp::attrs::YEAR,
+                cape_datagen::dblp::attrs::VENUE,
+            ],
+        },
+        Dataset {
+            name: "crime",
+            rel: crime_prefix(&crime, 5),
+            cfg: super::explain_perf::lenient_mining_config(3),
+            question_attrs: vec![
+                cape_datagen::crime::attrs::PRIMARY_TYPE,
+                cape_datagen::crime::attrs::COMMUNITY,
+                cape_datagen::crime::attrs::YEAR,
+            ],
+        },
+    ]
+}
+
+fn artifact_path(scale: Scale, name: &str) -> String {
+    let scale_tag = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    format!("results/incr_{scale_tag}_{name}.cape")
+}
+
+fn split(rel: &Relation, delta_rows: usize) -> (Relation, Vec<Vec<Value>>) {
+    let n = rel.num_rows();
+    let base = rel.take(&(0..n - delta_rows).collect::<Vec<_>>());
+    let delta = (n - delta_rows..n).map(|i| rel.row(i)).collect();
+    (base, delta)
+}
+
+/// The benchmark is meaningless (and dangerous) if the incrementally
+/// maintained store answers differently from the batch mine.
+fn assert_stores_agree(ds: &Dataset, label: &str, a: &PatternStore, b: &PatternStore) {
+    let questions = generate_questions(&ds.rel, &ds.question_attrs, QUESTIONS, 71);
+    let cfg = ExplainConfig::default_for(&ds.rel, TOP_K);
+    let mut answered = 0;
+    for (i, q) in questions.iter().enumerate() {
+        let (x, _) = OptimizedExplainer.explain(a, q, &cfg);
+        let (y, _) = OptimizedExplainer.explain(b, q, &cfg);
+        assert_eq!(x.len(), y.len(), "{}/{label}: question {i}: candidate counts differ", ds.name);
+        for (p, q_) in x.iter().zip(&y) {
+            assert_eq!(p.key(), q_.key(), "{}/{label}: question {i}: candidates differ", ds.name);
+            assert!(
+                (p.score - q_.score).abs() < SCORE_TOL,
+                "{}/{label}: question {i}: scores differ ({} vs {})",
+                ds.name,
+                p.score,
+                q_.score
+            );
+        }
+        answered += usize::from(!x.is_empty());
+    }
+    assert!(answered > 0, "{}/{label}: differential check is vacuous", ds.name);
+}
+
+/// Best (fastest) of [`REPS`] timed runs of `f`, with the result of the
+/// winning run.
+fn best_of<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best: Option<(f64, T)> = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let value = f();
+        let secs = t0.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(b, _)| secs < *b) {
+            best = Some((secs, value));
+        }
+    }
+    best.expect("REPS > 0")
+}
+
+/// Fastest append over [`REPS`] reps. Each rep re-opens the snapshot with
+/// the stale WAL deleted, so every rep replays nothing and commits the
+/// same record 1; only the `append` call itself is timed.
+fn time_append(
+    snap: &Path,
+    base: &Relation,
+    delta: &[Vec<Value>],
+) -> (f64, cape_core::incr::AppendReport, IncrStore) {
+    let mut best: Option<(f64, cape_core::incr::AppendReport, IncrStore)> = None;
+    for _ in 0..REPS {
+        let wal = wal_path_for(snap);
+        let _ = std::fs::remove_file(&wal);
+        let mut incr = IncrStore::open(snap, base).expect("open incremental");
+        let rows = delta.to_vec();
+        let t0 = Instant::now();
+        let report = incr.append(rows).expect("append");
+        let secs = t0.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(b, _, _)| secs < *b) {
+            best = Some((secs, report, incr));
+        }
+    }
+    best.expect("REPS > 0")
+}
+
+/// `incr-bench`: sweep delta sizes, time append vs re-mine, verify
+/// agreement, write the JSON and the `incr-verify` artifact.
+pub fn incr_bench(scale: Scale) -> String {
+    std::fs::create_dir_all("results").expect("create results dir");
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let tmp = std::env::temp_dir().join(format!("cape-incr-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("create tmpdir");
+
+    let mut ds_entries = Vec::new();
+    let mut names = Vec::new();
+    let mut append_col = Vec::new();
+    let mut remine_col = Vec::new();
+    let mut speedup_col = Vec::new();
+    let mut summary = Vec::new();
+
+    for ds in datasets(scale) {
+        let n = ds.rel.num_rows();
+        eprintln!("  incr-bench: re-mining {} ({n} rows) for the baseline ...", ds.name);
+        let (remine_s, full_store) =
+            best_of(|| ShareGrpMiner.mine(&ds.rel, &ds.cfg).expect("full mine").store);
+        assert!(!full_store.is_empty(), "{}: mined no patterns", ds.name);
+
+        let mut deltas = Vec::new();
+        let mut crossover: Option<f64> = None;
+        for &pct in DELTA_PCTS {
+            let delta_rows = ((n as f64 * pct) as usize).max(1);
+            let (base, delta) = split(&ds.rel, delta_rows);
+            let base_store = ShareGrpMiner.mine(&base, &ds.cfg).expect("base mine").store;
+            let snap = tmp.join(format!("{}_{delta_rows}.cape", ds.name));
+            save_snapshot(&snap, base.schema(), &ds.cfg, &base_store).expect("save base");
+
+            let (append_s, report, incr) = time_append(&snap, &base, &delta);
+            assert_stores_agree(&ds, &format!("+{delta_rows}"), &incr.store(), &full_store);
+
+            let speedup = remine_s / append_s.max(1e-9);
+            if speedup < 1.0 && crossover.is_none() {
+                crossover = Some(pct);
+            }
+            eprintln!(
+                "  incr-bench: {}: +{delta_rows} rows: append {append_s:.4}s \
+                 ({} fragments, {} B wal) vs re-mine {remine_s:.3}s ({speedup:.1}x)",
+                ds.name, report.touched_fragments, report.wal_bytes
+            );
+
+            names.push(format!("{} +{:.0}%", ds.name, pct * 100.0));
+            append_col.push(Some(append_s));
+            remine_col.push(Some(remine_s));
+            speedup_col.push(Some(speedup));
+            deltas.push(Json::Obj(vec![
+                ("delta_pct".into(), Json::Num(pct)),
+                ("delta_rows".into(), Json::Num(delta_rows as f64)),
+                ("append_s".into(), Json::Num(append_s)),
+                ("remine_s".into(), Json::Num(remine_s)),
+                ("speedup_vs_remine".into(), Json::Num(speedup)),
+                ("fragments_revalidated".into(), Json::Num(report.touched_fragments as f64)),
+                ("wal_bytes".into(), Json::Num(report.wal_bytes as f64)),
+                ("patterns".into(), Json::Num(report.patterns as f64)),
+            ]));
+        }
+        summary.push(match crossover {
+            Some(pct) => {
+                format!("{}: append beats re-mine below a {:.0}% delta", ds.name, pct * 100.0)
+            }
+            None => format!(
+                "{}: append beats re-mine at every delta up to {:.0}%",
+                ds.name,
+                DELTA_PCTS.last().unwrap() * 100.0
+            ),
+        });
+
+        // Durable artifact for the cross-process `incr-verify` leg: a
+        // base snapshot with the middle delta committed to its WAL and
+        // deliberately NOT compacted, so verification exercises replay.
+        let delta_rows = ((n as f64 * ARTIFACT_PCT) as usize).max(1);
+        let (base, delta) = split(&ds.rel, delta_rows);
+        let base_store = ShareGrpMiner.mine(&base, &ds.cfg).expect("base mine").store;
+        let path = artifact_path(scale, ds.name);
+        save_snapshot(&path, base.schema(), &ds.cfg, &base_store).expect("save artifact");
+        let wal = wal_path_for(Path::new(&path));
+        let _ = std::fs::remove_file(&wal);
+        let mut incr = IncrStore::open(&path, &base).expect("open artifact");
+        let report = incr.append(delta).expect("append artifact");
+        eprintln!(
+            "  incr-bench: {}: artifact {path} + {} ({} B, record {})",
+            ds.name,
+            wal.display(),
+            report.wal_bytes,
+            report.wal_seq.expect("durable")
+        );
+
+        ds_entries.push(Json::Obj(vec![
+            ("dataset".into(), Json::Str(ds.name.into())),
+            ("rows".into(), Json::Num(n as f64)),
+            ("deltas".into(), Json::Arr(deltas)),
+            ("crossover_pct".into(), crossover.map_or(Json::Null, |p| Json::Num(p * 100.0))),
+            (
+                "artifact".into(),
+                Json::Obj(vec![
+                    ("snapshot_file".into(), Json::Str(path)),
+                    ("wal_file".into(), Json::Str(wal.display().to_string())),
+                    ("wal_bytes".into(), Json::Num(report.wal_bytes as f64)),
+                    ("delta_rows".into(), Json::Num(report.appended_rows as f64)),
+                ]),
+            ),
+        ]));
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let payload = Json::Obj(vec![
+        ("experiment".into(), Json::Str("incr-bench".into())),
+        (
+            "scale".into(),
+            Json::Str(match scale {
+                Scale::Quick => "quick".into(),
+                Scale::Full => "full".into(),
+            }),
+        ),
+        ("host_cpus".into(), Json::Num(host_cpus as f64)),
+        ("questions".into(), Json::Num(QUESTIONS as f64)),
+        ("k".into(), Json::Num(TOP_K as f64)),
+        ("reps".into(), Json::Num(REPS as f64)),
+        ("datasets".into(), Json::Arr(ds_entries)),
+    ]);
+    crate::envelope::write_bench("results/BENCH_incr.json", "incr-bench", payload);
+
+    let mut table = SeriesTable::new("delta", names);
+    table.push_series("append [s]", append_col);
+    table.push_series("re-mine [s]", remine_col);
+    table.push_series("speedup", speedup_col);
+    format!(
+        "{}append(Δ) vs re-mine(R+Δ), equal outputs verified (host cpus: {host_cpus})\n\
+         {}\nwrote results/BENCH_incr.json\n{}",
+        section("Incr: streaming append vs re-mine"),
+        summary.join("\n"),
+        table.render()
+    )
+}
+
+/// `incr-verify`: the cross-process leg. Re-opens the snapshot + WAL a
+/// *previous process* wrote, letting replay reconstruct the appended
+/// rows, then re-mines `R + ΔR` from scratch and asserts the explanations
+/// agree. Panics (CI failure) on a missing artifact or any divergence.
+pub fn incr_verify(scale: Scale) -> String {
+    let mut lines = Vec::new();
+    for ds in datasets(scale) {
+        let n = ds.rel.num_rows();
+        let delta_rows = ((n as f64 * ARTIFACT_PCT) as usize).max(1);
+        let (base, _) = split(&ds.rel, delta_rows);
+        let path = PathBuf::from(artifact_path(scale, ds.name));
+        let wal = wal_path_for(&path);
+        assert!(
+            wal.exists(),
+            "{}: run incr-bench first in another process (missing {})",
+            ds.name,
+            wal.display()
+        );
+        eprintln!("  incr-verify: replaying {} ...", wal.display());
+        let incr =
+            IncrStore::open(&path, &base).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            incr.relation().num_rows(),
+            n,
+            "{}: replay reconstructed {} rows, expected {n}",
+            ds.name,
+            incr.relation().num_rows()
+        );
+        eprintln!("  incr-verify: re-mining {} for the reference ...", ds.name);
+        let full_store = ShareGrpMiner.mine(&ds.rel, &ds.cfg).expect("full mine").store;
+        assert_stores_agree(&ds, "replayed", &incr.store(), &full_store);
+        lines.push(format!(
+            "{}: {} replayed rows verified against a fresh mine of {} total",
+            ds.name, delta_rows, n
+        ));
+    }
+    format!("{}{}\n", section("Incr: cross-process WAL replay verification"), lines.join("\n"))
+}

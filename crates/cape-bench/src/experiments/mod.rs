@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod explain_perf;
 pub mod fd_opt;
+pub mod incr_bench;
 pub mod mine_bench;
 pub mod mining_scaling;
 pub mod sensitivity;

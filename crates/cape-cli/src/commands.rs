@@ -4,14 +4,16 @@ use crate::args::Args;
 use crate::io::{load_csv, parse_schema, parse_tuple};
 use crate::CliError;
 use cape_core::explain::{render_table, BaselineExplainer, ExplainConfig, TopKExplainer};
+use cape_core::incr::wal_path_for;
 use cape_core::mining::{ArpMiner, Miner};
 use cape_core::prelude::OptimizedExplainer;
 use cape_core::report::narrate_all;
 use cape_core::snapshot::{self, SnapshotError};
-use cape_core::{persist, Direction, MiningConfig, Thresholds, UserQuestion};
+use cape_core::{persist, Direction, IncrError, IncrStore, MiningConfig, Thresholds, UserQuestion};
 use cape_data::sql;
 use cape_data::Relation;
 use std::fs::File;
+use std::path::Path;
 
 /// CLI usage text.
 pub const USAGE: &str = "\
@@ -28,6 +30,15 @@ USAGE:
       the line-based text format, --save writes the versioned,
       checksummed binary snapshot (written atomically; load it back with
       --store). At least one of the two is required.
+
+  cape append --csv FILE --schema SPEC --store FILE --rows FILE [--compact]
+      Append rows (a CSV with the same schema) to a mined --store snapshot
+      incrementally: only fragments whose membership changed are
+      re-validated, and the delta is made durable in a write-ahead log
+      beside the snapshot (STORE.wal) before any state changes. --compact
+      folds the log back into the snapshot afterwards. Every command that
+      reads --store replays a WAL found beside it, so an appended store
+      serves the refreshed patterns without re-mining.
 
   cape patterns --csv FILE --schema SPEC (--patterns FILE | --store FILE)
       List the patterns in a persisted store.
@@ -180,36 +191,116 @@ pub fn mine(args: &Args) -> Result<(), CliError> {
 
 /// `cape patterns`.
 pub fn patterns(args: &Args) -> Result<(), CliError> {
-    let rel = load(args)?;
-    let store = read_patterns(args, &rel)?;
+    let (rel, store) = load_store(args)?;
     println!("{}", store.describe(rel.schema()));
     Ok(())
 }
 
+/// Classify an incremental-maintenance failure against `--store PATH`
+/// into the CLI exit-code taxonomy: a snapshot or WAL the loader rejects
+/// is a corrupt store (exit 3), a plain read failure stays a runtime
+/// error, everything else (bad delta rows, mining) is runtime too.
+fn incr_err(path: &str, e: IncrError) -> CliError {
+    match e {
+        IncrError::Snapshot(SnapshotError::Io(m)) => {
+            runtime(format!("cannot read store {path}: {m}"))
+        }
+        IncrError::Snapshot(other) => {
+            CliError::Store(format!("store file {path} rejected: {other}"))
+        }
+        IncrError::Wal(w) => CliError::Store(format!("wal beside store {path} rejected: {w}")),
+        IncrError::Config(m) => {
+            CliError::Store(format!("store file {path} cannot be maintained incrementally: {m}"))
+        }
+        other => runtime(other),
+    }
+}
+
+/// Load the base relation (`--csv`/`--schema`) and the pattern store.
+/// When `--store` has a write-ahead log beside it, the log is replayed:
+/// the returned relation includes the appended rows and the store is the
+/// refreshed (re-validated) one, so every read path serves what `cape
+/// append` last committed.
+fn load_store(args: &Args) -> Result<(Relation, cape_core::PatternStore), CliError> {
+    let rel = load(args)?;
+    read_patterns(args, rel)
+}
+
 /// Load the pattern store from `--store` (binary snapshot, validated
-/// against the live relation) or `--patterns` (line-based text format).
-/// A rejected snapshot becomes [`CliError::Store`] (exit 3) — except a
-/// plain read failure (absent file, permissions), which stays a runtime
-/// error like any other missing input.
-fn read_patterns(args: &Args, rel: &Relation) -> Result<cape_core::PatternStore, CliError> {
+/// against the live relation, WAL-aware) or `--patterns` (line-based
+/// text format). A rejected snapshot becomes [`CliError::Store`] (exit
+/// 3) — except a plain read failure (absent file, permissions), which
+/// stays a runtime error like any other missing input.
+fn read_patterns(
+    args: &Args,
+    rel: Relation,
+) -> Result<(Relation, cape_core::PatternStore), CliError> {
     if let Some(path) = args.get("store") {
-        let loaded = snapshot::load_snapshot(path, rel).map_err(|e| match e {
+        if wal_path_for(Path::new(path)).exists() {
+            let incr = IncrStore::open(path, &rel).map_err(|e| incr_err(path, e))?;
+            let replayed = incr.relation().clone();
+            let store = incr.store();
+            drop(incr);
+            let store = std::sync::Arc::try_unwrap(store).unwrap_or_else(|arc| (*arc).clone());
+            return Ok((replayed, store));
+        }
+        let loaded = snapshot::load_snapshot(path, &rel).map_err(|e| match e {
             SnapshotError::Io(m) => runtime(format!("cannot read store {path}: {m}")),
             other => CliError::Store(format!("store file {path} rejected: {other}")),
         })?;
-        return Ok(loaded.store);
+        return Ok((rel, loaded.store));
     }
     let path = args
         .require("patterns")
         .map_err(|_| usage("need --patterns FILE (text) or --store FILE (binary snapshot)"))?;
     let file = File::open(path).map_err(|e| runtime(format!("cannot open {path}: {e}")))?;
-    persist::read_store(file, rel).map_err(runtime)
+    let store = persist::read_store(file, &rel).map_err(runtime)?;
+    Ok((rel, store))
+}
+
+/// `cape append` — stream rows into a mined snapshot incrementally.
+///
+/// The delta is WAL-committed before any in-memory state changes, so a
+/// crash mid-append replays cleanly on the next load; `--compact` folds
+/// the log into the snapshot once the append lands.
+pub fn append(args: &Args) -> Result<(), CliError> {
+    let rel = load(args)?;
+    let store_path = args
+        .require("store")
+        .map_err(|_| usage("append needs --store FILE (a snapshot from `cape mine --save`)"))?;
+    let rows_path = args
+        .require("rows")
+        .map_err(|_| usage("append needs --rows FILE (CSV of rows to append, same schema)"))?;
+    let schema = parse_schema(args.require("schema").map_err(usage)?).map_err(usage)?;
+    let delta = load_csv(rows_path, schema).map_err(runtime)?;
+
+    let mut incr = IncrStore::open(store_path, &rel).map_err(|e| incr_err(store_path, e))?;
+    let replayed = incr.relation().num_rows() - rel.num_rows();
+    if replayed > 0 {
+        cape_obs::info("cli", || format!("replayed {replayed} rows from the write-ahead log"));
+    }
+    let rows: Vec<_> = (0..delta.num_rows()).map(|i| delta.row(i)).collect();
+    let report = incr.append(rows).map_err(|e| incr_err(store_path, e))?;
+    println!(
+        "appended {} rows ({} fragments re-validated); {} patterns over {} rows",
+        report.appended_rows,
+        report.touched_fragments,
+        report.patterns,
+        incr.relation().num_rows()
+    );
+    if let Some(seq) = report.wal_seq {
+        println!("wal: record {seq} committed ({} bytes)", report.wal_bytes);
+    }
+    if args.flag("compact") {
+        incr.compact().map_err(|e| incr_err(store_path, e))?;
+        println!("compacted: snapshot {store_path} refreshed, wal folded");
+    }
+    Ok(())
 }
 
 /// `cape explain`.
 pub fn explain(args: &Args) -> Result<(), CliError> {
-    let rel = load(args)?;
-    let store = read_patterns(args, &rel)?;
+    let (rel, store) = load_store(args)?;
     let sql_text = args.require("sql").map_err(usage)?;
     let dir = match args.require("dir").map_err(usage)? {
         "high" => Direction::High,
@@ -260,8 +351,7 @@ pub fn batch_explain(args: &Args) -> Result<(), CliError> {
     use cape_serve::{ExplainRequest, ExplainService, PatternStoreHandle, ServeConfig};
     use std::time::Duration;
 
-    let rel = load(args)?;
-    let store = read_patterns(args, &rel)?;
+    let (rel, store) = load_store(args)?;
     let sql_text = args.require("sql").map_err(usage)?;
     let stmt = sql::parse(sql_text).map_err(usage)?;
     let group_attrs: Vec<usize> = stmt
@@ -424,7 +514,6 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
 
     let listen = args.require("listen").map_err(usage)?;
     let rel = load(args)?;
-    let store = read_patterns(args, &rel)?;
     let name = args.get("name").unwrap_or("default").to_string();
 
     let threads = args.get_parse("threads", 2usize).map_err(usage)?;
@@ -446,7 +535,27 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
 
     let serve_cfg = ServeConfig { threads, cache_capacity: cache, distance: None, access_log };
     let registry = std::sync::Arc::new(StoreRegistry::new());
-    registry.register(&name, PatternStoreHandle::new(rel, store), serve_cfg);
+    // A `--store` snapshot is served with incremental backing so `POST
+    // /admin/stores/NAME/append` streams rows in live — unless the
+    // snapshot was mined with a config the incremental layer can't
+    // maintain (e.g. FD pruning), which degrades to read-only serving.
+    match args.get("store") {
+        Some(path) => match IncrStore::open(path, &rel) {
+            Ok(incr) => {
+                registry.register_incremental(&name, rel, incr, serve_cfg);
+            }
+            Err(IncrError::Config(m)) => {
+                cape_obs::info("cli", || format!("serving read-only (no appends): {m}"));
+                let (rel, store) = read_patterns(args, rel)?;
+                registry.register(&name, PatternStoreHandle::new(rel, store), serve_cfg);
+            }
+            Err(e) => return Err(incr_err(path, e)),
+        },
+        None => {
+            let (rel, store) = read_patterns(args, rel)?;
+            registry.register(&name, PatternStoreHandle::new(rel, store), serve_cfg);
+        }
+    }
 
     // The session recorder is installed on this thread; Server::bind
     // captures it, so request counters/gauges feed --metrics and

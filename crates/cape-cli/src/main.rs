@@ -5,6 +5,7 @@
 //! cape mine    --csv pub.csv --schema author:str,pubid:str,year:int,venue:str \
 //!              --psi 3 --theta 0.15 --delta 4 --lambda 0.3 --support 3 \
 //!              [--fd] [--exclude pubid] --out patterns.cape
+//! cape append  --csv pub.csv --schema ... --store store.cape --rows delta.csv [--compact]
 //! cape patterns --csv pub.csv --schema ... --patterns patterns.cape
 //! cape explain --csv pub.csv --schema ... --patterns patterns.cape \
 //!              --sql "SELECT author, venue, year, count(*) FROM pub GROUP BY author, venue, year" \
@@ -85,6 +86,7 @@ fn span_name(cmd: &str) -> &'static str {
     match cmd {
         "demo" => "cli.demo",
         "mine" => "cli.mine",
+        "append" => "cli.append",
         "patterns" => "cli.patterns",
         "explain" => "cli.explain",
         "batch-explain" => "cli.batch_explain",
@@ -136,6 +138,7 @@ fn dispatch(cmd: &str, args: &Args) -> Result<(), CliError> {
     match cmd {
         "demo" => commands::demo(args),
         "mine" => commands::mine(args),
+        "append" => commands::append(args),
         "patterns" => commands::patterns(args),
         "explain" => commands::explain(args),
         "batch-explain" => commands::batch_explain(args),

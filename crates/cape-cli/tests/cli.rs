@@ -962,6 +962,139 @@ fn batch_explain_unknown_aggregate_column_exits_4_before_reading_questions() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Split the planted CSV into a base prefix and a delta suffix, so that
+/// base + delta (in order) is exactly the full file.
+fn write_split_csv(dir: &Path, delta_lines: usize) -> (String, String) {
+    let full = write_csv(dir);
+    let text = std::fs::read_to_string(&full).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let (header, data) = (lines[0], &lines[1..]);
+    let cut = data.len() - delta_lines;
+    let base_path = dir.join("base.csv");
+    let delta_path = dir.join("delta.csv");
+    std::fs::write(&base_path, format!("{header}\n{}\n", data[..cut].join("\n"))).unwrap();
+    std::fs::write(&delta_path, format!("{header}\n{}\n", data[cut..].join("\n"))).unwrap();
+    (base_path.to_string_lossy().into_owned(), delta_path.to_string_lossy().into_owned())
+}
+
+#[test]
+fn append_workflow_wal_replay_and_compaction() {
+    let dir = temp_dir("append");
+    let (base, delta) = write_split_csv(&dir, 40);
+    let store = mine_snapshot(&dir, &base);
+    let wal = format!("{store}.wal");
+
+    // Append the delta: the WAL appears beside the snapshot.
+    let out =
+        run(&["append", "--csv", &base, "--schema", SCHEMA, "--store", &store, "--rows", &delta]);
+    assert!(out.status.success(), "append failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("appended 40 rows"), "summary wrong:\n{text}");
+    assert!(text.contains("wal: record 1 committed"), "wal line missing:\n{text}");
+    assert!(Path::new(&wal).exists(), "no WAL beside the snapshot");
+
+    // Read paths replay the WAL: explain over the *base* CSV serves the
+    // appended store and still finds the planted counterbalance.
+    let explain = |store: &str| {
+        run(&[
+            "explain",
+            "--csv",
+            &base,
+            "--schema",
+            SCHEMA,
+            "--store",
+            store,
+            "--sql",
+            BATCH_SQL,
+            "--tuple",
+            "a0,2005,KDD",
+            "--dir",
+            "low",
+            "--k",
+            "5",
+        ])
+    };
+    let out = explain(&store);
+    assert!(out.status.success(), "explain after append: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ICDE"));
+
+    // A second append replays the first from the WAL before committing
+    // record 2 (the CLI passes the base CSV each time).
+    let out = run(&[
+        "append",
+        "--csv",
+        &base,
+        "--schema",
+        SCHEMA,
+        "--store",
+        &store,
+        "--rows",
+        &delta,
+        "--compact",
+    ]);
+    assert!(out.status.success(), "append 2 failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("wal: record 2 committed"), "sequence did not advance:\n{text}");
+    assert!(text.contains("compacted"), "no compaction line:\n{text}");
+
+    // After compaction the snapshot itself holds the appended rows'
+    // patterns; but the base CSV no longer matches the compacted
+    // snapshot's row set, so loading demands the WAL-aware path, which
+    // replays an empty (folded) log — still success.
+    let out = explain(&store);
+    assert!(
+        out.status.success(),
+        "explain after compact: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Corrupt the folded WAL header: reads now exit 3 with a typed error.
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes[0] ^= 0xFF;
+    std::fs::write(&wal, &bytes).unwrap();
+    let out = explain(&store);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("wal"), "untyped wal error");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn append_usage_and_store_errors() {
+    let dir = temp_dir("appenderr");
+    let (base, delta) = write_split_csv(&dir, 10);
+
+    // Usage: --store and --rows are both required.
+    let out = run(&["append", "--csv", &base, "--schema", SCHEMA, "--rows", &delta]);
+    assert_eq!(out.status.code(), Some(2), "missing --store");
+    let store = mine_snapshot(&dir, &base);
+    let out = run(&["append", "--csv", &base, "--schema", SCHEMA, "--store", &store]);
+    assert_eq!(out.status.code(), Some(2), "missing --rows");
+
+    // Runtime: absent delta file.
+    let out = run(&[
+        "append",
+        "--csv",
+        &base,
+        "--schema",
+        SCHEMA,
+        "--store",
+        &store,
+        "--rows",
+        "/nonexistent/delta.csv",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "missing delta CSV");
+
+    // Store: a garbage snapshot is rejected with exit 3 before any append.
+    let garbage = dir.join("garbage.cape").to_string_lossy().into_owned();
+    std::fs::write(&garbage, b"NOTASNAPSHOTFILE-and-then-some-padding").unwrap();
+    let out =
+        run(&["append", "--csv", &base, "--schema", SCHEMA, "--store", &garbage, "--rows", &delta]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn usage_documents_exit_code_4() {
     let out = run(&["help"]);

@@ -1,0 +1,409 @@
+//! Sufficient statistics for incremental Const/Lin fits.
+//!
+//! An append changes a fragment only through the aggregate outputs of the
+//! grouped rows it touches, so each fragment keeps running sums from which
+//! the batch fit can be reproduced without rescanning: `n`, `Σy`, `Σy²`
+//! for constant regression and additionally `Σx`, `Σx²`, `Σxy` for simple
+//! linear regression. Updates are subtract-old/add-new on the touched
+//! row's aggregate value.
+//!
+//! Two details make the statistics numerically faithful to the batch
+//! path:
+//!
+//! * **Shifted sums.** All sums are taken relative to the first finite
+//!   observation (`y − y₀`, `x − x₀`). A fragment whose observations are
+//!   all equal — the overwhelmingly common "perfectly constant" case —
+//!   then accumulates exact zeros, so the chi-square statistic is exactly
+//!   `0` and the goodness-of-fit exactly `1.0`, bit-identical to the
+//!   batch fit. With integer-valued aggregates (`count(*)`, integer sums)
+//!   every shifted sum below 2⁵³ is exact, so the incremental fit matches
+//!   the batch fit to the last bit there too.
+//! * **Canonical NULL/NaN bookkeeping.** NULL aggregate values are not
+//!   observations at all (they never enter `n`); non-finite observations
+//!   are counted in `n` but tracked in `n_bad` and kept out of the sums,
+//!   so the fit reports "no model" exactly when the batch fit returns
+//!   [`cape_regress::RegressError::NonFiniteInput`] — and the sums stay
+//!   poison-free so later removals restore a usable state.
+//!
+//! One more guard covers the subtract side: removing an observation does
+//! not cancel its earlier addition exactly in floating point, so a
+//! fragment whose *surviving* observations are degenerate (all equal, or
+//! a single point) can be left with a centered sum of ~`ε × gross mass`
+//! instead of exactly zero — and `R²`-style ratios of two such residues
+//! are garbage. Each statistic therefore tracks the gross (never
+//! decremented) shifted mass and treats a centered sum below
+//! `CANCEL_GUARD × gross` as exactly zero, which reproduces the batch
+//! path's degenerate-case answers after any amount of churn.
+
+use cape_regress::special::chi_square_sf;
+use cape_regress::{Fitted, Model};
+
+/// Floor for the chi-square expectation denominator; mirrors
+/// `cape_regress::constant::EXPECTATION_FLOOR`.
+const EXPECTATION_FLOOR: f64 = 1e-9;
+
+/// A centered sum below this fraction of the gross shifted mass is
+/// cancellation residue, not signal (float ε is ~2.2e-16 per operation;
+/// 1e-12 leaves four orders of headroom for thousands of updates while
+/// staying far below any variance the 1e-9 differential tolerance can
+/// distinguish).
+const CANCEL_GUARD: f64 = 1e-12;
+
+/// Running statistics for a constant fit over one fragment's aggregate
+/// column: observation count, non-finite count, and shifted `Σy`, `Σy²`.
+#[derive(Debug, Clone, Default)]
+pub struct ConstStats {
+    n: usize,
+    n_bad: usize,
+    y0: Option<f64>,
+    s1: f64,
+    s2: f64,
+    /// Gross shifted second moment: grows on every add *and* remove,
+    /// bounding the cancellation residue left in `s1`/`s2`.
+    gross: f64,
+}
+
+impl ConstStats {
+    /// Fresh, empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of observations (non-NULL aggregate values, finite or not) —
+    /// the batch path's `ys.len()` for the δ gate.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Record one observation. `None` = NULL: not an observation.
+    pub fn add(&mut self, y: Option<f64>) {
+        let Some(y) = y else { return };
+        self.n += 1;
+        if !y.is_finite() {
+            self.n_bad += 1;
+            return;
+        }
+        let y0 = *self.y0.get_or_insert(y);
+        let d = y - y0;
+        self.s1 += d;
+        self.s2 += d * d;
+        self.gross += d * d;
+    }
+
+    /// Remove one previously added observation.
+    pub fn remove(&mut self, y: Option<f64>) {
+        let Some(y) = y else { return };
+        debug_assert!(self.n > 0, "removing from empty ConstStats");
+        self.n = self.n.saturating_sub(1);
+        if !y.is_finite() {
+            self.n_bad = self.n_bad.saturating_sub(1);
+            return;
+        }
+        let d = y - self.y0.unwrap_or(y);
+        self.s1 -= d;
+        self.s2 -= d * d;
+        self.gross += d * d;
+    }
+
+    /// The constant fit these statistics imply, mirroring
+    /// `cape_regress::fit_constant` (including its error cases as `None`):
+    /// empty or non-finite input fits nothing; otherwise `β` is the mean
+    /// and GoF the Pearson chi-square p-value.
+    pub fn fit(&self) -> Option<Fitted> {
+        if self.n == 0 || self.n_bad > 0 {
+            return None;
+        }
+        let n = self.n as f64;
+        let y0 = self.y0.unwrap_or(0.0);
+        let beta = y0 + self.s1 / n;
+        let gof = if self.n <= 1 {
+            1.0
+        } else {
+            // Σ(y − β)² = Σ(y − y₀)² − (Σ(y − y₀))²/n; anything at
+            // cancellation-residue scale is exactly zero (the floored
+            // denominator below would otherwise amplify the residue).
+            let mut ss = (self.s2 - self.s1 * self.s1 / n).max(0.0);
+            if ss <= self.gross * CANCEL_GUARD {
+                ss = 0.0;
+            }
+            let statistic = ss / beta.abs().max(EXPECTATION_FLOOR);
+            if statistic == 0.0 {
+                1.0
+            } else {
+                chi_square_sf(statistic, (self.n - 1) as f64)
+            }
+        };
+        Some(Fitted { model: Model::Constant { beta }, gof, n: self.n })
+    }
+}
+
+/// Running statistics for a simple (single-predictor) linear fit:
+/// observation count over usable `(x, y)` pairs, non-finite count, and
+/// shifted `Σx`, `Σx²`, `Σxy`, `Σy`, `Σy²`.
+#[derive(Debug, Clone, Default)]
+pub struct LinStats {
+    n: usize,
+    n_bad: usize,
+    x0: f64,
+    y0: f64,
+    shifted: bool,
+    sx: f64,
+    sxx: f64,
+    sxy: f64,
+    sy: f64,
+    syy: f64,
+    /// Gross shifted masses (grow on add *and* remove): the noise scale
+    /// for the degeneracy guards in [`LinStats::fit`].
+    gross_xx: f64,
+    gross_yy: f64,
+}
+
+impl LinStats {
+    /// Fresh, empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of usable observations (both `x` and `y` non-NULL) — the
+    /// batch path's `ys.len()` for the δ gate.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Record one observation. A NULL on either side means the pair is
+    /// not usable for linear regression (the batch path drops the row).
+    pub fn add(&mut self, x: Option<f64>, y: Option<f64>) {
+        let (Some(x), Some(y)) = (x, y) else { return };
+        self.n += 1;
+        if !x.is_finite() || !y.is_finite() {
+            self.n_bad += 1;
+            return;
+        }
+        if !self.shifted {
+            self.shifted = true;
+            self.x0 = x;
+            self.y0 = y;
+        }
+        let dx = x - self.x0;
+        let dy = y - self.y0;
+        self.sx += dx;
+        self.sxx += dx * dx;
+        self.sxy += dx * dy;
+        self.sy += dy;
+        self.syy += dy * dy;
+        self.gross_xx += dx * dx;
+        self.gross_yy += dy * dy;
+    }
+
+    /// Remove one previously added observation.
+    pub fn remove(&mut self, x: Option<f64>, y: Option<f64>) {
+        let (Some(x), Some(y)) = (x, y) else { return };
+        debug_assert!(self.n > 0, "removing from empty LinStats");
+        self.n = self.n.saturating_sub(1);
+        if !x.is_finite() || !y.is_finite() {
+            self.n_bad = self.n_bad.saturating_sub(1);
+            return;
+        }
+        let dx = x - self.x0;
+        let dy = y - self.y0;
+        self.sx -= dx;
+        self.sxx -= dx * dx;
+        self.sxy -= dx * dy;
+        self.sy -= dy;
+        self.syy -= dy * dy;
+        self.gross_xx += dx * dx;
+        self.gross_yy += dy * dy;
+    }
+
+    /// The simple linear fit these statistics imply, mirroring
+    /// `cape_regress::fit_linear` for `d = 1` (error cases as `None`):
+    /// closed-form OLS with slope 0 when all `x` coincide, and `R²`
+    /// goodness-of-fit clamped to `[0, 1]` (1 when the targets are
+    /// constant).
+    pub fn fit(&self) -> Option<Fitted> {
+        if self.n == 0 || self.n_bad > 0 {
+            return None;
+        }
+        let n = self.n as f64;
+        let mx = self.x0 + self.sx / n;
+        let my = self.y0 + self.sy / n;
+        let mut sxx_c = (self.sxx - self.sx * self.sx / n).max(0.0);
+        let sxy_c = self.sxy - self.sx * self.sy / n;
+        let mut syy_c = (self.syy - self.sy * self.sy / n).max(0.0);
+        // Degeneracy at cancellation-residue scale is exact degeneracy:
+        // all surviving x (or y) coincide, or only one point survives.
+        if sxx_c <= self.gross_xx * CANCEL_GUARD {
+            sxx_c = 0.0;
+        }
+        if syy_c <= self.gross_yy * CANCEL_GUARD {
+            syy_c = 0.0;
+        }
+        let slope = if sxx_c == 0.0 { 0.0 } else { sxy_c / sxx_c };
+        let intercept = my - slope * mx;
+        let gof = if syy_c == 0.0 {
+            1.0
+        } else {
+            let ss_res = (syy_c - 2.0 * slope * sxy_c + slope * slope * sxx_c).max(0.0);
+            (1.0 - ss_res / syy_c).clamp(0.0, 1.0)
+        };
+        Some(Fitted { model: Model::Linear { intercept, coefs: vec![slope] }, gof, n: self.n })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cape_regress::{fit_constant, fit_linear};
+
+    fn const_from_scratch(ys: &[Option<f64>]) -> Option<Fitted> {
+        let present: Vec<f64> = ys.iter().filter_map(|y| *y).collect();
+        if present.is_empty() {
+            return None;
+        }
+        fit_constant(&present).ok()
+    }
+
+    fn lin_from_scratch(pairs: &[(Option<f64>, Option<f64>)]) -> Option<Fitted> {
+        let usable: Vec<(f64, f64)> = pairs.iter().filter_map(|&(x, y)| Some((x?, y?))).collect();
+        if usable.is_empty() {
+            return None;
+        }
+        let xs: Vec<Vec<f64>> = usable.iter().map(|&(x, _)| vec![x]).collect();
+        let ys: Vec<f64> = usable.iter().map(|&(_, y)| y).collect();
+        fit_linear(&xs, &ys).ok()
+    }
+
+    fn assert_fit_close(a: &Option<Fitted>, b: &Option<Fitted>) {
+        match (a, b) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.n, b.n);
+                assert!((a.gof - b.gof).abs() < 1e-9, "gof {} vs {}", a.gof, b.gof);
+                match (&a.model, &b.model) {
+                    (Model::Constant { beta: ba }, Model::Constant { beta: bb }) => {
+                        assert!((ba - bb).abs() < 1e-9)
+                    }
+                    (
+                        Model::Linear { intercept: ia, coefs: ca },
+                        Model::Linear { intercept: ib, coefs: cb },
+                    ) => {
+                        assert!((ia - ib).abs() < 1e-9);
+                        assert!((ca[0] - cb[0]).abs() < 1e-9);
+                    }
+                    (a, b) => panic!("model shape mismatch: {a:?} vs {b:?}"),
+                }
+            }
+            (a, b) => panic!("fit presence mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_matches_batch_exactly_on_equal_ints() {
+        let mut st = ConstStats::new();
+        for _ in 0..8 {
+            st.add(Some(4.0));
+        }
+        let f = st.fit().unwrap();
+        assert_eq!(f.gof, 1.0); // exact, not approximate
+        assert_eq!(f.model, Model::Constant { beta: 4.0 });
+    }
+
+    #[test]
+    fn constant_matches_batch_after_updates() {
+        let mut st = ConstStats::new();
+        let mut ys: Vec<Option<f64>> = Vec::new();
+        for y in [4.0, 5.0, 4.0, 5.0, 4.0, 6.0] {
+            st.add(Some(y));
+            ys.push(Some(y));
+        }
+        // A grouped row's aggregate moves 5.0 → 9.0 (subtract-old/add-new).
+        st.remove(Some(5.0));
+        st.add(Some(9.0));
+        ys[1] = Some(9.0);
+        assert_fit_close(&st.fit(), &const_from_scratch(&ys));
+    }
+
+    #[test]
+    fn nulls_are_not_observations() {
+        let mut st = ConstStats::new();
+        st.add(None);
+        st.add(Some(3.0));
+        st.add(None);
+        assert_eq!(st.n(), 1);
+        assert_eq!(st.fit().unwrap().gof, 1.0); // single observation
+                                                // NULL → non-NULL transition: remove(None) is a no-op.
+        st.remove(None);
+        st.add(Some(3.0));
+        assert_eq!(st.n(), 2);
+    }
+
+    #[test]
+    fn nan_blocks_fit_until_removed() {
+        let mut st = ConstStats::new();
+        st.add(Some(2.0));
+        st.add(Some(f64::NAN));
+        assert_eq!(st.n(), 2);
+        assert!(st.fit().is_none()); // batch: NonFiniteInput
+        st.remove(Some(f64::NAN));
+        let f = st.fit().unwrap();
+        assert_eq!(f.model, Model::Constant { beta: 2.0 });
+        // Sums stayed finite through the NaN episode.
+        st.add(Some(4.0));
+        assert!((st.fit().unwrap().model.predict(&[]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_matches_batch_after_updates() {
+        let mut st = LinStats::new();
+        let mut pairs: Vec<(Option<f64>, Option<f64>)> = Vec::new();
+        for (x, y) in [(2000.0, 3.0), (2001.0, 5.0), (2002.0, 7.0), (2003.0, 8.0)] {
+            st.add(Some(x), Some(y));
+            pairs.push((Some(x), Some(y)));
+        }
+        assert_fit_close(&st.fit(), &lin_from_scratch(&pairs));
+        // Update y at x=2001: 5.0 → 6.0.
+        st.remove(Some(2001.0), Some(5.0));
+        st.add(Some(2001.0), Some(6.0));
+        pairs[1].1 = Some(6.0);
+        assert_fit_close(&st.fit(), &lin_from_scratch(&pairs));
+    }
+
+    #[test]
+    fn linear_degenerate_cases() {
+        // Single observation: slope 0, perfect fit — matches batch.
+        let mut st = LinStats::new();
+        st.add(Some(7.0), Some(3.0));
+        let f = st.fit().unwrap();
+        assert_eq!(f.model, Model::Linear { intercept: 3.0, coefs: vec![0.0] });
+        assert_eq!(f.gof, 1.0);
+        // All x equal: slope degenerates to 0 exactly, like fit_simple.
+        let mut st = LinStats::new();
+        st.add(Some(5.0), Some(1.0));
+        st.add(Some(5.0), Some(3.0));
+        let f = st.fit().unwrap();
+        let b = lin_from_scratch(&[(Some(5.0), Some(1.0)), (Some(5.0), Some(3.0))]).unwrap();
+        assert_fit_close(&Some(f), &Some(b));
+        // Missing x drops the pair entirely.
+        let mut st = LinStats::new();
+        st.add(None, Some(1.0));
+        st.add(Some(1.0), None);
+        assert_eq!(st.n(), 0);
+        assert!(st.fit().is_none());
+    }
+
+    #[test]
+    fn linear_nan_handling() {
+        let mut st = LinStats::new();
+        st.add(Some(1.0), Some(2.0));
+        st.add(Some(f64::NAN), Some(3.0));
+        assert!(st.fit().is_none());
+        st.remove(Some(f64::NAN), Some(3.0));
+        assert!(st.fit().is_some());
+    }
+
+    #[test]
+    fn empty_stats_fit_nothing() {
+        assert!(ConstStats::new().fit().is_none());
+        assert!(LinStats::new().fit().is_none());
+    }
+}

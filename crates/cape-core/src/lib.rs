@@ -42,6 +42,7 @@ pub mod config;
 pub mod error;
 pub mod explain;
 pub mod group_data;
+pub mod incr;
 pub mod mining;
 pub mod pattern;
 pub mod persist;
@@ -53,6 +54,7 @@ pub mod store;
 
 pub use config::{AggSelection, MiningConfig, Thresholds};
 pub use error::{CapeError, Result};
+pub use incr::{AppendReport, IncrError, IncrStore};
 pub use pattern::Arp;
 pub use question::{Direction, UserQuestion};
 pub use session::{CapeSession, ExplainAlgo};
@@ -67,6 +69,7 @@ pub mod prelude {
         BaselineExplainer, ExplainConfig, Explanation, NaiveExplainer, OptimizedExplainer,
         TopKExplainer,
     };
+    pub use crate::incr::{AppendReport, IncrError, IncrStore};
     pub use crate::mining::{
         ArpMiner, CubeMiner, Miner, MiningOutput, NaiveMiner, ParallelMiner, ShareGrpMiner,
     };

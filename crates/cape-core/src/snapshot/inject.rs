@@ -38,6 +38,10 @@ pub enum Fault {
         /// Second section's byte range.
         b: Range<usize>,
     },
+    /// Re-insert a copy of `bytes[range]` immediately after it — a
+    /// replayed write. Aimed at whole WAL records it models a duplicated
+    /// append (same sequence number twice).
+    DuplicateRange(Range<usize>),
 }
 
 impl Fault {
@@ -71,6 +75,13 @@ impl Fault {
                 out.extend_from_slice(&bytes[first.end..second.start]);
                 out.extend_from_slice(&bytes[first.clone()]);
                 out.extend_from_slice(&bytes[second.end..]);
+                out
+            }
+            Fault::DuplicateRange(range) => {
+                let mut out = Vec::with_capacity(bytes.len() + range.len());
+                out.extend_from_slice(&bytes[..range.end]);
+                out.extend_from_slice(&bytes[range.clone()]);
+                out.extend_from_slice(&bytes[range.end..]);
                 out
             }
         }
@@ -166,6 +177,23 @@ pub fn section_swaps(layout: &SnapshotLayout) -> Vec<Fault> {
     out
 }
 
+/// Every unordered pair of distinct spans, swapped. The WAL analogue of
+/// [`section_swaps`]: aimed at record spans it models reordered appends.
+pub fn span_swaps(spans: &[Range<usize>]) -> Vec<Fault> {
+    let mut out = Vec::new();
+    for i in 0..spans.len() {
+        for j in (i + 1)..spans.len() {
+            out.push(Fault::SectionSwap { a: spans[i].clone(), b: spans[j].clone() });
+        }
+    }
+    out
+}
+
+/// One duplication per span — each record replayed once.
+pub fn span_duplications(spans: &[Range<usize>]) -> Vec<Fault> {
+    spans.iter().cloned().map(Fault::DuplicateRange).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +212,11 @@ mod tests {
         assert_eq!(&swapped[..4], &bytes[8..12]);
         assert_eq!(&swapped[8..12], &bytes[..4]);
         assert_eq!(swapped.len(), 32);
+        let duped = Fault::DuplicateRange(4..8).apply(&bytes);
+        assert_eq!(duped.len(), 36);
+        assert_eq!(&duped[..8], &bytes[..8]);
+        assert_eq!(&duped[8..12], &bytes[4..8]);
+        assert_eq!(&duped[12..], &bytes[8..]);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Property tests of the incremental sufficient statistics: after any
+//! interleaving of adds and removes — NULL-heavy streams, NaN poison,
+//! single-observation deltas — the running fit must match a from-scratch
+//! batch fit of the surviving observations to 1e-9 (or agree that no fit
+//! exists).
+
+use cape_core::incr::stats::{ConstStats, LinStats};
+use cape_regress::{fit, Fitted, ModelType};
+use proptest::prelude::*;
+
+/// NULL-heavy observation strategy: ~30% NULL, ~10% NaN, rest finite.
+fn arb_y() -> impl Strategy<Value = Option<f64>> {
+    (0u8..10, -100.0f64..100.0).prop_map(|(kind, v)| match kind {
+        0..=2 => None,
+        3 => Some(f64::NAN),
+        _ => Some(v),
+    })
+}
+
+fn arb_bool() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|b| b == 1)
+}
+
+fn batch_const(ys: &[f64]) -> Option<Fitted> {
+    if ys.is_empty() {
+        return None;
+    }
+    fit(ModelType::Const, &[], ys).ok()
+}
+
+fn batch_lin(xs: &[f64], ys: &[f64]) -> Option<Fitted> {
+    if ys.is_empty() {
+        return None;
+    }
+    let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+    fit(ModelType::Lin, &rows, ys).ok()
+}
+
+fn assert_fits_agree(incr: Option<&Fitted>, batch: Option<&Fitted>, ctx: &str) {
+    match (incr, batch) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.n, b.n, "n differs ({ctx})");
+            assert!((a.gof - b.gof).abs() < 1e-9, "gof {} vs {} ({ctx})", a.gof, b.gof);
+            let pa = a.model.predict(&[1.75]);
+            let pb = b.model.predict(&[1.75]);
+            assert!((pa - pb).abs() < 1e-9, "prediction {pa} vs {pb} ({ctx})");
+        }
+        (a, b) => {
+            panic!("one side fits, the other does not ({ctx}): {a:?} vs {b:?}");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn const_stats_match_batch_after_adds_and_removes(
+        ops in collection::vec((arb_y(), arb_bool()), 0..60),
+    ) {
+        let mut st = ConstStats::new();
+        for (y, _) in &ops {
+            st.add(*y);
+        }
+        // Remove the non-kept observations (models a grouped row whose
+        // aggregate output moved: old value out, new value in).
+        for (y, keep) in &ops {
+            if !keep {
+                st.remove(*y);
+            }
+        }
+        // Batch reference over the surviving observations: NULLs are not
+        // observations; a surviving NaN makes the batch fit error out.
+        let ys: Vec<f64> =
+            ops.iter().filter(|(_, keep)| *keep).filter_map(|(y, _)| *y).collect();
+        assert_fits_agree(st.fit().as_ref(), batch_const(&ys).as_ref(), "const");
+    }
+
+    #[test]
+    fn const_stats_match_batch_under_single_row_deltas(
+        ys in collection::vec(arb_y(), 1..40),
+    ) {
+        // Feed one observation at a time; after every step the running
+        // fit must equal a batch fit of the prefix.
+        let mut st = ConstStats::new();
+        let mut seen: Vec<f64> = Vec::new();
+        for y in &ys {
+            st.add(*y);
+            if let Some(v) = y {
+                seen.push(*v);
+            }
+            assert_fits_agree(st.fit().as_ref(), batch_const(&seen).as_ref(), "const prefix");
+        }
+    }
+
+    #[test]
+    fn lin_stats_match_batch_after_adds_and_removes(
+        ops in collection::vec((arb_y(), arb_y(), arb_bool()), 0..60),
+    ) {
+        let mut st = LinStats::new();
+        for (x, y, _) in &ops {
+            st.add(*x, *y);
+        }
+        for (x, y, keep) in &ops {
+            if !keep {
+                st.remove(*x, *y);
+            }
+        }
+        // A usable pair needs both coordinates non-NULL (the batch path
+        // drops rows with missing predictors for linear models).
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ysv: Vec<f64> = Vec::new();
+        for (x, y, keep) in &ops {
+            if *keep {
+                if let (Some(x), Some(y)) = (x, y) {
+                    xs.push(*x);
+                    ysv.push(*y);
+                }
+            }
+        }
+        assert_fits_agree(st.fit().as_ref(), batch_lin(&xs, &ysv).as_ref(), "lin");
+    }
+
+    #[test]
+    fn lin_stats_match_batch_under_single_row_deltas(
+        pairs in collection::vec((arb_y(), arb_y()), 1..40),
+    ) {
+        let mut st = LinStats::new();
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ysv: Vec<f64> = Vec::new();
+        for (x, y) in &pairs {
+            st.add(*x, *y);
+            if let (Some(x), Some(y)) = (x, y) {
+                xs.push(*x);
+                ysv.push(*y);
+            }
+            assert_fits_agree(st.fit().as_ref(), batch_lin(&xs, &ysv).as_ref(), "lin prefix");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! WAL fault-injection matrix.
+//!
+//! A WAL image is replayed through every mutation `snapshot::inject` can
+//! generate — exhaustive truncations, exhaustive byte inversions, seeded
+//! bit flips, torn writes at every prefix length, record swaps, and
+//! record duplications. Each mutated image must either fail with a typed
+//! [`WalError`] or decode to a clean *prefix* of the original committed
+//! batches (committed-prefix recovery for tails that look torn). A decode
+//! that returns rows differing from the original in any way is a silent
+//! corruption and fails the matrix.
+
+use cape_core::incr::wal::{decode_wal, encode_header, encode_record, record_spans, WalError};
+use cape_core::snapshot::inject::{
+    exhaustive_byte_flips, exhaustive_truncations, seeded_bit_flips, span_duplications, span_swaps,
+    Fault,
+};
+use cape_data::Value;
+
+const FP: u64 = 0x1234_5678_9ABC_DEF0;
+const ARITY: usize = 3;
+
+/// The committed batches a WAL image must decode to: `(seq, rows)` pairs.
+type Batches = Vec<(u64, Vec<Vec<Value>>)>;
+
+fn batch(tag: i64, n: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|i| {
+            vec![
+                Value::str(format!("g{tag}")),
+                Value::Int(i as i64),
+                if i % 3 == 0 { Value::Null } else { Value::Float(i as f64 / 4.0) },
+            ]
+        })
+        .collect()
+}
+
+fn baseline() -> (Vec<u8>, Batches) {
+    let batches = vec![(1, batch(1, 4)), (2, batch(2, 1)), (3, batch(3, 0)), (4, batch(4, 2))];
+    let mut bytes = encode_header(FP, 0);
+    for (seq, rows) in &batches {
+        bytes.extend_from_slice(&encode_record(*seq, rows));
+    }
+    (bytes, batches)
+}
+
+/// The matrix oracle: decoding a mutated image must yield a typed error
+/// or a clean prefix of the original batches — never different rows.
+fn assert_no_silent_corruption(
+    fault: &Fault,
+    mutated: &[u8],
+    original: &[(u64, Vec<Vec<Value>>)],
+) -> bool {
+    match decode_wal(mutated, FP, ARITY) {
+        Err(_) => false, // typed rejection
+        Ok(replay) => {
+            assert!(
+                replay.batches.len() <= original.len(),
+                "{fault:?}: decoded more batches than were written"
+            );
+            for (got, want) in replay.batches.iter().zip(original) {
+                assert_eq!(got, want, "{fault:?}: replayed batch differs from the original");
+            }
+            true
+        }
+    }
+}
+
+#[test]
+fn truncation_matrix() {
+    let (bytes, batches) = baseline();
+    for fault in exhaustive_truncations(bytes.len()) {
+        assert_no_silent_corruption(&fault, &fault.apply(&bytes), &batches);
+    }
+    // The unmutated image decodes in full.
+    let replay = decode_wal(&bytes, FP, ARITY).unwrap();
+    assert_eq!(replay.batches, batches);
+}
+
+#[test]
+fn byte_flip_matrix() {
+    let (bytes, batches) = baseline();
+    let mut survived_clean = 0usize;
+    for fault in exhaustive_byte_flips(bytes.len()) {
+        if assert_no_silent_corruption(&fault, &fault.apply(&bytes), &batches) {
+            // An Ok decode under a byte flip is only legal when the flip
+            // landed in a region committed-prefix recovery discards (it
+            // made the tail look torn) — i.e. the result lost records.
+            let replay = decode_wal(&fault.apply(&bytes), FP, ARITY).unwrap();
+            assert!(
+                replay.batches.len() < batches.len(),
+                "{fault:?}: full decode despite a flipped byte"
+            );
+            survived_clean += 1;
+        }
+    }
+    // Only a flip in a record's 8-byte length field can masquerade as a
+    // torn tail (shortage → prefix recovery); everything else must be a
+    // typed rejection.
+    let bound = 8 * record_spans(&bytes).len();
+    assert!(survived_clean <= bound, "too many flips survived: {survived_clean} > {bound}");
+}
+
+#[test]
+fn bit_flip_matrix() {
+    let (bytes, batches) = baseline();
+    for fault in seeded_bit_flips(bytes.len(), 2048, 0xCAFE) {
+        assert_no_silent_corruption(&fault, &fault.apply(&bytes), &batches);
+    }
+}
+
+#[test]
+fn torn_write_matrix() {
+    let (bytes, batches) = baseline();
+    // Every prefix length: the kept prefix survived, the tail reads back
+    // as zeros (rename-before-flush crash signature).
+    for keep in 0..bytes.len() {
+        let fault = Fault::TornWrite { keep };
+        assert_no_silent_corruption(&fault, &fault.apply(&bytes), &batches);
+    }
+}
+
+#[test]
+fn duplicate_and_reordered_records_are_typed_errors() {
+    let (bytes, batches) = baseline();
+    let spans = record_spans(&bytes);
+    assert_eq!(spans.len(), batches.len());
+    for fault in span_duplications(&spans) {
+        match decode_wal(&fault.apply(&bytes), FP, ARITY) {
+            Err(WalError::DuplicateSeq { .. }) => {}
+            other => panic!("{fault:?}: expected DuplicateSeq, got {other:?}"),
+        }
+    }
+    for fault in span_swaps(&spans) {
+        match decode_wal(&fault.apply(&bytes), FP, ARITY) {
+            Err(WalError::SeqGap { .. } | WalError::OutOfOrder { .. }) => {}
+            other => panic!("{fault:?}: expected a sequence error, got {other:?}"),
+        }
+    }
+}
+
+/// End to end: a corrupted WAL file keeps `IncrStore::open` from
+/// installing anything — the error is typed, not a panic or a partial
+/// store.
+#[test]
+fn open_refuses_corrupt_wal_file() {
+    use cape_core::prelude::*;
+    use cape_core::IncrStore;
+    use cape_data::{Relation, Schema, ValueType};
+
+    let dir = std::env::temp_dir().join(format!("cape_walcorrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_path = dir.join("s.cape");
+
+    let schema = Schema::new([("author", ValueType::Str), ("year", ValueType::Int)]).unwrap();
+    let mut rel = Relation::new(schema);
+    for a in 0..4 {
+        for y in 2000..2008 {
+            for _ in 0..3 {
+                rel.push_row(vec![Value::str(format!("a{a}")), Value::Int(y)]).unwrap();
+            }
+        }
+    }
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.3, 3, 0.5, 2),
+        psi: 2,
+        ..MiningConfig::default()
+    };
+    let store = ShareGrpMiner.mine(&rel, &cfg).unwrap().store;
+    save_snapshot(&store_path, rel.schema(), &cfg, &store).unwrap();
+
+    let mut incr = IncrStore::open(&store_path, &rel).unwrap();
+    incr.append(vec![vec![Value::str("a9"), Value::Int(2008)]]).unwrap();
+    let wal_path = incr.wal_path().unwrap().to_path_buf();
+    drop(incr);
+
+    // Flip one byte inside the committed record.
+    let mut wal_bytes = std::fs::read(&wal_path).unwrap();
+    let spans = record_spans(&wal_bytes);
+    assert_eq!(spans.len(), 1);
+    wal_bytes[spans[0].start + 30] ^= 0xFF;
+    std::fs::write(&wal_path, &wal_bytes).unwrap();
+
+    match IncrStore::open(&store_path, &rel) {
+        Err(cape_core::IncrError::Wal(_)) => {}
+        other => panic!("expected a typed WAL error, got {:?}", other.map(|_| "store")),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -77,6 +77,13 @@ impl Relation {
         &self.columns[col][row]
     }
 
+    /// Overwrite a single cell in place. Used by incremental maintenance
+    /// to refresh aggregate outputs of an existing grouped row without
+    /// rebuilding the relation.
+    pub fn set_value(&mut self, row: usize, col: AttrId, v: Value) {
+        self.columns[col][row] = v;
+    }
+
     /// Borrow an entire column.
     pub fn column(&self, col: AttrId) -> &[Value] {
         &self.columns[col]
@@ -206,6 +213,17 @@ mod tests {
         let mut r = sample();
         assert!(r.push_row(vec![Value::Int(1)]).is_err());
         assert_eq!(r.num_rows(), 3);
+    }
+
+    #[test]
+    fn set_value_overwrites_in_place() {
+        let mut r = sample();
+        r.set_value(1, 1, Value::Int(2006));
+        assert_eq!(r.value(1, 1), &Value::Int(2006));
+        assert_eq!(r.num_rows(), 3);
+        // Neighbours untouched.
+        assert_eq!(r.value(0, 1), &Value::Int(2004));
+        assert_eq!(r.value(1, 0), &Value::str("ax"));
     }
 
     #[test]

@@ -152,9 +152,8 @@ impl HttpRequest {
     /// check is per-token, not whole-value.
     pub fn keep_alive(&self) -> bool {
         let has_token = |token: &str| {
-            self.header("connection").is_some_and(|v| {
-                v.split(',').any(|t| t.trim().eq_ignore_ascii_case(token))
-            })
+            self.header("connection")
+                .is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(token)))
         };
         match self.version {
             HttpVersion::V11 => !has_token("close"),

@@ -194,6 +194,52 @@ pub fn parse_batch_body(body: &Json, rel: &Relation) -> Result<Vec<ExplainBody>,
         .collect()
 }
 
+/// Maximum rows accepted in one append body (a DoS guard to match
+/// [`MAX_BATCH`]; the HTTP body limit bounds memory independently).
+pub const MAX_APPEND_ROWS: usize = 100_000;
+
+/// Parse an append body: `{"rows": [[v, ...], ...]}`, each row an array
+/// coerced against the relation schema in column order (`null` is a
+/// NULL in any column).
+pub fn parse_append_body(body: &Json, schema: &Schema) -> Result<Vec<Vec<Value>>, ApiError> {
+    let rows = body
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ApiError::bad_request("missing or non-array field `rows`"))?;
+    if rows.len() > MAX_APPEND_ROWS {
+        return Err(ApiError::bad_request(format!(
+            "`rows` has {} entries, maximum is {MAX_APPEND_ROWS}",
+            rows.len()
+        )));
+    }
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let values = row.as_arr().ok_or_else(|| {
+                ApiError::bad_request(format!("rows[{i}] must be an array of values"))
+            })?;
+            if values.len() != schema.arity() {
+                return Err(ApiError::bad_request(format!(
+                    "rows[{i}] has {} values but the schema has {} columns",
+                    values.len(),
+                    schema.arity()
+                )));
+            }
+            values
+                .iter()
+                .enumerate()
+                .map(|(c, v)| {
+                    let attr = schema.attr(c).expect("column index in range");
+                    coerce_value(v, attr.value_type(), attr.name()).map_err(|mut e| {
+                        e.message = format!("rows[{i}]: {}", e.message);
+                        e
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
 fn value_to_json(v: &Value) -> Json {
     match v {
         Value::Null => Json::Null,

@@ -15,7 +15,8 @@
 use crate::admission::{Admission, AdmissionError};
 use crate::http::{HttpLimits, HttpRequest, RequestParser};
 use crate::json_api::{
-    explain_response_json, parse_batch_body, parse_explain_body, ApiError, ExplainBody,
+    explain_response_json, parse_append_body, parse_batch_body, parse_explain_body, ApiError,
+    ExplainBody,
 };
 use crate::registry::{StoreEpoch, StoreRegistry};
 use crate::response::{error_response, HttpResponse};
@@ -273,6 +274,16 @@ fn swap_route(path: &str) -> Option<&str> {
     Some(name)
 }
 
+/// Split `/admin/stores/{name}/append` into the store name.
+fn append_route(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("/admin/stores/")?;
+    let name = rest.strip_suffix("/append")?;
+    if name.is_empty() || name.contains('/') {
+        return None;
+    }
+    Some(name)
+}
+
 fn handle_request(request: &HttpRequest, shared: &Arc<ServerShared>) -> HttpResponse {
     match (request.method.as_str(), request.path()) {
         ("GET", "/healthz") => {
@@ -299,7 +310,9 @@ fn handle_request(request: &HttpRequest, shared: &Arc<ServerShared>) -> HttpResp
                         ("generation".into(), Json::Num(epoch.generation as f64)),
                         ("swaps".into(), Json::Num(slot.swap_count() as f64)),
                         ("patterns".into(), Json::Num(epoch.handle.store().len() as f64)),
-                        ("rows".into(), Json::Num(slot.relation().num_rows() as f64)),
+                        // The epoch's relation, not the slot's base:
+                        // appends grow what is actually served.
+                        ("rows".into(), Json::Num(epoch.handle.relation().num_rows() as f64)),
                     ])
                 })
                 .collect();
@@ -309,6 +322,10 @@ fn handle_request(request: &HttpRequest, shared: &Arc<ServerShared>) -> HttpResp
             if let Some(name) = swap_route(path) {
                 cape_obs::counter_add("net.route.swap", 1);
                 return handle_swap(name, &request.body, shared);
+            }
+            if let Some(name) = append_route(path) {
+                cape_obs::counter_add("net.route.append", 1);
+                return handle_append(name, &request.body, shared);
             }
             match v1_route(path) {
                 Some((store, "explain")) => {
@@ -328,6 +345,7 @@ fn handle_request(request: &HttpRequest, shared: &Arc<ServerShared>) -> HttpResp
         (_, path)
             if v1_route(path).is_some()
                 || swap_route(path).is_some()
+                || append_route(path).is_some()
                 || path == "/v1/stores"
                 || path == "/healthz"
                 || path == "/metrics" =>
@@ -365,6 +383,56 @@ fn handle_swap(name: &str, body: &[u8], shared: &Arc<ServerShared>) -> HttpRespo
         // schema, corrupt bytes) — 400, and the serving epoch is
         // untouched.
         Err(e) => error_response(400, "bad_snapshot", &e.to_string(), None),
+    }
+}
+
+fn handle_append(name: &str, body: &[u8], shared: &Arc<ServerShared>) -> HttpResponse {
+    use crate::registry::AppendError;
+
+    let Some(slot) = shared.registry.get(name) else {
+        return error_response(404, "not_found", &format!("no store named `{name}`"), None);
+    };
+    let parsed = match std::str::from_utf8(body).ok().and_then(|s| Json::parse(s).ok()) {
+        Some(json) => json,
+        None => return error_response(400, "bad_request", "body is not valid JSON", None),
+    };
+    let rows = match parse_append_body(&parsed, slot.relation().schema()) {
+        Ok(rows) => rows,
+        Err(e) => return api_error_response(&e, None),
+    };
+    match slot.append_rows(rows) {
+        Ok((generation, report)) => HttpResponse::json(
+            200,
+            &Json::Obj(vec![
+                ("store".into(), Json::Str(name.to_string())),
+                ("generation".into(), Json::Num(generation as f64)),
+                ("appended_rows".into(), Json::Num(report.appended_rows as f64)),
+                ("fragments_revalidated".into(), Json::Num(report.touched_fragments as f64)),
+                ("patterns".into(), Json::Num(report.patterns as f64)),
+                ("wal_seq".into(), report.wal_seq.map_or(Json::Null, |s| Json::Num(s as f64))),
+                ("wal_bytes".into(), Json::Num(report.wal_bytes as f64)),
+            ]),
+        ),
+        // A read-only slot can't accept appends: the caller picked the
+        // wrong store, not the wrong bytes — 409, epoch untouched.
+        Err(AppendError::NotIncremental) => error_response(
+            409,
+            "not_incremental",
+            &format!("store `{name}` was not registered with incremental backing"),
+            None,
+        ),
+        Err(AppendError::Incr(e)) => match e {
+            cape_core::IncrError::Arity { .. } | cape_core::IncrError::ValueType { .. } => {
+                cape_obs::counter_add("net.http.400", 1);
+                error_response(400, "bad_rows", &e.to_string(), None)
+            }
+            // WAL/snapshot failures are the server's durability problem;
+            // the serving epoch is untouched and the append did not land.
+            other => {
+                cape_obs::counter_add("net.append.failed", 1);
+                error_response(500, "append_failed", &other.to_string(), None)
+            }
+        },
     }
 }
 
@@ -477,5 +545,8 @@ mod tests {
         assert_eq!(swap_route("/admin/stores/dblp/swap"), Some("dblp"));
         assert_eq!(swap_route("/admin/stores//swap"), None);
         assert_eq!(swap_route("/admin/stores/a/b/swap"), None);
+        assert_eq!(append_route("/admin/stores/dblp/append"), Some("dblp"));
+        assert_eq!(append_route("/admin/stores//append"), None);
+        assert_eq!(append_route("/admin/stores/a/b/append"), None);
     }
 }

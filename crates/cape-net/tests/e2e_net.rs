@@ -327,8 +327,7 @@ fn wire_error_payloads() {
     if let Json::Obj(fields) = &mut huge {
         fields.push(("deadline_ms".into(), Json::Num(1e300)));
     }
-    let resp =
-        client.post_json(&format!("/v1/{}/explain", ds.name), &huge).expect("huge deadline");
+    let resp = client.post_json(&format!("/v1/{}/explain", ds.name), &huge).expect("huge deadline");
     assert_eq!(resp.status, 400);
 
     // Wrong method on a known route → 405, including the admin swap
@@ -344,9 +343,7 @@ fn wire_error_payloads() {
     // A request that closes via a list-valued Connection header still
     // gets its answer before the server closes the socket.
     let mut closing = Client::connect(server.local_addr()).expect("connect");
-    closing
-        .write_raw(b"GET /healthz HTTP/1.1\r\nConnection: close, te\r\n\r\n")
-        .expect("write");
+    closing.write_raw(b"GET /healthz HTTP/1.1\r\nConnection: close, te\r\n\r\n").expect("write");
     let resp = closing.read_response().expect("response");
     assert_eq!(resp.status, 200);
     assert_eq!(resp.header("connection"), Some("close"));

@@ -262,8 +262,11 @@ fn concurrent_swaps_keep_generations_monotonic() {
     save_snapshot(&path, rel.schema(), &cfg, &store).expect("save");
 
     let registry = StoreRegistry::new();
-    let slot =
-        registry.register("dblp", PatternStoreHandle::new(rel, store), ServeConfig::with_threads(1));
+    let slot = registry.register(
+        "dblp",
+        PatternStoreHandle::new(rel, store),
+        ServeConfig::with_threads(1),
+    );
 
     const THREADS: usize = 4;
     const SWAPS_PER_THREAD: usize = 6;
