@@ -15,8 +15,8 @@
 //! hardware) but the comparative shape is the reproduction target.
 
 use cape_bench::experiments::{
-    ablation, explain_perf, fd_opt, incr_bench, mine_bench, mining_scaling, sensitivity, serve,
-    serve_net, store_bench, subtasks, tables, user_study,
+    ablation, explain_perf, fd_opt, incr_bench, mine_bench, mining_scaling, scale_bench,
+    sensitivity, serve, serve_net, store_bench, subtasks, tables, user_study,
 };
 use cape_bench::Scale;
 use mine_bench::MineBenchOpts;
@@ -41,6 +41,7 @@ const EXPERIMENTS: &[&str] = &[
     "serve",
     "serve-net",
     "mine-bench",
+    "scale-bench",
     "store-bench",
     "store-verify",
     "incr-bench",
@@ -49,13 +50,16 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cape-repro [--scale quick|full] [--no-rollup] [--no-sort-cache] <experiment>..."
+        "usage: cape-repro [--scale quick|full] [--no-rollup] [--no-sort-cache] [--no-columnar] \
+         <experiment>..."
     );
     eprintln!(
         "       cape-repro bench-diff OLD.json NEW.json [--threshold PCT] [--noise-floor-ms MS]"
     );
     eprintln!("experiments: all {}", EXPERIMENTS.join(" "));
-    eprintln!("--no-rollup / --no-sort-cache disable one mining kernel in mine-bench");
+    eprintln!(
+        "--no-rollup / --no-sort-cache / --no-columnar disable one mining kernel in mine-bench"
+    );
     std::process::exit(2);
 }
 
@@ -139,6 +143,7 @@ fn run(name: &str, scale: Scale, mine_opts: MineBenchOpts) -> String {
         "serve" => serve::serve(scale),
         "serve-net" => serve_net::serve_net(scale),
         "mine-bench" | "minebench" => mine_bench::mine_bench(scale, mine_opts),
+        "scale-bench" | "scalebench" => scale_bench::scale_bench(scale),
         "store-bench" => store_bench::store_bench(scale),
         "store-verify" => store_bench::store_verify(scale),
         "incr-bench" => incr_bench::incr_bench(scale),
@@ -178,6 +183,7 @@ fn main() {
             }
             "--no-rollup" => mine_opts.rollup = false,
             "--no-sort-cache" => mine_opts.sort_cache = false,
+            "--no-columnar" => mine_opts.columnar = false,
             "--help" | "-h" => usage(),
             other => selected.push(other.to_string()),
         }

@@ -1,15 +1,25 @@
 //! Mining-kernel benchmark: wall-clock and per-stage times for the miner
-//! variants with the columnar kernels (lattice roll-up and the
-//! sort-permutation cache) off — the pre-kernel baseline — and on, at
-//! DBLP and Crime scales. Each configuration is mined [`REPS`] times and
-//! the fastest run is reported, so `bench-diff` trajectories compare
-//! capability rather than scheduler luck. Results are written to
-//! `results/BENCH_mine.json` in addition to the rendered table.
+//! variants with the kernels (lattice roll-up, the sort-permutation
+//! cache, and the batched columnar fit path) off — the row-oriented
+//! pre-kernel baseline — and on, at DBLP and Crime scales. Each
+//! configuration is mined [`REPS`] times and the fastest run is reported,
+//! so `bench-diff` trajectories compare capability rather than scheduler
+//! luck. Results are written to `results/BENCH_mine.json` in addition to
+//! the rendered table; the `scale` section of that file belongs to the
+//! `scale-bench` experiment and is preserved across reruns.
 //!
-//! The `--no-rollup` / `--no-sort-cache` escape hatches force the
-//! corresponding kernel off in the "on" configuration, so a regression
-//! can be bisected to one kernel from the command line without editing
-//! code.
+//! The `--no-rollup` / `--no-sort-cache` / `--no-columnar` escape hatches
+//! force the corresponding kernel off in the "on" configuration, so a
+//! regression can be bisected to one kernel from the command line without
+//! editing code.
+//!
+//! Besides the wall-clock speedup, each entry records
+//! `query_regress_speedup` — the ratio of (query + regression) time
+//! between the two configurations. That is the metric the columnar fit
+//! path moves (it skips per-row `Value` dispatch inside the fit loop),
+//! isolated from setup/teardown noise in `other_s`. Peak RSS per
+//! configuration rides along as `peak_rss_bytes` (informational, not a
+//! gated metric).
 
 use crate::datasets::{crime_prefix, crime_rows, dblp_rows, Scale};
 use crate::report::{section, SeriesTable};
@@ -28,11 +38,13 @@ pub struct MineBenchOpts {
     pub rollup: bool,
     /// Enable the sort-permutation cache in the kernels-on runs.
     pub sort_cache: bool,
+    /// Enable the batched columnar fit path in the kernels-on runs.
+    pub columnar: bool,
 }
 
 impl Default for MineBenchOpts {
     fn default() -> Self {
-        MineBenchOpts { rollup: true, sort_cache: true }
+        MineBenchOpts { rollup: true, sort_cache: true, columnar: true }
     }
 }
 
@@ -73,6 +85,7 @@ struct Run {
     query_s: f64,
     regress_s: f64,
     other_s: f64,
+    peak_rss_bytes: Option<u64>,
     patterns: usize,
     group_queries: usize,
     sort_queries: usize,
@@ -82,13 +95,16 @@ struct Run {
 }
 
 fn run_once(miner: &dyn Miner, rel: &Relation, cfg: &MiningConfig) -> Run {
+    crate::rss::reset_peak();
     let out: MiningOutput = miner.mine(rel, cfg).expect("mining");
+    let peak_rss_bytes = crate::rss::peak_rss_bytes();
     let s = &out.stats;
     Run {
         wall_s: s.total_time.as_secs_f64(),
         query_s: s.query_time.as_secs_f64(),
         regress_s: s.regression_time.as_secs_f64(),
         other_s: s.other_time().as_secs_f64(),
+        peak_rss_bytes,
         patterns: out.store.len(),
         group_queries: s.group_queries,
         sort_queries: s.sort_queries,
@@ -103,7 +119,9 @@ fn run_once(miner: &dyn Miner, rel: &Relation, cfg: &MiningConfig) -> Run {
 /// which matters doubly for the parallel miner on small hosts where
 /// per-stage times sum across contending threads. Taking minima
 /// independently means stage times need not sum to `wall_s`; counters are
-/// deterministic and come from the first run.
+/// deterministic and come from the first run, as does peak RSS (the first
+/// run faults the configuration's pages in fresh, so its high-water mark
+/// is the honest footprint — later reps mostly reuse warm allocations).
 fn best_run(miner: &dyn Miner, rel: &Relation, cfg: &MiningConfig) -> Run {
     let mut best = run_once(miner, rel, cfg);
     for _ in 1..REPS {
@@ -123,6 +141,9 @@ fn best_run(miner: &dyn Miner, rel: &Relation, cfg: &MiningConfig) -> Run {
 /// trajectory gate flaky.
 fn run_json(label: &str, r: &Run, with_stages: bool) -> (String, Json) {
     let mut fields = vec![("wall_s".into(), Json::Num(r.wall_s))];
+    if let Some(rss) = r.peak_rss_bytes {
+        fields.push(("peak_rss_bytes".into(), Json::Num(rss as f64)));
+    }
     if with_stages {
         fields.push((
             "per_stage".into(),
@@ -164,9 +185,11 @@ pub fn mine_bench(scale: Scale, opts: MineBenchOpts) -> String {
             let mut off_cfg = base_cfg(exclude.clone());
             off_cfg.rollup = false;
             off_cfg.sort_cache = false;
+            off_cfg.columnar_fit = false;
             let mut on_cfg = base_cfg(exclude);
             on_cfg.rollup = opts.rollup;
             on_cfg.sort_cache = opts.sort_cache;
+            on_cfg.columnar_fit = opts.columnar;
 
             let mut wall_off = Vec::new();
             let mut wall_on = Vec::new();
@@ -176,9 +199,13 @@ pub fn mine_bench(scale: Scale, opts: MineBenchOpts) -> String {
                 let off = best_run(miner.as_ref(), &rel, &off_cfg);
                 let on = best_run(miner.as_ref(), &rel, &on_cfg);
                 let speedup = if on.wall_s > 0.0 { off.wall_s / on.wall_s } else { f64::NAN };
+                let qr_off = off.query_s + off.regress_s;
+                let qr_on = on.query_s + on.regress_s;
+                let qr_speedup = if qr_on > 0.0 { qr_off / qr_on } else { f64::NAN };
                 eprintln!(
-                    "  mine-bench: {dataset}/{rows} {name}: off {:.3}s on {:.3}s ({speedup:.2}x, \
-                     rollup hits {}, sort-cache hits {}, rows saved {})",
+                    "  mine-bench: {dataset}/{rows} {name}: off {:.3}s on {:.3}s ({speedup:.2}x \
+                     wall, {qr_speedup:.2}x query+regress, rollup hits {}, sort-cache hits {}, \
+                     rows saved {})",
                     off.wall_s, on.wall_s, on.rollup_hits, on.sort_cache_hits, on.scan_rows_saved,
                 );
                 assert_eq!(off.patterns, on.patterns, "kernels changed the mined pattern count");
@@ -192,7 +219,9 @@ pub fn mine_bench(scale: Scale, opts: MineBenchOpts) -> String {
                     ("threads".into(), Json::Num(threads_of(name) as f64)),
                     ("rollup".into(), Json::Bool(opts.rollup)),
                     ("sort_cache".into(), Json::Bool(opts.sort_cache)),
+                    ("columnar".into(), Json::Bool(opts.columnar)),
                     ("speedup".into(), Json::Num(speedup)),
+                    ("query_regress_speedup".into(), Json::Num(qr_speedup)),
                     run_json("baseline", &off, threads_of(name) == 1),
                     run_json("kernels", &on, threads_of(name) == 1),
                 ]));
@@ -203,11 +232,12 @@ pub fn mine_bench(scale: Scale, opts: MineBenchOpts) -> String {
             table.push_series("kernels [s]", wall_on);
             table.push_series("speedup", speedups);
             report.push_str(&format!(
-                "{}{} rows (rollup: {}, sort cache: {})\n{}",
+                "{}{} rows (rollup: {}, sort cache: {}, columnar: {})\n{}",
                 section(&format!("Mining kernels: {dataset} @ {rows}")),
                 rel.num_rows(),
                 opts.rollup,
                 opts.sort_cache,
+                opts.columnar,
                 table.render()
             ));
         }
@@ -218,12 +248,18 @@ pub fn mine_bench(scale: Scale, opts: MineBenchOpts) -> String {
         ("host_cpus".into(), Json::Num(host_cpus as f64)),
         ("rollup".into(), Json::Bool(opts.rollup)),
         ("sort_cache".into(), Json::Bool(opts.sort_cache)),
+        ("columnar".into(), Json::Bool(opts.columnar)),
         ("psi".into(), Json::Num(3.0)),
         ("reps".into(), Json::Num(REPS as f64)),
         ("crime_attrs".into(), Json::Num(CRIME_ATTRS as f64)),
         ("entries".into(), Json::Arr(entries)),
     ]);
-    crate::envelope::write_bench("results/BENCH_mine.json", "mine-bench", payload);
+    crate::envelope::write_bench_preserving(
+        "results/BENCH_mine.json",
+        "mine-bench",
+        payload,
+        &["scale"],
+    );
     report.push_str("wrote results/BENCH_mine.json\n");
     report
 }

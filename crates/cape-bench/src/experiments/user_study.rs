@@ -103,7 +103,7 @@ fn probe(rel: &Relation, author: &Value, year: &Value) -> f64 {
         .expect("probe query")
         .relation;
     for i in 0..grouped.num_rows() {
-        if grouped.value(i, 0) == author && grouped.value(i, 1) == year {
+        if grouped.value(i, 0) == *author && grouped.value(i, 1) == *year {
             return grouped.value(i, 2).as_f64().unwrap_or(0.0);
         }
     }
@@ -159,8 +159,8 @@ fn control(task: &Task, budget: usize) -> Outcome {
     let q_year = &task.question.tuple[1];
     let mut candidates: Vec<(usize, f64)> = (0..grouped.num_rows())
         .filter(|&i| {
-            (grouped.value(i, 0) == q_author || grouped.value(i, 1) == q_year)
-                && !(grouped.value(i, 0) == q_author && grouped.value(i, 1) == q_year)
+            (grouped.value(i, 0) == *q_author || grouped.value(i, 1) == *q_year)
+                && !(grouped.value(i, 0) == *q_author && grouped.value(i, 1) == *q_year)
         })
         .map(|i| (i, (grouped.value(i, 2).as_f64().unwrap_or(0.0) - avg).abs()))
         .collect();
@@ -172,8 +172,8 @@ fn control(task: &Task, budget: usize) -> Outcome {
         }
         let author = grouped.value(i, 0);
         let year = grouped.value(i, 1);
-        let _actual = probe(&task.relation, author, year);
-        if author == &task.truth_author && year == &task.truth_year {
+        let _actual = probe(&task.relation, &author, &year);
+        if author == task.truth_author && year == task.truth_year {
             return Outcome::Found { probes_used: probes + 1 };
         }
     }

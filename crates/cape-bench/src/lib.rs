@@ -21,5 +21,6 @@ pub mod envelope;
 pub mod experiments;
 pub mod questions;
 pub mod report;
+pub mod rss;
 
 pub use datasets::Scale;

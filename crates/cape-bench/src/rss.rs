@@ -1,0 +1,53 @@
+//! Peak-RSS sampling for bench records (Linux `/proc`, std-only).
+//!
+//! `VmHWM` in `/proc/self/status` is the process's resident-set
+//! high-water mark. It only ever grows, so per-measurement peaks require
+//! resetting it first: writing `5` to `/proc/self/clear_refs` drops the
+//! mark back to the *current* RSS (Linux ≥ 4.0). [`reset_peak`] +
+//! [`peak_rss_bytes`] therefore bracket one measured region; the value is
+//! the peak of that region on top of whatever was already resident.
+//!
+//! Both calls are best-effort: on non-Linux hosts (or with `clear_refs`
+//! compiled out) `peak_rss_bytes` returns `None` and bench records simply
+//! omit the field — never a panic, never a fabricated number.
+
+/// Reset the peak-RSS high-water mark to the current RSS (best-effort).
+pub fn reset_peak() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// The process's peak RSS in bytes since start (or since the last
+/// [`reset_peak`]), when the platform exposes it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// `peak_rss_bytes` as a JSON field, when available.
+pub fn peak_rss_field() -> Option<(String, cape_obs::Json)> {
+    peak_rss_bytes().map(|b| ("peak_rss_bytes".to_string(), cape_obs::Json::Num(b as f64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let Some(peak) = peak_rss_bytes() else { return };
+        assert!(peak > 0);
+        // Resetting then allocating must register a new (smaller) peak
+        // that still covers the allocation.
+        reset_peak();
+        let v = vec![1u8; 8 << 20];
+        std::hint::black_box(&v);
+        let after = peak_rss_bytes().expect("still on linux");
+        assert!(after > 0);
+    }
+}

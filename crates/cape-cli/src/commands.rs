@@ -182,8 +182,14 @@ pub fn mine(args: &Args) -> Result<(), CliError> {
         println!("wrote {} patterns to {path}", out.store.len());
     }
     if let Some(path) = save_path {
-        let bytes = snapshot::save_snapshot(path, rel.schema(), &cfg, &out.store)
-            .map_err(|e| runtime(format!("cannot save snapshot {path}: {e}")))?;
+        // --v2 embeds the relation's column slabs so later cold starts
+        // can mmap the dataset instead of re-parsing the CSV.
+        let bytes = if args.flag("v2") {
+            snapshot::save_snapshot_v2(path, rel.schema(), &cfg, &out.store, &rel)
+        } else {
+            snapshot::save_snapshot(path, rel.schema(), &cfg, &out.store)
+        }
+        .map_err(|e| runtime(format!("cannot save snapshot {path}: {e}")))?;
         println!("saved {} patterns to {path} ({bytes} bytes)", out.store.len());
     }
     Ok(())
@@ -244,7 +250,7 @@ fn read_patterns(
             let store = std::sync::Arc::try_unwrap(store).unwrap_or_else(|arc| (*arc).clone());
             return Ok((replayed, store));
         }
-        let loaded = snapshot::load_snapshot(path, &rel).map_err(|e| match e {
+        let loaded = snapshot::load_snapshot_auto(path, &rel).map_err(|e| match e {
             SnapshotError::Io(m) => runtime(format!("cannot read store {path}: {m}")),
             other => CliError::Store(format!("store file {path} rejected: {other}")),
         })?;

@@ -80,6 +80,15 @@ pub struct MiningConfig {
     /// Bounded-memory budget for roll-up parents: total cached *group*
     /// rows across materializations before least-recently-used eviction.
     pub rollup_budget_rows: usize,
+    /// Whether the miner's data path runs over the typed column slabs:
+    /// group-by via the packed slab-code kernel and fragment fitting via
+    /// slab gather + batched kernels (`fit_split`). `false` selects the
+    /// legacy row-oriented path — `Vec<Value>` hash group keys and
+    /// per-cell `Value` dispatch (`fit_split_rows`) — kept as the
+    /// benchmark baseline and differential-suite reference. Identical
+    /// results either way (group order, patterns, fits to 1e-9);
+    /// `--no-columnar` flips this off from the command line.
+    pub columnar_fit: bool,
 }
 
 impl Default for MiningConfig {
@@ -95,6 +104,7 @@ impl Default for MiningConfig {
             rollup: true,
             sort_cache: true,
             rollup_budget_rows: 2_000_000,
+            columnar_fit: true,
         }
     }
 }

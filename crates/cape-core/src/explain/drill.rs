@@ -74,7 +74,7 @@ pub fn raw_candidates(f_attrs: &[AttrId], f_vals: &[Value], p2: &PatternInstance
         DrillResult { attrs: t_attrs, candidates: Vec::new(), rows_scanned: rel.num_rows() };
     for i in 0..rel.num_rows() {
         // (4a) t'[F] = t[F].
-        if f_cols.iter().zip(f_vals).any(|(&c, w)| rel.value(i, c) != w) {
+        if f_cols.iter().zip(f_vals).any(|(&c, w)| rel.value(i, c) != *w) {
             continue;
         }
         // (3) t'[F'] must hold locally under P'.

@@ -54,7 +54,7 @@ pub fn generalizations(store: &PatternStore, uq: &UserQuestion) -> Vec<Generaliz
         let Some(cols) = p.data.cols_of_attrs(&g) else { continue };
         let rel = &p.data.relation;
         let row = (0..rel.num_rows())
-            .find(|&i| cols.iter().zip(&wanted).all(|(&c, w)| rel.value(i, c) == w));
+            .find(|&i| cols.iter().zip(&wanted).all(|(&c, w)| rel.value(i, c) == *w));
         let Some(row) = row else { continue };
 
         let Some(actual) = p.data.agg_value(row, p.agg_col) else { continue };

@@ -79,8 +79,8 @@ mod tests {
         let prov = provenance_of(&rel, &uq);
         assert_eq!(prov.num_rows(), 2);
         for i in 0..prov.num_rows() {
-            assert_eq!(prov.value(i, 0), &Value::str("AX"));
-            assert_eq!(prov.value(i, 1), &Value::str("KDD"));
+            assert_eq!(prov.value(i, 0), Value::str("AX"));
+            assert_eq!(prov.value(i, 1), Value::str("KDD"));
         }
     }
 

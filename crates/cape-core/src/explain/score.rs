@@ -33,7 +33,7 @@ pub fn norm_factor(pattern: &PatternInstance, uq: &UserQuestion) -> f64 {
     };
     let rel = &pattern.data.relation;
     for i in 0..rel.num_rows() {
-        if cols.iter().zip(&wanted).all(|(&c, w)| rel.value(i, c) == w) {
+        if cols.iter().zip(&wanted).all(|(&c, w)| rel.value(i, c) == *w) {
             return pattern.data.agg_value(i, pattern.agg_col).unwrap_or(0.0).abs();
         }
     }

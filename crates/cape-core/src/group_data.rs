@@ -6,7 +6,7 @@
 //! materialization: the aggregated relation plus the column bookkeeping
 //! needed to find a given aggregate output or base attribute again.
 
-use cape_data::ops::{aggregate_with_row_count, column_ranks};
+use cape_data::ops::{aggregate_with_row_count, aggregate_with_row_count_unpacked, column_ranks};
 use cape_data::{AggFunc, AggSpec, AttrId, Relation, Result, Value};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -68,8 +68,27 @@ impl GroupData {
         group_attrs: &[AttrId],
         aggs: &[(AggFunc, Option<AttrId>)],
     ) -> Result<Self> {
+        Self::compute_with_layout(rel, group_attrs, aggs, true)
+    }
+
+    /// [`GroupData::compute`] with an explicit data-path choice:
+    /// `columnar = true` groups via the packed slab-code kernel, `false`
+    /// via the legacy `Vec<Value>` hash keys — the row-oriented path the
+    /// benches and differential suites compare against
+    /// (`MiningConfig::columnar_fit = false`). Both produce identical
+    /// relations (first-appearance group order).
+    pub fn compute_with_layout(
+        rel: &Relation,
+        group_attrs: &[AttrId],
+        aggs: &[(AggFunc, Option<AttrId>)],
+        columnar: bool,
+    ) -> Result<Self> {
         let specs: Vec<AggSpec> = aggs.iter().map(|&(func, attr)| AggSpec { func, attr }).collect();
-        let result = aggregate_with_row_count(rel, group_attrs, &specs)?;
+        let result = if columnar {
+            aggregate_with_row_count(rel, group_attrs, &specs)?
+        } else {
+            aggregate_with_row_count_unpacked(rel, group_attrs, &specs)?
+        };
         Ok(Self::from_parts(group_attrs.to_vec(), result.relation, aggs))
     }
 

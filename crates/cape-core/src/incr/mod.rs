@@ -127,7 +127,14 @@ pub struct AppendReport {
     pub wal_seq: Option<u64>,
     /// Bytes appended to the WAL.
     pub wal_bytes: u64,
+    /// Whether this append pushed the WAL past its size threshold and
+    /// triggered an automatic [`IncrStore::compact`].
+    pub auto_compacted: bool,
 }
+
+/// Default WAL auto-compaction threshold (bytes). Once the on-disk log
+/// grows past this, the next committed append folds it into the snapshot.
+pub const DEFAULT_WAL_COMPACT_BYTES: u64 = 64 * 1024 * 1024;
 
 /// Durable-tier state: where the snapshot and WAL live.
 struct Durability {
@@ -135,6 +142,9 @@ struct Durability {
     wal_path: PathBuf,
     schema_fp: u64,
     last_seq: u64,
+    /// Current on-disk WAL size, maintained incrementally (append adds
+    /// the record's bytes, compaction resets to the rewritten file's).
+    wal_size: u64,
 }
 
 /// Per-candidate sufficient statistics within one fragment.
@@ -274,7 +284,7 @@ impl GroupState {
             };
             for (j, &(_, attr)) in self.aggs.iter().enumerate() {
                 self.accs[slot][j]
-                    .update(attr.map(|a| rel.value(i, a)))
+                    .update(attr.map(|a| rel.value(i, a)).as_ref())
                     .map_err(|e| IncrError::Core(e.to_string()))?;
             }
             self.row_counts[slot] += 1;
@@ -527,6 +537,9 @@ pub struct IncrStore {
     store: Arc<PatternStore>,
     delta_rows: Vec<Vec<Value>>,
     durability: Option<Durability>,
+    /// Auto-compaction threshold: once the WAL exceeds this many bytes,
+    /// `append` compacts before returning. `None` disables.
+    wal_compact_bytes: Option<u64>,
 }
 
 impl IncrStore {
@@ -561,6 +574,7 @@ impl IncrStore {
             store: Arc::new(PatternStore::new()),
             delta_rows: Vec::new(),
             durability: None,
+            wal_compact_bytes: Some(DEFAULT_WAL_COMPACT_BYTES),
         };
         incr.ingest_range(0)?;
         incr.store = Arc::new(incr.regenerate());
@@ -603,7 +617,8 @@ impl IncrStore {
 
         let mut incr = Self::build(relation, contents.config)?;
         incr.delta_rows = delta_rows;
-        incr.durability = Some(Durability { store_path, wal_path, schema_fp, last_seq });
+        let wal_size = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
+        incr.durability = Some(Durability { store_path, wal_path, schema_fp, last_seq, wal_size });
         Ok(incr)
     }
 
@@ -625,7 +640,9 @@ impl IncrStore {
         } else {
             wal::init_wal(&wal_path, schema_fp, 0)?;
         }
-        self.durability = Some(Durability { store_path, wal_path, schema_fp, last_seq: 0 });
+        let wal_size = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
+        self.durability =
+            Some(Durability { store_path, wal_path, schema_fp, last_seq: 0, wal_size });
         Ok(())
     }
 
@@ -644,6 +661,7 @@ impl IncrStore {
                 patterns: self.store.len(),
                 wal_seq: None,
                 wal_bytes: 0,
+                auto_compacted: false,
             });
         }
         for (i, row) in rows.iter().enumerate() {
@@ -661,6 +679,7 @@ impl IncrStore {
                 let seq = d.last_seq + 1;
                 let bytes = wal::append_record(&d.wal_path, seq, &rows)?;
                 d.last_seq = seq;
+                d.wal_size += bytes;
                 cape_obs::counter_add("incr.wal_bytes", bytes);
                 (Some(seq), bytes)
             }
@@ -677,6 +696,20 @@ impl IncrStore {
         let touched_fragments = self.ingest_range(start)?;
         cape_obs::counter_add("incr.fragments_revalidated", touched_fragments as u64);
         self.store = Arc::new(self.regenerate());
+
+        // Size-triggered auto-compaction: once the log outgrows the
+        // threshold, fold it into the snapshot so sustained appends keep
+        // the WAL bounded by (threshold + one consolidated delta). The
+        // batch itself is already durable at this point — a compaction
+        // failure surfaces as an error but loses nothing on replay.
+        let auto_compacted = match (self.wal_compact_bytes, &self.durability) {
+            (Some(limit), Some(d)) if d.wal_size > limit => {
+                self.compact()?;
+                cape_obs::counter_add("incr.auto_compactions", 1);
+                true
+            }
+            _ => false,
+        };
         drop(span);
         Ok(AppendReport {
             appended_rows,
@@ -684,6 +717,7 @@ impl IncrStore {
             patterns: self.store.len(),
             wal_seq,
             wal_bytes,
+            auto_compacted,
         })
     }
 
@@ -695,9 +729,10 @@ impl IncrStore {
     /// replays the full WAL over the base relation, which is correct
     /// (rows never double-apply) just not yet compacted.
     pub fn compact(&mut self) -> Result<(), IncrError> {
-        let Some(d) = &self.durability else { return Err(IncrError::NotDurable) };
+        let Some(d) = &mut self.durability else { return Err(IncrError::NotDurable) };
         save_snapshot(&d.store_path, self.relation.schema(), &self.cfg, &self.store)?;
-        wal::write_compacted(&d.wal_path, d.schema_fp, d.last_seq, &self.delta_rows)?;
+        let size = wal::write_compacted(&d.wal_path, d.schema_fp, d.last_seq, &self.delta_rows)?;
+        d.wal_size = size;
         cape_obs::counter_add("incr.compactions", 1);
         Ok(())
     }
@@ -727,6 +762,23 @@ impl IncrStore {
     /// Path of the attached WAL, if durable.
     pub fn wal_path(&self) -> Option<&Path> {
         self.durability.as_ref().map(|d| d.wal_path.as_path())
+    }
+
+    /// Current on-disk WAL size in bytes (`None` for in-memory stores).
+    pub fn wal_size(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.wal_size)
+    }
+
+    /// The auto-compaction threshold, if enabled (the default is
+    /// [`DEFAULT_WAL_COMPACT_BYTES`]).
+    pub fn wal_compact_threshold(&self) -> Option<u64> {
+        self.wal_compact_bytes
+    }
+
+    /// Set (or with `None`, disable) the WAL size threshold past which
+    /// [`IncrStore::append`] compacts automatically.
+    pub fn set_wal_compact_threshold(&mut self, threshold: Option<u64>) {
+        self.wal_compact_bytes = threshold;
     }
 
     /// Rows appended since the base relation (the WAL's logical content).
@@ -986,6 +1038,72 @@ mod tests {
         assert_eq!(after_compact.delta_rows().len(), n - cut);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sustained_appends_keep_wal_bounded() {
+        let dir = std::env::temp_dir().join(format!("cape_autocompact_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store_path = dir.join("pubs.cape");
+        let full = pubs(6, 8, 2);
+        let cfg = lenient_cfg();
+        let n = full.num_rows();
+        let base = full.take(&(0..2).collect::<Vec<_>>());
+        let mined = mine_store(&base, &cfg);
+        save_snapshot(&store_path, base.schema(), &cfg, &mined).unwrap();
+
+        let mut incr = IncrStore::open(&store_path, &base).unwrap();
+        assert_eq!(incr.wal_compact_threshold(), Some(DEFAULT_WAL_COMPACT_BYTES));
+        let threshold = 512u64;
+        incr.set_wal_compact_threshold(Some(threshold));
+
+        // One consolidated record holds the *entire* delta, so the lower
+        // bound grows with it; what auto-compaction must bound is the
+        // tail of per-append records on top of that.
+        let mut compactions = 0usize;
+        let mut max_excess = 0u64;
+        for i in 2..n {
+            let report = incr.append(vec![full.row(i)]).unwrap();
+            if report.auto_compacted {
+                compactions += 1;
+            }
+            let on_disk = std::fs::metadata(incr.wal_path().unwrap()).unwrap().len();
+            assert_eq!(Some(on_disk), incr.wal_size(), "tracked size matches disk");
+            let compacted_floor =
+                wal::encode_header(0, 0).len() as u64 + compacted_record_len(incr.delta_rows());
+            max_excess = max_excess.max(on_disk.saturating_sub(compacted_floor));
+        }
+        assert!(compactions >= 2, "sustained appends must compact repeatedly ({compactions})");
+        // Between compactions the tail of loose records never exceeds the
+        // threshold plus the one record that crossed it.
+        assert!(
+            max_excess <= threshold + 256,
+            "WAL tail grew unbounded: {max_excess} bytes over the compacted floor"
+        );
+
+        // Everything still replays: a fresh open matches the full mine.
+        let reopened = IncrStore::open(&store_path, &base).unwrap();
+        assert_eq!(reopened.relation().num_rows(), n);
+        assert_stores_match(&reopened.store(), &mine_store(&full, &cfg));
+
+        // Disabling the threshold stops auto-compaction.
+        let mut incr = reopened;
+        incr.set_wal_compact_threshold(None);
+        let before = std::fs::metadata(incr.wal_path().unwrap()).unwrap().len();
+        let report = incr.append(vec![full.row(0)]).unwrap();
+        assert!(!report.auto_compacted);
+        assert!(std::fs::metadata(incr.wal_path().unwrap()).unwrap().len() > before);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Size of the consolidated record compaction would write for `rows`.
+    fn compacted_record_len(rows: &[Vec<Value>]) -> u64 {
+        if rows.is_empty() {
+            0
+        } else {
+            wal::encode_record(1, rows).len() as u64
+        }
     }
 
     #[test]

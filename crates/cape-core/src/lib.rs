@@ -54,7 +54,7 @@ pub mod store;
 
 pub use config::{AggSelection, MiningConfig, Thresholds};
 pub use error::{CapeError, Result};
-pub use incr::{AppendReport, IncrError, IncrStore};
+pub use incr::{AppendReport, IncrError, IncrStore, DEFAULT_WAL_COMPACT_BYTES};
 pub use pattern::Arp;
 pub use question::{Direction, UserQuestion};
 pub use session::{CapeSession, ExplainAlgo};

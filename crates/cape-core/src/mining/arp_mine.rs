@@ -5,7 +5,7 @@ use crate::config::MiningConfig;
 use crate::error::Result;
 use crate::group_data::GroupData;
 use crate::mining::candidates::group_sets;
-use crate::mining::fit::fit_split;
+use crate::mining::fit::{fit_split, fit_split_rows};
 use crate::mining::share_grp::build_candidates;
 use crate::mining::{make_instance, record_mining_run, validate_config, Miner, MiningOutput};
 use crate::pattern::Arp;
@@ -47,7 +47,8 @@ impl Miner for ArpMiner {
                 if aggs.is_empty() {
                     continue;
                 }
-                let gd = Arc::new(GroupData::compute(rel, &g, &aggs)?);
+                let gd =
+                    Arc::new(GroupData::compute_with_layout(rel, &g, &aggs, cfg.columnar_fit)?);
                 cape_obs::counter_add("mining.group_queries", 1);
 
                 // Record |π_G(R)| and detect new FDs (detectFDs, Appendix D).
@@ -138,8 +139,8 @@ pub(crate) fn explore_sort_orders(
             if candidates.is_empty() {
                 continue;
             }
-            let outcomes =
-                fit_split(scan, &sort_perm, &f_cols, &v_cols, &candidates, &cfg.thresholds);
+            let fitter = if cfg.columnar_fit { fit_split } else { fit_split_rows };
+            let outcomes = fitter(scan, &sort_perm, &f_cols, &v_cols, &candidates, &cfg.thresholds);
             for (cand, outcome) in candidates.iter().zip(outcomes) {
                 if let Some(outcome) = outcome {
                     let arp = Arp::new(

@@ -78,7 +78,7 @@ impl Miner for CubeMiner {
                     continue;
                 }
                 let gd = if cfg.rollup {
-                    materialize_group(rel, g, &aggs, &lattice)?
+                    materialize_group(rel, g, &aggs, &lattice, cfg.columnar_fit)?
                 } else {
                     match by_dims.get(g) {
                         Some(gd) => Arc::clone(gd),

@@ -5,9 +5,16 @@
 use crate::config::Thresholds;
 use crate::store::LocalPattern;
 use cape_data::ops::perm_block_starts;
-use cape_data::{AggFunc, AttrId, Relation, Value};
-use cape_regress::{fit, ModelType};
+use cape_data::{AggFunc, AttrId, NumView, Relation, Value};
+use cape_regress::{fit, fit_constant_batch, fit_linear1_batch, ModelType};
 use std::collections::HashMap;
+
+/// The batched kernels agree with the exact kernels to far below this
+/// band. A GoF landing within it of θ would let last-ulp differences flip
+/// the hold decision against the row-oriented path, so such fragments are
+/// re-derived with the exact kernel — the same guard the incremental
+/// stats path applies (`cape_core::incr`).
+const GOF_EDGE: f64 = 1e-9;
 
 /// One pattern candidate sharing a given `(F, V)` split: the aggregate
 /// call (with its column in the grouped relation) and the model type.
@@ -48,6 +55,14 @@ pub struct FitOutcome {
 ///
 /// This is the "evaluate multiple patterns in parallel with one scan"
 /// optimization of Section 4.2.
+///
+/// Extraction runs over the typed column slabs (one enum branch per
+/// column per block, raw `i64`/`f64` loads per row) and falls back to
+/// per-cell `Value` dispatch only for columns that degraded to `Mixed`.
+/// Both paths feed the identical `fit` kernels in the identical row
+/// order, so results are bit-for-bit equal — see
+/// [`fit_split_rows`] for the always-row-oriented variant kept as the
+/// benchmark baseline and `--no-columnar` escape hatch.
 pub fn fit_split(
     grouped: &Relation,
     perm: &[usize],
@@ -56,6 +71,40 @@ pub fn fit_split(
     candidates: &[SplitCandidate],
     thresholds: &Thresholds,
 ) -> Vec<Option<FitOutcome>> {
+    fit_split_impl(grouped, perm, f_cols, v_cols, candidates, thresholds, true)
+}
+
+/// Row-oriented [`fit_split`]: per-cell `Value` materialization and
+/// dispatch, exactly the pre-columnar extraction loop. Selected by
+/// `MiningConfig::columnar_fit = false` (CLI `--no-columnar`); also the
+/// baseline the scale bench compares the slab gather against.
+pub fn fit_split_rows(
+    grouped: &Relation,
+    perm: &[usize],
+    f_cols: &[usize],
+    v_cols: &[usize],
+    candidates: &[SplitCandidate],
+    thresholds: &Thresholds,
+) -> Vec<Option<FitOutcome>> {
+    fit_split_impl(grouped, perm, f_cols, v_cols, candidates, thresholds, false)
+}
+
+fn fit_split_impl(
+    grouped: &Relation,
+    perm: &[usize],
+    f_cols: &[usize],
+    v_cols: &[usize],
+    candidates: &[SplitCandidate],
+    thresholds: &Thresholds,
+    columnar: bool,
+) -> Vec<Option<FitOutcome>> {
+    // The whole gather-and-fit scan is the miner's regression stage:
+    // sample extraction (the per-`Value` dispatch the columnar path
+    // eliminates) plus the model fits. Classifying it under `regress.`
+    // makes `MiningStats::regression_time` measure what the batched
+    // kernels actually move. Inner `regress.fit` spans nest below and are
+    // not double-counted by the phase breakdown.
+    let _span = cape_obs::span("regress.fit_split");
     cape_obs::counter_add("mining.candidates_considered", candidates.len() as u64);
     let mut fragments_fitted = 0u64;
     let mut patterns_found = 0u64;
@@ -86,6 +135,7 @@ pub fn fit_split(
     // are only materialized when some candidate actually reads them —
     // models that ignore predictors fit straight from the y buffer.
     let mut xs_rows: Vec<Vec<f64>> = Vec::new();
+    let mut xs_flat: Vec<f64> = Vec::new();
     let mut x_missing: Vec<bool> = Vec::new();
     let mut ys_raw: Vec<Vec<Option<f64>>> = vec![Vec::new(); distinct_cols.len()];
     let mut ys_dense: Vec<Vec<f64>> = vec![Vec::new(); distinct_cols.len()];
@@ -105,25 +155,37 @@ pub fn fit_split(
         // row.
         let mut n_x_missing = 0usize;
         if needs_numeric_x {
-            xs_rows.clear();
-            x_missing.clear();
-            for &p in &perm[start..end] {
-                let mut x = Vec::with_capacity(v_cols.len());
-                let mut missing = false;
-                for &c in v_cols {
-                    match grouped.value(p, c).as_f64() {
-                        Some(v) => x.push(v),
-                        None => {
-                            x.push(0.0);
-                            missing = true;
+            let block = &perm[start..end];
+            if columnar {
+                gather_xs_columnar(grouped, v_cols, block, &mut xs_rows, &mut x_missing);
+                n_x_missing = x_missing.iter().filter(|&&m| m).count();
+            } else {
+                xs_rows.clear();
+                x_missing.clear();
+                for &p in block {
+                    let mut x = Vec::with_capacity(v_cols.len());
+                    let mut missing = false;
+                    for &c in v_cols {
+                        match grouped.value(p, c).as_f64() {
+                            Some(v) => x.push(v),
+                            None => {
+                                x.push(0.0);
+                                missing = true;
+                            }
                         }
                     }
+                    if missing {
+                        n_x_missing += 1;
+                    }
+                    x_missing.push(missing);
+                    xs_rows.push(x);
                 }
-                if missing {
-                    n_x_missing += 1;
-                }
-                x_missing.push(missing);
-                xs_rows.push(x);
+            }
+            // Flat predictor slab for the batched single-predictor OLS
+            // kernel (row-major `xs_rows` stays the fallback shape).
+            if columnar && v_cols.len() == 1 {
+                xs_flat.clear();
+                xs_flat.extend(xs_rows.iter().map(|r| r[0]));
             }
         }
 
@@ -135,16 +197,21 @@ pub fn fit_split(
             let dense = &mut ys_dense[j];
             raw.clear();
             dense.clear();
-            let mut all_present = true;
-            for &p in &perm[start..end] {
-                let v = grouped.value(p, col).as_f64();
-                raw.push(v);
-                match v {
-                    Some(y) => dense.push(y),
-                    None => all_present = false,
+            let block = &perm[start..end];
+            ys_is_dense[j] = if columnar {
+                gather_ys_columnar(grouped, col, block, raw, dense)
+            } else {
+                let mut all_present = true;
+                for &p in block {
+                    let v = grouped.value(p, col).as_f64();
+                    raw.push(v);
+                    match v {
+                        Some(y) => dense.push(y),
+                        None => all_present = false,
+                    }
                 }
-            }
-            ys_is_dense[j] = all_present;
+                all_present
+            };
         }
 
         for ((cand, &slot), partial) in candidates.iter().zip(&col_slot).zip(&mut partials) {
@@ -174,7 +241,28 @@ pub fn fit_split(
                 continue; // nulls reduced the usable evidence below δ
             }
             fragments_fitted += 1;
-            let Ok(fitted) = fit(cand.model, xs, ys) else { continue };
+            // Columnar path: Const and single-predictor Lin fits run the
+            // chunked slab kernels over the flat buffers. A GoF inside
+            // the θ knife-edge band (or a kernel error) falls back to the
+            // exact kernel so hold decisions match the row path exactly.
+            let dense = ys_is_dense[slot] && (!lin || n_x_missing == 0);
+            let batched = if columnar {
+                match cand.model {
+                    ModelType::Const => Some(fit_constant_batch(ys)),
+                    ModelType::Lin if lin && v_cols.len() == 1 && dense => {
+                        Some(fit_linear1_batch(&xs_flat, ys))
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            let fitted = match batched {
+                Some(Ok(f)) if (f.gof - thresholds.theta).abs() >= GOF_EDGE => Ok(f),
+                Some(_) => fit(cand.model, xs, ys),
+                None => fit(cand.model, xs, ys),
+            };
+            let Ok(fitted) = fitted else { continue };
             if fitted.gof < thresholds.theta {
                 continue;
             }
@@ -215,6 +303,148 @@ pub fn fit_split(
     cape_obs::counter_add("mining.fragments_fitted", fragments_fitted);
     cape_obs::counter_add("mining.patterns_found", patterns_found);
     out
+}
+
+/// Gather the aggregate column `col` through the permutation block into
+/// the shared `raw`/`dense` buffers, returning whether every row was
+/// present. The column's enum is matched once per block; inner loops run
+/// over raw slab words. Produces exactly what the row-oriented loop
+/// produces (`Value::as_f64` of each cell in block order).
+fn gather_ys_columnar(
+    grouped: &Relation,
+    col: usize,
+    block: &[usize],
+    raw: &mut Vec<Option<f64>>,
+    dense: &mut Vec<f64>,
+) -> bool {
+    match grouped.num_view(col) {
+        Some(NumView::Float { data, nulls }) => {
+            if nulls.no_nulls() {
+                for &p in block {
+                    let y = data[p];
+                    raw.push(Some(y));
+                    dense.push(y);
+                }
+                true
+            } else {
+                let mut all_present = true;
+                for &p in block {
+                    if nulls.get(p) {
+                        raw.push(None);
+                        all_present = false;
+                    } else {
+                        raw.push(Some(data[p]));
+                        dense.push(data[p]);
+                    }
+                }
+                all_present
+            }
+        }
+        Some(NumView::Int { data, nulls }) => {
+            if nulls.no_nulls() {
+                for &p in block {
+                    let y = data[p] as f64;
+                    raw.push(Some(y));
+                    dense.push(y);
+                }
+                true
+            } else {
+                let mut all_present = true;
+                for &p in block {
+                    if nulls.get(p) {
+                        raw.push(None);
+                        all_present = false;
+                    } else {
+                        let y = data[p] as f64;
+                        raw.push(Some(y));
+                        dense.push(y);
+                    }
+                }
+                all_present
+            }
+        }
+        // Mixed (or string) column: per-cell dispatch, same as the row path.
+        None => {
+            let mut all_present = true;
+            for &p in block {
+                let v = grouped.value_f64(p, col);
+                raw.push(v);
+                match v {
+                    Some(y) => dense.push(y),
+                    None => all_present = false,
+                }
+            }
+            all_present
+        }
+    }
+}
+
+/// Gather predictor rows through the permutation block, column by column,
+/// into the reused row-major buffers. Missing (NULL / non-numeric) cells
+/// become 0.0 with the row flagged, identical to the row-oriented loop.
+fn gather_xs_columnar(
+    grouped: &Relation,
+    v_cols: &[usize],
+    block: &[usize],
+    xs_rows: &mut Vec<Vec<f64>>,
+    x_missing: &mut Vec<bool>,
+) {
+    let n = block.len();
+    let width = v_cols.len();
+    // Reuse the outer Vec and each row's allocation across blocks.
+    xs_rows.truncate(n);
+    for row in xs_rows.iter_mut() {
+        row.clear();
+        row.resize(width, 0.0);
+    }
+    while xs_rows.len() < n {
+        xs_rows.push(vec![0.0; width]);
+    }
+    x_missing.clear();
+    x_missing.resize(n, false);
+
+    for (j, &c) in v_cols.iter().enumerate() {
+        match grouped.num_view(c) {
+            Some(NumView::Float { data, nulls }) => {
+                if nulls.no_nulls() {
+                    for (i, &p) in block.iter().enumerate() {
+                        xs_rows[i][j] = data[p];
+                    }
+                } else {
+                    for (i, &p) in block.iter().enumerate() {
+                        if nulls.get(p) {
+                            x_missing[i] = true;
+                        } else {
+                            xs_rows[i][j] = data[p];
+                        }
+                    }
+                }
+            }
+            Some(NumView::Int { data, nulls }) => {
+                if nulls.no_nulls() {
+                    for (i, &p) in block.iter().enumerate() {
+                        xs_rows[i][j] = data[p] as f64;
+                    }
+                } else {
+                    for (i, &p) in block.iter().enumerate() {
+                        if nulls.get(p) {
+                            x_missing[i] = true;
+                        } else {
+                            xs_rows[i][j] = data[p] as f64;
+                        }
+                    }
+                }
+            }
+            None => {
+                for (i, &p) in block.iter().enumerate() {
+                    match grouped.value_f64(p, c) {
+                        Some(v) => xs_rows[i][j] = v,
+                        None => x_missing[i] = true,
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

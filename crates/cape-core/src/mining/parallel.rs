@@ -117,7 +117,8 @@ impl Miner for ParallelMiner {
                             let mut store = PatternStore::new();
                             let aggs = cfg.resolve_aggs(rel, g);
                             if !aggs.is_empty() {
-                                let gd = materialize_group(rel, g, &aggs, lattice)?;
+                                let gd =
+                                    materialize_group(rel, g, &aggs, lattice, cfg.columnar_fit)?;
                                 explore_sort_orders(rel, cfg, &gd, g, fds, &mut store)?;
                                 gd.clear_sort_cache();
                             }

@@ -167,6 +167,7 @@ pub fn materialize_group(
     g: &[AttrId],
     aggs: &[(AggFunc, Option<AttrId>)],
     lattice: &Mutex<LatticeRollup>,
+    columnar: bool,
 ) -> Result<Arc<GroupData>> {
     let specs: Vec<AggSpec> = aggs.iter().map(|&(func, attr)| AggSpec { func, attr }).collect();
     let (found, base_rows) = {
@@ -194,7 +195,7 @@ pub fn materialize_group(
             Ok(gd)
         }
         Found::None => {
-            let gd = Arc::new(GroupData::compute(rel, g, aggs)?);
+            let gd = Arc::new(GroupData::compute_with_layout(rel, g, aggs, columnar)?);
             cape_obs::counter_add("mining.group_queries", 1);
             cape_obs::counter_add("mining.rollup_misses", 1);
             lattice.lock().expect("rollup lattice poisoned").insert(Arc::clone(&gd), specs);
@@ -235,8 +236,8 @@ mod tests {
         let rec = cape_obs::Recorder::new();
         let guard = rec.install();
         // Materialize the apex first (decreasing-size order).
-        let apex = materialize_group(&rel, &[0, 1, 2], &aggs, &lattice).unwrap();
-        let child = materialize_group(&rel, &[0, 1], &aggs, &lattice).unwrap();
+        let apex = materialize_group(&rel, &[0, 1, 2], &aggs, &lattice, true).unwrap();
+        let child = materialize_group(&rel, &[0, 1], &aggs, &lattice, true).unwrap();
         drop(guard);
         let snap = rec.snapshot();
         assert_eq!(snap.counter("mining.group_queries"), 1, "child must not rescan the base");
@@ -256,8 +257,8 @@ mod tests {
         let aggs = [(AggFunc::Count, None)];
         let rec = cape_obs::Recorder::new();
         let guard = rec.install();
-        materialize_group(&rel, &[0, 1, 2], &aggs, &lattice).unwrap();
-        materialize_group(&rel, &[0, 1], &aggs, &lattice).unwrap();
+        materialize_group(&rel, &[0, 1, 2], &aggs, &lattice, true).unwrap();
+        materialize_group(&rel, &[0, 1], &aggs, &lattice, true).unwrap();
         drop(guard);
         let snap = rec.snapshot();
         assert_eq!(snap.counter("mining.group_queries"), 2);

@@ -97,7 +97,7 @@ impl UserQuestion {
             .relation;
         let agg_col = group_attrs.len();
         for i in 0..result.num_rows() {
-            if (0..group_attrs.len()).all(|c| result.value(i, c) == &tuple[c]) {
+            if (0..group_attrs.len()).all(|c| result.value(i, c) == tuple[c]) {
                 let agg_value = result.value(i, agg_col).as_f64().ok_or_else(|| {
                     crate::error::CapeError::InvalidQuestion("non-numeric aggregate".into())
                 })?;
@@ -180,7 +180,7 @@ impl UserQuestion {
         // Each value must occur in its column…
         for (&a, v) in group_attrs.iter().zip(&tuple) {
             rel.schema().attr(a).map_err(CapeError::Data)?;
-            if !rel.column(a).contains(v) {
+            if !rel.column_iter(a).any(|x| x == *v) {
                 return Err(CapeError::InvalidQuestion(format!(
                     "value {v} never occurs in attribute #{a}; cannot pose a question about it"
                 )));
@@ -188,7 +188,7 @@ impl UserQuestion {
         }
         // …but the combination must not.
         let combination_exists = (0..rel.num_rows())
-            .any(|i| group_attrs.iter().zip(&tuple).all(|(&a, v)| rel.value(i, a) == v));
+            .any(|i| group_attrs.iter().zip(&tuple).all(|(&a, v)| rel.value(i, a) == *v));
         if combination_exists {
             return Err(CapeError::InvalidQuestion(
                 "the group exists — use from_query for questions about existing answers".into(),

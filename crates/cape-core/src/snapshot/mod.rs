@@ -50,6 +50,12 @@
 
 pub mod codec;
 pub mod inject;
+pub mod v2;
+
+pub use v2::{
+    load_relation_v2, load_snapshot_auto, load_snapshot_v2, read_snapshot_v2, save_snapshot_v2,
+    snapshot_version, SnapshotV2Contents, FORMAT_VERSION_V2,
+};
 
 use crate::config::{AggSelection, MiningConfig, Thresholds};
 use crate::group_data::GroupData;
@@ -68,12 +74,12 @@ use std::sync::Arc;
 pub const MAGIC: &[u8; 8] = b"CAPESNAP";
 /// Trailing commit marker: present only once the file is fully written.
 pub const FOOTER_MAGIC: &[u8; 8] = b"CAPECMIT";
-/// Current (and only) format version.
+/// The v1 format version (patterns only; relation recomputed from CSV).
 pub const FORMAT_VERSION: u32 = 1;
 
-const TAG_SCHEMA: u32 = u32::from_le_bytes(*b"SCHM");
-const TAG_CONFIG: u32 = u32::from_le_bytes(*b"CONF");
-const TAG_PATTERNS: u32 = u32::from_le_bytes(*b"PATS");
+pub(crate) const TAG_SCHEMA: u32 = u32::from_le_bytes(*b"SCHM");
+pub(crate) const TAG_CONFIG: u32 = u32::from_le_bytes(*b"CONF");
+pub(crate) const TAG_PATTERNS: u32 = u32::from_le_bytes(*b"PATS");
 
 /// `(tag, display name)` for the three v1 sections, in file order.
 const SECTIONS: [(u32, &str); 3] =
@@ -112,7 +118,9 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::VersionUnsupported { found } => {
                 write!(
                     f,
-                    "unsupported snapshot version {found} (this build reads {FORMAT_VERSION})"
+                    "unsupported snapshot version {found} (this build reads v{FORMAT_VERSION}; \
+                     v{} via the v2 loader)",
+                    v2::FORMAT_VERSION_V2
                 )
             }
             SnapshotError::SectionCorrupt { section } => write!(f, "section corrupt: {section}"),
@@ -165,7 +173,7 @@ pub fn schema_fingerprint(schema: &Schema) -> u64 {
 
 // --- encoding --------------------------------------------------------------
 
-fn encode_schema_section(schema: &Schema) -> Vec<u8> {
+pub(crate) fn encode_schema_section(schema: &Schema) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.u64(schema_fingerprint(schema));
     w.u32(schema.arity() as u32);
@@ -176,7 +184,7 @@ fn encode_schema_section(schema: &Schema) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn encode_config_section(cfg: &MiningConfig) -> Vec<u8> {
+pub(crate) fn encode_config_section(cfg: &MiningConfig) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.f64(cfg.thresholds.theta);
     w.u64(cfg.thresholds.delta as u64);
@@ -220,7 +228,7 @@ fn write_attr_list(w: &mut ByteWriter, ids: &[AttrId]) {
     }
 }
 
-fn encode_patterns_section(store: &PatternStore) -> Vec<u8> {
+pub(crate) fn encode_patterns_section(store: &PatternStore) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.u32(store.len() as u32);
     for (_, inst) in store.iter() {
@@ -331,11 +339,11 @@ pub fn layout(bytes: &[u8]) -> Result<SnapshotLayout, SnapshotError> {
 
 // --- decoding --------------------------------------------------------------
 
-fn corrupt(section: &'static str) -> impl Fn(WireError) -> SnapshotError {
+pub(crate) fn corrupt(section: &'static str) -> impl Fn(WireError) -> SnapshotError {
     move |_| SnapshotError::SectionCorrupt { section }
 }
 
-fn decode_schema_section(payload: &[u8]) -> Result<(u64, Schema), SnapshotError> {
+pub(crate) fn decode_schema_section(payload: &[u8]) -> Result<(u64, Schema), SnapshotError> {
     let e = corrupt("schema");
     let mut r = ByteReader::new(payload);
     let fingerprint = r.u64().map_err(&e)?;
@@ -357,7 +365,7 @@ fn decode_schema_section(payload: &[u8]) -> Result<(u64, Schema), SnapshotError>
     Ok((fingerprint, schema))
 }
 
-fn decode_config_section(payload: &[u8]) -> Result<MiningConfig, SnapshotError> {
+pub(crate) fn decode_config_section(payload: &[u8]) -> Result<MiningConfig, SnapshotError> {
     let e = corrupt("config");
     let mut r = ByteReader::new(payload);
     let theta = r.f64().map_err(&e)?;
@@ -411,11 +419,11 @@ fn decode_config_section(payload: &[u8]) -> Result<MiningConfig, SnapshotError> 
     })
 }
 
-struct PendingPattern {
-    arp: Arp,
-    confidence: f64,
-    num_supported: usize,
-    locals: HashMap<Vec<Value>, LocalPattern>,
+pub(crate) struct PendingPattern {
+    pub(crate) arp: Arp,
+    pub(crate) confidence: f64,
+    pub(crate) num_supported: usize,
+    pub(crate) locals: HashMap<Vec<Value>, LocalPattern>,
 }
 
 fn read_attr_list(r: &mut ByteReader) -> Result<Vec<AttrId>, WireError> {
@@ -423,7 +431,9 @@ fn read_attr_list(r: &mut ByteReader) -> Result<Vec<AttrId>, WireError> {
     (0..n).map(|_| r.u32().map(|a| a as AttrId)).collect()
 }
 
-fn decode_patterns_section(payload: &[u8]) -> Result<Vec<PendingPattern>, SnapshotError> {
+pub(crate) fn decode_patterns_section(
+    payload: &[u8],
+) -> Result<Vec<PendingPattern>, SnapshotError> {
     let e = corrupt("patterns");
     let mut r = ByteReader::new(payload);
     let n = r.count(1).map_err(&e)?;
@@ -476,7 +486,7 @@ fn decode_patterns_section(payload: &[u8]) -> Result<Vec<PendingPattern>, Snapsh
 }
 
 /// Check the recorded schema against the live relation's.
-fn validate_schema(recorded: &Schema, live: &Schema) -> Result<(), SnapshotError> {
+pub(crate) fn validate_schema(recorded: &Schema, live: &Schema) -> Result<(), SnapshotError> {
     if schema_fingerprint(recorded) == schema_fingerprint(live) && recorded.arity() == live.arity()
     {
         return Ok(());
@@ -504,7 +514,7 @@ fn validate_schema(recorded: &Schema, live: &Schema) -> Result<(), SnapshotError
 
 /// Rebuild pattern instances: recompute the shared group data per
 /// `(F ∪ V, aggregates)` from the live relation.
-fn rebuild_store(
+pub(crate) fn rebuild_store(
     pendings: Vec<PendingPattern>,
     rel: &Relation,
 ) -> Result<PatternStore, SnapshotError> {
@@ -663,12 +673,21 @@ pub fn save_snapshot(
     let path = path.as_ref();
     let t0 = std::time::Instant::now();
     let bytes = encode_snapshot(schema, cfg, store);
-    let io = |e: std::io::Error| SnapshotError::Io(e.to_string());
+    write_atomic(path, &bytes)?;
+    cape_obs::observe_ns("store.save_ns", t0.elapsed().as_nanos() as u64);
+    cape_obs::counter_add("store.bytes", bytes.len() as u64);
+    Ok(bytes.len() as u64)
+}
 
+/// Durably publish `bytes` at `path`: write to a sibling temp file,
+/// `fsync`, atomically rename, `fsync` the directory (shared by the v1
+/// and v2 savers).
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let io = |e: std::io::Error| SnapshotError::Io(e.to_string());
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     {
         let mut f = std::fs::File::create(&tmp).map_err(io)?;
-        f.write_all(&bytes).map_err(io)?;
+        f.write_all(bytes).map_err(io)?;
         // Data must be on disk *before* the rename publishes the file;
         // the commit-marker footer catches the case where it was not.
         f.sync_all().map_err(io)?;
@@ -685,9 +704,7 @@ pub fn save_snapshot(
             let _ = d.sync_all();
         }
     }
-    cape_obs::observe_ns("store.save_ns", t0.elapsed().as_nanos() as u64);
-    cape_obs::counter_add("store.bytes", bytes.len() as u64);
-    Ok(bytes.len() as u64)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -299,7 +299,7 @@ mod tests {
         assert_eq!(inst.deviation_row(0), Some(0.5));
         // Fragment (ay) has no local model.
         let ay_row = (0..inst.data.relation.num_rows())
-            .find(|&i| inst.data.relation.value(i, 0) == &Value::str("ay"))
+            .find(|&i| inst.data.relation.value(i, 0) == Value::str("ay"))
             .unwrap();
         assert_eq!(inst.predict_row(ay_row), None);
     }

@@ -93,7 +93,7 @@ mod tests {
         let out = c.query("SELECT a FROM PUB ORDER BY a").unwrap();
         assert_eq!(out.num_rows(), 2);
         let out = c.query("SELECT x FROM crime").unwrap();
-        assert_eq!(out.value(0, 0), &Value::Int(3));
+        assert_eq!(out.value(0, 0), Value::Int(3));
     }
 
     #[test]

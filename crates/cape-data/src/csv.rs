@@ -168,10 +168,10 @@ mod tests {
         write_csv(&mut buf, &rel).unwrap();
         let back = read_csv(&buf[..], schema()).unwrap();
         assert_eq!(back.num_rows(), 2);
-        assert_eq!(back.value(0, 0), &Value::str("Doe, J."));
-        assert_eq!(back.value(1, 0), &Value::str("x\"y"));
+        assert_eq!(back.value(0, 0), Value::str("Doe, J."));
+        assert_eq!(back.value(1, 0), Value::str("x\"y"));
         assert!(back.value(1, 1).is_null());
-        assert_eq!(back.value(1, 2), &Value::Float(2.0));
+        assert_eq!(back.value(1, 2), Value::Float(2.0));
     }
 
     #[test]

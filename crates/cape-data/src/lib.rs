@@ -18,10 +18,12 @@
 
 pub mod agg;
 pub mod catalog;
+pub mod column;
 pub mod csv;
 pub mod error;
 pub mod fd;
 pub mod interner;
+pub mod mmap;
 pub mod ops;
 pub mod pred;
 pub mod relation;
@@ -32,6 +34,7 @@ pub mod value;
 
 pub use agg::{AggFunc, AggSpec};
 pub use catalog::Catalog;
+pub use column::{Column, Dict, NullBitmap, NumView, Slab};
 pub use error::{DataError, Result};
 pub use fd::{Fd, FdDiscovery, FdSet};
 pub use pred::Predicate;

@@ -1,0 +1,226 @@
+//! Read-only file mappings for zero-copy snapshot loading.
+//!
+//! [`MapRegion`] maps a whole file read-only (`mmap(PROT_READ,
+//! MAP_PRIVATE)` on unix, declared directly against the C runtime that
+//! `std` already links — no external crate) and hands out `&[u8]` views
+//! whose lifetime is pinned by an `Arc`. On non-unix targets, or when
+//! `CAPE_NO_MMAP=1` is set, the file is read into an 8-byte-aligned heap
+//! buffer instead, so every caller sees identical semantics and alignment
+//! guarantees either way.
+//!
+//! Safety argument for mapping snapshot slabs (see DESIGN.md §17): the
+//! mapping is private and read-only, the snapshot loader CRC-validates
+//! every section against the mapped bytes *before* building any typed
+//! view, and typed views are only created at offsets whose alignment was
+//! checked at load time. A concurrent writer replacing the snapshot file
+//! uses atomic rename, so an existing mapping keeps seeing the old inode.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+use std::sync::Arc;
+
+#[cfg(unix)]
+mod sys {
+    //! Minimal mmap bindings. `std` links libc on every unix target, so
+    //! declaring the two symbols we need avoids an external dependency.
+    use std::ffi::c_void;
+    use std::os::fd::RawFd;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: RawFd,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+}
+
+enum Backing {
+    /// A live `mmap` that must be `munmap`ed on drop.
+    #[cfg(unix)]
+    Mapped { ptr: *mut std::ffi::c_void, len: usize },
+    /// Heap fallback; `u64` storage guarantees 8-byte alignment for the
+    /// `i64`/`f64` slab views carved out of it.
+    Heap(Vec<u64>, usize),
+}
+
+/// An immutable, 8-byte-aligned byte region backing zero-copy slabs.
+pub struct MapRegion {
+    backing: Backing,
+}
+
+// SAFETY: the region's bytes are immutable for its whole lifetime; the
+// raw pointer is only ever read.
+unsafe impl Send for MapRegion {}
+unsafe impl Sync for MapRegion {}
+
+impl MapRegion {
+    /// Map `path` read-only. Falls back to an aligned heap read when
+    /// mapping is unavailable (non-unix, empty file, `CAPE_NO_MMAP=1`,
+    /// or a failed `mmap` call).
+    pub fn open(path: &Path) -> io::Result<Arc<MapRegion>> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+
+        #[cfg(unix)]
+        {
+            let no_mmap = std::env::var_os("CAPE_NO_MMAP").is_some_and(|v| v == "1");
+            if len > 0 && !no_mmap {
+                use std::os::fd::AsRawFd;
+                // SAFETY: fd is open for the duration of the call; a
+                // private read-only mapping has no aliasing hazards.
+                let ptr = unsafe {
+                    sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr != sys::MAP_FAILED {
+                    cape_obs::counter_add("data.mmap.regions", 1);
+                    cape_obs::counter_add("data.mmap.bytes", len as u64);
+                    return Ok(Arc::new(MapRegion { backing: Backing::Mapped { ptr, len } }));
+                }
+                // mmap failed (e.g. odd filesystem): fall through to the
+                // heap read rather than erroring.
+            }
+        }
+
+        let mut words = vec![0u64; len.div_ceil(8)];
+        // SAFETY: the Vec<u64> allocation is at least `len` bytes and
+        // plain-old-data; we only reinterpret it as bytes to read into.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, len) };
+        file.read_exact(bytes)?;
+        cape_obs::counter_add("data.mmap.heap_fallbacks", 1);
+        Ok(Arc::new(MapRegion { backing: Backing::Heap(words, len) }))
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            // SAFETY: ptr/len come from a successful mmap that lives
+            // until drop.
+            Backing::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts(*ptr as *const u8, *len)
+            },
+            Backing::Heap(words, len) => {
+                // SAFETY: the u64 buffer holds at least `len` initialized bytes.
+                unsafe { std::slice::from_raw_parts(words.as_ptr() as *const u8, *len) }
+            }
+        }
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { len, .. } => *len,
+            Backing::Heap(_, len) => *len,
+        }
+    }
+
+    /// True when the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this region is a true `mmap` (vs. the heap fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { .. } => true,
+            Backing::Heap(..) => false,
+        }
+    }
+
+    /// Base address of the region (8-byte aligned in both backings; mmap
+    /// returns page-aligned addresses).
+    pub fn base_ptr(&self) -> *const u8 {
+        self.bytes().as_ptr()
+    }
+}
+
+impl Drop for MapRegion {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: ptr/len are the exact values returned by mmap and
+            // no views outlive the Arc that owns this region.
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MapRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapRegion")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("cape_mmap_{}_{}", std::process::id(), name));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp_file("basic", b"hello slab world");
+        let region = MapRegion::open(&path).unwrap();
+        assert_eq!(region.bytes(), b"hello slab world");
+        assert_eq!(region.len(), 16);
+        assert_eq!(region.base_ptr() as usize % 8, 0, "base must be 8-aligned");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_uses_heap_backing() {
+        let path = tmp_file("empty", b"");
+        let region = MapRegion::open(&path).unwrap();
+        assert!(region.is_empty());
+        assert!(!region.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn typed_view_reads_aligned_words() {
+        let mut bytes = Vec::new();
+        for v in [1i64, -7, 1 << 40] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let path = tmp_file("words", &bytes);
+        let region = MapRegion::open(&path).unwrap();
+        let base = region.base_ptr();
+        assert_eq!(base as usize % 8, 0);
+        // SAFETY: offset 0 is 8-aligned and 3 i64s fit in the region.
+        let view = unsafe { std::slice::from_raw_parts(base as *const i64, 3) };
+        assert_eq!(view, &[1, -7, 1 << 40]);
+        std::fs::remove_file(&path).ok();
+    }
+}

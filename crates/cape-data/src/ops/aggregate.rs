@@ -122,7 +122,7 @@ fn aggregate_impl(
         row_counts[slot] += 1;
         for (acc, spec) in accs[slot].iter_mut().zip(aggs) {
             let value = spec.attr.map(|a| rel.value(i, a));
-            acc.update(value)?;
+            acc.update(value.as_ref())?;
         }
     }
 
@@ -175,8 +175,8 @@ mod tests {
         assert_eq!(out.num_rows(), 3);
         assert_eq!(out.schema().names(), vec!["author", "year", "count(*)"]);
         // (ax, 2004) appears first and has count 2.
-        assert_eq!(out.value(0, 2), &Value::Int(2));
-        assert_eq!(out.value(1, 2), &Value::Int(1));
+        assert_eq!(out.value(0, 2), Value::Int(2));
+        assert_eq!(out.value(1, 2), Value::Int(1));
     }
 
     #[test]
@@ -197,11 +197,11 @@ mod tests {
         .relation;
         assert_eq!(out.num_rows(), 2);
         // ax: 3 rows, cites 10+20+5
-        assert_eq!(out.value(0, 1), &Value::Int(3));
-        assert_eq!(out.value(0, 2), &Value::Float(35.0));
-        assert_eq!(out.value(0, 3), &Value::Float(5.0));
-        assert_eq!(out.value(0, 4), &Value::Float(20.0));
-        assert_eq!(out.value(0, 5), &Value::Float(35.0 / 3.0));
+        assert_eq!(out.value(0, 1), Value::Int(3));
+        assert_eq!(out.value(0, 2), Value::Float(35.0));
+        assert_eq!(out.value(0, 3), Value::Float(5.0));
+        assert_eq!(out.value(0, 4), Value::Float(20.0));
+        assert_eq!(out.value(0, 5), Value::Float(35.0 / 3.0));
     }
 
     #[test]
@@ -216,7 +216,7 @@ mod tests {
         let r = pubs();
         let out = aggregate(&r, &[], &[AggSpec::count_star()]).unwrap().relation;
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.value(0, 0), &Value::Int(4));
+        assert_eq!(out.value(0, 0), Value::Int(4));
     }
 
     #[test]
@@ -238,8 +238,8 @@ mod tests {
         let out =
             aggregate_with_row_count(&r, &[0], &[AggSpec::over(AggFunc::Sum, 2)]).unwrap().relation;
         let rows_col = out.schema().attr_id("__rows").unwrap();
-        assert_eq!(out.value(0, rows_col), &Value::Int(3));
-        assert_eq!(out.value(1, rows_col), &Value::Int(1));
+        assert_eq!(out.value(0, rows_col), Value::Int(3));
+        assert_eq!(out.value(1, rows_col), Value::Int(1));
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub fn cube(
             };
             slice.rows[slot] += 1;
             for (acc, spec) in slice.accs[slot].iter_mut().zip(aggs) {
-                acc.update(spec.attr.map(|a| rel.value(i, a)))?;
+                acc.update(spec.attr.map(|a| rel.value(i, a)).as_ref())?;
             }
         }
     }
@@ -192,12 +192,12 @@ mod tests {
         assert_eq!(by_a.dims, vec![0]);
         assert_eq!(by_a.relation.num_rows(), 2);
         // p sums to 30, q to 30
-        assert_eq!(by_a.relation.value(0, 1), &Value::Float(30.0));
+        assert_eq!(by_a.relation.value(0, 1), Value::Float(30.0));
         let by_ab = &slices[2];
         assert_eq!(by_ab.relation.num_rows(), 3);
         // __rows column is last
         let rows_col = by_ab.relation.schema().attr_id("__rows").unwrap();
-        assert_eq!(by_ab.relation.value(0, rows_col), &Value::Int(1));
+        assert_eq!(by_ab.relation.value(0, rows_col), Value::Int(1));
     }
 
     #[test]

@@ -81,23 +81,25 @@ fn build(rel: &Relation, cols: &[AttrId], force_fallback: bool) -> GroupKeyIndex
 /// Dictionary-encode each group column, pack codes into one integer id,
 /// and assign slots. Returns `None` when the packed width exceeds
 /// [`MAX_PACKED_BITS`].
+///
+/// Typed columns encode straight off their slabs — string columns reuse
+/// their stored dictionary codes outright, numeric columns dedup raw
+/// `i64`s / canonical `f64` bits — so only `Mixed` columns still hash
+/// `Value`s. Per-column code numbering is arbitrary (slot numbering comes
+/// from first appearance of the *packed id*), which is what lets stored
+/// dict codes be used as-is. A `Float` column that absorbed `Int`s holds
+/// them as their float image, so Int(3)/Float(3.0) share a code exactly
+/// like the legacy `Value`-hash path.
 fn packed_index(rel: &Relation, cols: &[AttrId]) -> Option<GroupKeyIndex> {
     let n = rel.num_rows();
 
-    // Pass 1: per-column dictionaries. `Value`'s Eq/Hash already treat
-    // Int(3) and Float(3.0) as the same key, matching the legacy path.
-    let mut col_codes: Vec<Vec<u32>> = Vec::with_capacity(cols.len());
+    // Pass 1: per-column codes from the typed slabs.
+    let mut col_codes: Vec<std::borrow::Cow<'_, [u32]>> = Vec::with_capacity(cols.len());
     let mut widths: Vec<u32> = Vec::with_capacity(cols.len());
     let mut total_bits = 0u32;
     for &c in cols {
-        let column = rel.column(c);
-        let mut dict: HashMap<&Value, u32> = HashMap::new();
-        let mut codes = Vec::with_capacity(n);
-        for v in column {
-            let next = dict.len() as u32;
-            codes.push(*dict.entry(v).or_insert(next));
-        }
-        let card = dict.len().max(1) as u64;
+        let (codes, card) = column_codes(rel.col(c), n);
+        let card = card.max(1);
         let bits = (u64::BITS - (card - 1).leading_zeros()).max(1);
         total_bits += bits;
         if total_bits > MAX_PACKED_BITS {
@@ -162,6 +164,87 @@ fn packed_index(rel: &Relation, cols: &[AttrId]) -> Option<GroupKeyIndex> {
     Some(GroupKeyIndex { slots, first_rows, packed: true })
 }
 
+/// Dense `u32` codes for one column plus the code cardinality bound.
+///
+/// NULL rows get code 0 and shift value codes up by one, so a NULL is a
+/// distinct group key exactly as in the legacy path. The cardinality may
+/// overcount for string columns whose shared dictionary holds entries
+/// that no longer occur (after a `take`) — that only widens the packed
+/// id, never corrupts it.
+fn column_codes(col: &crate::column::Column, n: usize) -> (std::borrow::Cow<'_, [u32]>, u64) {
+    use crate::column::Column;
+    use std::borrow::Cow;
+    match col {
+        Column::Int(c) => {
+            let mut dict: HashMap<i64, u32> = HashMap::new();
+            let mut codes: Vec<u32> = Vec::with_capacity(n);
+            let mut has_null = false;
+            for i in 0..n {
+                if c.nulls.get(i) {
+                    has_null = true;
+                    codes.push(u32::MAX);
+                } else {
+                    let next = dict.len() as u32;
+                    codes.push(*dict.entry(c.data[i]).or_insert(next));
+                }
+            }
+            finish_null_shift(codes, dict.len() as u64, has_null)
+        }
+        Column::Float(c) => {
+            // Slab bits are canonical, so bit-level dedup == Value equality.
+            let mut dict: HashMap<u64, u32> = HashMap::new();
+            let mut codes: Vec<u32> = Vec::with_capacity(n);
+            let mut has_null = false;
+            for i in 0..n {
+                if c.nulls.get(i) {
+                    has_null = true;
+                    codes.push(u32::MAX);
+                } else {
+                    let next = dict.len() as u32;
+                    codes.push(*dict.entry(c.data[i].to_bits()).or_insert(next));
+                }
+            }
+            finish_null_shift(codes, dict.len() as u64, has_null)
+        }
+        Column::Str(c) => {
+            let card = c.dict.len() as u64;
+            if c.nulls.no_nulls() {
+                // Stored dict codes are already dense per-column codes.
+                (Cow::Borrowed(&c.codes[..n]), card)
+            } else {
+                let codes: Vec<u32> =
+                    (0..n).map(|i| if c.nulls.get(i) { 0 } else { c.codes[i] + 1 }).collect();
+                (Cow::Owned(codes), card + 1)
+            }
+        }
+        Column::Mixed(values) => {
+            let mut dict: HashMap<&Value, u32> = HashMap::new();
+            let mut codes: Vec<u32> = Vec::with_capacity(n);
+            for v in &values[..n] {
+                let next = dict.len() as u32;
+                codes.push(*dict.entry(v).or_insert(next));
+            }
+            (Cow::Owned(codes), dict.len() as u64)
+        }
+    }
+}
+
+/// Apply the NULL-gets-code-0 shift after a numeric encode pass.
+fn finish_null_shift(
+    mut codes: Vec<u32>,
+    card: u64,
+    has_null: bool,
+) -> (std::borrow::Cow<'static, [u32]>, u64) {
+    if has_null {
+        for c in &mut codes {
+            *c = if *c == u32::MAX { 0 } else { *c + 1 };
+        }
+        (std::borrow::Cow::Owned(codes), card + 1)
+    } else {
+        (std::borrow::Cow::Owned(codes), card)
+    }
+}
+
 /// The legacy `HashMap<Vec<Value>, _>` path (scratch-key reuse so hits —
 /// the common case — allocate nothing).
 fn fallback_index(rel: &Relation, cols: &[AttrId]) -> GroupKeyIndex {
@@ -173,7 +256,7 @@ fn fallback_index(rel: &Relation, cols: &[AttrId]) -> GroupKeyIndex {
     for i in 0..n {
         scratch.clear();
         for &c in cols {
-            scratch.push(rel.value(i, c).clone());
+            scratch.push(rel.value(i, c));
         }
         let slot = match groups.get(&scratch) {
             Some(&s) => s,

@@ -94,8 +94,8 @@ mod tests {
         let d = distinct(&r);
         assert_eq!(d.num_rows(), 3);
         // first-occurrence order preserved
-        assert_eq!(d.value(0, 1), &Value::Int(2004));
-        assert_eq!(d.value(1, 1), &Value::Int(2005));
+        assert_eq!(d.value(0, 1), Value::Int(2004));
+        assert_eq!(d.value(1, 1), Value::Int(2005));
     }
 
     #[test]

@@ -3,19 +3,30 @@
 //! ARP-MINE relies on sorting an aggregated result so that all tuples of a
 //! fragment (`t[F] = f`) form one consecutive block; [`sorted_block_starts`]
 //! recovers those block boundaries in a single scan.
+//!
+//! All kernels here read the typed column slabs directly
+//! ([`crate::column::Column`]): comparators run on raw `i64`/`f64` words
+//! and dictionary codes, rank computation dictionary-encodes through the
+//! slab (string columns reuse their stored dict codes outright), and
+//! block-boundary scans compare slab words instead of materialized
+//! [`crate::value::Value`]s. Columns that degraded to `Mixed` fall back to
+//! `Value`-level logic with identical semantics.
 
+use crate::column::Column;
 use crate::relation::Relation;
 use crate::schema::AttrId;
+use crate::value::Value;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// Compute the permutation that sorts `rel` by `keys` (lexicographic,
-/// ascending). The sort is stable.
+/// ascending, NULLs first). The sort is stable.
 pub fn sort_perm(rel: &Relation, keys: &[AttrId]) -> Vec<usize> {
     let mut perm: Vec<usize> = (0..rel.num_rows()).collect();
+    let cols: Vec<&Column> = keys.iter().map(|&k| rel.col(k)).collect();
     perm.sort_by(|&a, &b| {
-        for &k in keys {
-            match rel.value(a, k).cmp(rel.value(b, k)) {
+        for col in &cols {
+            match col.cmp_rows(a, b) {
                 Ordering::Equal => continue,
                 o => return o,
             }
@@ -33,34 +44,131 @@ pub fn sort_perm(rel: &Relation, keys: &[AttrId]) -> Vec<usize> {
 /// integer ranks instead of values.
 pub fn column_ranks(rel: &Relation, col: AttrId) -> (Vec<u32>, u32) {
     let n = rel.num_rows();
-    // Dictionary-encode first so only the distinct values get sorted.
-    let mut map: HashMap<&crate::value::Value, u32> = HashMap::new();
-    let mut distinct: Vec<&crate::value::Value> = Vec::new();
-    let mut codes: Vec<u32> = Vec::with_capacity(n);
-    for i in 0..n {
-        let v = rel.value(i, col);
-        let code = *map.entry(v).or_insert_with(|| {
-            distinct.push(v);
-            (distinct.len() - 1) as u32
-        });
-        codes.push(code);
+    if n == 0 {
+        return (vec![], 0);
     }
-    let mut order: Vec<u32> = (0..distinct.len() as u32).collect();
-    order.sort_unstable_by(|&a, &b| distinct[a as usize].cmp(distinct[b as usize]));
-    // Distinct-by-equality values may still compare `Equal` in corner
-    // cases (`Ord` and `Eq` both canonicalize, but defensively re-check),
-    // so ranks increment only on strict inequality.
-    let mut rank_of_code = vec![0u32; distinct.len()];
-    let mut rank = 0u32;
-    for (pos, &c) in order.iter().enumerate() {
-        if pos > 0 && distinct[c as usize] != distinct[order[pos - 1] as usize] {
-            rank += 1;
+    match rel.col(col) {
+        Column::Int(c) => {
+            let mut map: HashMap<i64, u32> = HashMap::new();
+            let mut distinct: Vec<i64> = Vec::new();
+            let mut codes: Vec<u32> = Vec::with_capacity(n);
+            let mut has_null = false;
+            for i in 0..n {
+                if c.nulls.get(i) {
+                    has_null = true;
+                    codes.push(u32::MAX);
+                    continue;
+                }
+                let v = c.data[i];
+                let code = *map.entry(v).or_insert_with(|| {
+                    distinct.push(v);
+                    (distinct.len() - 1) as u32
+                });
+                codes.push(code);
+            }
+            let mut order: Vec<u32> = (0..distinct.len() as u32).collect();
+            order.sort_unstable_by_key(|&a| distinct[a as usize]);
+            ranks_from_orderings(codes, &order, distinct.len(), has_null)
         }
-        rank_of_code[c as usize] = rank;
+        Column::Float(c) => {
+            // Slab bits are canonical (one NaN, no -0.0), so bit-level
+            // dedup equals Value equality.
+            let mut map: HashMap<u64, u32> = HashMap::new();
+            let mut distinct: Vec<f64> = Vec::new();
+            let mut codes: Vec<u32> = Vec::with_capacity(n);
+            let mut has_null = false;
+            for i in 0..n {
+                if c.nulls.get(i) {
+                    has_null = true;
+                    codes.push(u32::MAX);
+                    continue;
+                }
+                let v = c.data[i];
+                let code = *map.entry(v.to_bits()).or_insert_with(|| {
+                    distinct.push(v);
+                    (distinct.len() - 1) as u32
+                });
+                codes.push(code);
+            }
+            let mut order: Vec<u32> = (0..distinct.len() as u32).collect();
+            order.sort_unstable_by(|&a, &b| distinct[a as usize].total_cmp(&distinct[b as usize]));
+            ranks_from_orderings(codes, &order, distinct.len(), has_null)
+        }
+        Column::Str(c) => {
+            // Dict codes are already a dictionary encoding; mark which
+            // codes actually occur (the dict may hold strings that no
+            // longer appear after a `take`) and sort only those.
+            let dict_len = c.dict.len();
+            let mut used = vec![false; dict_len];
+            let mut has_null = false;
+            for i in 0..n {
+                if c.nulls.get(i) {
+                    has_null = true;
+                } else {
+                    used[c.codes[i] as usize] = true;
+                }
+            }
+            let mut order: Vec<u32> =
+                (0..dict_len as u32).filter(|&cd| used[cd as usize]).collect();
+            order.sort_unstable_by(|&a, &b| c.dict.value(a).cmp(c.dict.value(b)));
+            let mut rank_of_code = vec![0u32; dict_len];
+            let shift = has_null as u32;
+            for (pos, &cd) in order.iter().enumerate() {
+                rank_of_code[cd as usize] = pos as u32 + shift;
+            }
+            let ranks: Vec<u32> = (0..n)
+                .map(|i| if c.nulls.get(i) { 0 } else { rank_of_code[c.codes[i] as usize] })
+                .collect();
+            (ranks, order.len() as u32 + shift)
+        }
+        Column::Mixed(values) => {
+            // Generic Value-level path (identical to the pre-columnar
+            // implementation, over owned values).
+            let mut map: HashMap<&Value, u32> = HashMap::new();
+            let mut distinct: Vec<&Value> = Vec::new();
+            let mut codes: Vec<u32> = Vec::with_capacity(n);
+            for v in values {
+                let code = *map.entry(v).or_insert_with(|| {
+                    distinct.push(v);
+                    (distinct.len() - 1) as u32
+                });
+                codes.push(code);
+            }
+            let mut order: Vec<u32> = (0..distinct.len() as u32).collect();
+            order.sort_unstable_by(|&a, &b| distinct[a as usize].cmp(distinct[b as usize]));
+            let mut rank_of_code = vec![0u32; distinct.len()];
+            let mut rank = 0u32;
+            for (pos, &c) in order.iter().enumerate() {
+                if pos > 0 && distinct[c as usize] != distinct[order[pos - 1] as usize] {
+                    rank += 1;
+                }
+                rank_of_code[c as usize] = rank;
+            }
+            let ranks: Vec<u32> = codes.into_iter().map(|c| rank_of_code[c as usize]).collect();
+            (ranks, rank + 1)
+        }
     }
-    let ranks: Vec<u32> = codes.into_iter().map(|c| rank_of_code[c as usize]).collect();
-    let num_distinct = if n == 0 { 0 } else { rank + 1 };
-    (ranks, num_distinct)
+}
+
+/// Shared tail of the typed rank paths: distinct values are strictly
+/// distinct, so the rank of a code is its sort position (+1 when NULLs
+/// occupy rank 0). Per-row code `u32::MAX` marks NULL.
+fn ranks_from_orderings(
+    codes: Vec<u32>,
+    order: &[u32],
+    num_values: usize,
+    has_null: bool,
+) -> (Vec<u32>, u32) {
+    let shift = has_null as u32;
+    let mut rank_of_code = vec![0u32; num_values];
+    for (pos, &c) in order.iter().enumerate() {
+        rank_of_code[c as usize] = pos as u32 + shift;
+    }
+    let ranks: Vec<u32> = codes
+        .into_iter()
+        .map(|c| if c == u32::MAX { 0 } else { rank_of_code[c as usize] })
+        .collect();
+    (ranks, order.len() as u32 + shift)
 }
 
 /// Return a copy of `rel` sorted by `keys` (the paper's
@@ -82,8 +190,7 @@ pub fn sorted_block_starts(rel: &Relation, prefix: &[AttrId]) -> Vec<usize> {
     }
     let mut starts = vec![0];
     for i in 1..n {
-        let differs = prefix.iter().any(|&k| rel.value(i, k) != rel.value(i - 1, k));
-        if differs {
+        if !rel.rows_equal_on(i, i - 1, prefix) {
             starts.push(i);
         }
     }
@@ -102,8 +209,7 @@ pub fn perm_block_starts(rel: &Relation, perm: &[usize], prefix: &[AttrId]) -> V
     }
     let mut starts = vec![0];
     for i in 1..n {
-        let differs = prefix.iter().any(|&k| rel.value(perm[i], k) != rel.value(perm[i - 1], k));
-        if differs {
+        if !rel.rows_equal_on(perm[i], perm[i - 1], prefix) {
             starts.push(i);
         }
     }
@@ -142,16 +248,16 @@ mod tests {
         let s = sort_by(&rel(), &[0, 1]);
         let years: Vec<i64> = (0..s.num_rows()).map(|i| s.value(i, 1).as_i64().unwrap()).collect();
         assert_eq!(years, vec![2006, 2006, 2007, 2006, 2008]);
-        assert_eq!(s.value(0, 0), &Value::str("KDD"));
-        assert_eq!(s.value(4, 0), &Value::str("VLDB"));
+        assert_eq!(s.value(0, 0), Value::str("KDD"));
+        assert_eq!(s.value(4, 0), Value::str("VLDB"));
     }
 
     #[test]
     fn sort_is_stable() {
         // The two (KDD, 2006) rows must retain input order (cnt 3 before 5).
         let s = sort_by(&rel(), &[0, 1]);
-        assert_eq!(s.value(0, 2), &Value::Int(3));
-        assert_eq!(s.value(1, 2), &Value::Int(5));
+        assert_eq!(s.value(0, 2), Value::Int(3));
+        assert_eq!(s.value(1, 2), Value::Int(5));
     }
 
     #[test]
@@ -189,7 +295,7 @@ mod tests {
                 for b in 0..r.num_rows() {
                     assert_eq!(
                         ranks[a].cmp(&ranks[b]),
-                        r.value(a, col).cmp(r.value(b, col)),
+                        r.value(a, col).cmp(&r.value(b, col)),
                         "col {col} rows {a},{b}"
                     );
                 }
@@ -197,6 +303,44 @@ mod tests {
         }
         let empty = Relation::new(rel().schema().clone());
         assert_eq!(column_ranks(&empty, 0), (vec![], 0));
+    }
+
+    #[test]
+    fn ranks_with_nulls_and_floats() {
+        let schema = Schema::new([("x", ValueType::Float), ("s", ValueType::Str)]).unwrap();
+        let r = Relation::from_rows(
+            schema,
+            vec![
+                vec![Value::Float(2.5), Value::Null],
+                vec![Value::Null, Value::str("b")],
+                vec![Value::Float(-1.0), Value::str("a")],
+                vec![Value::Float(2.5), Value::str("b")],
+            ],
+        )
+        .unwrap();
+        for col in 0..2 {
+            let (ranks, distinct) = column_ranks(&r, col);
+            assert!(ranks.iter().all(|&x| x < distinct), "col {col}");
+            for a in 0..r.num_rows() {
+                for b in 0..r.num_rows() {
+                    assert_eq!(
+                        ranks[a].cmp(&ranks[b]),
+                        r.value(a, col).cmp(&r.value(b, col)),
+                        "col {col} rows {a},{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_after_take_skip_unused_dict_entries() {
+        let r = rel();
+        // Drop every VLDB row; the shared dict still holds "VLDB".
+        let kdd = r.take(&[1, 2, 4]);
+        let (ranks, distinct) = column_ranks(&kdd, 0);
+        assert_eq!(distinct, 1, "only KDD remains");
+        assert!(ranks.iter().all(|&x| x == 0));
     }
 
     #[test]

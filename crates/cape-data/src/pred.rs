@@ -47,13 +47,13 @@ impl Predicate {
     pub fn eval(&self, rel: &Relation, row: usize) -> bool {
         match self {
             Predicate::True => true,
-            Predicate::Eq(a, v) => rel.value(row, *a) == v,
-            Predicate::Ne(a, v) => rel.value(row, *a) != v,
-            Predicate::Lt(a, v) => rel.value(row, *a) < v,
-            Predicate::Le(a, v) => rel.value(row, *a) <= v,
-            Predicate::Gt(a, v) => rel.value(row, *a) > v,
-            Predicate::Ge(a, v) => rel.value(row, *a) >= v,
-            Predicate::In(a, vs) => vs.iter().any(|v| rel.value(row, *a) == v),
+            Predicate::Eq(a, v) => rel.value(row, *a) == *v,
+            Predicate::Ne(a, v) => rel.value(row, *a) != *v,
+            Predicate::Lt(a, v) => rel.value(row, *a) < *v,
+            Predicate::Le(a, v) => rel.value(row, *a) <= *v,
+            Predicate::Gt(a, v) => rel.value(row, *a) > *v,
+            Predicate::Ge(a, v) => rel.value(row, *a) >= *v,
+            Predicate::In(a, vs) => vs.iter().any(|v| rel.value(row, *a) == *v),
             Predicate::And(ps) => ps.iter().all(|p| p.eval(rel, row)),
             Predicate::Or(ps) => ps.iter().any(|p| p.eval(rel, row)),
             Predicate::Not(p) => !p.eval(rel, row),

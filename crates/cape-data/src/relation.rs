@@ -1,33 +1,56 @@
 //! Columnar in-memory relations.
 //!
-//! A [`Relation`] stores tuples column-wise (`Vec<Value>` per attribute).
-//! This favours the access patterns of CAPE's workload: aggregation and
-//! sorting touch a few columns of many rows.
+//! A [`Relation`] stores tuples column-wise in compact typed slabs
+//! ([`crate::column::Column`]): `i64`/`f64` data words, dictionary-coded
+//! strings, and null bitmaps. This favours the access patterns of CAPE's
+//! workload — aggregation, sorting and fragment fitting touch a few
+//! columns of many rows — and lets the snapshot v2 loader alias slabs
+//! straight out of an mmapped file. Cells are materialized as owned
+//! [`Value`]s on demand; hot paths use the typed views instead
+//! ([`Relation::col`], [`crate::column::NumView`]).
 
+use crate::column::{Column, NumView};
 use crate::error::{DataError, Result};
 use crate::schema::{AttrId, Schema};
 use crate::value::Value;
 use std::fmt;
 
 /// A columnar relation (bag of tuples) with a fixed [`Schema`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Relation {
     schema: Schema,
-    columns: Vec<Vec<Value>>,
+    columns: Vec<Column>,
     rows: usize,
 }
 
 impl Relation {
     /// Create an empty relation with the given schema.
     pub fn new(schema: Schema) -> Self {
-        let columns = (0..schema.arity()).map(|_| Vec::new()).collect();
+        let columns = schema.iter().map(|a| Column::new(a.value_type())).collect();
         Relation { schema, columns, rows: 0 }
     }
 
     /// Create an empty relation, pre-allocating `capacity` rows per column.
     pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
-        let columns = (0..schema.arity()).map(|_| Vec::with_capacity(capacity)).collect();
+        let columns =
+            schema.iter().map(|a| Column::with_capacity(a.value_type(), capacity)).collect();
         Relation { schema, columns, rows: 0 }
+    }
+
+    /// Assemble a relation from pre-built columns (snapshot v2 load).
+    /// Every column must match the schema's arity and share one length.
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        if columns.len() != schema.arity() {
+            return Err(DataError::ArityMismatch {
+                expected: schema.arity(),
+                actual: columns.len(),
+            });
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        if columns.iter().any(|c| c.len() != rows) {
+            return Err(DataError::ArityMismatch { expected: rows, actual: 0 });
+        }
+        Ok(Relation { schema, columns, rows })
     }
 
     /// Build a relation from rows (convenience for tests and examples).
@@ -72,31 +95,69 @@ impl Relation {
         Ok(())
     }
 
-    /// Read a single cell.
-    pub fn value(&self, row: usize, col: AttrId) -> &Value {
-        &self.columns[col][row]
+    /// Read a single cell (materialized as an owned value).
+    #[inline]
+    pub fn value(&self, row: usize, col: AttrId) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Whether a cell is NULL, without materializing it.
+    #[inline]
+    pub fn is_null(&self, row: usize, col: AttrId) -> bool {
+        self.columns[col].is_null(row)
+    }
+
+    /// Numeric view of a cell (`None` for NULL / non-numeric).
+    #[inline]
+    pub fn value_f64(&self, row: usize, col: AttrId) -> Option<f64> {
+        self.columns[col].get_f64(row)
     }
 
     /// Overwrite a single cell in place. Used by incremental maintenance
     /// to refresh aggregate outputs of an existing grouped row without
     /// rebuilding the relation.
     pub fn set_value(&mut self, row: usize, col: AttrId, v: Value) {
-        self.columns[col][row] = v;
+        self.columns[col].set(row, v);
     }
 
-    /// Borrow an entire column.
-    pub fn column(&self, col: AttrId) -> &[Value] {
+    /// Borrow a column's typed storage.
+    #[inline]
+    pub fn col(&self, col: AttrId) -> &Column {
         &self.columns[col]
+    }
+
+    /// Numeric slab view of a column, when it kept a typed layout.
+    #[inline]
+    pub fn num_view(&self, col: AttrId) -> Option<NumView<'_>> {
+        self.columns[col].num_view()
+    }
+
+    /// Materialize an entire column as owned values.
+    pub fn column_values(&self, col: AttrId) -> Vec<Value> {
+        (0..self.rows).map(|i| self.columns[col].get(i)).collect()
+    }
+
+    /// Iterate a column's values without materializing the whole column.
+    pub fn column_iter(&self, col: AttrId) -> impl Iterator<Item = Value> + '_ {
+        let c = &self.columns[col];
+        (0..self.rows).map(move |i| c.get(i))
     }
 
     /// Materialize row `i` as an owned vector.
     pub fn row(&self, i: usize) -> Vec<Value> {
-        self.columns.iter().map(|c| c[i].clone()).collect()
+        self.columns.iter().map(|c| c.get(i)).collect()
     }
 
     /// Materialize the projection of row `i` onto `cols`.
     pub fn row_project(&self, i: usize, cols: &[AttrId]) -> Vec<Value> {
-        cols.iter().map(|&c| self.columns[c][i].clone()).collect()
+        cols.iter().map(|&c| self.columns[c].get(i)).collect()
+    }
+
+    /// Whether rows `i` and `j` agree on every column in `cols`
+    /// (Value-level equality over the typed slabs; no materialization).
+    #[inline]
+    pub fn rows_equal_on(&self, i: usize, j: usize, cols: &[AttrId]) -> bool {
+        cols.iter().all(|&c| self.columns[c].rows_equal(i, j))
     }
 
     /// Iterate over all rows as owned vectors.
@@ -106,11 +167,7 @@ impl Relation {
 
     /// Keep only the rows at the given indices (in the given order).
     pub fn take(&self, indices: &[usize]) -> Relation {
-        let columns = self
-            .columns
-            .iter()
-            .map(|col| indices.iter().map(|&i| col[i].clone()).collect())
-            .collect();
+        let columns = self.columns.iter().map(|col| col.take(indices)).collect();
         Relation { schema: self.schema.clone(), columns, rows: indices.len() }
     }
 
@@ -123,10 +180,22 @@ impl Relation {
             });
         }
         for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
-            dst.extend(src.iter().cloned());
+            dst.extend_from(src);
         }
         self.rows += other.rows;
         Ok(())
+    }
+
+    /// Approximate resident payload bytes across all columns (slab data,
+    /// null bitmaps, dictionaries) — bench memory accounting.
+    pub fn payload_bytes(&self) -> usize {
+        self.columns.iter().map(Column::payload_bytes).sum()
+    }
+
+    /// True when every column kept its typed slab layout (no `Mixed`
+    /// fallback in play) — the precondition for zero-copy snapshots.
+    pub fn fully_typed(&self) -> bool {
+        self.columns.iter().all(Column::is_typed)
     }
 
     /// Render the first `limit` rows as an ASCII table (for examples/demos).
@@ -174,6 +243,19 @@ impl Relation {
     }
 }
 
+/// Logical equality: same schema and the same tuples in the same order,
+/// regardless of physical layout (typed slab vs. `Mixed`, owned vs.
+/// mapped). An `Int` stored in a `Float` column equals its float form,
+/// mirroring [`Value`]'s cross-type numeric equality.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.rows == other.rows
+            && (0..self.rows)
+                .all(|i| (0..self.schema.arity()).all(|c| self.value(i, c) == other.value(i, c)))
+    }
+}
+
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.to_ascii(20))
@@ -202,10 +284,11 @@ mod tests {
     fn push_and_read() {
         let r = sample();
         assert_eq!(r.num_rows(), 3);
-        assert_eq!(r.value(1, 1), &Value::Int(2005));
+        assert_eq!(r.value(1, 1), Value::Int(2005));
         assert_eq!(r.row(2), vec![Value::str("ay"), Value::Int(2004)]);
         assert_eq!(r.row_project(0, &[1]), vec![Value::Int(2004)]);
-        assert_eq!(r.column(0).len(), 3);
+        assert_eq!(r.column_values(0).len(), 3);
+        assert!(r.fully_typed());
     }
 
     #[test]
@@ -219,11 +302,11 @@ mod tests {
     fn set_value_overwrites_in_place() {
         let mut r = sample();
         r.set_value(1, 1, Value::Int(2006));
-        assert_eq!(r.value(1, 1), &Value::Int(2006));
+        assert_eq!(r.value(1, 1), Value::Int(2006));
         assert_eq!(r.num_rows(), 3);
         // Neighbours untouched.
-        assert_eq!(r.value(0, 1), &Value::Int(2004));
-        assert_eq!(r.value(1, 0), &Value::str("ax"));
+        assert_eq!(r.value(0, 1), Value::Int(2004));
+        assert_eq!(r.value(1, 0), Value::str("ax"));
     }
 
     #[test]
@@ -231,8 +314,8 @@ mod tests {
         let r = sample();
         let t = r.take(&[2, 0]);
         assert_eq!(t.num_rows(), 2);
-        assert_eq!(t.value(0, 0), &Value::str("ay"));
-        assert_eq!(t.value(1, 0), &Value::str("ax"));
+        assert_eq!(t.value(0, 0), Value::str("ay"));
+        assert_eq!(t.value(1, 0), Value::str("ax"));
     }
 
     #[test]
@@ -259,5 +342,34 @@ mod tests {
     fn iter_rows_yields_all() {
         let r = sample();
         assert_eq!(r.iter_rows().count(), 3);
+    }
+
+    #[test]
+    fn rows_equal_on_typed_slabs() {
+        let r = sample();
+        assert!(r.rows_equal_on(0, 2, &[1])); // both year 2004
+        assert!(!r.rows_equal_on(0, 2, &[0, 1])); // different authors
+        assert!(r.rows_equal_on(0, 1, &[0])); // same author
+    }
+
+    #[test]
+    fn logical_eq_across_layouts() {
+        let r = sample();
+        let mut mixed = sample();
+        // Force one column to Mixed; logical equality must not care.
+        mixed.set_value(0, 1, Value::str("not-a-year"));
+        mixed.set_value(0, 1, Value::Int(2004));
+        assert_eq!(r, mixed);
+    }
+
+    #[test]
+    fn mismatched_values_degrade_not_error() {
+        let schema = Schema::new([("n", ValueType::Int)]).unwrap();
+        let mut r = Relation::new(schema);
+        r.push_row(vec![Value::Int(1)]).unwrap();
+        r.push_row(vec![Value::str("x")]).unwrap();
+        assert!(!r.fully_typed());
+        assert_eq!(r.value(0, 0), Value::Int(1));
+        assert_eq!(r.value(1, 0), Value::str("x"));
     }
 }

@@ -205,11 +205,11 @@ impl Compiled {
             }
             Compiled::Not(a) => Value::Int(!truthy(&a.eval(rel, row)) as i64),
             Compiled::InList(a, list) => {
-                Value::Int(list.iter().any(|v| rel.value(row, *a) == v) as i64)
+                Value::Int(list.iter().any(|v| rel.value(row, *a) == *v) as i64)
             }
             Compiled::Between(a, lo, hi) => {
                 let v = rel.value(row, *a);
-                Value::Int((v >= lo && v <= hi) as i64)
+                Value::Int((&v >= lo && &v <= hi) as i64)
             }
         }
     }
@@ -283,8 +283,8 @@ mod tests {
         let out = run("SELECT author, count(*) AS n FROM pub GROUP BY author");
         assert_eq!(out.schema().names(), vec!["author", "n"]);
         assert_eq!(out.num_rows(), 2);
-        assert_eq!(out.value(0, 1), &Value::Int(3)); // ax
-        assert_eq!(out.value(1, 1), &Value::Int(2)); // ay
+        assert_eq!(out.value(0, 1), Value::Int(3)); // ax
+        assert_eq!(out.value(1, 1), Value::Int(2)); // ay
     }
 
     #[test]
@@ -292,8 +292,8 @@ mod tests {
         let out = run("SELECT venue, sum(cites) FROM pub WHERE year = 2007 GROUP BY venue");
         assert_eq!(out.num_rows(), 2);
         // KDD 2007: 5 + 2 = 7; ICDE 2007: 8.
-        let kdd = (0..2).find(|&i| out.value(i, 0) == &Value::str("KDD")).unwrap();
-        assert_eq!(out.value(kdd, 1), &Value::Float(7.0));
+        let kdd = (0..2).find(|&i| out.value(i, 0) == Value::str("KDD")).unwrap();
+        assert_eq!(out.value(kdd, 1), Value::Float(7.0));
     }
 
     #[test]
@@ -310,23 +310,23 @@ mod tests {
     fn order_and_limit() {
         let out = run("SELECT author, year, cites FROM pub ORDER BY cites DESC LIMIT 2");
         assert_eq!(out.num_rows(), 2);
-        assert_eq!(out.value(0, 2), &Value::Int(10));
-        assert_eq!(out.value(1, 2), &Value::Int(8));
+        assert_eq!(out.value(0, 2), Value::Int(10));
+        assert_eq!(out.value(1, 2), Value::Int(8));
     }
 
     #[test]
     fn multi_key_order_mixed_directions() {
         let out = run("SELECT author, year FROM pub ORDER BY author ASC, year DESC");
-        assert_eq!(out.value(0, 0), &Value::str("ax"));
-        assert_eq!(out.value(0, 1), &Value::Int(2007));
-        assert_eq!(out.value(2, 1), &Value::Int(2006));
+        assert_eq!(out.value(0, 0), Value::str("ax"));
+        assert_eq!(out.value(0, 1), Value::Int(2007));
+        assert_eq!(out.value(2, 1), Value::Int(2006));
     }
 
     #[test]
     fn projection_with_alias_and_reorder() {
         let out = run("SELECT venue AS v, author FROM pub LIMIT 1");
         assert_eq!(out.schema().names(), vec!["v", "author"]);
-        assert_eq!(out.value(0, 0), &Value::str("KDD"));
+        assert_eq!(out.value(0, 0), Value::str("KDD"));
     }
 
     #[test]
@@ -334,8 +334,8 @@ mod tests {
         // Aggregate listed before a group column.
         let out = run("SELECT count(*) AS n, author FROM pub GROUP BY author");
         assert_eq!(out.schema().names(), vec!["n", "author"]);
-        assert_eq!(out.value(0, 0), &Value::Int(3));
-        assert_eq!(out.value(0, 1), &Value::str("ax"));
+        assert_eq!(out.value(0, 0), Value::Int(3));
+        assert_eq!(out.value(0, 1), Value::str("ax"));
     }
 
     #[test]

@@ -37,22 +37,63 @@ pub fn attr_stats(rel: &Relation, attr: AttrId) -> Result<AttrStats> {
     let mut span = cape_obs::span("data.attr_stats");
     span.add("rows_in", rel.num_rows() as u64);
     rel.schema().attr(attr)?;
-    let mut distinct: HashSet<&Value> = HashSet::new();
-    let mut nulls = 0usize;
+    use crate::column::Column;
+    let n = rel.num_rows();
     let mut min: Option<f64> = None;
     let mut max: Option<f64> = None;
-    for v in rel.column(attr) {
-        if v.is_null() {
-            nulls += 1;
-            continue;
+    let upd = |x: f64, min: &mut Option<f64>, max: &mut Option<f64>| {
+        *min = Some(min.map_or(x, |m| m.min(x)));
+        *max = Some(max.map_or(x, |m| m.max(x)));
+    };
+    let (distinct, nulls) = match rel.col(attr) {
+        Column::Int(c) => {
+            let mut seen: HashSet<i64> = HashSet::new();
+            for i in 0..n {
+                if c.nulls.get(i) {
+                    continue;
+                }
+                seen.insert(c.data[i]);
+                upd(c.data[i] as f64, &mut min, &mut max);
+            }
+            (seen.len(), c.nulls.null_count())
         }
-        distinct.insert(v);
-        if let Some(x) = v.as_f64() {
-            min = Some(min.map_or(x, |m| m.min(x)));
-            max = Some(max.map_or(x, |m| m.max(x)));
+        Column::Float(c) => {
+            let mut seen: HashSet<u64> = HashSet::new();
+            for i in 0..n {
+                if c.nulls.get(i) {
+                    continue;
+                }
+                seen.insert(c.data[i].to_bits());
+                upd(c.data[i], &mut min, &mut max);
+            }
+            (seen.len(), c.nulls.null_count())
         }
-    }
-    Ok(AttrStats { distinct: distinct.len(), nulls, min, max })
+        Column::Str(c) => {
+            let mut used = vec![false; c.dict.len()];
+            for i in 0..n {
+                if !c.nulls.get(i) {
+                    used[c.codes[i] as usize] = true;
+                }
+            }
+            (used.iter().filter(|&&u| u).count(), c.nulls.null_count())
+        }
+        Column::Mixed(values) => {
+            let mut seen: HashSet<&Value> = HashSet::new();
+            let mut nulls = 0usize;
+            for v in values {
+                if v.is_null() {
+                    nulls += 1;
+                    continue;
+                }
+                seen.insert(v);
+                if let Some(x) = v.as_f64() {
+                    upd(x, &mut min, &mut max);
+                }
+            }
+            (seen.len(), nulls)
+        }
+    };
+    Ok(AttrStats { distinct, nulls, min, max })
 }
 
 /// Compute stats for every attribute of `rel`.

@@ -53,7 +53,7 @@ proptest! {
         for i in 0..out.num_rows() {
             let key = out.value(i, 0).clone();
             let manual: f64 = (0..rel.num_rows())
-                .filter(|&r| rel.value(r, 0) == &key)
+                .filter(|&r| rel.value(r, 0) == key)
                 .map(|r| rel.value(r, 2).as_f64().unwrap())
                 .sum();
             prop_assert_eq!(out.value(i, 1).as_f64().unwrap(), manual);
@@ -321,7 +321,7 @@ mod sql_properties {
             let q = parse(&format!("SELECT num FROM t ORDER BY num LIMIT {k}")).unwrap();
             let out = execute(&q, &rel).unwrap();
             prop_assert_eq!(out.num_rows(), k.min(rel.num_rows()));
-            let mut all: Vec<i64> = rel.column(1).iter().map(|v| v.as_i64().unwrap()).collect();
+            let mut all: Vec<i64> = rel.column_iter(1).map(|v| v.as_i64().unwrap()).collect();
             all.sort_unstable();
             for (i, &expected) in all.iter().take(out.num_rows()).enumerate() {
                 prop_assert_eq!(out.value(i, 0).as_i64().unwrap(), expected);

@@ -350,10 +350,12 @@ mod tests {
             let community = rel.value(i, attrs::COMMUNITY).as_i64().unwrap();
             let district = rel.value(i, attrs::DISTRICT).as_i64().unwrap();
             assert_eq!(district, district_of(community));
-            let side = rel.value(i, attrs::SIDE).as_str().unwrap();
+            let side_v = rel.value(i, attrs::SIDE);
+            let side = side_v.as_str().unwrap();
             assert_eq!(side, side_of(district));
             let month = rel.value(i, attrs::MONTH).as_i64().unwrap();
-            let season = rel.value(i, attrs::SEASON).as_str().unwrap();
+            let season_v = rel.value(i, attrs::SEASON);
+            let season = season_v.as_str().unwrap();
             assert_eq!(season, season_of(month));
             let beat = rel.value(i, attrs::BEAT).as_i64().unwrap();
             assert_eq!(beat / 10, community);
@@ -400,8 +402,8 @@ mod tests {
         let mut n_2011 = 0;
         let mut n_2012 = 0;
         for i in 0..rel.num_rows() {
-            if rel.value(i, attrs::PRIMARY_TYPE) == &Value::str("Battery")
-                && rel.value(i, attrs::COMMUNITY) == &Value::Int(26)
+            if rel.value(i, attrs::PRIMARY_TYPE) == Value::str("Battery")
+                && rel.value(i, attrs::COMMUNITY) == Value::Int(26)
             {
                 match rel.value(i, attrs::YEAR).as_i64().unwrap() {
                     2011 => n_2011 += 1,

@@ -242,7 +242,7 @@ mod tests {
     fn years_within_range() {
         let cfg = DblpConfig { target_rows: 2_000, case_study: false, ..DblpConfig::default() };
         let rel = generate(&cfg);
-        for v in rel.column(attrs::YEAR) {
+        for v in rel.column_iter(attrs::YEAR) {
             let y = v.as_i64().unwrap();
             assert!((cfg.year_min..=cfg.year_max).contains(&y));
         }
@@ -262,8 +262,8 @@ mod tests {
         let count_of = |venue: &str, year: i64| -> i64 {
             (0..counts.num_rows())
                 .find(|&i| {
-                    counts.value(i, 0) == &Value::str(venue)
-                        && counts.value(i, 1) == &Value::Int(year)
+                    counts.value(i, 0) == Value::str(venue)
+                        && counts.value(i, 1) == Value::Int(year)
                 })
                 .map(|i| counts.value(i, 2).as_i64().unwrap())
                 .unwrap_or(0)

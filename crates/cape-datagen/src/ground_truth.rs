@@ -183,7 +183,9 @@ mod tests {
 
     fn count_at(rel: &Relation, author: &Value, year: &Value) -> usize {
         (0..rel.num_rows())
-            .filter(|&i| rel.value(i, attrs::AUTHOR) == author && rel.value(i, attrs::YEAR) == year)
+            .filter(|&i| {
+                rel.value(i, attrs::AUTHOR) == *author && rel.value(i, attrs::YEAR) == *year
+            })
             .count()
     }
 
@@ -242,7 +244,7 @@ mod tests {
             aggregate(&case.relation, &[attrs::AUTHOR], &[AggSpec::count_star()]).unwrap().relation;
         for i in 0..agg_before.num_rows() {
             let author = agg_before.value(i, 0);
-            if author == &f[0] {
+            if author == f[0] {
                 continue;
             }
             let before = agg_before.value(i, 1).as_i64().unwrap();

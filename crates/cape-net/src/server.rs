@@ -411,6 +411,7 @@ fn handle_append(name: &str, body: &[u8], shared: &Arc<ServerShared>) -> HttpRes
                 ("patterns".into(), Json::Num(report.patterns as f64)),
                 ("wal_seq".into(), report.wal_seq.map_or(Json::Null, |s| Json::Num(s as f64))),
                 ("wal_bytes".into(), Json::Num(report.wal_bytes as f64)),
+                ("auto_compacted".into(), Json::Bool(report.auto_compacted)),
             ]),
         ),
         // A read-only slot can't accept appends: the caller picked the

@@ -49,6 +49,22 @@ pub fn chi_square_gof(ys: &[f64], expected: f64) -> f64 {
     chi_square_sf(statistic, (n - 1) as f64)
 }
 
+/// Chi-square p-value from a pre-accumulated centered sum of squares
+/// `Σ (yᵢ − E)²` — the batched kernels fold that sum in chunked passes
+/// and hand it here. Same guarded statistic and survival function as
+/// [`chi_square_gof`] (which divides per element; the two agree to the
+/// rounding of one division).
+pub fn chi_square_gof_from_stat(centered_ss: f64, expected: f64, n: usize) -> f64 {
+    if n <= 1 {
+        return 1.0;
+    }
+    let statistic = centered_ss / expected.abs().max(EXPECTATION_FLOOR);
+    if statistic == 0.0 {
+        return 1.0;
+    }
+    chi_square_sf(statistic, (n - 1) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,7 @@
 //! Goodness-of-fit is always a value in `[0, 1]`, equal to 1 exactly when
 //! the model reproduces every training observation (paper §2.1).
 
+pub mod batch;
 pub mod constant;
 pub mod error;
 pub mod fit;
@@ -25,7 +26,8 @@ pub mod quadratic;
 pub mod special;
 pub mod stats;
 
-pub use constant::{chi_square_gof, fit_constant};
+pub use batch::{fit_constant_batch, fit_linear1_batch};
+pub use constant::{chi_square_gof, chi_square_gof_from_stat, fit_constant};
 pub use error::{RegressError, Result};
 pub use fit::fit;
 pub use linear::{fit_linear, r_squared};

@@ -46,8 +46,20 @@ impl PatternStoreHandle {
         path: impl AsRef<std::path::Path>,
         relation: Relation,
     ) -> Result<Self, cape_core::snapshot::SnapshotError> {
-        let loaded = cape_core::snapshot::load_snapshot(path, &relation)?;
+        let loaded = cape_core::snapshot::load_snapshot_auto(path, &relation)?;
         Ok(PatternStoreHandle::new(relation, loaded.store))
+    }
+
+    /// Cold-start entirely from a **v2** snapshot: the relation is
+    /// reconstructed from the file's own mmapped column slabs, so no CSV
+    /// parse or per-cell decode happens at all — start-up cost is page
+    /// faults plus the pattern/group rebuild. The fastest restart path
+    /// for large datasets (see DESIGN.md §17).
+    pub fn from_snapshot_v2(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, cape_core::snapshot::SnapshotError> {
+        let loaded = cape_core::snapshot::load_snapshot_v2(path)?;
+        Ok(PatternStoreHandle::new(loaded.relation, loaded.store))
     }
 
     /// The underlying relation.

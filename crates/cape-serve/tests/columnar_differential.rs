@@ -1,0 +1,214 @@
+//! Columnar ≡ row differential suite (ISSUE 9): mining with the batched
+//! slab kernels (`columnar_fit: true`, the default) must agree with the
+//! row-oriented per-`Value` path (`columnar_fit: false`) to 1e-9 — same
+//! patterns in the same order, same local fits and deviation bounds, the
+//! same explanations for a deterministic question grid, and the same
+//! stores when rows arrive through incremental appends instead of one
+//! batch. Run on DBLP and Crime.
+
+use cape_core::config::MiningConfig;
+use cape_core::explain::{ExplainConfig, Explanation};
+use cape_core::incr::IncrStore;
+use cape_core::mining::{Miner, ShareGrpMiner};
+use cape_core::prelude::{OptimizedExplainer, TopKExplainer};
+use cape_core::question::{Direction, UserQuestion};
+use cape_core::store::PatternStore;
+use cape_data::ops::aggregate;
+use cape_data::{AggFunc, AggSpec, AttrId, Relation, Value};
+use cape_serve::PatternStoreHandle;
+
+const TOP_K: usize = 8;
+const QUESTIONS_PER_DATASET: usize = 12;
+const TOL: f64 = 1e-9;
+
+/// Same deterministic grid as the other differential suites: rank the
+/// count query's rows descending, alternate High/Low directions.
+fn question_grid(rel: &Relation, group_attrs: &[AttrId], n: usize) -> Vec<UserQuestion> {
+    let result = aggregate(rel, group_attrs, &[AggSpec { func: AggFunc::Count, attr: None }])
+        .expect("count query")
+        .relation;
+    let agg_col = group_attrs.len();
+    let key_cols: Vec<usize> = (0..group_attrs.len()).collect();
+    let mut order: Vec<usize> = (0..result.num_rows()).collect();
+    order.sort_by(|&a, &b| {
+        let ca = result.value(a, agg_col).as_f64().unwrap_or(0.0);
+        let cb = result.value(b, agg_col).as_f64().unwrap_or(0.0);
+        cb.total_cmp(&ca)
+            .then_with(|| result.row_project(a, &key_cols).cmp(&result.row_project(b, &key_cols)))
+    });
+    order
+        .iter()
+        .take(n)
+        .enumerate()
+        .map(|(i, &row)| {
+            let tuple = result.row_project(row, &key_cols);
+            let agg_value = result.value(row, agg_col).as_f64().unwrap_or(0.0);
+            let dir = if i % 2 == 0 { Direction::Low } else { Direction::High };
+            UserQuestion::new(group_attrs.to_vec(), AggFunc::Count, None, tuple, agg_value, dir)
+        })
+        .collect()
+}
+
+/// Pattern-by-pattern store equality to 1e-9.
+fn assert_stores_match(label: &str, columnar: &PatternStore, row: &PatternStore) {
+    assert_eq!(columnar.len(), row.len(), "{label}: pattern count");
+    for ((_, a), (_, b)) in columnar.iter().zip(row.iter()) {
+        assert_eq!(a.arp, b.arp, "{label}: ARP order");
+        assert_eq!(a.num_supported, b.num_supported, "{label}: {:?}", a.arp);
+        assert!((a.confidence - b.confidence).abs() < TOL, "{label}: confidence of {:?}", a.arp);
+        assert_eq!(a.locals.len(), b.locals.len(), "{label}: locals of {:?}", a.arp);
+        for (key, la) in &a.locals {
+            let lb = b.locals.get(key).unwrap_or_else(|| {
+                panic!("{label}: {:?}: local {key:?} missing from row-oriented mine", a.arp)
+            });
+            assert_eq!(la.support, lb.support, "{label}: support of {key:?}");
+            assert_eq!(la.fitted.n, lb.fitted.n, "{label}: n of {key:?}");
+            assert!(
+                (la.fitted.gof - lb.fitted.gof).abs() < TOL,
+                "{label}: gof of {key:?}: {} vs {}",
+                la.fitted.gof,
+                lb.fitted.gof
+            );
+            assert!((la.max_pos_dev - lb.max_pos_dev).abs() < TOL, "{label}: +dev of {key:?}");
+            assert!((la.max_neg_dev - lb.max_neg_dev).abs() < TOL, "{label}: -dev of {key:?}");
+        }
+        assert!((a.max_pos_dev - b.max_pos_dev).abs() < TOL, "{label}: global +dev");
+        assert!((a.max_neg_dev - b.max_neg_dev).abs() < TOL, "{label}: global -dev");
+    }
+}
+
+fn assert_identical(label: &str, qi: usize, reference: &[Explanation], got: &[Explanation]) {
+    assert_eq!(reference.len(), got.len(), "{label}: question {qi}: lengths differ");
+    for (j, (a, b)) in reference.iter().zip(got).enumerate() {
+        assert_eq!(a.key(), b.key(), "{label}: question {qi}: rank {j} candidate differs");
+        assert!(
+            (a.score - b.score).abs() < TOL,
+            "{label}: question {qi}: rank {j} score {} vs {}",
+            a.score,
+            b.score
+        );
+        assert_eq!(a.pattern_idx, b.pattern_idx, "{label}: question {qi}: rank {j} pattern");
+    }
+}
+
+/// Mine under both fit paths, prove the stores, the explanations for the
+/// question grid, and the incrementally-rebuilt stores all agree.
+fn run_columnar_matrix(
+    label: &str,
+    full: Relation,
+    mcfg: &MiningConfig,
+    questions: Vec<UserQuestion>,
+) {
+    assert!(mcfg.columnar_fit, "default config must select the columnar path");
+    let row_cfg = MiningConfig { columnar_fit: false, ..mcfg.clone() };
+
+    let columnar = ShareGrpMiner.mine(&full, mcfg).expect("columnar mine").store;
+    let row = ShareGrpMiner.mine(&full, &row_cfg).expect("row mine").store;
+    assert!(!columnar.is_empty(), "{label}: mining found no patterns — suite is vacuous");
+    assert_stores_match(&format!("{label}/batch"), &columnar, &row);
+
+    // Explanations: the row-oriented store is the reference.
+    let row_handle = PatternStoreHandle::new(full.clone(), row);
+    let cfg = ExplainConfig::default_for(row_handle.relation(), TOP_K);
+    let reference: Vec<Vec<Explanation>> = questions
+        .iter()
+        .map(|q| OptimizedExplainer.explain(row_handle.store(), q, &cfg).0)
+        .collect();
+    let answered = reference.iter().filter(|r| !r.is_empty()).count();
+    assert!(answered > 0, "{label}: no question produced any explanation — suite is vacuous");
+
+    let col_handle = PatternStoreHandle::new(full.clone(), columnar);
+    for (i, q) in questions.iter().enumerate() {
+        let (got, _) = OptimizedExplainer.explain(col_handle.store(), q, &cfg);
+        assert_identical(&format!("{label}/explain"), i, &reference[i], &got);
+    }
+
+    // Incremental appends under the columnar config land on the same
+    // store as a row-oriented batch mine of the combined relation.
+    let n = full.num_rows();
+    let cut = n * 5 / 6;
+    let base = full.take(&(0..cut).collect::<Vec<_>>());
+    let mut incr = IncrStore::build(base, mcfg.clone()).expect("incremental build");
+    let rest: Vec<Vec<Value>> = (cut..n).map(|i| full.row(i)).collect();
+    let mid = rest.len() / 2;
+    for batch in [&rest[..1], &rest[1..mid], &rest[mid..]] {
+        incr.append(batch.to_vec()).expect("append");
+    }
+    assert_eq!(incr.relation().num_rows(), n, "{label}: row count after appends");
+    assert_stores_match(&format!("{label}/incr"), &incr.store(), row_handle.store());
+}
+
+#[test]
+fn dblp_columnar_matches_row_path() {
+    let rel = cape_datagen::dblp::generate(&cape_datagen::dblp::DblpConfig::with_rows(6000));
+    let mut mcfg = MiningConfig {
+        thresholds: cape_core::config::Thresholds::new(0.15, 4, 0.3, 3),
+        psi: 3,
+        ..MiningConfig::default()
+    };
+    mcfg.exclude = vec![cape_datagen::dblp::attrs::PUBID];
+    let questions = question_grid(
+        &rel,
+        &[
+            cape_datagen::dblp::attrs::AUTHOR,
+            cape_datagen::dblp::attrs::YEAR,
+            cape_datagen::dblp::attrs::VENUE,
+        ],
+        QUESTIONS_PER_DATASET,
+    );
+    run_columnar_matrix("dblp", rel, &mcfg, questions);
+}
+
+#[test]
+fn crime_columnar_matches_row_path() {
+    let rel = cape_datagen::crime::generate(&cape_datagen::crime::CrimeConfig::with_rows(6000));
+    let mcfg = MiningConfig {
+        thresholds: cape_core::config::Thresholds::new(0.15, 4, 0.3, 3),
+        psi: 3,
+        ..MiningConfig::default()
+    };
+    let questions = question_grid(
+        &rel,
+        &[
+            cape_datagen::crime::attrs::PRIMARY_TYPE,
+            cape_datagen::crime::attrs::COMMUNITY,
+            cape_datagen::crime::attrs::YEAR,
+        ],
+        QUESTIONS_PER_DATASET,
+    );
+    run_columnar_matrix("crime", rel, &mcfg, questions);
+}
+
+/// Columnar edge cases survive both fit paths identically: a zero-row
+/// relation mines to an empty store, and an all-NULL aggregate input
+/// neither panics nor diverges between paths.
+#[test]
+fn edge_relations_agree_across_paths() {
+    use cape_data::{Schema, ValueType};
+    let schema =
+        Schema::new([("k", ValueType::Str), ("x", ValueType::Int), ("y", ValueType::Float)])
+            .unwrap();
+    let mcfg = MiningConfig {
+        thresholds: cape_core::config::Thresholds::new(0.2, 2, 0.3, 1),
+        psi: 2,
+        ..MiningConfig::default()
+    };
+    let row_cfg = MiningConfig { columnar_fit: false, ..mcfg.clone() };
+
+    // Zero rows.
+    let empty = Relation::new(schema.clone());
+    let a = ShareGrpMiner.mine(&empty, &mcfg).expect("columnar mine").store;
+    let b = ShareGrpMiner.mine(&empty, &row_cfg).expect("row mine").store;
+    assert!(a.is_empty() && b.is_empty());
+
+    // All-NULL float column (every avg(y) is NULL).
+    let mut rel = Relation::new(schema);
+    for k in ["a", "b", "c"] {
+        for x in 0..4 {
+            rel.push_row(vec![Value::str(k), Value::Int(x), Value::Null]).unwrap();
+        }
+    }
+    let a = ShareGrpMiner.mine(&rel, &mcfg).expect("columnar mine").store;
+    let b = ShareGrpMiner.mine(&rel, &row_cfg).expect("row mine").store;
+    assert_stores_match("all-null", &a, &b);
+}

@@ -195,7 +195,7 @@ fn explanations_satisfy_definition_7() {
         let mut count = 0.0;
         'rows: for i in 0..rel.num_rows() {
             for (a, v) in e.attrs.iter().zip(&e.tuple) {
-                if rel.value(i, *a) != v {
+                if rel.value(i, *a) != *v {
                     continue 'rows;
                 }
             }
