@@ -15,7 +15,7 @@
 //! hardware) but the comparative shape is the reproduction target.
 
 use cape_bench::experiments::{
-    ablation, explain_perf, fd_opt, incr_bench, mine_bench, mining_scaling, scale_bench,
+    ablation, explain_perf, fd_opt, incr_bench, mine_bench, mining_scaling, quality, scale_bench,
     sensitivity, serve, serve_net, store_bench, subtasks, tables, user_study,
 };
 use cape_bench::Scale;
@@ -46,6 +46,8 @@ const EXPERIMENTS: &[&str] = &[
     "store-verify",
     "incr-bench",
     "incr-verify",
+    "quality-bench",
+    "quality-verify",
 ];
 
 fn usage() -> ! {
@@ -148,6 +150,8 @@ fn run(name: &str, scale: Scale, mine_opts: MineBenchOpts) -> String {
         "store-verify" => store_bench::store_verify(scale),
         "incr-bench" => incr_bench::incr_bench(scale),
         "incr-verify" => incr_bench::incr_verify(scale),
+        "quality-bench" => quality::quality_bench(scale),
+        "quality-verify" => quality::quality_verify(scale),
         "userstudy" => {
             let (rows, budget) = match scale {
                 Scale::Quick => (3_000, 12),

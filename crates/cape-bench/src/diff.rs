@@ -7,7 +7,9 @@
 //! metrics are compared directionally:
 //!
 //! * lower-is-better: `*_s`, `*_ns`, `*_ms`, `wall*`, `*time*`
-//! * higher-is-better: `*per_s*`, `*speedup*`, `*throughput*`
+//! * higher-is-better: `*per_s*`, `*speedup*`, `*throughput*`, and the
+//!   quality metrics `*precision*`, `*recall*`, `*coverage*` (retrieval
+//!   quality dropping is a regression even though no time is involved)
 //!
 //! Everything else (counts, configuration echoes, `host_cpus`) is
 //! ignored — a bench record is allowed to mine a different number of
@@ -35,6 +37,10 @@ fn direction_of(key: &str) -> Option<MetricDirection> {
     // Higher-better patterns first: "req_per_s" ends in `_s` and would
     // otherwise classify as a latency.
     if key.contains("per_s") || key.contains("speedup") || key.contains("throughput") {
+        return Some(MetricDirection::HigherIsBetter);
+    }
+    // Retrieval-quality metrics from the ground-truth benchmark.
+    if key.contains("precision") || key.contains("recall") || key.contains("coverage") {
         return Some(MetricDirection::HigherIsBetter);
     }
     if key.ends_with("_s") || key.ends_with("_ns") || key.ends_with("_ms") {
@@ -382,6 +388,30 @@ mod tests {
         // A tighter floor can be requested explicitly.
         let report = diff_records_with(&rec(0.004), &rec(0.008), 25.0, 0.001).unwrap();
         assert_eq!(report.regressions().len(), 1, "explicit 1 ms floor compares it");
+    }
+
+    #[test]
+    fn quality_metrics_are_higher_is_better_with_no_noise_floor() {
+        let rec = |p: f64, r: f64| {
+            Json::parse(&format!(
+                r#"{{"schema_version":1,"experiment":"quality-bench","entries":{{"variants":[
+                    {{"dataset":"dblp","label":"raw","precision_at_k":{p},"recall_at_k":{r},
+                      "summary_coverage":1.0}}]}}}}"#
+            ))
+            .unwrap()
+        };
+        // Improving quality is never a regression.
+        let report = diff_records(&rec(0.5, 0.5), &rec(0.9, 0.9), 25.0).unwrap();
+        assert!(report.regressions().is_empty());
+        assert_eq!(report.compared.len(), 3, "precision, recall, coverage all compared");
+        // Recall halving IS a regression — small absolute values must not
+        // be mistaken for sub-noise-floor time metrics.
+        let report = diff_records(&rec(0.5, 0.5), &rec(0.5, 0.25), 25.0).unwrap();
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].path.ends_with("recall_at_k"));
+        assert!((regs[0].regression_pct - 50.0).abs() < 1e-9);
+        assert!(report.noise_skipped.is_empty(), "quality metrics have no time unit");
     }
 
     #[test]

@@ -6,6 +6,7 @@ pub mod fd_opt;
 pub mod incr_bench;
 pub mod mine_bench;
 pub mod mining_scaling;
+pub mod quality;
 pub mod scale_bench;
 pub mod sensitivity;
 pub mod serve;

@@ -49,6 +49,8 @@ const VALUE_KEYS: &[&str] = &[
     "max-body",
     "deadline-ms",
     "max-connections",
+    "min-members",
+    "max-loss",
 ];
 
 /// Single-dash short flags and the long flag each expands to.

@@ -46,12 +46,17 @@ USAGE:
   cape explain --csv FILE --schema SPEC (--patterns FILE | --store FILE)
                --sql QUERY --tuple VALUES --dir high|low
                [--k N] [--narrate] [--baseline]
+               [--summarize [--min-members N] [--max-loss X]]
       Explain why a query-result tuple is surprisingly high or low.
+      --summarize appends common-ancestor summaries of the top-k (the
+      coarsest lattice fragments covering ≥ --min-members answers within
+      relative score loss --max-loss); the top-k table is unchanged.
 
   cape batch-explain --csv FILE --schema SPEC (--patterns FILE | --store FILE)
                      --sql QUERY --questions FILE [--k N] [--threads N]
                      [--timeout-ms MS] [--cache N] [--fail-on-timeout]
                      [--access-log FILE]
+                     [--summarize [--min-members N] [--max-loss X]]
       Answer a file of questions concurrently over one shared pattern
       store. Each non-empty, non-# line of FILE is `VALUES high|low`
       (e.g. 'AX,SIGKDD,2007 low'). Answers print in input order; requests
@@ -304,6 +309,27 @@ pub fn append(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parse `--summarize [--min-members N] [--max-loss X]` into a config;
+/// `None` when the flag is absent.
+fn summarize_config(args: &Args) -> Result<Option<cape_core::explain::SummarizeConfig>, CliError> {
+    use cape_core::explain::{SummarizeConfig, DEFAULT_MAX_LOSS, DEFAULT_MIN_MEMBERS};
+    if !args.flag("summarize") {
+        if args.get("min-members").is_some() || args.get("max-loss").is_some() {
+            return Err(usage("--min-members/--max-loss require --summarize"));
+        }
+        return Ok(None);
+    }
+    let min_members = args.get_parse("min-members", DEFAULT_MIN_MEMBERS).map_err(usage)?;
+    if min_members < 1 {
+        return Err(usage("--min-members must be at least 1"));
+    }
+    let max_loss = args.get_parse("max-loss", DEFAULT_MAX_LOSS).map_err(usage)?;
+    if !max_loss.is_finite() || max_loss < 0.0 {
+        return Err(usage("--max-loss must be a non-negative number"));
+    }
+    Ok(Some(SummarizeConfig { min_members, max_loss }))
+}
+
 /// `cape explain`.
 pub fn explain(args: &Args) -> Result<(), CliError> {
     let (rel, store) = load_store(args)?;
@@ -336,6 +362,17 @@ pub fn explain(args: &Args) -> Result<(), CliError> {
         stats.time
     );
     println!("{}", render_table(&expls, rel.schema()));
+    if let Some(scfg) = summarize_config(args)? {
+        let summaries = cape_core::explain::summarize(&expls, &store, &scfg);
+        println!(
+            "summaries (min_members={}, max_loss={:.2}): {} from {} explanations",
+            scfg.min_members,
+            scfg.max_loss,
+            summaries.len(),
+            expls.len()
+        );
+        println!("{}", cape_core::explain::render_summaries(&summaries, &expls, rel.schema()));
+    }
     if args.flag("narrate") {
         println!("{}", narrate_all(&expls, &store, &uq, rel.schema()));
     }
@@ -446,14 +483,18 @@ pub fn batch_explain(args: &Args) -> Result<(), CliError> {
     // Each request is its own top-level operation: mint a fresh trace id
     // rather than inheriting the session scope, so access-log lines and
     // Chrome-trace slices are attributable per question.
+    let scfg = summarize_config(args)?;
     let requests: Vec<ExplainRequest> = questions
         .iter()
         .map(|q| {
-            let req = ExplainRequest::new(q.clone(), k).with_trace(cape_obs::TraceId::next());
-            match timeout {
-                Some(t) => req.with_timeout(t),
-                None => req,
+            let mut req = ExplainRequest::new(q.clone(), k).with_trace(cape_obs::TraceId::next());
+            if let Some(t) = timeout {
+                req = req.with_timeout(t);
             }
+            if let Some(s) = &scfg {
+                req = req.with_summarize(s.clone());
+            }
+            req
         })
         .collect();
     let responses = service.batch(requests);
@@ -469,6 +510,17 @@ pub fn batch_explain(args: &Args) -> Result<(), CliError> {
         };
         println!("[{i}] question: {}{marker}", uq.display(schema));
         println!("{}", render_table(&resp.explanations, schema));
+        if let Some(summaries) = &resp.summaries {
+            println!(
+                "[{i}] summaries: {} from {} explanations",
+                summaries.len(),
+                resp.explanations.len()
+            );
+            println!(
+                "{}",
+                cape_core::explain::render_summaries(summaries, &resp.explanations, schema)
+            );
+        }
     }
     println!("answered {} questions ({partial_count} partial)", questions.len());
     cape_obs::info("cli", || {

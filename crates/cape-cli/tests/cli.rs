@@ -339,6 +339,173 @@ fn batch_explain_matches_golden_and_is_thread_invariant() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A tiny crime-like CSV (primary_type, community, year) with a planted
+/// dip/counterbalance at (THEFT, community 1, 2012→2013).
+fn write_crime_csv(dir: &Path) -> String {
+    let path = dir.join("crime.csv");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "primary_type,community,year").unwrap();
+    for t in ["THEFT", "BATTERY", "ASSAULT"] {
+        for c in 1..=4 {
+            for y in 2010..2016 {
+                let n = match (t, c, y) {
+                    ("THEFT", 1, 2012) => 1,
+                    ("THEFT", 1, 2013) => 5,
+                    _ => 3,
+                };
+                for _ in 0..n {
+                    writeln!(f, "{t},{c},{y}").unwrap();
+                }
+            }
+        }
+    }
+    path.to_string_lossy().into_owned()
+}
+
+const CRIME_SCHEMA: &str = "primary_type:str,community:int,year:int";
+const CRIME_SQL: &str =
+    "SELECT primary_type, community, year, count(*) FROM crime GROUP BY primary_type, community, year";
+
+fn mine_for(dir: &Path, csv: &str, schema: &str, name: &str) -> String {
+    let patterns = dir.join(name).to_string_lossy().into_owned();
+    let out = run(&[
+        "mine",
+        "--csv",
+        csv,
+        "--schema",
+        schema,
+        "--theta",
+        "0.1",
+        "--delta",
+        "3",
+        "--lambda",
+        "0.3",
+        "--support",
+        "2",
+        "--psi",
+        "3",
+        "--out",
+        &patterns,
+    ]);
+    assert!(out.status.success(), "mine failed: {}", String::from_utf8_lossy(&out.stderr));
+    patterns
+}
+
+/// Every line of `needle` appears, in order, somewhere in `hay`.
+fn is_line_subsequence(needle: &str, hay: &str) -> bool {
+    let mut lines = hay.lines();
+    needle.lines().all(|n| lines.any(|h| h == n))
+}
+
+/// Differential golden: `--summarize` is strictly additive. Without it,
+/// stdout is byte-identical across worker counts and untouched by the
+/// feature existing; with it, the plain output survives as an ordered
+/// line-subsequence plus appended summary sections — on the DBLP-like
+/// and Crime-like datasets, at 1 and 4 workers.
+#[test]
+fn summarize_is_strictly_additive_and_thread_invariant() {
+    let dir = temp_dir("sumadditive");
+    let dblp_csv = write_csv(&dir);
+    let crime_csv = write_crime_csv(&dir);
+    let dblp_q = write_questions(&dir);
+    let crime_q = dir.join("crime_questions.txt");
+    std::fs::write(&crime_q, "THEFT,1,2012 low\nTHEFT,1,2013 high\nBATTERY,2,2011 low\n").unwrap();
+    let crime_q = crime_q.to_string_lossy().into_owned();
+
+    let datasets = [
+        ("dblp", dblp_csv.as_str(), SCHEMA, BATCH_SQL, dblp_q.as_str(), "a0,2005,KDD"),
+        ("crime", crime_csv.as_str(), CRIME_SCHEMA, CRIME_SQL, crime_q.as_str(), "THEFT,1,2012"),
+    ];
+    for (label, csv, schema, sql, questions, tuple) in datasets {
+        let patterns = mine_for(&dir, csv, schema, &format!("{label}.cape"));
+        let base = [
+            "batch-explain",
+            "--csv",
+            csv,
+            "--schema",
+            schema,
+            "--patterns",
+            &patterns,
+            "--sql",
+            sql,
+            "--questions",
+            questions,
+            "--k",
+            "5",
+        ];
+        let batch = |extra: &[&str]| -> String {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend_from_slice(extra);
+            let out = run(&args);
+            assert!(
+                out.status.success(),
+                "{label} {extra:?} failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            String::from_utf8_lossy(&out.stdout).into_owned()
+        };
+
+        let plain = batch(&["--threads", "1"]);
+        assert_eq!(plain, batch(&["--threads", "4"]), "{label}: plain output thread-variant");
+        let summarized = batch(&["--threads", "1", "--summarize"]);
+        assert_eq!(
+            summarized,
+            batch(&["--threads", "4", "--summarize"]),
+            "{label}: summarized output thread-variant"
+        );
+
+        // Strictly additive: the plain transcript survives verbatim as an
+        // ordered subsequence, and summaries actually appeared.
+        assert!(
+            is_line_subsequence(&plain, &summarized),
+            "{label}: --summarize rewrote plain output lines"
+        );
+        assert!(summarized.len() > plain.len(), "{label}: --summarize added nothing");
+        assert!(summarized.contains("summaries:"), "{label}: no summary section\n{summarized}");
+
+        // Single-question explain: the plain output is an exact prefix.
+        let explain = |extra: &[&str]| -> String {
+            let mut args = vec![
+                "explain",
+                "--csv",
+                csv,
+                "--schema",
+                schema,
+                "--patterns",
+                &patterns,
+                "--sql",
+                sql,
+                "--tuple",
+                tuple,
+                "--dir",
+                "low",
+                "--k",
+                "5",
+            ];
+            args.extend_from_slice(extra);
+            let out = run(&args);
+            assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+            String::from_utf8_lossy(&out.stdout).into_owned()
+        };
+        // The explain header embeds a wall-clock duration; blank it out
+        // before comparing (everything else is deterministic).
+        let normalize = |s: &str| -> String {
+            s.lines()
+                .map(|l| l.find(" tuples checked, ").map_or(l, |i| &l[..i]))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let plain_one = normalize(&explain(&[]));
+        let summarized_one = normalize(&explain(&["--summarize"]));
+        assert!(
+            summarized_one.starts_with(&plain_one),
+            "{label}: explain --summarize must append, not rewrite"
+        );
+        assert!(summarized_one.contains("summaries (min_members=2, max_loss=0.50)"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn batch_explain_timeout_degrades_and_exit_codes() {
     let dir = temp_dir("batchtimeout");

@@ -12,6 +12,7 @@ pub mod naive;
 pub mod optimized;
 pub mod provenance;
 pub mod score;
+pub mod summarize;
 pub mod topk;
 
 pub use baseline::BaselineExplainer;
@@ -23,6 +24,10 @@ pub use naive::NaiveExplainer;
 pub use optimized::OptimizedExplainer;
 pub use provenance::{provenance_of, summarize as summarize_provenance, ProvenanceSummary};
 pub use score::{norm_factor, relevant_fragment, score_value, SCORE_EPSILON};
+pub use summarize::{
+    relative_loss, render_summaries, summarize, SummarizeConfig, Summary, SummaryFragment,
+    DEFAULT_MAX_LOSS, DEFAULT_MIN_MEMBERS,
+};
 pub use topk::TopK;
 
 use crate::question::UserQuestion;

@@ -3,8 +3,11 @@
 //! function's monotonicity, the distance model, and miner agreement on
 //! random data.
 
-use cape_core::explain::{score_value, DistanceModel, Explanation, TopK};
+use cape_core::explain::{
+    relative_loss, score_value, summarize, DistanceModel, Explanation, SummarizeConfig, TopK,
+};
 use cape_core::mining::{splits_of, ArpMiner, Miner, ShareGrpMiner};
+use cape_core::store::PatternStore;
 use cape_core::{MiningConfig, Thresholds};
 use cape_data::{Relation, Schema, Value, ValueType};
 use proptest::prelude::*;
@@ -32,6 +35,62 @@ fn expl(refinement: usize, tag: i64, score: f64) -> Explanation {
         refinement_idx: refinement,
         attrs: vec![0],
         tuple: vec![Value::Int(tag)],
+        agg_value: 0.0,
+        predicted: 0.0,
+        deviation: 0.0,
+        distance: 0.0,
+        norm: 1.0,
+        score,
+    }
+}
+
+/// A mined store over a dense `a × x × b` cross product: every split of
+/// the three attributes fits a constant count model perfectly, so the
+/// refinement lattice contains `[a]: x`, `[b]: x`, and `[a, b]: x`.
+/// Returns the store and the index of the `[a, b]: x` refinement.
+fn lattice_store() -> (PatternStore, usize) {
+    let schema =
+        Schema::new([("a", ValueType::Str), ("x", ValueType::Int), ("b", ValueType::Str)]).unwrap();
+    let mut rel = Relation::new(schema);
+    for a in 0..3u8 {
+        for x in 0..6i64 {
+            for b in 0..4u8 {
+                for _ in 0..2 {
+                    rel.push_row(vec![
+                        Value::str(format!("a{a}")),
+                        Value::Int(x),
+                        Value::str(format!("b{b}")),
+                    ])
+                    .unwrap();
+                }
+            }
+        }
+    }
+    let cfg = MiningConfig {
+        thresholds: Thresholds::new(0.0, 2, 0.0, 1),
+        psi: 3,
+        ..MiningConfig::default()
+    };
+    let store = ArpMiner.mine(&rel, &cfg).unwrap().store;
+    let ridx = store
+        .iter()
+        .find(|(_, p)| p.arp.f() == [0, 2] && p.arp.v() == [1])
+        .map(|(i, _)| i)
+        .expect("[a,b]: x must be mined");
+    assert!(
+        store.iter().any(|(_, p)| p.arp.f() == [0] && p.arp.v() == [1]),
+        "[a]: x ancestor must be mined"
+    );
+    (store, ridx)
+}
+
+/// A refined explanation over `[a, b]: x` for the summarizer properties.
+fn refined_expl(ridx: usize, a: u8, b: u8, x: i64, score: f64) -> Explanation {
+    Explanation {
+        pattern_idx: 0,
+        refinement_idx: ridx,
+        attrs: vec![0, 2, 1],
+        tuple: vec![Value::str(format!("a{a}")), Value::str(format!("b{b}")), Value::Int(x)],
         agg_value: 0.0,
         predicted: 0.0,
         deviation: 0.0,
@@ -203,6 +262,95 @@ proptest! {
             farther < base,
             "farther tuple must score lower: {} vs {}", farther, base
         );
+    }
+
+    /// Summarization is a lossless partition of the top-k: every tuple
+    /// lands in exactly one summary, every member satisfies its summary
+    /// fragment's predicate (subsumption in the lattice), the per-summary
+    /// relative score loss respects the bound, and summaries emit in
+    /// best-member-score order.
+    #[test]
+    fn summaries_partition_cover_and_respect_loss(
+        entries in proptest::collection::vec((0u8..3, 0u8..4, 0i64..6, 0u8..5), 1..40),
+        k in 1usize..10,
+        min_members in 1usize..4,
+        max_loss in 0.0f64..1.0,
+    ) {
+        let (store, ridx) = lattice_store();
+        let mut tk = TopK::new(k);
+        for &(a, b, x, q) in &entries {
+            tk.offer(refined_expl(ridx, a, b, x, f64::from(q)));
+        }
+        let expls = tk.into_sorted_vec();
+        let cfg = SummarizeConfig { min_members, max_loss };
+        let summaries = summarize(&expls, &store, &cfg);
+
+        // Partition: each index exactly once, none dropped.
+        let mut seen = BTreeSet::new();
+        for s in &summaries {
+            for &m in &s.members {
+                prop_assert!(m < expls.len(), "member out of range");
+                prop_assert!(seen.insert(m), "tuple {m} in two summaries");
+            }
+        }
+        prop_assert_eq!(seen.len(), expls.len(), "summaries dropped a tuple");
+
+        for s in &summaries {
+            // Subsumption: the fragment predicate holds for every member.
+            for &m in &s.members {
+                prop_assert!(
+                    s.fragment.covers(&expls[m].attrs, &expls[m].tuple),
+                    "member {m} not covered by its summary fragment"
+                );
+            }
+            // Score range is the members' actual best/worst, and the
+            // representative is the best member.
+            let best = s.members.iter().map(|&m| expls[m].score).fold(f64::MIN, f64::max);
+            let worst = s.members.iter().map(|&m| expls[m].score).fold(f64::MAX, f64::min);
+            prop_assert_eq!(s.score_range, (best, worst));
+            prop_assert_eq!(expls[s.representative].score, best);
+            // Loss bound: merged summaries stay within max_loss.
+            if s.members.len() > 1 {
+                prop_assert!(
+                    relative_loss(best, worst) <= max_loss + 1e-12,
+                    "loss {} exceeds bound {max_loss}", relative_loss(best, worst)
+                );
+            }
+        }
+
+        // Emission order: best member score descending.
+        for pair in summaries.windows(2) {
+            prop_assert!(pair[0].score_range.0 >= pair[1].score_range.0);
+        }
+    }
+
+    /// Summaries are a pure function of the candidate *set*: permuting
+    /// the insertion order into the top-k heap (with heavy forced ties
+    /// from quantized scores) yields identical summaries.
+    #[test]
+    fn summaries_are_insertion_order_independent(
+        entries in proptest::collection::vec((0u8..3, 0u8..4, 0i64..6, 0u8..4), 1..40),
+        priorities in proptest::collection::vec(0u32..1000, 40..41),
+        k in 1usize..8,
+    ) {
+        let (store, ridx) = lattice_store();
+        let candidates: Vec<Explanation> = entries
+            .iter()
+            .map(|&(a, b, x, q)| refined_expl(ridx, a, b, x, f64::from(q)))
+            .collect();
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by_key(|&i| (priorities[i % priorities.len()], i));
+
+        let cfg = SummarizeConfig::default();
+        let mut outputs = Vec::new();
+        for ord in [&(0..candidates.len()).collect::<Vec<_>>(), &order] {
+            let mut tk = TopK::new(k);
+            for &i in ord {
+                tk.offer(candidates[i].clone());
+            }
+            outputs.push(summarize(&tk.into_sorted_vec(), &store, &cfg));
+        }
+        prop_assert_eq!(&outputs[0], &outputs[1], "insertion order changed the summaries");
     }
 
     #[test]

@@ -39,6 +39,57 @@ pub struct InjectedCase {
     pub moved: usize,
 }
 
+impl InjectedCase {
+    /// The machine-readable answer key recording where the
+    /// counterbalance was planted.
+    pub fn answer_key(&self) -> AnswerKey {
+        AnswerKey {
+            f_attrs: self.f_attrs.clone(),
+            f_vals: self.f_vals.clone(),
+            v_attr: self.v_attr,
+            counter_v: self.counter_v.clone(),
+            outlier_v: self.outlier_v.clone(),
+            outlier_low: self.outlier_low,
+        }
+    }
+}
+
+/// Machine-readable answer key for one planted case: the exact lattice
+/// coordinate `(F = f_vals, V = counter_v)` a correct explainer must
+/// retrieve. Benchmarks serialize this next to their metrics so a result
+/// file is self-describing, and use [`AnswerKey::matches`] to score
+/// retrieved explanations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerKey {
+    /// Partition attributes of the planted coordinate.
+    pub f_attrs: Vec<AttrId>,
+    /// Fragment values the outlier lives in.
+    pub f_vals: Vec<Value>,
+    /// Predictor attribute.
+    pub v_attr: AttrId,
+    /// Predictor value of the planted counterbalance — the value a
+    /// retrieved explanation tuple must carry at `v_attr`.
+    pub counter_v: Value,
+    /// Predictor value of the questioned outlier.
+    pub outlier_v: Value,
+    /// Whether the questioned outlier is low (counterbalance high).
+    pub outlier_low: bool,
+}
+
+impl AnswerKey {
+    /// Does a retrieved explanation hit the planted counterbalance? The
+    /// explanation is given as parallel `(attrs, tuple)` slices (the
+    /// shape CAPE emits); it matches when every fragment coordinate is
+    /// present with the planted value AND the predictor attribute is
+    /// present with `counter_v`. Coarser explanations that omit a planted
+    /// coordinate do not match — the key names one exact cell.
+    pub fn matches(&self, attrs: &[AttrId], tuple: &[Value]) -> bool {
+        let find = |want: AttrId| attrs.iter().position(|a| *a == want).map(|i| &tuple[i]);
+        self.f_attrs.iter().zip(&self.f_vals).all(|(a, v)| find(*a).is_some_and(|got| got == v))
+            && find(self.v_attr).is_some_and(|got| *got == self.counter_v)
+    }
+}
+
 /// Plant an outlier/counterbalance pair: remove (or duplicate) a fraction
 /// of the rows at `(F = f_vals, V = outlier_v)` and add (or remove) the
 /// same number at `(F = f_vals, V = counter_v)`.
@@ -254,6 +305,35 @@ mod tests {
                 .unwrap_or(0);
             assert_eq!(before, after, "author {author:?} changed");
         }
+    }
+
+    #[test]
+    fn answer_key_matches_exact_cell_only() {
+        let rel = base();
+        let (f, v1, v2) =
+            pick_coordinates(&rel, &[attrs::AUTHOR], attrs::YEAR, 4, 5).expect("coords");
+        let case = inject(&rel, &[attrs::AUTHOR], &f, attrs::YEAR, &v1, &v2, true, 0.5, 13)
+            .expect("injectable");
+        let key = case.answer_key();
+        assert_eq!(key.counter_v, v2);
+        assert_eq!(key.outlier_v, v1);
+        assert!(key.outlier_low);
+
+        // The planted cell matches, in either attribute order and with
+        // extra attributes present.
+        let author = f[0].clone();
+        assert!(key.matches(&[attrs::AUTHOR, attrs::YEAR], &[author.clone(), v2.clone()]));
+        assert!(key.matches(&[attrs::YEAR, attrs::AUTHOR], &[v2.clone(), author.clone()]));
+        assert!(key.matches(
+            &[attrs::AUTHOR, attrs::VENUE, attrs::YEAR],
+            &[author.clone(), Value::str("VLDB"), v2.clone()],
+        ));
+
+        // Wrong author, wrong year, or a missing coordinate: no match.
+        assert!(!key.matches(&[attrs::AUTHOR, attrs::YEAR], &[Value::str("zz"), v2.clone()]));
+        assert!(!key.matches(&[attrs::AUTHOR, attrs::YEAR], &[author.clone(), v1.clone()]));
+        assert!(!key.matches(&[attrs::YEAR], std::slice::from_ref(&v2)));
+        assert!(!key.matches(&[attrs::AUTHOR], &[author]));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! path's analogue of the CLI's exit-code taxonomy.
 
 use cape_core::error::CapeError;
+use cape_core::explain::{SummarizeConfig, Summary};
 use cape_core::question::{Direction, UserQuestion};
 use cape_core::store::PatternStore;
 use cape_data::{Relation, Schema, Value, ValueType};
@@ -69,6 +70,9 @@ pub struct ExplainBody {
     pub deadline: Option<Duration>,
     /// Test-only artificial service time (see `NetConfig::allow_sleep`).
     pub sleep: Option<Duration>,
+    /// Summarize the top-k into common-ancestor summaries (`"summarize"`
+    /// field: `true`, or `{"min_members": N, "max_loss": X}`).
+    pub summarize: Option<SummarizeConfig>,
 }
 
 fn coerce_value(json: &Json, ty: ValueType, attr: &str) -> Result<Value, ApiError> {
@@ -112,8 +116,43 @@ fn optional_ms(obj: &Json, key: &str) -> Result<Option<Duration>, ApiError> {
     }
 }
 
+/// Parse the optional `summarize` field: absent / `null` / `false` mean
+/// off; `true` enables defaults; an object overrides `min_members`
+/// and/or `max_loss`.
+fn optional_summarize(body: &Json) -> Result<Option<SummarizeConfig>, ApiError> {
+    match body.get("summarize") {
+        None | Some(Json::Null) | Some(Json::Bool(false)) => Ok(None),
+        Some(Json::Bool(true)) => Ok(Some(SummarizeConfig::default())),
+        Some(obj @ Json::Obj(_)) => {
+            let mut cfg = SummarizeConfig::default();
+            match obj.get("min_members") {
+                None | Some(Json::Null) => {}
+                Some(v) => {
+                    cfg.min_members = v.as_u64().filter(|&m| m >= 1).ok_or_else(|| {
+                        ApiError::bad_request("field `summarize.min_members` must be ≥ 1")
+                    })? as usize;
+                }
+            }
+            match obj.get("max_loss") {
+                None | Some(Json::Null) => {}
+                Some(v) => {
+                    cfg.max_loss =
+                        v.as_f64().filter(|m| m.is_finite() && *m >= 0.0).ok_or_else(|| {
+                            ApiError::bad_request(
+                                "field `summarize.max_loss` must be a non-negative number",
+                            )
+                        })?;
+                }
+            }
+            Ok(Some(cfg))
+        }
+        Some(_) => Err(ApiError::bad_request("field `summarize` must be a boolean or an object")),
+    }
+}
+
 /// Parse one explain-question object:
-/// `{"sql", "tuple", "dir", "k"?, "deadline_ms"?, "sleep_ms"?}`.
+/// `{"sql", "tuple", "dir", "k"?, "deadline_ms"?, "sleep_ms"?,
+/// "summarize"?}`.
 pub fn parse_explain_body(body: &Json, rel: &Relation) -> Result<ExplainBody, ApiError> {
     let sql = required_str(body, "sql")?;
     let dir = match required_str(body, "dir")? {
@@ -164,7 +203,8 @@ pub fn parse_explain_body(body: &Json, rel: &Relation) -> Result<ExplainBody, Ap
     };
     let deadline = optional_ms(body, "deadline_ms")?;
     let sleep = optional_ms(body, "sleep_ms")?;
-    Ok(ExplainBody { question, k, deadline, sleep })
+    let summarize = optional_summarize(body)?;
+    Ok(ExplainBody { question, k, deadline, sleep, summarize })
 }
 
 /// Parse a batch body: `{"questions": [<explain body>, ...]}`.
@@ -272,8 +312,32 @@ fn explanation_json(
     ])
 }
 
+fn summary_json(s: &Summary, schema: &Schema) -> Json {
+    let attr_name = |id: &cape_data::AttrId| {
+        schema.attr(*id).map(|a| a.name().to_string()).unwrap_or_else(|_| format!("#{id}"))
+    };
+    Json::Obj(vec![
+        (
+            "fragment".into(),
+            Json::Obj(vec![
+                (
+                    "attrs".into(),
+                    Json::Arr(s.fragment.attrs.iter().map(|a| Json::Str(attr_name(a))).collect()),
+                ),
+                ("values".into(), Json::Arr(s.fragment.values.iter().map(value_to_json).collect())),
+            ]),
+        ),
+        ("members".into(), Json::Arr(s.members.iter().map(|&m| Json::Num(m as f64)).collect())),
+        ("representative".into(), Json::Num(s.representative as f64)),
+        ("score_best".into(), Json::Num(s.score_range.0)),
+        ("score_worst".into(), Json::Num(s.score_range.1)),
+    ])
+}
+
 /// Render one service answer, stamped with the store name and snapshot
-/// generation it was computed against.
+/// generation it was computed against. The `summaries` key appears only
+/// when the request asked for summarization, so plain responses stay
+/// byte-identical.
 pub fn explain_response_json(
     store_name: &str,
     generation: u64,
@@ -281,8 +345,8 @@ pub fn explain_response_json(
     schema: &Schema,
     store: &PatternStore,
 ) -> Json {
-    Json::Obj(vec![
-        ("trace_id".into(), Json::Str(format!("{:016x}", resp.trace_id.as_u64()))),
+    let mut fields = vec![
+        ("trace_id".to_string(), Json::Str(format!("{:016x}", resp.trace_id.as_u64()))),
         ("store".into(), Json::Str(store_name.to_string())),
         ("generation".into(), Json::Num(generation as f64)),
         ("partial".into(), Json::Bool(resp.partial)),
@@ -307,7 +371,14 @@ pub fn explain_response_json(
                 ("candidates_generated".into(), Json::Num(resp.stats.candidates_generated as f64)),
             ]),
         ),
-    ])
+    ];
+    if let Some(summaries) = &resp.summaries {
+        fields.push((
+            "summaries".into(),
+            Json::Arr(summaries.iter().map(|s| summary_json(s, schema)).collect()),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 #[cfg(test)]
@@ -407,6 +478,44 @@ mod tests {
         ] {
             let err = parse_explain_body(&b, &rel).unwrap_err();
             assert_eq!(err.kind, want, "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn summarize_field_parses_defaults_overrides_and_rejects_junk() {
+        let rel = relation();
+        let with_field = |raw: &str| {
+            let mut obj = body(SQL, r#"["a0", 2001, "KDD"]"#, "low");
+            if let Json::Obj(fields) = &mut obj {
+                fields.push(("summarize".into(), Json::parse(raw).unwrap()));
+            }
+            parse_explain_body(&obj, &rel)
+        };
+
+        // Absent / null / false: off.
+        let base = parse_explain_body(&body(SQL, r#"["a0", 2001, "KDD"]"#, "low"), &rel).unwrap();
+        assert!(base.summarize.is_none());
+        assert!(with_field("null").unwrap().summarize.is_none());
+        assert!(with_field("false").unwrap().summarize.is_none());
+
+        // true: defaults.
+        let on = with_field("true").unwrap().summarize.unwrap();
+        assert_eq!(on.min_members, cape_core::explain::DEFAULT_MIN_MEMBERS);
+        assert_eq!(on.max_loss, cape_core::explain::DEFAULT_MAX_LOSS);
+
+        // Object: overrides, each independently optional.
+        let custom = with_field(r#"{"min_members": 3, "max_loss": 0.25}"#).unwrap();
+        let cfg = custom.summarize.unwrap();
+        assert_eq!(cfg.min_members, 3);
+        assert_eq!(cfg.max_loss, 0.25);
+        let partial = with_field(r#"{"max_loss": 0.1}"#).unwrap().summarize.unwrap();
+        assert_eq!(partial.min_members, cape_core::explain::DEFAULT_MIN_MEMBERS);
+        assert_eq!(partial.max_loss, 0.1);
+
+        // Junk: 400s, never a panic.
+        for raw in [r#""yes""#, "1", r#"{"min_members": 0}"#, r#"{"max_loss": -1}"#] {
+            let err = with_field(raw).unwrap_err();
+            assert_eq!(err.status, 400, "summarize={raw}");
         }
     }
 

@@ -500,6 +500,9 @@ fn handle_explain(
             if let Some(deadline) = q.deadline.or(shared.cfg.default_deadline) {
                 req = req.with_timeout(deadline);
             }
+            if let Some(scfg) = &q.summarize {
+                req = req.with_summarize(scfg.clone());
+            }
             req
         })
         .collect();

@@ -1,6 +1,6 @@
 //! Request/response types for the explanation service.
 
-use cape_core::explain::{ExplainStats, Explanation};
+use cape_core::explain::{ExplainStats, Explanation, SummarizeConfig, Summary};
 use cape_core::question::UserQuestion;
 use cape_obs::TraceId;
 use std::time::Duration;
@@ -20,12 +20,16 @@ pub struct ExplainRequest {
     /// default) inherits the submitting thread's trace scope, or a
     /// fresh id when there is none — every request always has one.
     pub trace: Option<TraceId>,
+    /// When set, the worker post-processes the top-k into
+    /// common-ancestor summaries (after `explain_cached`, so drill-down
+    /// caching and deadline handling are untouched).
+    pub summarize: Option<SummarizeConfig>,
 }
 
 impl ExplainRequest {
     /// A request with no deadline.
     pub fn new(question: UserQuestion, k: usize) -> Self {
-        ExplainRequest { question, k, timeout: None, trace: None }
+        ExplainRequest { question, k, timeout: None, trace: None, summarize: None }
     }
 
     /// Attach a deadline.
@@ -37,6 +41,12 @@ impl ExplainRequest {
     /// Attach an explicit trace id (propagated from an upstream caller).
     pub fn with_trace(mut self, trace: TraceId) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Request summarized explanations alongside the raw top-k.
+    pub fn with_summarize(mut self, cfg: SummarizeConfig) -> Self {
+        self.summarize = Some(cfg);
         self
     }
 }
@@ -65,4 +75,8 @@ pub struct ExplainResponse {
     pub queue_wait: Duration,
     /// Time spent executing on the worker (total − queue − reply).
     pub exec_time: Duration,
+    /// Common-ancestor summaries over `explanations` — present exactly
+    /// when the request carried a [`SummarizeConfig`]. Member indices
+    /// point into `explanations`; no tuple is ever dropped.
+    pub summaries: Option<Vec<Summary>>,
 }

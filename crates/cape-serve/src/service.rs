@@ -262,6 +262,13 @@ fn worker_loop(shared: &Shared) {
             let cfg = ExplainConfig { k: job.request.k, distance: shared.distance.clone() };
             explain_cached(&shared.handle, &shared.cache, &job.request.question, &cfg, deadline)
         };
+        // Summarization is a pure post-processing layer over the final
+        // top-k: it runs after `explain_cached`, against the same shared
+        // store, and never touches the drill cache or the deadline.
+        let summaries =
+            job.request.summarize.as_ref().map(|scfg| {
+                cape_core::explain::summarize(&explanations, shared.handle.store(), scfg)
+            });
         let exec_time = exec_start.elapsed();
         drop(req_guard);
 
@@ -306,6 +313,7 @@ fn worker_loop(shared: &Shared) {
             trace_id: job.trace_id,
             queue_wait,
             exec_time,
+            summaries,
         });
     }
 }
